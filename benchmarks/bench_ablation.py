@@ -1,0 +1,28 @@
+"""Ablation benchmarks for the design choices discussed in Sections 5.4 and 6."""
+
+from repro.bench.experiments import ablation_baseline, ablation_bounds
+
+
+def test_ablation_bound_families(benchmark, scale, report):
+    result = benchmark.pedantic(ablation_bounds, args=(scale,), rounds=1, iterations=1)
+    report(result)
+    totals: dict[str, int] = {}
+    for row in result.rows:
+        totals[row["indexing"]] = totals.get(row["indexing"], 0) + row["full_sims"]
+    # The ℓ₂-based schemes verify no more candidates than the plain inverted
+    # index — the pruning the paper attributes to the ℓ₂ bounds.
+    assert totals["L2"] <= totals["INV"]
+    assert totals["L2AP"] <= totals["INV"]
+    # L2 never re-indexes, by design.
+    assert all(row["reindexings"] == 0 for row in result.rows if row["indexing"] == "L2")
+
+
+def test_ablation_against_sliding_window_baseline(benchmark, scale, report):
+    result = benchmark.pedantic(ablation_baseline, args=(scale,), rounds=1, iterations=1)
+    report(result)
+    for row in result.rows:
+        # Exactness: the indexed join returns the same number of pairs as the
+        # exact sliding-window baseline.
+        assert row["pairs"] == row["baseline_pairs"]
+        # Pruning: the indexed join computes no more full similarities.
+        assert row["str_l2_sims"] <= row["baseline_sims"]

@@ -1,0 +1,17 @@
+"""Reproduces Figure 2: entries traversed by STR relative to MB vs the horizon τ."""
+
+import math
+
+from repro.bench.experiments import figure2
+
+
+def test_figure2_entry_ratio(benchmark, scale, report):
+    result = benchmark.pedantic(figure2, args=(scale,), rounds=1, iterations=1)
+    report(result)
+    rows = [row for row in result.rows if not math.isnan(row["ratio"])]
+    assert rows, "expected at least one configuration with MB entries > 0"
+    # The paper's finding: there is a regime of horizons where STR traverses
+    # clearly fewer entries than MB (the paper reports roughly 65%).  Note
+    # that once τ exceeds the whole stream span both algorithms degenerate to
+    # the batch case and the ratio returns to 1.
+    assert min(row["ratio"] for row in rows) < 0.9

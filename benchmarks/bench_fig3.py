@@ -1,0 +1,16 @@
+"""Reproduces Figure 3: MB vs STR running time on the RCV1 profile."""
+
+from repro.bench.experiments import figure3
+from repro.bench.tables import series_by
+
+
+def test_figure3_mb_vs_str_rcv1(benchmark, scale, report):
+    result = benchmark.pedantic(figure3, args=(scale,), rounds=1, iterations=1)
+    report(result)
+    l2_rows = [row for row in result.rows if row["indexing"] == "L2"]
+    series = series_by(l2_rows, group="algorithm", x="theta", y="time_s")
+    assert {"MB", "STR"} <= set(series)
+    # Shape check (paper: STR is faster than MB on RCV1 in most settings):
+    # compare total time across the grid rather than per-point, which is noisy.
+    total = {algorithm: sum(t for _, t in points) for algorithm, points in series.items()}
+    assert total["STR"] <= total["MB"] * 1.5

@@ -1,0 +1,15 @@
+"""Reproduces Figure 4: MB vs STR running time on the WebSpam profile."""
+
+from repro.bench.experiments import figure4
+from repro.bench.tables import series_by
+
+
+def test_figure4_mb_vs_str_webspam(benchmark, scale, report):
+    result = benchmark.pedantic(figure4, args=(scale,), rounds=1, iterations=1)
+    report(result)
+    assert {row["algorithm"] for row in result.rows} == {"MB", "STR"}
+    assert {row["indexing"] for row in result.rows} == {"INV", "L2AP", "L2"}
+    # Both algorithms must have produced a full grid of measurements.
+    series = series_by(result.rows, group="algorithm", x="theta", y="time_s")
+    per_algorithm = {algorithm: len(points) for algorithm, points in series.items()}
+    assert per_algorithm["MB"] == per_algorithm["STR"]

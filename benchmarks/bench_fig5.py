@@ -1,0 +1,17 @@
+"""Reproduces Figure 5: STR running time by index on the RCV1 profile."""
+
+from repro.bench.experiments import figure5
+
+
+def test_figure5_str_indexes_rcv1(benchmark, scale, report):
+    result = benchmark.pedantic(figure5, args=(scale,), rounds=1, iterations=1)
+    report(result)
+    assert {row["indexing"] for row in result.rows} == {"INV", "L2AP", "L2"}
+    totals = {}
+    for row in result.rows:
+        totals[row["indexing"]] = totals.get(row["indexing"], 0.0) + row["time_s"]
+    # Paper: L2 is the overall fastest STR index on RCV1.
+    assert totals["L2"] <= totals["INV"] * 1.2
+    assert totals["L2"] <= totals["L2AP"] * 1.2
+    # L2 never re-indexes; L2AP may.
+    assert all(row["reindexings"] == 0 for row in result.rows if row["indexing"] == "L2")

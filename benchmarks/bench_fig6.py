@@ -1,0 +1,15 @@
+"""Reproduces Figure 6: entries traversed by STR per index on the Tweets profile."""
+
+from repro.bench.experiments import figure6
+
+
+def test_figure6_entries_traversed_tweets(benchmark, scale, report):
+    result = benchmark.pedantic(figure6, args=(scale,), rounds=1, iterations=1)
+    report(result)
+    totals: dict[str, int] = {}
+    for row in result.rows:
+        totals[row["indexing"]] = totals.get(row["indexing"], 0) + row["entries"]
+    # Paper: INV traverses the most entries overall; L2 does not lose much
+    # pruning power despite dropping the AP bounds.
+    assert totals["L2"] <= totals["INV"]
+    assert totals["L2AP"] <= totals["INV"] * 1.5

@@ -1,0 +1,17 @@
+"""Reproduces Figure 7: STR-L2 running time as a function of the decay factor λ."""
+
+from repro.bench.experiments import figure7
+from repro.bench.tables import series_by
+
+
+def test_figure7_time_vs_lambda(benchmark, scale, report):
+    result = benchmark.pedantic(figure7, args=(scale,), rounds=1, iterations=1)
+    report(result)
+    assert {row["dataset"] for row in result.rows} == {"webspam", "rcv1", "blogs", "tweets"}
+    # Paper: increasing λ decreases the running time (larger decay = shorter
+    # horizon = less work).  Check the trend dataset by dataset at θ = 0.5.
+    for dataset in ("rcv1", "tweets"):
+        rows = [row for row in result.rows
+                if row["dataset"] == dataset and row["theta"] == 0.5]
+        series = series_by(rows, group="dataset", x="lambda", y="time_s")[dataset]
+        assert series[0][1] >= series[-1][1]

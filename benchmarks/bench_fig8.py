@@ -1,0 +1,15 @@
+"""Reproduces Figure 8: STR-L2 running time as a function of the threshold θ."""
+
+from repro.bench.experiments import figure8
+from repro.bench.tables import series_by
+
+
+def test_figure8_time_vs_theta(benchmark, scale, report):
+    result = benchmark.pedantic(figure8, args=(scale,), rounds=1, iterations=1)
+    report(result)
+    # Paper: increasing θ decreases the running time, most markedly at low λ.
+    for dataset in ("rcv1", "tweets"):
+        rows = [row for row in result.rows
+                if row["dataset"] == dataset and row["lambda"] == 1e-4]
+        series = series_by(rows, group="dataset", x="theta", y="time_s")[dataset]
+        assert series[0][1] >= series[-1][1]

@@ -1,0 +1,14 @@
+"""Reproduces Figure 9: linear regression of STR-L2 running time on the horizon τ."""
+
+from repro.bench.experiments import figure9
+
+
+def test_figure9_time_vs_tau_regression(benchmark, scale, report):
+    result = benchmark.pedantic(figure9, args=(scale,), rounds=1, iterations=1)
+    report(result)
+    slopes = {row["dataset"]: row["slope_s_per_tau"] for row in result.rows}
+    # Time grows with the horizon on every dataset ...
+    assert all(slope >= 0 for slope in slopes.values())
+    # ... and the dense WebSpam profile is the outlier with the largest slope
+    # (paper Figure 9).
+    assert slopes["webspam"] >= max(slopes["rcv1"], slopes["tweets"])

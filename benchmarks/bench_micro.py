@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These are not paper figures; they use ``pytest-benchmark``'s statistical
+timing to track the cost of the operations the experiments are built from:
+sparse dot products, index maintenance and single-vector processing
+throughput for each streaming index.
+"""
+
+import pytest
+
+from repro.bench.runner import corpus_for
+from repro.core.join import create_join
+from repro.core.vector import SparseVector
+from repro.datasets.generator import generate_profile_corpus
+
+
+@pytest.fixture(scope="module")
+def rcv1_vectors():
+    return corpus_for("rcv1", 300, seed=7)
+
+
+@pytest.fixture(scope="module")
+def tweets_vectors():
+    return generate_profile_corpus("tweets", num_vectors=600, seed=7)
+
+
+def test_sparse_dot_product(benchmark, rcv1_vectors):
+    a, b = rcv1_vectors[0], rcv1_vectors[1]
+    benchmark(a.dot, b)
+
+
+def test_vector_construction(benchmark, rcv1_vectors):
+    entries = rcv1_vectors[0].to_dict()
+    benchmark(lambda: SparseVector(0, 0.0, entries))
+
+
+@pytest.mark.parametrize("algorithm", ["STR-INV", "STR-L2AP", "STR-L2"])
+def test_streaming_throughput_rcv1(benchmark, rcv1_vectors, algorithm):
+    def run():
+        join = create_join(algorithm, 0.7, 0.01)
+        for vector in rcv1_vectors:
+            join.process(vector)
+        return join.stats.pairs_output
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("algorithm", ["STR-L2", "MB-L2"])
+def test_framework_throughput_tweets(benchmark, tweets_vectors, algorithm):
+    def run():
+        join = create_join(algorithm, 0.6, 0.01)
+        count = sum(len(join.process(vector)) for vector in tweets_vectors)
+        count += len(join.flush())
+        return count
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

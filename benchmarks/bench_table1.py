@@ -1,0 +1,14 @@
+"""Reproduces Table 1: dataset statistics of the four corpus profiles."""
+
+from repro.bench.experiments import table1
+
+
+def test_table1_dataset_statistics(benchmark, scale, report):
+    result = benchmark.pedantic(table1, args=(scale,), rounds=1, iterations=1)
+    report(result)
+    datasets = {row["dataset"] for row in result.rows}
+    assert datasets == {"webspam", "rcv1", "blogs", "tweets"}
+    density = {row["dataset"]: row["density_pct"] for row in result.rows}
+    # The paper's density ordering: WebSpam is densest, Tweets sparsest.
+    assert density["webspam"] > density["rcv1"] > density["tweets"]
+    assert density["blogs"] > density["tweets"]

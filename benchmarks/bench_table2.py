@@ -1,0 +1,25 @@
+"""Reproduces Table 2: fraction of configurations finishing within budget."""
+
+from repro.bench.config import ExperimentScale
+from repro.bench.experiments import table2
+
+
+def test_table2_completion_fractions(benchmark, scale, report):
+    # Table 2 runs the full 24-configuration grid for all six algorithms on
+    # all four datasets (576 runs), so it uses half-size corpora to stay fast.
+    halved = ExperimentScale(
+        vector_counts={name: max(50, count // 2)
+                       for name, count in scale.vector_counts.items()},
+        thetas=scale.thetas,
+        decays=scale.decays,
+        seed=scale.seed,
+    )
+    result = benchmark.pedantic(table2, args=(halved,), rounds=1, iterations=1)
+    report(result)
+    for row in result.rows:
+        # STR with the L2 index must complete at least as often as MB with
+        # the same index (the paper's headline finding in Table 2).
+        assert row["STR-L2"] >= row["MB-L2"] - 1e-9
+        for key, value in row.items():
+            if key not in ("dataset", "budget_ops"):
+                assert 0.0 <= value <= 1.0

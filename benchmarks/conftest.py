@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark module reproduces one table or figure of the paper: it runs
+the corresponding experiment from :mod:`repro.bench.experiments` exactly
+once under ``pytest-benchmark`` (so the harness records its wall-clock
+cost), prints the rendered result table, and appends it to
+``benchmarks/results/experiments.txt`` so the numbers can be copied into
+``EXPERIMENTS.md``.
+
+Scale is controlled by the ``SSSJ_BENCH_SCALE`` environment variable
+(default 1.0); see :func:`repro.bench.config.default_scale`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.config import default_scale
+from repro.bench.experiments import ExperimentResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale shared by every benchmark in the session."""
+    return default_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Print an experiment result and append it to the results file."""
+
+    def _report(result: ExperimentResult) -> ExperimentResult:
+        text = result.render()
+        print()
+        print(text)
+        with open(results_dir / "experiments.txt", "a", encoding="utf-8") as handle:
+            handle.write(text + "\n\n")
+        return result
+
+    return _report

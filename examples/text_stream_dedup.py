@@ -1,0 +1,59 @@
+"""End-to-end pipeline on raw text: tokenize, vectorise, deduplicate.
+
+The other examples work on pre-built sparse vectors; this one starts from
+raw strings, the way a real feed would arrive.  It uses:
+
+* :class:`repro.datasets.Tokenizer` / :class:`repro.datasets.TextVectorizer`
+  to turn each post into a unit-normalised sparse vector (online TF-IDF),
+* :class:`repro.DuplicateFilter` (built on the STR-L2 join) to decide,
+  post by post, whether it is a near copy of something seen recently.
+
+Run with::
+
+    python examples/text_stream_dedup.py
+"""
+
+from __future__ import annotations
+
+from repro import DuplicateFilter
+from repro.datasets import TextVectorizer
+
+# A miniature feed: (timestamp, text).  Posts 1, 2 and 4 are near copies of
+# post 0; post 7 repeats post 0 much later, after the horizon has passed.
+FEED = [
+    (0.0, "Earthquake of magnitude 6.1 hits the coastal city overnight"),
+    (0.5, "Magnitude 6.1 earthquake hits coastal city overnight, officials say"),
+    (0.9, "BREAKING: earthquake (6.1) hits the coastal city overnight"),
+    (1.5, "Local team wins the national championship after extra time"),
+    (2.0, "Overnight earthquake of magnitude 6.1 hits coastal city - live updates"),
+    (3.0, "New framework released for streaming similarity joins"),
+    (4.0, "Championship celebrations continue downtown after the win"),
+    (300.0, "Earthquake of magnitude 6.1 hits the coastal city overnight"),
+]
+
+
+def main() -> None:
+    vectorizer = TextVectorizer()
+    dedup = DuplicateFilter(threshold=0.6, decay=0.02)
+
+    print("processing feed (θ=0.6, λ=0.02):\n")
+    for post_id, (timestamp, text) in enumerate(FEED):
+        vector = vectorizer.transform(post_id, timestamp, text)
+        if vector is None:
+            print(f"[t={timestamp:6.1f}] post {post_id}: empty after tokenisation, skipped")
+            continue
+        decision = dedup.process(vector)
+        if decision.delivered:
+            print(f"[t={timestamp:6.1f}] DELIVER  post {post_id}: {text[:60]}")
+        else:
+            print(f"[t={timestamp:6.1f}] SUPPRESS post {post_id}: near copy of post "
+                  f"{decision.canonical_id} (sim={decision.similarity:.2f})")
+
+    print(f"\ndelivered {dedup.delivered_count}, suppressed {dedup.suppressed_count} "
+          f"({100 * dedup.suppression_rate:.0f}% of the feed was duplicate clutter)")
+    print("note: the final repeat of the earthquake story is delivered again "
+          "because it arrives after the time horizon — old items are forgotten.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Trend detection on a micro-blog style stream (paper Section 1, example 1).
+
+The paper motivates the streaming similarity self-join with trend detection:
+instead of tracking single hashtags, find *groups of posts* that share a
+large fraction of their terms and arrive close together in time.  This
+example:
+
+1. generates a tweets-like synthetic stream (sparse vectors, bursty
+   arrivals, near-duplicate clusters),
+2. runs the STR-L2 join to obtain similar pairs,
+3. clusters the pairs with a union-find structure, and
+4. reports the largest clusters per time window — the "trends".
+
+Run with::
+
+    python examples/trend_detection.py [--num-vectors 1500] [--threshold 0.6]
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import defaultdict
+
+from repro import StreamingSimilarityJoin
+from repro.datasets import generate_profile_corpus
+
+
+class UnionFind:
+    """Minimal union-find used to group similar posts into trends."""
+
+    def __init__(self) -> None:
+        self._parent: dict[int, int] = {}
+
+    def find(self, item: int) -> int:
+        parent = self._parent.setdefault(item, item)
+        if parent != item:
+            parent = self.find(parent)
+            self._parent[item] = parent
+        return parent
+
+    def union(self, a: int, b: int) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--num-vectors", type=int, default=1500)
+    parser.add_argument("--threshold", type=float, default=0.6)
+    parser.add_argument("--decay", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--top", type=int, default=5, help="number of trends to show")
+    args = parser.parse_args()
+
+    posts = generate_profile_corpus("tweets", num_vectors=args.num_vectors, seed=args.seed)
+    by_id = {post.vector_id: post for post in posts}
+
+    join = StreamingSimilarityJoin(threshold=args.threshold, decay=args.decay)
+    clusters = UnionFind()
+    pair_count = 0
+    for pair in join.run(posts):
+        clusters.union(pair.id_a, pair.id_b)
+        pair_count += 1
+
+    members: dict[int, list[int]] = defaultdict(list)
+    for post_id in by_id:
+        if post_id in clusters._parent:
+            members[clusters.find(post_id)].append(post_id)
+
+    trends = sorted((ids for ids in members.values() if len(ids) >= 2),
+                    key=len, reverse=True)
+
+    print(f"stream of {len(posts)} posts, θ={args.threshold}, λ={args.decay}, "
+          f"horizon τ={join.horizon:.1f}")
+    print(f"similar pairs found: {pair_count}")
+    print(f"trend clusters (>= 2 posts): {len(trends)}\n")
+    for rank, ids in enumerate(trends[:args.top], start=1):
+        first = min(by_id[i].timestamp for i in ids)
+        last = max(by_id[i].timestamp for i in ids)
+        exemplar = by_id[ids[0]]
+        top_terms = sorted(exemplar, key=lambda item: item[1], reverse=True)[:5]
+        terms = ", ".join(f"t{dim}" for dim, _ in top_terms)
+        print(f"  trend #{rank}: {len(ids)} posts between t={first:.1f} and t={last:.1f} "
+              f"(top terms: {terms})")
+
+    print("\nindex statistics:")
+    for key, value in join.stats.as_dict().items():
+        print(f"  {key:24s} {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Application layer built on the streaming similarity self-join.
+
+The paper motivates the SSSJ problem with two concrete applications
+(Section 1): trend detection and near-duplicate item filtering.  This
+package turns both into reusable components on top of the join:
+
+* :class:`~repro.applications.trends.TrendDetector` — groups similar,
+  temporally close items into clusters and surfaces the currently trending
+  ones,
+* :class:`~repro.applications.dedup.DuplicateFilter` — decides, per item,
+  whether it is a near copy of something seen recently,
+* :class:`~repro.applications.topk.TopKPairsMonitor` — continuously tracks
+  the k most similar pairs seen so far.
+"""
+
+from repro.applications.dedup import DuplicateFilter, FilterDecision
+from repro.applications.topk import TopKPairsMonitor
+from repro.applications.trends import Trend, TrendDetector
+
+__all__ = [
+    "TrendDetector",
+    "Trend",
+    "DuplicateFilter",
+    "FilterDecision",
+    "TopKPairsMonitor",
+]

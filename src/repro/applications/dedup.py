@@ -1,0 +1,138 @@
+"""Near-duplicate item filtering on top of the streaming join.
+
+The paper's second motivating application (Section 1): when an event
+happens, users receive many near-copies of the same post in a short time
+window; grouping or filtering them improves the experience.
+
+:class:`DuplicateFilter` wraps a streaming join and turns the pair stream
+into a per-item decision: *deliver* (the item is novel) or *suppress* (it
+is a near copy of a recently delivered item).  Suppressed items are
+attributed to their *canonical* item — the earliest delivered member of the
+duplicate group — so callers can still show "n similar posts hidden".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.join import create_join
+from repro.core.results import JoinStatistics
+from repro.core.vector import SparseVector
+
+__all__ = ["FilterDecision", "DuplicateFilter"]
+
+
+@dataclass(frozen=True)
+class FilterDecision:
+    """Outcome of processing one item.
+
+    Attributes
+    ----------
+    item_id:
+        Identifier of the processed item.
+    delivered:
+        True when the item is novel and should be shown.
+    canonical_id:
+        For suppressed items, the id of the earlier item this one duplicates
+        (the earliest delivered member of its duplicate group); for
+        delivered items, the item itself.
+    similarity:
+        Similarity to the closest earlier item that caused suppression
+        (0.0 for delivered items).
+    duplicates_so_far:
+        How many items have been suppressed under the same canonical item,
+        including this one when it is suppressed.
+    """
+
+    item_id: int
+    delivered: bool
+    canonical_id: int
+    similarity: float = 0.0
+    duplicates_so_far: int = 0
+
+
+@dataclass
+class _Group:
+    canonical_id: int
+    suppressed: int = 0
+    member_ids: set[int] = field(default_factory=set)
+
+
+class DuplicateFilter:
+    """Suppress items that are near copies of recently seen ones.
+
+    Parameters
+    ----------
+    threshold, decay:
+        Parameters of the underlying join: an item is a duplicate when its
+        time-dependent similarity to an earlier item reaches ``threshold``.
+    algorithm:
+        Join algorithm (default ``"STR-L2"``).
+    """
+
+    def __init__(self, threshold: float, decay: float, *,
+                 algorithm: str = "STR-L2") -> None:
+        self._join = create_join(algorithm, threshold, decay)
+        self._groups: dict[int, _Group] = {}      # canonical id -> group
+        self._canonical_of: dict[int, int] = {}   # any member id -> canonical id
+        self.delivered_count = 0
+        self.suppressed_count = 0
+
+    # -- processing ----------------------------------------------------------------
+
+    def process(self, vector: SparseVector) -> FilterDecision:
+        """Classify one item as novel or duplicate and update the state."""
+        pairs = self._join.process(vector)
+        if not pairs:
+            self.delivered_count += 1
+            group = _Group(canonical_id=vector.vector_id,
+                           member_ids={vector.vector_id})
+            self._groups[vector.vector_id] = group
+            self._canonical_of[vector.vector_id] = vector.vector_id
+            return FilterDecision(item_id=vector.vector_id, delivered=True,
+                                  canonical_id=vector.vector_id)
+
+        best = max(pairs, key=lambda pair: pair.similarity)
+        earlier_id = best.id_a if best.id_b == vector.vector_id else best.id_b
+        canonical_id = self._canonical_of.get(earlier_id, earlier_id)
+        group = self._groups.get(canonical_id)
+        if group is None:
+            group = _Group(canonical_id=canonical_id, member_ids={canonical_id})
+            self._groups[canonical_id] = group
+        group.suppressed += 1
+        group.member_ids.add(vector.vector_id)
+        self._canonical_of[vector.vector_id] = canonical_id
+        self.suppressed_count += 1
+        return FilterDecision(
+            item_id=vector.vector_id,
+            delivered=False,
+            canonical_id=canonical_id,
+            similarity=best.similarity,
+            duplicates_so_far=group.suppressed,
+        )
+
+    def run(self, stream) -> list[FilterDecision]:
+        """Process a whole stream and return the per-item decisions."""
+        return [self.process(vector) for vector in stream]
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def join_statistics(self) -> JoinStatistics:
+        """Operation counters of the underlying join."""
+        return self._join.stats
+
+    @property
+    def suppression_rate(self) -> float:
+        """Fraction of processed items that were suppressed."""
+        total = self.delivered_count + self.suppressed_count
+        return self.suppressed_count / total if total else 0.0
+
+    def group_size(self, canonical_id: int) -> int:
+        """Number of items (delivered + suppressed) attributed to a canonical item."""
+        group = self._groups.get(canonical_id)
+        return len(group.member_ids) if group else 0
+
+    def canonical_for(self, item_id: int) -> int | None:
+        """Canonical item an id was attributed to, if it has been seen."""
+        return self._canonical_of.get(item_id)

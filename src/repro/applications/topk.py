@@ -1,0 +1,71 @@
+"""Continuous top-k monitoring of the most similar pairs.
+
+A small utility on top of the join: instead of (or in addition to)
+reporting every pair above the threshold, keep only the ``k`` most similar
+pairs seen so far.  Useful for dashboards ("most duplicated stories right
+now") and for choosing a threshold empirically: run with a low ``θ`` once,
+inspect the top of the distribution, then pick the production threshold.
+"""
+
+from __future__ import annotations
+
+from repro.core.join import create_join
+from repro.core.results import SimilarPair, TopKCollector
+from repro.core.vector import SparseVector
+
+__all__ = ["TopKPairsMonitor"]
+
+
+class TopKPairsMonitor:
+    """Tracks the ``k`` highest-similarity pairs produced by a streaming join.
+
+    Parameters
+    ----------
+    k:
+        How many pairs to retain.
+    threshold, decay:
+        Parameters of the underlying join.  ``threshold`` acts as a floor:
+        only pairs at or above it can enter the top-k at all.
+    algorithm:
+        Join algorithm (default ``"STR-L2"``).
+    """
+
+    def __init__(self, k: int, threshold: float, decay: float, *,
+                 algorithm: str = "STR-L2") -> None:
+        self._join = create_join(algorithm, threshold, decay)
+        self._collector = TopKCollector(k)
+        self._pairs_seen = 0
+
+    @property
+    def k(self) -> int:
+        return self._collector.k
+
+    @property
+    def pairs_seen(self) -> int:
+        """Total number of above-threshold pairs observed so far."""
+        return self._pairs_seen
+
+    def process(self, vector: SparseVector) -> list[SimilarPair]:
+        """Feed one vector; return the pairs it produced (regardless of rank)."""
+        pairs = self._join.process(vector)
+        for pair in pairs:
+            self._collector.collect(pair)
+        self._pairs_seen += len(pairs)
+        return pairs
+
+    def run(self, stream) -> list[SimilarPair]:
+        """Consume a whole stream and return the final top-k pairs."""
+        for vector in stream:
+            self.process(vector)
+        return self.top()
+
+    def top(self) -> list[SimilarPair]:
+        """The current top-k pairs, most similar first."""
+        return self._collector.pairs
+
+    def minimum_retained_similarity(self) -> float:
+        """Similarity of the weakest retained pair (0.0 while fewer than k)."""
+        pairs = self.top()
+        if len(pairs) < self.k:
+            return 0.0
+        return pairs[-1].similarity

@@ -1,0 +1,168 @@
+"""Trend detection on top of the streaming similarity self-join.
+
+The paper's first motivating application (Section 1): *"identify a set of
+posts, whose frequency increases, and which share a certain fraction of
+hashtags or terms"*.  The :class:`TrendDetector` consumes a stream of
+vectors, feeds them to a streaming join, and maintains clusters of similar
+items with a union-find structure.  Clusters are scored by their recent
+activity, so a "trend" is a group of mutually similar items that keeps
+growing.
+
+Old clusters are forgotten once their newest member falls behind the join's
+time horizon — the same forgetting principle the join itself relies on —
+so the detector's state stays bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.join import create_join
+from repro.core.results import SimilarPair
+from repro.core.vector import SparseVector
+
+__all__ = ["Trend", "TrendDetector"]
+
+
+class _UnionFind:
+    """Union-find with path compression over integer item ids."""
+
+    __slots__ = ("_parent",)
+
+    def __init__(self) -> None:
+        self._parent: dict[int, int] = {}
+
+    def find(self, item: int) -> int:
+        parent = self._parent.setdefault(item, item)
+        while parent != item:
+            grandparent = self._parent[parent]
+            self._parent[item] = grandparent
+            item, parent = parent, grandparent
+        return item
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the clusters of ``a`` and ``b``; return the surviving root."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+        return root_a
+
+    def known(self, item: int) -> bool:
+        return item in self._parent
+
+
+@dataclass
+class Trend:
+    """A cluster of mutually similar, temporally close items."""
+
+    root: int
+    members: set[int] = field(default_factory=set)
+    first_seen: float = 0.0
+    last_seen: float = 0.0
+    pair_count: int = 0
+
+    @property
+    def size(self) -> int:
+        """Number of distinct items in the cluster."""
+        return len(self.members)
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the cluster."""
+        return self.last_seen - self.first_seen
+
+
+class TrendDetector:
+    """Maintains clusters of similar items and reports the trending ones.
+
+    Parameters
+    ----------
+    threshold, decay:
+        Parameters of the underlying streaming join (``θ`` and ``λ``).
+    min_size:
+        Minimum number of items for a cluster to count as a trend.
+    algorithm:
+        Join algorithm to use (default ``"STR-L2"``, the paper's choice).
+    """
+
+    def __init__(self, threshold: float, decay: float, *, min_size: int = 3,
+                 algorithm: str = "STR-L2") -> None:
+        if min_size < 2:
+            raise ValueError(f"min_size must be at least 2, got {min_size}")
+        self.min_size = min_size
+        self._join = create_join(algorithm, threshold, decay)
+        self._clusters = _UnionFind()
+        self._trends: dict[int, Trend] = {}
+        self._item_root: dict[int, int] = {}
+        self._clock = 0.0
+
+    # -- stream consumption -------------------------------------------------------
+
+    def process(self, vector: SparseVector) -> list[SimilarPair]:
+        """Feed one item; return the similar pairs it produced."""
+        self._clock = max(self._clock, vector.timestamp)
+        pairs = self._join.process(vector)
+        for pair in pairs:
+            self._absorb(pair)
+        self._expire_old_trends()
+        return pairs
+
+    def _absorb(self, pair: SimilarPair) -> None:
+        root = self._clusters.union(pair.id_a, pair.id_b)
+        trend = self._trends.get(root)
+        merged_roots = {self._item_root.get(pair.id_a), self._item_root.get(pair.id_b)}
+        merged_roots.discard(None)
+        merged_roots.discard(root)
+        if trend is None:
+            trend = Trend(root=root, first_seen=pair.reported_at, last_seen=pair.reported_at)
+            self._trends[root] = trend
+        # Fold in any cluster that the union just merged under a new root.
+        for old_root in merged_roots:
+            old = self._trends.pop(old_root, None)
+            if old is not None:
+                trend.members.update(old.members)
+                trend.pair_count += old.pair_count
+                trend.first_seen = min(trend.first_seen, old.first_seen)
+                trend.last_seen = max(trend.last_seen, old.last_seen)
+        trend.members.update((pair.id_a, pair.id_b))
+        trend.pair_count += 1
+        trend.last_seen = max(trend.last_seen, pair.reported_at)
+        trend.first_seen = min(trend.first_seen, pair.reported_at - pair.time_delta)
+        for member in (pair.id_a, pair.id_b):
+            self._item_root[member] = root
+
+    def _expire_old_trends(self) -> None:
+        horizon = self._join.horizon
+        if horizon == float("inf"):
+            return
+        cutoff = self._clock - horizon
+        expired = [root for root, trend in self._trends.items() if trend.last_seen < cutoff]
+        for root in expired:
+            trend = self._trends.pop(root)
+            for member in trend.members:
+                self._item_root.pop(member, None)
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def join_statistics(self):
+        """Operation counters of the underlying join."""
+        return self._join.stats
+
+    def active_trends(self) -> list[Trend]:
+        """Current clusters with at least ``min_size`` members, biggest first."""
+        trends = [trend for trend in self._trends.values() if trend.size >= self.min_size]
+        return sorted(trends, key=lambda trend: (trend.size, trend.last_seen), reverse=True)
+
+    def trend_of(self, item_id: int) -> Trend | None:
+        """The trend an item currently belongs to, if any."""
+        root = self._item_root.get(item_id)
+        if root is None:
+            return None
+        return self._trends.get(root)
+
+    def run(self, stream) -> list[Trend]:
+        """Consume a whole stream and return the final list of active trends."""
+        for vector in stream:
+            self.process(vector)
+        return self.active_trends()

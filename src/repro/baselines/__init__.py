@@ -1,0 +1,11 @@
+"""Exact baselines used as correctness oracles and evaluation reference points."""
+
+from repro.baselines.brute_force import brute_force_all_pairs, brute_force_time_dependent
+from repro.baselines.sliding_window import SlidingWindowJoin, sliding_window_join
+
+__all__ = [
+    "brute_force_all_pairs",
+    "brute_force_time_dependent",
+    "SlidingWindowJoin",
+    "sliding_window_join",
+]

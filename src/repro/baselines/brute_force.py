@@ -1,0 +1,84 @@
+"""Quadratic brute-force all-pairs similarity search.
+
+The paper observes that the similarity self-join is inherently quadratic
+and that the brute-force algorithm is the best one can hope for in the
+worst case.  This module provides that baseline for the *static* setting:
+it compares every pair of vectors directly and is used both as a
+correctness oracle in the test suite and as the slowest reference point in
+the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.results import JoinStatistics, SimilarPair
+from repro.core.similarity import decay_factor, validate_decay, validate_threshold
+from repro.core.vector import SparseVector
+
+__all__ = ["brute_force_all_pairs", "brute_force_time_dependent"]
+
+
+def brute_force_all_pairs(
+    vectors: Iterable[SparseVector],
+    threshold: float,
+    *,
+    stats: JoinStatistics | None = None,
+) -> list[SimilarPair]:
+    """All pairs with plain cosine similarity at least ``threshold``.
+
+    Ignores timestamps: this is the classic APSS problem the batch indexes
+    solve, so it serves as their correctness oracle.
+    """
+    threshold = validate_threshold(threshold)
+    stats = stats if stats is not None else JoinStatistics()
+    items: Sequence[SparseVector] = list(vectors)
+    pairs: list[SimilarPair] = []
+    for i, x in enumerate(items):
+        stats.vectors_processed += 1
+        for y in items[:i]:
+            stats.full_similarities += 1
+            dot = x.dot(y)
+            if dot >= threshold:
+                pairs.append(SimilarPair.make(
+                    x.vector_id, y.vector_id, dot,
+                    time_delta=abs(x.timestamp - y.timestamp),
+                    dot=dot, reported_at=max(x.timestamp, y.timestamp),
+                ))
+    stats.pairs_output += len(pairs)
+    return pairs
+
+
+def brute_force_time_dependent(
+    vectors: Iterable[SparseVector],
+    threshold: float,
+    decay: float,
+    *,
+    stats: JoinStatistics | None = None,
+) -> list[SimilarPair]:
+    """All pairs with time-dependent similarity at least ``threshold``.
+
+    This is the exact answer to the SSSJ problem (Problem 1 of the paper),
+    computed without any pruning; it is the correctness oracle for the MB
+    and STR frameworks.
+    """
+    threshold = validate_threshold(threshold)
+    decay = validate_decay(decay)
+    stats = stats if stats is not None else JoinStatistics()
+    items: Sequence[SparseVector] = list(vectors)
+    pairs: list[SimilarPair] = []
+    for i, x in enumerate(items):
+        stats.vectors_processed += 1
+        for y in items[:i]:
+            stats.full_similarities += 1
+            delta = abs(x.timestamp - y.timestamp)
+            dot = x.dot(y)
+            similarity = dot * decay_factor(decay, delta)
+            if similarity >= threshold:
+                pairs.append(SimilarPair.make(
+                    x.vector_id, y.vector_id, similarity,
+                    time_delta=delta, dot=dot,
+                    reported_at=max(x.timestamp, y.timestamp),
+                ))
+    stats.pairs_output += len(pairs)
+    return pairs

@@ -1,0 +1,76 @@
+"""Exact sliding-window streaming join (no index pruning).
+
+A streaming baseline that exploits only the time-filtering property: it
+keeps every vector that arrived within the horizon ``τ`` in a window and
+compares each new arrival against the whole window.  Output is identical to
+the SSSJ definition, so the test suite uses it as a streaming oracle; the
+benchmark harness uses it to quantify how much the index-based pruning of
+INV / L2AP / L2 actually saves.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.core.results import JoinStatistics, SimilarPair
+from repro.core.similarity import time_horizon, validate_decay, validate_threshold
+from repro.core.vector import SparseVector
+
+__all__ = ["SlidingWindowJoin", "sliding_window_join"]
+
+
+class SlidingWindowJoin:
+    """Exact streaming join over a time-based sliding window of length ``τ``."""
+
+    def __init__(self, threshold: float, decay: float, *,
+                 stats: JoinStatistics | None = None) -> None:
+        self.threshold = validate_threshold(threshold)
+        self.decay = validate_decay(decay)
+        self.horizon = time_horizon(threshold, decay)
+        self.stats = stats if stats is not None else JoinStatistics()
+        self._window: deque[SparseVector] = deque()
+
+    @property
+    def window_size(self) -> int:
+        """Number of vectors currently retained."""
+        return len(self._window)
+
+    def process(self, vector: SparseVector) -> list[SimilarPair]:
+        """Compare ``vector`` to every live window member, then retain it."""
+        stats = self.stats
+        now = vector.timestamp
+        cutoff = now - self.horizon
+        window = self._window
+        while window and window[0].timestamp < cutoff:
+            window.popleft()
+            stats.entries_pruned += 1
+        pairs: list[SimilarPair] = []
+        for other in window:
+            stats.full_similarities += 1
+            delta = now - other.timestamp
+            dot = vector.dot(other)
+            similarity = dot * math.exp(-self.decay * delta)
+            if similarity >= self.threshold:
+                pairs.append(SimilarPair.make(
+                    vector.vector_id, other.vector_id, similarity,
+                    time_delta=delta, dot=dot, reported_at=now,
+                ))
+        window.append(vector)
+        stats.vectors_processed += 1
+        stats.pairs_output += len(pairs)
+        stats.max_index_size = max(stats.max_index_size, len(window))
+        return pairs
+
+    def run(self, stream: Iterable[SparseVector]) -> Iterator[SimilarPair]:
+        """Process a whole stream, yielding pairs as they are found."""
+        for vector in stream:
+            yield from self.process(vector)
+
+
+def sliding_window_join(stream: Iterable[SparseVector], threshold: float,
+                        decay: float) -> list[SimilarPair]:
+    """Convenience wrapper: run :class:`SlidingWindowJoin` over ``stream``."""
+    join = SlidingWindowJoin(threshold, decay)
+    return list(join.run(stream))

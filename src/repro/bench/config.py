@@ -1,0 +1,96 @@
+"""Parameter grids and experiment configuration for the benchmark harness.
+
+The paper sweeps the similarity threshold ``θ`` over ``[0.5, 0.99]`` and the
+decay factor ``λ`` over exponentially increasing values in ``[1e-4, 1e-1]``
+(Section 7).  The grids below are exactly those values; experiments can be
+scaled down (fewer grid points, fewer vectors) through
+:class:`ExperimentScale` so the whole suite stays runnable on a laptop with
+a pure-Python implementation.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+__all__ = [
+    "THETA_GRID",
+    "LAMBDA_GRID",
+    "FRAMEWORKS",
+    "INDEXES",
+    "DATASETS",
+    "ExperimentScale",
+    "default_scale",
+]
+
+#: Similarity thresholds used throughout the evaluation (Section 7).
+THETA_GRID: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9, 0.99)
+
+#: Time-decay factors used throughout the evaluation (Section 7).
+LAMBDA_GRID: tuple[float, ...] = (1e-4, 1e-3, 1e-2, 1e-1)
+
+#: Algorithmic frameworks under study.
+FRAMEWORKS: tuple[str, ...] = ("MB", "STR")
+
+#: Indexing schemes under study (AP is omitted from the paper's evaluation).
+INDEXES: tuple[str, ...] = ("INV", "L2AP", "L2")
+
+#: Dataset profiles under study, in the paper's Table 1 order.
+DATASETS: tuple[str, ...] = ("webspam", "rcv1", "blogs", "tweets")
+
+#: Default number of vectors per profile used by the benchmark suite.  These
+#: keep every experiment in the tens of seconds on a laptop while preserving
+#: each dataset's role (WebSpam densest, Tweets sparsest and most numerous).
+DEFAULT_VECTOR_COUNTS: dict[str, int] = {
+    "webspam": 200,
+    "rcv1": 500,
+    "blogs": 400,
+    "tweets": 1500,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that trade benchmark fidelity for running time.
+
+    Attributes
+    ----------
+    vector_counts:
+        Number of vectors generated per dataset profile.
+    thetas, decays:
+        Grid points actually swept (subsets of the paper's grids).
+    seed:
+        Seed for corpus generation (one corpus per dataset per seed).
+    operation_budget:
+        Abort a run once its aggregate operation count exceeds this value;
+        mirrors the paper's 3-hour timeout in a machine-independent way.
+        ``None`` disables the budget.
+    repetitions:
+        How many times timed runs are repeated (the paper averages over 3).
+    """
+
+    vector_counts: dict[str, int] = field(
+        default_factory=lambda: dict(DEFAULT_VECTOR_COUNTS)
+    )
+    thetas: tuple[float, ...] = THETA_GRID
+    decays: tuple[float, ...] = LAMBDA_GRID
+    seed: int = 42
+    operation_budget: int | None = None
+    repetitions: int = 1
+
+    def vectors_for(self, dataset: str) -> int:
+        """Vector count for a dataset profile (falls back to 500)."""
+        return self.vector_counts.get(dataset, 500)
+
+
+def default_scale() -> ExperimentScale:
+    """The scale used by the benchmark suite.
+
+    The environment variable ``SSSJ_BENCH_SCALE`` multiplies the per-dataset
+    vector counts, so ``SSSJ_BENCH_SCALE=4 pytest benchmarks/`` runs a 4×
+    larger (and roughly 16× slower) version of every experiment.
+    """
+    factor = float(os.environ.get("SSSJ_BENCH_SCALE", "1.0"))
+    counts = {name: max(50, int(count * factor))
+              for name, count in DEFAULT_VECTOR_COUNTS.items()}
+    return ExperimentScale(vector_counts=counts)

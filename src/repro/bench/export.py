@@ -1,0 +1,107 @@
+"""Exporting benchmark results to CSV, JSON and Markdown.
+
+The experiment functions return plain rows; this module turns them into
+artefacts: CSV/JSON files for further analysis (e.g. plotting the figures
+with matplotlib outside this repository) and a Markdown report in the style
+of ``EXPERIMENTS.md`` that pairs each reproduced table/figure with the
+paper's qualitative finding.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+from typing import Any
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.metrics import RunMetrics
+
+__all__ = [
+    "rows_to_csv",
+    "rows_to_json",
+    "metrics_to_csv",
+    "experiment_to_markdown",
+    "write_markdown_report",
+]
+
+
+def rows_to_csv(rows: Sequence[dict[str, Any]], path: str | Path) -> int:
+    """Write rows to a CSV file; returns the number of data rows written."""
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return 0
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
+
+
+def rows_to_json(rows: Sequence[dict[str, Any]], path: str | Path) -> int:
+    """Write rows to a JSON file (a list of objects)."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(list(rows), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(rows)
+
+
+def metrics_to_csv(metrics: Iterable[RunMetrics], path: str | Path) -> int:
+    """Write a collection of :class:`RunMetrics` to CSV."""
+    return rows_to_csv([m.as_row() for m in metrics], path)
+
+
+def _markdown_table(rows: Sequence[dict[str, Any]]) -> str:
+    if not rows:
+        return "_(no rows)_"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    lines = ["| " + " | ".join(columns) + " |",
+             "| " + " | ".join("---" for _ in columns) + " |"]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                value = f"{value:.4g}"
+            cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def experiment_to_markdown(result: ExperimentResult, *, max_rows: int | None = None) -> str:
+    """Render one experiment as a Markdown section."""
+    rows = result.rows if max_rows is None else result.rows[:max_rows]
+    parts = [f"### {result.experiment_id}: {result.title}", ""]
+    if result.notes:
+        parts.extend([result.notes, ""])
+    parts.append(_markdown_table(rows))
+    if max_rows is not None and len(result.rows) > max_rows:
+        parts.append("")
+        parts.append(f"_({len(result.rows) - max_rows} more rows omitted)_")
+    parts.append("")
+    return "\n".join(parts)
+
+
+def write_markdown_report(results: Sequence[ExperimentResult], path: str | Path, *,
+                          title: str = "Reproduced experiments",
+                          max_rows: int | None = None) -> Path:
+    """Write a Markdown report covering every supplied experiment."""
+    path = Path(path)
+    sections = [f"# {title}", ""]
+    for result in results:
+        sections.append(experiment_to_markdown(result, max_rows=max_rows))
+    path.write_text("\n".join(sections), encoding="utf-8")
+    return path

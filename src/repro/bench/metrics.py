@@ -1,0 +1,76 @@
+"""Per-run metrics collected by the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.results import JoinStatistics
+from repro.core.similarity import time_horizon
+
+__all__ = ["RunMetrics"]
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured for one (algorithm, dataset, θ, λ) run.
+
+    ``completed`` is false when the run exceeded its operation or wall-clock
+    budget; incomplete runs keep whatever counters they accumulated before
+    being aborted (mirroring the paper's Table 2 treatment of timed-out
+    configurations).
+    """
+
+    algorithm: str
+    dataset: str
+    threshold: float
+    decay: float
+    num_vectors: int
+    elapsed_seconds: float = 0.0
+    pairs: int = 0
+    completed: bool = True
+    abort_reason: str = ""
+    stats: JoinStatistics = field(default_factory=JoinStatistics)
+
+    @property
+    def horizon(self) -> float:
+        """Time horizon ``τ`` of the configuration."""
+        return time_horizon(self.threshold, self.decay)
+
+    @property
+    def entries_traversed(self) -> int:
+        return self.stats.entries_traversed
+
+    @property
+    def candidates_generated(self) -> int:
+        return self.stats.candidates_generated
+
+    @property
+    def full_similarities(self) -> int:
+        return self.stats.full_similarities
+
+    @property
+    def operations(self) -> int:
+        return self.stats.operations
+
+    @property
+    def throughput(self) -> float:
+        """Vectors processed per second (0 when the run took no time)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.stats.vectors_processed / self.elapsed_seconds
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dictionary used by the table renderers."""
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "theta": self.threshold,
+            "lambda": self.decay,
+            "tau": round(self.horizon, 4),
+            "time_s": round(self.elapsed_seconds, 4),
+            "pairs": self.pairs,
+            "entries": self.entries_traversed,
+            "candidates": self.candidates_generated,
+            "full_sims": self.full_similarities,
+            "completed": self.completed,
+        }

@@ -1,0 +1,102 @@
+"""Terminal (ASCII) rendering of the figure experiments.
+
+The evaluation figures of the paper are line charts (time vs θ, time vs λ,
+entries vs θ, time vs τ).  The benchmark harness reports them as tables;
+this module additionally renders them as small ASCII charts so that
+``sssj experiment figure7 --plot`` and the benchmark logs convey the shape
+of each curve without any plotting dependency.
+
+Charts are deliberately coarse — they exist to show monotonicity and
+crossovers, not precise values (the tables carry those).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+__all__ = ["ascii_chart", "chart_from_series"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, steps: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(steps - 1, max(0, int(round(position * (steps - 1)))))
+
+
+def ascii_chart(series: Mapping[str, Sequence[tuple[float, float]]], *,
+                width: int = 60, height: int = 16, title: str = "",
+                log_x: bool = False, x_label: str = "x", y_label: str = "y") -> str:
+    """Render one or more ``label -> [(x, y), ...]`` series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping from series label to its points.  Points need not be sorted.
+    width, height:
+        Plot area size in characters.
+    log_x:
+        Plot ``log10(x)`` on the horizontal axis (useful for the λ sweeps).
+    """
+    points = [(x, y) for values in series.values() for x, y in values
+              if math.isfinite(x) and math.isfinite(y)]
+    if not points:
+        return f"{title}\n(no data)" if title else "(no data)"
+
+    def transform_x(value: float) -> float:
+        return math.log10(value) if log_x and value > 0 else value
+
+    xs = [transform_x(x) for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in values:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            column = _scale(transform_x(x), x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:.3g}"
+    bottom_label = f"{y_low:.3g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    axis = "-" * width
+    lines.append(f"{' ' * gutter}+{axis}")
+    x_low_text = f"{(10 ** x_low if log_x else x_low):.3g}"
+    x_high_text = f"{(10 ** x_high if log_x else x_high):.3g}"
+    footer = f"{x_low_text} {x_label} {x_high_text}".center(width)
+    lines.append(f"{' ' * gutter} {footer}")
+    legend = "   ".join(f"{_MARKERS[i % len(_MARKERS)]} {label}"
+                        for i, label in enumerate(series))
+    lines.append(f"{' ' * gutter} legend: {legend}  ({y_label} on the vertical axis)")
+    return "\n".join(lines)
+
+
+def chart_from_series(rows: Sequence[dict], *, group: str, x: str, y: str,
+                      title: str = "", log_x: bool = False,
+                      width: int = 60, height: int = 16) -> str:
+    """Build a chart directly from experiment rows (see ``tables.series_by``)."""
+    from repro.bench.tables import series_by
+
+    series = series_by(rows, group=group, x=x, y=y)
+    labelled = {str(label): points for label, points in series.items()}
+    return ascii_chart(labelled, title=title, log_x=log_x, width=width, height=height,
+                       x_label=x, y_label=y)

@@ -1,0 +1,125 @@
+"""Execution engine of the benchmark harness.
+
+The runner knows how to
+
+* generate (and cache) a corpus for a dataset profile,
+* run one algorithm configuration over a corpus, collecting a
+  :class:`~repro.bench.metrics.RunMetrics`, optionally aborting when an
+  operation budget is exceeded (the machine-independent analogue of the
+  paper's 3-hour timeout), and
+* sweep whole parameter grids.
+
+Every experiment module in :mod:`repro.bench.experiments` is a thin layer
+over these primitives.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+
+from repro.bench.config import ExperimentScale
+from repro.bench.metrics import RunMetrics
+from repro.core.join import create_join
+from repro.core.results import JoinStatistics
+from repro.core.vector import SparseVector
+from repro.datasets.generator import generate_profile_corpus
+from repro.datasets.profiles import get_profile
+
+__all__ = ["corpus_for", "clear_corpus_cache", "run_algorithm", "sweep"]
+
+# Corpora are expensive to generate relative to small runs, so the harness
+# memoises them per (profile, count, seed).
+_CORPUS_CACHE: dict[tuple[str, int, int], list[SparseVector]] = {}
+
+
+def corpus_for(dataset: str, num_vectors: int, *, seed: int = 42) -> list[SparseVector]:
+    """Return (and cache) the corpus for a dataset profile."""
+    key = (dataset.lower(), num_vectors, seed)
+    corpus = _CORPUS_CACHE.get(key)
+    if corpus is None:
+        corpus = generate_profile_corpus(dataset, num_vectors=num_vectors, seed=seed)
+        _CORPUS_CACHE[key] = corpus
+    return corpus
+
+
+def clear_corpus_cache() -> None:
+    """Drop every cached corpus (used by tests)."""
+    _CORPUS_CACHE.clear()
+
+
+def run_algorithm(
+    algorithm: str,
+    vectors: Sequence[SparseVector],
+    threshold: float,
+    decay: float,
+    *,
+    dataset: str = "dataset",
+    operation_budget: int | None = None,
+    time_budget: float | None = None,
+) -> RunMetrics:
+    """Run one algorithm configuration over ``vectors`` and measure it.
+
+    The run is aborted (``completed=False``) as soon as the aggregate
+    operation count exceeds ``operation_budget`` or the elapsed wall-clock
+    time exceeds ``time_budget`` seconds.
+    """
+    stats = JoinStatistics()
+    join = create_join(algorithm, threshold, decay, stats=stats)
+    metrics = RunMetrics(
+        algorithm=algorithm,
+        dataset=dataset,
+        threshold=threshold,
+        decay=decay,
+        num_vectors=len(vectors),
+        stats=stats,
+    )
+    pairs = 0
+    start = time.perf_counter()
+    for processed, vector in enumerate(vectors, start=1):
+        pairs += len(join.process(vector))
+        if operation_budget is not None and stats.operations > operation_budget:
+            metrics.completed = False
+            metrics.abort_reason = f"operation budget exceeded after {processed} vectors"
+            break
+        if time_budget is not None and time.perf_counter() - start > time_budget:
+            metrics.completed = False
+            metrics.abort_reason = f"time budget exceeded after {processed} vectors"
+            break
+    else:
+        pairs += len(join.flush())
+    metrics.elapsed_seconds = time.perf_counter() - start
+    metrics.pairs = pairs
+    stats.elapsed_seconds = metrics.elapsed_seconds
+    return metrics
+
+
+def sweep(
+    algorithms: Iterable[str],
+    datasets: Iterable[str],
+    scale: ExperimentScale,
+    *,
+    thetas: Iterable[float] | None = None,
+    decays: Iterable[float] | None = None,
+) -> list[RunMetrics]:
+    """Run every (algorithm, dataset, θ, λ) combination of the given grids."""
+    thetas = tuple(thetas) if thetas is not None else scale.thetas
+    decays = tuple(decays) if decays is not None else scale.decays
+    results: list[RunMetrics] = []
+    for dataset in datasets:
+        get_profile(dataset)  # fail fast on typos before long runs
+        vectors = corpus_for(dataset, scale.vectors_for(dataset), seed=scale.seed)
+        for algorithm in algorithms:
+            for threshold in thetas:
+                for decay in decays:
+                    best: RunMetrics | None = None
+                    for _ in range(max(1, scale.repetitions)):
+                        metrics = run_algorithm(
+                            algorithm, vectors, threshold, decay,
+                            dataset=dataset,
+                            operation_budget=scale.operation_budget,
+                        )
+                        if best is None or metrics.elapsed_seconds < best.elapsed_seconds:
+                            best = metrics
+                    results.append(best)
+    return results

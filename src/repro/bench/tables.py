@@ -1,0 +1,76 @@
+"""Plain-text rendering of benchmark results.
+
+The harness reports every table and figure of the paper as rows of plain
+dictionaries; this module turns them into aligned text tables (for the
+terminal and for ``EXPERIMENTS.md``) and provides the small pivot helpers
+the figure experiments need (e.g. "time as a function of θ, one series per
+index").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+__all__ = ["render_table", "pivot", "series_by"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(rows: Sequence[dict[str, Any]], *, columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table = [[_format_cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in table))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in table:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def pivot(rows: Iterable[dict[str, Any]], *, index: str, column: str,
+          value: str) -> list[dict[str, Any]]:
+    """Pivot rows into a wide table: one row per ``index``, one column per ``column``."""
+    table: dict[Any, dict[str, Any]] = {}
+    column_order: list[Any] = []
+    for row in rows:
+        key = row[index]
+        bucket = table.setdefault(key, {index: key})
+        column_key = row[column]
+        if column_key not in column_order:
+            column_order.append(column_key)
+        bucket[str(column_key)] = row[value]
+    return [table[key] for key in table]
+
+
+def series_by(rows: Iterable[dict[str, Any]], *, group: str, x: str,
+              y: str) -> dict[Any, list[tuple[Any, Any]]]:
+    """Group rows into series ``{group value: [(x, y), ...]}`` (figure data)."""
+    series: dict[Any, list[tuple[Any, Any]]] = {}
+    for row in rows:
+        series.setdefault(row[group], []).append((row[x], row[y]))
+    for points in series.values():
+        points.sort(key=lambda point: point[0])
+    return series

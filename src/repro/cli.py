@@ -1,0 +1,239 @@
+"""Command-line interface.
+
+Installed as the ``sssj`` console script (and reachable as
+``python -m repro``).  Sub-commands:
+
+``profiles``
+    List the built-in synthetic dataset profiles.
+``generate``
+    Generate a synthetic corpus and write it to a dataset file.
+``convert``
+    Convert a dataset between the text and binary formats.
+``stats``
+    Print Table-1 style statistics for a dataset file or profile.
+``run``
+    Run one algorithm configuration over a dataset and print its metrics.
+``sweep``
+    Run a (θ, λ) grid for one or more algorithms and print the result table.
+``experiment``
+    Reproduce one of the paper's tables/figures by identifier.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.bench.config import LAMBDA_GRID, THETA_GRID, ExperimentScale, default_scale
+from repro.bench.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.bench.runner import run_algorithm, sweep
+from repro.bench.tables import render_table
+from repro.datasets.generator import generate_profile_corpus
+from repro.datasets.io import convert, read_vectors, write_vectors
+from repro.datasets.profiles import PROFILES, available_profiles, get_profile
+from repro.datasets.stats import dataset_statistics
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``sssj`` command."""
+    parser = argparse.ArgumentParser(
+        prog="sssj",
+        description="Streaming similarity self-join (reproduction of "
+                    "De Francisci Morales & Gionis, VLDB 2016).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("profiles", help="list built-in dataset profiles")
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic corpus")
+    generate.add_argument("--profile", required=True, choices=available_profiles())
+    generate.add_argument("--num-vectors", type=int, default=None)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--output", required=True,
+                          help="output path (.txt for text, .bin for binary)")
+
+    converter = subparsers.add_parser("convert", help="convert between text and binary formats")
+    converter.add_argument("source")
+    converter.add_argument("destination")
+
+    stats = subparsers.add_parser("stats", help="print Table-1 style dataset statistics")
+    group = stats.add_mutually_exclusive_group(required=True)
+    group.add_argument("--input", help="dataset file to analyse")
+    group.add_argument("--profile", choices=available_profiles())
+    stats.add_argument("--num-vectors", type=int, default=None)
+    stats.add_argument("--seed", type=int, default=42)
+
+    run = subparsers.add_parser("run", help="run one algorithm configuration")
+    source = run.add_mutually_exclusive_group(required=True)
+    source.add_argument("--input", help="dataset file to join")
+    source.add_argument("--profile", choices=available_profiles())
+    run.add_argument("--num-vectors", type=int, default=None)
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--algorithm", default="STR-L2",
+                     help="framework-index pair, e.g. STR-L2, MB-INV (default STR-L2)")
+    run.add_argument("--theta", type=float, default=0.7, help="similarity threshold")
+    run.add_argument("--decay", type=float, default=0.01, help="time-decay rate λ")
+    run.add_argument("--show-pairs", type=int, default=0,
+                     help="print up to N reported pairs")
+
+    sweep_cmd = subparsers.add_parser("sweep", help="run a (θ, λ) grid and print a table")
+    sweep_cmd.add_argument("--profile", required=True, choices=available_profiles())
+    sweep_cmd.add_argument("--num-vectors", type=int, default=None)
+    sweep_cmd.add_argument("--seed", type=int, default=42)
+    sweep_cmd.add_argument("--algorithms", default="STR-L2",
+                           help="comma-separated list, e.g. STR-L2,MB-L2")
+    sweep_cmd.add_argument("--thetas", default=",".join(str(t) for t in THETA_GRID))
+    sweep_cmd.add_argument("--decays", default=",".join(str(d) for d in LAMBDA_GRID))
+
+    experiment = subparsers.add_parser(
+        "experiment", help="reproduce one of the paper's tables/figures")
+    experiment.add_argument("experiment_id", choices=sorted(ALL_EXPERIMENTS))
+    experiment.add_argument("--scale", type=float, default=1.0,
+                            help="multiply the default per-dataset vector counts")
+    experiment.add_argument("--seed", type=int, default=42)
+    experiment.add_argument("--plot", action="store_true",
+                            help="also render the figure as an ASCII chart")
+
+    return parser
+
+
+#: How to turn each figure experiment's rows into a chart (group, x, y, log-x).
+_CHART_SPECS: dict[str, tuple[str, str, str, bool]] = {
+    "figure2": ("dataset", "tau", "ratio", True),
+    "figure3": ("algorithm", "theta", "time_s", False),
+    "figure4": ("algorithm", "theta", "time_s", False),
+    "figure5": ("indexing", "theta", "time_s", False),
+    "figure6": ("indexing", "theta", "entries", False),
+    "figure7": ("dataset", "lambda", "time_s", True),
+    "figure8": ("dataset", "theta", "time_s", False),
+}
+
+
+def _load_vectors(args: argparse.Namespace):
+    if getattr(args, "input", None):
+        return list(read_vectors(args.input)), args.input
+    vectors = generate_profile_corpus(
+        args.profile, num_vectors=args.num_vectors, seed=args.seed
+    )
+    return vectors, args.profile
+
+
+def _cmd_profiles(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_profiles():
+        profile = PROFILES[name]
+        rows.append({
+            "profile": name,
+            "vectors": profile.num_vectors,
+            "vocabulary": profile.vocabulary_size,
+            "avg_nnz": profile.avg_nnz,
+            "arrivals": profile.arrival_process,
+            "description": profile.description,
+        })
+    print(render_table(rows, title="Built-in dataset profiles"))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    vectors = generate_profile_corpus(args.profile, num_vectors=args.num_vectors,
+                                      seed=args.seed)
+    count = write_vectors(args.output, vectors)
+    print(f"wrote {count} vectors of profile '{args.profile}' to {args.output}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    count = convert(args.source, args.destination)
+    print(f"converted {count} vectors from {args.source} to {args.destination}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    vectors, name = _load_vectors(args)
+    timestamp_type = "file"
+    if getattr(args, "profile", None):
+        timestamp_type = get_profile(args.profile).arrival_process
+    stats = dataset_statistics(vectors, name=str(name), timestamp_type=timestamp_type)
+    print(render_table([stats.as_row()], title="Dataset statistics"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    vectors, name = _load_vectors(args)
+    metrics = run_algorithm(args.algorithm, vectors, args.theta, args.decay,
+                            dataset=str(name))
+    print(render_table([metrics.as_row()], title=f"Run: {args.algorithm} on {name}"))
+    if args.show_pairs > 0:
+        from repro.core.join import create_join
+
+        join = create_join(args.algorithm, args.theta, args.decay)
+        shown = 0
+        for pair in join.run(vectors):
+            print(f"  pair {pair.id_a} ~ {pair.id_b}  sim={pair.similarity:.4f} "
+                  f"Δt={pair.time_delta:.3f}")
+            shown += 1
+            if shown >= args.show_pairs:
+                break
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    algorithms = [token.strip() for token in args.algorithms.split(",") if token.strip()]
+    thetas = tuple(float(token) for token in args.thetas.split(",") if token)
+    decays = tuple(float(token) for token in args.decays.split(",") if token)
+    scale = default_scale()
+    if args.num_vectors is not None:
+        counts = dict(scale.vector_counts)
+        counts[args.profile] = args.num_vectors
+        scale = ExperimentScale(vector_counts=counts, thetas=thetas, decays=decays,
+                                seed=args.seed)
+    else:
+        scale = ExperimentScale(vector_counts=dict(scale.vector_counts), thetas=thetas,
+                                decays=decays, seed=args.seed)
+    results = sweep(algorithms, [args.profile], scale)
+    print(render_table([metrics.as_row() for metrics in results],
+                       title=f"Sweep on {args.profile}"))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    base = default_scale()
+    counts = {name: max(50, int(count * args.scale))
+              for name, count in base.vector_counts.items()}
+    scale = ExperimentScale(vector_counts=counts, seed=args.seed)
+    result = run_experiment(args.experiment_id, scale)
+    print(result.render())
+    if args.plot and args.experiment_id in _CHART_SPECS:
+        from repro.bench.plotting import chart_from_series
+
+        group, x, y, log_x = _CHART_SPECS[args.experiment_id]
+        print()
+        print(chart_from_series(result.rows, group=group, x=x, y=y, log_x=log_x,
+                                title=f"{args.experiment_id}: {y} vs {x} (by {group})"))
+    return 0
+
+
+_COMMANDS = {
+    "profiles": _cmd_profiles,
+    "generate": _cmd_generate,
+    "convert": _cmd_convert,
+    "stats": _cmd_stats,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``sssj`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Core data model, similarity definitions and join frameworks."""
+
+from repro.core.batch import all_pairs
+from repro.core.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    restore_join,
+    save_checkpoint,
+    snapshot_join,
+)
+from repro.core.frameworks import JoinFramework, MiniBatchFramework, StreamingFramework
+from repro.core.join import (
+    MiniBatchSimilarityJoin,
+    StreamingSimilarityJoin,
+    create_join,
+    parse_algorithm,
+    streaming_self_join,
+)
+from repro.core.results import (
+    CallbackCollector,
+    CountingCollector,
+    JoinStatistics,
+    ListCollector,
+    SimilarPair,
+    TopKCollector,
+)
+from repro.core.similarity import (
+    JoinParameters,
+    cosine_similarity,
+    decay_factor,
+    decay_for_horizon,
+    time_dependent_similarity,
+    time_horizon,
+)
+from repro.core.stream import (
+    FileStream,
+    GeneratorStream,
+    ListStream,
+    VectorStream,
+    merge_streams,
+)
+from repro.core.vector import SparseVector, dot_product, normalize_entries
+
+__all__ = [
+    "SparseVector",
+    "dot_product",
+    "normalize_entries",
+    "JoinParameters",
+    "cosine_similarity",
+    "decay_factor",
+    "decay_for_horizon",
+    "time_dependent_similarity",
+    "time_horizon",
+    "VectorStream",
+    "ListStream",
+    "GeneratorStream",
+    "FileStream",
+    "merge_streams",
+    "SimilarPair",
+    "JoinStatistics",
+    "ListCollector",
+    "CountingCollector",
+    "CallbackCollector",
+    "TopKCollector",
+    "JoinFramework",
+    "MiniBatchFramework",
+    "StreamingFramework",
+    "StreamingSimilarityJoin",
+    "MiniBatchSimilarityJoin",
+    "create_join",
+    "parse_algorithm",
+    "streaming_self_join",
+    "all_pairs",
+    "CheckpointError",
+    "snapshot_join",
+    "restore_join",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,80 @@
+"""Static all-pairs similarity search (APSS) driver.
+
+The classic batch problem: given a set of vectors and a threshold ``θ``,
+find every pair with cosine similarity at least ``θ``.  The driver builds
+one of the registered batch indexes incrementally over the dataset —
+exactly the ``IndConstr-IDX`` primitive of Section 4 — and returns the
+similar pairs found along the way.
+
+The MiniBatch framework reuses the same machinery per window; this module
+is the stand-alone entry point for users who only need the static join.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.results import JoinStatistics, SimilarPair
+from repro.core.vector import SparseVector
+from repro.indexes.base import BatchIndex, create_batch_index
+from repro.indexes.maxvector import MaxVector
+from repro.indexes.ordering import DimensionOrdering
+
+__all__ = ["all_pairs", "build_batch_index"]
+
+_NEEDS_MAX_VECTOR = {"AP", "L2AP"}
+
+
+def build_batch_index(index: str, threshold: float, vectors: list[SparseVector], *,
+                      stats: JoinStatistics | None = None) -> BatchIndex:
+    """Instantiate a batch index, pre-computing the ``m`` vector when needed."""
+    name = index.upper()
+    if name in _NEEDS_MAX_VECTOR:
+        max_vector = MaxVector.from_vectors(vectors)
+        return create_batch_index(name, threshold, stats=stats, max_vector=max_vector)
+    return create_batch_index(name, threshold, stats=stats)
+
+
+def all_pairs(
+    vectors: Iterable[SparseVector],
+    threshold: float,
+    *,
+    index: str = "L2AP",
+    dimension_order: str = "natural",
+    stats: JoinStatistics | None = None,
+) -> list[SimilarPair]:
+    """Find all pairs with cosine similarity at least ``threshold``.
+
+    Parameters
+    ----------
+    vectors:
+        The dataset; it is materialised in memory (the batch problem needs
+        the ``m`` vector for the AP-based indexes anyway).
+    threshold:
+        Similarity threshold ``θ``.
+    index:
+        One of the registered batch indexes: ``"INV"``, ``"AP"``, ``"L2AP"``
+        (default, the batch state of the art) or ``"L2"``.
+    dimension_order:
+        Optional dimension-ordering strategy applied before indexing
+        (``"natural"``, ``"frequency"`` or ``"max_weight"``); see
+        :mod:`repro.indexes.ordering`.  Only affects the amount of work the
+        prefix-filtering indexes do, never the result.
+    stats:
+        Optional statistics object to accumulate operation counters into.
+    """
+    dataset = list(vectors)
+    if dimension_order.lower() != "natural":
+        ordering = DimensionOrdering.from_vectors(dataset, dimension_order)
+        dataset = ordering.remap_all(dataset)
+    stats = stats if stats is not None else JoinStatistics()
+    batch_index = build_batch_index(index, threshold, dataset, stats=stats)
+    pairs: list[SimilarPair] = []
+    for x, y, dot in batch_index.index_dataset(dataset):
+        pairs.append(SimilarPair.make(
+            x.vector_id, y.vector_id, dot,
+            time_delta=abs(x.timestamp - y.timestamp),
+            dot=dot, reported_at=max(x.timestamp, y.timestamp),
+        ))
+    stats.pairs_output += len(pairs)
+    return pairs

@@ -1,0 +1,227 @@
+"""Checkpointing of streaming joins.
+
+A long-running stream processor must be able to stop and resume without
+losing the (bounded) state it keeps about the recent past.  This module
+serialises the full state of a :class:`~repro.core.frameworks.streaming.StreamingFramework`
+— the inverted index, the residual/Q store, the maximum vectors and the
+operation counters — into a JSON-compatible dictionary, and restores it
+into a fresh framework that behaves exactly as if it had processed the
+whole stream itself.
+
+Only the STR framework is checkpointable: it owns a single incremental
+index, so its state is well defined between any two items.  The MiniBatch
+framework buffers whole windows and rebuilds throw-away indexes, so
+checkpointing it is intentionally unsupported (checkpoint at a window
+boundary and replay the current window instead).
+
+The serialised layout is versioned; :func:`restore_join` refuses payloads
+with an unknown version rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.frameworks.streaming import StreamingFramework
+from repro.core.results import JoinStatistics
+from repro.core.vector import SparseVector
+from repro.exceptions import SSSJError
+from repro.indexes.inverted import InvertedStreamingIndex
+from repro.indexes.maxvector import DecayedMaxVector, MaxVector
+from repro.indexes.posting import PostingEntry
+from repro.indexes.prefix import PrefixFilterStreamingIndex
+from repro.indexes.residual import ResidualEntry
+
+__all__ = [
+    "CheckpointError",
+    "snapshot_join",
+    "restore_join",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+_FORMAT_VERSION = 1
+
+
+class CheckpointError(SSSJError):
+    """Raised when a checkpoint cannot be produced or restored."""
+
+
+# -- vector (de)serialisation -------------------------------------------------------
+
+
+def _vector_to_state(vector: SparseVector) -> dict[str, Any]:
+    return {
+        "id": vector.vector_id,
+        "t": vector.timestamp,
+        "dims": list(vector.dims),
+        "values": list(vector.values),
+    }
+
+
+def _vector_from_state(state: dict[str, Any]) -> SparseVector:
+    entries = dict(zip(state["dims"], state["values"]))
+    # Values were stored post-normalisation; do not normalise again.
+    return SparseVector(state["id"], state["t"], entries, normalize=False)
+
+
+# -- index (de)serialisation --------------------------------------------------------
+
+
+def _posting_lists_to_state(index) -> dict[str, list[list[float]]]:
+    lists: dict[str, list[list[float]]] = {}
+    for dim in index.dimensions():
+        posting_list = index.get(dim)
+        if not posting_list:
+            continue
+        lists[str(dim)] = [
+            [entry.vector_id, entry.value, entry.prefix_norm, entry.timestamp]
+            for entry in posting_list
+        ]
+    return lists
+
+
+def _restore_posting_lists(index, state: dict[str, list[list[float]]]) -> None:
+    for dim_text, entries in state.items():
+        dim = int(dim_text)
+        for vector_id, value, prefix_norm, timestamp in entries:
+            index.add(dim, PostingEntry(
+                vector_id=int(vector_id), value=value,
+                prefix_norm=prefix_norm, timestamp=timestamp,
+            ))
+
+
+def _residual_to_state(residual) -> list[dict[str, Any]]:
+    return [
+        {
+            "vector": _vector_to_state(entry.vector),
+            "boundary": entry.boundary,
+            "pscore": entry.pscore,
+            "residual_dims": list(entry.residual),
+        }
+        for entry in residual.entries()
+    ]
+
+
+def _restore_residual(residual, state: list[dict[str, Any]]) -> None:
+    for item in state:
+        vector = _vector_from_state(item["vector"])
+        entry = ResidualEntry(vector=vector, boundary=item["boundary"],
+                              pscore=item["pscore"])
+        # The residual prefix may have shrunk after re-indexing; keep exactly
+        # the dimensions that were stored.
+        kept = set(item["residual_dims"])
+        entry.residual = {dim: value for dim, value in entry.residual.items()
+                          if dim in kept}
+        residual.add(entry)
+
+
+def _max_vector_to_state(max_vector: MaxVector | None) -> dict[str, float] | None:
+    if max_vector is None:
+        return None
+    return {str(dim): value for dim, value in max_vector.as_dict().items()}
+
+
+def _restore_max_vector(state: dict[str, float] | None) -> MaxVector | None:
+    if state is None:
+        return None
+    restored = MaxVector()
+    restored._values = {int(dim): value for dim, value in state.items()}
+    return restored
+
+
+def _decayed_max_to_state(decayed: DecayedMaxVector | None) -> dict[str, list[float]] | None:
+    if decayed is None:
+        return None
+    return {str(dim): [value, timestamp]
+            for dim, (value, timestamp) in decayed._entries.items()}
+
+
+def _restore_decayed_max(state: dict[str, list[float]] | None,
+                         decay: float) -> DecayedMaxVector | None:
+    if state is None:
+        return None
+    restored = DecayedMaxVector(decay)
+    restored._entries = {int(dim): (value, timestamp)
+                         for dim, (value, timestamp) in state.items()}
+    return restored
+
+
+# -- public API ----------------------------------------------------------------------
+
+
+def snapshot_join(join: StreamingFramework) -> dict[str, Any]:
+    """Serialise the full state of a STR framework into a plain dictionary."""
+    if not isinstance(join, StreamingFramework):
+        raise CheckpointError(
+            "only the STR framework is checkpointable; checkpoint MiniBatch runs "
+            "at a window boundary and replay the open window instead"
+        )
+    index = join.index
+    state: dict[str, Any] = {
+        "version": _FORMAT_VERSION,
+        "algorithm": join.algorithm,
+        "threshold": join.threshold,
+        "decay": join.decay,
+        "stats": join.stats.as_dict(),
+        "postings": _posting_lists_to_state(index._index),
+    }
+    if isinstance(index, PrefixFilterStreamingIndex):
+        state["kind"] = "prefix"
+        state["residual"] = _residual_to_state(index._residual)
+        state["max_query"] = _max_vector_to_state(index._max_query)
+        state["max_decayed"] = _decayed_max_to_state(index._max_decayed)
+    elif isinstance(index, InvertedStreamingIndex):
+        state["kind"] = "inverted"
+    else:  # pragma: no cover - future index types must opt in explicitly
+        raise CheckpointError(f"index type {type(index).__name__} is not checkpointable")
+    return state
+
+
+def restore_join(state: dict[str, Any]) -> StreamingFramework:
+    """Rebuild a STR framework from a snapshot produced by :func:`snapshot_join`."""
+    version = state.get("version")
+    if version != _FORMAT_VERSION:
+        raise CheckpointError(f"unsupported checkpoint version: {version!r}")
+    framework_name, index_name = state["algorithm"].split("-", maxsplit=1)
+    if framework_name != "STR":
+        raise CheckpointError(f"cannot restore framework {framework_name!r}")
+    join = StreamingFramework(state["threshold"], state["decay"], index=index_name)
+    index = join.index
+    _restore_posting_lists(index._index, state["postings"])
+    if state["kind"] == "prefix":
+        if not isinstance(index, PrefixFilterStreamingIndex):
+            raise CheckpointError(
+                f"checkpoint holds prefix-filter state but index {index_name!r} is not one"
+            )
+        _restore_residual(index._residual, state["residual"])
+        if index.use_ap:
+            index._max_query = _restore_max_vector(state["max_query"]) or MaxVector()
+            index._max_decayed = (_restore_decayed_max(state["max_decayed"], join.decay)
+                                  or DecayedMaxVector(join.decay))
+    stats_state = state.get("stats", {})
+    restored_stats = JoinStatistics(**{
+        key: (int(value) if key != "elapsed_seconds" else float(value))
+        for key, value in stats_state.items()
+        if key in JoinStatistics().as_dict()
+    })
+    join.stats.merge(restored_stats)
+    index.stats = join.stats
+    return join
+
+
+def save_checkpoint(join: StreamingFramework, path: str | Path) -> Path:
+    """Snapshot ``join`` and write it as JSON to ``path``."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot_join(join), handle)
+    return path
+
+
+def load_checkpoint(path: str | Path) -> StreamingFramework:
+    """Load a JSON checkpoint written by :func:`save_checkpoint`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        state = json.load(handle)
+    return restore_join(state)

@@ -1,0 +1,7 @@
+"""Algorithmic frameworks adapting batch indexes to the streaming setting."""
+
+from repro.core.frameworks.base import JoinFramework
+from repro.core.frameworks.minibatch import MiniBatchFramework
+from repro.core.frameworks.streaming import StreamingFramework
+
+__all__ = ["JoinFramework", "MiniBatchFramework", "StreamingFramework"]

@@ -1,0 +1,68 @@
+"""Common interface of the two algorithmic frameworks (MB and STR).
+
+Both frameworks consume a stream of timestamped vectors and report the
+pairs whose time-dependent similarity reaches the threshold.  They differ
+in *when* pairs are reported (STR reports a pair as soon as its second
+member arrives, MB defers to window boundaries) and in how they adapt the
+underlying indexing scheme, but they share the same driver interface:
+
+``process(vector)``
+    feed one vector, get back the pairs that became reportable,
+``flush()``
+    signal end-of-stream and get back any still-buffered pairs (MB only),
+``run(stream)``
+    convenience generator over a whole stream.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator
+
+from repro.core.results import JoinStatistics, SimilarPair
+from repro.core.similarity import time_horizon, validate_decay, validate_threshold
+from repro.core.vector import SparseVector
+
+__all__ = ["JoinFramework"]
+
+
+class JoinFramework(ABC):
+    """Base class of the MiniBatch (MB) and Streaming (STR) frameworks."""
+
+    #: Framework name used in algorithm strings ("MB", "STR").
+    name: str = "abstract"
+
+    def __init__(self, threshold: float, decay: float, *,
+                 index: str = "L2", stats: JoinStatistics | None = None) -> None:
+        self.threshold = validate_threshold(threshold)
+        self.decay = validate_decay(decay)
+        self.index_name = index.upper()
+        self.stats = stats if stats is not None else JoinStatistics()
+
+    @property
+    def horizon(self) -> float:
+        """The time horizon ``τ`` implied by the parameters."""
+        return time_horizon(self.threshold, self.decay)
+
+    @property
+    def algorithm(self) -> str:
+        """Human-readable algorithm name, e.g. ``"STR-L2"``."""
+        return f"{self.name}-{self.index_name}"
+
+    @abstractmethod
+    def process(self, vector: SparseVector) -> list[SimilarPair]:
+        """Feed one vector; return the pairs that became reportable."""
+
+    def flush(self) -> list[SimilarPair]:
+        """Signal end-of-stream; return any pairs still buffered."""
+        return []
+
+    def run(self, stream: Iterable[SparseVector]) -> Iterator[SimilarPair]:
+        """Process a whole stream, yielding pairs in reporting order."""
+        for vector in stream:
+            yield from self.process(vector)
+        yield from self.flush()
+
+    def run_to_list(self, stream: Iterable[SparseVector]) -> list[SimilarPair]:
+        """Run over the stream and collect every reported pair."""
+        return list(self.run(stream))

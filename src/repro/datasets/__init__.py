@@ -1,0 +1,66 @@
+"""Synthetic dataset substrate: generators, profiles, arrival processes, I/O."""
+
+from repro.datasets.arrival import (
+    ARRIVAL_PROCESSES,
+    bursty_timestamps,
+    make_arrival_process,
+    poisson_timestamps,
+    sequential_timestamps,
+)
+from repro.datasets.drift import (
+    duplicate_storm_stream,
+    growing_scale_stream,
+    vocabulary_drift_stream,
+)
+from repro.datasets.generator import (
+    SyntheticCorpusGenerator,
+    generate_corpus,
+    generate_profile_corpus,
+)
+from repro.datasets.io import (
+    convert,
+    read_binary,
+    read_text,
+    read_vectors,
+    write_binary,
+    write_text,
+    write_vectors,
+)
+from repro.datasets.profiles import (
+    PROFILES,
+    DatasetProfile,
+    available_profiles,
+    get_profile,
+)
+from repro.datasets.stats import DatasetStatistics, dataset_statistics
+from repro.datasets.text import DEFAULT_STOP_WORDS, TextVectorizer, Tokenizer
+
+__all__ = [
+    "Tokenizer",
+    "TextVectorizer",
+    "DEFAULT_STOP_WORDS",
+    "growing_scale_stream",
+    "vocabulary_drift_stream",
+    "duplicate_storm_stream",
+    "ARRIVAL_PROCESSES",
+    "sequential_timestamps",
+    "poisson_timestamps",
+    "bursty_timestamps",
+    "make_arrival_process",
+    "SyntheticCorpusGenerator",
+    "generate_corpus",
+    "generate_profile_corpus",
+    "DatasetProfile",
+    "PROFILES",
+    "get_profile",
+    "available_profiles",
+    "DatasetStatistics",
+    "dataset_statistics",
+    "convert",
+    "read_binary",
+    "read_text",
+    "read_vectors",
+    "write_binary",
+    "write_text",
+    "write_vectors",
+]

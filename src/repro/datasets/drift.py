@@ -1,0 +1,100 @@
+"""Adversarial and drifting workload generators.
+
+The profile-based generator in :mod:`repro.datasets.generator` produces
+stationary streams.  Real streams are not stationary, and several of the
+algorithms' costs are triggered precisely by non-stationarity:
+
+* STR-L2AP re-indexes whenever the per-dimension maxima grow, so a stream
+  whose weight scale creeps upward is its worst case;
+* vocabulary drift (new terms displacing old ones) changes which posting
+  lists are hot and exercises index growth/shrinkage;
+* duplicate storms (a burst of near-identical items) blow up the number of
+  output pairs and stress candidate verification.
+
+These generators create such streams deterministically from a seed.  They
+are used by the robustness tests and by the stress benchmark, and are
+available to users who want to soak-test a deployment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.core.vector import SparseVector
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "growing_scale_stream",
+    "vocabulary_drift_stream",
+    "duplicate_storm_stream",
+]
+
+
+def growing_scale_stream(count: int, *, dimensions: int = 200, nnz: int = 8,
+                         growth: float = 0.02, seed: int = 0,
+                         time_step: float = 1.0) -> Iterator[SparseVector]:
+    """A stream whose raw weight scale grows steadily.
+
+    Each vector's raw weights are multiplied by ``(1 + growth)^i``, so the
+    per-dimension maxima keep increasing and the AP-based indexes must
+    re-index frequently.  Vectors are still unit-normalised (the scale shows
+    up only through which coordinate is the per-dimension maximum), so the
+    *answers* are comparable with a stationary stream.
+    """
+    if growth < 0:
+        raise InvalidParameterError(f"growth must be non-negative, got {growth}")
+    rng = np.random.default_rng(seed)
+    for index in range(count):
+        dims = rng.choice(dimensions, size=min(nnz, dimensions), replace=False)
+        scale = (1.0 + growth) ** index
+        values = rng.uniform(0.1, 1.0, size=len(dims)) * scale
+        entries = {int(dim): float(value) for dim, value in zip(dims, values)}
+        yield SparseVector(index, index * time_step, entries)
+
+
+def vocabulary_drift_stream(count: int, *, active_terms: int = 50, nnz: int = 6,
+                            drift_every: int = 20, seed: int = 0,
+                            time_step: float = 1.0) -> Iterator[SparseVector]:
+    """A stream whose active vocabulary slides forward over time.
+
+    Terms are drawn from a window of ``active_terms`` dimension ids that
+    shifts by one every ``drift_every`` items, so old posting lists go cold
+    and new ones appear continuously.
+    """
+    if drift_every <= 0:
+        raise InvalidParameterError(f"drift_every must be positive, got {drift_every}")
+    rng = np.random.default_rng(seed)
+    for index in range(count):
+        window_start = index // drift_every
+        dims = window_start + rng.choice(active_terms, size=min(nnz, active_terms),
+                                         replace=False)
+        entries = {int(dim): float(rng.uniform(0.1, 1.0)) for dim in dims}
+        yield SparseVector(index, index * time_step, entries)
+
+
+def duplicate_storm_stream(count: int, *, storm_start: int, storm_length: int,
+                           dimensions: int = 200, nnz: int = 6, seed: int = 0,
+                           time_step: float = 0.5) -> Iterator[SparseVector]:
+    """A background stream with a storm of near-identical items in the middle.
+
+    Between ``storm_start`` and ``storm_start + storm_length`` every item is
+    a lightly perturbed copy of the same template, which makes the number of
+    similar pairs within the storm quadratic in its length — the worst case
+    for output-sensitive behaviour.
+    """
+    if storm_start < 0 or storm_length < 0:
+        raise InvalidParameterError("storm_start and storm_length must be non-negative")
+    rng = np.random.default_rng(seed)
+    template_dims = rng.choice(dimensions, size=min(nnz, dimensions), replace=False)
+    template = {int(dim): float(rng.uniform(0.5, 1.0)) for dim in template_dims}
+    for index in range(count):
+        in_storm = storm_start <= index < storm_start + storm_length
+        if in_storm:
+            entries = {dim: value * float(rng.uniform(0.95, 1.05))
+                       for dim, value in template.items()}
+        else:
+            dims = rng.choice(dimensions, size=min(nnz, dimensions), replace=False)
+            entries = {int(dim): float(rng.uniform(0.1, 1.0)) for dim in dims}
+        yield SparseVector(index, index * time_step, entries)

@@ -1,0 +1,128 @@
+"""Synthetic corpus generator.
+
+Produces streams of timestamped sparse vectors whose shape follows a
+:class:`~repro.datasets.profiles.DatasetProfile`:
+
+* per-vector size (number of non-zero coordinates) is log-normally
+  distributed around the profile's ``avg_nnz``,
+* term (dimension) popularity follows a Zipf distribution, as in real text
+  corpora, so some posting lists are much longer than others,
+* term weights are drawn from a log-normal (TF·IDF-like) distribution and
+  the vector is ℓ₂-normalised,
+* with probability ``duplicate_probability`` a vector is instead a *near
+  duplicate* of a recently generated one — a perturbed copy — which is what
+  produces similar pairs that arrive close in time (the trend-detection and
+  near-duplicate-filtering scenarios that motivate the paper),
+* timestamps come from the profile's arrival process.
+
+All randomness flows through a single seeded :class:`numpy.random.Generator`,
+so corpora are fully reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.core.vector import SparseVector
+from repro.datasets.arrival import make_arrival_process
+from repro.datasets.profiles import DatasetProfile, get_profile
+
+__all__ = ["SyntheticCorpusGenerator", "generate_corpus", "generate_profile_corpus"]
+
+
+class SyntheticCorpusGenerator:
+    """Generator of synthetic timestamped sparse-vector corpora."""
+
+    def __init__(self, profile: DatasetProfile, *, seed: int = 0,
+                 start_id: int = 0) -> None:
+        self.profile = profile
+        self.seed = seed
+        self.start_id = start_id
+        self._rng = np.random.default_rng(seed)
+        # Zipfian term-popularity distribution over the vocabulary.
+        ranks = np.arange(1, profile.vocabulary_size + 1, dtype=np.float64)
+        weights = ranks ** (-profile.zipf_exponent)
+        self._term_probabilities = weights / weights.sum()
+
+    # -- public API -------------------------------------------------------------
+
+    def generate(self, num_vectors: int | None = None) -> list[SparseVector]:
+        """Materialise a corpus of ``num_vectors`` vectors (default: profile size)."""
+        return list(self.stream(num_vectors))
+
+    def stream(self, num_vectors: int | None = None) -> Iterator[SparseVector]:
+        """Lazily generate the corpus in timestamp order."""
+        count = num_vectors if num_vectors is not None else self.profile.num_vectors
+        timestamps = make_arrival_process(
+            self.profile.arrival_process, count, self._rng,
+            rate=self.profile.arrival_rate, burst_size=self.profile.burst_size,
+        )
+        recent: list[dict[int, float]] = []
+        window = max(1, self.profile.duplicate_window)
+        for offset, timestamp in enumerate(timestamps):
+            vector_id = self.start_id + offset
+            if recent and self._rng.random() < self.profile.duplicate_probability:
+                entries = self._perturb(recent[int(self._rng.integers(len(recent)))])
+            else:
+                entries = self._fresh_entries()
+            recent.append(entries)
+            if len(recent) > window:
+                recent.pop(0)
+            yield SparseVector(vector_id, timestamp, entries)
+
+    # -- internals --------------------------------------------------------------
+
+    def _vector_size(self) -> int:
+        """Draw the number of non-zero coordinates for one vector."""
+        profile = self.profile
+        size = self._rng.lognormal(
+            mean=np.log(profile.avg_nnz), sigma=profile.nnz_dispersion
+        )
+        return int(np.clip(round(size), 1, profile.vocabulary_size))
+
+    def _fresh_entries(self) -> dict[int, float]:
+        """Draw a brand-new vector: Zipfian terms with log-normal weights."""
+        size = self._vector_size()
+        dims = self._rng.choice(
+            self.profile.vocabulary_size, size=size, replace=False,
+            p=self._term_probabilities,
+        )
+        values = self._rng.lognormal(mean=0.0, sigma=0.5, size=size)
+        return {int(dim): float(value) for dim, value in zip(dims, values)}
+
+    def _perturb(self, entries: dict[int, float]) -> dict[int, float]:
+        """Create a near-duplicate of ``entries`` by editing a few coordinates."""
+        noise = self.profile.duplicate_noise
+        result = dict(entries)
+        edits = max(1, int(round(len(entries) * noise)))
+        dims = list(result)
+        # Drop a few terms ...
+        for dim in self._rng.choice(len(dims), size=min(edits, len(dims)), replace=False):
+            if len(result) > 1:
+                result.pop(dims[int(dim)], None)
+        # ... jitter the remaining weights slightly ...
+        for dim in list(result):
+            result[dim] *= float(self._rng.uniform(0.9, 1.1))
+        # ... and add a few new terms.
+        new_dims = self._rng.choice(
+            self.profile.vocabulary_size, size=edits, replace=False,
+            p=self._term_probabilities,
+        )
+        for dim in new_dims:
+            result.setdefault(int(dim), float(self._rng.lognormal(0.0, 0.5)))
+        return result
+
+
+def generate_corpus(profile: DatasetProfile, *, seed: int = 0,
+                    num_vectors: int | None = None) -> list[SparseVector]:
+    """Generate a corpus for an explicit profile object."""
+    return SyntheticCorpusGenerator(profile, seed=seed).generate(num_vectors)
+
+
+def generate_profile_corpus(name: str, *, seed: int = 0,
+                            num_vectors: int | None = None) -> list[SparseVector]:
+    """Generate a corpus for one of the built-in profiles by name."""
+    profile = get_profile(name, num_vectors=num_vectors)
+    return SyntheticCorpusGenerator(profile, seed=seed).generate()

@@ -1,0 +1,164 @@
+"""On-disk formats for timestamped sparse-vector datasets.
+
+The paper distributes its datasets in a text format and ships a converter
+to a "more compact and faster-to-read binary format".  This module
+reproduces both:
+
+Text format (one vector per line)
+    ``<vector_id> <timestamp> <dim>:<value> <dim>:<value> ...``
+    Lines starting with ``#`` and blank lines are ignored.
+
+Binary format
+    A small header (magic ``SSSJBIN1``, record count) followed by one
+    record per vector: vector id (int64), timestamp (float64), number of
+    non-zeros (int32), then the coordinates as (int32, float64) pairs.
+    Everything is little-endian.
+
+Values are stored as written; by default readers re-normalise vectors to
+unit length (pass ``normalize=False`` to keep raw weights).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.core.vector import SparseVector
+from repro.exceptions import DatasetFormatError
+
+__all__ = [
+    "write_text",
+    "read_text",
+    "write_binary",
+    "read_binary",
+    "read_vectors",
+    "write_vectors",
+    "convert",
+]
+
+_MAGIC = b"SSSJBIN1"
+_HEADER = struct.Struct("<8sq")
+_RECORD_HEAD = struct.Struct("<qdi")
+_COORD = struct.Struct("<id")
+
+
+# -- text format ----------------------------------------------------------------
+
+
+def write_text(path: str | Path, vectors: Iterable[SparseVector]) -> int:
+    """Write vectors in the text format; return the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for vector in vectors:
+            coords = " ".join(f"{dim}:{value:.17g}" for dim, value in vector)
+            handle.write(f"{vector.vector_id} {vector.timestamp:.17g} {coords}\n")
+            count += 1
+    return count
+
+
+def read_text(path: str | Path, *, normalize: bool = True) -> Iterator[SparseVector]:
+    """Lazily read vectors from the text format."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            yield _parse_text_line(stripped, line_number, normalize)
+
+
+def _parse_text_line(line: str, line_number: int, normalize: bool) -> SparseVector:
+    fields = line.split()
+    if len(fields) < 3:
+        raise DatasetFormatError(
+            f"line {line_number}: expected '<id> <timestamp> <dim>:<value> ...', got {line!r}"
+        )
+    try:
+        vector_id = int(fields[0])
+        timestamp = float(fields[1])
+        entries = {}
+        for token in fields[2:]:
+            dim_text, _, value_text = token.partition(":")
+            entries[int(dim_text)] = float(value_text)
+    except ValueError as error:
+        raise DatasetFormatError(f"line {line_number}: {error}") from error
+    return SparseVector(vector_id, timestamp, entries, normalize=normalize)
+
+
+# -- binary format ---------------------------------------------------------------
+
+
+def write_binary(path: str | Path, vectors: Iterable[SparseVector]) -> int:
+    """Write vectors in the binary format; return the number written."""
+    records = list(vectors)
+    with open(path, "wb") as handle:
+        handle.write(_HEADER.pack(_MAGIC, len(records)))
+        for vector in records:
+            handle.write(_RECORD_HEAD.pack(vector.vector_id, vector.timestamp, len(vector)))
+            for dim, value in vector:
+                handle.write(_COORD.pack(dim, value))
+    return len(records)
+
+
+def read_binary(path: str | Path, *, normalize: bool = True) -> Iterator[SparseVector]:
+    """Lazily read vectors from the binary format."""
+    with open(path, "rb") as handle:
+        header = handle.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise DatasetFormatError(f"{path}: truncated header")
+        magic, count = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise DatasetFormatError(f"{path}: bad magic {magic!r}")
+        for record_index in range(count):
+            head = handle.read(_RECORD_HEAD.size)
+            if len(head) != _RECORD_HEAD.size:
+                raise DatasetFormatError(f"{path}: truncated record {record_index}")
+            vector_id, timestamp, nnz = _RECORD_HEAD.unpack(head)
+            payload = handle.read(_COORD.size * nnz)
+            if len(payload) != _COORD.size * nnz:
+                raise DatasetFormatError(f"{path}: truncated coordinates in record {record_index}")
+            entries = {}
+            for offset in range(nnz):
+                dim, value = _COORD.unpack_from(payload, offset * _COORD.size)
+                entries[dim] = value
+            yield SparseVector(vector_id, timestamp, entries, normalize=normalize)
+
+
+# -- format dispatch ---------------------------------------------------------------
+
+
+def _detect_format(path: str | Path, fmt: str | None) -> str:
+    if fmt is not None:
+        key = fmt.lower()
+        if key not in ("text", "binary"):
+            raise DatasetFormatError(f"unknown format {fmt!r}; expected 'text' or 'binary'")
+        return key
+    suffix = Path(path).suffix.lower()
+    return "binary" if suffix in (".bin", ".sssj") else "text"
+
+
+def read_vectors(path: str | Path, *, fmt: str | None = None,
+                 normalize: bool = True) -> Iterator[SparseVector]:
+    """Read a dataset, selecting the format from ``fmt`` or the file extension."""
+    if _detect_format(path, fmt) == "binary":
+        return read_binary(path, normalize=normalize)
+    return read_text(path, normalize=normalize)
+
+
+def write_vectors(path: str | Path, vectors: Iterable[SparseVector], *,
+                  fmt: str | None = None) -> int:
+    """Write a dataset, selecting the format from ``fmt`` or the file extension."""
+    if _detect_format(path, fmt) == "binary":
+        return write_binary(path, vectors)
+    return write_text(path, vectors)
+
+
+def convert(source: str | Path, destination: str | Path, *,
+            source_fmt: str | None = None, destination_fmt: str | None = None) -> int:
+    """Convert a dataset between the text and binary formats.
+
+    This mirrors the text-to-binary converter the paper mentions shipping
+    with its code.  Returns the number of vectors converted.
+    """
+    vectors = read_vectors(source, fmt=source_fmt, normalize=False)
+    return write_vectors(destination, vectors, fmt=destination_fmt)

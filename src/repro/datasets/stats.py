@@ -1,0 +1,82 @@
+"""Corpus statistics in the style of Table 1 of the paper.
+
+Table 1 reports, for each dataset: the number of vectors ``n``, the number
+of dimensions ``m``, the total number of non-zero coordinates ``Σ|x|``, the
+density ``ρ = Σ|x| / (n·m)``, the average number of non-zeros ``|x|`` and
+the timestamp type.  :func:`dataset_statistics` computes the same figures
+for any collection of vectors; the Table-1 benchmark prints them for every
+built-in profile.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.vector import SparseVector
+
+__all__ = ["DatasetStatistics", "dataset_statistics"]
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The per-dataset figures of Table 1."""
+
+    name: str
+    num_vectors: int
+    num_dimensions: int
+    total_nonzeros: int
+    density: float
+    avg_nonzeros: float
+    timestamp_span: float
+    timestamp_type: str = "unknown"
+
+    def as_row(self) -> dict[str, object]:
+        """Row representation used by the benchmark table renderer."""
+        return {
+            "dataset": self.name,
+            "n": self.num_vectors,
+            "m": self.num_dimensions,
+            "nnz": self.total_nonzeros,
+            "density_pct": round(self.density * 100.0, 4),
+            "avg_nnz": round(self.avg_nonzeros, 2),
+            "timestamp_span": round(self.timestamp_span, 2),
+            "timestamps": self.timestamp_type,
+        }
+
+
+def dataset_statistics(vectors: Iterable[SparseVector], *, name: str = "dataset",
+                       timestamp_type: str = "unknown") -> DatasetStatistics:
+    """Compute Table-1 style statistics for a collection of vectors."""
+    num_vectors = 0
+    total_nonzeros = 0
+    dimensions: set[int] = set()
+    first_timestamp: float | None = None
+    last_timestamp: float | None = None
+    for vector in vectors:
+        num_vectors += 1
+        total_nonzeros += len(vector)
+        dimensions.update(vector.dims)
+        if first_timestamp is None:
+            first_timestamp = vector.timestamp
+        last_timestamp = vector.timestamp
+    num_dimensions = len(dimensions)
+    if num_vectors == 0 or num_dimensions == 0:
+        density = 0.0
+        avg_nonzeros = 0.0
+    else:
+        density = total_nonzeros / (num_vectors * num_dimensions)
+        avg_nonzeros = total_nonzeros / num_vectors
+    span = 0.0
+    if first_timestamp is not None and last_timestamp is not None:
+        span = last_timestamp - first_timestamp
+    return DatasetStatistics(
+        name=name,
+        num_vectors=num_vectors,
+        num_dimensions=num_dimensions,
+        total_nonzeros=total_nonzeros,
+        density=density,
+        avg_nonzeros=avg_nonzeros,
+        timestamp_span=span,
+        timestamp_type=timestamp_type,
+    )

@@ -1,0 +1,172 @@
+"""Turning raw text documents into timestamped sparse vectors.
+
+The paper's corpora are bag-of-words representations of web pages, news
+wires, blog posts and tweets.  This module provides the missing piece for
+users who want to run the join on their own text streams:
+
+* :class:`Tokenizer` — lowercasing, punctuation stripping, stop-word
+  removal and optional n-grams,
+* :class:`TextVectorizer` — converts documents to sparse vectors using
+  either a growing explicit vocabulary or the hashing trick (bounded
+  dimensionality, no state), with logarithmic term-frequency weights and an
+  optional online inverse-document-frequency component.
+
+Everything is incremental so the vectorizer can be applied to an unbounded
+stream: the IDF statistics are updated as documents arrive, mirroring how a
+production system would have to operate.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections.abc import Iterable, Iterator
+
+from repro.core.vector import SparseVector
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["Tokenizer", "TextVectorizer", "DEFAULT_STOP_WORDS"]
+
+#: A small English stop-word list; enough to keep the examples realistic
+#: without pulling in an external dependency.
+DEFAULT_STOP_WORDS = frozenset("""
+a an and are as at be but by for from has have in is it its of on or that the
+this to was were will with not no so if then than too very can just do does
+""".split())
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9#@][a-z0-9'_#@-]*")
+
+
+class Tokenizer:
+    """Splits raw text into normalised tokens.
+
+    Parameters
+    ----------
+    stop_words:
+        Tokens to drop (defaults to :data:`DEFAULT_STOP_WORDS`).  Pass an
+        empty set to keep everything.
+    min_token_length:
+        Tokens shorter than this are dropped.
+    ngrams:
+        When greater than 1, contiguous word n-grams up to this length are
+        emitted in addition to unigrams (e.g. ``ngrams=2`` adds bigrams).
+    """
+
+    def __init__(self, *, stop_words: frozenset[str] | set[str] = DEFAULT_STOP_WORDS,
+                 min_token_length: int = 2, ngrams: int = 1) -> None:
+        if ngrams < 1:
+            raise InvalidParameterError(f"ngrams must be at least 1, got {ngrams}")
+        self.stop_words = frozenset(stop_words)
+        self.min_token_length = min_token_length
+        self.ngrams = ngrams
+
+    def tokenize(self, text: str) -> list[str]:
+        """Tokens of ``text`` after normalisation, stop-wording and n-gramming."""
+        words = [
+            token for token in _TOKEN_PATTERN.findall(text.lower())
+            if len(token) >= self.min_token_length and token not in self.stop_words
+        ]
+        if self.ngrams == 1:
+            return words
+        tokens = list(words)
+        for length in range(2, self.ngrams + 1):
+            for start in range(len(words) - length + 1):
+                tokens.append("_".join(words[start:start + length]))
+        return tokens
+
+    def __call__(self, text: str) -> list[str]:
+        return self.tokenize(text)
+
+
+class TextVectorizer:
+    """Incrementally converts documents into unit-normalised sparse vectors.
+
+    Parameters
+    ----------
+    tokenizer:
+        The tokenizer to use (a default one is created when omitted).
+    hashing_dimensions:
+        When set, the hashing trick maps tokens into this many dimensions
+        and no vocabulary is stored; when ``None`` (default) an explicit
+        vocabulary grows as new tokens appear.
+    use_idf:
+        Weight terms by an online inverse document frequency.  The IDF is
+        computed from the documents seen *so far*, so early documents are
+        weighted with less information — the price of streaming operation.
+    sublinear_tf:
+        Use ``1 + log(tf)`` instead of raw term frequency.
+    """
+
+    def __init__(self, *, tokenizer: Tokenizer | None = None,
+                 hashing_dimensions: int | None = None,
+                 use_idf: bool = True, sublinear_tf: bool = True) -> None:
+        if hashing_dimensions is not None and hashing_dimensions <= 1:
+            raise InvalidParameterError(
+                f"hashing_dimensions must be greater than 1, got {hashing_dimensions}"
+            )
+        self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
+        self.hashing_dimensions = hashing_dimensions
+        self.use_idf = use_idf
+        self.sublinear_tf = sublinear_tf
+        self._vocabulary: dict[str, int] = {}
+        self._document_frequency: dict[int, int] = {}
+        self._documents_seen = 0
+
+    # -- vocabulary ---------------------------------------------------------------
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct dimensions seen so far."""
+        if self.hashing_dimensions is not None:
+            return self.hashing_dimensions
+        return len(self._vocabulary)
+
+    @property
+    def documents_seen(self) -> int:
+        return self._documents_seen
+
+    def dimension_of(self, token: str) -> int:
+        """Dimension id a token maps to (creates it for vocabulary mode)."""
+        if self.hashing_dimensions is not None:
+            return hash(token) % self.hashing_dimensions
+        dimension = self._vocabulary.get(token)
+        if dimension is None:
+            dimension = len(self._vocabulary)
+            self._vocabulary[token] = dimension
+        return dimension
+
+    # -- vectorisation -------------------------------------------------------------
+
+    def transform(self, document_id: int, timestamp: float, text: str) -> SparseVector | None:
+        """Convert one document; returns ``None`` when no token survives."""
+        tokens = self.tokenizer.tokenize(text)
+        if not tokens:
+            return None
+        counts: dict[int, int] = {}
+        for token in tokens:
+            dimension = self.dimension_of(token)
+            counts[dimension] = counts.get(dimension, 0) + 1
+
+        self._documents_seen += 1
+        for dimension in counts:
+            self._document_frequency[dimension] = (
+                self._document_frequency.get(dimension, 0) + 1
+            )
+
+        weights: dict[int, float] = {}
+        for dimension, count in counts.items():
+            weight = 1.0 + math.log(count) if self.sublinear_tf else float(count)
+            if self.use_idf:
+                df = self._document_frequency[dimension]
+                weight *= 1.0 + math.log((1 + self._documents_seen) / (1 + df))
+            weights[dimension] = weight
+        return SparseVector(document_id, timestamp, weights)
+
+    def transform_stream(
+        self, documents: Iterable[tuple[int, float, str]]
+    ) -> Iterator[SparseVector]:
+        """Vectorise an iterable of ``(document_id, timestamp, text)`` triples."""
+        for document_id, timestamp, text in documents:
+            vector = self.transform(document_id, timestamp, text)
+            if vector is not None:
+                yield vector

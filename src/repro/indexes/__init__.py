@@ -1,0 +1,44 @@
+"""Indexing schemes for the (streaming) similarity self-join.
+
+Importing this package registers every concrete scheme with the registry in
+:mod:`repro.indexes.base`, so string-based algorithm selection
+(``"STR-L2"``, ``"MB-INV"``, ...) works as soon as :mod:`repro` is imported.
+"""
+
+from repro.indexes.allpairs import APBatchIndex, APStreamingIndex
+from repro.indexes.base import (
+    BATCH_INDEXES,
+    STREAMING_INDEXES,
+    BatchIndex,
+    StreamingIndex,
+    available_batch_indexes,
+    available_streaming_indexes,
+    create_batch_index,
+    create_streaming_index,
+)
+from repro.indexes.inverted import InvertedBatchIndex, InvertedStreamingIndex
+from repro.indexes.l2 import L2BatchIndex, L2StreamingIndex
+from repro.indexes.l2ap import L2APBatchIndex, L2APStreamingIndex
+from repro.indexes.ordering import ORDERING_STRATEGIES, DimensionOrdering, remap_vectors
+
+__all__ = [
+    "ORDERING_STRATEGIES",
+    "DimensionOrdering",
+    "remap_vectors",
+    "BatchIndex",
+    "StreamingIndex",
+    "BATCH_INDEXES",
+    "STREAMING_INDEXES",
+    "available_batch_indexes",
+    "available_streaming_indexes",
+    "create_batch_index",
+    "create_streaming_index",
+    "InvertedBatchIndex",
+    "InvertedStreamingIndex",
+    "APBatchIndex",
+    "APStreamingIndex",
+    "L2APBatchIndex",
+    "L2APStreamingIndex",
+    "L2BatchIndex",
+    "L2StreamingIndex",
+]

@@ -1,0 +1,40 @@
+"""AP indexing scheme (Bayardo et al., Section 5.2 of the paper).
+
+AP improves over the plain inverted index by not indexing the prefix of
+each vector whose potential similarity (the ``b1`` bound against the
+dataset maximum vector ``m``) stays below the threshold.  Candidate
+generation adds the size filter ``sz1`` and the remaining-score bound
+``rs1``; verification adds ``ps1``/``ds1``/``sz2``.
+
+The paper notes that the streaming adaptations of AP are not efficient in
+practice and omits them from the evaluation; we therefore expose only the
+batch variant (used by the MiniBatch framework and the static all-pairs
+driver).  The streaming prefix-filter machinery with only AP bounds is
+still reachable through :class:`repro.indexes.prefix.PrefixFilterStreamingIndex`
+for completeness and for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.indexes.base import register_batch_index, register_streaming_index
+from repro.indexes.prefix import PrefixFilterBatchIndex, PrefixFilterStreamingIndex
+
+__all__ = ["APBatchIndex", "APStreamingIndex"]
+
+
+@register_batch_index
+class APBatchIndex(PrefixFilterBatchIndex):
+    """Batch AP index: AP bounds only (Algorithms 2–4, red lines)."""
+
+    name = "AP"
+    use_ap = True
+    use_l2 = False
+
+
+@register_streaming_index
+class APStreamingIndex(PrefixFilterStreamingIndex):
+    """Streaming AP index (kept for ablations; the paper omits it as too slow)."""
+
+    name = "AP"
+    use_ap = True
+    use_l2 = False

@@ -1,0 +1,181 @@
+"""Abstract interfaces and registry for the indexing schemes.
+
+The paper factors every indexing scheme into three phases (Section 4):
+
+* **IC** — index construction: add (some coordinates of) a new vector to the
+  inverted index,
+* **CG** — candidate generation: use the index to find a superset of the
+  vectors similar to a query,
+* **CV** — candidate verification: compute exact similarities for the
+  candidates and filter by the threshold.
+
+:class:`BatchIndex` exposes these phases for a static dataset (the classic
+all-pairs similarity search, used directly by :func:`repro.core.batch.all_pairs`
+and as a black box by the MiniBatch framework).  :class:`StreamingIndex`
+is the interface the STR framework drives: a single :meth:`StreamingIndex.process`
+call performs CG + CV against the current index state and then folds the
+new vector in (Algorithm 6), applying time filtering internally.
+
+Concrete schemes register themselves in :data:`BATCH_INDEXES` and
+:data:`STREAMING_INDEXES`, which power the string-based algorithm selection
+of the public API (``"STR-L2"``, ``"MB-INV"``, ...).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+
+from repro.core.results import JoinStatistics, SimilarPair
+from repro.core.similarity import validate_decay, validate_threshold
+from repro.core.vector import SparseVector
+from repro.exceptions import UnknownAlgorithmError
+
+__all__ = [
+    "BatchIndex",
+    "StreamingIndex",
+    "BATCH_INDEXES",
+    "STREAMING_INDEXES",
+    "register_batch_index",
+    "register_streaming_index",
+    "create_batch_index",
+    "create_streaming_index",
+    "available_batch_indexes",
+    "available_streaming_indexes",
+]
+
+
+class BatchIndex(ABC):
+    """Index over a static dataset, built incrementally vector by vector."""
+
+    #: Scheme name used in the registry ("INV", "AP", "L2AP", "L2").
+    name: str = "abstract"
+
+    def __init__(self, threshold: float, *, stats: JoinStatistics | None = None) -> None:
+        self.threshold = validate_threshold(threshold)
+        self.stats = stats if stats is not None else JoinStatistics()
+
+    # -- the three phases ------------------------------------------------------
+
+    @abstractmethod
+    def index_vector(self, vector: SparseVector) -> None:
+        """IC: add (part of) ``vector`` to the index."""
+
+    @abstractmethod
+    def candidate_generation(self, vector: SparseVector) -> dict[int, float]:
+        """CG: return the accumulated-score array ``C`` for candidate ids."""
+
+    @abstractmethod
+    def candidate_verification(
+        self, vector: SparseVector, candidates: dict[int, float]
+    ) -> list[tuple[SparseVector, float]]:
+        """CV: return ``(candidate vector, exact dot product)`` for true matches."""
+
+    # -- composite operations --------------------------------------------------
+
+    def process(self, vector: SparseVector) -> list[tuple[SparseVector, float]]:
+        """Find matches of ``vector`` against the current index, then index it."""
+        candidates = self.candidate_generation(vector)
+        matches = self.candidate_verification(vector, candidates)
+        self.index_vector(vector)
+        return matches
+
+    def query(self, vector: SparseVector) -> list[tuple[SparseVector, float]]:
+        """Find matches of ``vector`` against the current index without indexing it."""
+        candidates = self.candidate_generation(vector)
+        return self.candidate_verification(vector, candidates)
+
+    def index_dataset(
+        self, vectors: Iterable[SparseVector]
+    ) -> list[tuple[SparseVector, SparseVector, float]]:
+        """IndConstr: index a whole dataset and return its internal similar pairs."""
+        pairs: list[tuple[SparseVector, SparseVector, float]] = []
+        for vector in vectors:
+            for candidate, score in self.process(vector):
+                pairs.append((vector, candidate, score))
+            self.stats.vectors_processed += 1
+        return pairs
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of postings currently stored."""
+
+
+class StreamingIndex(ABC):
+    """Index driven by the STR framework; applies time filtering internally."""
+
+    name: str = "abstract"
+    #: Whether posting lists stay sorted by time (enables backward-scan truncation).
+    time_ordered: bool = True
+
+    def __init__(self, threshold: float, decay: float, *,
+                 stats: JoinStatistics | None = None) -> None:
+        self.threshold = validate_threshold(threshold)
+        self.decay = validate_decay(decay)
+        self.stats = stats if stats is not None else JoinStatistics()
+
+    @abstractmethod
+    def process(self, vector: SparseVector) -> list[SimilarPair]:
+        """Report pairs involving ``vector`` and fold it into the index."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of postings currently stored."""
+
+
+# --------------------------------------------------------------------------
+# Registry
+
+
+BATCH_INDEXES: dict[str, type[BatchIndex]] = {}
+STREAMING_INDEXES: dict[str, type[StreamingIndex]] = {}
+
+
+def register_batch_index(cls: type[BatchIndex]) -> type[BatchIndex]:
+    """Class decorator adding a batch index to the registry."""
+    BATCH_INDEXES[cls.name.upper()] = cls
+    return cls
+
+
+def register_streaming_index(cls: type[StreamingIndex]) -> type[StreamingIndex]:
+    """Class decorator adding a streaming index to the registry."""
+    STREAMING_INDEXES[cls.name.upper()] = cls
+    return cls
+
+
+def create_batch_index(name: str, threshold: float, *,
+                       stats: JoinStatistics | None = None, **kwargs) -> BatchIndex:
+    """Instantiate a registered batch index by name."""
+    try:
+        cls = BATCH_INDEXES[name.upper()]
+    except KeyError:
+        raise UnknownAlgorithmError(
+            f"unknown batch index {name!r}; available: {sorted(BATCH_INDEXES)}"
+        ) from None
+    return cls(threshold, stats=stats, **kwargs)
+
+
+def create_streaming_index(name: str, threshold: float, decay: float, *,
+                           stats: JoinStatistics | None = None, **kwargs) -> StreamingIndex:
+    """Instantiate a registered streaming index by name."""
+    try:
+        cls = STREAMING_INDEXES[name.upper()]
+    except KeyError:
+        raise UnknownAlgorithmError(
+            f"unknown streaming index {name!r}; available: {sorted(STREAMING_INDEXES)}"
+        ) from None
+    return cls(threshold, decay, stats=stats, **kwargs)
+
+
+def available_batch_indexes() -> list[str]:
+    """Names of the registered batch indexes."""
+    return sorted(BATCH_INDEXES)
+
+
+def available_streaming_indexes() -> list[str]:
+    """Names of the registered streaming indexes."""
+    return sorted(STREAMING_INDEXES)

@@ -1,0 +1,157 @@
+"""Plain inverted index (INV), batch and streaming variants.
+
+Section 5.1 of the paper.  INV applies no index-pruning bound: every
+coordinate of every vector is indexed, candidate generation accumulates the
+*exact* dot product from the posting lists, and candidate verification only
+applies the threshold.
+
+The streaming variant (``STR-INV``) keeps the posting lists in time order,
+which enables the two time-filtering optimisations of Sections 5.1 and 6.2:
+candidate generation scans each list backwards (newest first), stops at the
+first entry older than the horizon ``τ`` and truncates everything before it
+in constant time.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.results import JoinStatistics, SimilarPair
+from repro.core.similarity import time_horizon
+from repro.core.vector import SparseVector
+from repro.indexes.base import (
+    BatchIndex,
+    StreamingIndex,
+    register_batch_index,
+    register_streaming_index,
+)
+from repro.indexes.posting import InvertedIndex, PostingEntry
+
+__all__ = ["InvertedBatchIndex", "InvertedStreamingIndex"]
+
+
+@register_batch_index
+class InvertedBatchIndex(BatchIndex):
+    """Batch INV: index everything, accumulate exact dot products."""
+
+    name = "INV"
+
+    def __init__(self, threshold: float, *, stats: JoinStatistics | None = None) -> None:
+        super().__init__(threshold, stats=stats)
+        self._index = InvertedIndex()
+        self._vectors: dict[int, SparseVector] = {}
+
+    @property
+    def size(self) -> int:
+        return len(self._index)
+
+    def index_vector(self, vector: SparseVector) -> None:
+        for position, (dim, value) in enumerate(vector):
+            self._index.add(dim, PostingEntry(
+                vector_id=vector.vector_id,
+                value=value,
+                prefix_norm=vector.prefix_norm_before(position),
+                timestamp=vector.timestamp,
+            ))
+        self._vectors[vector.vector_id] = vector
+        self.stats.entries_indexed += len(vector)
+        self.stats.max_index_size = max(self.stats.max_index_size, len(self._index))
+
+    def candidate_generation(self, vector: SparseVector) -> dict[int, float]:
+        scores: dict[int, float] = {}
+        stats = self.stats
+        for dim, value in vector:
+            posting_list = self._index.get(dim)
+            if posting_list is None:
+                continue
+            for entry in posting_list:
+                stats.entries_traversed += 1
+                scores[entry.vector_id] = scores.get(entry.vector_id, 0.0) + value * entry.value
+        stats.candidates_generated += len(scores)
+        return scores
+
+    def candidate_verification(
+        self, vector: SparseVector, candidates: dict[int, float]
+    ) -> list[tuple[SparseVector, float]]:
+        matches: list[tuple[SparseVector, float]] = []
+        for candidate_id, score in candidates.items():
+            # CG already produced the exact dot product; CV just thresholds.
+            if score >= self.threshold:
+                self.stats.full_similarities += 1
+                matches.append((self._vectors[candidate_id], score))
+        return matches
+
+
+@register_streaming_index
+class InvertedStreamingIndex(StreamingIndex):
+    """STR-INV: inverted index with lazy time filtering on time-ordered lists."""
+
+    name = "INV"
+    time_ordered = True
+
+    def __init__(self, threshold: float, decay: float, *,
+                 stats: JoinStatistics | None = None) -> None:
+        super().__init__(threshold, decay, stats=stats)
+        self.horizon = time_horizon(threshold, decay)
+        self._index = InvertedIndex()
+
+    @property
+    def size(self) -> int:
+        return len(self._index)
+
+    def process(self, vector: SparseVector) -> list[SimilarPair]:
+        now = vector.timestamp
+        cutoff = now - self.horizon
+        stats = self.stats
+        threshold = self.threshold
+        decay = self.decay
+
+        # -- CG: accumulate exact dot products from the time-ordered lists.
+        scores: dict[int, float] = {}
+        arrival: dict[int, float] = {}
+        for dim, value in vector:
+            posting_list = self._index.get(dim)
+            if posting_list is None:
+                continue
+            alive = 0
+            for entry in posting_list.iter_newest_first():
+                if entry.timestamp < cutoff:
+                    # Everything older than this entry is also expired:
+                    # truncate the head of the list (lazy time filtering).
+                    break
+                stats.entries_traversed += 1
+                alive += 1
+                candidate_id = entry.vector_id
+                scores[candidate_id] = scores.get(candidate_id, 0.0) + value * entry.value
+                arrival.setdefault(candidate_id, entry.timestamp)
+            removed = posting_list.keep_newest(alive)
+            if removed:
+                self._index.note_removed(removed)
+                stats.entries_pruned += removed
+        stats.candidates_generated += len(scores)
+
+        # -- CV: apply the time decay and the threshold.
+        pairs: list[SimilarPair] = []
+        for candidate_id, dot in scores.items():
+            stats.full_similarities += 1
+            delta = now - arrival[candidate_id]
+            similarity = dot * math.exp(-decay * delta)
+            if similarity >= threshold:
+                pairs.append(SimilarPair.make(
+                    vector.vector_id, candidate_id, similarity,
+                    time_delta=delta, dot=dot, reported_at=now,
+                ))
+
+        # -- IC: append every coordinate (no index pruning in INV).
+        for position, (dim, value) in enumerate(vector):
+            self._index.add(dim, PostingEntry(
+                vector_id=vector.vector_id,
+                value=value,
+                prefix_norm=vector.prefix_norm_before(position),
+                timestamp=now,
+            ))
+        stats.entries_indexed += len(vector)
+        stats.vectors_processed += 1
+        stats.pairs_output += len(pairs)
+        stats.max_index_size = max(stats.max_index_size, len(self._index))
+        return pairs

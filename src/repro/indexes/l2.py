@@ -1,0 +1,42 @@
+"""L2 indexing scheme — the paper's contribution (Section 5.4).
+
+L2 keeps only the ℓ₂-based bounds of L2AP (``b2``, ``rs2``, ``l2bound`` and
+the ℓ₂ part of ``pscore``) and discards the AP bounds.  Because the ℓ₂
+bounds depend only on the vector being indexed — never on dataset
+statistics — the streaming variant:
+
+* does not maintain the maximum vector ``m`` and therefore never needs to
+  re-index,
+* keeps its posting lists in time order, so candidate generation can scan
+  them backwards and truncate expired postings in constant time
+  (Section 6.2), and
+* has very lightweight index maintenance.
+
+These properties are exactly why the paper concludes that ``STR-L2`` is the
+most scalable and robust configuration.
+"""
+
+from __future__ import annotations
+
+from repro.indexes.base import register_batch_index, register_streaming_index
+from repro.indexes.prefix import PrefixFilterBatchIndex, PrefixFilterStreamingIndex
+
+__all__ = ["L2BatchIndex", "L2StreamingIndex"]
+
+
+@register_batch_index
+class L2BatchIndex(PrefixFilterBatchIndex):
+    """Batch L2 index: ℓ₂ bounds only (Algorithms 2–4, green lines)."""
+
+    name = "L2"
+    use_ap = False
+    use_l2 = True
+
+
+@register_streaming_index
+class L2StreamingIndex(PrefixFilterStreamingIndex):
+    """STR-L2: streaming L2 with time-ordered lists and no re-indexing."""
+
+    name = "L2"
+    use_ap = False
+    use_l2 = True

@@ -1,0 +1,41 @@
+"""L2AP indexing scheme (Anastasiu & Karypis, Section 5.3 of the paper).
+
+L2AP is the batch state of the art for the all-pairs similarity search.
+It augments AP with ℓ₂-norm bounds: the ``b2`` index-construction bound,
+the ``rs2`` remaining-score bound, the early ``l2bound`` pruning during
+candidate generation, and the stored ``pscore`` (``Q`` array) used by the
+``ps1`` verification bound.
+
+In the streaming setting (``STR-L2AP``) the maximum vector ``m`` has to be
+maintained online; whenever it grows, the prefix-filtering invariant breaks
+and the affected residual prefixes must be partially re-indexed
+(Section 5.3, "Re-indexing").  Re-indexed postings are appended out of time
+order, so the posting lists can no longer be truncated with the backward
+scan — they are compacted instead, which is precisely the overhead the
+paper measures in Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from repro.indexes.base import register_batch_index, register_streaming_index
+from repro.indexes.prefix import PrefixFilterBatchIndex, PrefixFilterStreamingIndex
+
+__all__ = ["L2APBatchIndex", "L2APStreamingIndex"]
+
+
+@register_batch_index
+class L2APBatchIndex(PrefixFilterBatchIndex):
+    """Batch L2AP index: AP + ℓ₂ bounds (Algorithms 2–4, red and green lines)."""
+
+    name = "L2AP"
+    use_ap = True
+    use_l2 = True
+
+
+@register_streaming_index
+class L2APStreamingIndex(PrefixFilterStreamingIndex):
+    """STR-L2AP: streaming L2AP with online ``m`` maintenance and re-indexing."""
+
+    name = "L2AP"
+    use_ap = True
+    use_l2 = True

@@ -1,0 +1,110 @@
+"""Linked hash-map used for the residual index ``R`` and the ``Q`` array.
+
+Section 6.2 of the paper: *"we implement them using a linked hash-map,
+which combines a hash-map for fast retrieval, and a linked list for
+sequential access. The sequential access is the order in which the data
+items are inserted in the data structure, which is also the time order."*
+
+:class:`LinkedHashMap` provides exactly the operations the streaming
+indexes need: O(1) insertion, lookup and deletion, plus iteration and
+eviction in insertion (= arrival time) order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterator
+from typing import Callable, Generic, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+__all__ = ["LinkedHashMap"]
+
+
+class LinkedHashMap(Generic[K, V]):
+    """Insertion-ordered map with head (oldest) eviction helpers."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: OrderedDict[K, V] = OrderedDict()
+
+    # -- mapping protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._items
+
+    def __getitem__(self, key: K) -> V:
+        return self._items[key]
+
+    def __setitem__(self, key: K, value: V) -> None:
+        """Insert or update; updating does not change the item's position."""
+        self._items[key] = value
+
+    def __delitem__(self, key: K) -> None:
+        del self._items[key]
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        return self._items.get(key, default)
+
+    def pop(self, key: K, default: V | None = None) -> V | None:
+        return self._items.pop(key, default)
+
+    def keys(self) -> Iterator[K]:
+        return iter(self._items.keys())
+
+    def values(self) -> Iterator[V]:
+        return iter(self._items.values())
+
+    def items(self) -> Iterator[tuple[K, V]]:
+        return iter(self._items.items())
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._items)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    # -- insertion-order helpers ----------------------------------------------
+
+    def oldest(self) -> tuple[K, V]:
+        """The key/value inserted earliest; raises ``KeyError`` when empty."""
+        if not self._items:
+            raise KeyError("oldest() on an empty LinkedHashMap")
+        key = next(iter(self._items))
+        return key, self._items[key]
+
+    def newest(self) -> tuple[K, V]:
+        """The key/value inserted most recently; raises ``KeyError`` when empty."""
+        if not self._items:
+            raise KeyError("newest() on an empty LinkedHashMap")
+        key = next(reversed(self._items))
+        return key, self._items[key]
+
+    def pop_oldest(self) -> tuple[K, V]:
+        """Remove and return the oldest entry."""
+        return self._items.popitem(last=False)
+
+    def evict_while(self, predicate: Callable[[K, V], bool]) -> list[tuple[K, V]]:
+        """Pop entries from the head as long as ``predicate(key, value)`` holds.
+
+        Returns the evicted entries in eviction order.  This is how the
+        streaming indexes prune residual entries older than the horizon:
+        because insertion order equals arrival order, the head always holds
+        the oldest vector.
+        """
+        evicted: list[tuple[K, V]] = []
+        while self._items:
+            key = next(iter(self._items))
+            value = self._items[key]
+            if not predicate(key, value):
+                break
+            evicted.append(self._items.popitem(last=False))
+        return evicted

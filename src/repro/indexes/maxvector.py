@@ -1,0 +1,134 @@
+"""Maximum-weight vectors ``m``, ``m̂`` and the decayed variant ``m̂^λ``.
+
+Three related structures from the paper:
+
+* ``m`` — per-dimension maximum over the data that may *query* the index.
+  In the batch setting it is computed over the whole dataset; in the
+  streaming setting it is maintained online and only ever grows, which is
+  what triggers re-indexing in STR-L2AP.
+* ``m̂`` — per-dimension maximum over the vectors already *indexed*; used by
+  the AP ``rs1`` bound during candidate generation.
+* ``m̂^λ`` — the time-decayed analogue for the streaming case,
+  ``m̂^λ_j(t) = max_x x_j · exp(-λ (t − t(x)))`` over indexed ``x``.
+
+For ``m̂^λ`` we exploit the fact that the ratio of two exponentially decayed
+values is constant over time: if ``a·e^{-λ(t−t_a)} ≥ b·e^{-λ(t−t_b)}`` holds
+at one instant it holds at every instant, so keeping the single dominating
+``(value, timestamp)`` per dimension gives the exact maximum.  When the
+dominating vector is later pruned from the index the retained value is only
+an over-estimate, which keeps the bound safe (no false negatives).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.core.vector import SparseVector
+
+__all__ = ["MaxVector", "DecayedMaxVector"]
+
+
+class MaxVector:
+    """Per-dimension maximum value (the paper's ``m`` / ``m̂``)."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: dict[int, float] = {}
+
+    @classmethod
+    def from_vectors(cls, vectors: Iterable[SparseVector]) -> "MaxVector":
+        """Build the maximum vector of a dataset (batch setting)."""
+        result = cls()
+        for vector in vectors:
+            result.update(vector)
+        return result
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def get(self, dim: int) -> float:
+        """Maximum value seen on ``dim`` (0 when the dimension never appeared)."""
+        return self._values.get(dim, 0.0)
+
+    def update(self, vector: SparseVector) -> list[int]:
+        """Fold a vector into the maxima; return the dimensions that grew."""
+        grown: list[int] = []
+        values = self._values
+        for dim, value in vector:
+            if value > values.get(dim, 0.0):
+                values[dim] = value
+                grown.append(dim)
+        return grown
+
+    def merge(self, other: "MaxVector") -> None:
+        """Point-wise maximum with another max vector (used by MB's §6.1 step)."""
+        for dim, value in other._values.items():
+            if value > self._values.get(dim, 0.0):
+                self._values[dim] = value
+
+    def copy(self) -> "MaxVector":
+        clone = MaxVector()
+        clone._values = dict(self._values)
+        return clone
+
+    def dot(self, vector: SparseVector) -> float:
+        """Dot product ``dot(x, m)`` restricted to the dimensions of ``x``."""
+        return sum(value * self._values.get(dim, 0.0) for dim, value in vector)
+
+    def as_dict(self) -> dict[int, float]:
+        return dict(self._values)
+
+
+class DecayedMaxVector:
+    """Time-decayed per-dimension maximum ``m̂^λ`` (streaming CG bound)."""
+
+    __slots__ = ("_decay", "_entries")
+
+    def __init__(self, decay: float) -> None:
+        self._decay = float(decay)
+        # dim -> (value, timestamp) of the dominating contribution
+        self._entries: dict[int, tuple[float, float]] = {}
+
+    @property
+    def decay(self) -> float:
+        return self._decay
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def update(self, vector: SparseVector) -> None:
+        """Fold a newly indexed vector into the decayed maxima."""
+        now = vector.timestamp
+        entries = self._entries
+        decay = self._decay
+        for dim, value in vector:
+            current = entries.get(dim)
+            if current is None:
+                entries[dim] = (value, now)
+                continue
+            current_value, current_time = current
+            # Compare both contributions at the present instant; because the
+            # ratio is time-invariant the winner dominates forever.
+            decayed_current = current_value * math.exp(-decay * (now - current_time))
+            if value >= decayed_current:
+                entries[dim] = (value, now)
+
+    def value_at(self, dim: int, now: float) -> float:
+        """``m̂^λ_j(now)``; 0 when the dimension never appeared."""
+        entry = self._entries.get(dim)
+        if entry is None:
+            return 0.0
+        value, timestamp = entry
+        if now <= timestamp:
+            return value
+        return value * math.exp(-self._decay * (now - timestamp))
+
+    def dot(self, vector: SparseVector) -> float:
+        """``dot(x, m̂^λ)`` evaluated at the arrival time of ``x`` (the rs1 bound)."""
+        now = vector.timestamp
+        return sum(value * self.value_at(dim, now) for dim, value in vector)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,134 @@
+"""Dimension-ordering strategies for the prefix-filtering indexes.
+
+The paper's conclusion lists *"experiment with dimension-ordering
+strategies and evaluate the cost-benefit trade-off of maintaining a
+dimension ordering"* as future work.  In the batch APSS literature the
+processing order of the dimensions strongly affects how much of each vector
+the prefix filter can leave un-indexed: Bayardo et al. order dimensions by
+decreasing document frequency so that the *rare* dimensions end up in the
+indexed suffix and posting lists stay short.
+
+This module implements that knob for the batch indexes (and for offline
+experimentation with the streaming ones):
+
+* :class:`DimensionOrdering` — a permutation of dimension ids derived from
+  a dataset by one of three strategies (``natural``, ``frequency``,
+  ``max_weight``),
+* :func:`remap_vectors` / :meth:`DimensionOrdering.remap` — rewrite vectors
+  into the permuted dimension space (and back), so the existing indexes can
+  be used unchanged.
+
+A true streaming deployment cannot fix a global ordering in advance — that
+is exactly the trade-off the paper leaves open — but the ablation benchmark
+``benchmarks/bench_ordering.py`` quantifies what a batch system gains from
+it, which is the cost-benefit data point the authors call for.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.core.vector import SparseVector
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["ORDERING_STRATEGIES", "DimensionOrdering", "remap_vectors"]
+
+ORDERING_STRATEGIES = ("natural", "frequency", "max_weight")
+
+
+class DimensionOrdering:
+    """A bijective remapping of dimension ids derived from a dataset.
+
+    Strategies
+    ----------
+    ``natural``
+        Keep the original dimension ids (identity mapping).
+    ``frequency``
+        Dimensions that occur in many vectors get *small* new ids, so they
+        are scanned first during index construction and tend to fall into
+        the un-indexed residual prefix; rare dimensions form the indexed
+        suffix, keeping posting lists short (Bayardo et al.'s choice).
+    ``max_weight``
+        Dimensions with a small maximum weight get small new ids; dimensions
+        that can contribute a lot of similarity end up indexed.
+    """
+
+    def __init__(self, mapping: dict[int, int], strategy: str) -> None:
+        self._forward = dict(mapping)
+        self._backward = {new: old for old, new in mapping.items()}
+        if len(self._backward) != len(self._forward):
+            raise InvalidParameterError("dimension mapping must be a bijection")
+        self.strategy = strategy
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def identity(cls) -> "DimensionOrdering":
+        """The natural (no-op) ordering."""
+        return cls({}, "natural")
+
+    @classmethod
+    def from_vectors(cls, vectors: Iterable[SparseVector],
+                     strategy: str = "frequency") -> "DimensionOrdering":
+        """Derive an ordering from a dataset with the given strategy."""
+        key = strategy.lower()
+        if key not in ORDERING_STRATEGIES:
+            raise InvalidParameterError(
+                f"unknown ordering strategy {strategy!r}; "
+                f"expected one of {ORDERING_STRATEGIES}"
+            )
+        if key == "natural":
+            return cls.identity()
+        frequency: Counter[int] = Counter()
+        max_weight: dict[int, float] = {}
+        for vector in vectors:
+            for dim, value in vector:
+                frequency[dim] += 1
+                if value > max_weight.get(dim, 0.0):
+                    max_weight[dim] = value
+        if key == "frequency":
+            # Most frequent first => smallest new id.
+            ranked = sorted(frequency, key=lambda dim: (-frequency[dim], dim))
+        else:
+            # Smallest maximum weight first => smallest new id.
+            ranked = sorted(max_weight, key=lambda dim: (max_weight[dim], dim))
+        mapping = {dim: position for position, dim in enumerate(ranked)}
+        return cls(mapping, key)
+
+    # -- application ----------------------------------------------------------------
+
+    def map_dimension(self, dim: int) -> int:
+        """New id of an original dimension (unknown dimensions keep their id)."""
+        return self._forward.get(dim, dim)
+
+    def unmap_dimension(self, dim: int) -> int:
+        """Original id of a remapped dimension."""
+        return self._backward.get(dim, dim)
+
+    def remap(self, vector: SparseVector) -> SparseVector:
+        """Rewrite a vector into the permuted dimension space."""
+        if not self._forward:
+            return vector
+        entries = {self.map_dimension(dim): value for dim, value in vector}
+        return SparseVector(vector.vector_id, vector.timestamp, entries, normalize=False)
+
+    def remap_all(self, vectors: Sequence[SparseVector]) -> list[SparseVector]:
+        """Remap a whole dataset."""
+        return [self.remap(vector) for vector in vectors]
+
+    def __len__(self) -> int:
+        """Number of explicitly remapped dimensions."""
+        return len(self._forward)
+
+
+def remap_vectors(vectors: Sequence[SparseVector],
+                  strategy: str = "frequency") -> tuple[list[SparseVector], DimensionOrdering]:
+    """Derive an ordering from ``vectors`` and return the remapped dataset.
+
+    Convenience wrapper used by the batch driver and the ordering ablation:
+    the returned ordering can translate reported dimension ids back via
+    :meth:`DimensionOrdering.unmap_dimension` if needed.
+    """
+    ordering = DimensionOrdering.from_vectors(vectors, strategy)
+    return ordering.remap_all(vectors), ordering

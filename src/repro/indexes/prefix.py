@@ -1,0 +1,445 @@
+"""Shared prefix-filtering engine behind the AP, L2AP and L2 indexes.
+
+The three schemes of Sections 5.2–5.4 differ only in which bound families
+they enable:
+
+===========  =====================  =====================
+scheme       AP bounds (``b1``,     ℓ₂ bounds (``b2``,
+             ``sz1``, ``rs1``)      ``rs2``, ``l2bound``)
+===========  =====================  =====================
+AP           yes                    no
+L2AP         yes                    yes
+L2           no                     yes
+===========  =====================  =====================
+
+:class:`PrefixFilterBatchIndex` implements Algorithms 2–4 (index
+construction, candidate generation, candidate verification) for a static
+dataset, parameterised by the two flags.  :class:`PrefixFilterStreamingIndex`
+implements the streaming counterparts (Algorithms 6–8) including time
+filtering, decayed bounds and — when the AP bounds are enabled — the
+re-indexing procedure of Section 5.3.
+
+The concrete classes in :mod:`repro.indexes.allpairs`, :mod:`repro.indexes.l2ap`
+and :mod:`repro.indexes.l2` are thin subclasses that fix the flags.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.results import JoinStatistics, SimilarPair
+from repro.core.similarity import time_horizon
+from repro.core.vector import SparseVector
+from repro.exceptions import InvalidParameterError
+from repro.indexes.base import BatchIndex, StreamingIndex
+from repro.indexes.bounds import (
+    compute_indexing_split,
+    size_filter_threshold,
+    verification_bounds,
+)
+from repro.indexes.maxvector import DecayedMaxVector, MaxVector
+from repro.indexes.posting import InvertedIndex, PostingEntry
+from repro.indexes.residual import ResidualEntry, ResidualIndex
+
+__all__ = ["PrefixFilterBatchIndex", "PrefixFilterStreamingIndex"]
+
+_INF = math.inf
+
+
+class PrefixFilterBatchIndex(BatchIndex):
+    """Batch prefix-filtering index (Algorithms 2–4) with selectable bounds.
+
+    Parameters
+    ----------
+    threshold:
+        Similarity threshold ``θ``.
+    max_vector:
+        The ``m`` vector over the data that will *query* the index.  Required
+        when the AP bounds are enabled (``use_ap``); the batch driver computes
+        it over the whole dataset, the MiniBatch framework over the previous
+        and the current window (Section 6.1).  When omitted with ``use_ap``
+        enabled, the index maintains ``m`` online from the vectors it sees,
+        which is only correct if queries never exceed the indexed maxima.
+    """
+
+    use_ap: bool = True
+    use_l2: bool = True
+
+    def __init__(self, threshold: float, *, stats: JoinStatistics | None = None,
+                 max_vector: MaxVector | None = None) -> None:
+        super().__init__(threshold, stats=stats)
+        self._index = InvertedIndex()
+        self._residual = ResidualIndex()
+        self._max_query = max_vector            # m  (bounds future queries)
+        self._max_indexed = MaxVector()         # m̂  (maxima of indexed data)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._index)
+
+    @property
+    def residual_size(self) -> int:
+        return self._residual.total_residual_coordinates()
+
+    # -- IC ---------------------------------------------------------------------
+
+    def index_vector(self, vector: SparseVector) -> None:
+        max_vector = self._max_query
+        if self.use_ap and max_vector is None:
+            # Fall back to the indexed maxima; see the class docstring.
+            max_vector = self._max_indexed
+            max_vector.update(vector)
+        split = compute_indexing_split(
+            vector, self.threshold,
+            max_vector=max_vector if self.use_ap else None,
+            use_ap=self.use_ap, use_l2=self.use_l2,
+        )
+        if split.boundary >= len(vector):
+            # The whole vector stays un-indexed: it cannot reach the threshold
+            # against any other vector, so it will never need to be retrieved.
+            return
+        self._residual.add(ResidualEntry(
+            vector=vector, boundary=split.boundary, pscore=split.pscore,
+        ))
+        for position in range(split.boundary, len(vector)):
+            dim = vector.dims[position]
+            self._index.add(dim, PostingEntry(
+                vector_id=vector.vector_id,
+                value=vector.values[position],
+                prefix_norm=vector.prefix_norm_before(position),
+                timestamp=vector.timestamp,
+            ))
+        indexed = len(vector) - split.boundary
+        self._max_indexed.update(vector)
+        self.stats.entries_indexed += indexed
+        self.stats.residual_entries += split.boundary
+        self.stats.max_index_size = max(self.stats.max_index_size, len(self._index))
+        self.stats.max_residual_size = max(
+            self.stats.max_residual_size, self._residual.total_residual_coordinates()
+        )
+
+    # -- CG ---------------------------------------------------------------------
+
+    def candidate_generation(self, vector: SparseVector) -> dict[int, float]:
+        stats = self.stats
+        threshold = self.threshold
+        scores: dict[int, float] = {}
+        pruned: set[int] = set()
+
+        sz1 = size_filter_threshold(threshold, vector.max_value) if self.use_ap else 0.0
+        rs1 = self._max_indexed.dot(vector) if self.use_ap else _INF
+        rst = vector.norm * vector.norm
+        rs2 = math.sqrt(rst) if self.use_l2 else _INF
+
+        for position in range(len(vector) - 1, -1, -1):
+            dim = vector.dims[position]
+            value = vector.values[position]
+            posting_list = self._index.get(dim)
+            if posting_list is not None:
+                query_prefix_norm = vector.prefix_norm_before(position)
+                remscore = min(rs1, rs2)
+                admit_new = remscore >= threshold
+                for entry in posting_list:
+                    stats.entries_traversed += 1
+                    candidate_id = entry.vector_id
+                    if candidate_id in pruned:
+                        continue
+                    started = candidate_id in scores
+                    if not started and not admit_new:
+                        continue
+                    if self.use_ap and not started:
+                        candidate_meta = self._residual.get(candidate_id)
+                        if candidate_meta is not None and candidate_meta.size_filter_value < sz1:
+                            continue
+                    accumulated = scores.get(candidate_id, 0.0) + value * entry.value
+                    if self.use_l2:
+                        l2bound = accumulated + query_prefix_norm * entry.prefix_norm
+                        if l2bound < threshold:
+                            scores.pop(candidate_id, None)
+                            pruned.add(candidate_id)
+                            continue
+                    scores[candidate_id] = accumulated
+            if self.use_ap:
+                rs1 -= value * self._max_indexed.get(dim)
+            rst -= value * value
+            if self.use_l2:
+                rs2 = math.sqrt(max(rst, 0.0))
+
+        stats.candidates_generated += len(scores)
+        return scores
+
+    # -- CV ---------------------------------------------------------------------
+
+    def candidate_verification(
+        self, vector: SparseVector, candidates: dict[int, float]
+    ) -> list[tuple[SparseVector, float]]:
+        stats = self.stats
+        threshold = self.threshold
+        matches: list[tuple[SparseVector, float]] = []
+        for candidate_id, accumulated in candidates.items():
+            entry = self._residual.get(candidate_id)
+            if entry is None:  # pragma: no cover - defensive; indexed vectors have entries
+                continue
+            ps1, ds1, sz2 = verification_bounds(accumulated, vector, entry)
+            if ps1 >= threshold and ds1 >= threshold and sz2 >= threshold:
+                stats.full_similarities += 1
+                score = accumulated + entry.residual_dot(vector)
+                if score >= threshold:
+                    matches.append((entry.vector, score))
+        return matches
+
+
+class PrefixFilterStreamingIndex(StreamingIndex):
+    """Streaming prefix-filtering index (Algorithms 6–8) with selectable bounds.
+
+    When the AP bounds are enabled the index maintains the online maximum
+    vector ``m`` and performs the re-indexing procedure of Section 5.3
+    whenever ``m`` grows; its posting lists then lose time order and are
+    pruned by full compaction.  When only the ℓ₂ bounds are enabled (the L2
+    scheme) the lists stay time ordered, so candidate generation scans them
+    backwards and truncates lazily, exactly as Section 6.2 describes.
+    """
+
+    use_ap: bool = True
+    use_l2: bool = True
+
+    def __init__(self, threshold: float, decay: float, *,
+                 stats: JoinStatistics | None = None) -> None:
+        super().__init__(threshold, decay, stats=stats)
+        if decay <= 0:
+            raise InvalidParameterError(
+                "the streaming indexes require a strictly positive decay rate; "
+                "with decay == 0 the horizon is unbounded and the index can never "
+                "forget items (use the batch all_pairs driver instead)"
+            )
+        self.horizon = time_horizon(threshold, decay)
+        self.time_ordered = not self.use_ap
+        self._index = InvertedIndex()
+        self._residual = ResidualIndex()
+        self._max_query = MaxVector() if self.use_ap else None          # m
+        self._max_decayed = DecayedMaxVector(decay) if self.use_ap else None  # m̂^λ
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._index)
+
+    @property
+    def residual_size(self) -> int:
+        return self._residual.total_residual_coordinates()
+
+    # -- main entry point (Algorithm 6) ------------------------------------------
+
+    def process(self, vector: SparseVector) -> list[SimilarPair]:
+        now = vector.timestamp
+        cutoff = now - self.horizon
+        stats = self.stats
+
+        # Time filtering of the residual/Q store: entries are in arrival
+        # order, so eviction pops from the head (Section 6.2).
+        self._residual.evict_older_than(cutoff)
+
+        # Maintaining the AP invariant must happen before candidate
+        # generation: if the new vector raises the maximum of a dimension,
+        # residual prefixes that relied on the old maximum may now need to
+        # be (partially) indexed, otherwise the query could miss them.
+        if self.use_ap:
+            grown = self._max_query.update(vector)  # type: ignore[union-attr]
+            if grown:
+                self._reindex(grown, cutoff)
+
+        scores = self._candidate_generation(vector, cutoff)
+        pairs = self._candidate_verification(vector, scores)
+        self._index_vector(vector)
+
+        stats.vectors_processed += 1
+        stats.pairs_output += len(pairs)
+        stats.max_index_size = max(stats.max_index_size, len(self._index))
+        stats.max_residual_size = max(
+            stats.max_residual_size, self._residual.total_residual_coordinates()
+        )
+        return pairs
+
+    # -- CG (Algorithm 7) ---------------------------------------------------------
+
+    def _candidate_generation(self, vector: SparseVector, cutoff: float) -> dict[int, float]:
+        stats = self.stats
+        threshold = self.threshold
+        decay = self.decay
+        now = vector.timestamp
+        scores: dict[int, float] = {}
+        pruned: set[int] = set()
+
+        sz1 = size_filter_threshold(threshold, vector.max_value) if self.use_ap else 0.0
+        rs1 = self._max_decayed.dot(vector) if self.use_ap else _INF
+        rst = vector.norm * vector.norm
+        rs2 = math.sqrt(rst) if self.use_l2 else _INF
+
+        for position in range(len(vector) - 1, -1, -1):
+            dim = vector.dims[position]
+            value = vector.values[position]
+            posting_list = self._index.get(dim)
+            if posting_list is not None and len(posting_list):
+                query_prefix_norm = vector.prefix_norm_before(position)
+                if self.time_ordered:
+                    # Backward scan: stop at the first expired posting and
+                    # truncate the head.  Only live postings count as
+                    # traversed — the expired sentinel is charged to pruning.
+                    alive = 0
+                    for entry in posting_list.iter_newest_first():
+                        if entry.timestamp < cutoff:
+                            break
+                        stats.entries_traversed += 1
+                        alive += 1
+                        self._accumulate(entry, value, query_prefix_norm, now,
+                                         rs1, rs2, sz1, scores, pruned)
+                    removed = posting_list.keep_newest(alive)
+                else:
+                    kept: list[PostingEntry] = []
+                    for entry in posting_list:
+                        stats.entries_traversed += 1
+                        if entry.timestamp < cutoff:
+                            continue
+                        kept.append(entry)
+                        self._accumulate(entry, value, query_prefix_norm, now,
+                                         rs1, rs2, sz1, scores, pruned)
+                    removed = len(posting_list) - len(kept)
+                    if removed:
+                        posting_list.replace_all_entries(kept)
+                if removed:
+                    self._index.note_removed(removed)
+                    stats.entries_pruned += removed
+            if self.use_ap:
+                rs1 -= value * self._max_decayed.value_at(dim, now)  # type: ignore[union-attr]
+            rst -= value * value
+            if self.use_l2:
+                rs2 = math.sqrt(max(rst, 0.0))
+
+        stats.candidates_generated += len(scores)
+        return scores
+
+    def _accumulate(self, entry: PostingEntry, value: float, query_prefix_norm: float,
+                    now: float, rs1: float, rs2: float, sz1: float,
+                    scores: dict[int, float], pruned: set[int]) -> None:
+        """Per-posting accumulation with the decayed bounds of Algorithm 7."""
+        threshold = self.threshold
+        candidate_id = entry.vector_id
+        if candidate_id in pruned:
+            return
+        delta = now - entry.timestamp
+        decay_factor = math.exp(-self.decay * delta)
+        started = candidate_id in scores
+        if not started:
+            remscore = min(rs1, rs2 * decay_factor)
+            if remscore < threshold:
+                return
+            if self.use_ap:
+                candidate_meta = self._residual.get(candidate_id)
+                if candidate_meta is not None and candidate_meta.size_filter_value < sz1:
+                    return
+        accumulated = scores.get(candidate_id, 0.0) + value * entry.value
+        if self.use_l2:
+            l2bound = accumulated + query_prefix_norm * entry.prefix_norm * decay_factor
+            if l2bound < threshold:
+                scores.pop(candidate_id, None)
+                pruned.add(candidate_id)
+                return
+        scores[candidate_id] = accumulated
+
+    # -- CV (Algorithm 8) ---------------------------------------------------------
+
+    def _candidate_verification(self, vector: SparseVector,
+                                candidates: dict[int, float]) -> list[SimilarPair]:
+        stats = self.stats
+        threshold = self.threshold
+        now = vector.timestamp
+        pairs: list[SimilarPair] = []
+        for candidate_id, accumulated in candidates.items():
+            entry = self._residual.get(candidate_id)
+            if entry is None:  # pragma: no cover - defensive
+                continue
+            delta = now - entry.timestamp
+            decay_factor = math.exp(-self.decay * delta)
+            ps1, ds1, sz2 = verification_bounds(accumulated, vector, entry)
+            if (ps1 * decay_factor >= threshold and ds1 * decay_factor >= threshold
+                    and sz2 * decay_factor >= threshold):
+                stats.full_similarities += 1
+                dot = accumulated + entry.residual_dot(vector)
+                similarity = dot * decay_factor
+                if similarity >= threshold:
+                    pairs.append(SimilarPair.make(
+                        vector.vector_id, candidate_id, similarity,
+                        time_delta=delta, dot=dot, reported_at=now,
+                    ))
+        return pairs
+
+    # -- IC (Algorithm 6, lines 6-14) ----------------------------------------------
+
+    def _index_vector(self, vector: SparseVector) -> None:
+        split = compute_indexing_split(
+            vector, self.threshold,
+            max_vector=self._max_query if self.use_ap else None,
+            use_ap=self.use_ap, use_l2=self.use_l2,
+        )
+        if split.boundary >= len(vector):
+            return
+        self._residual.add(ResidualEntry(
+            vector=vector, boundary=split.boundary, pscore=split.pscore,
+        ))
+        for position in range(split.boundary, len(vector)):
+            dim = vector.dims[position]
+            self._index.add(dim, PostingEntry(
+                vector_id=vector.vector_id,
+                value=vector.values[position],
+                prefix_norm=vector.prefix_norm_before(position),
+                timestamp=vector.timestamp,
+            ))
+        if self.use_ap:
+            self._max_decayed.update(vector)  # type: ignore[union-attr]
+        self.stats.entries_indexed += len(vector) - split.boundary
+        self.stats.residual_entries += split.boundary
+
+    # -- re-indexing (Section 5.3) ---------------------------------------------------
+
+    def _reindex(self, grown_dims: list[int], cutoff: float) -> None:
+        """Restore the prefix-filtering invariant after ``m`` grew."""
+        stats = self.stats
+        affected = self._residual.candidates_for_dimensions(grown_dims)
+        if not affected:
+            return
+        stats.reindexings += 1
+        for candidate_id in affected:
+            entry = self._residual.get(candidate_id)
+            if entry is None or entry.timestamp < cutoff:
+                continue
+            split = compute_indexing_split(
+                entry.vector, self.threshold,
+                max_vector=self._max_query,
+                use_ap=self.use_ap, use_l2=self.use_l2,
+                limit=entry.boundary,
+            )
+            if split.boundary >= entry.boundary:
+                # The boundary does not move, but the stored Q bound was
+                # computed against the old maxima and is now too small; a
+                # stale (under-estimating) Q would let the ps1 verification
+                # bound prune a true pair.  Refresh it.
+                entry.pscore = split.pscore
+                continue
+            # Move the newly covered coordinates from the residual prefix to
+            # the posting lists; they are appended at the tail, so the lists
+            # lose their time order (hence ``time_ordered`` is False here).
+            for position in range(split.boundary, entry.boundary):
+                dim = entry.vector.dims[position]
+                self._index.add(dim, PostingEntry(
+                    vector_id=candidate_id,
+                    value=entry.vector.values[position],
+                    prefix_norm=entry.vector.prefix_norm_before(position),
+                    timestamp=entry.timestamp,
+                ))
+                stats.reindexed_entries += 1
+                stats.entries_indexed += 1
+            freed_dims = entry.shrink_to(split.boundary, split.pscore)
+            self._residual.forget_residual_dimension(candidate_id, freed_dims)

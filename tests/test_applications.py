@@ -1,0 +1,175 @@
+"""Tests for the application layer (trend detection, dedup, top-k monitor)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications.dedup import DuplicateFilter
+from repro.applications.topk import TopKPairsMonitor
+from repro.applications.trends import TrendDetector
+from repro.core.vector import SparseVector
+from repro.datasets.generator import generate_profile_corpus
+
+
+def vec(vector_id: int, t: float, entries: dict[int, float]) -> SparseVector:
+    return SparseVector(vector_id, t, entries)
+
+
+def burst(start_id: int, start_time: float, terms: dict[int, float], count: int,
+          spacing: float = 0.2) -> list[SparseVector]:
+    """A burst of near-identical posts sharing the same terms."""
+    return [vec(start_id + i, start_time + i * spacing, terms) for i in range(count)]
+
+
+class TestTrendDetector:
+    def test_detects_a_burst_of_similar_posts(self):
+        detector = TrendDetector(threshold=0.8, decay=0.05, min_size=3)
+        stream = burst(0, 0.0, {1: 1.0, 2: 2.0, 3: 1.0}, count=5)
+        stream.append(vec(100, 2.0, {50: 1.0}))
+        trends = detector.run(sorted(stream, key=lambda v: v.timestamp))
+        assert len(trends) == 1
+        assert trends[0].size == 5
+        assert trends[0].pair_count == 10   # 5 choose 2 mutually similar posts
+
+    def test_unrelated_posts_produce_no_trend(self):
+        detector = TrendDetector(threshold=0.8, decay=0.05)
+        stream = [vec(i, float(i), {i * 10: 1.0, i * 10 + 1: 0.5}) for i in range(10)]
+        assert detector.run(stream) == []
+
+    def test_two_separate_trends(self):
+        detector = TrendDetector(threshold=0.8, decay=0.05, min_size=3)
+        stream = burst(0, 0.0, {1: 1.0, 2: 2.0}, count=3)
+        stream += burst(10, 1.0, {7: 1.0, 8: 2.0, 9: 0.5}, count=4)
+        stream.sort(key=lambda vector: vector.timestamp)
+        trends = detector.run(stream)
+        assert len(trends) == 2
+        assert trends[0].size == 4          # biggest first
+        assert trends[1].size == 3
+
+    def test_min_size_filters_small_clusters(self):
+        detector = TrendDetector(threshold=0.8, decay=0.05, min_size=4)
+        stream = burst(0, 0.0, {1: 1.0, 2: 2.0}, count=3)
+        assert detector.run(stream) == []
+
+    def test_min_size_validation(self):
+        with pytest.raises(ValueError):
+            TrendDetector(threshold=0.8, decay=0.05, min_size=1)
+
+    def test_old_trends_expire(self):
+        detector = TrendDetector(threshold=0.8, decay=0.5, min_size=2)   # tau ~ 0.45
+        for vector in burst(0, 0.0, {1: 1.0, 2: 2.0}, count=3, spacing=0.1):
+            detector.process(vector)
+        assert len(detector.active_trends()) == 1
+        # A much later unrelated post pushes the clock past the horizon.
+        detector.process(vec(99, 100.0, {50: 1.0}))
+        assert detector.active_trends() == []
+
+    def test_trend_of_lookup(self):
+        detector = TrendDetector(threshold=0.8, decay=0.05, min_size=2)
+        for vector in burst(0, 0.0, {1: 1.0, 2: 2.0}, count=3):
+            detector.process(vector)
+        trend = detector.trend_of(0)
+        assert trend is not None
+        assert 2 in trend.members
+        assert detector.trend_of(12345) is None
+
+    def test_duration_and_timestamps(self):
+        detector = TrendDetector(threshold=0.8, decay=0.05, min_size=2)
+        stream = burst(0, 5.0, {1: 1.0, 2: 2.0}, count=3, spacing=1.0)
+        trends = detector.run(stream)
+        assert trends[0].first_seen == pytest.approx(5.0)
+        assert trends[0].last_seen == pytest.approx(7.0)
+        assert trends[0].duration == pytest.approx(2.0)
+
+    def test_join_statistics_exposed(self):
+        detector = TrendDetector(threshold=0.8, decay=0.05)
+        detector.run(burst(0, 0.0, {1: 1.0}, count=4))
+        assert detector.join_statistics.vectors_processed == 4
+
+
+class TestDuplicateFilter:
+    def test_first_item_is_delivered(self):
+        dedup = DuplicateFilter(threshold=0.8, decay=0.05)
+        decision = dedup.process(vec(1, 0.0, {1: 1.0}))
+        assert decision.delivered
+        assert decision.canonical_id == 1
+
+    def test_near_copy_is_suppressed(self):
+        dedup = DuplicateFilter(threshold=0.8, decay=0.05)
+        dedup.process(vec(1, 0.0, {1: 1.0, 2: 2.0}))
+        decision = dedup.process(vec(2, 0.5, {1: 1.0, 2: 2.0}))
+        assert not decision.delivered
+        assert decision.canonical_id == 1
+        assert decision.similarity >= 0.8
+        assert decision.duplicates_so_far == 1
+
+    def test_chain_of_copies_points_to_the_original(self):
+        dedup = DuplicateFilter(threshold=0.8, decay=0.05)
+        dedup.process(vec(1, 0.0, {1: 1.0, 2: 2.0}))
+        dedup.process(vec(2, 0.5, {1: 1.0, 2: 2.0}))
+        decision = dedup.process(vec(3, 1.0, {1: 1.0, 2: 2.0}))
+        assert decision.canonical_id == 1
+        assert decision.duplicates_so_far == 2
+        assert dedup.group_size(1) == 3
+
+    def test_duplicate_delivered_again_after_horizon(self):
+        dedup = DuplicateFilter(threshold=0.8, decay=0.5)   # tau ~ 0.45
+        dedup.process(vec(1, 0.0, {1: 1.0, 2: 2.0}))
+        decision = dedup.process(vec(2, 10.0, {1: 1.0, 2: 2.0}))
+        assert decision.delivered
+
+    def test_suppression_rate(self):
+        dedup = DuplicateFilter(threshold=0.8, decay=0.05)
+        dedup.process(vec(1, 0.0, {1: 1.0}))
+        dedup.process(vec(2, 0.1, {1: 1.0}))
+        dedup.process(vec(3, 0.2, {9: 1.0}))
+        assert dedup.suppression_rate == pytest.approx(1 / 3)
+        assert dedup.delivered_count == 2
+        assert dedup.suppressed_count == 1
+
+    def test_canonical_for(self):
+        dedup = DuplicateFilter(threshold=0.8, decay=0.05)
+        dedup.process(vec(1, 0.0, {1: 1.0}))
+        dedup.process(vec(2, 0.1, {1: 1.0}))
+        assert dedup.canonical_for(2) == 1
+        assert dedup.canonical_for(99) is None
+
+    def test_run_over_profile_stream(self):
+        stream = generate_profile_corpus("tweets", num_vectors=300, seed=17)
+        dedup = DuplicateFilter(threshold=0.75, decay=0.05)
+        decisions = dedup.run(stream)
+        assert len(decisions) == 300
+        assert dedup.delivered_count + dedup.suppressed_count == 300
+        # The tweets profile injects near-duplicates, so some suppression
+        # must happen.
+        assert dedup.suppressed_count > 0
+
+
+class TestTopKPairsMonitor:
+    def test_keeps_only_k_pairs(self):
+        monitor = TopKPairsMonitor(k=2, threshold=0.5, decay=0.05)
+        stream = burst(0, 0.0, {1: 1.0, 2: 2.0}, count=4)   # 6 pairs total
+        monitor.run(stream)
+        assert monitor.pairs_seen == 6
+        assert len(monitor.top()) == 2
+
+    def test_top_is_sorted_by_similarity(self):
+        monitor = TopKPairsMonitor(k=3, threshold=0.5, decay=0.1)
+        monitor.process(vec(1, 0.0, {1: 1.0, 2: 1.0}))
+        monitor.process(vec(2, 0.1, {1: 1.0, 2: 1.0}))    # very similar, close
+        monitor.process(vec(3, 3.0, {1: 1.0, 2: 1.0}))    # similar but decayed
+        top = monitor.top()
+        similarities = [pair.similarity for pair in top]
+        assert similarities == sorted(similarities, reverse=True)
+
+    def test_minimum_retained_similarity(self):
+        monitor = TopKPairsMonitor(k=2, threshold=0.5, decay=0.05)
+        assert monitor.minimum_retained_similarity() == 0.0
+        monitor.run(burst(0, 0.0, {1: 1.0, 2: 2.0}, count=3))
+        assert monitor.minimum_retained_similarity() > 0.5
+
+    def test_threshold_floor(self):
+        monitor = TopKPairsMonitor(k=5, threshold=0.99, decay=0.5)
+        monitor.process(vec(1, 0.0, {1: 1.0, 2: 1.0}))
+        monitor.process(vec(2, 5.0, {1: 1.0, 2: 1.0}))   # decayed below floor
+        assert monitor.top() == []

@@ -1,0 +1,101 @@
+"""Tests for the exact baselines (brute force and sliding window)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_all_pairs, brute_force_time_dependent
+from repro.baselines.sliding_window import SlidingWindowJoin, sliding_window_join
+from repro.core.results import JoinStatistics
+from repro.core.similarity import time_horizon
+from repro.core.vector import SparseVector
+from repro.exceptions import InvalidParameterError
+from tests.conftest import random_vectors
+
+
+def vec(vector_id: int, t: float, entries: dict[int, float]) -> SparseVector:
+    return SparseVector(vector_id, t, entries)
+
+
+class TestBruteForceAllPairs:
+    def test_finds_duplicate_pair(self):
+        a = vec(1, 0.0, {1: 1.0})
+        b = vec(2, 5.0, {1: 1.0})
+        pairs = brute_force_all_pairs([a, b], 0.9)
+        assert [pair.key for pair in pairs] == [(1, 2)]
+        assert pairs[0].similarity == pytest.approx(1.0)
+
+    def test_threshold_is_inclusive(self):
+        # Un-normalised vectors whose dot product is exactly representable.
+        a = SparseVector(1, 0.0, {1: 1.0}, normalize=False)
+        b = SparseVector(2, 0.0, {1: 0.5, 2: 0.25}, normalize=False)   # dot exactly 0.5
+        assert len(brute_force_all_pairs([a, b], 0.5)) == 1
+        assert len(brute_force_all_pairs([a, b], 0.5000001)) == 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(InvalidParameterError):
+            brute_force_all_pairs([], 0.0)
+
+    def test_number_of_comparisons_is_quadratic(self):
+        stats = JoinStatistics()
+        brute_force_all_pairs(random_vectors(20, seed=1), 0.9, stats=stats)
+        assert stats.full_similarities == 20 * 19 // 2
+
+
+class TestBruteForceTimeDependent:
+    def test_applies_decay(self):
+        a = vec(1, 0.0, {1: 1.0})
+        b = vec(2, 10.0, {1: 1.0})
+        pairs = brute_force_time_dependent([a, b], 0.3, 0.1)
+        assert pairs[0].similarity == pytest.approx(math.exp(-1.0))
+
+    def test_zero_decay_equals_all_pairs(self):
+        vectors = random_vectors(30, seed=2)
+        with_time = {p.key for p in brute_force_time_dependent(vectors, 0.6, 0.0)}
+        plain = {p.key for p in brute_force_all_pairs(vectors, 0.6)}
+        assert with_time == plain
+
+    def test_pairs_beyond_horizon_excluded(self):
+        threshold, decay = 0.7, 0.1
+        tau = time_horizon(threshold, decay)
+        a = vec(1, 0.0, {1: 1.0})
+        b = vec(2, tau * 1.01, {1: 1.0})
+        assert brute_force_time_dependent([a, b], threshold, decay) == []
+
+
+class TestSlidingWindowJoin:
+    def test_matches_brute_force(self):
+        vectors = random_vectors(80, seed=3)
+        threshold, decay = 0.6, 0.05
+        expected = {p.key for p in brute_force_time_dependent(vectors, threshold, decay)}
+        got = {p.key for p in sliding_window_join(vectors, threshold, decay)}
+        assert got == expected
+
+    def test_window_is_pruned(self):
+        join = SlidingWindowJoin(0.7, 1.0)   # tau ~ 0.36
+        for i in range(50):
+            join.process(vec(i, float(i), {1: 1.0}))
+        assert join.window_size <= 2
+
+    def test_window_keeps_everything_with_tiny_decay(self):
+        join = SlidingWindowJoin(0.7, 1e-9)
+        for i in range(10):
+            join.process(vec(i, float(i), {i: 1.0}))
+        assert join.window_size == 10
+
+    def test_run_generator_interface(self):
+        vectors = [vec(1, 0.0, {1: 1.0}), vec(2, 0.5, {1: 1.0})]
+        join = SlidingWindowJoin(0.7, 0.1)
+        pairs = list(join.run(vectors))
+        assert len(pairs) == 1
+        assert join.stats.vectors_processed == 2
+
+    def test_does_fewer_comparisons_than_brute_force_when_window_is_short(self):
+        vectors = random_vectors(100, seed=4)
+        stats = JoinStatistics()
+        join = SlidingWindowJoin(0.8, 0.5, stats=stats)
+        for vector in vectors:
+            join.process(vector)
+        assert stats.full_similarities < 100 * 99 // 2

@@ -1,0 +1,65 @@
+"""Tests for the static all-pairs similarity search driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_all_pairs
+from repro.core.batch import all_pairs, build_batch_index
+from repro.core.results import JoinStatistics
+from repro.exceptions import UnknownAlgorithmError
+from repro.indexes.base import available_batch_indexes
+from tests.conftest import random_vectors
+
+
+class TestAllPairs:
+    @pytest.mark.parametrize("index", ["INV", "AP", "L2AP", "L2"])
+    @pytest.mark.parametrize("threshold", [0.5, 0.8])
+    def test_matches_brute_force(self, index, threshold):
+        dataset = random_vectors(70, seed=61)
+        expected = {pair.key for pair in brute_force_all_pairs(dataset, threshold)}
+        got = {pair.key for pair in all_pairs(dataset, threshold, index=index)}
+        assert got == expected
+
+    def test_lowercase_index_names_accepted(self):
+        dataset = random_vectors(30, seed=62)
+        assert ({p.key for p in all_pairs(dataset, 0.7, index="l2ap")}
+                == {p.key for p in all_pairs(dataset, 0.7, index="L2AP")})
+
+    def test_unknown_index_raises(self):
+        with pytest.raises(UnknownAlgorithmError):
+            all_pairs(random_vectors(5), 0.7, index="FANCY")
+
+    def test_stats_are_populated(self):
+        dataset = random_vectors(50, seed=63)
+        stats = JoinStatistics()
+        all_pairs(dataset, 0.6, index="L2AP", stats=stats)
+        assert stats.vectors_processed == 50
+        assert stats.entries_indexed > 0
+        assert stats.pairs_output >= 0
+
+    def test_similarity_values_are_dot_products(self):
+        dataset = random_vectors(40, seed=64)
+        by_id = {vector.vector_id: vector for vector in dataset}
+        for pair in all_pairs(dataset, 0.6, index="L2"):
+            assert pair.similarity == pytest.approx(
+                by_id[pair.id_a].dot(by_id[pair.id_b])
+            )
+
+    def test_empty_dataset(self):
+        assert all_pairs([], 0.7, index="L2") == []
+
+    def test_registry_exposes_all_four_schemes(self):
+        assert set(available_batch_indexes()) >= {"INV", "AP", "L2AP", "L2"}
+
+
+class TestBuildBatchIndex:
+    def test_ap_based_indexes_get_a_max_vector(self):
+        dataset = random_vectors(20, seed=65)
+        index = build_batch_index("L2AP", 0.7, dataset)
+        assert index._max_query is not None
+
+    def test_l2_index_does_not_need_a_max_vector(self):
+        dataset = random_vectors(20, seed=66)
+        index = build_batch_index("L2", 0.7, dataset)
+        assert index._max_query is None

@@ -1,0 +1,137 @@
+"""Unit tests for the filtering bounds (index-construction split, CV bounds)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.vector import SparseVector
+from repro.indexes.bounds import (
+    compute_indexing_split,
+    size_filter_threshold,
+    verification_bounds,
+)
+from repro.indexes.maxvector import MaxVector
+from repro.indexes.residual import ResidualEntry
+
+
+def vec(vector_id: int, entries: dict[int, float], *, t: float = 0.0,
+        normalize: bool = True) -> SparseVector:
+    return SparseVector(vector_id, t, entries, normalize=normalize)
+
+
+class TestIndexingSplit:
+    def test_l2_only_boundary_matches_norm_condition(self):
+        # Uniform vector of 4 coordinates, each 0.5 after normalisation.
+        vector = vec(1, {1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0})
+        split = compute_indexing_split(vector, 0.7, max_vector=None,
+                                       use_ap=False, use_l2=True)
+        # Prefix norms after k coords: 0.5, 0.707, 0.866, 1.0 — the ℓ₂ bound
+        # reaches 0.7 after the second coordinate (position index 1).
+        assert split.boundary == 1
+        assert split.pscore == pytest.approx(0.5)
+
+    def test_low_threshold_indexes_from_the_start(self):
+        vector = vec(1, {1: 1.0, 2: 1.0})
+        split = compute_indexing_split(vector, 0.5, max_vector=None,
+                                       use_ap=False, use_l2=True)
+        assert split.boundary == 0
+        assert split.pscore == 0.0
+
+    def test_threshold_never_reached_means_nothing_indexed(self):
+        # An un-normalised short vector whose total norm stays below θ.
+        vector = SparseVector(1, 0.0, {1: 0.3}, normalize=False)
+        split = compute_indexing_split(vector, 0.9, max_vector=None,
+                                       use_ap=False, use_l2=True)
+        assert split.boundary == len(vector)
+
+    def test_ap_bound_uses_max_vector(self):
+        vector = vec(1, {1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0})
+        tiny_max = MaxVector()     # all maxima are 0 -> b1 stays 0
+        split = compute_indexing_split(vector, 0.7, max_vector=tiny_max,
+                                       use_ap=True, use_l2=False)
+        assert split.boundary == len(vector)
+
+        big_max = MaxVector.from_vectors([vec(2, {1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0})])
+        split = compute_indexing_split(vector, 0.7, max_vector=big_max,
+                                       use_ap=True, use_l2=False)
+        assert split.boundary < len(vector)
+
+    def test_l2ap_uses_the_tighter_of_both_bounds(self):
+        vector = vec(1, {1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0})
+        max_vector = MaxVector.from_vectors([vector])
+        combined = compute_indexing_split(vector, 0.7, max_vector=max_vector,
+                                          use_ap=True, use_l2=True)
+        l2_only = compute_indexing_split(vector, 0.7, max_vector=None,
+                                         use_ap=False, use_l2=True)
+        ap_only = compute_indexing_split(vector, 0.7, max_vector=max_vector,
+                                         use_ap=True, use_l2=False)
+        assert combined.boundary >= max(l2_only.boundary, ap_only.boundary)
+
+    def test_limit_restricts_the_scan(self):
+        vector = vec(1, {1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0})
+        split = compute_indexing_split(vector, 0.99, max_vector=None,
+                                       use_ap=False, use_l2=True, limit=2)
+        assert split.boundary == 2
+
+    def test_requires_at_least_one_bound_family(self):
+        vector = vec(1, {1: 1.0})
+        with pytest.raises(ValueError):
+            compute_indexing_split(vector, 0.5, max_vector=None,
+                                   use_ap=False, use_l2=False)
+
+    def test_ap_requires_max_vector(self):
+        vector = vec(1, {1: 1.0})
+        with pytest.raises(ValueError):
+            compute_indexing_split(vector, 0.5, max_vector=None,
+                                   use_ap=True, use_l2=False)
+
+    def test_pscore_upper_bounds_residual_dot(self):
+        # The stored pscore must bound dot(residual prefix, any unit vector).
+        vector = vec(1, {1: 0.7, 2: 0.1, 3: 0.3, 4: 0.5, 9: 0.4})
+        split = compute_indexing_split(vector, 0.6, max_vector=None,
+                                       use_ap=False, use_l2=True)
+        residual = {vector.dims[k]: vector.values[k] for k in range(split.boundary)}
+        residual_norm = math.sqrt(sum(v * v for v in residual.values()))
+        # With only the ℓ₂ bound enabled, the stored pscore is exactly the
+        # residual prefix norm, which by Cauchy-Schwarz bounds dot(residual, y)
+        # for any unit-normalised y.
+        assert split.pscore == pytest.approx(residual_norm)
+
+
+class TestSizeFilter:
+    def test_formula(self):
+        assert size_filter_threshold(0.8, 0.4) == pytest.approx(2.0)
+
+    def test_zero_max_value_gives_infinite_threshold(self):
+        assert size_filter_threshold(0.8, 0.0) == math.inf
+
+
+class TestVerificationBounds:
+    def make_candidate(self) -> ResidualEntry:
+        vector = vec(2, {1: 0.1, 2: 0.2, 5: 0.6, 9: 0.7}, normalize=False)
+        return ResidualEntry(vector=vector, boundary=2, pscore=0.25)
+
+    def test_bounds_upper_bound_true_similarity(self):
+        candidate = self.make_candidate()
+        query = vec(1, {1: 0.5, 2: 0.5, 5: 0.5, 9: 0.5}, normalize=False)
+        accumulated = sum(query.get(d) * candidate.vector.get(d)
+                          for d in candidate.vector.dims[candidate.boundary:])
+        true_dot = query.dot(candidate.vector)
+        ps1, ds1, sz2 = verification_bounds(accumulated, query, candidate)
+        # ds1 and sz2 bound the residual part of the dot product.
+        assert ds1 >= true_dot - 1e-12
+        assert sz2 >= true_dot - 1e-12
+        # ps1 uses the stored pscore, which bounds the residual dot for unit
+        # queries; here we only check it is at least the accumulated part.
+        assert ps1 >= accumulated
+
+    def test_bounds_with_empty_residual_collapse_to_accumulated(self):
+        vector = vec(2, {5: 1.0})
+        candidate = ResidualEntry(vector=vector, boundary=0, pscore=0.0)
+        query = vec(1, {5: 1.0})
+        ps1, ds1, sz2 = verification_bounds(0.9, query, candidate)
+        assert ps1 == pytest.approx(0.9)
+        assert ds1 == pytest.approx(0.9)
+        assert sz2 == pytest.approx(0.9)

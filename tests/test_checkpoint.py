@@ -1,0 +1,112 @@
+"""Tests for checkpointing and resuming streaming joins."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_time_dependent
+from repro.core.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    restore_join,
+    save_checkpoint,
+    snapshot_join,
+)
+from repro.core.frameworks.minibatch import MiniBatchFramework
+from repro.core.frameworks.streaming import StreamingFramework
+from repro.datasets.generator import generate_profile_corpus
+from tests.conftest import random_vectors
+
+
+def split_run(algorithm_index: str, vectors, threshold: float, decay: float,
+              split_at: int, *, via_file=None):
+    """Run the first part, checkpoint, restore, run the second part."""
+    first = StreamingFramework(threshold, decay, index=algorithm_index)
+    keys = set()
+    for vector in vectors[:split_at]:
+        keys.update(pair.key for pair in first.process(vector))
+    if via_file is not None:
+        save_checkpoint(first, via_file)
+        resumed = load_checkpoint(via_file)
+    else:
+        resumed = restore_join(snapshot_join(first))
+    for vector in vectors[split_at:]:
+        keys.update(pair.key for pair in resumed.process(vector))
+    return keys, resumed
+
+
+class TestSnapshotRestore:
+    @pytest.mark.parametrize("index", ["INV", "L2", "L2AP", "AP"])
+    def test_resumed_run_matches_uninterrupted_run(self, index):
+        vectors = random_vectors(80, seed=131)
+        threshold, decay = 0.6, 0.05
+        expected = {p.key for p in brute_force_time_dependent(vectors, threshold, decay)}
+        keys, _ = split_run(index, vectors, threshold, decay, split_at=40)
+        assert keys == expected
+
+    @pytest.mark.parametrize("split_at", [1, 10, 59])
+    def test_any_split_point_works(self, split_at):
+        vectors = random_vectors(60, seed=137)
+        threshold, decay = 0.6, 0.05
+        expected = {p.key for p in brute_force_time_dependent(vectors, threshold, decay)}
+        keys, _ = split_run("L2", vectors, threshold, decay, split_at=split_at)
+        assert keys == expected
+
+    def test_statistics_survive_the_checkpoint(self):
+        vectors = random_vectors(50, seed=139)
+        join = StreamingFramework(0.6, 0.05, index="L2")
+        for vector in vectors[:25]:
+            join.process(vector)
+        resumed = restore_join(snapshot_join(join))
+        assert resumed.stats.vectors_processed == join.stats.vectors_processed
+        assert resumed.stats.entries_indexed == join.stats.entries_indexed
+        for vector in vectors[25:]:
+            resumed.process(vector)
+        assert resumed.stats.vectors_processed == 50
+
+    def test_snapshot_is_json_serialisable(self):
+        join = StreamingFramework(0.6, 0.05, index="L2AP")
+        for vector in random_vectors(30, seed=141):
+            join.process(vector)
+        payload = json.dumps(snapshot_join(join))
+        assert isinstance(payload, str)
+        restored = restore_join(json.loads(payload))
+        assert restored.algorithm == "STR-L2AP"
+
+    def test_file_round_trip(self, tmp_path):
+        vectors = generate_profile_corpus("tweets", num_vectors=120, seed=31)
+        threshold, decay = 0.6, 0.05
+        expected = {p.key for p in brute_force_time_dependent(vectors, threshold, decay)}
+        keys, resumed = split_run("L2", vectors, threshold, decay, split_at=60,
+                                  via_file=tmp_path / "join.ckpt")
+        assert keys == expected
+        assert resumed.algorithm == "STR-L2"
+
+    def test_restored_parameters_match(self):
+        join = StreamingFramework(0.72, 0.03, index="L2")
+        restored = restore_join(snapshot_join(join))
+        assert restored.threshold == pytest.approx(0.72)
+        assert restored.decay == pytest.approx(0.03)
+        assert restored.horizon == pytest.approx(join.horizon)
+
+
+class TestCheckpointErrors:
+    def test_minibatch_framework_is_rejected(self):
+        with pytest.raises(CheckpointError):
+            snapshot_join(MiniBatchFramework(0.6, 0.05, index="L2"))
+
+    def test_unknown_version_is_rejected(self):
+        join = StreamingFramework(0.6, 0.05, index="L2")
+        state = snapshot_join(join)
+        state["version"] = 99
+        with pytest.raises(CheckpointError):
+            restore_join(state)
+
+    def test_non_str_algorithm_is_rejected(self):
+        join = StreamingFramework(0.6, 0.05, index="L2")
+        state = snapshot_join(join)
+        state["algorithm"] = "MB-L2"
+        with pytest.raises(CheckpointError):
+            restore_join(state)

@@ -1,0 +1,148 @@
+"""Unit tests for the circular buffer backing the posting lists."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.indexes.circular import CircularBuffer
+
+
+class TestAppendAndAccess:
+    def test_starts_empty(self):
+        buffer = CircularBuffer()
+        assert len(buffer) == 0
+        assert not buffer
+
+    def test_append_and_len(self):
+        buffer = CircularBuffer()
+        for i in range(5):
+            buffer.append(i)
+        assert len(buffer) == 5
+
+    def test_getitem_from_head(self):
+        buffer = CircularBuffer()
+        for i in range(5):
+            buffer.append(i)
+        assert buffer[0] == 0
+        assert buffer[4] == 4
+
+    def test_negative_index(self):
+        buffer = CircularBuffer()
+        for i in range(5):
+            buffer.append(i)
+        assert buffer[-1] == 4
+
+    def test_out_of_range_raises(self):
+        buffer = CircularBuffer()
+        buffer.append(1)
+        with pytest.raises(IndexError):
+            _ = buffer[5]
+
+    def test_iteration_oldest_to_newest(self):
+        buffer = CircularBuffer()
+        for i in range(4):
+            buffer.append(i)
+        assert list(buffer) == [0, 1, 2, 3]
+
+    def test_iter_newest_first(self):
+        buffer = CircularBuffer()
+        for i in range(4):
+            buffer.append(i)
+        assert list(buffer.iter_newest_first()) == [3, 2, 1, 0]
+
+
+class TestResizing:
+    def test_capacity_doubles_when_full(self):
+        buffer = CircularBuffer(capacity=8)
+        for i in range(9):
+            buffer.append(i)
+        assert buffer.capacity == 16
+        assert list(buffer) == list(range(9))
+
+    def test_capacity_shrinks_when_sparse(self):
+        buffer = CircularBuffer()
+        for i in range(64):
+            buffer.append(i)
+        grown = buffer.capacity
+        buffer.drop_oldest(60)
+        assert buffer.capacity < grown
+        assert list(buffer) == [60, 61, 62, 63]
+
+    def test_capacity_never_below_minimum(self):
+        buffer = CircularBuffer()
+        buffer.append(1)
+        buffer.drop_oldest(1)
+        assert buffer.capacity >= 8
+
+    def test_wrap_around_preserves_order(self):
+        buffer = CircularBuffer(capacity=8)
+        for i in range(6):
+            buffer.append(i)
+        buffer.drop_oldest(4)
+        for i in range(6, 12):
+            buffer.append(i)
+        assert list(buffer) == [4, 5, 6, 7, 8, 9, 10, 11]
+
+
+class TestDropAndKeep:
+    def test_drop_oldest(self):
+        buffer = CircularBuffer()
+        for i in range(5):
+            buffer.append(i)
+        assert buffer.drop_oldest(2) == 2
+        assert list(buffer) == [2, 3, 4]
+
+    def test_drop_more_than_size(self):
+        buffer = CircularBuffer()
+        buffer.append(1)
+        assert buffer.drop_oldest(10) == 1
+        assert len(buffer) == 0
+
+    def test_drop_zero_or_negative_is_noop(self):
+        buffer = CircularBuffer()
+        buffer.append(1)
+        assert buffer.drop_oldest(0) == 0
+        assert buffer.drop_oldest(-3) == 0
+        assert len(buffer) == 1
+
+    def test_keep_newest(self):
+        buffer = CircularBuffer()
+        for i in range(6):
+            buffer.append(i)
+        dropped = buffer.keep_newest(2)
+        assert dropped == 4
+        assert list(buffer) == [4, 5]
+
+    def test_keep_newest_larger_than_size_is_noop(self):
+        buffer = CircularBuffer()
+        buffer.append(1)
+        assert buffer.keep_newest(5) == 0
+        assert list(buffer) == [1]
+
+    def test_replace_all(self):
+        buffer = CircularBuffer()
+        for i in range(20):
+            buffer.append(i)
+        buffer.replace_all([100, 101])
+        assert list(buffer) == [100, 101]
+
+    def test_replace_all_with_empty(self):
+        buffer = CircularBuffer()
+        buffer.append(1)
+        buffer.replace_all([])
+        assert len(buffer) == 0
+
+    def test_clear(self):
+        buffer = CircularBuffer()
+        for i in range(50):
+            buffer.append(i)
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.capacity == 8
+
+    def test_to_list_is_a_copy(self):
+        buffer = CircularBuffer()
+        buffer.append(1)
+        copy = buffer.to_list()
+        copy.append(2)
+        assert len(buffer) == 1

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.io import read_vectors
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["profiles"]).command == "profiles"
+        args = parser.parse_args(["run", "--profile", "tweets", "--theta", "0.8"])
+        assert args.command == "run"
+        assert args.theta == 0.8
+
+    def test_run_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+
+class TestCommands:
+    def test_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        output = capsys.readouterr().out
+        for name in ("webspam", "rcv1", "blogs", "tweets"):
+            assert name in output
+
+    def test_generate_and_stats_and_convert(self, tmp_path, capsys):
+        text_path = tmp_path / "corpus.txt"
+        assert main(["generate", "--profile", "tweets", "--num-vectors", "30",
+                     "--seed", "3", "--output", str(text_path)]) == 0
+        assert text_path.exists()
+        assert len(list(read_vectors(text_path))) == 30
+
+        assert main(["stats", "--input", str(text_path)]) == 0
+        assert "Dataset statistics" in capsys.readouterr().out
+
+        binary_path = tmp_path / "corpus.bin"
+        assert main(["convert", str(text_path), str(binary_path)]) == 0
+        assert len(list(read_vectors(binary_path))) == 30
+
+    def test_stats_from_profile(self, capsys):
+        assert main(["stats", "--profile", "tweets", "--num-vectors", "25"]) == 0
+        assert "tweets" in capsys.readouterr().out
+
+    def test_run_on_profile(self, capsys):
+        assert main(["run", "--profile", "tweets", "--num-vectors", "60",
+                     "--algorithm", "STR-L2", "--theta", "0.6", "--decay", "0.05",
+                     "--show-pairs", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "STR-L2" in output
+        assert "pairs" in output
+
+    def test_run_on_file(self, tmp_path, capsys):
+        path = tmp_path / "corpus.txt"
+        main(["generate", "--profile", "tweets", "--num-vectors", "30",
+              "--output", str(path)])
+        capsys.readouterr()
+        assert main(["run", "--input", str(path), "--algorithm", "MB-INV",
+                     "--theta", "0.7", "--decay", "0.1"]) == 0
+        assert "MB-INV" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--profile", "tweets", "--num-vectors", "40",
+                     "--algorithms", "STR-L2,MB-L2", "--thetas", "0.6,0.9",
+                     "--decays", "0.05"]) == 0
+        output = capsys.readouterr().out
+        assert "STR-L2" in output
+        assert "MB-L2" in output
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1", "--scale", "0.3"]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_experiment_with_plot(self, capsys):
+        assert main(["experiment", "figure8", "--scale", "0.1", "--plot"]) == 0
+        output = capsys.readouterr().out
+        assert "legend:" in output
+        assert "figure8" in output
+
+    def test_experiment_rejects_unknown_id(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure42"])

@@ -1,0 +1,127 @@
+"""Tests for the text/binary dataset formats and the converter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.generator import generate_profile_corpus
+from repro.datasets.io import (
+    convert,
+    read_binary,
+    read_text,
+    read_vectors,
+    write_binary,
+    write_text,
+    write_vectors,
+)
+from repro.exceptions import DatasetFormatError
+
+
+@pytest.fixture()
+def corpus():
+    return generate_profile_corpus("tweets", num_vectors=40, seed=21)
+
+
+def assert_same_vectors(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.vector_id == y.vector_id
+        assert x.timestamp == pytest.approx(y.timestamp)
+        assert x.dims == y.dims
+        for value_x, value_y in zip(x.values, y.values):
+            assert value_x == pytest.approx(value_y, rel=1e-12)
+
+
+class TestTextFormat:
+    def test_round_trip(self, tmp_path, corpus):
+        path = tmp_path / "corpus.txt"
+        assert write_text(path, corpus) == len(corpus)
+        assert_same_vectors(list(read_text(path)), corpus)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "corpus.txt"
+        path.write_text("# a comment\n\n1 0.5 3:0.6 7:0.8\n")
+        vectors = list(read_text(path))
+        assert len(vectors) == 1
+        assert vectors[0].vector_id == 1
+        assert vectors[0].dims == (3, 7)
+
+    def test_normalization_can_be_disabled(self, tmp_path):
+        path = tmp_path / "corpus.txt"
+        path.write_text("1 0.0 1:3.0 2:4.0\n")
+        raw = list(read_text(path, normalize=False))[0]
+        assert raw.norm == pytest.approx(5.0)
+        normalized = list(read_text(path))[0]
+        assert normalized.norm == pytest.approx(1.0)
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 0.0\n")
+        with pytest.raises(DatasetFormatError):
+            list(read_text(path))
+
+    def test_malformed_coordinate_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 0.0 spam\n")
+        with pytest.raises(DatasetFormatError):
+            list(read_text(path))
+
+
+class TestBinaryFormat:
+    def test_round_trip(self, tmp_path, corpus):
+        path = tmp_path / "corpus.bin"
+        assert write_binary(path, corpus) == len(corpus)
+        assert_same_vectors(list(read_binary(path)), corpus)
+
+    def test_truncated_header_raises(self, tmp_path):
+        path = tmp_path / "corpus.bin"
+        path.write_bytes(b"short")
+        with pytest.raises(DatasetFormatError):
+            list(read_binary(path))
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "corpus.bin"
+        path.write_bytes(b"NOTSSSJ1" + b"\x00" * 8)
+        with pytest.raises(DatasetFormatError):
+            list(read_binary(path))
+
+    def test_truncated_record_raises(self, tmp_path, corpus):
+        path = tmp_path / "corpus.bin"
+        write_binary(path, corpus)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 7])
+        with pytest.raises(DatasetFormatError):
+            list(read_binary(path))
+
+
+class TestDispatchAndConvert:
+    def test_format_detected_from_extension(self, tmp_path, corpus):
+        text_path = tmp_path / "corpus.txt"
+        binary_path = tmp_path / "corpus.bin"
+        write_vectors(text_path, corpus)
+        write_vectors(binary_path, corpus)
+        assert_same_vectors(list(read_vectors(text_path)), corpus)
+        assert_same_vectors(list(read_vectors(binary_path)), corpus)
+
+    def test_explicit_format_overrides_extension(self, tmp_path, corpus):
+        path = tmp_path / "corpus.dat"
+        write_vectors(path, corpus, fmt="binary")
+        assert_same_vectors(list(read_vectors(path, fmt="binary")), corpus)
+
+    def test_unknown_format_name(self, tmp_path, corpus):
+        with pytest.raises(DatasetFormatError):
+            write_vectors(tmp_path / "x.dat", corpus, fmt="parquet")
+
+    def test_convert_text_to_binary(self, tmp_path, corpus):
+        text_path = tmp_path / "corpus.txt"
+        binary_path = tmp_path / "corpus.bin"
+        write_text(text_path, corpus)
+        assert convert(text_path, binary_path) == len(corpus)
+        assert_same_vectors(list(read_binary(binary_path)), corpus)
+
+    def test_convert_binary_to_text(self, tmp_path, corpus):
+        binary_path = tmp_path / "corpus.bin"
+        text_path = tmp_path / "back.txt"
+        write_binary(binary_path, corpus)
+        assert convert(binary_path, text_path) == len(corpus)
+        assert_same_vectors(list(read_text(text_path)), corpus)

@@ -1,0 +1,97 @@
+"""Robustness tests on adversarial / non-stationary workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_time_dependent
+from repro.core.join import create_join
+from repro.datasets.drift import (
+    duplicate_storm_stream,
+    growing_scale_stream,
+    vocabulary_drift_stream,
+)
+from repro.exceptions import InvalidParameterError
+
+ALGORITHMS = ["STR-INV", "STR-L2", "STR-L2AP", "MB-L2"]
+
+
+class TestGenerators:
+    def test_growing_scale_properties(self):
+        stream = list(growing_scale_stream(50, seed=1))
+        assert len(stream) == 50
+        assert all(vector.is_normalized() for vector in stream)
+        assert [v.vector_id for v in stream] == list(range(50))
+
+    def test_growing_scale_rejects_negative_growth(self):
+        with pytest.raises(InvalidParameterError):
+            list(growing_scale_stream(5, growth=-0.1))
+
+    def test_vocabulary_drift_moves_the_active_window(self):
+        stream = list(vocabulary_drift_stream(100, active_terms=20, drift_every=10, seed=2))
+        early_dims = set()
+        late_dims = set()
+        for vector in stream[:10]:
+            early_dims.update(vector.dims)
+        for vector in stream[-10:]:
+            late_dims.update(vector.dims)
+        # The active vocabulary at the end is shifted w.r.t. the beginning.
+        assert max(late_dims) > max(early_dims)
+
+    def test_vocabulary_drift_validation(self):
+        with pytest.raises(InvalidParameterError):
+            list(vocabulary_drift_stream(5, drift_every=0))
+
+    def test_duplicate_storm_creates_many_pairs_inside_the_storm(self):
+        stream = list(duplicate_storm_stream(60, storm_start=20, storm_length=15, seed=3))
+        join = create_join("STR-L2", 0.8, 0.01)
+        pairs = join.run_to_list(stream)
+        storm_ids = set(range(20, 35))
+        storm_pairs = [p for p in pairs if p.id_a in storm_ids and p.id_b in storm_ids]
+        assert len(storm_pairs) >= 15 * 14 // 4   # a large fraction of the storm pairs
+
+    def test_duplicate_storm_validation(self):
+        with pytest.raises(InvalidParameterError):
+            list(duplicate_storm_stream(10, storm_start=-1, storm_length=2))
+
+
+class TestCorrectnessUnderDrift:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_growing_scale_stream_is_exact(self, algorithm):
+        stream = list(growing_scale_stream(80, growth=0.05, seed=11))
+        threshold, decay = 0.6, 0.05
+        expected = {p.key for p in brute_force_time_dependent(stream, threshold, decay)}
+        got = {p.key for p in create_join(algorithm, threshold, decay).run(stream)}
+        assert got == expected
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_vocabulary_drift_stream_is_exact(self, algorithm):
+        stream = list(vocabulary_drift_stream(90, seed=13))
+        threshold, decay = 0.6, 0.05
+        expected = {p.key for p in brute_force_time_dependent(stream, threshold, decay)}
+        got = {p.key for p in create_join(algorithm, threshold, decay).run(stream)}
+        assert got == expected
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_duplicate_storm_is_exact(self, algorithm):
+        stream = list(duplicate_storm_stream(70, storm_start=25, storm_length=12, seed=17))
+        threshold, decay = 0.7, 0.02
+        expected = {p.key for p in brute_force_time_dependent(stream, threshold, decay)}
+        got = {p.key for p in create_join(algorithm, threshold, decay).run(stream)}
+        assert got == expected
+
+    def test_growing_scale_forces_reindexing_in_l2ap_but_not_l2(self):
+        stream = list(growing_scale_stream(120, growth=0.05, seed=19))
+        l2ap = create_join("STR-L2AP", 0.7, 0.05)
+        l2 = create_join("STR-L2", 0.7, 0.05)
+        l2ap.run_to_list(stream)
+        l2.run_to_list(stream)
+        assert l2ap.stats.reindexings > 0
+        assert l2.stats.reindexings == 0
+
+    def test_index_stays_bounded_under_vocabulary_drift(self):
+        stream = list(vocabulary_drift_stream(300, seed=23))
+        join = create_join("STR-L2", 0.6, 0.2)   # short horizon
+        join.run_to_list(stream)
+        # The index holds only postings within the horizon, not the whole stream.
+        assert join.index_size < sum(len(v) for v in stream) / 3

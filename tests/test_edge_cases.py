@@ -1,0 +1,171 @@
+"""Edge-case and regression tests cutting across the whole stack."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_time_dependent
+from repro.core.join import create_join
+from repro.core.similarity import time_horizon
+from repro.core.vector import SparseVector
+from repro.exceptions import InvalidParameterError
+from tests.conftest import random_vectors
+
+ALL_ALGORITHMS = ["STR-INV", "STR-L2", "STR-L2AP", "MB-INV", "MB-L2", "MB-L2AP"]
+
+
+def vec(vector_id: int, t: float, entries: dict[int, float]) -> SparseVector:
+    return SparseVector(vector_id, t, entries)
+
+
+class TestDegenerateStreams:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_empty_stream(self, algorithm):
+        join = create_join(algorithm, 0.7, 0.1)
+        assert join.run_to_list([]) == []
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_single_vector_stream(self, algorithm):
+        join = create_join(algorithm, 0.7, 0.1)
+        assert join.run_to_list([vec(1, 0.0, {1: 1.0})]) == []
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_all_vectors_at_the_same_timestamp(self, algorithm):
+        vectors = [vec(i, 5.0, {1: 1.0, 2: 1.0}) for i in range(6)]
+        join = create_join(algorithm, 0.9, 0.1)
+        pairs = join.run_to_list(vectors)
+        # Every pair is identical content at zero time distance: 6 choose 2.
+        assert len(pairs) == 15
+        assert all(pair.similarity == pytest.approx(1.0) for pair in pairs)
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_single_dimension_vectors(self, algorithm):
+        vectors = [vec(i, float(i) * 0.1, {7: 1.0}) for i in range(5)]
+        expected = {p.key for p in brute_force_time_dependent(vectors, 0.8, 0.1)}
+        join = create_join(algorithm, 0.8, 0.1)
+        assert {p.key for p in join.run(vectors)} == expected
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_huge_time_gaps_between_every_pair_of_items(self, algorithm):
+        vectors = [vec(i, float(i) * 1e6, {1: 1.0}) for i in range(5)]
+        join = create_join(algorithm, 0.7, 0.1)
+        assert join.run_to_list(vectors) == []
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_duplicate_ids_at_different_times_are_still_reported(self, algorithm):
+        # The library treats vector ids as opaque labels; a repeated id forms
+        # a pair with its earlier occurrence like any other vector.
+        vectors = [vec(7, 0.0, {1: 1.0}), vec(8, 0.5, {1: 1.0})]
+        join = create_join(algorithm, 0.9, 0.1)
+        assert len(join.run_to_list(vectors)) == 1
+
+
+class TestThresholdExtremes:
+    @pytest.mark.parametrize("algorithm", ["STR-L2", "STR-L2AP", "MB-L2"])
+    def test_threshold_one_keeps_only_exact_duplicates_at_zero_gap(self, algorithm):
+        # Single-coordinate vectors keep the dot product exactly 1.0 after
+        # normalisation, avoiding float round-off at the θ = 1 boundary.
+        vectors = [
+            vec(1, 0.0, {1: 3.0}),
+            vec(2, 0.0, {1: 7.0}),              # same direction, simultaneous
+            vec(3, 0.0, {1: 1.0, 2: 0.05}),     # almost the same direction
+        ]
+        join = create_join(algorithm, 1.0, 0.5)
+        keys = {pair.key for pair in join.run(vectors)}
+        assert (1, 2) in keys
+        assert (1, 3) not in keys
+
+    def test_threshold_above_one_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            create_join("STR-L2", 1.5, 0.1)
+
+    def test_zero_threshold_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            create_join("STR-L2", 0.0, 0.1)
+
+    @pytest.mark.parametrize("algorithm", ["STR-L2", "STR-INV"])
+    def test_very_low_threshold_still_exact(self, algorithm):
+        vectors = random_vectors(40, seed=151)
+        expected = {p.key for p in brute_force_time_dependent(vectors, 0.05, 0.05)}
+        join = create_join(algorithm, 0.05, 0.05)
+        assert {p.key for p in join.run(vectors)} == expected
+
+
+class TestHorizonBoundary:
+    def test_pair_exactly_at_the_horizon_with_unit_dot(self):
+        threshold, decay = 0.7, 0.1
+        tau = time_horizon(threshold, decay)
+        a = vec(1, 0.0, {1: 1.0})
+        b = vec(2, tau, {1: 1.0})
+        # sim = exp(-decay * tau) = threshold exactly (up to float error).
+        expected = {p.key for p in brute_force_time_dependent([a, b], threshold, decay)}
+        got = {p.key for p in create_join("STR-L2", threshold, decay).run([a, b])}
+        assert got == expected
+
+    def test_pair_just_inside_the_horizon_is_found(self):
+        threshold, decay = 0.7, 0.1
+        tau = time_horizon(threshold, decay)
+        a = vec(1, 0.0, {1: 1.0})
+        b = vec(2, tau * 0.999, {1: 1.0})
+        got = create_join("STR-L2", threshold, decay).run_to_list([a, b])
+        assert len(got) == 1
+
+    def test_reported_similarity_is_monotone_in_gap(self):
+        threshold, decay = 0.5, 0.1
+        join = create_join("STR-L2", threshold, decay)
+        base = vec(0, 0.0, {1: 1.0})
+        join.process(base)
+        similarities = []
+        for index, gap in enumerate((0.5, 1.0, 2.0), start=1):
+            # Re-process against a fresh join each time to isolate the gap.
+            fresh = create_join("STR-L2", threshold, decay)
+            fresh.process(vec(0, 0.0, {1: 1.0}))
+            pairs = fresh.process(vec(index, gap, {1: 1.0}))
+            similarities.append(pairs[0].similarity)
+        assert similarities == sorted(similarities, reverse=True)
+
+
+class TestNumericalRobustness:
+    @pytest.mark.parametrize("algorithm", ["STR-L2", "STR-L2AP"])
+    def test_tiny_coordinate_values(self, algorithm):
+        vectors = [vec(i, float(i) * 0.1, {1: 1e-9, 2: 2e-9, 3 + i: 1e-9})
+                   for i in range(6)]
+        expected = {p.key for p in brute_force_time_dependent(vectors, 0.7, 0.1)}
+        join = create_join(algorithm, 0.7, 0.1)
+        assert {p.key for p in join.run(vectors)} == expected
+
+    @pytest.mark.parametrize("algorithm", ["STR-L2", "STR-L2AP"])
+    def test_highly_skewed_vectors(self, algorithm):
+        # One dominant coordinate plus a long tail of tiny ones.
+        def skewed(vector_id: int, t: float, anchor: int) -> SparseVector:
+            entries = {anchor: 100.0}
+            entries.update({50 + k: 0.01 for k in range(20)})
+            return vec(vector_id, t, entries)
+
+        vectors = [skewed(1, 0.0, 5), skewed(2, 0.5, 5), skewed(3, 1.0, 6)]
+        expected = {p.key for p in brute_force_time_dependent(vectors, 0.8, 0.1)}
+        join = create_join(algorithm, 0.8, 0.1)
+        assert {p.key for p in join.run(vectors)} == expected
+
+    def test_large_timestamps_do_not_lose_precision(self):
+        base = 1.7e9   # epoch-seconds scale
+        vectors = [vec(1, base, {1: 1.0}), vec(2, base + 1.0, {1: 1.0})]
+        join = create_join("STR-L2", 0.7, 0.1)
+        pairs = join.run_to_list(vectors)
+        assert len(pairs) == 1
+        assert pairs[0].similarity == pytest.approx(math.exp(-0.1))
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_interleaved_dense_and_sparse_vectors(self, algorithm):
+        vectors = []
+        for i in range(30):
+            if i % 2 == 0:
+                entries = {k: 1.0 for k in range(i % 5, i % 5 + 20)}
+            else:
+                entries = {i: 1.0}
+            vectors.append(vec(i, float(i) * 0.2, entries))
+        expected = {p.key for p in brute_force_time_dependent(vectors, 0.6, 0.05)}
+        join = create_join(algorithm, 0.6, 0.05)
+        assert {p.key for p in join.run(vectors)} == expected

@@ -1,0 +1,86 @@
+"""Integration tests: every algorithm produces the exact answer.
+
+The central correctness claim of the paper (Appendix A) is that neither
+framework produces false positives or false negatives.  These tests compare
+every framework/index combination against the brute-force oracle on
+realistic synthetic corpora generated from the paper-shaped profiles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import brute_force_time_dependent, create_join, sliding_window_join
+
+ALGORITHMS = ["STR-INV", "STR-L2AP", "STR-L2", "MB-INV", "MB-L2AP", "MB-L2"]
+
+
+def oracle_keys(vectors, threshold, decay):
+    return {pair.key for pair in brute_force_time_dependent(vectors, threshold, decay)}
+
+
+class TestTweetsProfile:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_matches_oracle(self, tweets_corpus, algorithm):
+        threshold, decay = 0.6, 0.05
+        expected = oracle_keys(tweets_corpus, threshold, decay)
+        join = create_join(algorithm, threshold, decay)
+        got = {pair.key for pair in join.run(tweets_corpus)}
+        assert got == expected
+
+    @pytest.mark.parametrize("threshold,decay", [(0.5, 0.01), (0.7, 0.1), (0.9, 0.001)])
+    def test_str_l2_across_parameters(self, tweets_corpus, threshold, decay):
+        expected = oracle_keys(tweets_corpus, threshold, decay)
+        join = create_join("STR-L2", threshold, decay)
+        assert {pair.key for pair in join.run(tweets_corpus)} == expected
+
+
+class TestRCV1Profile:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_matches_oracle(self, rcv1_corpus, algorithm):
+        threshold, decay = 0.7, 0.02
+        expected = oracle_keys(rcv1_corpus, threshold, decay)
+        join = create_join(algorithm, threshold, decay)
+        got = {pair.key for pair in join.run(rcv1_corpus)}
+        assert got == expected
+
+
+class TestCrossAlgorithmAgreement:
+    def test_all_algorithms_agree_with_each_other(self, tweets_corpus):
+        threshold, decay = 0.65, 0.02
+        results = {}
+        for algorithm in ALGORITHMS:
+            join = create_join(algorithm, threshold, decay)
+            results[algorithm] = {pair.key for pair in join.run(tweets_corpus)}
+        reference = results[ALGORITHMS[0]]
+        for algorithm, keys in results.items():
+            assert keys == reference, f"{algorithm} disagrees with {ALGORITHMS[0]}"
+
+    def test_sliding_window_baseline_agrees(self, tweets_corpus):
+        threshold, decay = 0.65, 0.02
+        expected = oracle_keys(tweets_corpus, threshold, decay)
+        got = {pair.key for pair in sliding_window_join(tweets_corpus, threshold, decay)}
+        assert got == expected
+
+
+class TestNoFalsePositives:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_every_reported_pair_is_above_threshold(self, tweets_corpus, algorithm):
+        threshold, decay = 0.6, 0.05
+        by_id = {vector.vector_id: vector for vector in tweets_corpus}
+        join = create_join(algorithm, threshold, decay)
+        import math
+
+        for pair in join.run(tweets_corpus):
+            x, y = by_id[pair.id_a], by_id[pair.id_b]
+            true_similarity = x.dot(y) * math.exp(-decay * abs(x.timestamp - y.timestamp))
+            assert true_similarity >= threshold - 1e-9
+            assert pair.similarity == pytest.approx(true_similarity)
+
+
+class TestNoDuplicates:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_each_pair_reported_once(self, tweets_corpus, algorithm):
+        join = create_join(algorithm, 0.6, 0.05)
+        pairs = [pair.key for pair in join.run(tweets_corpus)]
+        assert len(pairs) == len(set(pairs))

@@ -1,0 +1,65 @@
+"""Smoke tests: every example script runs end to end."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *extra_args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *extra_args],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+class TestExamples:
+    def test_examples_directory_has_at_least_three_scripts(self):
+        scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+        assert len(scripts) >= 3
+
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "similar pairs" in result.stdout
+        assert "doc 0 ~ doc 1" in result.stdout
+
+    def test_trend_detection(self):
+        result = run_example("trend_detection.py", "--num-vectors", "300")
+        assert result.returncode == 0, result.stderr
+        assert "trend clusters" in result.stdout
+
+    def test_near_duplicate_filtering(self):
+        result = run_example("near_duplicate_filtering.py", "--num-vectors", "250")
+        assert result.returncode == 0, result.stderr
+        assert "delivered" in result.stdout
+        assert "filtered as dup" in result.stdout
+
+    def test_batch_vs_streaming(self):
+        result = run_example("batch_vs_streaming.py", "--num-vectors", "200",
+                             "--profile", "tweets")
+        assert result.returncode == 0, result.stderr
+        assert "entries traversed" in result.stdout
+
+    def test_parameter_tuning(self):
+        result = run_example("parameter_tuning.py")
+        assert result.returncode == 0, result.stderr
+        assert "derived λ" in result.stdout or "derived" in result.stdout
+
+    def test_text_stream_dedup(self):
+        result = run_example("text_stream_dedup.py")
+        assert result.returncode == 0, result.stderr
+        assert "SUPPRESS" in result.stdout
+        assert "DELIVER" in result.stdout
+
+    @pytest.mark.parametrize("name", ["trend_detection.py", "near_duplicate_filtering.py",
+                                      "batch_vs_streaming.py"])
+    def test_examples_expose_help(self, name):
+        result = run_example(name, "--help")
+        assert result.returncode == 0
+        assert "usage" in result.stdout.lower()

@@ -1,0 +1,83 @@
+"""Tests for the CSV/JSON/Markdown exporters of the benchmark harness."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.export import (
+    experiment_to_markdown,
+    metrics_to_csv,
+    rows_to_csv,
+    rows_to_json,
+    write_markdown_report,
+)
+from repro.bench.metrics import RunMetrics
+
+ROWS = [
+    {"dataset": "rcv1", "theta": 0.5, "time_s": 1.25},
+    {"dataset": "rcv1", "theta": 0.9, "time_s": 0.5, "extra": "note"},
+]
+
+
+class TestCsvAndJson:
+    def test_rows_to_csv_round_trip(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        assert rows_to_csv(ROWS, path) == 2
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["dataset"] == "rcv1"
+        assert rows[1]["extra"] == "note"
+        assert rows[0]["extra"] == ""          # union of columns
+
+    def test_rows_to_csv_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert rows_to_csv([], path) == 0
+        assert path.read_text() == ""
+
+    def test_rows_to_json(self, tmp_path):
+        path = tmp_path / "rows.json"
+        assert rows_to_json(ROWS, path) == 2
+        payload = json.loads(path.read_text())
+        assert payload[0]["theta"] == 0.5
+
+    def test_metrics_to_csv(self, tmp_path):
+        metrics = [RunMetrics(algorithm="STR-L2", dataset="rcv1", threshold=0.5,
+                              decay=0.01, num_vectors=10, elapsed_seconds=0.5, pairs=3)]
+        path = tmp_path / "metrics.csv"
+        assert metrics_to_csv(metrics, path) == 1
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["algorithm"] == "STR-L2"
+        assert rows[0]["pairs"] == "3"
+
+
+class TestMarkdown:
+    RESULT = ExperimentResult(
+        experiment_id="figure5",
+        title="STR by index",
+        rows=ROWS,
+        notes="L2 wins.",
+    )
+
+    def test_experiment_to_markdown(self):
+        text = experiment_to_markdown(self.RESULT)
+        assert "### figure5: STR by index" in text
+        assert "L2 wins." in text
+        assert "| dataset | theta | time_s |" in text
+
+    def test_row_truncation(self):
+        text = experiment_to_markdown(self.RESULT, max_rows=1)
+        assert "more rows omitted" in text
+
+    def test_empty_rows(self):
+        empty = ExperimentResult(experiment_id="x", title="y", rows=[])
+        assert "_(no rows)_" in experiment_to_markdown(empty)
+
+    def test_write_markdown_report(self, tmp_path):
+        path = write_markdown_report([self.RESULT, self.RESULT], tmp_path / "report.md",
+                                     title="Demo report")
+        content = path.read_text()
+        assert content.startswith("# Demo report")
+        assert content.count("### figure5") == 2

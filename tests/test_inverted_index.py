@@ -1,0 +1,105 @@
+"""Unit tests for the INV index (batch and streaming)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_time_dependent
+from repro.core.results import JoinStatistics
+from repro.core.similarity import time_horizon
+from repro.core.vector import SparseVector
+from repro.indexes.inverted import InvertedBatchIndex, InvertedStreamingIndex
+from tests.conftest import random_vectors
+
+
+def vec(vector_id: int, t: float, entries: dict[int, float]) -> SparseVector:
+    return SparseVector(vector_id, t, entries)
+
+
+class TestBatchInvertedIndex:
+    def test_indexes_every_coordinate(self):
+        index = InvertedBatchIndex(0.5)
+        index.index_vector(vec(1, 0.0, {1: 1.0, 2: 1.0, 3: 1.0}))
+        assert index.size == 3
+
+    def test_candidate_generation_computes_exact_dot(self):
+        index = InvertedBatchIndex(0.1)
+        a = vec(1, 0.0, {1: 1.0, 2: 1.0})
+        index.index_vector(a)
+        b = vec(2, 0.0, {1: 1.0, 2: 1.0})
+        scores = index.candidate_generation(b)
+        assert scores == {1: pytest.approx(1.0)}
+
+    def test_verification_applies_threshold(self):
+        index = InvertedBatchIndex(0.9)
+        a = vec(1, 0.0, {1: 1.0, 5: 1.0})
+        b = vec(2, 0.0, {1: 1.0, 9: 1.0})   # dot = 0.5 < 0.9
+        index.index_vector(a)
+        matches = index.query(b)
+        assert matches == []
+
+    def test_process_finds_pairs_and_indexes(self):
+        index = InvertedBatchIndex(0.9)
+        assert index.process(vec(1, 0.0, {1: 1.0})) == []
+        matches = index.process(vec(2, 0.0, {1: 1.0}))
+        assert [(m[0].vector_id, pytest.approx(m[1])) for m in matches] == [(1, 1.0)]
+        assert index.size == 2
+
+    def test_stats_counters(self):
+        stats = JoinStatistics()
+        index = InvertedBatchIndex(0.5, stats=stats)
+        index.index_dataset([vec(1, 0.0, {1: 1.0}), vec(2, 0.0, {1: 1.0})])
+        assert stats.entries_indexed == 2
+        assert stats.entries_traversed >= 1
+        assert stats.vectors_processed == 2
+
+
+class TestStreamingInvertedIndex:
+    def test_reports_decayed_pairs(self):
+        index = InvertedStreamingIndex(0.7, 0.1)
+        index.process(vec(1, 0.0, {1: 1.0}))
+        pairs = index.process(vec(2, 1.0, {1: 1.0}))
+        assert len(pairs) == 1
+        assert pairs[0].similarity == pytest.approx(math.exp(-0.1))
+
+    def test_does_not_report_pairs_beyond_horizon(self):
+        threshold, decay = 0.7, 0.1
+        tau = time_horizon(threshold, decay)
+        index = InvertedStreamingIndex(threshold, decay)
+        index.process(vec(1, 0.0, {1: 1.0}))
+        pairs = index.process(vec(2, tau * 1.01, {1: 1.0}))
+        assert pairs == []
+
+    def test_prunes_expired_postings(self):
+        threshold, decay = 0.7, 0.5
+        index = InvertedStreamingIndex(threshold, decay)
+        index.process(vec(1, 0.0, {1: 1.0, 2: 1.0}))
+        index.process(vec(2, 100.0, {1: 1.0, 2: 1.0}))
+        # The expired postings of vector 1 are truncated lazily during the
+        # scan triggered by vector 2.
+        assert index.size == 2
+        assert index.stats.entries_pruned == 2
+
+    def test_matches_brute_force_on_random_stream(self):
+        vectors = random_vectors(80, seed=3)
+        threshold, decay = 0.6, 0.05
+        index = InvertedStreamingIndex(threshold, decay)
+        got = set()
+        for vector in vectors:
+            got.update(pair.key for pair in index.process(vector))
+        expected = {pair.key for pair in brute_force_time_dependent(vectors, threshold, decay)}
+        assert got == expected
+
+    def test_stats_track_pairs_and_vectors(self):
+        index = InvertedStreamingIndex(0.7, 0.1)
+        index.process(vec(1, 0.0, {1: 1.0}))
+        index.process(vec(2, 0.5, {1: 1.0}))
+        assert index.stats.vectors_processed == 2
+        assert index.stats.pairs_output == 1
+
+    def test_self_pair_never_reported(self):
+        index = InvertedStreamingIndex(0.5, 0.1)
+        pairs = index.process(vec(1, 0.0, {1: 1.0}))
+        assert pairs == []

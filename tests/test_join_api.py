@@ -1,0 +1,94 @@
+"""Tests for the high-level public API (create_join, streaming_self_join)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    JoinStatistics,
+    ListCollector,
+    MiniBatchSimilarityJoin,
+    StreamingSimilarityJoin,
+    create_join,
+    parse_algorithm,
+    streaming_self_join,
+)
+from repro.core.frameworks.minibatch import MiniBatchFramework
+from repro.core.frameworks.streaming import StreamingFramework
+from repro.exceptions import UnknownAlgorithmError
+from tests.conftest import random_vectors
+
+
+class TestParseAlgorithm:
+    @pytest.mark.parametrize("text,expected", [
+        ("STR-L2", ("STR", "L2")),
+        ("mb-inv", ("MB", "INV")),
+        ("str_l2ap", ("STR", "L2AP")),
+    ])
+    def test_valid_names(self, text, expected):
+        assert parse_algorithm(text) == expected
+
+    @pytest.mark.parametrize("text", ["L2", "STRL2", "XXX-L2", ""])
+    def test_invalid_names(self, text):
+        with pytest.raises(UnknownAlgorithmError):
+            parse_algorithm(text)
+
+
+class TestCreateJoin:
+    def test_str_framework(self):
+        join = create_join("STR-L2", 0.7, 0.1)
+        assert isinstance(join, StreamingFramework)
+        assert join.algorithm == "STR-L2"
+
+    def test_mb_framework(self):
+        join = create_join("MB-INV", 0.7, 0.1)
+        assert isinstance(join, MiniBatchFramework)
+        assert join.algorithm == "MB-INV"
+
+    def test_unknown_index_propagates(self):
+        with pytest.raises(UnknownAlgorithmError):
+            create_join("STR-NOPE", 0.7, 0.1)
+
+    def test_shared_stats_object(self):
+        stats = JoinStatistics()
+        join = create_join("STR-L2", 0.7, 0.1, stats=stats)
+        join.run_to_list(random_vectors(20, seed=91))
+        assert stats.vectors_processed == 20
+
+
+class TestStreamingSelfJoin:
+    def test_yields_pairs_lazily(self):
+        vectors = random_vectors(40, seed=93)
+        pairs = list(streaming_self_join(vectors, 0.6, 0.05))
+        assert all(pair.similarity >= 0.6 for pair in pairs)
+
+    def test_algorithm_selection(self):
+        vectors = random_vectors(40, seed=93)
+        default = {p.key for p in streaming_self_join(vectors, 0.6, 0.05)}
+        via_mb = {p.key for p in streaming_self_join(vectors, 0.6, 0.05, algorithm="MB-L2")}
+        assert default == via_mb
+
+    def test_collector_integration(self):
+        vectors = random_vectors(40, seed=95)
+        collector = ListCollector()
+        for pair in streaming_self_join(vectors, 0.6, 0.05):
+            collector(pair)
+        assert collector.keys() == {p.key for p in streaming_self_join(vectors, 0.6, 0.05)}
+
+
+class TestPublicClasses:
+    def test_streaming_similarity_join_defaults_to_l2(self):
+        join = StreamingSimilarityJoin(threshold=0.7, decay=0.1)
+        assert join.algorithm == "STR-L2"
+
+    def test_minibatch_similarity_join(self):
+        join = MiniBatchSimilarityJoin(threshold=0.7, decay=0.1, index="INV")
+        assert join.algorithm == "MB-INV"
+
+    def test_docstring_example(self):
+        from repro import SparseVector
+
+        join = StreamingSimilarityJoin(threshold=0.7, decay=0.1)
+        a = SparseVector(1, 0.0, {0: 1.0, 1: 1.0})
+        b = SparseVector(2, 1.0, {0: 1.0, 1: 1.0})
+        assert [pair.key for pair in join.run([a, b])] == [(1, 2)]

@@ -1,0 +1,95 @@
+"""Tests for the re-indexing behaviour of the streaming L2AP index.
+
+Re-indexing (Section 5.3) restores the prefix-filtering invariant whenever
+the online maximum vector ``m`` grows.  These tests exercise the specific
+scenario it exists for: an early vector leaves part of its mass in the
+residual (because the maxima were small when it arrived), then a later
+vector raises the maxima, and a query that only overlaps the re-indexed
+dimensions must still find the pair.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.brute_force import brute_force_time_dependent
+from repro.core.vector import SparseVector
+from repro.indexes.l2ap import L2APStreamingIndex
+from tests.conftest import random_vectors
+
+
+def vec(vector_id: int, t: float, entries: dict[int, float]) -> SparseVector:
+    return SparseVector(vector_id, t, entries)
+
+
+class TestReindexing:
+    def test_reindexing_counter_increments_when_maxima_grow(self):
+        index = L2APStreamingIndex(0.6, 0.01)
+        # A first vector with small values on many dimensions: the AP bound
+        # (driven by the still-small maxima) keeps a prefix un-indexed.
+        index.process(vec(1, 0.0, {i: 0.3 + 0.01 * i for i in range(10)}))
+        # A second vector with a much larger weight on a low dimension grows
+        # the maxima and forces a rescan of the stored residuals.
+        index.process(vec(2, 1.0, {0: 5.0, 50: 1.0}))
+        assert index.stats.reindexings >= 1
+
+    def test_no_reindexing_when_maxima_do_not_grow(self):
+        index = L2APStreamingIndex(0.6, 0.01)
+        index.process(vec(1, 0.0, {1: 1.0, 2: 1.0}))
+        index.process(vec(2, 1.0, {1: 0.5, 2: 0.5}))  # identical direction, same maxima
+        assert index.stats.reindexings == 0
+
+    def test_reindexed_entries_move_from_residual_to_postings(self):
+        index = L2APStreamingIndex(0.7, 0.001)
+        index.process(vec(1, 0.0, {i: 0.4 for i in range(8)}))
+        residual_before = index.residual_size
+        size_before = index.size
+        index.process(vec(2, 0.1, {0: 9.0, 1: 9.0, 100: 1.0}))
+        if index.stats.reindexed_entries:
+            assert index.size > size_before
+            assert index.residual_size <= residual_before
+
+    def test_query_overlapping_only_reindexed_dimensions_finds_pair(self):
+        # Construct the adversarial case: y's residual contains dims {1, 2},
+        # a later heavy vector grows m on those dims, and the query shares
+        # *only* those dims with y.  Without re-indexing the pair would be
+        # missed; with it, the pair must be reported.
+        threshold, decay = 0.60, 0.001
+        index = L2APStreamingIndex(threshold, decay)
+        y = vec(1, 0.0, {1: 0.55, 2: 0.55, 3: 0.45, 4: 0.44})
+        booster = vec(2, 0.5, {1: 3.0, 2: 3.0, 90: 1.0})
+        query = vec(3, 1.0, {1: 0.7, 2: 0.7, 80: 0.14})
+        stream = [y, booster, query]
+        expected = {pair.key for pair in brute_force_time_dependent(stream, threshold, decay)}
+        got = set()
+        for vector in stream:
+            got.update(pair.key for pair in index.process(vector))
+        assert got == expected
+        assert (1, 3) in got
+
+    def test_correctness_on_adversarial_random_stream(self):
+        # A stream whose value scale keeps growing forces frequent maxima
+        # updates and therefore frequent re-indexing.
+        base = random_vectors(60, seed=51)
+        vectors = []
+        for i, vector in enumerate(base):
+            scaled = {dim: value * (1.0 + 0.1 * i) for dim, value in vector}
+            vectors.append(vec(vector.vector_id, vector.timestamp, scaled))
+        threshold, decay = 0.6, 0.02
+        expected = {pair.key for pair in brute_force_time_dependent(vectors, threshold, decay)}
+        index = L2APStreamingIndex(threshold, decay)
+        got = set()
+        for vector in vectors:
+            got.update(pair.key for pair in index.process(vector))
+        assert got == expected
+
+    def test_reindexing_keeps_exact_similarities(self):
+        vectors = random_vectors(50, seed=53)
+        threshold, decay = 0.5, 0.05
+        by_id = {vector.vector_id: vector for vector in vectors}
+        index = L2APStreamingIndex(threshold, decay)
+        import math
+
+        for vector in vectors:
+            for pair in index.process(vector):
+                x, y = by_id[pair.id_a], by_id[pair.id_b]
+                expected = x.dot(y) * math.exp(-decay * abs(x.timestamp - y.timestamp))
+                assert abs(pair.similarity - expected) < 1e-9

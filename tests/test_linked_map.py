@@ -1,0 +1,107 @@
+"""Unit tests for the linked hash-map used by the residual index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.indexes.linked_map import LinkedHashMap
+
+
+class TestMappingProtocol:
+    def test_set_and_get(self):
+        table = LinkedHashMap()
+        table["a"] = 1
+        assert table["a"] == 1
+        assert table.get("a") == 1
+
+    def test_get_missing_returns_default(self):
+        table = LinkedHashMap()
+        assert table.get("missing") is None
+        assert table.get("missing", 7) == 7
+
+    def test_contains_and_len(self):
+        table = LinkedHashMap()
+        table["a"] = 1
+        table["b"] = 2
+        assert "a" in table
+        assert "c" not in table
+        assert len(table) == 2
+
+    def test_delete(self):
+        table = LinkedHashMap()
+        table["a"] = 1
+        del table["a"]
+        assert "a" not in table
+
+    def test_pop(self):
+        table = LinkedHashMap()
+        table["a"] = 1
+        assert table.pop("a") == 1
+        assert table.pop("a", "gone") == "gone"
+
+    def test_update_keeps_position(self):
+        table = LinkedHashMap()
+        table["a"] = 1
+        table["b"] = 2
+        table["a"] = 10
+        assert list(table.keys()) == ["a", "b"]
+        assert table["a"] == 10
+
+    def test_bool_and_clear(self):
+        table = LinkedHashMap()
+        assert not table
+        table["a"] = 1
+        assert table
+        table.clear()
+        assert not table
+
+    def test_iteration_orders(self):
+        table = LinkedHashMap()
+        for key in "cab":
+            table[key] = key.upper()
+        assert list(table) == ["c", "a", "b"]
+        assert list(table.values()) == ["C", "A", "B"]
+        assert list(table.items()) == [("c", "C"), ("a", "A"), ("b", "B")]
+
+
+class TestInsertionOrderHelpers:
+    def test_oldest_and_newest(self):
+        table = LinkedHashMap()
+        table["first"] = 1
+        table["second"] = 2
+        assert table.oldest() == ("first", 1)
+        assert table.newest() == ("second", 2)
+
+    def test_oldest_on_empty_raises(self):
+        with pytest.raises(KeyError):
+            LinkedHashMap().oldest()
+
+    def test_newest_on_empty_raises(self):
+        with pytest.raises(KeyError):
+            LinkedHashMap().newest()
+
+    def test_pop_oldest(self):
+        table = LinkedHashMap()
+        table["first"] = 1
+        table["second"] = 2
+        assert table.pop_oldest() == ("first", 1)
+        assert list(table) == ["second"]
+
+    def test_evict_while(self):
+        table = LinkedHashMap()
+        for i in range(6):
+            table[i] = i * 10
+        evicted = table.evict_while(lambda key, value: key < 3)
+        assert evicted == [(0, 0), (1, 10), (2, 20)]
+        assert list(table) == [3, 4, 5]
+
+    def test_evict_while_stops_at_first_failure(self):
+        table = LinkedHashMap()
+        table["old"] = 1
+        table["new"] = 100
+        table["older-looking"] = 2
+        evicted = table.evict_while(lambda key, value: value < 50)
+        assert [key for key, _ in evicted] == ["old"]
+
+    def test_evict_while_on_empty(self):
+        assert LinkedHashMap().evict_while(lambda key, value: True) == []

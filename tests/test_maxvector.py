@@ -1,0 +1,128 @@
+"""Unit tests for the maximum-weight vectors m, m̂ and m̂^λ."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.vector import SparseVector
+from repro.indexes.maxvector import DecayedMaxVector, MaxVector
+
+
+def vec(vector_id: int, t: float, entries: dict[int, float]) -> SparseVector:
+    return SparseVector(vector_id, t, entries, normalize=False)
+
+
+class TestMaxVector:
+    def test_starts_empty(self):
+        m = MaxVector()
+        assert len(m) == 0
+        assert m.get(3) == 0.0
+
+    def test_update_tracks_maxima(self):
+        m = MaxVector()
+        m.update(vec(1, 0.0, {1: 0.5, 2: 0.2}))
+        m.update(vec(2, 1.0, {1: 0.3, 2: 0.9}))
+        assert m.get(1) == 0.5
+        assert m.get(2) == 0.9
+
+    def test_update_returns_grown_dimensions(self):
+        m = MaxVector()
+        assert m.update(vec(1, 0.0, {1: 0.5, 2: 0.2})) == [1, 2]
+        assert m.update(vec(2, 1.0, {1: 0.4, 2: 0.7})) == [2]
+        assert m.update(vec(3, 2.0, {1: 0.1})) == []
+
+    def test_from_vectors(self):
+        m = MaxVector.from_vectors([
+            vec(1, 0.0, {1: 0.4}), vec(2, 0.0, {1: 0.6, 5: 0.2}),
+        ])
+        assert m.get(1) == 0.6
+        assert m.get(5) == 0.2
+
+    def test_merge_is_pointwise_max(self):
+        a = MaxVector.from_vectors([vec(1, 0.0, {1: 0.4, 2: 0.9})])
+        b = MaxVector.from_vectors([vec(2, 0.0, {1: 0.7, 3: 0.1})])
+        a.merge(b)
+        assert a.get(1) == 0.7
+        assert a.get(2) == 0.9
+        assert a.get(3) == 0.1
+
+    def test_copy_is_independent(self):
+        a = MaxVector.from_vectors([vec(1, 0.0, {1: 0.4})])
+        b = a.copy()
+        b.update(vec(2, 0.0, {1: 0.9}))
+        assert a.get(1) == 0.4
+
+    def test_dot_upper_bounds_any_indexed_vector(self):
+        x = vec(10, 0.0, {1: 0.3, 2: 0.7})
+        indexed = [vec(1, 0.0, {1: 0.5, 2: 0.1}), vec(2, 0.0, {2: 0.6})]
+        m = MaxVector.from_vectors(indexed)
+        for y in indexed:
+            assert m.dot(x) >= x.dot(y) - 1e-12
+
+    def test_as_dict(self):
+        m = MaxVector.from_vectors([vec(1, 0.0, {3: 0.4})])
+        assert m.as_dict() == {3: 0.4}
+
+
+class TestDecayedMaxVector:
+    def test_value_at_decays_over_time(self):
+        m = DecayedMaxVector(decay=0.1)
+        m.update(vec(1, 0.0, {1: 1.0}))
+        assert m.value_at(1, 0.0) == pytest.approx(1.0)
+        assert m.value_at(1, 10.0) == pytest.approx(math.exp(-1.0))
+
+    def test_missing_dimension_is_zero(self):
+        assert DecayedMaxVector(0.1).value_at(5, 10.0) == 0.0
+
+    def test_len(self):
+        m = DecayedMaxVector(0.1)
+        m.update(vec(1, 0.0, {1: 1.0, 2: 1.0}))
+        assert len(m) == 2
+
+    def test_newer_smaller_value_can_dominate(self):
+        m = DecayedMaxVector(decay=0.5)
+        m.update(vec(1, 0.0, {1: 1.0}))
+        m.update(vec(2, 10.0, {1: 0.5}))
+        # At t=10, the old value has decayed to e^-5 ≈ 0.0067 < 0.5.
+        assert m.value_at(1, 10.0) == pytest.approx(0.5)
+
+    def test_older_larger_value_dominates_forever(self):
+        m = DecayedMaxVector(decay=0.01)
+        m.update(vec(1, 0.0, {1: 1.0}))
+        m.update(vec(2, 1.0, {1: 0.95}))
+        # The ratio of decayed values is constant, so the older vector keeps
+        # dominating at any later instant.
+        for now in (1.0, 5.0, 50.0):
+            expected = max(1.0 * math.exp(-0.01 * now), 0.95 * math.exp(-0.01 * (now - 1.0)))
+            assert m.value_at(1, now) == pytest.approx(expected)
+
+    def test_is_upper_bound_on_decayed_values(self):
+        decay = 0.2
+        m = DecayedMaxVector(decay)
+        vectors = [vec(i, float(i), {1: 0.1 + 0.2 * (i % 4)}) for i in range(10)]
+        for vector in vectors:
+            m.update(vector)
+        now = 12.0
+        best = max(v.get(1) * math.exp(-decay * (now - v.timestamp)) for v in vectors)
+        assert m.value_at(1, now) >= best - 1e-12
+
+    def test_dot_matches_per_dimension_values(self):
+        decay = 0.1
+        m = DecayedMaxVector(decay)
+        m.update(vec(1, 0.0, {1: 0.8, 2: 0.3}))
+        query = vec(9, 5.0, {1: 0.5, 2: 0.5})
+        expected = 0.5 * m.value_at(1, 5.0) + 0.5 * m.value_at(2, 5.0)
+        assert m.dot(query) == pytest.approx(expected)
+
+    def test_value_before_timestamp_is_undecayed(self):
+        m = DecayedMaxVector(0.5)
+        m.update(vec(1, 10.0, {1: 0.7}))
+        assert m.value_at(1, 5.0) == pytest.approx(0.7)
+
+    def test_clear(self):
+        m = DecayedMaxVector(0.5)
+        m.update(vec(1, 0.0, {1: 0.7}))
+        m.clear()
+        assert len(m) == 0

@@ -1,0 +1,108 @@
+"""Tests for the MiniBatch (MB) framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_time_dependent
+from repro.core.frameworks.minibatch import MiniBatchFramework
+from repro.core.vector import SparseVector
+from repro.exceptions import InvalidParameterError
+from tests.conftest import random_vectors
+
+
+def vec(vector_id: int, t: float, entries: dict[int, float]) -> SparseVector:
+    return SparseVector(vector_id, t, entries)
+
+
+class TestWindowing:
+    def test_requires_positive_decay(self):
+        with pytest.raises(InvalidParameterError):
+            MiniBatchFramework(0.7, 0.0, index="L2")
+
+    def test_vectors_buffer_in_current_window(self):
+        mb = MiniBatchFramework(0.7, 0.001, index="L2")  # huge horizon
+        mb.process(vec(1, 0.0, {1: 1.0}))
+        mb.process(vec(2, 1.0, {1: 1.0}))
+        assert len(mb.current_window) == 2
+        assert mb.previous_window == []
+
+    def test_window_rotates_after_horizon(self):
+        mb = MiniBatchFramework(0.7, 0.1, index="L2")   # tau ~ 3.57
+        mb.process(vec(1, 0.0, {1: 1.0}))
+        mb.process(vec(2, 10.0, {2: 1.0}))
+        assert len(mb.previous_window) <= 1
+        assert [v.vector_id for v in mb.current_window] == [2]
+
+    def test_pairs_within_a_window_are_reported_after_it_closes(self):
+        mb = MiniBatchFramework(0.7, 0.1, index="L2")   # tau ~ 3.57
+        assert mb.process(vec(1, 0.0, {1: 1.0})) == []
+        assert mb.process(vec(2, 1.0, {1: 1.0})) == []   # similar, same window
+        # Nothing reported yet: MB defers to the window boundary.
+        later = mb.process(vec(3, 10.0, {9: 1.0}))
+        flushed = mb.flush()
+        keys = {pair.key for pair in later} | {pair.key for pair in flushed}
+        assert (1, 2) in keys
+
+    def test_cross_window_pairs_are_reported(self):
+        mb = MiniBatchFramework(0.7, 0.1, index="L2")   # tau ~ 3.57
+        mb.process(vec(0, 0.0, {9: 1.0}))               # opens the first window
+        mb.process(vec(1, 3.0, {1: 1.0}))               # late in the first window
+        mb.process(vec(2, 4.0, {1: 1.0}))               # early in the second window
+        pairs = mb.flush()
+        assert {pair.key for pair in pairs} == {(1, 2)}
+
+    def test_flush_on_empty_stream(self):
+        mb = MiniBatchFramework(0.7, 0.1, index="L2")
+        assert mb.flush() == []
+
+    def test_gap_spanning_multiple_windows(self):
+        mb = MiniBatchFramework(0.7, 0.5, index="L2")   # tau ~ 0.71
+        mb.process(vec(1, 0.0, {1: 1.0}))
+        # A vector arriving many horizons later must close several windows
+        # without error and without reporting the stale pair.
+        pairs = mb.process(vec(2, 50.0, {1: 1.0}))
+        pairs += mb.flush()
+        assert {pair.key for pair in pairs} == set()
+
+    def test_index_rebuild_counter(self):
+        mb = MiniBatchFramework(0.7, 0.5, index="L2")
+        for i in range(10):
+            mb.process(vec(i, float(i), {1: 1.0, i + 2: 0.5}))
+        mb.flush()
+        assert mb.stats.index_rebuilds >= 2
+
+
+class TestReportingSemantics:
+    def test_reported_similarity_is_time_decayed(self):
+        import math
+
+        mb = MiniBatchFramework(0.5, 0.1, index="INV")
+        mb.process(vec(1, 0.0, {1: 1.0}))
+        mb.process(vec(2, 1.0, {1: 1.0}))
+        pairs = mb.flush()
+        assert pairs[0].similarity == pytest.approx(math.exp(-0.1))
+        assert pairs[0].dot == pytest.approx(1.0)
+
+    def test_report_time_is_never_before_arrival(self):
+        mb = MiniBatchFramework(0.5, 0.1, index="L2")
+        vectors = random_vectors(40, seed=71)
+        all_pairs = list(mb.run(vectors))
+        by_id = {vector.vector_id: vector for vector in vectors}
+        for pair in all_pairs:
+            latest_arrival = max(by_id[pair.id_a].timestamp, by_id[pair.id_b].timestamp)
+            assert pair.reported_at >= latest_arrival - 1e-9
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("index", ["INV", "L2AP", "L2"])
+    @pytest.mark.parametrize("threshold,decay", [(0.5, 0.05), (0.8, 0.01)])
+    def test_matches_brute_force(self, index, threshold, decay):
+        vectors = random_vectors(90, seed=73)
+        expected = {p.key for p in brute_force_time_dependent(vectors, threshold, decay)}
+        mb = MiniBatchFramework(threshold, decay, index=index)
+        got = {p.key for p in mb.run(vectors)}
+        assert got == expected
+
+    def test_algorithm_name(self):
+        assert MiniBatchFramework(0.5, 0.1, index="l2").algorithm == "MB-L2"

@@ -1,0 +1,92 @@
+"""Tests for the dimension-ordering strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_all_pairs
+from repro.core.batch import all_pairs
+from repro.core.vector import SparseVector
+from repro.exceptions import InvalidParameterError
+from repro.indexes.ordering import DimensionOrdering, remap_vectors
+from tests.conftest import random_vectors
+
+
+def vec(vector_id: int, entries: dict[int, float]) -> SparseVector:
+    return SparseVector(vector_id, 0.0, entries)
+
+
+class TestDimensionOrdering:
+    def test_identity_ordering_is_a_noop(self):
+        ordering = DimensionOrdering.identity()
+        vector = vec(1, {3: 1.0, 7: 2.0})
+        assert ordering.remap(vector) is vector
+        assert ordering.map_dimension(3) == 3
+        assert len(ordering) == 0
+
+    def test_natural_strategy_returns_identity(self):
+        ordering = DimensionOrdering.from_vectors([vec(1, {3: 1.0})], "natural")
+        assert ordering.strategy == "natural"
+        assert len(ordering) == 0
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DimensionOrdering.from_vectors([], "alphabetical")
+
+    def test_frequency_strategy_puts_common_dimensions_first(self):
+        dataset = [
+            vec(1, {10: 1.0, 20: 1.0}),
+            vec(2, {10: 1.0, 30: 1.0}),
+            vec(3, {10: 1.0}),
+        ]
+        ordering = DimensionOrdering.from_vectors(dataset, "frequency")
+        # Dimension 10 occurs in every vector, so it gets the smallest id.
+        assert ordering.map_dimension(10) == 0
+
+    def test_max_weight_strategy_puts_heavy_dimensions_last(self):
+        dataset = [vec(1, {10: 0.1, 20: 0.9}), vec(2, {10: 0.2, 20: 0.8})]
+        ordering = DimensionOrdering.from_vectors(dataset, "max_weight")
+        assert ordering.map_dimension(10) < ordering.map_dimension(20)
+
+    def test_remap_is_reversible(self):
+        dataset = random_vectors(30, seed=101)
+        ordering = DimensionOrdering.from_vectors(dataset, "frequency")
+        for vector in dataset:
+            remapped = ordering.remap(vector)
+            restored = {ordering.unmap_dimension(dim): value for dim, value in remapped}
+            assert restored == dict(vector)
+
+    def test_remap_preserves_similarities(self):
+        dataset = random_vectors(40, seed=103)
+        remapped, _ = remap_vectors(dataset, "frequency")
+        for a, b, a2, b2 in zip(dataset, dataset[1:], remapped, remapped[1:]):
+            assert a.dot(b) == pytest.approx(a2.dot(b2))
+
+    def test_unseen_dimension_passes_through(self):
+        ordering = DimensionOrdering.from_vectors([vec(1, {5: 1.0})], "frequency")
+        assert ordering.unmap_dimension(999) == 999
+
+
+class TestOrderingInBatchJoin:
+    @pytest.mark.parametrize("strategy", ["natural", "frequency", "max_weight"])
+    @pytest.mark.parametrize("index", ["L2AP", "L2", "AP"])
+    def test_result_is_independent_of_ordering(self, strategy, index):
+        dataset = random_vectors(60, seed=107)
+        expected = {pair.key for pair in brute_force_all_pairs(dataset, 0.7)}
+        got = {pair.key for pair in all_pairs(dataset, 0.7, index=index,
+                                              dimension_order=strategy)}
+        assert got == expected
+
+    def test_ordering_changes_only_the_work_not_the_answer(self):
+        from repro.core.results import JoinStatistics
+
+        dataset = random_vectors(120, seed=109)
+        natural_stats = JoinStatistics()
+        frequency_stats = JoinStatistics()
+        natural = all_pairs(dataset, 0.8, index="L2AP", stats=natural_stats)
+        frequency = all_pairs(dataset, 0.8, index="L2AP", stats=frequency_stats,
+                              dimension_order="frequency")
+        assert {p.key for p in natural} == {p.key for p in frequency}
+        # Both orderings must have actually done some work.
+        assert natural_stats.entries_traversed > 0
+        assert frequency_stats.entries_traversed > 0

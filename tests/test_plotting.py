@@ -1,0 +1,70 @@
+"""Tests for the ASCII chart renderer used by the figure experiments."""
+
+from __future__ import annotations
+
+from repro.bench.plotting import ascii_chart, chart_from_series
+
+
+class TestAsciiChart:
+    SERIES = {
+        "fast": [(0.5, 1.0), (0.7, 0.6), (0.9, 0.2)],
+        "slow": [(0.5, 2.0), (0.7, 1.8), (0.9, 1.5)],
+    }
+
+    def test_contains_title_and_legend(self):
+        chart = ascii_chart(self.SERIES, title="demo chart", x_label="theta",
+                            y_label="seconds")
+        assert "demo chart" in chart
+        assert "legend:" in chart
+        assert "fast" in chart and "slow" in chart
+        assert "seconds" in chart
+
+    def test_uses_distinct_markers(self):
+        chart = ascii_chart(self.SERIES)
+        assert "o" in chart
+        assert "x" in chart
+
+    def test_axis_labels_show_data_range(self):
+        chart = ascii_chart(self.SERIES, x_label="theta")
+        assert "0.5" in chart
+        assert "0.9" in chart
+        assert "2" in chart    # max y
+
+    def test_respects_requested_size(self):
+        chart = ascii_chart(self.SERIES, width=30, height=8)
+        plot_lines = [line for line in chart.splitlines() if "|" in line]
+        assert len(plot_lines) == 8
+        assert all(len(line.split("|", 1)[1]) == 30 for line in plot_lines)
+
+    def test_log_x_axis(self):
+        series = {"s": [(1e-4, 4.0), (1e-3, 3.0), (1e-2, 2.0), (1e-1, 1.0)]}
+        chart = ascii_chart(series, log_x=True)
+        assert "0.0001" in chart
+        assert "0.1" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart({"empty": []}, title="nothing")
+
+    def test_single_point(self):
+        chart = ascii_chart({"one": [(1.0, 1.0)]})
+        assert "o" in chart
+
+    def test_non_finite_points_are_ignored(self):
+        chart = ascii_chart({"s": [(1.0, 1.0), (float("nan"), 2.0), (2.0, float("inf"))]})
+        assert "o" in chart
+
+
+class TestChartFromSeries:
+    ROWS = [
+        {"dataset": "rcv1", "theta": 0.5, "time_s": 1.0},
+        {"dataset": "rcv1", "theta": 0.9, "time_s": 0.3},
+        {"dataset": "tweets", "theta": 0.5, "time_s": 0.6},
+        {"dataset": "tweets", "theta": 0.9, "time_s": 0.2},
+    ]
+
+    def test_groups_rows_into_series(self):
+        chart = chart_from_series(self.ROWS, group="dataset", x="theta", y="time_s",
+                                  title="time vs theta")
+        assert "rcv1" in chart
+        assert "tweets" in chart
+        assert "time vs theta" in chart

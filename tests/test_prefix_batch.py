@@ -1,0 +1,120 @@
+"""Unit tests for the batch prefix-filtering indexes (AP, L2AP, L2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_all_pairs
+from repro.core.results import JoinStatistics
+from repro.core.vector import SparseVector
+from repro.indexes.allpairs import APBatchIndex
+from repro.indexes.inverted import InvertedBatchIndex
+from repro.indexes.l2 import L2BatchIndex
+from repro.indexes.l2ap import L2APBatchIndex
+from repro.indexes.maxvector import MaxVector
+from tests.conftest import random_vectors
+
+BATCH_CLASSES = [APBatchIndex, L2APBatchIndex, L2BatchIndex]
+
+
+def vec(vector_id: int, entries: dict[int, float]) -> SparseVector:
+    return SparseVector(vector_id, 0.0, entries)
+
+
+def build(cls, threshold: float, dataset):
+    max_vector = MaxVector.from_vectors(dataset) if cls.use_ap else None
+    if cls.use_ap:
+        return cls(threshold, max_vector=max_vector)
+    return cls(threshold)
+
+
+class TestIndexSizes:
+    @pytest.mark.parametrize("cls", BATCH_CLASSES)
+    def test_prefix_indexes_store_fewer_postings_than_inv(self, cls):
+        dataset = random_vectors(60, seed=5)
+        threshold = 0.8
+        inv = InvertedBatchIndex(threshold)
+        inv.index_dataset(dataset)
+        pruned = build(cls, threshold, dataset)
+        pruned.index_dataset(dataset)
+        assert pruned.size <= inv.size
+
+    def test_l2ap_index_is_no_larger_than_ap_or_l2(self):
+        dataset = random_vectors(60, seed=6)
+        threshold = 0.8
+        sizes = {}
+        for cls in BATCH_CLASSES:
+            index = build(cls, threshold, dataset)
+            index.index_dataset(dataset)
+            sizes[cls.name] = index.size
+        assert sizes["L2AP"] <= sizes["AP"]
+        assert sizes["L2AP"] <= sizes["L2"]
+
+    @pytest.mark.parametrize("cls", BATCH_CLASSES)
+    def test_higher_threshold_means_smaller_index(self, cls):
+        dataset = random_vectors(60, seed=7)
+        low = build(cls, 0.5, dataset)
+        low.index_dataset(dataset)
+        high = build(cls, 0.95, dataset)
+        high.index_dataset(dataset)
+        assert high.size <= low.size
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("cls", BATCH_CLASSES)
+    @pytest.mark.parametrize("threshold", [0.5, 0.7, 0.9])
+    def test_matches_brute_force(self, cls, threshold):
+        dataset = random_vectors(70, seed=11)
+        expected = {pair.key for pair in brute_force_all_pairs(dataset, threshold)}
+        index = build(cls, threshold, dataset)
+        got = set()
+        for x, y, score in index.index_dataset(dataset):
+            assert score >= threshold
+            got.add((min(x.vector_id, y.vector_id), max(x.vector_id, y.vector_id)))
+        assert got == expected
+
+    @pytest.mark.parametrize("cls", BATCH_CLASSES)
+    def test_reported_scores_are_exact(self, cls):
+        dataset = random_vectors(40, seed=13)
+        index = build(cls, 0.6, dataset)
+        by_id = {vector.vector_id: vector for vector in dataset}
+        for x, y, score in index.index_dataset(dataset):
+            assert score == pytest.approx(by_id[x.vector_id].dot(by_id[y.vector_id]))
+
+    @pytest.mark.parametrize("cls", BATCH_CLASSES)
+    def test_query_does_not_modify_index(self, cls):
+        dataset = random_vectors(30, seed=17)
+        index = build(cls, 0.6, dataset)
+        index.index_dataset(dataset)
+        size_before = index.size
+        index.query(dataset[0])
+        assert index.size == size_before
+
+    def test_duplicate_vectors_are_found(self):
+        a = vec(1, {1: 1.0, 2: 2.0, 3: 1.0})
+        b = vec(2, {1: 1.0, 2: 2.0, 3: 1.0})
+        for cls in BATCH_CLASSES:
+            index = build(cls, 0.99, [a, b])
+            pairs = index.index_dataset([a, b])
+            assert [(p[0].vector_id, p[1].vector_id) for p in pairs] == [(2, 1)]
+
+
+class TestStatistics:
+    def test_l2ap_generates_no_more_candidates_than_inv(self):
+        dataset = random_vectors(80, seed=19)
+        threshold = 0.7
+        inv_stats = JoinStatistics()
+        InvertedBatchIndex(threshold, stats=inv_stats).index_dataset(dataset)
+        l2ap_stats = JoinStatistics()
+        L2APBatchIndex(threshold, stats=l2ap_stats,
+                       max_vector=MaxVector.from_vectors(dataset)).index_dataset(dataset)
+        assert l2ap_stats.candidates_generated <= inv_stats.candidates_generated
+        assert l2ap_stats.entries_traversed <= inv_stats.entries_traversed
+
+    def test_residual_counter_grows_for_prefix_indexes(self):
+        dataset = random_vectors(50, seed=23)
+        stats = JoinStatistics()
+        index = L2BatchIndex(0.9, stats=stats)
+        index.index_dataset(dataset)
+        assert stats.residual_entries > 0
+        assert index.residual_size > 0

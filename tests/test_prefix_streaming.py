@@ -1,0 +1,141 @@
+"""Unit tests for the streaming prefix-filtering indexes (L2, L2AP, AP)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_time_dependent
+from repro.core.similarity import time_horizon
+from repro.core.vector import SparseVector
+from repro.exceptions import InvalidParameterError
+from repro.indexes.allpairs import APStreamingIndex
+from repro.indexes.inverted import InvertedStreamingIndex
+from repro.indexes.l2 import L2StreamingIndex
+from repro.indexes.l2ap import L2APStreamingIndex
+from tests.conftest import random_vectors
+
+STREAMING_CLASSES = [L2StreamingIndex, L2APStreamingIndex, APStreamingIndex]
+
+
+def vec(vector_id: int, t: float, entries: dict[int, float]) -> SparseVector:
+    return SparseVector(vector_id, t, entries)
+
+
+class TestBasicBehaviour:
+    @pytest.mark.parametrize("cls", STREAMING_CLASSES)
+    def test_near_duplicates_are_reported_with_decay(self, cls):
+        index = cls(0.7, 0.1)
+        index.process(vec(1, 0.0, {1: 1.0, 2: 1.0}))
+        pairs = index.process(vec(2, 1.0, {1: 1.0, 2: 1.0}))
+        assert len(pairs) == 1
+        assert pairs[0].similarity == pytest.approx(math.exp(-0.1))
+        assert pairs[0].dot == pytest.approx(1.0)
+        assert pairs[0].time_delta == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("cls", STREAMING_CLASSES)
+    def test_dissimilar_items_not_reported(self, cls):
+        index = cls(0.7, 0.1)
+        index.process(vec(1, 0.0, {1: 1.0}))
+        assert index.process(vec(2, 0.1, {2: 1.0})) == []
+
+    @pytest.mark.parametrize("cls", STREAMING_CLASSES)
+    def test_items_beyond_horizon_not_reported(self, cls):
+        threshold, decay = 0.7, 0.1
+        tau = time_horizon(threshold, decay)
+        index = cls(threshold, decay)
+        index.process(vec(1, 0.0, {1: 1.0}))
+        assert index.process(vec(2, tau * 1.01, {1: 1.0})) == []
+
+    @pytest.mark.parametrize("cls", STREAMING_CLASSES)
+    def test_zero_decay_is_rejected(self, cls):
+        with pytest.raises(InvalidParameterError):
+            cls(0.7, 0.0)
+
+    def test_l2_keeps_time_ordered_lists(self):
+        index = L2StreamingIndex(0.6, 0.1)
+        assert index.time_ordered is True
+
+    def test_l2ap_lists_are_not_time_ordered(self):
+        index = L2APStreamingIndex(0.6, 0.1)
+        assert index.time_ordered is False
+
+
+class TestTimeFiltering:
+    @pytest.mark.parametrize("cls", STREAMING_CLASSES)
+    def test_index_size_stays_bounded_on_spread_out_stream(self, cls):
+        threshold, decay = 0.6, 0.5   # tau ~ 1.02
+        index = cls(threshold, decay)
+        for i in range(200):
+            index.process(vec(i, float(i), {i % 7: 1.0, 7 + i % 5: 0.7, 20 + i % 3: 0.3}))
+        # With a horizon around one time unit and unit-spaced arrivals, only a
+        # handful of postings (bounded by the number of live dimensions, not
+        # by the stream length) can be alive at any moment.
+        assert index.size <= 60
+        assert index.residual_size <= 60
+
+    @pytest.mark.parametrize("cls", STREAMING_CLASSES)
+    def test_residual_entries_are_evicted(self, cls):
+        index = cls(0.9, 1.0)
+        index.process(vec(1, 0.0, {1: 1.0, 2: 0.1, 3: 0.1}))
+        index.process(vec(2, 100.0, {1: 1.0, 2: 0.1, 3: 0.1}))
+        assert len(index._residual) <= 1
+
+
+class TestEquivalenceWithBruteForce:
+    @pytest.mark.parametrize("cls", STREAMING_CLASSES)
+    @pytest.mark.parametrize("threshold,decay", [(0.5, 0.05), (0.7, 0.01), (0.9, 0.2)])
+    def test_matches_brute_force(self, cls, threshold, decay):
+        vectors = random_vectors(90, seed=29)
+        expected = {pair.key for pair in brute_force_time_dependent(vectors, threshold, decay)}
+        index = cls(threshold, decay)
+        got = set()
+        for vector in vectors:
+            for pair in index.process(vector):
+                assert pair.similarity >= threshold
+                got.add(pair.key)
+        assert got == expected
+
+    @pytest.mark.parametrize("cls", STREAMING_CLASSES)
+    def test_similarities_are_exact(self, cls):
+        vectors = random_vectors(60, seed=31)
+        threshold, decay = 0.5, 0.05
+        by_id = {vector.vector_id: vector for vector in vectors}
+        index = cls(threshold, decay)
+        for vector in vectors:
+            for pair in index.process(vector):
+                x, y = by_id[pair.id_a], by_id[pair.id_b]
+                expected = x.dot(y) * math.exp(-decay * abs(x.timestamp - y.timestamp))
+                assert pair.similarity == pytest.approx(expected)
+
+
+class TestPruningEffectiveness:
+    def test_l2_traverses_no_more_entries_than_inv(self):
+        vectors = random_vectors(120, seed=37)
+        threshold, decay = 0.8, 0.01
+        inv = InvertedStreamingIndex(threshold, decay)
+        l2 = L2StreamingIndex(threshold, decay)
+        for vector in vectors:
+            inv.process(vector)
+            l2.process(vector)
+        assert l2.stats.entries_traversed <= inv.stats.entries_traversed
+        assert l2.stats.full_similarities <= inv.stats.full_similarities
+
+    def test_l2_index_is_smaller_than_inv(self):
+        vectors = random_vectors(120, seed=41)
+        threshold, decay = 0.8, 0.001
+        inv = InvertedStreamingIndex(threshold, decay)
+        l2 = L2StreamingIndex(threshold, decay)
+        for vector in vectors:
+            inv.process(vector)
+            l2.process(vector)
+        assert l2.stats.max_index_size <= inv.stats.max_index_size
+
+    def test_l2_never_reindexes(self):
+        vectors = random_vectors(100, seed=43)
+        index = L2StreamingIndex(0.7, 0.01)
+        for vector in vectors:
+            index.process(vector)
+        assert index.stats.reindexings == 0
+        assert index.stats.reindexed_entries == 0

@@ -1,0 +1,128 @@
+"""Property-based tests for the core data model (hypothesis)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.similarity import (
+    decay_for_horizon,
+    time_dependent_similarity,
+    time_horizon,
+)
+from repro.core.vector import SparseVector
+
+# -- strategies -------------------------------------------------------------------
+
+values = st.floats(min_value=0.01, max_value=10.0, allow_nan=False, allow_infinity=False)
+entries = st.dictionaries(st.integers(min_value=0, max_value=200), values,
+                          min_size=1, max_size=15)
+timestamps = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+thresholds = st.floats(min_value=0.05, max_value=1.0, exclude_max=False)
+decays = st.floats(min_value=1e-5, max_value=1.0)
+
+
+def vector(vector_id: int, timestamp: float, raw: dict[int, float]) -> SparseVector:
+    return SparseVector(vector_id, timestamp, raw)
+
+
+# -- vector invariants ---------------------------------------------------------------
+
+
+class TestVectorProperties:
+    @given(entries, timestamps)
+    def test_normalized_vectors_have_unit_norm(self, raw, t):
+        assert math.isclose(vector(1, t, raw).norm, 1.0, rel_tol=1e-9)
+
+    @given(entries)
+    def test_dims_strictly_increasing(self, raw):
+        v = vector(1, 0.0, raw)
+        assert all(a < b for a, b in zip(v.dims, v.dims[1:]))
+
+    @given(entries, entries)
+    def test_dot_is_symmetric(self, raw_a, raw_b):
+        a, b = vector(1, 0.0, raw_a), vector(2, 0.0, raw_b)
+        assert math.isclose(a.dot(b), b.dot(a), rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(entries, entries)
+    def test_cauchy_schwarz(self, raw_a, raw_b):
+        a, b = vector(1, 0.0, raw_a), vector(2, 0.0, raw_b)
+        assert a.dot(b) <= a.norm * b.norm + 1e-9
+
+    @given(entries, entries)
+    def test_cosine_similarity_bounded_by_one(self, raw_a, raw_b):
+        a, b = vector(1, 0.0, raw_a), vector(2, 0.0, raw_b)
+        assert -1e-9 <= a.dot(b) <= 1.0 + 1e-9
+
+    @given(entries)
+    def test_self_similarity_is_one(self, raw):
+        a = vector(1, 0.0, raw)
+        b = vector(2, 5.0, raw)
+        assert math.isclose(a.dot(b), 1.0, rel_tol=1e-9)
+
+    @given(entries)
+    def test_prefix_norms_monotone_and_bounded(self, raw):
+        v = vector(1, 0.0, raw)
+        norms = [v.prefix_norm_before(k) for k in range(len(v) + 1)]
+        assert all(x <= y + 1e-12 for x, y in zip(norms, norms[1:]))
+        assert norms[-1] <= v.norm + 1e-12
+
+    @given(entries)
+    def test_prefix_plus_suffix_reconstructs_vector(self, raw):
+        v = vector(1, 0.0, raw)
+        for split in range(len(v) + 1):
+            merged = {**v.prefix(split), **v.suffix(split)}
+            assert merged == v.to_dict()
+
+    @given(entries, st.integers(min_value=0, max_value=300))
+    def test_get_agrees_with_to_dict(self, raw, dim):
+        v = vector(1, 0.0, raw)
+        assert v.get(dim) == v.to_dict().get(dim, 0.0)
+
+
+# -- similarity invariants ---------------------------------------------------------------
+
+
+class TestSimilarityProperties:
+    @given(entries, entries, timestamps, timestamps, decays)
+    def test_time_dependent_similarity_never_exceeds_cosine(self, raw_a, raw_b, ta, tb, decay):
+        a, b = vector(1, ta, raw_a), vector(2, tb, raw_b)
+        assert time_dependent_similarity(a, b, decay) <= a.dot(b) + 1e-12
+
+    @given(entries, entries, timestamps, timestamps, decays)
+    def test_similarity_is_symmetric(self, raw_a, raw_b, ta, tb, decay):
+        a, b = vector(1, ta, raw_a), vector(2, tb, raw_b)
+        assert math.isclose(time_dependent_similarity(a, b, decay),
+                            time_dependent_similarity(b, a, decay),
+                            rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(thresholds, decays)
+    def test_horizon_round_trip(self, threshold, decay):
+        tau = time_horizon(threshold, decay)
+        if tau > 0 and math.isfinite(tau):
+            recovered = decay_for_horizon(threshold, tau)
+            assert math.isclose(recovered, decay, rel_tol=1e-9)
+
+    @given(entries, thresholds, decays, timestamps,
+           st.floats(min_value=1.0001, max_value=100.0))
+    @settings(max_examples=60)
+    def test_no_pair_beyond_horizon_is_similar(self, raw, threshold, decay, t0, factor):
+        tau = time_horizon(threshold, decay)
+        if not math.isfinite(tau) or tau <= 0:
+            return
+        gap = min(tau * factor, 1e12)
+        a = vector(1, t0, raw)
+        b = vector(2, t0 + gap, raw)
+        if gap <= tau:   # numerical clamp can collapse the gap; skip those
+            return
+        assert time_dependent_similarity(a, b, decay) < threshold + 1e-12
+
+    @given(entries, entries, timestamps, decays, decays)
+    def test_similarity_decreases_with_decay(self, raw_a, raw_b, gap, d1, d2):
+        lo, hi = min(d1, d2), max(d1, d2)
+        a = vector(1, 0.0, raw_a)
+        b = vector(2, gap, raw_b)
+        assert (time_dependent_similarity(a, b, hi)
+                <= time_dependent_similarity(a, b, lo) + 1e-12)

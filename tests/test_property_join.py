@@ -1,0 +1,92 @@
+"""Property-based tests of the end-to-end join algorithms (hypothesis).
+
+The generated streams are small but adversarial (arbitrary sparse vectors,
+arbitrary inter-arrival gaps); on every one of them each framework/index
+combination must return exactly the brute-force answer.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute_force import brute_force_time_dependent
+from repro.core.join import create_join
+from repro.core.similarity import time_horizon
+from repro.core.vector import SparseVector
+
+values = st.floats(min_value=0.05, max_value=5.0, allow_nan=False, allow_infinity=False)
+entries = st.dictionaries(st.integers(min_value=0, max_value=25), values,
+                          min_size=1, max_size=6)
+gaps = st.floats(min_value=0.0, max_value=30.0, allow_nan=False, allow_infinity=False)
+streams = st.lists(st.tuples(entries, gaps), min_size=2, max_size=25)
+thresholds = st.sampled_from([0.5, 0.7, 0.9])
+decays = st.sampled_from([0.01, 0.1, 0.5])
+
+ALGORITHMS = ["STR-INV", "STR-L2", "STR-L2AP", "MB-INV", "MB-L2", "MB-L2AP"]
+
+
+def build_stream(raw_stream) -> list[SparseVector]:
+    vectors = []
+    timestamp = 0.0
+    for index, (raw, gap) in enumerate(raw_stream):
+        timestamp += gap
+        vectors.append(SparseVector(index, timestamp, raw))
+    return vectors
+
+
+class TestJoinProperties:
+    @given(streams, thresholds, decays, st.sampled_from(ALGORITHMS))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_brute_force(self, raw_stream, threshold, decay, algorithm):
+        vectors = build_stream(raw_stream)
+        expected = {p.key for p in brute_force_time_dependent(vectors, threshold, decay)}
+        join = create_join(algorithm, threshold, decay)
+        got = {p.key for p in join.run(vectors)}
+        assert got == expected
+
+    @given(streams, thresholds, decays)
+    @settings(max_examples=60, deadline=None)
+    def test_str_reports_no_pair_beyond_horizon(self, raw_stream, threshold, decay):
+        vectors = build_stream(raw_stream)
+        tau = time_horizon(threshold, decay)
+        join = create_join("STR-L2", threshold, decay)
+        for pair in join.run(vectors):
+            assert pair.time_delta <= tau + 1e-9
+
+    @given(streams, thresholds, decays)
+    @settings(max_examples=60, deadline=None)
+    def test_reported_similarities_are_exact_and_above_threshold(self, raw_stream,
+                                                                 threshold, decay):
+        vectors = build_stream(raw_stream)
+        by_id = {vector.vector_id: vector for vector in vectors}
+        join = create_join("STR-L2AP", threshold, decay)
+        for pair in join.run(vectors):
+            x, y = by_id[pair.id_a], by_id[pair.id_b]
+            truth = x.dot(y) * math.exp(-decay * abs(x.timestamp - y.timestamp))
+            assert pair.similarity >= threshold - 1e-9
+            assert math.isclose(pair.similarity, truth, rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(streams, thresholds, decays)
+    @settings(max_examples=60, deadline=None)
+    def test_mb_and_str_agree(self, raw_stream, threshold, decay):
+        vectors = build_stream(raw_stream)
+        str_keys = {p.key for p in create_join("STR-L2", threshold, decay).run(vectors)}
+        mb_keys = {p.key for p in create_join("MB-L2", threshold, decay).run(vectors)}
+        assert str_keys == mb_keys
+
+    @given(streams, thresholds, decays)
+    @settings(max_examples=40, deadline=None)
+    def test_index_state_stays_within_horizon(self, raw_stream, threshold, decay):
+        vectors = build_stream(raw_stream)
+        join = create_join("STR-L2", threshold, decay)
+        tau = join.horizon
+        for vector in vectors:
+            join.process(vector)
+        # After processing the final vector, no residual entry may be older
+        # than the horizon relative to that vector.
+        last_time = vectors[-1].timestamp
+        for entry in join.index._residual.entries():
+            assert last_time - entry.timestamp <= tau + 1e-9

@@ -1,0 +1,125 @@
+"""Property-based tests for the index data structures (hypothesis).
+
+The circular buffer is checked against a ``collections.deque`` model and
+the linked hash-map against an ``OrderedDict`` model: after any sequence of
+operations both must hold exactly the same content in the same order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexes.circular import CircularBuffer
+from repro.indexes.linked_map import LinkedHashMap
+
+# Operations for the circular buffer model test:
+#   ("append", value) | ("drop", count) | ("keep", count)
+buffer_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.integers(-1000, 1000)),
+        st.tuples(st.just("drop"), st.integers(0, 20)),
+        st.tuples(st.just("keep"), st.integers(0, 20)),
+    ),
+    max_size=200,
+)
+
+# Operations for the linked hash-map model test:
+#   ("set", key, value) | ("del", key) | ("pop_oldest",)
+map_keys = st.integers(min_value=0, max_value=15)
+map_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("set"), map_keys, st.integers()),
+        st.tuples(st.just("del"), map_keys),
+        st.tuples(st.just("pop_oldest")),
+    ),
+    max_size=200,
+)
+
+
+class TestCircularBufferModel:
+    @given(buffer_ops)
+    @settings(max_examples=150)
+    def test_behaves_like_a_deque(self, operations):
+        buffer: CircularBuffer[int] = CircularBuffer()
+        model: deque[int] = deque()
+        for operation in operations:
+            if operation[0] == "append":
+                buffer.append(operation[1])
+                model.append(operation[1])
+            elif operation[0] == "drop":
+                count = operation[1]
+                dropped = buffer.drop_oldest(count)
+                expected_drop = min(count, len(model)) if count > 0 else 0
+                assert dropped == expected_drop
+                for _ in range(expected_drop):
+                    model.popleft()
+            else:  # keep
+                count = operation[1]
+                buffer.keep_newest(count)
+                while len(model) > count:
+                    model.popleft()
+            assert list(buffer) == list(model)
+            assert list(buffer.iter_newest_first()) == list(reversed(model))
+            assert len(buffer) == len(model)
+
+    @given(buffer_ops)
+    @settings(max_examples=50)
+    def test_occupancy_never_exceeds_capacity(self, operations):
+        buffer: CircularBuffer[int] = CircularBuffer()
+        for operation in operations:
+            if operation[0] == "append":
+                buffer.append(operation[1])
+            elif operation[0] == "drop":
+                buffer.drop_oldest(operation[1])
+            else:
+                buffer.keep_newest(operation[1])
+            assert len(buffer) <= buffer.capacity
+
+
+class TestLinkedHashMapModel:
+    @given(map_ops)
+    @settings(max_examples=150)
+    def test_behaves_like_an_ordered_dict(self, operations):
+        table: LinkedHashMap[int, int] = LinkedHashMap()
+        model: OrderedDict[int, int] = OrderedDict()
+        for operation in operations:
+            if operation[0] == "set":
+                _, key, value = operation
+                table[key] = value
+                model[key] = value
+            elif operation[0] == "del":
+                key = operation[1]
+                if key in model:
+                    del table[key]
+                    del model[key]
+                else:
+                    assert key not in table
+            else:  # pop_oldest
+                if model:
+                    assert table.pop_oldest() == model.popitem(last=False)
+                else:
+                    assert len(table) == 0
+            assert list(table.items()) == list(model.items())
+            assert len(table) == len(model)
+
+    @given(map_ops)
+    @settings(max_examples=50)
+    def test_oldest_and_newest_match_model(self, operations):
+        table: LinkedHashMap[int, int] = LinkedHashMap()
+        model: OrderedDict[int, int] = OrderedDict()
+        for operation in operations:
+            if operation[0] == "set":
+                _, key, value = operation
+                table[key] = value
+                model[key] = value
+            elif operation[0] == "del" and operation[1] in model:
+                del table[operation[1]]
+                del model[operation[1]]
+            if model:
+                first_key = next(iter(model))
+                last_key = next(reversed(model))
+                assert table.oldest() == (first_key, model[first_key])
+                assert table.newest() == (last_key, model[last_key])

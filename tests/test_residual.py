@@ -1,0 +1,130 @@
+"""Unit tests for the residual direct index R / Q store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.vector import SparseVector
+from repro.indexes.residual import ResidualEntry, ResidualIndex
+
+
+def vec(vector_id: int, t: float, entries: dict[int, float]) -> SparseVector:
+    return SparseVector(vector_id, t, entries, normalize=False)
+
+
+def make_entry(vector_id: int, t: float = 0.0, boundary: int = 2,
+               pscore: float = 0.4) -> ResidualEntry:
+    vector = vec(vector_id, t, {1: 0.2, 3: 0.3, 5: 0.6, 8: 0.7})
+    return ResidualEntry(vector=vector, boundary=boundary, pscore=pscore)
+
+
+class TestResidualEntry:
+    def test_residual_is_the_strict_prefix(self):
+        entry = make_entry(1, boundary=2)
+        assert entry.residual == {1: 0.2, 3: 0.3}
+
+    def test_empty_residual_when_boundary_zero(self):
+        entry = make_entry(1, boundary=0)
+        assert entry.residual == {}
+        assert entry.residual_max == 0.0
+        assert entry.residual_sum == 0.0
+        assert entry.residual_size == 0
+
+    def test_statistics(self):
+        entry = make_entry(1, boundary=3)
+        assert entry.residual_max == pytest.approx(0.6)
+        assert entry.residual_sum == pytest.approx(1.1)
+        assert entry.residual_size == 3
+
+    def test_size_filter_value_uses_full_vector(self):
+        entry = make_entry(1, boundary=1)
+        assert entry.size_filter_value == pytest.approx(4 * 0.7)
+
+    def test_residual_dot(self):
+        entry = make_entry(1, boundary=2)
+        query = vec(9, 0.0, {1: 1.0, 5: 1.0})
+        assert entry.residual_dot(query) == pytest.approx(0.2)
+
+    def test_residual_dot_with_empty_residual(self):
+        entry = make_entry(1, boundary=0)
+        assert entry.residual_dot(vec(9, 0.0, {1: 1.0})) == 0.0
+
+    def test_vector_id_and_timestamp_proxies(self):
+        entry = make_entry(7, t=3.5)
+        assert entry.vector_id == 7
+        assert entry.timestamp == 3.5
+
+    def test_shrink_to_moves_boundary_and_frees_dims(self):
+        entry = make_entry(1, boundary=3)
+        freed = entry.shrink_to(1, 0.1)
+        assert freed == [3, 5]
+        assert entry.boundary == 1
+        assert entry.pscore == 0.1
+        assert entry.residual == {1: 0.2}
+
+    def test_shrink_to_with_larger_boundary_is_noop(self):
+        entry = make_entry(1, boundary=2)
+        assert entry.shrink_to(3, 0.9) == []
+        assert entry.boundary == 2
+
+
+class TestResidualIndex:
+    def test_add_and_get(self):
+        index = ResidualIndex()
+        entry = make_entry(1)
+        index.add(entry)
+        assert 1 in index
+        assert index.get(1) is entry
+        assert index.get(99) is None
+        assert len(index) == 1
+
+    def test_total_residual_coordinates(self):
+        index = ResidualIndex()
+        index.add(make_entry(1, boundary=2))
+        index.add(make_entry(2, boundary=3))
+        assert index.total_residual_coordinates() == 5
+
+    def test_candidates_for_dimensions(self):
+        index = ResidualIndex()
+        index.add(make_entry(1, boundary=2))   # residual dims {1, 3}
+        index.add(make_entry(2, boundary=1))   # residual dims {1}
+        assert index.candidates_for_dimensions([3]) == {1}
+        assert index.candidates_for_dimensions([1]) == {1, 2}
+        assert index.candidates_for_dimensions([99]) == set()
+
+    def test_forget_residual_dimension(self):
+        index = ResidualIndex()
+        index.add(make_entry(1, boundary=2))
+        index.forget_residual_dimension(1, [1, 3])
+        assert index.candidates_for_dimensions([1, 3]) == set()
+
+    def test_evict_older_than(self):
+        index = ResidualIndex()
+        index.add(make_entry(1, t=0.0))
+        index.add(make_entry(2, t=5.0))
+        index.add(make_entry(3, t=10.0))
+        evicted = index.evict_older_than(6.0)
+        assert [entry.vector_id for entry in evicted] == [1, 2]
+        assert 3 in index
+        assert index.candidates_for_dimensions([1]) == {3}
+
+    def test_evict_respects_arrival_order(self):
+        index = ResidualIndex()
+        index.add(make_entry(1, t=0.0))
+        index.add(make_entry(2, t=10.0))
+        # Cutoff below the oldest: nothing leaves.
+        assert index.evict_older_than(-1.0) == []
+        assert len(index) == 2
+
+    def test_entries_iteration(self):
+        index = ResidualIndex()
+        index.add(make_entry(1, t=0.0))
+        index.add(make_entry(2, t=1.0))
+        assert [entry.vector_id for entry in index.entries()] == [1, 2]
+
+    def test_clear(self):
+        index = ResidualIndex()
+        index.add(make_entry(1))
+        index.clear()
+        assert len(index) == 0
+        assert index.candidates_for_dimensions([1]) == set()

@@ -1,0 +1,100 @@
+"""Unit tests for similar pairs, collectors and statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import (
+    CallbackCollector,
+    CountingCollector,
+    JoinStatistics,
+    ListCollector,
+    SimilarPair,
+    TopKCollector,
+)
+
+
+def pair(a: int, b: int, similarity: float = 0.9) -> SimilarPair:
+    return SimilarPair.make(a, b, similarity)
+
+
+class TestSimilarPair:
+    def test_make_orders_ids(self):
+        assert pair(5, 2).key == (2, 5)
+        assert pair(2, 5).key == (2, 5)
+
+    def test_pairs_with_same_ids_compare_equal(self):
+        assert pair(1, 2, 0.8) == pair(2, 1, 0.95)
+
+    def test_carries_metadata(self):
+        p = SimilarPair.make(1, 2, 0.8, time_delta=3.0, dot=0.9, reported_at=10.0)
+        assert p.time_delta == 3.0
+        assert p.dot == 0.9
+        assert p.reported_at == 10.0
+
+    def test_ordering_by_ids(self):
+        assert sorted([pair(3, 4), pair(1, 2)])[0].key == (1, 2)
+
+
+class TestJoinStatistics:
+    def test_defaults_to_zero(self):
+        stats = JoinStatistics()
+        assert stats.entries_traversed == 0
+        assert stats.operations == 0
+
+    def test_merge_accumulates(self):
+        a = JoinStatistics(entries_traversed=5, pairs_output=1, max_index_size=10)
+        b = JoinStatistics(entries_traversed=7, pairs_output=2, max_index_size=4)
+        a.merge(b)
+        assert a.entries_traversed == 12
+        assert a.pairs_output == 3
+        assert a.max_index_size == 10
+
+    def test_operations_aggregate(self):
+        stats = JoinStatistics(entries_traversed=3, full_similarities=2,
+                               entries_indexed=4, reindexed_entries=1)
+        assert stats.operations == 10
+
+    def test_as_dict_round_trip(self):
+        stats = JoinStatistics(entries_traversed=3)
+        payload = stats.as_dict()
+        assert payload["entries_traversed"] == 3
+        assert set(payload) >= {"vectors_processed", "pairs_output", "elapsed_seconds"}
+
+
+class TestCollectors:
+    def test_list_collector(self):
+        collector = ListCollector()
+        collector(pair(1, 2))
+        collector(pair(3, 4))
+        assert len(collector) == 2
+        assert collector.keys() == {(1, 2), (3, 4)}
+
+    def test_counting_collector(self):
+        collector = CountingCollector()
+        for _ in range(5):
+            collector(pair(1, 2))
+        assert collector.count == 5
+
+    def test_callback_collector(self):
+        seen = []
+        collector = CallbackCollector(seen.append)
+        collector(pair(1, 2))
+        assert seen[0].key == (1, 2)
+
+    def test_top_k_keeps_most_similar(self):
+        collector = TopKCollector(2)
+        collector(pair(1, 2, 0.5))
+        collector(pair(3, 4, 0.9))
+        collector(pair(5, 6, 0.7))
+        kept = [p.similarity for p in collector.pairs]
+        assert kept == [0.9, 0.7]
+
+    def test_top_k_rejects_non_positive_k(self):
+        with pytest.raises(ValueError):
+            TopKCollector(0)
+
+    def test_top_k_with_fewer_pairs_than_k(self):
+        collector = TopKCollector(10)
+        collector(pair(1, 2, 0.6))
+        assert [p.key for p in collector.pairs] == [(1, 2)]

@@ -1,0 +1,155 @@
+"""Unit tests for the time-dependent similarity and parameter helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.similarity import (
+    JoinParameters,
+    cosine_similarity,
+    decay_factor,
+    decay_for_horizon,
+    time_dependent_similarity,
+    time_horizon,
+)
+from repro.core.vector import SparseVector
+from repro.exceptions import InvalidParameterError
+
+
+def vec(vector_id: int, t: float, entries: dict[int, float]) -> SparseVector:
+    return SparseVector(vector_id, t, entries)
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        a = vec(1, 0.0, {1: 1.0, 2: 2.0})
+        b = vec(2, 5.0, {1: 1.0, 2: 2.0})
+        assert cosine_similarity(a, b) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity(vec(1, 0.0, {1: 1.0}), vec(2, 0.0, {2: 1.0})) == 0.0
+
+
+class TestDecayFactor:
+    def test_no_gap_means_no_decay(self):
+        assert decay_factor(0.5, 0.0) == 1.0
+
+    def test_zero_decay_rate(self):
+        assert decay_factor(0.0, 1000.0) == 1.0
+
+    def test_decay_value(self):
+        assert decay_factor(0.1, 10.0) == pytest.approx(math.exp(-1.0))
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            decay_factor(0.1, -1.0)
+
+
+class TestTimeDependentSimilarity:
+    def test_reduces_to_cosine_at_zero_gap(self):
+        a = vec(1, 3.0, {1: 1.0, 2: 1.0})
+        b = vec(2, 3.0, {1: 1.0, 2: 1.0})
+        assert time_dependent_similarity(a, b, 0.5) == pytest.approx(1.0)
+
+    def test_reduces_to_cosine_at_zero_decay(self):
+        a = vec(1, 0.0, {1: 1.0, 2: 1.0})
+        b = vec(2, 100.0, {1: 1.0})
+        assert time_dependent_similarity(a, b, 0.0) == pytest.approx(a.dot(b))
+
+    def test_decays_with_time_gap(self):
+        a = vec(1, 0.0, {1: 1.0})
+        b = vec(2, 10.0, {1: 1.0})
+        assert time_dependent_similarity(a, b, 0.1) == pytest.approx(math.exp(-1.0))
+
+    def test_symmetric_in_time(self):
+        a = vec(1, 0.0, {1: 1.0})
+        b = vec(2, 7.0, {1: 1.0})
+        assert (time_dependent_similarity(a, b, 0.2)
+                == pytest.approx(time_dependent_similarity(b, a, 0.2)))
+
+
+class TestTimeHorizon:
+    def test_formula(self):
+        assert time_horizon(0.5, 0.1) == pytest.approx(math.log(2.0) / 0.1)
+
+    def test_zero_decay_gives_infinite_horizon(self):
+        assert time_horizon(0.5, 0.0) == math.inf
+
+    def test_threshold_one_gives_zero_horizon(self):
+        assert time_horizon(1.0, 0.1) == 0.0
+
+    def test_horizon_shrinks_with_larger_decay(self):
+        assert time_horizon(0.5, 0.1) < time_horizon(0.5, 0.01)
+
+    def test_horizon_shrinks_with_larger_threshold(self):
+        assert time_horizon(0.9, 0.1) < time_horizon(0.5, 0.1)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            time_horizon(0.0, 0.1)
+        with pytest.raises(InvalidParameterError):
+            time_horizon(1.5, 0.1)
+
+    def test_negative_decay_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            time_horizon(0.5, -0.1)
+
+    def test_pairs_beyond_horizon_cannot_be_similar(self):
+        threshold, decay = 0.7, 0.05
+        tau = time_horizon(threshold, decay)
+        a = vec(1, 0.0, {1: 1.0})
+        b = vec(2, tau * 1.001, {1: 1.0})
+        assert time_dependent_similarity(a, b, decay) < threshold
+
+
+class TestDecayForHorizon:
+    def test_round_trip_with_time_horizon(self):
+        threshold, horizon = 0.8, 25.0
+        decay = decay_for_horizon(threshold, horizon)
+        assert time_horizon(threshold, decay) == pytest.approx(horizon)
+
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            decay_for_horizon(0.8, 0.0)
+        with pytest.raises(InvalidParameterError):
+            decay_for_horizon(0.8, math.inf)
+
+
+class TestJoinParameters:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            JoinParameters(threshold=2.0, decay=0.1)
+        with pytest.raises(InvalidParameterError):
+            JoinParameters(threshold=0.5, decay=-1.0)
+
+    def test_horizon_property(self):
+        params = JoinParameters(threshold=0.5, decay=0.1)
+        assert params.horizon == pytest.approx(time_horizon(0.5, 0.1))
+
+    def test_from_horizon_follows_paper_methodology(self):
+        params = JoinParameters.from_horizon(0.6, 120.0)
+        assert params.horizon == pytest.approx(120.0)
+        assert params.threshold == 0.6
+
+    def test_is_similar(self):
+        params = JoinParameters(threshold=0.9, decay=0.1)
+        a = vec(1, 0.0, {1: 1.0})
+        near = vec(2, 0.5, {1: 1.0})
+        far = vec(3, 50.0, {1: 1.0})
+        assert params.is_similar(a, near)
+        assert not params.is_similar(a, far)
+
+    def test_within_horizon(self):
+        params = JoinParameters(threshold=0.5, decay=0.1)
+        assert params.within_horizon(params.horizon * 0.99)
+        assert not params.within_horizon(params.horizon * 1.01)
+
+    def test_similarity_matches_free_function(self):
+        params = JoinParameters(threshold=0.5, decay=0.2)
+        a = vec(1, 0.0, {1: 1.0, 3: 1.0})
+        b = vec(2, 2.0, {1: 1.0})
+        assert params.similarity(a, b) == pytest.approx(
+            time_dependent_similarity(a, b, 0.2)
+        )

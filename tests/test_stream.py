@@ -1,0 +1,109 @@
+"""Unit tests for the stream abstractions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stream import (
+    FileStream,
+    GeneratorStream,
+    ListStream,
+    enforce_order,
+    merge_streams,
+)
+from repro.core.vector import SparseVector
+from repro.datasets.io import write_text
+from repro.exceptions import StreamOrderError
+
+
+def vec(vector_id: int, t: float) -> SparseVector:
+    return SparseVector(vector_id, t, {vector_id % 5: 1.0, 10 + vector_id % 3: 0.5})
+
+
+class TestEnforceOrder:
+    def test_passes_ordered_stream(self):
+        vectors = [vec(i, float(i)) for i in range(5)]
+        assert list(enforce_order(vectors)) == vectors
+
+    def test_allows_equal_timestamps(self):
+        vectors = [vec(0, 1.0), vec(1, 1.0)]
+        assert len(list(enforce_order(vectors))) == 2
+
+    def test_raises_on_decreasing_timestamps(self):
+        vectors = [vec(0, 5.0), vec(1, 1.0)]
+        with pytest.raises(StreamOrderError):
+            list(enforce_order(vectors))
+
+
+class TestListStream:
+    def test_sorts_by_timestamp(self):
+        stream = ListStream([vec(0, 3.0), vec(1, 1.0), vec(2, 2.0)])
+        assert [v.timestamp for v in stream] == [1.0, 2.0, 3.0]
+
+    def test_presorted_keeps_given_order(self):
+        vectors = [vec(0, 1.0), vec(1, 2.0)]
+        stream = ListStream(vectors, presorted=True)
+        assert stream.vectors == vectors
+
+    def test_len_and_getitem(self):
+        stream = ListStream([vec(0, 1.0), vec(1, 2.0)])
+        assert len(stream) == 2
+        assert stream[0].vector_id == 0
+
+    def test_is_replayable(self):
+        stream = ListStream([vec(0, 1.0), vec(1, 2.0)])
+        assert len(list(stream)) == len(list(stream)) == 2
+
+
+class TestGeneratorStream:
+    def test_replays_by_calling_factory_again(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return [vec(0, 0.0), vec(1, 1.0)]
+
+        stream = GeneratorStream(factory)
+        assert len(list(stream)) == 2
+        assert len(list(stream)) == 2
+        assert len(calls) == 2
+
+    def test_order_enforced(self):
+        stream = GeneratorStream(lambda: [vec(0, 2.0), vec(1, 1.0)])
+        with pytest.raises(StreamOrderError):
+            list(stream)
+
+    def test_order_check_can_be_disabled(self):
+        stream = GeneratorStream(lambda: [vec(0, 2.0), vec(1, 1.0)], check_order=False)
+        assert len(list(stream)) == 2
+
+
+class TestFileStream:
+    def test_reads_text_file_lazily(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        write_text(path, [vec(0, 0.0), vec(1, 1.0), vec(2, 2.0)])
+        stream = FileStream(str(path))
+        assert [v.vector_id for v in stream] == [0, 1, 2]
+        # replayable
+        assert [v.vector_id for v in stream] == [0, 1, 2]
+
+
+class TestMergeStreams:
+    def test_merges_in_timestamp_order(self):
+        a = [vec(0, 0.0), vec(2, 2.0), vec(4, 4.0)]
+        b = [vec(1, 1.0), vec(3, 3.0)]
+        merged = merge_streams(a, b)
+        assert [v.vector_id for v in merged] == [0, 1, 2, 3, 4]
+
+    def test_ties_broken_by_stream_order(self):
+        a = [vec(10, 1.0)]
+        b = [vec(20, 1.0)]
+        merged = merge_streams(a, b)
+        assert [v.vector_id for v in merged] == [10, 20]
+
+    def test_merge_is_replayable_with_list_inputs(self):
+        a = [vec(0, 0.0)]
+        b = [vec(1, 1.0)]
+        merged = merge_streams(a, b)
+        assert len(list(merged)) == 2
+        assert len(list(merged)) == 2

@@ -1,0 +1,90 @@
+"""Tests for the Streaming (STR) framework."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_time_dependent
+from repro.core.frameworks.streaming import StreamingFramework
+from repro.core.similarity import time_horizon
+from repro.core.vector import SparseVector
+from repro.exceptions import UnknownAlgorithmError
+from tests.conftest import random_vectors
+
+
+def vec(vector_id: int, t: float, entries: dict[int, float]) -> SparseVector:
+    return SparseVector(vector_id, t, entries)
+
+
+class TestBasics:
+    def test_algorithm_name(self):
+        assert StreamingFramework(0.7, 0.1, index="l2ap").algorithm == "STR-L2AP"
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(UnknownAlgorithmError):
+            StreamingFramework(0.7, 0.1, index="BOGUS")
+
+    def test_horizon_property(self):
+        framework = StreamingFramework(0.7, 0.1)
+        assert framework.horizon == pytest.approx(time_horizon(0.7, 0.1))
+
+    def test_flush_is_empty(self):
+        framework = StreamingFramework(0.7, 0.1)
+        framework.process(vec(1, 0.0, {1: 1.0}))
+        assert framework.flush() == []
+
+    def test_index_size_exposed(self):
+        framework = StreamingFramework(0.7, 0.1)
+        framework.process(vec(1, 0.0, {1: 1.0, 2: 1.0}))
+        assert framework.index_size >= 1
+
+
+class TestReporting:
+    def test_pairs_reported_immediately(self):
+        framework = StreamingFramework(0.7, 0.1)
+        assert framework.process(vec(1, 0.0, {1: 1.0})) == []
+        pairs = framework.process(vec(2, 1.0, {1: 1.0}))
+        assert [pair.key for pair in pairs] == [(1, 2)]
+        assert pairs[0].reported_at == pytest.approx(1.0)
+
+    def test_no_reporting_delay(self):
+        framework = StreamingFramework(0.6, 0.05)
+        vectors = random_vectors(50, seed=81)
+        by_id = {vector.vector_id: vector for vector in vectors}
+        for pair in framework.run(vectors):
+            later = max(by_id[pair.id_a].timestamp, by_id[pair.id_b].timestamp)
+            assert pair.reported_at == pytest.approx(later)
+
+    def test_similarity_value(self):
+        framework = StreamingFramework(0.5, 0.2)
+        framework.process(vec(1, 0.0, {1: 1.0, 2: 1.0}))
+        pairs = framework.process(vec(2, 1.0, {1: 1.0, 2: 1.0}))
+        assert pairs[0].similarity == pytest.approx(math.exp(-0.2))
+
+
+class TestRunDriver:
+    def test_run_to_list(self):
+        framework = StreamingFramework(0.7, 0.1)
+        pairs = framework.run_to_list([
+            vec(1, 0.0, {1: 1.0}), vec(2, 0.5, {1: 1.0}), vec(3, 1.0, {9: 1.0}),
+        ])
+        assert {pair.key for pair in pairs} == {(1, 2)}
+
+    def test_stats_accumulate_across_run(self):
+        framework = StreamingFramework(0.6, 0.05)
+        framework.run_to_list(random_vectors(40, seed=83))
+        assert framework.stats.vectors_processed == 40
+        assert framework.stats.entries_indexed > 0
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("index", ["INV", "L2AP", "L2", "AP"])
+    @pytest.mark.parametrize("threshold,decay", [(0.5, 0.05), (0.8, 0.01)])
+    def test_matches_brute_force(self, index, threshold, decay):
+        vectors = random_vectors(90, seed=89)
+        expected = {p.key for p in brute_force_time_dependent(vectors, threshold, decay)}
+        framework = StreamingFramework(threshold, decay, index=index)
+        got = {p.key for p in framework.run(vectors)}
+        assert got == expected

@@ -1,0 +1,131 @@
+"""Tests for the text tokenizer and incremental vectorizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.join import create_join
+from repro.datasets.text import DEFAULT_STOP_WORDS, TextVectorizer, Tokenizer
+from repro.exceptions import InvalidParameterError
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        tokens = Tokenizer().tokenize("Breaking News: Example Headline!")
+        assert tokens == ["breaking", "news", "example", "headline"]
+
+    def test_removes_stop_words(self):
+        tokens = Tokenizer().tokenize("the cat and the hat")
+        assert "the" not in tokens
+        assert "and" not in tokens
+        assert "cat" in tokens
+
+    def test_stop_words_can_be_disabled(self):
+        tokens = Tokenizer(stop_words=set()).tokenize("the cat")
+        assert tokens == ["the", "cat"]
+
+    def test_min_token_length(self):
+        tokens = Tokenizer(min_token_length=4).tokenize("big cats sleep")
+        assert tokens == ["cats", "sleep"]
+
+    def test_keeps_hashtags_and_mentions(self):
+        tokens = Tokenizer().tokenize("#breaking @newsdesk reports")
+        assert "#breaking" in tokens
+        assert "@newsdesk" in tokens
+
+    def test_bigrams(self):
+        tokens = Tokenizer(ngrams=2).tokenize("stream similarity join")
+        assert "stream_similarity" in tokens
+        assert "similarity_join" in tokens
+        assert "stream" in tokens
+
+    def test_invalid_ngrams(self):
+        with pytest.raises(InvalidParameterError):
+            Tokenizer(ngrams=0)
+
+    def test_callable_interface(self):
+        tokenizer = Tokenizer()
+        assert tokenizer("hello world") == tokenizer.tokenize("hello world")
+
+    def test_default_stop_words_are_lowercase(self):
+        assert all(word == word.lower() for word in DEFAULT_STOP_WORDS)
+
+
+class TestTextVectorizer:
+    def test_produces_unit_vectors(self):
+        vectorizer = TextVectorizer()
+        vector = vectorizer.transform(1, 0.0, "fast streaming similarity join")
+        assert vector is not None
+        assert vector.is_normalized()
+
+    def test_empty_document_returns_none(self):
+        vectorizer = TextVectorizer()
+        assert vectorizer.transform(1, 0.0, "the and of") is None
+        assert vectorizer.transform(2, 0.0, "") is None
+
+    def test_vocabulary_grows(self):
+        vectorizer = TextVectorizer(use_idf=False)
+        vectorizer.transform(1, 0.0, "alpha beta")
+        size_after_first = vectorizer.vocabulary_size
+        vectorizer.transform(2, 1.0, "gamma delta")
+        assert vectorizer.vocabulary_size == size_after_first + 2
+
+    def test_same_token_maps_to_same_dimension(self):
+        vectorizer = TextVectorizer(use_idf=False)
+        first = vectorizer.transform(1, 0.0, "alpha beta")
+        second = vectorizer.transform(2, 1.0, "alpha gamma")
+        shared = set(first.dims) & set(second.dims)
+        assert len(shared) == 1
+        assert vectorizer.dimension_of("alpha") in shared
+
+    def test_hashing_mode_bounds_dimensionality(self):
+        vectorizer = TextVectorizer(hashing_dimensions=64, use_idf=False)
+        for i in range(20):
+            vectorizer.transform(i, float(i), f"token{i} word{i} thing{i}")
+        assert vectorizer.vocabulary_size == 64
+
+    def test_hashing_dimensions_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TextVectorizer(hashing_dimensions=1)
+
+    def test_identical_documents_have_similarity_one(self):
+        vectorizer = TextVectorizer(use_idf=False)
+        a = vectorizer.transform(1, 0.0, "stream similarity self join")
+        b = vectorizer.transform(2, 1.0, "stream similarity self join")
+        assert a.dot(b) == pytest.approx(1.0)
+
+    def test_idf_downweights_common_terms(self):
+        vectorizer = TextVectorizer(use_idf=True, sublinear_tf=False)
+        # "common" appears in every document, "rare" only in the last.
+        for i in range(10):
+            vectorizer.transform(i, float(i), "common filler words here")
+        vector = vectorizer.transform(10, 10.0, "common rare")
+        common_dim = vectorizer.dimension_of("common")
+        rare_dim = vectorizer.dimension_of("rare")
+        assert vector.get(rare_dim) > vector.get(common_dim)
+
+    def test_documents_seen_counter(self):
+        vectorizer = TextVectorizer()
+        vectorizer.transform(1, 0.0, "alpha beta")
+        vectorizer.transform(2, 1.0, "gamma")
+        assert vectorizer.documents_seen == 2
+
+    def test_transform_stream(self):
+        vectorizer = TextVectorizer()
+        documents = [(1, 0.0, "alpha beta"), (2, 1.0, "the of"), (3, 2.0, "gamma")]
+        vectors = list(vectorizer.transform_stream(documents))
+        assert [vector.vector_id for vector in vectors] == [1, 3]
+
+    def test_end_to_end_with_streaming_join(self):
+        vectorizer = TextVectorizer(use_idf=False)
+        documents = [
+            (0, 0.0, "earthquake hits the coastal city overnight"),
+            (1, 0.3, "earthquake hits coastal city overnight, officials say"),
+            (2, 1.0, "local team wins the championship game"),
+            (3, 1.4, "breaking: earthquake hits coastal city overnight"),
+        ]
+        vectors = list(vectorizer.transform_stream(documents))
+        join = create_join("STR-L2", 0.6, 0.05)
+        keys = {pair.key for pair in join.run(vectors)}
+        assert (0, 1) in keys
+        assert all(2 not in key for key in keys)

@@ -1,0 +1,201 @@
+"""Unit tests for the sparse vector model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.vector import SparseVector, dot_product, normalize_entries
+from repro.exceptions import InvalidVectorError
+
+
+class TestConstruction:
+    def test_entries_are_sorted_by_dimension(self):
+        vector = SparseVector(1, 0.0, {5: 1.0, 2: 2.0, 9: 3.0})
+        assert vector.dims == (2, 5, 9)
+
+    def test_values_align_with_dims(self):
+        vector = SparseVector(1, 0.0, {5: 1.0, 2: 2.0}, normalize=False)
+        assert vector.get(2) == 2.0
+        assert vector.get(5) == 1.0
+
+    def test_accepts_iterable_of_pairs(self):
+        vector = SparseVector(1, 0.0, [(3, 1.0), (1, 2.0)], normalize=False)
+        assert vector.dims == (1, 3)
+
+    def test_zero_values_are_dropped(self):
+        vector = SparseVector(1, 0.0, {1: 1.0, 2: 0.0})
+        assert 2 not in vector
+
+    def test_normalized_by_default(self):
+        vector = SparseVector(1, 0.0, {1: 3.0, 2: 4.0})
+        assert vector.norm == pytest.approx(1.0)
+        assert vector.get(1) == pytest.approx(0.6)
+        assert vector.get(2) == pytest.approx(0.8)
+
+    def test_unnormalized_when_requested(self):
+        vector = SparseVector(1, 0.0, {1: 3.0, 2: 4.0}, normalize=False)
+        assert vector.norm == pytest.approx(5.0)
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(InvalidVectorError):
+            SparseVector(1, 0.0, {})
+
+    def test_all_zero_vector_rejected(self):
+        with pytest.raises(InvalidVectorError):
+            SparseVector(1, 0.0, {1: 0.0})
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(InvalidVectorError):
+            SparseVector(1, 0.0, {1: -1.0})
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(InvalidVectorError):
+            SparseVector(1, 0.0, {-1: 1.0})
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(InvalidVectorError):
+            SparseVector(1, -1.0, {1: 1.0})
+
+    def test_non_finite_value_rejected(self):
+        with pytest.raises(InvalidVectorError):
+            SparseVector(1, 0.0, {1: float("nan")})
+
+    def test_non_finite_timestamp_rejected(self):
+        with pytest.raises(InvalidVectorError):
+            SparseVector(1, float("inf"), {1: 1.0})
+
+
+class TestAccessors:
+    def test_len_is_number_of_nonzeros(self):
+        assert len(SparseVector(1, 0.0, {1: 1.0, 7: 2.0, 9: 3.0})) == 3
+
+    def test_iteration_yields_sorted_pairs(self):
+        vector = SparseVector(1, 0.0, {7: 2.0, 1: 1.0}, normalize=False)
+        assert list(vector) == [(1, 1.0), (7, 2.0)]
+
+    def test_contains(self):
+        vector = SparseVector(1, 0.0, {1: 1.0, 7: 2.0})
+        assert 1 in vector
+        assert 2 not in vector
+
+    def test_get_missing_returns_default(self):
+        vector = SparseVector(1, 0.0, {1: 1.0})
+        assert vector.get(99) == 0.0
+        assert vector.get(99, default=-1.0) == -1.0
+
+    def test_max_value(self):
+        vector = SparseVector(1, 0.0, {1: 1.0, 2: 3.0}, normalize=False)
+        assert vector.max_value == 3.0
+
+    def test_value_sum(self):
+        vector = SparseVector(1, 0.0, {1: 1.0, 2: 3.0}, normalize=False)
+        assert vector.value_sum == pytest.approx(4.0)
+
+    def test_to_dict_round_trip(self):
+        entries = {1: 1.0, 5: 2.0}
+        vector = SparseVector(1, 0.0, entries, normalize=False)
+        assert vector.to_dict() == entries
+
+    def test_equality_and_hash(self):
+        a = SparseVector(1, 0.0, {1: 1.0, 2: 2.0})
+        b = SparseVector(1, 0.0, {2: 2.0, 1: 1.0})
+        c = SparseVector(2, 0.0, {1: 1.0, 2: 2.0})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_equality_against_other_type(self):
+        assert SparseVector(1, 0.0, {1: 1.0}) != "not a vector"
+
+    def test_is_normalized(self):
+        assert SparseVector(1, 0.0, {1: 2.0}).is_normalized()
+        assert not SparseVector(1, 0.0, {1: 2.0}, normalize=False).is_normalized()
+
+
+class TestPrefixStatistics:
+    def test_prefix_norm_before_first_position_is_zero(self):
+        vector = SparseVector(1, 0.0, {1: 3.0, 2: 4.0}, normalize=False)
+        assert vector.prefix_norm_before(0) == 0.0
+
+    def test_prefix_norm_before_end_equals_norm(self):
+        vector = SparseVector(1, 0.0, {1: 3.0, 2: 4.0}, normalize=False)
+        assert vector.prefix_norm_before(2) == pytest.approx(5.0)
+
+    def test_prefix_norms_are_monotone(self):
+        vector = SparseVector(1, 0.0, {i: float(i + 1) for i in range(8)}, normalize=False)
+        norms = [vector.prefix_norm_before(k) for k in range(len(vector) + 1)]
+        assert norms == sorted(norms)
+
+    def test_prefix_norm_before_dim(self):
+        vector = SparseVector(1, 0.0, {2: 3.0, 5: 4.0}, normalize=False)
+        assert vector.prefix_norm_before_dim(2) == 0.0
+        assert vector.prefix_norm_before_dim(5) == pytest.approx(3.0)
+        assert vector.prefix_norm_before_dim(100) == pytest.approx(5.0)
+
+    def test_prefix_and_suffix_partition_the_vector(self):
+        vector = SparseVector(1, 0.0, {1: 1.0, 3: 2.0, 8: 3.0}, normalize=False)
+        prefix = vector.prefix(2)
+        suffix = vector.suffix(2)
+        assert prefix == {1: 1.0, 3: 2.0}
+        assert suffix == {8: 3.0}
+        assert {**prefix, **suffix} == vector.to_dict()
+
+    def test_prefix_beyond_length_is_whole_vector(self):
+        vector = SparseVector(1, 0.0, {1: 1.0}, normalize=False)
+        assert vector.prefix(10) == {1: 1.0}
+
+    def test_suffix_of_negative_start_is_whole_vector(self):
+        vector = SparseVector(1, 0.0, {1: 1.0}, normalize=False)
+        assert vector.suffix(-3) == {1: 1.0}
+
+
+class TestDotProduct:
+    def test_dot_of_disjoint_vectors_is_zero(self):
+        a = SparseVector(1, 0.0, {1: 1.0})
+        b = SparseVector(2, 0.0, {2: 1.0})
+        assert a.dot(b) == 0.0
+
+    def test_dot_of_identical_normalized_vectors_is_one(self):
+        a = SparseVector(1, 0.0, {1: 2.0, 5: 3.0})
+        b = SparseVector(2, 1.0, {1: 2.0, 5: 3.0})
+        assert a.dot(b) == pytest.approx(1.0)
+
+    def test_dot_matches_manual_computation(self):
+        a = SparseVector(1, 0.0, {1: 1.0, 2: 2.0, 3: 3.0}, normalize=False)
+        b = SparseVector(2, 0.0, {2: 4.0, 3: 5.0, 9: 1.0}, normalize=False)
+        assert a.dot(b) == pytest.approx(2 * 4 + 3 * 5)
+
+    def test_dot_is_symmetric(self):
+        a = SparseVector(1, 0.0, {1: 0.3, 4: 0.8, 9: 0.1})
+        b = SparseVector(2, 0.0, {1: 0.5, 9: 0.9})
+        assert a.dot(b) == pytest.approx(b.dot(a))
+
+    def test_dot_with_mapping(self):
+        a = SparseVector(1, 0.0, {1: 1.0, 2: 2.0}, normalize=False)
+        assert a.dot({1: 2.0, 7: 5.0}) == pytest.approx(2.0)
+
+    def test_module_level_dot_product(self):
+        a = SparseVector(1, 0.0, {1: 1.0})
+        b = SparseVector(2, 0.0, {1: 1.0})
+        assert dot_product(a, b) == pytest.approx(1.0)
+
+    def test_cauchy_schwarz_holds(self):
+        a = SparseVector(1, 0.0, {1: 0.2, 2: 0.9, 7: 0.4}, normalize=False)
+        b = SparseVector(2, 0.0, {2: 0.8, 7: 0.7, 9: 0.3}, normalize=False)
+        assert a.dot(b) <= a.norm * b.norm + 1e-12
+
+
+class TestNormalizeEntries:
+    def test_normalizes_to_unit_norm(self):
+        entries = normalize_entries({1: 3.0, 2: 4.0})
+        norm = math.sqrt(sum(v * v for v in entries.values()))
+        assert norm == pytest.approx(1.0)
+
+    def test_drops_zero_values(self):
+        assert 2 not in normalize_entries({1: 1.0, 2: 0.0})
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(InvalidVectorError):
+            normalize_entries({1: 0.0})
