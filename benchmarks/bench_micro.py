@@ -3,15 +3,27 @@
 These are not paper figures; they use ``pytest-benchmark``'s statistical
 timing to track the cost of the operations the experiments are built from:
 sparse dot products, index maintenance and single-vector processing
-throughput for each streaming index.
+throughput for each streaming index — now reported side by side for every
+registered compute backend (see :mod:`repro.backends`).
+
+``test_l2ap_streaming_hot_path_10k`` is the backend acceptance gate: on a
+10 000-vector hot-path workload (the ``hashtags`` profile, whose skewed
+vocabulary produces long posting lists) the NumPy backend must deliver at
+least 3× the throughput of the pure-Python reference backend while
+producing the identical pair set.
 """
+
+import time
 
 import pytest
 
+from repro.backends import available_backends
 from repro.bench.runner import corpus_for
 from repro.core.join import create_join
 from repro.core.vector import SparseVector
 from repro.datasets.generator import generate_profile_corpus
+
+BACKENDS = available_backends()
 
 
 @pytest.fixture(scope="module")
@@ -24,6 +36,11 @@ def tweets_vectors():
     return generate_profile_corpus("tweets", num_vectors=600, seed=7)
 
 
+@pytest.fixture(scope="module")
+def hashtags_vectors():
+    return generate_profile_corpus("hashtags", num_vectors=10_000, seed=7)
+
+
 def test_sparse_dot_product(benchmark, rcv1_vectors):
     a, b = rcv1_vectors[0], rcv1_vectors[1]
     benchmark(a.dot, b)
@@ -34,10 +51,11 @@ def test_vector_construction(benchmark, rcv1_vectors):
     benchmark(lambda: SparseVector(0, 0.0, entries))
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("algorithm", ["STR-INV", "STR-L2AP", "STR-L2"])
-def test_streaming_throughput_rcv1(benchmark, rcv1_vectors, algorithm):
+def test_streaming_throughput_rcv1(benchmark, rcv1_vectors, algorithm, backend):
     def run():
-        join = create_join(algorithm, 0.7, 0.01)
+        join = create_join(algorithm, 0.7, 0.01, backend=backend)
         for vector in rcv1_vectors:
             join.process(vector)
         return join.stats.pairs_output
@@ -45,12 +63,45 @@ def test_streaming_throughput_rcv1(benchmark, rcv1_vectors, algorithm):
     benchmark.pedantic(run, rounds=1, iterations=1)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("algorithm", ["STR-L2", "MB-L2"])
-def test_framework_throughput_tweets(benchmark, tweets_vectors, algorithm):
+def test_framework_throughput_tweets(benchmark, tweets_vectors, algorithm, backend):
     def run():
-        join = create_join(algorithm, 0.6, 0.01)
+        join = create_join(algorithm, 0.6, 0.01, backend=backend)
         count = sum(len(join.process(vector)) for vector in tweets_vectors)
         count += len(join.flush())
         return count
 
     benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.skipif("numpy" not in BACKENDS, reason="NumPy backend unavailable")
+def test_l2ap_streaming_hot_path_10k(benchmark, hashtags_vectors):
+    """Backend acceptance gate: ≥ 3× STR-L2AP throughput at 10k vectors."""
+    threshold, decay = 0.6, 2e-5  # horizon ≫ stream length: nothing expires
+
+    def run(backend):
+        join = create_join("STR-L2AP", threshold, decay, backend=backend)
+        start = time.perf_counter()
+        for vector in hashtags_vectors:
+            join.process(vector)
+        elapsed = time.perf_counter() - start
+        return elapsed, join.stats.pairs_output
+
+    def run_both():
+        numpy_elapsed, numpy_pairs = run("numpy")
+        python_elapsed, python_pairs = run("python")
+        return {
+            "python_s": python_elapsed,
+            "numpy_s": numpy_elapsed,
+            "speedup": python_elapsed / numpy_elapsed,
+            "python_pairs": python_pairs,
+            "numpy_pairs": numpy_pairs,
+        }
+
+    result = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print(f"\nSTR-L2AP hot path (hashtags, 10k vectors): "
+          f"python {result['python_s']:.1f}s, numpy {result['numpy_s']:.1f}s, "
+          f"speedup {result['speedup']:.2f}x")
+    assert result["numpy_pairs"] == result["python_pairs"]
+    assert result["speedup"] >= 3.0

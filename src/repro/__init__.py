@@ -7,6 +7,12 @@ indexing schemes, exact baselines, synthetic dataset generators shaped like
 the paper's corpora, and a benchmark harness that regenerates every table
 and figure of the evaluation.
 
+The filtering hot loops run on a pluggable compute backend
+(:mod:`repro.backends`): a pure-Python reference implementation or
+NumPy-vectorised array kernels, selected per join via ``backend=`` /
+``--backend`` / ``SSSJ_BACKEND`` and auto-detected by default.  Both
+produce identical output, pair for pair.
+
 Quickstart
 ----------
 >>> from repro import SparseVector, StreamingSimilarityJoin
@@ -25,6 +31,11 @@ from repro.applications import (
     TopKPairsMonitor,
     Trend,
     TrendDetector,
+)
+from repro.backends import (
+    available_backends,
+    default_backend,
+    get_backend,
 )
 from repro.baselines import (
     SlidingWindowJoin,
@@ -87,6 +98,7 @@ from repro.exceptions import (
     SSSJError,
     StreamOrderError,
     UnknownAlgorithmError,
+    UnknownBackendError,
 )
 from repro.indexes import (
     DimensionOrdering,
@@ -123,6 +135,10 @@ __all__ = [
     "CountingCollector",
     "CallbackCollector",
     "TopKCollector",
+    # compute backends
+    "available_backends",
+    "default_backend",
+    "get_backend",
     # joins
     "JoinFramework",
     "StreamingFramework",
@@ -172,6 +188,7 @@ __all__ = [
     "InvalidParameterError",
     "StreamOrderError",
     "UnknownAlgorithmError",
+    "UnknownBackendError",
     "DatasetFormatError",
     "BudgetExceededError",
 ]

@@ -1,0 +1,121 @@
+"""Pluggable compute backends for the similarity-join hot loops.
+
+Every index (and both baselines) routes its posting-list scans, decay/time
+filtering and verification dot products through a
+:class:`~repro.backends.base.SimilarityKernel`.  Two backends ship with the
+library:
+
+``python``
+    The pure-Python reference implementation — dependency-free, the
+    semantic ground truth every other backend is equivalence-tested
+    against (:mod:`repro.backends.reference`).
+``numpy``
+    Contiguous-array posting lists and vectorised scan kernels
+    (:mod:`repro.backends.numpy_backend`).  Registered only when NumPy is
+    importable.
+
+Selection
+---------
+The backend is chosen per join via ``backend=`` on the public entry points
+(:func:`repro.create_join`, :func:`repro.streaming_self_join`,
+:func:`repro.all_pairs`, the index constructors, the ``sssj`` CLI) or the
+``backend`` field of :class:`repro.JoinParameters`.  ``None`` or ``"auto"``
+resolves to the fastest available backend — ``numpy`` when present,
+``python`` otherwise — overridable with the ``SSSJ_BACKEND`` environment
+variable.
+
+>>> from repro.backends import available_backends, resolve_kernel
+>>> "python" in available_backends()
+True
+>>> resolve_kernel("python").name
+'python'
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.backends.base import ScoreAccumulator, SimilarityKernel, SizeFilterMap
+from repro.backends.reference import ReferenceKernel
+from repro.exceptions import UnknownBackendError
+
+__all__ = [
+    "ScoreAccumulator",
+    "SimilarityKernel",
+    "SizeFilterMap",
+    "ReferenceKernel",
+    "available_backends",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+    "resolve_kernel",
+]
+
+#: Environment variable overriding the ``"auto"`` backend resolution.
+BACKEND_ENV_VAR = "SSSJ_BACKEND"
+
+_BACKENDS: dict[str, type[SimilarityKernel]] = {}
+
+
+def register_backend(cls: type[SimilarityKernel]) -> type[SimilarityKernel]:
+    """Add a kernel class to the backend registry (keyed by ``cls.name``)."""
+    _BACKENDS[cls.name.lower()] = cls
+    return cls
+
+
+register_backend(ReferenceKernel)
+
+try:  # NumPy is an optional dependency: gate, don't require.
+    from repro.backends.numpy_backend import NumpyKernel
+except ImportError:  # pragma: no cover - exercised only without numpy
+    NumpyKernel = None  # type: ignore[assignment]
+else:
+    register_backend(NumpyKernel)
+
+
+def available_backends() -> list[str]:
+    """Names of the registered backends, reference backend first."""
+    return sorted(_BACKENDS, key=lambda name: (name != "python", name))
+
+
+def default_backend() -> str:
+    """The backend ``"auto"`` resolves to.
+
+    The ``SSSJ_BACKEND`` environment variable wins when set to a registered
+    backend name; otherwise the fastest available backend is picked
+    (``numpy`` when importable, else ``python``).
+    """
+    override = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+    if override and override != "auto":
+        if override not in _BACKENDS:
+            raise UnknownBackendError(
+                f"{BACKEND_ENV_VAR}={override!r} is not a registered backend; "
+                f"available: {available_backends()}"
+            )
+        return override
+    return "numpy" if "numpy" in _BACKENDS else "python"
+
+
+def get_backend(name: str | None = None) -> type[SimilarityKernel]:
+    """Kernel class registered under ``name`` (``None``/``"auto"`` → default)."""
+    if name is None or name.lower() == "auto":
+        name = default_backend()
+    try:
+        return _BACKENDS[name.lower()]
+    except KeyError:
+        raise UnknownBackendError(
+            f"unknown compute backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+def resolve_kernel(backend: str | SimilarityKernel | None) -> SimilarityKernel:
+    """Materialise a kernel instance from a backend spec.
+
+    ``backend`` may be a registered name, ``"auto"``/``None`` for the
+    default, or an existing :class:`SimilarityKernel` instance (used by
+    tests; a kernel holds per-index state, so never share one instance
+    between indexes).
+    """
+    if isinstance(backend, SimilarityKernel):
+        return backend
+    return get_backend(backend)()

@@ -1,0 +1,209 @@
+"""Kernel interface shared by every compute backend.
+
+The similarity-join hot loops — candidate accumulation over posting lists,
+decay/time-filter application, and the verification dot products — are
+factored out of the index classes into a :class:`SimilarityKernel`.  The
+index classes own the *algorithmic* state (bounds, residual store, max
+vectors) and drive the scan, while the kernel owns the *representation* of
+the per-dimension posting lists and of the per-query score table, so a
+backend can lay both out however its hardware likes:
+
+* the pure-Python reference backend (:mod:`repro.backends.reference`) keeps
+  the original per-entry loops over :class:`~repro.indexes.posting.PostingList`
+  ring buffers — simple, dependency-free, and the semantic ground truth;
+* the NumPy backend (:mod:`repro.backends.numpy_backend`) stores posting
+  lists as growable contiguous arrays and replaces the per-entry loops with
+  vectorised array kernels.
+
+Both backends must produce the same ``SimilarPair`` output pair for pair;
+``tests/test_backends.py`` enforces this on every dataset profile.
+
+A kernel instance is **per index**: it may keep cross-call state (the NumPy
+backend interns vector ids into dense slots), so never share one kernel
+between two indexes.  Obtain instances through
+:func:`repro.backends.resolve_kernel`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.results import JoinStatistics, SimilarPair
+    from repro.core.vector import SparseVector
+    from repro.indexes.residual import ResidualEntry, ResidualIndex
+
+__all__ = ["ScoreAccumulator", "SizeFilterMap", "SimilarityKernel"]
+
+
+class ScoreAccumulator(ABC):
+    """Per-query score table ``C`` filled in by the scan kernels.
+
+    Create one per candidate-generation pass via
+    :meth:`SimilarityKernel.new_accumulator`, feed it to the ``scan_*``
+    kernels, then read the result back with :meth:`candidates`.
+    """
+
+    @abstractmethod
+    def candidates(self) -> dict[int, float]:
+        """Accumulated scores as ``{vector_id: partial_dot}``.
+
+        Iteration order matches the reference backend: candidates appear in
+        the order of their first successful accumulation.
+        """
+
+    @abstractmethod
+    def arrivals(self) -> dict[int, float]:
+        """Arrival timestamp of each candidate (streaming INV only)."""
+
+
+class SizeFilterMap(ABC):
+    """Per-index map ``vector_id → |x| · vm_x`` backing the sz1 size filter.
+
+    The prefix-filter indexes maintain it alongside the residual store; the
+    kernels read it (in bulk, for the vectorised backend) while scanning
+    posting lists.  An absent id never fails the filter.
+    """
+
+    @abstractmethod
+    def set(self, vector_id: int, value: float) -> None:
+        """Record the size-filter value of a newly indexed vector."""
+
+    @abstractmethod
+    def discard(self, vector_id: int) -> None:
+        """Forget an evicted vector (no-op when absent)."""
+
+    @abstractmethod
+    def get(self, vector_id: int) -> float | None:
+        """Stored value or ``None`` when the id is unknown."""
+
+
+class SimilarityKernel(ABC):
+    """Backend-specific implementation of the join's three hot loops."""
+
+    #: Registry name of the backend this kernel belongs to.
+    name: str = "abstract"
+
+    # -- storage factories ---------------------------------------------------
+
+    @abstractmethod
+    def new_posting_list(self) -> Any:
+        """A posting list ``I_j`` in this backend's native layout.
+
+        The returned object implements the interface of
+        :class:`repro.indexes.posting.PostingList` (append / iterate /
+        truncate / compact), so index maintenance and checkpointing code is
+        backend-agnostic.
+        """
+
+    @abstractmethod
+    def new_accumulator(self) -> ScoreAccumulator:
+        """A fresh score table for one candidate-generation pass."""
+
+    @abstractmethod
+    def new_size_filter(self) -> SizeFilterMap:
+        """A fresh sz1 size-filter map for one index."""
+
+    # -- candidate generation ------------------------------------------------
+
+    @abstractmethod
+    def scan_inv_batch(self, plist: Any, value: float,
+                       acc: ScoreAccumulator) -> int:
+        """INV batch scan: exact accumulation, no filters.
+
+        Adds ``value * entry.value`` to every posting's candidate and
+        returns the number of entries traversed.
+        """
+
+    @abstractmethod
+    def scan_inv_stream(self, plist: Any, value: float, cutoff: float,
+                        acc: ScoreAccumulator) -> tuple[int, int]:
+        """STR-INV scan with lazy time filtering on a time-ordered list.
+
+        Accumulates over the postings with ``timestamp >= cutoff``, records
+        candidate arrival times, truncates the expired head, and returns
+        ``(entries_traversed, entries_removed)``.
+        """
+
+    @abstractmethod
+    def scan_prefix_batch(self, plist: Any, value: float,
+                          query_prefix_norm: float, admit_new: bool,
+                          threshold: float, use_ap: bool, use_l2: bool,
+                          sz1: float, size_filter: SizeFilterMap,
+                          acc: ScoreAccumulator) -> int:
+        """Batch prefix-filter scan (Algorithm 3 inner loop).
+
+        Applies the remaining-score admission (``admit_new``), the sz1 size
+        filter (when ``use_ap``) and the l2bound early pruning (when
+        ``use_l2``).  Returns the number of entries traversed.
+        """
+
+    @abstractmethod
+    def scan_prefix_stream(self, plist: Any, value: float,
+                           query_prefix_norm: float, now: float,
+                           cutoff: float, decay: float, rs1: float,
+                           rs2: float, sz1: float, threshold: float,
+                           use_ap: bool, use_l2: bool, time_ordered: bool,
+                           size_filter: SizeFilterMap,
+                           acc: ScoreAccumulator) -> tuple[int, int]:
+        """Streaming prefix-filter scan (Algorithm 7 inner loop).
+
+        Combines time filtering (backward truncation when ``time_ordered``,
+        full compaction otherwise) with the decayed admission and pruning
+        bounds.  Returns ``(entries_traversed, entries_removed)``.
+        """
+
+    # -- candidate verification ----------------------------------------------
+
+    @abstractmethod
+    def verify_batch(self, query: "SparseVector", candidates: dict[int, float],
+                     residual: "ResidualIndex", threshold: float,
+                     stats: "JoinStatistics") -> list[tuple["SparseVector", float]]:
+        """Batch candidate verification (Algorithm 4).
+
+        Applies the ``ps1``/``ds1``/``sz2`` bounds, finishes the dot product
+        over the residual prefixes of the surviving candidates and returns
+        ``(candidate vector, exact dot)`` for the true matches.
+        """
+
+    @abstractmethod
+    def verify_stream(self, query: "SparseVector", candidates: dict[int, float],
+                      residual: "ResidualIndex", threshold: float,
+                      decay: float, now: float,
+                      stats: "JoinStatistics") -> list["SimilarPair"]:
+        """Streaming candidate verification (Algorithm 8).
+
+        Same as :meth:`verify_batch` with the bounds and the final
+        similarity damped by ``exp(-λ·Δt)``; returns the reportable
+        :class:`~repro.core.results.SimilarPair` objects.
+        """
+
+    def begin_query(self, vector: "SparseVector") -> None:
+        """Prepare per-query scratch state used by the dot-product kernels.
+
+        Must be paired with :meth:`end_query`.  The reference backend needs
+        no scratch state, so the default is a no-op.
+        """
+
+    def end_query(self, vector: "SparseVector") -> None:
+        """Release the scratch state installed by :meth:`begin_query`."""
+
+    @abstractmethod
+    def residual_dot(self, query: "SparseVector",
+                     entry: "ResidualEntry") -> float:
+        """Finish the dot product over a candidate's residual prefix.
+
+        Only valid between :meth:`begin_query` and :meth:`end_query` calls
+        for ``query``.
+        """
+
+    @abstractmethod
+    def dots_for(self, query: "SparseVector",
+                 others: Sequence["SparseVector"]) -> list[float]:
+        """Dot products of ``query`` against each vector in ``others``.
+
+        Used by the brute-force and sliding-window baselines so that even
+        the unindexed reference algorithms route through the kernel API.
+        """

@@ -1,0 +1,820 @@
+"""NumPy-vectorised compute backend.
+
+Posting lists are stored as growable contiguous arrays — vector-id slots,
+weights ``x_j``, prefix magnitudes ``‖x'_j‖`` and timestamps ``t(x)`` in
+four parallel ``float64``/``int64`` buffers with a head offset, mirroring
+the doubling/halving resizing policy of the paper's circular byte buffer
+(Section 6.2) in flat form.  The three hot loops then become array kernels:
+
+* **candidate accumulation** — one gather / fused-multiply / scatter per
+  posting list instead of a Python loop per posting,
+* **decay and time filtering** — ``searchsorted`` head truncation for
+  time-ordered lists, boolean-mask compaction otherwise, and element-wise
+  ``exp`` for the decayed bounds,
+* **verification dot products** — the query is scattered once into a dense
+  scratch vector; each residual prefix is finished with a vectorised
+  gather-multiply whose final reduction stays sequential so the result is
+  bit-for-bit identical to the reference backend.
+
+Cross-query candidate state lives in dense per-vector arrays indexed by an
+interned *slot* (assigned on first appearance of a vector id), stamped with
+a per-query epoch so no per-query allocation or clearing is needed.  Memory
+therefore scales with the number of distinct vectors indexed, not with the
+magnitude of their ids.
+
+Floating-point parity with the reference backend: every accumulation adds
+the same IEEE-754 products in the same order (a vector contributes at most
+one posting per list), so accumulated scores and reported similarities are
+bitwise identical.  The only divergence is ``np.exp`` vs ``math.exp`` in
+the *conservative filter bounds*, which can differ in the last ulp; a pair
+would have to sit within one ulp of a bound for the outputs to differ,
+which the equivalence suite checks never happens on the paper's profiles.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.backends.base import ScoreAccumulator, SimilarityKernel, SizeFilterMap
+from repro.core.results import JoinStatistics, SimilarPair
+from repro.core.vector import SparseVector
+from repro.indexes.posting import PostingEntry
+from repro.indexes.residual import ResidualEntry, ResidualIndex
+
+__all__ = ["NumpyKernel", "ArrayPostingList"]
+
+_MIN_CAPACITY = 8
+_INITIAL_SLOTS = 64
+_INITIAL_DENSE = 1024
+#: Dimensions above this threshold fall back to dict-based dot products
+#: instead of growing the dense scratch vector (2**24 floats = 128 MiB).
+_DENSE_DIM_LIMIT = 1 << 24
+#: Posting lists at or below this length are scanned by a scalar loop over
+#: the same slot state: per-call ufunc dispatch overhead beats the loop on
+#: short lists (the regime of short horizons / small indexes), while long
+#: lists — the actual hot path — go through the vectorised kernels.
+_SCALAR_SCAN_CUTOFF = 32
+
+
+class ArrayPostingList:
+    """A posting list ``I_j`` as four growable contiguous arrays.
+
+    Implements the same interface as
+    :class:`~repro.indexes.posting.PostingList` (so checkpointing and the
+    generic index-maintenance code work unchanged) while exposing the live
+    regions as array views for the scan kernels.  Vector ids are stored as
+    kernel-interned slots; iteration translates them back.
+
+    The capacity doubles when full and halves when occupancy drops below a
+    quarter, the resizing policy of Section 6.2.
+    """
+
+    __slots__ = ("_kernel", "_slots", "_values", "_pnorms", "_ts",
+                 "_head", "_size")
+
+    def __init__(self, kernel: "NumpyKernel") -> None:
+        self._kernel = kernel
+        self._slots = np.empty(_MIN_CAPACITY, dtype=np.int64)
+        self._values = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._pnorms = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._ts = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._head = 0
+        self._size = 0
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def capacity(self) -> int:
+        """Current allocated capacity of the backing arrays."""
+        return len(self._slots)
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Views of the live region: ``(slots, values, prefix_norms, timestamps)``."""
+        lo, hi = self._head, self._head + self._size
+        return (self._slots[lo:hi], self._values[lo:hi],
+                self._pnorms[lo:hi], self._ts[lo:hi])
+
+    def __iter__(self):
+        """Iterate oldest → newest, materialising :class:`PostingEntry` objects."""
+        ids = self._kernel._slot_ids
+        for offset in range(self._head, self._head + self._size):
+            yield PostingEntry(
+                vector_id=int(ids[self._slots[offset]]),
+                value=float(self._values[offset]),
+                prefix_norm=float(self._pnorms[offset]),
+                timestamp=float(self._ts[offset]),
+            )
+
+    def iter_newest_first(self):
+        """Iterate newest → oldest (backward CG scan)."""
+        ids = self._kernel._slot_ids
+        for offset in range(self._head + self._size - 1, self._head - 1, -1):
+            yield PostingEntry(
+                vector_id=int(ids[self._slots[offset]]),
+                value=float(self._values[offset]),
+                prefix_norm=float(self._pnorms[offset]),
+                timestamp=float(self._ts[offset]),
+            )
+
+    def to_list(self) -> list[PostingEntry]:
+        """Copy of the postings from oldest to newest."""
+        return list(self)
+
+    # -- mutation ------------------------------------------------------------
+
+    def append(self, entry: PostingEntry) -> None:
+        """Append a posting at the tail."""
+        tail = self._head + self._size
+        if tail == len(self._slots):
+            self._repack(grow=self._size * 2 > len(self._slots))
+            tail = self._head + self._size
+        self._slots[tail] = self._kernel._intern(entry.vector_id)
+        self._values[tail] = entry.value
+        self._pnorms[tail] = entry.prefix_norm
+        self._ts[tail] = entry.timestamp
+        self._size += 1
+
+    def drop_oldest(self, count: int) -> int:
+        """Remove up to ``count`` postings from the head; return the number dropped."""
+        if count <= 0:
+            return 0
+        dropped = min(count, self._size)
+        self._head += dropped
+        self._size -= dropped
+        self._maybe_shrink()
+        return dropped
+
+    def keep_newest(self, count: int) -> int:
+        """Keep only the ``count`` newest postings (backward-scan truncation)."""
+        return self.drop_oldest(self._size - max(count, 0))
+
+    def truncate_older_than(self, cutoff: float) -> int:
+        """Drop the head postings with ``timestamp < cutoff`` (time-ordered lists)."""
+        live_ts = self._ts[self._head:self._head + self._size]
+        return self.drop_oldest(int(np.searchsorted(live_ts, cutoff, side="left")))
+
+    def compress(self, keep_mask: np.ndarray) -> int:
+        """Keep only the live postings selected by ``keep_mask``; return removals."""
+        kept = int(np.count_nonzero(keep_mask))
+        removed = self._size - kept
+        if removed == 0:
+            return 0
+        lo, hi = self._head, self._head + self._size
+        for buf in (self._slots, self._values, self._pnorms, self._ts):
+            buf[:kept] = buf[lo:hi][keep_mask]
+        self._head = 0
+        self._size = kept
+        self._maybe_shrink()
+        return removed
+
+    def compact(self, cutoff: float) -> int:
+        """Remove every posting with ``timestamp < cutoff`` regardless of order."""
+        live_ts = self._ts[self._head:self._head + self._size]
+        return self.compress(live_ts >= cutoff)
+
+    def replace_all_entries(self, entries: list[PostingEntry]) -> None:
+        """Replace the whole content with ``entries`` (oldest first)."""
+        self._head = 0
+        self._size = 0
+        needed = max(_MIN_CAPACITY, len(entries))
+        if needed > len(self._slots) or needed * 4 < len(self._slots):
+            capacity = _MIN_CAPACITY
+            while capacity < needed:
+                capacity *= 2
+            self._reallocate(capacity)
+        for entry in entries:
+            self.append(entry)
+
+    # -- internal ------------------------------------------------------------
+
+    def _maybe_shrink(self) -> None:
+        capacity = len(self._slots)
+        if capacity > _MIN_CAPACITY and self._size * 4 < capacity:
+            self._repack(grow=False, capacity=max(_MIN_CAPACITY, capacity // 2))
+        elif self._head > self._size:
+            # Reclaim the dead head region without resizing.
+            self._repack(grow=False, capacity=capacity)
+
+    def _repack(self, *, grow: bool, capacity: int | None = None) -> None:
+        if capacity is None:
+            capacity = len(self._slots) * 2 if grow else len(self._slots)
+        self._reallocate(max(capacity, self._size, _MIN_CAPACITY))
+
+    def _reallocate(self, capacity: int) -> None:
+        lo, hi = self._head, self._head + self._size
+        for name in ("_slots", "_values", "_pnorms", "_ts"):
+            old = getattr(self, name)
+            fresh = np.empty(capacity, dtype=old.dtype)
+            fresh[:self._size] = old[lo:hi]
+            setattr(self, name, fresh)
+        self._head = 0
+
+
+class NumpyAccumulator(ScoreAccumulator):
+    """Epoch-stamped dense score table; candidates gathered at finalisation."""
+
+    __slots__ = ("_kernel", "_epoch", "_touched", "_final_slots")
+
+    def __init__(self, kernel: "NumpyKernel", epoch: int) -> None:
+        self._kernel = kernel
+        self._epoch = epoch
+        #: Slot arrays appended by the scan kernels, in accumulation order.
+        self._touched: list[np.ndarray] = []
+        self._final_slots: np.ndarray | None = None
+
+    def _finalize_slots(self) -> np.ndarray:
+        if self._final_slots is None:
+            if not self._touched:
+                self._final_slots = np.empty(0, dtype=np.int64)
+            else:
+                stacked = (self._touched[0] if len(self._touched) == 1
+                           else np.concatenate(self._touched))
+                unique, first_position = np.unique(stacked, return_index=True)
+                # Reference parity: dict insertion order is the order of the
+                # first successful accumulation.
+                unique = unique[np.argsort(first_position)]
+                alive = self._kernel._slot_score_epoch[unique] == self._epoch
+                self._final_slots = unique[alive]
+        return self._final_slots
+
+    def candidates(self) -> dict[int, float]:
+        slots = self._finalize_slots()
+        ids = self._kernel._slot_ids[slots]
+        scores = self._kernel._slot_score[slots]
+        return {int(vector_id): float(score)
+                for vector_id, score in zip(ids.tolist(), scores.tolist())}
+
+    def arrivals(self) -> dict[int, float]:
+        slots = self._finalize_slots()
+        ids = self._kernel._slot_ids[slots]
+        arrivals = self._kernel._slot_arrival[slots]
+        return {int(vector_id): float(arrival)
+                for vector_id, arrival in zip(ids.tolist(), arrivals.tolist())}
+
+
+class NumpySizeFilter(SizeFilterMap):
+    """Dense slot-indexed array of ``|x| · vm_x`` values (+inf when absent)."""
+
+    __slots__ = ("_kernel",)
+
+    def __init__(self, kernel: "NumpyKernel") -> None:
+        self._kernel = kernel
+
+    def set(self, vector_id: int, value: float) -> None:
+        # Intern first: it may reallocate the kernel's slot arrays.
+        slot = self._kernel._intern(vector_id)
+        self._kernel._slot_sf[slot] = value
+
+    def discard(self, vector_id: int) -> None:
+        slot = self._kernel._slot_of.get(vector_id)
+        if slot is not None:
+            self._kernel._slot_sf[slot] = np.inf
+
+    def get(self, vector_id: int) -> float | None:
+        slot = self._kernel._slot_of.get(vector_id)
+        if slot is None:
+            return None
+        value = float(self._kernel._slot_sf[slot])
+        return None if value == math.inf else value
+
+    def values_at(self, slots: np.ndarray) -> np.ndarray:
+        return self._kernel._slot_sf[slots]
+
+
+class NumpyKernel(SimilarityKernel):
+    """Vectorised array kernels over slot-interned candidate state."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        self._slot_of: dict[int, int] = {}
+        self._slot_ids = np.empty(_INITIAL_SLOTS, dtype=np.int64)
+        self._slot_score = np.zeros(_INITIAL_SLOTS, dtype=np.float64)
+        self._slot_score_epoch = np.full(_INITIAL_SLOTS, -1, dtype=np.int64)
+        self._slot_pruned_epoch = np.full(_INITIAL_SLOTS, -1, dtype=np.int64)
+        self._slot_sf = np.full(_INITIAL_SLOTS, np.inf, dtype=np.float64)
+        self._slot_arrival = np.zeros(_INITIAL_SLOTS, dtype=np.float64)
+        self._epoch = 0
+        self._dense = np.zeros(_INITIAL_DENSE, dtype=np.float64)
+        self._query_dims: np.ndarray | None = None
+        self._query_vector: SparseVector | None = None
+        self._dense_active = False
+        # id(vector) -> (vector, dims, values).  The strong reference to the
+        # vector pins its id, so a recycled id can never alias a stale entry.
+        self._vector_arrays: dict[
+            int, tuple[SparseVector, np.ndarray, np.ndarray]] = {}
+
+    # -- slot interning ------------------------------------------------------
+
+    def _intern(self, vector_id: int) -> int:
+        slot = self._slot_of.get(vector_id)
+        if slot is None:
+            slot = len(self._slot_of)
+            if slot == len(self._slot_ids):
+                self._grow_slots(slot + 1)
+            self._slot_of[vector_id] = slot
+            self._slot_ids[slot] = vector_id
+        return slot
+
+    def _grow_slots(self, needed: int) -> None:
+        capacity = len(self._slot_ids)
+        while capacity < needed:
+            capacity *= 2
+        for name, fill in (("_slot_ids", None), ("_slot_score", 0.0),
+                           ("_slot_score_epoch", -1), ("_slot_pruned_epoch", -1),
+                           ("_slot_sf", np.inf), ("_slot_arrival", 0.0)):
+            old = getattr(self, name)
+            fresh = np.empty(capacity, dtype=old.dtype)
+            fresh[:len(old)] = old
+            if fill is not None:
+                fresh[len(old):] = fill
+            setattr(self, name, fresh)
+
+    # -- storage factories ---------------------------------------------------
+
+    def new_posting_list(self) -> ArrayPostingList:
+        return ArrayPostingList(self)
+
+    def new_accumulator(self) -> NumpyAccumulator:
+        self._epoch += 1
+        return NumpyAccumulator(self, self._epoch)
+
+    def new_size_filter(self) -> NumpySizeFilter:
+        return NumpySizeFilter(self)
+
+    # -- INV scans -----------------------------------------------------------
+
+    def _accumulate(self, slots: np.ndarray, contributions: np.ndarray,
+                    acc: NumpyAccumulator) -> None:
+        """Unfiltered scatter-accumulate (each slot appears at most once)."""
+        epoch_marks = self._slot_score_epoch
+        scores = self._slot_score
+        started = epoch_marks[slots] == self._epoch
+        scores[slots] = np.where(started, scores[slots], 0.0) + contributions
+        epoch_marks[slots] = self._epoch
+        acc._touched.append(slots)
+
+    def _accumulate_scalar(self, slots: list[int], values: list[float],
+                           value: float, acc: NumpyAccumulator,
+                           timestamps: list[float] | None = None) -> None:
+        """Short-list scalar twin of :meth:`_accumulate` on the same state."""
+        epoch = self._epoch
+        epoch_marks = self._slot_score_epoch
+        scores = self._slot_score
+        arrivals = self._slot_arrival
+        touched: list[int] = []
+        for position, slot in enumerate(slots):
+            contribution = value * values[position]
+            if epoch_marks[slot] == epoch:
+                scores[slot] += contribution
+            else:
+                scores[slot] = contribution
+                epoch_marks[slot] = epoch
+                touched.append(slot)
+            if timestamps is not None:
+                arrivals[slot] = timestamps[position]
+        if touched:
+            acc._touched.append(np.asarray(touched, dtype=np.int64))
+
+    def scan_inv_batch(self, plist: Any, value: float,
+                       acc: ScoreAccumulator) -> int:
+        slots, values, _, _ = plist.arrays()
+        count = len(slots)
+        if count == 0:
+            return 0
+        if count <= _SCALAR_SCAN_CUTOFF:
+            self._accumulate_scalar(slots.tolist(), values.tolist(), value, acc)
+        else:
+            self._accumulate(slots.copy(), value * values, acc)
+        return count
+
+    def scan_inv_stream(self, plist: Any, value: float, cutoff: float,
+                        acc: ScoreAccumulator) -> tuple[int, int]:
+        slots, values, _, timestamps = plist.arrays()
+        expired = int(np.searchsorted(timestamps, cutoff, side="left"))
+        if expired:
+            slots = slots[expired:]
+            values = values[expired:]
+            timestamps = timestamps[expired:]
+        alive = len(slots)
+        # Newest-first, matching the reference backward scan's candidate
+        # insertion order.
+        if 0 < alive <= _SCALAR_SCAN_CUTOFF:
+            self._accumulate_scalar(slots[::-1].tolist(), values[::-1].tolist(),
+                                    value, acc, timestamps[::-1].tolist())
+        elif alive:
+            slots = slots[::-1].copy()
+            self._slot_arrival[slots] = timestamps[::-1]
+            self._accumulate(slots, value * values[::-1], acc)
+        removed = plist.drop_oldest(expired)
+        return alive, removed
+
+    # -- prefix-filter scans -------------------------------------------------
+
+    def scan_prefix_batch(self, plist: Any, value: float,
+                          query_prefix_norm: float, admit_new: bool,
+                          threshold: float, use_ap: bool, use_l2: bool,
+                          sz1: float, size_filter: SizeFilterMap,
+                          acc: ScoreAccumulator) -> int:
+        slots, values, prefix_norms, _ = plist.arrays()
+        traversed = len(slots)
+        if traversed == 0:
+            return 0
+        if traversed <= _SCALAR_SCAN_CUTOFF:
+            self._scan_prefix_scalar(
+                slots.tolist(), values.tolist(), prefix_norms.tolist(), None,
+                value, query_prefix_norm, admit_new, 0.0, math.inf, math.inf,
+                0.0, sz1, threshold, use_ap, use_l2, acc)
+        else:
+            self._scan_prefix(
+                slots, values, prefix_norms, None, value, query_prefix_norm,
+                admit_new, None, None, sz1, threshold, use_ap, use_l2,
+                size_filter, acc)
+        return traversed
+
+    def scan_prefix_stream(self, plist: Any, value: float,
+                           query_prefix_norm: float, now: float,
+                           cutoff: float, decay: float, rs1: float,
+                           rs2: float, sz1: float, threshold: float,
+                           use_ap: bool, use_l2: bool, time_ordered: bool,
+                           size_filter: SizeFilterMap,
+                           acc: ScoreAccumulator) -> tuple[int, int]:
+        slots, values, prefix_norms, timestamps = plist.arrays()
+        if time_ordered:
+            expired = int(np.searchsorted(timestamps, cutoff, side="left"))
+            if expired:
+                slots = slots[expired:]
+                values = values[expired:]
+                prefix_norms = prefix_norms[expired:]
+                timestamps = timestamps[expired:]
+            traversed = len(slots)
+            removed = plist.drop_oldest(expired)
+            if traversed == 0:
+                return 0, removed
+            # Newest-first, for insertion-order parity with the reference
+            # backward scan.
+            if traversed <= _SCALAR_SCAN_CUTOFF:
+                self._scan_prefix_scalar(
+                    slots[::-1].tolist(), values[::-1].tolist(),
+                    prefix_norms[::-1].tolist(), timestamps[::-1].tolist(),
+                    value, query_prefix_norm, True, now, decay, rs1, rs2,
+                    sz1, threshold, use_ap, use_l2, acc)
+            else:
+                decay_factors = np.exp(-decay * (now - timestamps[::-1]))
+                self._scan_prefix(
+                    slots[::-1], values[::-1], prefix_norms[::-1],
+                    decay_factors, value, query_prefix_norm, True, rs1, rs2,
+                    sz1, threshold, use_ap, use_l2, size_filter, acc)
+            return traversed, removed
+        traversed = len(slots)
+        if traversed == 0:
+            return 0, 0
+        if traversed <= _SCALAR_SCAN_CUTOFF:
+            removed = self._scan_prefix_stream_scalar_unordered(
+                plist, slots.tolist(), values.tolist(), prefix_norms.tolist(),
+                timestamps.tolist(), value, query_prefix_norm, now, cutoff,
+                decay, rs1, rs2, sz1, threshold, use_ap, use_l2, acc)
+            return traversed, removed
+        alive = timestamps >= cutoff
+        kept = int(np.count_nonzero(alive))
+        removed = traversed - kept
+        if removed:
+            slots = slots[alive]
+            values = values[alive]
+            prefix_norms = prefix_norms[alive]
+            timestamps = timestamps[alive]
+            plist.compress(alive)
+        if len(slots):
+            decay_factors = np.exp(-decay * (now - timestamps))
+            self._scan_prefix(
+                slots, values, prefix_norms, decay_factors, value,
+                query_prefix_norm, True, rs1, rs2, sz1, threshold,
+                use_ap, use_l2, size_filter, acc)
+        return traversed, removed
+
+    def _scan_prefix_scalar(self, slots: list[int], values: list[float],
+                            prefix_norms: list[float],
+                            timestamps: list[float] | None, value: float,
+                            query_prefix_norm: float, admit_new: bool,
+                            now: float, decay: float, rs1: float, rs2: float,
+                            sz1: float, threshold: float, use_ap: bool,
+                            use_l2: bool, acc: NumpyAccumulator) -> None:
+        """Short-list scalar twin of :meth:`_scan_prefix` on the same state.
+
+        ``timestamps`` distinguishes the streaming case (decayed bounds,
+        ``math.exp`` exactly like the reference backend) from the batch case
+        (``None``: the caller folded the remaining-score admission into the
+        scalar ``admit_new`` flag).
+        """
+        epoch = self._epoch
+        epoch_marks = self._slot_score_epoch
+        pruned_marks = self._slot_pruned_epoch
+        scores = self._slot_score
+        size_values = self._slot_sf
+        touched: list[int] = []
+        for position, slot in enumerate(slots):
+            if pruned_marks[slot] == epoch:
+                continue
+            if timestamps is None:
+                decay_factor = 1.0
+            else:
+                decay_factor = math.exp(-decay * (now - timestamps[position]))
+            started = epoch_marks[slot] == epoch
+            if not started:
+                if timestamps is None:
+                    if not admit_new:
+                        continue
+                elif min(rs1, rs2 * decay_factor) < threshold:
+                    continue
+                if use_ap and size_values[slot] < sz1:
+                    continue
+            accumulated = (scores[slot] if started else 0.0) + value * values[position]
+            if use_l2:
+                l2bound = accumulated + query_prefix_norm * prefix_norms[position] * decay_factor
+                if l2bound < threshold:
+                    pruned_marks[slot] = epoch
+                    epoch_marks[slot] = -1
+                    continue
+            scores[slot] = accumulated
+            if not started:
+                epoch_marks[slot] = epoch
+                touched.append(slot)
+        if touched:
+            acc._touched.append(np.asarray(touched, dtype=np.int64))
+
+    def _scan_prefix_stream_scalar_unordered(
+            self, plist: Any, slots: list[int], values: list[float],
+            prefix_norms: list[float], timestamps: list[float], value: float,
+            query_prefix_norm: float, now: float, cutoff: float, decay: float,
+            rs1: float, rs2: float, sz1: float, threshold: float,
+            use_ap: bool, use_l2: bool, acc: NumpyAccumulator) -> int:
+        """Scalar compact-and-scan of a short unordered (re-indexed) list."""
+        kept: list[int] = []
+        for position, timestamp in enumerate(timestamps):
+            if timestamp >= cutoff:
+                kept.append(position)
+        removed = len(timestamps) - len(kept)
+        if removed:
+            keep_mask = np.zeros(len(timestamps), dtype=bool)
+            keep_mask[kept] = True
+            plist.compress(keep_mask)
+            slots = [slots[position] for position in kept]
+            values = [values[position] for position in kept]
+            prefix_norms = [prefix_norms[position] for position in kept]
+            timestamps = [timestamps[position] for position in kept]
+        self._scan_prefix_scalar(
+            slots, values, prefix_norms, timestamps, value,
+            query_prefix_norm, True, now, decay, rs1, rs2, sz1, threshold,
+            use_ap, use_l2, acc)
+        return removed
+
+    def _scan_prefix(self, slots: np.ndarray, values: np.ndarray,
+                     prefix_norms: np.ndarray,
+                     decay_factors: np.ndarray | None, value: float,
+                     query_prefix_norm: float, admit_new: bool,
+                     rs1: float | None, rs2: float | None,
+                     sz1: float, threshold: float,
+                     use_ap: bool, use_l2: bool,
+                     size_filter: SizeFilterMap,
+                     acc: ScoreAccumulator) -> None:
+        """Shared filtered accumulation of the batch and streaming scans.
+
+        ``decay_factors`` is ``None`` in the batch case, where the
+        remaining-score admission collapses to the scalar ``admit_new`` flag
+        computed by the caller.
+        """
+        epoch = self._epoch
+        epoch_marks = self._slot_score_epoch
+        pruned_marks = self._slot_pruned_epoch
+        scores = self._slot_score
+
+        started = epoch_marks[slots] == epoch
+        active = pruned_marks[slots] != epoch
+        if decay_factors is None:
+            newcomer_ok = np.full(len(slots), admit_new)
+        else:
+            newcomer_ok = np.minimum(rs1, rs2 * decay_factors) >= threshold
+        if use_ap:
+            newcomer_ok &= size_filter.values_at(slots) >= sz1
+        process = active & (started | newcomer_ok)
+
+        accumulated = np.where(started, scores[slots], 0.0) + value * values
+        if use_l2:
+            # Reference parity: the reference groups the bound product as
+            # ((qpn * prefix_norm) * decay_factor).
+            bound_tail = query_prefix_norm * prefix_norms
+            if decay_factors is not None:
+                bound_tail = bound_tail * decay_factors
+            l2bound = accumulated + bound_tail
+            prune = process & (l2bound < threshold)
+            keep = process & ~prune
+            pruned_slots = slots[prune]
+            if len(pruned_slots):
+                pruned_marks[pruned_slots] = epoch
+                epoch_marks[pruned_slots] = -1
+        else:
+            keep = process
+        kept_slots = slots[keep]
+        if len(kept_slots):
+            scores[kept_slots] = accumulated[keep]
+            epoch_marks[kept_slots] = epoch
+            acc._touched.append(kept_slots)
+
+    # -- candidate verification ------------------------------------------------
+
+    def _verification_mask(self, query: SparseVector,
+                           candidates: dict[int, float],
+                           residual: ResidualIndex):
+        """Gather candidate metadata and evaluate the ps1/ds1/sz2 bounds.
+
+        Returns ``(ids, entries, accumulated, timestamps, bound_mask)``
+        where the bounds are *undecayed*, matching
+        :func:`repro.indexes.bounds.verification_bounds`.
+        """
+        count = len(candidates)
+        ids = list(candidates.keys())
+        accumulated = np.fromiter(candidates.values(), np.float64, count)
+        entries = [residual.get(candidate_id) for candidate_id in ids]
+        pscores = np.empty(count, dtype=np.float64)
+        residual_max = np.zeros(count, dtype=np.float64)
+        residual_sum = np.zeros(count, dtype=np.float64)
+        residual_size = np.zeros(count, dtype=np.float64)
+        timestamps = np.empty(count, dtype=np.float64)
+        for position, entry in enumerate(entries):
+            if entry is None:  # pragma: no cover - defensive; mask it out
+                pscores[position] = -np.inf
+                timestamps[position] = 0.0
+                continue
+            max_value, sum_value = entry._stats()
+            pscores[position] = entry.pscore
+            residual_max[position] = max_value
+            residual_sum[position] = sum_value
+            residual_size[position] = len(entry.residual)
+            timestamps[position] = entry.timestamp
+        query_max = query.max_value
+        ps1 = accumulated + pscores
+        ds1 = accumulated + np.minimum(query_max * residual_sum,
+                                       residual_max * query.value_sum)
+        sz2 = accumulated + (np.minimum(float(len(query)), residual_size)
+                             * query_max * residual_max)
+        return ids, entries, accumulated, timestamps, (ps1, ds1, sz2)
+
+    def verify_batch(self, query: SparseVector, candidates: dict[int, float],
+                     residual: ResidualIndex, threshold: float,
+                     stats: JoinStatistics) -> list[tuple[SparseVector, float]]:
+        if not candidates:
+            return []
+        ids, entries, accumulated, _, (ps1, ds1, sz2) = self._verification_mask(
+            query, candidates, residual)
+        mask = (ps1 >= threshold) & (ds1 >= threshold) & (sz2 >= threshold)
+        survivors = np.nonzero(mask)[0]
+        stats.full_similarities += len(survivors)
+        if not len(survivors):
+            return []
+        matches: list[tuple[SparseVector, float]] = []
+        self.begin_query(query)
+        try:
+            for position in survivors.tolist():
+                entry = entries[position]
+                score = float(accumulated[position]) + self.residual_dot(query, entry)
+                if score >= threshold:
+                    matches.append((entry.vector, score))
+        finally:
+            self.end_query(query)
+        return matches
+
+    def verify_stream(self, query: SparseVector, candidates: dict[int, float],
+                      residual: ResidualIndex, threshold: float,
+                      decay: float, now: float,
+                      stats: JoinStatistics) -> list[SimilarPair]:
+        if not candidates:
+            return []
+        ids, entries, accumulated, timestamps, (ps1, ds1, sz2) = (
+            self._verification_mask(query, candidates, residual))
+        decay_factors = np.exp(-decay * (now - timestamps))
+        mask = ((ps1 * decay_factors >= threshold)
+                & (ds1 * decay_factors >= threshold)
+                & (sz2 * decay_factors >= threshold))
+        survivors = np.nonzero(mask)[0]
+        stats.full_similarities += len(survivors)
+        if not len(survivors):
+            return []
+        pairs: list[SimilarPair] = []
+        self.begin_query(query)
+        try:
+            for position in survivors.tolist():
+                entry = entries[position]
+                delta = now - entry.timestamp
+                # math.exp for the reported value: bitwise parity with the
+                # reference backend (np.exp guards only the filter above).
+                decay_factor = math.exp(-decay * delta)
+                dot = float(accumulated[position]) + self.residual_dot(query, entry)
+                similarity = dot * decay_factor
+                if similarity >= threshold:
+                    pairs.append(SimilarPair.make(
+                        query.vector_id, ids[position], similarity,
+                        time_delta=delta, dot=dot, reported_at=now,
+                    ))
+        finally:
+            self.end_query(query)
+        return pairs
+
+    # -- verification dot products -------------------------------------------
+
+    def begin_query(self, vector: SparseVector) -> None:
+        dims = np.asarray(vector.dims, dtype=np.int64)
+        max_dim = int(dims[-1])
+        if max_dim >= _DENSE_DIM_LIMIT:
+            # Pathologically sparse dimension space: fall back to the
+            # dict-based dot products rather than growing the scratch array.
+            self._dense_active = False
+            self._query_vector = vector
+            return
+        if max_dim >= len(self._dense):
+            capacity = len(self._dense)
+            while capacity <= max_dim:
+                capacity *= 2
+            self._dense = np.zeros(capacity, dtype=np.float64)
+        self._dense[dims] = np.asarray(vector.values, dtype=np.float64)
+        self._query_dims = dims
+        self._query_vector = vector
+        self._dense_active = True
+
+    def end_query(self, vector: SparseVector) -> None:
+        if self._dense_active and self._query_dims is not None:
+            self._dense[self._query_dims] = 0.0
+        self._query_dims = None
+        self._query_vector = None
+        self._dense_active = False
+
+    def residual_dot(self, query: SparseVector, entry: ResidualEntry) -> float:
+        if not self._dense_active:
+            return entry.residual_dot(query)
+        cached = entry.array_cache
+        if cached is None:
+            dims = sorted(entry.residual)
+            cached = (np.asarray(dims, dtype=np.int64),
+                      np.asarray([entry.residual[dim] for dim in dims],
+                                 dtype=np.float64))
+            entry.array_cache = cached
+        residual_dims, residual_values = cached
+        if len(residual_dims) == 0:
+            return 0.0
+        if int(residual_dims[-1]) >= len(self._dense):
+            return entry.residual_dot(query)
+        products = residual_values * self._dense[residual_dims]
+        return _sequential_sum(products)
+
+    def dots_for(self, query: SparseVector,
+                 others: Sequence[SparseVector]) -> list[float]:
+        self.begin_query(query)
+        try:
+            if not self._dense_active:
+                return [query.dot(other) for other in others]
+            dense = self._dense
+            results = []
+            for other in others:
+                dims, values = self._arrays_of(other)
+                if int(dims[-1]) >= len(dense):
+                    results.append(query.dot(other))
+                else:
+                    results.append(_sequential_sum(values * dense[dims]))
+            return results
+        finally:
+            self.end_query(query)
+
+    def _arrays_of(self, vector: SparseVector) -> tuple[np.ndarray, np.ndarray]:
+        key = id(vector)
+        cached = self._vector_arrays.get(key)
+        if cached is None:
+            if len(self._vector_arrays) >= 65536:
+                self._vector_arrays.clear()
+            cached = (vector,
+                      np.asarray(vector.dims, dtype=np.int64),
+                      np.asarray(vector.values, dtype=np.float64))
+            self._vector_arrays[key] = cached
+        return cached[1], cached[2]
+
+
+def _sequential_sum(products: np.ndarray) -> float:
+    """Left-to-right reduction, bit-for-bit identical to the Python loops.
+
+    ``np.sum`` uses pairwise summation, which rounds differently from the
+    reference backend's sequential adds; the arrays reduced here (residual
+    prefixes, single sparse vectors) are short, so the scalar loop costs
+    little and buys exact output parity.
+    """
+    total = 0.0
+    for product in products.tolist():
+        total += product
+    return total

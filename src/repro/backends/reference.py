@@ -1,0 +1,259 @@
+"""Pure-Python reference backend.
+
+This backend is the semantic ground truth: its scan kernels are the
+per-entry loops that used to live inline in the index classes, moved here
+verbatim when the compute-backend subsystem was introduced.  Posting lists
+are the ring-buffer-backed :class:`~repro.indexes.posting.PostingList` of
+Section 6.2 and the score table is a plain insertion-ordered dictionary.
+
+It has no dependencies beyond the standard library, works for arbitrarily
+sparse vector ids and dimensions, and is the backend the vectorised
+implementations are equivalence-tested against.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from typing import Any
+
+from repro.backends.base import ScoreAccumulator, SimilarityKernel, SizeFilterMap
+from repro.core.results import JoinStatistics, SimilarPair
+from repro.core.vector import SparseVector
+from repro.indexes.bounds import verification_bounds
+from repro.indexes.posting import PostingList
+from repro.indexes.residual import ResidualEntry, ResidualIndex
+
+__all__ = ["ReferenceKernel"]
+
+
+class ReferenceAccumulator(ScoreAccumulator):
+    """Dict-based score table: ``scores``, the ``pruned`` set and arrivals."""
+
+    __slots__ = ("scores", "pruned", "arrival")
+
+    def __init__(self) -> None:
+        self.scores: dict[int, float] = {}
+        self.pruned: set[int] = set()
+        self.arrival: dict[int, float] = {}
+
+    def candidates(self) -> dict[int, float]:
+        return self.scores
+
+    def arrivals(self) -> dict[int, float]:
+        return self.arrival
+
+
+class ReferenceSizeFilter(SizeFilterMap):
+    """Plain dictionary ``vector_id → |x| · vm_x``."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: dict[int, float] = {}
+
+    def set(self, vector_id: int, value: float) -> None:
+        self._values[vector_id] = value
+
+    def discard(self, vector_id: int) -> None:
+        self._values.pop(vector_id, None)
+
+    def get(self, vector_id: int) -> float | None:
+        return self._values.get(vector_id)
+
+
+class ReferenceKernel(SimilarityKernel):
+    """The per-entry Python loops of Algorithms 3, 4, 7 and 8."""
+
+    name = "python"
+
+    # -- storage factories ---------------------------------------------------
+
+    def new_posting_list(self) -> PostingList:
+        return PostingList()
+
+    def new_accumulator(self) -> ReferenceAccumulator:
+        return ReferenceAccumulator()
+
+    def new_size_filter(self) -> ReferenceSizeFilter:
+        return ReferenceSizeFilter()
+
+    # -- INV scans -----------------------------------------------------------
+
+    def scan_inv_batch(self, plist: Any, value: float,
+                       acc: ScoreAccumulator) -> int:
+        scores = acc.scores
+        traversed = 0
+        for entry in plist:
+            traversed += 1
+            candidate_id = entry.vector_id
+            scores[candidate_id] = scores.get(candidate_id, 0.0) + value * entry.value
+        return traversed
+
+    def scan_inv_stream(self, plist: Any, value: float, cutoff: float,
+                        acc: ScoreAccumulator) -> tuple[int, int]:
+        scores = acc.scores
+        arrival = acc.arrival
+        alive = 0
+        for entry in plist.iter_newest_first():
+            if entry.timestamp < cutoff:
+                # Everything older than this entry is also expired:
+                # truncate the head of the list (lazy time filtering).
+                break
+            alive += 1
+            candidate_id = entry.vector_id
+            scores[candidate_id] = scores.get(candidate_id, 0.0) + value * entry.value
+            arrival.setdefault(candidate_id, entry.timestamp)
+        removed = plist.keep_newest(alive)
+        return alive, removed
+
+    # -- prefix-filter scans -------------------------------------------------
+
+    def scan_prefix_batch(self, plist: Any, value: float,
+                          query_prefix_norm: float, admit_new: bool,
+                          threshold: float, use_ap: bool, use_l2: bool,
+                          sz1: float, size_filter: SizeFilterMap,
+                          acc: ScoreAccumulator) -> int:
+        scores = acc.scores
+        pruned = acc.pruned
+        traversed = 0
+        for entry in plist:
+            traversed += 1
+            candidate_id = entry.vector_id
+            if candidate_id in pruned:
+                continue
+            started = candidate_id in scores
+            if not started and not admit_new:
+                continue
+            if use_ap and not started:
+                candidate_size = size_filter.get(candidate_id)
+                if candidate_size is not None and candidate_size < sz1:
+                    continue
+            accumulated = scores.get(candidate_id, 0.0) + value * entry.value
+            if use_l2:
+                l2bound = accumulated + query_prefix_norm * entry.prefix_norm
+                if l2bound < threshold:
+                    scores.pop(candidate_id, None)
+                    pruned.add(candidate_id)
+                    continue
+            scores[candidate_id] = accumulated
+        return traversed
+
+    def scan_prefix_stream(self, plist: Any, value: float,
+                           query_prefix_norm: float, now: float,
+                           cutoff: float, decay: float, rs1: float,
+                           rs2: float, sz1: float, threshold: float,
+                           use_ap: bool, use_l2: bool, time_ordered: bool,
+                           size_filter: SizeFilterMap,
+                           acc: ScoreAccumulator) -> tuple[int, int]:
+        if time_ordered:
+            # Backward scan: stop at the first expired posting and truncate
+            # the head.  Only live postings count as traversed — the expired
+            # sentinel is charged to pruning.
+            alive = 0
+            for entry in plist.iter_newest_first():
+                if entry.timestamp < cutoff:
+                    break
+                alive += 1
+                self._accumulate_stream(
+                    entry, value, query_prefix_norm, now, decay, rs1, rs2,
+                    sz1, threshold, use_ap, use_l2, size_filter, acc)
+            removed = plist.keep_newest(alive)
+            return alive, removed
+        traversed = 0
+        kept = []
+        for entry in plist:
+            traversed += 1
+            if entry.timestamp < cutoff:
+                continue
+            kept.append(entry)
+            self._accumulate_stream(
+                entry, value, query_prefix_norm, now, decay, rs1, rs2,
+                sz1, threshold, use_ap, use_l2, size_filter, acc)
+        removed = traversed - len(kept)
+        if removed:
+            plist.replace_all_entries(kept)
+        return traversed, removed
+
+    @staticmethod
+    def _accumulate_stream(entry: Any, value: float, query_prefix_norm: float,
+                           now: float, decay: float, rs1: float, rs2: float,
+                           sz1: float, threshold: float, use_ap: bool,
+                           use_l2: bool, size_filter: SizeFilterMap,
+                           acc: ScoreAccumulator) -> None:
+        """Per-posting accumulation with the decayed bounds of Algorithm 7."""
+        scores = acc.scores
+        pruned = acc.pruned
+        candidate_id = entry.vector_id
+        if candidate_id in pruned:
+            return
+        delta = now - entry.timestamp
+        decay_factor = math.exp(-decay * delta)
+        started = candidate_id in scores
+        if not started:
+            remscore = min(rs1, rs2 * decay_factor)
+            if remscore < threshold:
+                return
+            if use_ap:
+                candidate_size = size_filter.get(candidate_id)
+                if candidate_size is not None and candidate_size < sz1:
+                    return
+        accumulated = scores.get(candidate_id, 0.0) + value * entry.value
+        if use_l2:
+            l2bound = accumulated + query_prefix_norm * entry.prefix_norm * decay_factor
+            if l2bound < threshold:
+                scores.pop(candidate_id, None)
+                pruned.add(candidate_id)
+                return
+        scores[candidate_id] = accumulated
+
+    # -- candidate verification ------------------------------------------------
+
+    def verify_batch(self, query: SparseVector, candidates: dict[int, float],
+                     residual: ResidualIndex, threshold: float,
+                     stats: JoinStatistics) -> list[tuple[SparseVector, float]]:
+        matches: list[tuple[SparseVector, float]] = []
+        for candidate_id, accumulated in candidates.items():
+            entry = residual.get(candidate_id)
+            if entry is None:  # pragma: no cover - defensive; indexed vectors have entries
+                continue
+            ps1, ds1, sz2 = verification_bounds(accumulated, query, entry)
+            if ps1 >= threshold and ds1 >= threshold and sz2 >= threshold:
+                stats.full_similarities += 1
+                score = accumulated + entry.residual_dot(query)
+                if score >= threshold:
+                    matches.append((entry.vector, score))
+        return matches
+
+    def verify_stream(self, query: SparseVector, candidates: dict[int, float],
+                      residual: ResidualIndex, threshold: float,
+                      decay: float, now: float,
+                      stats: JoinStatistics) -> list[SimilarPair]:
+        pairs: list[SimilarPair] = []
+        for candidate_id, accumulated in candidates.items():
+            entry = residual.get(candidate_id)
+            if entry is None:  # pragma: no cover - defensive
+                continue
+            delta = now - entry.timestamp
+            decay_factor = math.exp(-decay * delta)
+            ps1, ds1, sz2 = verification_bounds(accumulated, query, entry)
+            if (ps1 * decay_factor >= threshold and ds1 * decay_factor >= threshold
+                    and sz2 * decay_factor >= threshold):
+                stats.full_similarities += 1
+                dot = accumulated + entry.residual_dot(query)
+                similarity = dot * decay_factor
+                if similarity >= threshold:
+                    pairs.append(SimilarPair.make(
+                        query.vector_id, candidate_id, similarity,
+                        time_delta=delta, dot=dot, reported_at=now,
+                    ))
+        return pairs
+
+    # -- verification dot products -------------------------------------------
+
+    def residual_dot(self, query: SparseVector, entry: ResidualEntry) -> float:
+        return entry.residual_dot(query)
+
+    def dots_for(self, query: SparseVector,
+                 others: Sequence[SparseVector]) -> list[float]:
+        return [query.dot(other) for other in others]

@@ -6,12 +6,17 @@ worst case.  This module provides that baseline for the *static* setting:
 it compares every pair of vectors directly and is used both as a
 correctness oracle in the test suite and as the slowest reference point in
 the benchmark harness.
+
+Like the indexes, the baselines route their dot products through the
+compute-backend kernel API (:mod:`repro.backends`), so even the oracle
+benefits from the vectorised backends while producing identical output.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from repro.backends import resolve_kernel
 from repro.core.results import JoinStatistics, SimilarPair
 from repro.core.similarity import decay_factor, validate_decay, validate_threshold
 from repro.core.vector import SparseVector
@@ -24,6 +29,7 @@ def brute_force_all_pairs(
     threshold: float,
     *,
     stats: JoinStatistics | None = None,
+    backend: str | None = None,
 ) -> list[SimilarPair]:
     """All pairs with plain cosine similarity at least ``threshold``.
 
@@ -32,13 +38,14 @@ def brute_force_all_pairs(
     """
     threshold = validate_threshold(threshold)
     stats = stats if stats is not None else JoinStatistics()
+    kernel = resolve_kernel(backend)
     items: Sequence[SparseVector] = list(vectors)
     pairs: list[SimilarPair] = []
     for i, x in enumerate(items):
         stats.vectors_processed += 1
-        for y in items[:i]:
+        dots = kernel.dots_for(x, items[:i])
+        for y, dot in zip(items[:i], dots):
             stats.full_similarities += 1
-            dot = x.dot(y)
             if dot >= threshold:
                 pairs.append(SimilarPair.make(
                     x.vector_id, y.vector_id, dot,
@@ -55,6 +62,7 @@ def brute_force_time_dependent(
     decay: float,
     *,
     stats: JoinStatistics | None = None,
+    backend: str | None = None,
 ) -> list[SimilarPair]:
     """All pairs with time-dependent similarity at least ``threshold``.
 
@@ -65,14 +73,15 @@ def brute_force_time_dependent(
     threshold = validate_threshold(threshold)
     decay = validate_decay(decay)
     stats = stats if stats is not None else JoinStatistics()
+    kernel = resolve_kernel(backend)
     items: Sequence[SparseVector] = list(vectors)
     pairs: list[SimilarPair] = []
     for i, x in enumerate(items):
         stats.vectors_processed += 1
-        for y in items[:i]:
+        dots = kernel.dots_for(x, items[:i])
+        for y, dot in zip(items[:i], dots):
             stats.full_similarities += 1
             delta = abs(x.timestamp - y.timestamp)
-            dot = x.dot(y)
             similarity = dot * decay_factor(decay, delta)
             if similarity >= threshold:
                 pairs.append(SimilarPair.make(

@@ -14,6 +14,7 @@ import math
 from collections import deque
 from collections.abc import Iterable, Iterator
 
+from repro.backends import resolve_kernel
 from repro.core.results import JoinStatistics, SimilarPair
 from repro.core.similarity import time_horizon, validate_decay, validate_threshold
 from repro.core.vector import SparseVector
@@ -25,11 +26,13 @@ class SlidingWindowJoin:
     """Exact streaming join over a time-based sliding window of length ``τ``."""
 
     def __init__(self, threshold: float, decay: float, *,
-                 stats: JoinStatistics | None = None) -> None:
+                 stats: JoinStatistics | None = None,
+                 backend: str | None = None) -> None:
         self.threshold = validate_threshold(threshold)
         self.decay = validate_decay(decay)
         self.horizon = time_horizon(threshold, decay)
         self.stats = stats if stats is not None else JoinStatistics()
+        self.kernel = resolve_kernel(backend)
         self._window: deque[SparseVector] = deque()
 
     @property
@@ -47,10 +50,11 @@ class SlidingWindowJoin:
             window.popleft()
             stats.entries_pruned += 1
         pairs: list[SimilarPair] = []
-        for other in window:
+        members = list(window)
+        dots = self.kernel.dots_for(vector, members)
+        for other, dot in zip(members, dots):
             stats.full_similarities += 1
             delta = now - other.timestamp
-            dot = vector.dot(other)
             similarity = dot * math.exp(-self.decay * delta)
             if similarity >= self.threshold:
                 pairs.append(SimilarPair.make(
@@ -70,7 +74,8 @@ class SlidingWindowJoin:
 
 
 def sliding_window_join(stream: Iterable[SparseVector], threshold: float,
-                        decay: float) -> list[SimilarPair]:
+                        decay: float, *,
+                        backend: str | None = None) -> list[SimilarPair]:
     """Convenience wrapper: run :class:`SlidingWindowJoin` over ``stream``."""
-    join = SlidingWindowJoin(threshold, decay)
+    join = SlidingWindowJoin(threshold, decay, backend=backend)
     return list(join.run(stream))

@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from collections.abc import Iterable, Sequence
 
+from repro.backends import get_backend
 from repro.bench.config import ExperimentScale
 from repro.bench.metrics import RunMetrics
 from repro.core.join import create_join
@@ -57,17 +58,27 @@ def run_algorithm(
     dataset: str = "dataset",
     operation_budget: int | None = None,
     time_budget: float | None = None,
+    backend: str | None = None,
 ) -> RunMetrics:
     """Run one algorithm configuration over ``vectors`` and measure it.
 
     The run is aborted (``completed=False``) as soon as the aggregate
     operation count exceeds ``operation_budget`` or the elapsed wall-clock
     time exceeds ``time_budget`` seconds.
+
+    ``backend`` selects the compute backend; when given explicitly it is
+    recorded in the metrics' algorithm label (``"STR-L2[numpy]"``) so
+    side-by-side backend tables stay readable.
     """
     stats = JoinStatistics()
-    join = create_join(algorithm, threshold, decay, stats=stats)
+    join = create_join(algorithm, threshold, decay, stats=stats, backend=backend)
+    if backend is None:
+        label = algorithm
+    else:
+        # Resolve "auto" so side-by-side tables name the actual backend.
+        label = f"{algorithm}[{get_backend(backend).name}]"
     metrics = RunMetrics(
-        algorithm=algorithm,
+        algorithm=label,
         dataset=dataset,
         threshold=threshold,
         decay=decay,
@@ -101,6 +112,7 @@ def sweep(
     *,
     thetas: Iterable[float] | None = None,
     decays: Iterable[float] | None = None,
+    backend: str | None = None,
 ) -> list[RunMetrics]:
     """Run every (algorithm, dataset, θ, λ) combination of the given grids."""
     thetas = tuple(thetas) if thetas is not None else scale.thetas
@@ -118,6 +130,7 @@ def sweep(
                             algorithm, vectors, threshold, decay,
                             dataset=dataset,
                             operation_budget=scale.operation_budget,
+                            backend=backend,
                         )
                         if best is None or metrics.elapsed_seconds < best.elapsed_seconds:
                             best = metrics

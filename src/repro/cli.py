@@ -5,6 +5,8 @@ Installed as the ``sssj`` console script (and reachable as
 
 ``profiles``
     List the built-in synthetic dataset profiles.
+``backends``
+    List the available compute backends and the current default.
 ``generate``
     Generate a synthetic corpus and write it to a dataset file.
 ``convert``
@@ -25,6 +27,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.backends import available_backends, default_backend
 from repro.bench.config import LAMBDA_GRID, THETA_GRID, ExperimentScale, default_scale
 from repro.bench.experiments import ALL_EXPERIMENTS, run_experiment
 from repro.bench.runner import run_algorithm, sweep
@@ -47,6 +50,8 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("profiles", help="list built-in dataset profiles")
+
+    subparsers.add_parser("backends", help="list available compute backends")
 
     generate = subparsers.add_parser("generate", help="generate a synthetic corpus")
     generate.add_argument("--profile", required=True, choices=available_profiles())
@@ -76,6 +81,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="framework-index pair, e.g. STR-L2, MB-INV (default STR-L2)")
     run.add_argument("--theta", type=float, default=0.7, help="similarity threshold")
     run.add_argument("--decay", type=float, default=0.01, help="time-decay rate λ")
+    run.add_argument("--backend", default=None,
+                     choices=["auto", *available_backends()],
+                     help="compute backend for the hot loops (default: auto)")
     run.add_argument("--show-pairs", type=int, default=0,
                      help="print up to N reported pairs")
 
@@ -87,6 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="comma-separated list, e.g. STR-L2,MB-L2")
     sweep_cmd.add_argument("--thetas", default=",".join(str(t) for t in THETA_GRID))
     sweep_cmd.add_argument("--decays", default=",".join(str(d) for d in LAMBDA_GRID))
+    sweep_cmd.add_argument("--backend", default=None,
+                           choices=["auto", *available_backends()],
+                           help="compute backend for the hot loops (default: auto)")
 
     experiment = subparsers.add_parser(
         "experiment", help="reproduce one of the paper's tables/figures")
@@ -137,6 +148,22 @@ def _cmd_profiles(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(_args: argparse.Namespace) -> int:
+    default = default_backend()
+    rows = []
+    for name in available_backends():
+        rows.append({
+            "backend": name,
+            "default": "yes" if name == default else "",
+            "description": ("pure-Python reference (ground truth)"
+                            if name == "python"
+                            else "vectorised contiguous-array kernels"),
+        })
+    print(render_table(rows, title="Compute backends (select with --backend "
+                                   "or the SSSJ_BACKEND environment variable)"))
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     vectors = generate_profile_corpus(args.profile, num_vectors=args.num_vectors,
                                       seed=args.seed)
@@ -164,12 +191,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     vectors, name = _load_vectors(args)
     metrics = run_algorithm(args.algorithm, vectors, args.theta, args.decay,
-                            dataset=str(name))
+                            dataset=str(name), backend=args.backend)
     print(render_table([metrics.as_row()], title=f"Run: {args.algorithm} on {name}"))
     if args.show_pairs > 0:
         from repro.core.join import create_join
 
-        join = create_join(args.algorithm, args.theta, args.decay)
+        join = create_join(args.algorithm, args.theta, args.decay,
+                           backend=args.backend)
         shown = 0
         for pair in join.run(vectors):
             print(f"  pair {pair.id_a} ~ {pair.id_b}  sim={pair.similarity:.4f} "
@@ -193,7 +221,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     else:
         scale = ExperimentScale(vector_counts=dict(scale.vector_counts), thetas=thetas,
                                 decays=decays, seed=args.seed)
-    results = sweep(algorithms, [args.profile], scale)
+    results = sweep(algorithms, [args.profile], scale, backend=args.backend)
     print(render_table([metrics.as_row() for metrics in results],
                        title=f"Sweep on {args.profile}"))
     return 0
@@ -218,6 +246,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "profiles": _cmd_profiles,
+    "backends": _cmd_backends,
     "generate": _cmd_generate,
     "convert": _cmd_convert,
     "stats": _cmd_stats,

@@ -26,13 +26,15 @@ _NEEDS_MAX_VECTOR = {"AP", "L2AP"}
 
 
 def build_batch_index(index: str, threshold: float, vectors: list[SparseVector], *,
-                      stats: JoinStatistics | None = None) -> BatchIndex:
+                      stats: JoinStatistics | None = None,
+                      backend: str | None = None) -> BatchIndex:
     """Instantiate a batch index, pre-computing the ``m`` vector when needed."""
     name = index.upper()
     if name in _NEEDS_MAX_VECTOR:
         max_vector = MaxVector.from_vectors(vectors)
-        return create_batch_index(name, threshold, stats=stats, max_vector=max_vector)
-    return create_batch_index(name, threshold, stats=stats)
+        return create_batch_index(name, threshold, stats=stats,
+                                  max_vector=max_vector, backend=backend)
+    return create_batch_index(name, threshold, stats=stats, backend=backend)
 
 
 def all_pairs(
@@ -42,6 +44,7 @@ def all_pairs(
     index: str = "L2AP",
     dimension_order: str = "natural",
     stats: JoinStatistics | None = None,
+    backend: str | None = None,
 ) -> list[SimilarPair]:
     """Find all pairs with cosine similarity at least ``threshold``.
 
@@ -62,13 +65,16 @@ def all_pairs(
         prefix-filtering indexes do, never the result.
     stats:
         Optional statistics object to accumulate operation counters into.
+    backend:
+        Compute backend for the hot loops (see :mod:`repro.backends`).
     """
     dataset = list(vectors)
     if dimension_order.lower() != "natural":
         ordering = DimensionOrdering.from_vectors(dataset, dimension_order)
         dataset = ordering.remap_all(dataset)
     stats = stats if stats is not None else JoinStatistics()
-    batch_index = build_batch_index(index, threshold, dataset, stats=stats)
+    batch_index = build_batch_index(index, threshold, dataset, stats=stats,
+                                    backend=backend)
     pairs: list[SimilarPair] = []
     for x, y, dot in batch_index.index_dataset(dataset):
         pairs.append(SimilarPair.make(

@@ -24,10 +24,11 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.backends import get_backend
 from repro.core.frameworks.streaming import StreamingFramework
 from repro.core.results import JoinStatistics
 from repro.core.vector import SparseVector
-from repro.exceptions import SSSJError
+from repro.exceptions import SSSJError, UnknownBackendError
 from repro.indexes.inverted import InvertedStreamingIndex
 from repro.indexes.maxvector import DecayedMaxVector, MaxVector
 from repro.indexes.posting import PostingEntry
@@ -113,8 +114,8 @@ def _restore_residual(residual, state: list[dict[str, Any]]) -> None:
         # The residual prefix may have shrunk after re-indexing; keep exactly
         # the dimensions that were stored.
         kept = set(item["residual_dims"])
-        entry.residual = {dim: value for dim, value in entry.residual.items()
-                          if dim in kept}
+        entry.set_residual({dim: value for dim, value in entry.residual.items()
+                            if dim in kept})
         residual.add(entry)
 
 
@@ -163,6 +164,7 @@ def snapshot_join(join: StreamingFramework) -> dict[str, Any]:
     state: dict[str, Any] = {
         "version": _FORMAT_VERSION,
         "algorithm": join.algorithm,
+        "backend": index.backend_name,
         "threshold": join.threshold,
         "decay": join.decay,
         "stats": join.stats.as_dict(),
@@ -188,7 +190,15 @@ def restore_join(state: dict[str, Any]) -> StreamingFramework:
     framework_name, index_name = state["algorithm"].split("-", maxsplit=1)
     if framework_name != "STR":
         raise CheckpointError(f"cannot restore framework {framework_name!r}")
-    join = StreamingFramework(state["threshold"], state["decay"], index=index_name)
+    try:
+        backend = get_backend(state.get("backend")).name
+    except UnknownBackendError:
+        # The checkpoint was written with a backend that is unavailable
+        # here (e.g. NumPy missing); fall back to the default — backends
+        # are output-equivalent, so the restored join behaves identically.
+        backend = None
+    join = StreamingFramework(state["threshold"], state["decay"],
+                              index=index_name, backend=backend)
     index = join.index
     _restore_posting_lists(index._index, state["postings"])
     if state["kind"] == "prefix":
@@ -197,6 +207,14 @@ def restore_join(state: dict[str, Any]) -> StreamingFramework:
                 f"checkpoint holds prefix-filter state but index {index_name!r} is not one"
             )
         _restore_residual(index._residual, state["residual"])
+        # The kernel's sz1 size-filter map is populated at indexing time,
+        # which restore bypasses; rebuild it so the restored join filters
+        # exactly like an uninterrupted one.
+        for entry in index._residual.entries():
+            index._size_filter.set(entry.vector_id, entry.size_filter_value)
+        # The kernel's sz1 size-filter map is populated at indexing time,
+        # which restore bypasses; rebuild it so the restored join filters
+        # exactly like an uninterrupted one.
         if index.use_ap:
             index._max_query = _restore_max_vector(state["max_query"]) or MaxVector()
             index._max_decayed = (_restore_decayed_max(state["max_decayed"], join.decay)

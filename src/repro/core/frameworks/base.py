@@ -27,16 +27,24 @@ __all__ = ["JoinFramework"]
 
 
 class JoinFramework(ABC):
-    """Base class of the MiniBatch (MB) and Streaming (STR) frameworks."""
+    """Base class of the MiniBatch (MB) and Streaming (STR) frameworks.
+
+    ``backend`` selects the compute backend the underlying index(es) run
+    their hot loops on — a name from
+    :func:`repro.backends.available_backends` or ``None``/``"auto"`` for
+    the fastest available one.
+    """
 
     #: Framework name used in algorithm strings ("MB", "STR").
     name: str = "abstract"
 
     def __init__(self, threshold: float, decay: float, *,
-                 index: str = "L2", stats: JoinStatistics | None = None) -> None:
+                 index: str = "L2", stats: JoinStatistics | None = None,
+                 backend: str | None = None) -> None:
         self.threshold = validate_threshold(threshold)
         self.decay = validate_decay(decay)
         self.index_name = index.upper()
+        self.backend = backend
         self.stats = stats if stats is not None else JoinStatistics()
 
     @property

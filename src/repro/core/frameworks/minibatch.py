@@ -48,8 +48,10 @@ class MiniBatchFramework(JoinFramework):
     name = "MB"
 
     def __init__(self, threshold: float, decay: float, *,
-                 index: str = "L2", stats: JoinStatistics | None = None) -> None:
-        super().__init__(threshold, decay, index=index, stats=stats)
+                 index: str = "L2", stats: JoinStatistics | None = None,
+                 backend: str | None = None) -> None:
+        super().__init__(threshold, decay, index=index, stats=stats,
+                         backend=backend)
         if decay <= 0:
             raise InvalidParameterError(
                 "the MiniBatch framework requires a strictly positive decay rate: "
@@ -77,10 +79,29 @@ class MiniBatchFramework(JoinFramework):
         pairs: list[SimilarPair] = []
         if self._window_start is None:
             self._window_start = vector.timestamp
-        # Close as many windows as needed so the vector falls in the current one.
-        while vector.timestamp >= self._window_start + self.horizon:
+        horizon = self.horizon
+        if horizon > 0:
+            # Close as many windows as needed so the vector falls in the
+            # current one.
+            while vector.timestamp >= self._window_start + horizon:
+                if not self._previous and not self._current:
+                    # Both windows are empty: fast-forward over the gap in
+                    # one step (closing empty windows is a no-op), keeping
+                    # the boundaries aligned to multiples of the horizon.
+                    skipped = max(1, math.floor(
+                        (vector.timestamp - self._window_start) / horizon))
+                    self._window_start += skipped * horizon
+                    if vector.timestamp < self._window_start + horizon:
+                        break
+                    continue
+                pairs.extend(self._close_window())
+                self._window_start += horizon
+        elif vector.timestamp > self._window_start:
+            # θ = 1 makes the horizon zero: a window can only hold items
+            # that arrive simultaneously.  Close the open window and
+            # re-anchor instead of advancing by zero forever.
             pairs.extend(self._close_window())
-            self._window_start += self.horizon
+            self._window_start = vector.timestamp
         self._current.append(vector)
         self._current_max.update(vector)
         self.stats.vectors_processed += 1
@@ -122,9 +143,11 @@ class MiniBatchFramework(JoinFramework):
             combined = self._previous_max.copy()
             combined.merge(self._current_max)
             index = create_batch_index(self.index_name, self.threshold,
-                                       stats=self.stats, max_vector=combined)
+                                       stats=self.stats, max_vector=combined,
+                                       backend=self.backend)
         else:
-            index = create_batch_index(self.index_name, self.threshold, stats=self.stats)
+            index = create_batch_index(self.index_name, self.threshold,
+                                       stats=self.stats, backend=self.backend)
         return index
 
     def _report_window_pairs(self, index: BatchIndex,

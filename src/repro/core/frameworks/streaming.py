@@ -23,16 +23,24 @@ class StreamingFramework(JoinFramework):
     name = "STR"
 
     def __init__(self, threshold: float, decay: float, *,
-                 index: str = "L2", stats: JoinStatistics | None = None) -> None:
-        super().__init__(threshold, decay, index=index, stats=stats)
+                 index: str = "L2", stats: JoinStatistics | None = None,
+                 backend: str | None = None) -> None:
+        super().__init__(threshold, decay, index=index, stats=stats,
+                         backend=backend)
         self._index: StreamingIndex = create_streaming_index(
-            self.index_name, self.threshold, self.decay, stats=self.stats
+            self.index_name, self.threshold, self.decay, stats=self.stats,
+            backend=backend,
         )
 
     @property
     def index(self) -> StreamingIndex:
         """The underlying streaming index (exposed for inspection and tests)."""
         return self._index
+
+    @property
+    def backend_name(self) -> str:
+        """Resolved name of the compute backend in use."""
+        return self._index.backend_name
 
     @property
     def index_size(self) -> int:

@@ -65,16 +65,22 @@ def parse_algorithm(algorithm: str) -> tuple[str, str]:
 
 
 def create_join(algorithm: str, threshold: float, decay: float, *,
-                stats: JoinStatistics | None = None) -> JoinFramework:
+                stats: JoinStatistics | None = None,
+                backend: str | None = None) -> JoinFramework:
     """Instantiate a join framework from an algorithm string.
 
     ``algorithm`` combines a framework and an index name, separated by a
     dash: ``"STR-L2"``, ``"STR-L2AP"``, ``"STR-INV"``, ``"MB-L2"``,
     ``"MB-L2AP"``, ``"MB-INV"``, ...
+
+    ``backend`` selects the compute backend for the hot loops (``"python"``,
+    ``"numpy"``; ``None``/``"auto"`` picks the fastest available one — see
+    :mod:`repro.backends`).
     """
     framework_name, index_name = parse_algorithm(algorithm)
     framework_cls = _FRAMEWORKS[framework_name]
-    return framework_cls(threshold, decay, index=index_name, stats=stats)
+    return framework_cls(threshold, decay, index=index_name, stats=stats,
+                         backend=backend)
 
 
 def streaming_self_join(
@@ -84,6 +90,7 @@ def streaming_self_join(
     *,
     algorithm: str = "STR-L2",
     stats: JoinStatistics | None = None,
+    backend: str | None = None,
 ) -> Iterator[SimilarPair]:
     """Run a streaming similarity self-join over ``stream`` and yield pairs.
 
@@ -92,5 +99,5 @@ def streaming_self_join(
     :class:`StreamingSimilarityJoin` or :class:`MiniBatchSimilarityJoin`
     directly.
     """
-    join = create_join(algorithm, threshold, decay, stats=stats)
+    join = create_join(algorithm, threshold, decay, stats=stats, backend=backend)
     return join.run(stream)

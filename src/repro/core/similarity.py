@@ -103,14 +103,21 @@ class JoinParameters:
         Similarity threshold ``θ`` in ``(0, 1]``.
     decay:
         Time-decay rate ``λ ≥ 0``.
+    backend:
+        Compute backend for the hot loops (``"python"``, ``"numpy"``, or
+        ``None``/``"auto"`` for the fastest available one; see
+        :mod:`repro.backends`).
     """
 
     threshold: float
     decay: float
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "threshold", validate_threshold(self.threshold))
         object.__setattr__(self, "decay", validate_decay(self.decay))
+        if self.backend is not None:
+            object.__setattr__(self, "backend", str(self.backend).lower())
 
     @property
     def horizon(self) -> float:
@@ -118,9 +125,23 @@ class JoinParameters:
         return time_horizon(self.threshold, self.decay)
 
     @classmethod
-    def from_horizon(cls, threshold: float, horizon: float) -> "JoinParameters":
+    def from_horizon(cls, threshold: float, horizon: float, *,
+                     backend: str | None = None) -> "JoinParameters":
         """Build parameters from ``(θ, τ)`` following the paper's methodology."""
-        return cls(threshold=threshold, decay=decay_for_horizon(threshold, horizon))
+        return cls(threshold=threshold,
+                   decay=decay_for_horizon(threshold, horizon),
+                   backend=backend)
+
+    def create_join(self, algorithm: str = "STR-L2", *, stats=None):
+        """Instantiate a join framework configured with these parameters.
+
+        Convenience wrapper around :func:`repro.core.join.create_join` that
+        carries the threshold, decay and backend choice in one object.
+        """
+        from repro.core.join import create_join
+
+        return create_join(algorithm, self.threshold, self.decay,
+                           stats=stats, backend=self.backend)
 
     def similarity(self, x: SparseVector, y: SparseVector) -> float:
         """Time-dependent similarity of two vectors under these parameters."""

@@ -158,6 +158,22 @@ PROFILES: dict[str, DatasetProfile] = {
         duplicate_window=200,
         description="Micro-blog posts; very sparse, bursty (paper: Tweets).",
     ),
+    "hashtags": DatasetProfile(
+        name="hashtags",
+        num_vectors=10_000,
+        vocabulary_size=3_000,
+        avg_nnz=30.0,
+        nnz_dispersion=0.5,
+        zipf_exponent=1.2,
+        arrival_process="sequential",
+        arrival_rate=1.0,
+        burst_size=8.0,
+        duplicate_probability=0.20,
+        duplicate_noise=0.15,
+        duplicate_window=100,
+        description="Hashtag-like stream: small, highly skewed vocabulary that "
+                    "produces long posting lists (backend hot-path workload).",
+    ),
 }
 
 

@@ -40,6 +40,15 @@ class UnknownAlgorithmError(SSSJError):
     """Raised when an algorithm or index name cannot be resolved."""
 
 
+class UnknownBackendError(SSSJError):
+    """Raised when a compute-backend name cannot be resolved.
+
+    Either the name is not registered at all, or it names an optional
+    backend whose dependency (e.g. NumPy) is not importable in this
+    environment.
+    """
+
+
 class DatasetFormatError(SSSJError):
     """Raised when an on-disk dataset file cannot be parsed."""
 

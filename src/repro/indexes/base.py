@@ -26,6 +26,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections.abc import Iterable
 
+from repro.backends import SimilarityKernel, resolve_kernel
 from repro.core.results import JoinStatistics, SimilarPair
 from repro.core.similarity import validate_decay, validate_threshold
 from repro.core.vector import SparseVector
@@ -46,14 +47,26 @@ __all__ = [
 
 
 class BatchIndex(ABC):
-    """Index over a static dataset, built incrementally vector by vector."""
+    """Index over a static dataset, built incrementally vector by vector.
+
+    ``backend`` selects the compute backend for the hot loops — a name from
+    :func:`repro.backends.available_backends`, ``"auto"``/``None`` for the
+    default, or a ready kernel instance.
+    """
 
     #: Scheme name used in the registry ("INV", "AP", "L2AP", "L2").
     name: str = "abstract"
 
-    def __init__(self, threshold: float, *, stats: JoinStatistics | None = None) -> None:
+    def __init__(self, threshold: float, *, stats: JoinStatistics | None = None,
+                 backend: str | SimilarityKernel | None = None) -> None:
         self.threshold = validate_threshold(threshold)
         self.stats = stats if stats is not None else JoinStatistics()
+        self.kernel = resolve_kernel(backend)
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the compute backend running this index's hot loops."""
+        return self.kernel.name
 
     # -- the three phases ------------------------------------------------------
 
@@ -112,10 +125,17 @@ class StreamingIndex(ABC):
     time_ordered: bool = True
 
     def __init__(self, threshold: float, decay: float, *,
-                 stats: JoinStatistics | None = None) -> None:
+                 stats: JoinStatistics | None = None,
+                 backend: str | SimilarityKernel | None = None) -> None:
         self.threshold = validate_threshold(threshold)
         self.decay = validate_decay(decay)
         self.stats = stats if stats is not None else JoinStatistics()
+        self.kernel = resolve_kernel(backend)
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the compute backend running this index's hot loops."""
+        return self.kernel.name
 
     @abstractmethod
     def process(self, vector: SparseVector) -> list[SimilarPair]:

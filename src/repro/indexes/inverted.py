@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 
+from repro.backends import SimilarityKernel
 from repro.core.results import JoinStatistics, SimilarPair
 from repro.core.similarity import time_horizon
 from repro.core.vector import SparseVector
@@ -36,9 +37,10 @@ class InvertedBatchIndex(BatchIndex):
 
     name = "INV"
 
-    def __init__(self, threshold: float, *, stats: JoinStatistics | None = None) -> None:
-        super().__init__(threshold, stats=stats)
-        self._index = InvertedIndex()
+    def __init__(self, threshold: float, *, stats: JoinStatistics | None = None,
+                 backend: str | SimilarityKernel | None = None) -> None:
+        super().__init__(threshold, stats=stats, backend=backend)
+        self._index = InvertedIndex(self.kernel.new_posting_list)
         self._vectors: dict[int, SparseVector] = {}
 
     @property
@@ -58,15 +60,16 @@ class InvertedBatchIndex(BatchIndex):
         self.stats.max_index_size = max(self.stats.max_index_size, len(self._index))
 
     def candidate_generation(self, vector: SparseVector) -> dict[int, float]:
-        scores: dict[int, float] = {}
         stats = self.stats
+        kernel = self.kernel
+        accumulator = kernel.new_accumulator()
         for dim, value in vector:
             posting_list = self._index.get(dim)
             if posting_list is None:
                 continue
-            for entry in posting_list:
-                stats.entries_traversed += 1
-                scores[entry.vector_id] = scores.get(entry.vector_id, 0.0) + value * entry.value
+            stats.entries_traversed += kernel.scan_inv_batch(
+                posting_list, value, accumulator)
+        scores = accumulator.candidates()
         stats.candidates_generated += len(scores)
         return scores
 
@@ -90,10 +93,11 @@ class InvertedStreamingIndex(StreamingIndex):
     time_ordered = True
 
     def __init__(self, threshold: float, decay: float, *,
-                 stats: JoinStatistics | None = None) -> None:
-        super().__init__(threshold, decay, stats=stats)
+                 stats: JoinStatistics | None = None,
+                 backend: str | SimilarityKernel | None = None) -> None:
+        super().__init__(threshold, decay, stats=stats, backend=backend)
         self.horizon = time_horizon(threshold, decay)
-        self._index = InvertedIndex()
+        self._index = InvertedIndex(self.kernel.new_posting_list)
 
     @property
     def size(self) -> int:
@@ -106,28 +110,22 @@ class InvertedStreamingIndex(StreamingIndex):
         threshold = self.threshold
         decay = self.decay
 
-        # -- CG: accumulate exact dot products from the time-ordered lists.
-        scores: dict[int, float] = {}
-        arrival: dict[int, float] = {}
+        # -- CG: accumulate exact dot products from the time-ordered lists,
+        # truncating the expired head of each list (lazy time filtering).
+        kernel = self.kernel
+        accumulator = kernel.new_accumulator()
         for dim, value in vector:
             posting_list = self._index.get(dim)
             if posting_list is None:
                 continue
-            alive = 0
-            for entry in posting_list.iter_newest_first():
-                if entry.timestamp < cutoff:
-                    # Everything older than this entry is also expired:
-                    # truncate the head of the list (lazy time filtering).
-                    break
-                stats.entries_traversed += 1
-                alive += 1
-                candidate_id = entry.vector_id
-                scores[candidate_id] = scores.get(candidate_id, 0.0) + value * entry.value
-                arrival.setdefault(candidate_id, entry.timestamp)
-            removed = posting_list.keep_newest(alive)
+            traversed, removed = kernel.scan_inv_stream(
+                posting_list, value, cutoff, accumulator)
+            stats.entries_traversed += traversed
             if removed:
                 self._index.note_removed(removed)
                 stats.entries_pruned += removed
+        scores = accumulator.candidates()
+        arrival = accumulator.arrivals()
         stats.candidates_generated += len(scores)
 
         # -- CV: apply the time decay and the threshold.

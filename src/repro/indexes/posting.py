@@ -6,15 +6,20 @@ is the triple ``(ι(x), x_j, ‖x'_j‖)`` (the prefix norm is only used by the
 ℓ₂-based schemes); the streaming variants additionally need the arrival
 time ``t(x)`` to apply time filtering, so entries carry four fields.
 
-Posting lists are backed by :class:`~repro.indexes.circular.CircularBuffer`
-(Section 6.2).  Time-ordered lists (INV, L2) support the backward scan with
-head truncation; unordered lists (L2AP after re-indexing) are compacted by
-rewriting their content.
+The *layout* of a posting list belongs to the compute backend: the
+reference backend's :class:`PostingList` (defined here) is backed by
+:class:`~repro.indexes.circular.CircularBuffer` (Section 6.2), while the
+NumPy backend supplies contiguous-array lists with the same interface
+(:class:`repro.backends.numpy_backend.ArrayPostingList`).
+:class:`InvertedIndex` is layout-agnostic — it takes a posting-list
+factory, usually a kernel's ``new_posting_list``.  Time-ordered lists
+(INV, L2) support the backward scan with head truncation; unordered lists
+(L2AP after re-indexing) are compacted by rewriting their content.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 
 from repro.indexes.circular import CircularBuffer
@@ -98,13 +103,19 @@ class PostingList:
 
 
 class InvertedIndex:
-    """Collection of posting lists keyed by dimension id."""
+    """Collection of posting lists keyed by dimension id.
 
-    __slots__ = ("_lists", "_total_entries")
+    ``list_factory`` controls the posting-list layout; it defaults to the
+    reference ring-buffer :class:`PostingList` and is normally a compute
+    kernel's ``new_posting_list``.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_lists", "_total_entries", "_list_factory")
+
+    def __init__(self, list_factory: Callable[[], "PostingList"] | None = None) -> None:
         self._lists: dict[int, PostingList] = {}
         self._total_entries = 0
+        self._list_factory = list_factory if list_factory is not None else PostingList
 
     def __len__(self) -> int:
         """Total number of postings across every list."""
@@ -125,7 +136,7 @@ class InvertedIndex:
         """Posting list for ``dim``, creating it on first use."""
         posting_list = self._lists.get(dim)
         if posting_list is None:
-            posting_list = PostingList()
+            posting_list = self._list_factory()
             self._lists[dim] = posting_list
         return posting_list
 

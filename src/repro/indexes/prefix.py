@@ -19,6 +19,12 @@ implements the streaming counterparts (Algorithms 6–8) including time
 filtering, decayed bounds and — when the AP bounds are enabled — the
 re-indexing procedure of Section 5.3.
 
+The per-posting inner loops (accumulation, time filtering, the ``l2bound``
+and ``sz1`` checks) are delegated to the configured compute backend's
+:class:`~repro.backends.base.SimilarityKernel`; this module keeps the
+algorithmic driver — bound maintenance across query positions, the
+residual/``Q`` store, re-indexing — which is identical for every backend.
+
 The concrete classes in :mod:`repro.indexes.allpairs`, :mod:`repro.indexes.l2ap`
 and :mod:`repro.indexes.l2` are thin subclasses that fix the flags.
 """
@@ -27,16 +33,13 @@ from __future__ import annotations
 
 import math
 
+from repro.backends import SimilarityKernel
 from repro.core.results import JoinStatistics, SimilarPair
 from repro.core.similarity import time_horizon
 from repro.core.vector import SparseVector
 from repro.exceptions import InvalidParameterError
 from repro.indexes.base import BatchIndex, StreamingIndex
-from repro.indexes.bounds import (
-    compute_indexing_split,
-    size_filter_threshold,
-    verification_bounds,
-)
+from repro.indexes.bounds import compute_indexing_split, size_filter_threshold
 from repro.indexes.maxvector import DecayedMaxVector, MaxVector
 from repro.indexes.posting import InvertedIndex, PostingEntry
 from repro.indexes.residual import ResidualEntry, ResidualIndex
@@ -60,16 +63,20 @@ class PrefixFilterBatchIndex(BatchIndex):
         and the current window (Section 6.1).  When omitted with ``use_ap``
         enabled, the index maintains ``m`` online from the vectors it sees,
         which is only correct if queries never exceed the indexed maxima.
+    backend:
+        Compute backend for the hot loops (see :mod:`repro.backends`).
     """
 
     use_ap: bool = True
     use_l2: bool = True
 
     def __init__(self, threshold: float, *, stats: JoinStatistics | None = None,
-                 max_vector: MaxVector | None = None) -> None:
-        super().__init__(threshold, stats=stats)
-        self._index = InvertedIndex()
+                 max_vector: MaxVector | None = None,
+                 backend: str | SimilarityKernel | None = None) -> None:
+        super().__init__(threshold, stats=stats, backend=backend)
+        self._index = InvertedIndex(self.kernel.new_posting_list)
         self._residual = ResidualIndex()
+        self._size_filter = self.kernel.new_size_filter()
         self._max_query = max_vector            # m  (bounds future queries)
         self._max_indexed = MaxVector()         # m̂  (maxima of indexed data)
 
@@ -103,6 +110,7 @@ class PrefixFilterBatchIndex(BatchIndex):
         self._residual.add(ResidualEntry(
             vector=vector, boundary=split.boundary, pscore=split.pscore,
         ))
+        self._size_filter.set(vector.vector_id, len(vector) * vector.max_value)
         for position in range(split.boundary, len(vector)):
             dim = vector.dims[position]
             self._index.add(dim, PostingEntry(
@@ -125,8 +133,8 @@ class PrefixFilterBatchIndex(BatchIndex):
     def candidate_generation(self, vector: SparseVector) -> dict[int, float]:
         stats = self.stats
         threshold = self.threshold
-        scores: dict[int, float] = {}
-        pruned: set[int] = set()
+        kernel = self.kernel
+        accumulator = kernel.new_accumulator()
 
         sz1 = size_filter_threshold(threshold, vector.max_value) if self.use_ap else 0.0
         rs1 = self._max_indexed.dot(vector) if self.use_ap else _INF
@@ -138,35 +146,19 @@ class PrefixFilterBatchIndex(BatchIndex):
             value = vector.values[position]
             posting_list = self._index.get(dim)
             if posting_list is not None:
-                query_prefix_norm = vector.prefix_norm_before(position)
-                remscore = min(rs1, rs2)
-                admit_new = remscore >= threshold
-                for entry in posting_list:
-                    stats.entries_traversed += 1
-                    candidate_id = entry.vector_id
-                    if candidate_id in pruned:
-                        continue
-                    started = candidate_id in scores
-                    if not started and not admit_new:
-                        continue
-                    if self.use_ap and not started:
-                        candidate_meta = self._residual.get(candidate_id)
-                        if candidate_meta is not None and candidate_meta.size_filter_value < sz1:
-                            continue
-                    accumulated = scores.get(candidate_id, 0.0) + value * entry.value
-                    if self.use_l2:
-                        l2bound = accumulated + query_prefix_norm * entry.prefix_norm
-                        if l2bound < threshold:
-                            scores.pop(candidate_id, None)
-                            pruned.add(candidate_id)
-                            continue
-                    scores[candidate_id] = accumulated
+                admit_new = min(rs1, rs2) >= threshold
+                stats.entries_traversed += kernel.scan_prefix_batch(
+                    posting_list, value, vector.prefix_norm_before(position),
+                    admit_new, threshold, self.use_ap, self.use_l2,
+                    sz1, self._size_filter, accumulator,
+                )
             if self.use_ap:
                 rs1 -= value * self._max_indexed.get(dim)
             rst -= value * value
             if self.use_l2:
                 rs2 = math.sqrt(max(rst, 0.0))
 
+        scores = accumulator.candidates()
         stats.candidates_generated += len(scores)
         return scores
 
@@ -175,20 +167,8 @@ class PrefixFilterBatchIndex(BatchIndex):
     def candidate_verification(
         self, vector: SparseVector, candidates: dict[int, float]
     ) -> list[tuple[SparseVector, float]]:
-        stats = self.stats
-        threshold = self.threshold
-        matches: list[tuple[SparseVector, float]] = []
-        for candidate_id, accumulated in candidates.items():
-            entry = self._residual.get(candidate_id)
-            if entry is None:  # pragma: no cover - defensive; indexed vectors have entries
-                continue
-            ps1, ds1, sz2 = verification_bounds(accumulated, vector, entry)
-            if ps1 >= threshold and ds1 >= threshold and sz2 >= threshold:
-                stats.full_similarities += 1
-                score = accumulated + entry.residual_dot(vector)
-                if score >= threshold:
-                    matches.append((entry.vector, score))
-        return matches
+        return self.kernel.verify_batch(
+            vector, candidates, self._residual, self.threshold, self.stats)
 
 
 class PrefixFilterStreamingIndex(StreamingIndex):
@@ -206,8 +186,9 @@ class PrefixFilterStreamingIndex(StreamingIndex):
     use_l2: bool = True
 
     def __init__(self, threshold: float, decay: float, *,
-                 stats: JoinStatistics | None = None) -> None:
-        super().__init__(threshold, decay, stats=stats)
+                 stats: JoinStatistics | None = None,
+                 backend: str | SimilarityKernel | None = None) -> None:
+        super().__init__(threshold, decay, stats=stats, backend=backend)
         if decay <= 0:
             raise InvalidParameterError(
                 "the streaming indexes require a strictly positive decay rate; "
@@ -216,8 +197,9 @@ class PrefixFilterStreamingIndex(StreamingIndex):
             )
         self.horizon = time_horizon(threshold, decay)
         self.time_ordered = not self.use_ap
-        self._index = InvertedIndex()
+        self._index = InvertedIndex(self.kernel.new_posting_list)
         self._residual = ResidualIndex()
+        self._size_filter = self.kernel.new_size_filter()
         self._max_query = MaxVector() if self.use_ap else None          # m
         self._max_decayed = DecayedMaxVector(decay) if self.use_ap else None  # m̂^λ
 
@@ -240,7 +222,8 @@ class PrefixFilterStreamingIndex(StreamingIndex):
 
         # Time filtering of the residual/Q store: entries are in arrival
         # order, so eviction pops from the head (Section 6.2).
-        self._residual.evict_older_than(cutoff)
+        for evicted in self._residual.evict_older_than(cutoff):
+            self._size_filter.discard(evicted.vector_id)
 
         # Maintaining the AP invariant must happen before candidate
         # generation: if the new vector raises the maximum of a dimension,
@@ -270,8 +253,8 @@ class PrefixFilterStreamingIndex(StreamingIndex):
         threshold = self.threshold
         decay = self.decay
         now = vector.timestamp
-        scores: dict[int, float] = {}
-        pruned: set[int] = set()
+        kernel = self.kernel
+        accumulator = kernel.new_accumulator()
 
         sz1 = size_filter_threshold(threshold, vector.max_value) if self.use_ap else 0.0
         rs1 = self._max_decayed.dot(vector) if self.use_ap else _INF
@@ -283,32 +266,13 @@ class PrefixFilterStreamingIndex(StreamingIndex):
             value = vector.values[position]
             posting_list = self._index.get(dim)
             if posting_list is not None and len(posting_list):
-                query_prefix_norm = vector.prefix_norm_before(position)
-                if self.time_ordered:
-                    # Backward scan: stop at the first expired posting and
-                    # truncate the head.  Only live postings count as
-                    # traversed — the expired sentinel is charged to pruning.
-                    alive = 0
-                    for entry in posting_list.iter_newest_first():
-                        if entry.timestamp < cutoff:
-                            break
-                        stats.entries_traversed += 1
-                        alive += 1
-                        self._accumulate(entry, value, query_prefix_norm, now,
-                                         rs1, rs2, sz1, scores, pruned)
-                    removed = posting_list.keep_newest(alive)
-                else:
-                    kept: list[PostingEntry] = []
-                    for entry in posting_list:
-                        stats.entries_traversed += 1
-                        if entry.timestamp < cutoff:
-                            continue
-                        kept.append(entry)
-                        self._accumulate(entry, value, query_prefix_norm, now,
-                                         rs1, rs2, sz1, scores, pruned)
-                    removed = len(posting_list) - len(kept)
-                    if removed:
-                        posting_list.replace_all_entries(kept)
+                traversed, removed = kernel.scan_prefix_stream(
+                    posting_list, value, vector.prefix_norm_before(position),
+                    now, cutoff, decay, rs1, rs2, sz1, threshold,
+                    self.use_ap, self.use_l2, self.time_ordered,
+                    self._size_filter, accumulator,
+                )
+                stats.entries_traversed += traversed
                 if removed:
                     self._index.note_removed(removed)
                     stats.entries_pruned += removed
@@ -318,63 +282,17 @@ class PrefixFilterStreamingIndex(StreamingIndex):
             if self.use_l2:
                 rs2 = math.sqrt(max(rst, 0.0))
 
+        scores = accumulator.candidates()
         stats.candidates_generated += len(scores)
         return scores
-
-    def _accumulate(self, entry: PostingEntry, value: float, query_prefix_norm: float,
-                    now: float, rs1: float, rs2: float, sz1: float,
-                    scores: dict[int, float], pruned: set[int]) -> None:
-        """Per-posting accumulation with the decayed bounds of Algorithm 7."""
-        threshold = self.threshold
-        candidate_id = entry.vector_id
-        if candidate_id in pruned:
-            return
-        delta = now - entry.timestamp
-        decay_factor = math.exp(-self.decay * delta)
-        started = candidate_id in scores
-        if not started:
-            remscore = min(rs1, rs2 * decay_factor)
-            if remscore < threshold:
-                return
-            if self.use_ap:
-                candidate_meta = self._residual.get(candidate_id)
-                if candidate_meta is not None and candidate_meta.size_filter_value < sz1:
-                    return
-        accumulated = scores.get(candidate_id, 0.0) + value * entry.value
-        if self.use_l2:
-            l2bound = accumulated + query_prefix_norm * entry.prefix_norm * decay_factor
-            if l2bound < threshold:
-                scores.pop(candidate_id, None)
-                pruned.add(candidate_id)
-                return
-        scores[candidate_id] = accumulated
 
     # -- CV (Algorithm 8) ---------------------------------------------------------
 
     def _candidate_verification(self, vector: SparseVector,
                                 candidates: dict[int, float]) -> list[SimilarPair]:
-        stats = self.stats
-        threshold = self.threshold
-        now = vector.timestamp
-        pairs: list[SimilarPair] = []
-        for candidate_id, accumulated in candidates.items():
-            entry = self._residual.get(candidate_id)
-            if entry is None:  # pragma: no cover - defensive
-                continue
-            delta = now - entry.timestamp
-            decay_factor = math.exp(-self.decay * delta)
-            ps1, ds1, sz2 = verification_bounds(accumulated, vector, entry)
-            if (ps1 * decay_factor >= threshold and ds1 * decay_factor >= threshold
-                    and sz2 * decay_factor >= threshold):
-                stats.full_similarities += 1
-                dot = accumulated + entry.residual_dot(vector)
-                similarity = dot * decay_factor
-                if similarity >= threshold:
-                    pairs.append(SimilarPair.make(
-                        vector.vector_id, candidate_id, similarity,
-                        time_delta=delta, dot=dot, reported_at=now,
-                    ))
-        return pairs
+        return self.kernel.verify_stream(
+            vector, candidates, self._residual, self.threshold, self.decay,
+            vector.timestamp, self.stats)
 
     # -- IC (Algorithm 6, lines 6-14) ----------------------------------------------
 
@@ -389,6 +307,7 @@ class PrefixFilterStreamingIndex(StreamingIndex):
         self._residual.add(ResidualEntry(
             vector=vector, boundary=split.boundary, pscore=split.pscore,
         ))
+        self._size_filter.set(vector.vector_id, len(vector) * vector.max_value)
         for position in range(split.boundary, len(vector)):
             dim = vector.dims[position]
             self._index.add(dim, PostingEntry(
@@ -442,4 +361,5 @@ class PrefixFilterStreamingIndex(StreamingIndex):
                 stats.reindexed_entries += 1
                 stats.entries_indexed += 1
             freed_dims = entry.shrink_to(split.boundary, split.pscore)
+            self._residual.note_residual_shrunk(len(freed_dims))
             self._residual.forget_residual_dimension(candidate_id, freed_dims)

@@ -35,6 +35,15 @@ class ResidualEntry:
     boundary: int
     pscore: float
     residual: dict[int, float] = field(default_factory=dict)
+    #: Backend-owned cache of the residual coordinates in array form
+    #: (built lazily by the vectorised kernels, invalidated on mutation).
+    array_cache: object = field(default=None, repr=False, compare=False)
+    #: Lazily computed ``(vm_{x'}, Σx')`` pair; candidate verification reads
+    #: these once per candidate, so they must not be recomputed from the
+    #: dictionary every time.  Mutate ``residual`` only through
+    #: :meth:`shrink_to` / :meth:`set_residual`, which invalidate the cache.
+    _stats_cache: tuple[float, float] | None = field(
+        default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.residual and self.boundary > 0:
@@ -50,20 +59,34 @@ class ResidualEntry:
     def timestamp(self) -> float:
         return self.vector.timestamp
 
+    def _stats(self) -> tuple[float, float]:
+        cached = self._stats_cache
+        if cached is None:
+            cached = (max(self.residual.values(), default=0.0),
+                      sum(self.residual.values()))
+            self._stats_cache = cached
+        return cached
+
     @property
     def residual_max(self) -> float:
         """``vm_{x'}`` — the largest residual coordinate (0 when empty)."""
-        return max(self.residual.values(), default=0.0)
+        return self._stats()[0]
 
     @property
     def residual_sum(self) -> float:
         """``Σ x'`` — sum of the residual coordinates."""
-        return sum(self.residual.values())
+        return self._stats()[1]
 
     @property
     def residual_size(self) -> int:
         """``|x'|`` — number of residual coordinates."""
         return len(self.residual)
+
+    def set_residual(self, residual: dict[int, float]) -> None:
+        """Replace the residual prefix, refreshing the cached statistics."""
+        self.residual = residual
+        self._stats_cache = None
+        self.array_cache = None
 
     @property
     def size_filter_value(self) -> float:
@@ -93,18 +116,23 @@ class ResidualEntry:
             self.residual.pop(dim, None)
         self.boundary = new_boundary
         self.pscore = new_pscore
+        self.array_cache = None
+        self._stats_cache = None
         return freed
 
 
 class ResidualIndex:
     """The ``R``/``Q`` store with horizon-based eviction and a dimension map."""
 
-    __slots__ = ("_entries", "_by_dimension")
+    __slots__ = ("_entries", "_by_dimension", "_total_residual")
 
     def __init__(self) -> None:
         self._entries: LinkedHashMap[int, ResidualEntry] = LinkedHashMap()
         # dim -> set of vector ids whose residual has a non-zero value on dim
         self._by_dimension: dict[int, set[int]] = {}
+        # Running total of residual coordinates; the streaming driver reads
+        # it after every item, so it must not be recomputed by scanning.
+        self._total_residual = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -120,11 +148,12 @@ class ResidualIndex:
 
     def total_residual_coordinates(self) -> int:
         """Total number of coordinates currently held in residual prefixes."""
-        return sum(entry.residual_size for entry in self._entries.values())
+        return self._total_residual
 
     def add(self, entry: ResidualEntry) -> None:
         """Register a newly indexed vector (insertion order = arrival order)."""
         self._entries[entry.vector_id] = entry
+        self._total_residual += entry.residual_size
         for dim in entry.residual:
             self._by_dimension.setdefault(dim, set()).add(entry.vector_id)
 
@@ -144,6 +173,12 @@ class ResidualIndex:
                 if not bucket:
                     del self._by_dimension[dim]
 
+    def note_residual_shrunk(self, count: int) -> None:
+        """Adjust the coordinate total after re-indexing shrank a residual."""
+        self._total_residual -= count
+        if self._total_residual < 0:  # defensive; should never happen
+            self._total_residual = 0
+
     def evict_older_than(self, cutoff: float) -> list[ResidualEntry]:
         """Remove entries whose vector arrived before ``cutoff`` (time filtering)."""
         evicted = self._entries.evict_while(
@@ -151,9 +186,13 @@ class ResidualIndex:
         )
         removed_entries = [entry for _, entry in evicted]
         for entry in removed_entries:
+            self._total_residual -= entry.residual_size
             self.forget_residual_dimension(entry.vector_id, list(entry.residual))
+        if self._total_residual < 0:  # defensive; should never happen
+            self._total_residual = 0
         return removed_entries
 
     def clear(self) -> None:
         self._entries.clear()
         self._by_dimension.clear()
+        self._total_residual = 0

@@ -1,0 +1,380 @@
+"""Equivalence and property coverage for the compute-backend subsystem.
+
+The NumPy backend must be a drop-in replacement for the pure-Python
+reference backend: identical :class:`SimilarPair` output (keys *and*
+similarity values), identical operation counters, and posting lists with
+identical observable behaviour.  These tests enforce that on the dataset
+profiles and with hypothesis-generated adversarial inputs.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    SparseVector,
+    UnknownBackendError,
+    all_pairs,
+    available_backends,
+    brute_force_all_pairs,
+    brute_force_time_dependent,
+    create_join,
+    default_backend,
+    sliding_window_join,
+)
+from repro.backends import get_backend, resolve_kernel
+from repro.core.results import JoinStatistics
+from repro.core.similarity import JoinParameters
+from repro.indexes.posting import PostingEntry, PostingList
+from tests.conftest import random_vectors
+
+numpy_missing = "numpy" not in available_backends()
+needs_numpy = pytest.mark.skipif(numpy_missing, reason="NumPy backend unavailable")
+
+STREAMING_ALGORITHMS = ["STR-INV", "STR-L2", "STR-L2AP", "STR-AP"]
+MINIBATCH_ALGORITHMS = ["MB-INV", "MB-L2", "MB-L2AP", "MB-AP"]
+BATCH_INDEXES = ["INV", "AP", "L2", "L2AP"]
+
+
+def run_pairs(algorithm, vectors, threshold, decay, backend):
+    stats = JoinStatistics()
+    join = create_join(algorithm, threshold, decay, stats=stats, backend=backend)
+    pairs = {pair.key: pair for pair in join.run(vectors)}
+    return pairs, stats
+
+
+def assert_backend_parity(algorithm, vectors, threshold, decay):
+    reference, reference_stats = run_pairs(algorithm, vectors, threshold, decay,
+                                           "python")
+    vectorized, vectorized_stats = run_pairs(algorithm, vectors, threshold, decay,
+                                             "numpy")
+    assert set(vectorized) == set(reference)
+    for key, pair in reference.items():
+        other = vectorized[key]
+        assert other.similarity == pair.similarity
+        assert other.dot == pair.dot
+        assert other.time_delta == pair.time_delta
+    # The kernels must traverse, admit and verify exactly the same entries.
+    assert vectorized_stats.entries_traversed == reference_stats.entries_traversed
+    assert vectorized_stats.candidates_generated == reference_stats.candidates_generated
+    assert vectorized_stats.full_similarities == reference_stats.full_similarities
+    assert vectorized_stats.entries_pruned == reference_stats.entries_pruned
+    return reference
+
+
+@needs_numpy
+class TestJoinEquivalence:
+    """Pair-for-pair parity on the paper-shaped profile corpora."""
+
+    @pytest.mark.parametrize("algorithm", STREAMING_ALGORITHMS + MINIBATCH_ALGORITHMS)
+    def test_tweets_profile(self, tweets_corpus, algorithm):
+        pairs = assert_backend_parity(algorithm, tweets_corpus, 0.6, 0.05)
+        expected = {p.key for p in brute_force_time_dependent(tweets_corpus, 0.6, 0.05)}
+        assert set(pairs) == expected
+
+    @pytest.mark.parametrize("algorithm", STREAMING_ALGORITHMS + MINIBATCH_ALGORITHMS)
+    def test_rcv1_profile(self, rcv1_corpus, algorithm):
+        assert_backend_parity(algorithm, rcv1_corpus, 0.7, 0.02)
+
+    @pytest.mark.parametrize("algorithm", ["STR-L2", "STR-L2AP"])
+    def test_near_threshold_parameters(self, tweets_corpus, algorithm):
+        # A high threshold with slow decay stresses the decayed bounds.
+        assert_backend_parity(algorithm, tweets_corpus, 0.9, 0.001)
+
+    def test_reindexing_heavy_stream(self):
+        # Growing maxima force frequent STR-L2AP re-indexing, exercising the
+        # unordered (compacting) posting-list scans on both backends.
+        vectors = [
+            SparseVector(index, float(index),
+                         {dim: 1.0 + 0.05 * index for dim in range(index % 7, index % 7 + 4)})
+            for index in range(120)
+        ]
+        assert_backend_parity("STR-L2AP", vectors, 0.6, 0.02)
+
+    @pytest.mark.parametrize("algorithm", ["STR-INV", "STR-L2", "STR-L2AP"])
+    def test_long_posting_lists_use_vectorised_scans(self, algorithm):
+        # Every vector shares the same six dimensions, so the posting lists
+        # grow far past the NumPy backend's scalar-scan cutoff and the fully
+        # vectorised kernels (not just the short-list fast path) are covered.
+        vectors = [
+            SparseVector(index, index * 0.01,
+                         {dim: 1.0 + ((index * 7 + dim) % 5) * 0.1
+                          for dim in range(6)})
+            for index in range(150)
+        ]
+        assert_backend_parity(algorithm, vectors, 0.5, 0.001)
+
+    @pytest.mark.slow
+    def test_hot_path_profile_equivalence(self):
+        from repro.datasets.generator import generate_profile_corpus
+
+        vectors = generate_profile_corpus("hashtags", num_vectors=1200, seed=7)
+        assert_backend_parity("STR-L2AP", vectors, 0.6, 2e-5)
+        assert_backend_parity("STR-L2", vectors, 0.6, 2e-5)
+
+
+@needs_numpy
+class TestBatchAndBaselineEquivalence:
+    @pytest.mark.parametrize("index", BATCH_INDEXES)
+    def test_all_pairs(self, rcv1_corpus, index):
+        reference = {p.key: p.similarity
+                     for p in all_pairs(rcv1_corpus, 0.7, index=index, backend="python")}
+        vectorized = {p.key: p.similarity
+                      for p in all_pairs(rcv1_corpus, 0.7, index=index, backend="numpy")}
+        assert vectorized == reference
+
+    def test_brute_force(self, small_random_stream):
+        reference = {p.key: p.similarity
+                     for p in brute_force_all_pairs(small_random_stream, 0.6,
+                                                    backend="python")}
+        vectorized = {p.key: p.similarity
+                      for p in brute_force_all_pairs(small_random_stream, 0.6,
+                                                     backend="numpy")}
+        assert vectorized == reference
+
+    def test_brute_force_time_dependent(self, small_random_stream):
+        reference = {p.key: p.similarity
+                     for p in brute_force_time_dependent(small_random_stream, 0.6,
+                                                         0.05, backend="python")}
+        vectorized = {p.key: p.similarity
+                      for p in brute_force_time_dependent(small_random_stream, 0.6,
+                                                          0.05, backend="numpy")}
+        assert vectorized == reference
+
+    def test_sliding_window(self, small_random_stream):
+        reference = {p.key: p.similarity
+                     for p in sliding_window_join(small_random_stream, 0.6, 0.05,
+                                                  backend="python")}
+        vectorized = {p.key: p.similarity
+                      for p in sliding_window_join(small_random_stream, 0.6, 0.05,
+                                                   backend="numpy")}
+        assert vectorized == reference
+
+
+class TestBackendSelection:
+    def test_python_backend_always_available(self):
+        assert "python" in available_backends()
+
+    def test_default_backend_prefers_numpy(self):
+        override = os.environ.get("SSSJ_BACKEND", "").strip().lower()
+        if override and override != "auto":
+            assert default_backend() == override
+        elif numpy_missing:
+            assert default_backend() == "python"
+        else:
+            assert default_backend() == "numpy"
+
+    def test_auto_resolves_to_default(self):
+        assert get_backend("auto").name == default_backend()
+        assert get_backend(None).name == default_backend()
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(UnknownBackendError):
+            get_backend("fortran")
+
+    def test_env_var_override(self):
+        code = (
+            "import repro; import sys; "
+            "sys.exit(0 if repro.default_backend() == 'python' else 1)"
+        )
+        env = dict(os.environ, SSSJ_BACKEND="python",
+                   PYTHONPATH="src" + os.pathsep + os.environ.get("PYTHONPATH", ""))
+        result = subprocess.run([sys.executable, "-c", code], env=env,
+                                cwd=os.path.dirname(os.path.dirname(__file__)))
+        assert result.returncode == 0
+
+    def test_join_reports_backend(self):
+        join = create_join("STR-L2", 0.7, 0.1, backend="python")
+        assert join.backend_name == "python"
+        assert join.index.backend_name == "python"
+
+    def test_join_parameters_carry_backend(self):
+        params = JoinParameters(threshold=0.7, decay=0.1, backend="PYTHON")
+        assert params.backend == "python"
+        join = params.create_join("STR-L2")
+        assert join.threshold == 0.7
+        assert join.backend_name == "python"
+
+    def test_kernel_resolution_accepts_instance(self):
+        kernel = get_backend("python")()
+        assert resolve_kernel(kernel) is kernel
+
+
+# ---------------------------------------------------------------------------
+# Property tests for the vectorised kernels and the array posting lists.
+
+
+entry_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),          # vector id
+        st.floats(min_value=0.01, max_value=1.0),        # value
+        st.floats(min_value=0.0, max_value=1.0),         # prefix norm
+        st.floats(min_value=0.0, max_value=100.0),       # timestamp
+    ),
+    max_size=80,
+)
+
+
+def build_lists(raw, *, time_ordered):
+    """Build one reference and one array posting list with identical content."""
+    from repro.backends.numpy_backend import NumpyKernel
+
+    if time_ordered:
+        raw = sorted(raw, key=lambda item: item[3])
+    entries = [PostingEntry(vector_id=vid, value=val, prefix_norm=norm,
+                            timestamp=ts)
+               for vid, val, norm, ts in raw]
+    reference = PostingList()
+    vectorized = NumpyKernel().new_posting_list()
+    for entry in entries:
+        reference.append(entry)
+        vectorized.append(entry)
+    return reference, vectorized
+
+
+@needs_numpy
+class TestArrayPostingListProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(raw=entry_lists)
+    def test_iteration_matches_reference(self, raw):
+        reference, vectorized = build_lists(raw, time_ordered=False)
+        assert list(vectorized) == list(reference)
+        assert (list(vectorized.iter_newest_first())
+                == list(reference.iter_newest_first()))
+        assert len(vectorized) == len(reference)
+
+    @settings(max_examples=40, deadline=None)
+    @given(raw=entry_lists, cutoff=st.floats(min_value=-1.0, max_value=101.0))
+    def test_truncate_older_than(self, raw, cutoff):
+        reference, vectorized = build_lists(raw, time_ordered=True)
+        assert vectorized.truncate_older_than(cutoff) == reference.truncate_older_than(cutoff)
+        assert list(vectorized) == list(reference)
+
+    @settings(max_examples=40, deadline=None)
+    @given(raw=entry_lists, cutoff=st.floats(min_value=-1.0, max_value=101.0))
+    def test_compact(self, raw, cutoff):
+        reference, vectorized = build_lists(raw, time_ordered=False)
+        assert vectorized.compact(cutoff) == reference.compact(cutoff)
+        assert list(vectorized) == list(reference)
+
+    @settings(max_examples=40, deadline=None)
+    @given(raw=entry_lists, keep=st.integers(min_value=0, max_value=90))
+    def test_keep_newest(self, raw, keep):
+        reference, vectorized = build_lists(raw, time_ordered=True)
+        assert vectorized.keep_newest(keep) == reference.keep_newest(keep)
+        assert list(vectorized) == list(reference)
+
+    @settings(max_examples=20, deadline=None)
+    @given(raw=entry_lists)
+    def test_replace_all_entries(self, raw):
+        reference, vectorized = build_lists(raw, time_ordered=False)
+        replacement = list(reference)[::2]
+        reference.replace_all_entries(replacement)
+        vectorized.replace_all_entries(replacement)
+        assert list(vectorized) == list(reference)
+
+
+sparse_streams = st.lists(
+    st.dictionaries(st.integers(min_value=0, max_value=25),
+                    st.floats(min_value=0.05, max_value=1.0),
+                    min_size=1, max_size=6),
+    min_size=2, max_size=30,
+)
+
+
+@needs_numpy
+class TestKernelProperties:
+    """End-to-end kernel parity on adversarial hypothesis streams."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(entries=sparse_streams,
+           threshold=st.floats(min_value=0.3, max_value=0.95),
+           decay=st.floats(min_value=0.01, max_value=0.5))
+    def test_streaming_parity(self, entries, threshold, decay):
+        vectors = [SparseVector(index, float(index), coords)
+                   for index, coords in enumerate(entries)]
+        for algorithm in ("STR-L2", "STR-L2AP", "STR-INV"):
+            reference, _ = run_pairs(algorithm, vectors, threshold, decay, "python")
+            vectorized, _ = run_pairs(algorithm, vectors, threshold, decay, "numpy")
+            assert set(vectorized) == set(reference)
+            for key, pair in reference.items():
+                assert math.isclose(vectorized[key].similarity, pair.similarity,
+                                    rel_tol=1e-12, abs_tol=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(entries=sparse_streams,
+           threshold=st.floats(min_value=0.3, max_value=0.95))
+    def test_batch_parity(self, entries, threshold):
+        vectors = [SparseVector(index, float(index), coords)
+                   for index, coords in enumerate(entries)]
+        reference = {p.key: p.similarity
+                     for p in all_pairs(vectors, threshold, backend="python")}
+        vectorized = {p.key: p.similarity
+                      for p in all_pairs(vectors, threshold, backend="numpy")}
+        assert vectorized == reference
+
+
+@needs_numpy
+class TestCheckpointAcrossBackends:
+    def test_checkpoint_roundtrip_records_backend(self, tmp_path):
+        from repro import load_checkpoint, save_checkpoint
+
+        vectors = random_vectors(60, seed=5)
+        join = create_join("STR-L2", 0.6, 0.05, backend="numpy")
+        midpoint = len(vectors) // 2
+        for vector in vectors[:midpoint]:
+            join.process(vector)
+        path = save_checkpoint(join, tmp_path / "join.ckpt")
+        resumed = load_checkpoint(path)
+        assert resumed.index.backend_name == "numpy"
+        rest = [pair.key for vector in vectors[midpoint:]
+                for pair in resumed.process(vector)]
+        fresh = create_join("STR-L2", 0.6, 0.05, backend="python")
+        expected = []
+        for index, vector in enumerate(vectors):
+            keys = [pair.key for pair in fresh.process(vector)]
+            if index >= midpoint:
+                expected.extend(keys)
+        assert rest == expected
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_resume_preserves_size_filter_counters(self, tmp_path, backend):
+        # Restoring must rebuild the kernel's sz1 size-filter map: a resumed
+        # join has to do exactly the same amount of work (not just produce
+        # the same pairs) as an uninterrupted one.  STR-AP makes sz1 the
+        # binding filter: single-coordinate vectors on the *highest* query
+        # dimensions are admitted by the remaining-score bound (the backward
+        # scan meets them first) and, with no ℓ₂ pruning, only the size
+        # filter rejects them — so a lost map inflates candidates_generated.
+        from repro import load_checkpoint, save_checkpoint
+
+        singles = [SparseVector(index, float(index), {20 + index % 5: 1.0})
+                   for index in range(40)]
+        wide = [SparseVector(100 + index, 40.0 + index,
+                             {dim: 1.0 for dim in range(25)})
+                for index in range(10)]
+        vectors = singles + wide
+        midpoint = len(singles)
+
+        uninterrupted = create_join("STR-AP", 0.8, 0.01, backend=backend)
+        for vector in vectors:
+            uninterrupted.process(vector)
+
+        first = create_join("STR-AP", 0.8, 0.01, backend=backend)
+        for vector in vectors[:midpoint]:
+            first.process(vector)
+        resumed = load_checkpoint(save_checkpoint(first, tmp_path / "l2ap.ckpt"))
+        for vector in vectors[midpoint:]:
+            resumed.process(vector)
+
+        for attribute in ("entries_traversed", "candidates_generated",
+                          "full_similarities", "pairs_output"):
+            assert (getattr(resumed.stats, attribute)
+                    == getattr(uninterrupted.stats, attribute)), attribute

@@ -175,6 +175,7 @@ class TestExperiments:
         assert "density_pct" in result.rows[0]
         assert result.render()
 
+    @pytest.mark.slow
     def test_table2_fractions_are_valid(self):
         result = table2(TINY_SCALE)
         for row in result.rows:
@@ -196,6 +197,7 @@ class TestExperiments:
         for row in result.rows:
             assert row["points"] == len(TINY_SCALE.thetas) * len(TINY_SCALE.decays)
 
+    @pytest.mark.slow
     def test_ablation_bounds_has_all_indexes(self):
         result = ablation_bounds(TINY_SCALE)
         assert {row["indexing"] for row in result.rows} == {"INV", "AP", "L2AP", "L2"}

@@ -29,8 +29,23 @@ class TestCommands:
     def test_profiles(self, capsys):
         assert main(["profiles"]) == 0
         output = capsys.readouterr().out
-        for name in ("webspam", "rcv1", "blogs", "tweets"):
+        for name in ("webspam", "rcv1", "blogs", "tweets", "hashtags"):
             assert name in output
+
+    def test_backends(self, capsys):
+        from repro.backends import available_backends, default_backend
+
+        assert main(["backends"]) == 0
+        output = capsys.readouterr().out
+        for name in available_backends():
+            assert name in output
+        assert default_backend() in output
+
+    def test_run_with_explicit_backend(self, capsys):
+        assert main(["run", "--profile", "tweets", "--num-vectors", "60",
+                     "--algorithm", "STR-L2", "--backend", "python"]) == 0
+        output = capsys.readouterr().out
+        assert "STR-L2[python]" in output
 
     def test_generate_and_stats_and_convert(self, tmp_path, capsys):
         text_path = tmp_path / "corpus.txt"
@@ -79,6 +94,7 @@ class TestCommands:
         assert main(["experiment", "table1", "--scale", "0.3"]) == 0
         assert "table1" in capsys.readouterr().out
 
+    @pytest.mark.slow
     def test_experiment_with_plot(self, capsys):
         assert main(["experiment", "figure8", "--scale", "0.1", "--plot"]) == 0
         output = capsys.readouterr().out

@@ -22,8 +22,11 @@ from repro.exceptions import InvalidParameterError
 
 
 class TestProfiles:
-    def test_four_paper_profiles_exist(self):
-        assert set(available_profiles()) == {"webspam", "rcv1", "blogs", "tweets"}
+    def test_paper_profiles_exist(self):
+        # The four paper corpora plus the synthetic backend hot-path profile.
+        assert set(available_profiles()) == {
+            "webspam", "rcv1", "blogs", "tweets", "hashtags",
+        }
 
     def test_get_profile_is_case_insensitive(self):
         assert get_profile("RCV1").name == "rcv1"

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -9,12 +10,17 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+SRC_DIR = Path(__file__).parent.parent / "src"
 
 
 def run_example(name: str, *extra_args: str) -> subprocess.CompletedProcess:
+    # The examples import repro; make the src layout visible to the child
+    # process even when the test run itself relies on pytest's pythonpath.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
     return subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / name), *extra_args],
-        capture_output=True, text=True, timeout=300,
+        capture_output=True, text=True, timeout=300, env=env,
     )
 
 
