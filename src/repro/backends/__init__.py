@@ -35,11 +35,17 @@ from __future__ import annotations
 
 import os
 
-from repro.backends.base import ScoreAccumulator, SimilarityKernel, SizeFilterMap
+from repro.backends.base import (
+    CandidateSet,
+    ScoreAccumulator,
+    SimilarityKernel,
+    SizeFilterMap,
+)
 from repro.backends.reference import ReferenceKernel
 from repro.exceptions import UnknownBackendError
 
 __all__ = [
+    "CandidateSet",
     "ScoreAccumulator",
     "SimilarityKernel",
     "SizeFilterMap",

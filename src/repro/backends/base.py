@@ -15,11 +15,20 @@ backend can lay both out however its hardware likes:
   lists as growable contiguous arrays and replaces the per-entry loops with
   vectorised array kernels.
 
+Candidates travel from the scan kernels to verification as an opaque
+:class:`CandidateSet` produced by :meth:`ScoreAccumulator.finalize`, so a
+backend can keep them in its native layout end to end: the reference
+backend hands over its insertion-ordered score dictionary, the NumPy
+backend a pair of ``(slots, partial_scores)`` arrays that never round-trip
+through per-candidate Python objects.  ``(id, id, similarity)`` tuples are
+only materialised for the pairs that survive verification.
+
 Both backends must produce the same ``SimilarPair`` output pair for pair;
 ``tests/test_backends.py`` enforces this on every dataset profile.
 
 A kernel instance is **per index**: it may keep cross-call state (the NumPy
-backend interns vector ids into dense slots), so never share one kernel
+backend interns vector ids into dense slots and mirrors per-candidate
+verification metadata in slot-indexed arrays), so never share one kernel
 between two indexes.  Obtain instances through
 :func:`repro.backends.resolve_kernel`.
 """
@@ -33,9 +42,52 @@ from typing import TYPE_CHECKING, Any
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.results import JoinStatistics, SimilarPair
     from repro.core.vector import SparseVector
+    from repro.indexes.bounds import IndexingSplit
+    from repro.indexes.maxvector import MaxVector
     from repro.indexes.residual import ResidualEntry, ResidualIndex
 
-__all__ = ["ScoreAccumulator", "SizeFilterMap", "SimilarityKernel"]
+__all__ = ["CandidateSet", "ScoreAccumulator", "SizeFilterMap", "SimilarityKernel"]
+
+
+class CandidateSet(ABC):
+    """Finalised result of one candidate-generation pass.
+
+    A backend-native, read-only view of the accumulated score table ``C``:
+    the reference backend wraps its insertion-ordered dictionaries, the
+    NumPy backend a pair of slot/score arrays.  The set must be consumed
+    (verified) before the next candidate-generation pass on the same
+    kernel begins — backends may reuse the underlying storage afterwards.
+
+    Candidate order is the order of the first successful accumulation,
+    identical across backends.
+    """
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of candidates that survived the scan filters."""
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    @abstractmethod
+    def to_dict(self) -> dict[int, float]:
+        """Materialise ``{vector_id: partial_dot}`` in candidate order.
+
+        A compatibility/debugging view: the hot verification paths consume
+        the backend-native layout directly and never call this.
+        """
+
+    @abstractmethod
+    def arrivals(self) -> dict[int, float]:
+        """Arrival timestamp of each candidate (streaming INV only)."""
+
+    @abstractmethod
+    def above(self, threshold: float) -> list[tuple[int, float]]:
+        """``(vector_id, score)`` of candidates with ``score >= threshold``.
+
+        Candidate order is preserved.  Used by the batch INV index, whose
+        scan already accumulates the exact dot product.
+        """
 
 
 class ScoreAccumulator(ABC):
@@ -43,20 +95,16 @@ class ScoreAccumulator(ABC):
 
     Create one per candidate-generation pass via
     :meth:`SimilarityKernel.new_accumulator`, feed it to the ``scan_*``
-    kernels, then read the result back with :meth:`candidates`.
+    kernels, then hand the result to verification with :meth:`finalize`.
     """
 
     @abstractmethod
-    def candidates(self) -> dict[int, float]:
-        """Accumulated scores as ``{vector_id: partial_dot}``.
+    def finalize(self) -> CandidateSet:
+        """Freeze the accumulated scores into a :class:`CandidateSet`.
 
-        Iteration order matches the reference backend: candidates appear in
-        the order of their first successful accumulation.
+        Must be called exactly once, after the last ``scan_*`` call of the
+        pass; the accumulator must not be fed to a scan kernel afterwards.
         """
-
-    @abstractmethod
-    def arrivals(self) -> dict[int, float]:
-        """Arrival timestamp of each candidate (streaming INV only)."""
 
 
 class SizeFilterMap(ABC):
@@ -106,6 +154,68 @@ class SimilarityKernel(ABC):
     def new_size_filter(self) -> SizeFilterMap:
         """A fresh sz1 size-filter map for one index."""
 
+    # -- candidate metadata --------------------------------------------------
+    #
+    # The prefix-filter indexes notify the kernel whenever a vector enters,
+    # changes in, or leaves the residual/Q store, so that a backend may
+    # mirror the per-candidate verification metadata (pscore, residual
+    # statistics, timestamp) in its native layout.  The reference backend
+    # reads the ResidualIndex directly and ignores these hooks.
+
+    def note_vector_indexed(self, entry: "ResidualEntry") -> None:
+        """A vector was added to the residual/Q store."""
+
+    def note_vector_updated(self, entry: "ResidualEntry") -> None:
+        """A stored vector's residual prefix or pscore changed (re-indexing)."""
+
+    def note_vector_evicted(self, vector_id: int) -> None:
+        """A stored vector fell behind the time horizon and was evicted."""
+
+    # -- index construction --------------------------------------------------
+
+    def indexing_split(self, vector: "SparseVector", threshold: float, *,
+                       max_vector: "MaxVector | None", use_ap: bool,
+                       use_l2: bool, limit: int | None = None) -> "IndexingSplit":
+        """Index-construction bound scan of Algorithm 2 (see
+        :func:`repro.indexes.bounds.compute_indexing_split`).
+
+        Exposed on the kernel because the scan is a hot loop during both
+        indexing and re-indexing; backends may vectorise it, but must
+        return bit-for-bit the same ``(boundary, pscore)`` as the
+        reference implementation.
+        """
+        from repro.indexes.bounds import compute_indexing_split
+
+        return compute_indexing_split(vector, threshold, max_vector=max_vector,
+                                      use_ap=use_ap, use_l2=use_l2, limit=limit)
+
+    def index_vector_postings(self, index: Any, vector: "SparseVector",
+                              start: int = 0, end: int | None = None) -> int:
+        """Append ``vector``'s coordinates ``[start, end)`` to the inverted index.
+
+        One posting per coordinate, carrying the value, the strict-prefix
+        norm and the vector's timestamp.  Returns the number of postings
+        appended.  Backends may specialise this (the NumPy backend interns
+        the vector id once and writes the four posting fields straight into
+        its arrays); the default builds :class:`~repro.indexes.posting.PostingEntry`
+        objects exactly like the original index-construction loops.
+        """
+        from repro.indexes.posting import PostingEntry
+
+        vector_id = vector.vector_id
+        timestamp = vector.timestamp
+        dims = vector.dims
+        values = vector.values
+        stop = len(dims) if end is None else end
+        for position in range(start, stop):
+            index.add(dims[position], PostingEntry(
+                vector_id=vector_id,
+                value=values[position],
+                prefix_norm=vector.prefix_norm_before(position),
+                timestamp=timestamp,
+            ))
+        return stop - start
+
     # -- candidate generation ------------------------------------------------
 
     @abstractmethod
@@ -151,14 +261,16 @@ class SimilarityKernel(ABC):
         """Streaming prefix-filter scan (Algorithm 7 inner loop).
 
         Combines time filtering (backward truncation when ``time_ordered``,
-        full compaction otherwise) with the decayed admission and pruning
-        bounds.  Returns ``(entries_traversed, entries_removed)``.
+        masked/amortised compaction otherwise) with the decayed admission
+        and pruning bounds.  Returns ``(entries_traversed, entries_removed)``
+        where both counts are *logical*: a backend may defer the physical
+        removal of expired postings, but must report them exactly once.
         """
 
     # -- candidate verification ----------------------------------------------
 
     @abstractmethod
-    def verify_batch(self, query: "SparseVector", candidates: dict[int, float],
+    def verify_batch(self, query: "SparseVector", candidates: CandidateSet,
                      residual: "ResidualIndex", threshold: float,
                      stats: "JoinStatistics") -> list[tuple["SparseVector", float]]:
         """Batch candidate verification (Algorithm 4).
@@ -169,7 +281,7 @@ class SimilarityKernel(ABC):
         """
 
     @abstractmethod
-    def verify_stream(self, query: "SparseVector", candidates: dict[int, float],
+    def verify_stream(self, query: "SparseVector", candidates: CandidateSet,
                       residual: "ResidualIndex", threshold: float,
                       decay: float, now: float,
                       stats: "JoinStatistics") -> list["SimilarPair"]:
@@ -178,6 +290,17 @@ class SimilarityKernel(ABC):
         Same as :meth:`verify_batch` with the bounds and the final
         similarity damped by ``exp(-λ·Δt)``; returns the reportable
         :class:`~repro.core.results.SimilarPair` objects.
+        """
+
+    @abstractmethod
+    def verify_inv_stream(self, query: "SparseVector", candidates: CandidateSet,
+                          threshold: float, decay: float, now: float,
+                          stats: "JoinStatistics") -> list["SimilarPair"]:
+        """STR-INV candidate verification: decay + threshold on exact dots.
+
+        The INV scan already accumulates the exact dot product, so this
+        only applies the time decay (using each candidate's arrival time)
+        and the threshold, counting every candidate as a full similarity.
         """
 
     def begin_query(self, vector: "SparseVector") -> None:

@@ -9,26 +9,61 @@ the doubling/halving resizing policy of the paper's circular byte buffer
 * **candidate accumulation** — one gather / fused-multiply / scatter per
   posting list instead of a Python loop per posting,
 * **decay and time filtering** — ``searchsorted`` head truncation for
-  time-ordered lists, boolean-mask compaction otherwise, and element-wise
-  ``exp`` for the decayed bounds,
-* **verification dot products** — the query is scattered once into a dense
-  scratch vector; each residual prefix is finished with a vectorised
-  gather-multiply whose final reduction stays sequential so the result is
-  bit-for-bit identical to the reference backend.
+  time-ordered lists; unordered lists are filtered by a boolean *expiry
+  mask* whose physical compaction is amortised (see below),
+* **verification** — one fused masked pass over slot-indexed metadata
+  arrays evaluates the ``ps1``/``ds1``/``sz2`` bounds for every candidate
+  at once; only the survivors finish their dot product over the residual
+  prefix (a vectorised gather-multiply whose final reduction stays
+  sequential so the result is bit-for-bit identical to the reference
+  backend).
+
+Candidates never round-trip through ``dict[int, float]``: the scan kernels
+accumulate into epoch-stamped dense per-slot arrays, :class:`NumpyAccumulator`
+freezes them into a :class:`NumpyCandidateSet` — a ``(slots, scores)`` array
+pair — and the fused verification consumes that directly.  ``(id, id, sim)``
+tuples are materialised only for the pairs that survive.
 
 Cross-query candidate state lives in dense per-vector arrays indexed by an
 interned *slot* (assigned on first appearance of a vector id), stamped with
-a per-query epoch so no per-query allocation or clearing is needed.  Memory
-therefore scales with the number of distinct vectors indexed, not with the
-magnitude of their ids.
+a per-query epoch so no per-query allocation or clearing is needed.  The
+same slots index the verification-metadata mirrors (``pscore``, residual
+statistics, timestamps) kept in sync by the ``note_vector_*`` hooks.
+Memory therefore scales with the number of distinct vectors indexed, not
+with the magnitude of their ids.
+
+Amortised expiry compaction
+---------------------------
+Unordered posting lists (STR-L2AP after re-indexing) cannot be truncated
+from the head; eagerly rewriting each list on every scan costs O(list) per
+arrival.  Instead each :class:`ArrayPostingList` keeps a *high-water expiry
+cutoff* and a *dirty counter*: scans mask expired postings out on the fly,
+report them removed exactly once (so operation counters match the eagerly
+compacting reference backend), and the physical rewrite is deferred until
+either the list is at least half dead or the kernel's per-query
+*compaction budget* pays for an early cleanup.  A per-list minimum-live
+timestamp skips the masking entirely while nothing can be expired.
 
 Floating-point parity with the reference backend: every accumulation adds
 the same IEEE-754 products in the same order (a vector contributes at most
 one posting per list), so accumulated scores and reported similarities are
-bitwise identical.  The only divergence is ``np.exp`` vs ``math.exp`` in
-the *conservative filter bounds*, which can differ in the last ulp; a pair
-would have to sit within one ulp of a bound for the outputs to differ,
-which the equivalence suite checks never happens on the paper's profiles.
+bitwise identical.  The only divergence is ``np.exp`` vs ``math.exp``,
+which can differ in the last ulp, and it is confined to two places with
+different treatments:
+
+* **verification** — the vectorised ``np.exp`` mask is purely a *guard
+  band* (``1e-12``-relative safety margin); every decision the reference
+  backend takes with ``math.exp`` — the decayed verification bounds, the
+  reported similarity — is re-taken with ``math.exp`` on the few
+  candidates inside the band, so verification decisions and counters are
+  exactly equal by construction;
+* **candidate-generation scans** — the per-entry decayed admission and
+  ``l2bound`` pruning (inherited unchanged from the first vectorised
+  backend) still compare ``np.exp``-damped *conservative filter bounds*
+  directly; a pair would have to sit within one ulp of such a bound for
+  any count or output to differ, which the equivalence suite checks never
+  happens on the paper's profiles.  (The whole-scan admission shortcut
+  uses ``math.exp`` and is exact.)
 """
 
 from __future__ import annotations
@@ -39,9 +74,16 @@ from typing import Any
 
 import numpy as np
 
-from repro.backends.base import ScoreAccumulator, SimilarityKernel, SizeFilterMap
+from repro.backends.base import (
+    CandidateSet,
+    ScoreAccumulator,
+    SimilarityKernel,
+    SizeFilterMap,
+)
 from repro.core.results import JoinStatistics, SimilarPair
 from repro.core.vector import SparseVector
+from repro.indexes.bounds import IndexingSplit, compute_indexing_split
+from repro.indexes.maxvector import MaxVector
 from repro.indexes.posting import PostingEntry
 from repro.indexes.residual import ResidualEntry, ResidualIndex
 
@@ -50,6 +92,7 @@ __all__ = ["NumpyKernel", "ArrayPostingList"]
 _MIN_CAPACITY = 8
 _INITIAL_SLOTS = 64
 _INITIAL_DENSE = 1024
+_INF = math.inf
 #: Dimensions above this threshold fall back to dict-based dot products
 #: instead of growing the dense scratch vector (2**24 floats = 128 MiB).
 _DENSE_DIM_LIMIT = 1 << 24
@@ -57,7 +100,28 @@ _DENSE_DIM_LIMIT = 1 << 24
 #: the same slot state: per-call ufunc dispatch overhead beats the loop on
 #: short lists (the regime of short horizons / small indexes), while long
 #: lists — the actual hot path — go through the vectorised kernels.
-_SCALAR_SCAN_CUTOFF = 32
+_SCALAR_SCAN_CUTOFF = 12
+#: Vectors at or below this length run the pure-Python indexing-split loop.
+_SCALAR_SPLIT_CUTOFF = 8
+#: Per-query replenishment and cap of the amortised compaction budget
+#: (measured in postings rewritten).
+_COMPACTION_BUDGET = 512
+_COMPACTION_BUDGET_CAP = 4096
+#: Tri-state outcome of the remaining-score admission test, resolved per
+#: scan from the list's minimum live timestamp (``exp`` is monotone in the
+#: timestamp, so one ``math.exp`` at the oldest entry decides the whole
+#: list whenever the bound clears — or fails — uniformly).
+_ADMIT_ALL = 1
+_ADMIT_NONE = 0
+_ADMIT_PER_ENTRY = -1
+
+_EMPTY_INT = np.empty(0, dtype=np.int64)
+_EMPTY_FLOAT = np.empty(0, dtype=np.float64)
+#: Relative guard band for np.exp-based filtering: np.exp and math.exp can
+#: differ in the last ulp, so the vectorised masks compare against
+#: ``threshold * (1 - _GUARD_BAND)`` and the exact math.exp decision is
+#: re-taken per candidate inside the band.
+_GUARD_BAND = 1e-12
 
 
 class ArrayPostingList:
@@ -69,12 +133,22 @@ class ArrayPostingList:
     regions as array views for the scan kernels.  Vector ids are stored as
     kernel-interned slots; iteration translates them back.
 
-    The capacity doubles when full and halves when occupancy drops below a
+    The capacity doubles when full and halves (to the smallest power of two
+    keeping occupancy at least a quarter) when occupancy drops below a
     quarter, the resizing policy of Section 6.2.
+
+    Expired postings of unordered lists are removed *lazily*: the list
+    tracks the highest expiry cutoff applied so far (``expired_cutoff``)
+    and how many physically present postings fall below it (``dirty``).
+    ``__len__`` and iteration report only the logically live postings;
+    :meth:`arrays` exposes the raw physical region for the scan kernels,
+    which re-apply the mask.  Appended postings must be live with respect
+    to the current cutoff (streams only append at the present).
     """
 
     __slots__ = ("_kernel", "_slots", "_values", "_pnorms", "_ts",
-                 "_head", "_size")
+                 "_head", "_size", "_dirty", "_expired_cutoff", "_min_ts",
+                 "_max_ts")
 
     def __init__(self, kernel: "NumpyKernel") -> None:
         self._kernel = kernel
@@ -84,68 +158,121 @@ class ArrayPostingList:
         self._ts = np.empty(_MIN_CAPACITY, dtype=np.float64)
         self._head = 0
         self._size = 0
+        self._dirty = 0
+        self._expired_cutoff = -_INF
+        self._min_ts = _INF
+        self._max_ts = -_INF
 
     # -- introspection -------------------------------------------------------
 
     def __len__(self) -> int:
-        return self._size
+        """Number of logically live postings (physical minus lazily expired)."""
+        return self._size - self._dirty
 
     def __bool__(self) -> bool:
-        return self._size > 0
+        return self._size > self._dirty
 
     @property
     def capacity(self) -> int:
         """Current allocated capacity of the backing arrays."""
         return len(self._slots)
 
+    @property
+    def physical_size(self) -> int:
+        """Number of physically stored postings, including lazily expired ones."""
+        return self._size
+
+    @property
+    def dirty(self) -> int:
+        """Number of lazily expired postings awaiting physical compaction."""
+        return self._dirty
+
+    @property
+    def expired_cutoff(self) -> float:
+        """Highest expiry cutoff applied so far (lazily or physically)."""
+        return self._expired_cutoff
+
+    @property
+    def min_live_timestamp(self) -> float:
+        """Conservative lower bound on the physically stored timestamps."""
+        return self._min_ts
+
     def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Views of the live region: ``(slots, values, prefix_norms, timestamps)``."""
+        """Views of the *physical* live region:
+        ``(slots, values, prefix_norms, timestamps)``.
+
+        When :attr:`dirty` is non-zero the views still contain lazily
+        expired postings (``timestamp < expired_cutoff``); the scan kernels
+        mask them out.
+        """
         lo, hi = self._head, self._head + self._size
         return (self._slots[lo:hi], self._values[lo:hi],
                 self._pnorms[lo:hi], self._ts[lo:hi])
 
     def __iter__(self):
-        """Iterate oldest → newest, materialising :class:`PostingEntry` objects."""
+        """Iterate the live postings oldest → newest as :class:`PostingEntry`."""
         ids = self._kernel._slot_ids
+        cutoff = self._expired_cutoff if self._dirty else -_INF
         for offset in range(self._head, self._head + self._size):
+            timestamp = float(self._ts[offset])
+            if timestamp < cutoff:
+                continue
             yield PostingEntry(
                 vector_id=int(ids[self._slots[offset]]),
                 value=float(self._values[offset]),
                 prefix_norm=float(self._pnorms[offset]),
-                timestamp=float(self._ts[offset]),
+                timestamp=timestamp,
             )
 
     def iter_newest_first(self):
-        """Iterate newest → oldest (backward CG scan)."""
+        """Iterate the live postings newest → oldest (backward CG scan)."""
         ids = self._kernel._slot_ids
+        cutoff = self._expired_cutoff if self._dirty else -_INF
         for offset in range(self._head + self._size - 1, self._head - 1, -1):
+            timestamp = float(self._ts[offset])
+            if timestamp < cutoff:
+                continue
             yield PostingEntry(
                 vector_id=int(ids[self._slots[offset]]),
                 value=float(self._values[offset]),
                 prefix_norm=float(self._pnorms[offset]),
-                timestamp=float(self._ts[offset]),
+                timestamp=timestamp,
             )
 
     def to_list(self) -> list[PostingEntry]:
-        """Copy of the postings from oldest to newest."""
+        """Copy of the live postings from oldest to newest."""
         return list(self)
 
     # -- mutation ------------------------------------------------------------
 
     def append(self, entry: PostingEntry) -> None:
         """Append a posting at the tail."""
+        self._append_fast(self._kernel._intern(entry.vector_id), entry.value,
+                          entry.prefix_norm, entry.timestamp)
+
+    def _append_fast(self, slot: int, value: float, prefix_norm: float,
+                     timestamp: float) -> None:
+        """Field-level append used by the kernel's bulk indexing path."""
         tail = self._head + self._size
         if tail == len(self._slots):
             self._repack(grow=self._size * 2 > len(self._slots))
             tail = self._head + self._size
-        self._slots[tail] = self._kernel._intern(entry.vector_id)
-        self._values[tail] = entry.value
-        self._pnorms[tail] = entry.prefix_norm
-        self._ts[tail] = entry.timestamp
+        self._slots[tail] = slot
+        self._values[tail] = value
+        self._pnorms[tail] = prefix_norm
+        self._ts[tail] = timestamp
         self._size += 1
+        if timestamp < self._min_ts:
+            self._min_ts = timestamp
+        if timestamp > self._max_ts:
+            self._max_ts = timestamp
 
     def drop_oldest(self, count: int) -> int:
-        """Remove up to ``count`` postings from the head; return the number dropped."""
+        """Remove up to ``count`` postings from the head; return the number dropped.
+
+        Only valid on time-ordered lists, which never carry lazily expired
+        postings (their head truncation is already O(1)).
+        """
         if count <= 0:
             return 0
         dropped = min(count, self._size)
@@ -163,29 +290,71 @@ class ArrayPostingList:
         live_ts = self._ts[self._head:self._head + self._size]
         return self.drop_oldest(int(np.searchsorted(live_ts, cutoff, side="left")))
 
+    def note_lazy_expiry(self, cutoff: float, dirty: int,
+                         min_live: float, max_live: float) -> None:
+        """Record a deferred expiry pass performed by a scan kernel.
+
+        ``dirty`` postings of the physical region fall below ``cutoff`` and
+        have been reported as removed; ``min_live``/``max_live`` are the
+        extreme timestamps among the survivors (``±inf`` when none survive).
+        """
+        self._expired_cutoff = cutoff
+        self._dirty = dirty
+        self._min_ts = min_live
+        self._max_ts = max_live
+
     def compress(self, keep_mask: np.ndarray) -> int:
-        """Keep only the live postings selected by ``keep_mask``; return removals."""
+        """Keep only the physical postings selected by ``keep_mask``.
+
+        Returns the number of *logical* removals — postings that were live
+        before the call and are gone after it; lazily expired postings
+        dropped here were already reported by :meth:`note_lazy_expiry`.
+        """
+        live_before = self._size - self._dirty
         kept = int(np.count_nonzero(keep_mask))
-        removed = self._size - kept
-        if removed == 0:
+        if kept == self._size:
             return 0
         lo, hi = self._head, self._head + self._size
         for buf in (self._slots, self._values, self._pnorms, self._ts):
             buf[:kept] = buf[lo:hi][keep_mask]
         self._head = 0
         self._size = kept
+        if kept:
+            kept_ts = self._ts[:kept]
+            self._min_ts = float(kept_ts.min())
+            self._max_ts = float(kept_ts.max())
+            self._dirty = (int(np.count_nonzero(kept_ts < self._expired_cutoff))
+                           if self._min_ts < self._expired_cutoff else 0)
+        else:
+            self._min_ts = _INF
+            self._max_ts = -_INF
+            self._dirty = 0
         self._maybe_shrink()
-        return removed
+        return live_before - (self._size - self._dirty)
 
     def compact(self, cutoff: float) -> int:
-        """Remove every posting with ``timestamp < cutoff`` regardless of order."""
+        """Remove every posting with ``timestamp < cutoff`` regardless of order.
+
+        Forces a physical rewrite (used by explicit maintenance such as
+        :meth:`~repro.indexes.posting.InvertedIndex.prune_older_than`);
+        returns the number of logical removals.
+        """
+        if cutoff > self._expired_cutoff:
+            self._expired_cutoff = cutoff
+        if self._size == 0:
+            return 0
         live_ts = self._ts[self._head:self._head + self._size]
-        return self.compress(live_ts >= cutoff)
+        keep_mask = live_ts >= self._expired_cutoff
+        return self.compress(keep_mask)
 
     def replace_all_entries(self, entries: list[PostingEntry]) -> None:
         """Replace the whole content with ``entries`` (oldest first)."""
         self._head = 0
         self._size = 0
+        self._dirty = 0
+        self._expired_cutoff = -_INF
+        self._min_ts = _INF
+        self._max_ts = -_INF
         needed = max(_MIN_CAPACITY, len(entries))
         if needed > len(self._slots) or needed * 4 < len(self._slots):
             capacity = _MIN_CAPACITY
@@ -200,7 +369,13 @@ class ArrayPostingList:
     def _maybe_shrink(self) -> None:
         capacity = len(self._slots)
         if capacity > _MIN_CAPACITY and self._size * 4 < capacity:
-            self._repack(grow=False, capacity=max(_MIN_CAPACITY, capacity // 2))
+            # Shrink in one shot to the smallest power of two that keeps
+            # occupancy at least a quarter; halving only once per call
+            # leaves long-lived lists pinned at stale high-water capacities.
+            target = capacity
+            while target > _MIN_CAPACITY and self._size * 4 < target:
+                target //= 2
+            self._repack(grow=False, capacity=max(target, _MIN_CAPACITY))
         elif self._head > self._size:
             # Reclaim the dead head region without resizing.
             self._repack(grow=False, capacity=capacity)
@@ -220,46 +395,76 @@ class ArrayPostingList:
         self._head = 0
 
 
+class NumpyCandidateSet(CandidateSet):
+    """Candidates as parallel ``(slots, partial_scores)`` arrays.
+
+    ``slots`` index the kernel's slot space in first-accumulation order;
+    ``scores`` is a private copy, so the set stays valid while the next
+    query reuses the kernel's dense score table.  Arrival timestamps are
+    gathered lazily (the prefix-filter pipeline never needs them) and are
+    only valid until the next candidate-generation pass.
+    """
+
+    __slots__ = ("_kernel", "slots", "scores")
+
+    def __init__(self, kernel: "NumpyKernel", slots: np.ndarray,
+                 scores: np.ndarray) -> None:
+        self._kernel = kernel
+        self.slots = slots
+        self.scores = scores
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def to_dict(self) -> dict[int, float]:
+        ids = self._kernel._slot_ids[self.slots]
+        return {int(vector_id): float(score)
+                for vector_id, score in zip(ids.tolist(), self.scores.tolist())}
+
+    def arrivals(self) -> dict[int, float]:
+        ids = self._kernel._slot_ids[self.slots]
+        arrivals = self._kernel._slot_arrival[self.slots]
+        return {int(vector_id): float(arrival)
+                for vector_id, arrival in zip(ids.tolist(), arrivals.tolist())}
+
+    def above(self, threshold: float) -> list[tuple[int, float]]:
+        if not len(self.slots):
+            return []
+        mask = self.scores >= threshold
+        ids = self._kernel._slot_ids[self.slots[mask]]
+        return list(zip(ids.tolist(), self.scores[mask].tolist()))
+
+
 class NumpyAccumulator(ScoreAccumulator):
     """Epoch-stamped dense score table; candidates gathered at finalisation."""
 
-    __slots__ = ("_kernel", "_epoch", "_touched", "_final_slots")
+    __slots__ = ("_kernel", "_epoch", "_touched")
 
     def __init__(self, kernel: "NumpyKernel", epoch: int) -> None:
         self._kernel = kernel
         self._epoch = epoch
-        #: Slot arrays appended by the scan kernels, in accumulation order.
+        #: Slot arrays appended by the scan kernels.  Each scan contributes
+        #: only the slots whose accumulation *started* there, so the arrays
+        #: are disjoint and their concatenation is already in
+        #: first-accumulation order — reference dict insertion order.
         self._touched: list[np.ndarray] = []
-        self._final_slots: np.ndarray | None = None
 
-    def _finalize_slots(self) -> np.ndarray:
-        if self._final_slots is None:
-            if not self._touched:
-                self._final_slots = np.empty(0, dtype=np.int64)
-            else:
-                stacked = (self._touched[0] if len(self._touched) == 1
-                           else np.concatenate(self._touched))
-                unique, first_position = np.unique(stacked, return_index=True)
-                # Reference parity: dict insertion order is the order of the
-                # first successful accumulation.
-                unique = unique[np.argsort(first_position)]
-                alive = self._kernel._slot_score_epoch[unique] == self._epoch
-                self._final_slots = unique[alive]
-        return self._final_slots
-
-    def candidates(self) -> dict[int, float]:
-        slots = self._finalize_slots()
-        ids = self._kernel._slot_ids[slots]
-        scores = self._kernel._slot_score[slots]
-        return {int(vector_id): float(score)
-                for vector_id, score in zip(ids.tolist(), scores.tolist())}
-
-    def arrivals(self) -> dict[int, float]:
-        slots = self._finalize_slots()
-        ids = self._kernel._slot_ids[slots]
-        arrivals = self._kernel._slot_arrival[slots]
-        return {int(vector_id): float(arrival)
-                for vector_id, arrival in zip(ids.tolist(), arrivals.tolist())}
+    def finalize(self) -> NumpyCandidateSet:
+        kernel = self._kernel
+        touched = self._touched
+        if not touched:
+            slots = np.empty(0, dtype=np.int64)
+            scores = np.empty(0, dtype=np.float64)
+        else:
+            stacked = touched[0] if len(touched) == 1 else np.concatenate(touched)
+            # Candidates pruned after they started carry the ``-epoch`` mark.
+            slots = stacked[kernel._slot_state[stacked] == self._epoch]
+            # Fancy indexing copies, detaching the scores from the table —
+            # then restore the all-zeros invariant the scan kernels rely on
+            # (every score written this pass belongs to a touched slot).
+            scores = kernel._slot_score[slots]
+            kernel._slot_score[stacked] = 0.0
+        return NumpyCandidateSet(kernel, slots, scores)
 
 
 class NumpySizeFilter(SizeFilterMap):
@@ -300,19 +505,34 @@ class NumpyKernel(SimilarityKernel):
         self._slot_of: dict[int, int] = {}
         self._slot_ids = np.empty(_INITIAL_SLOTS, dtype=np.int64)
         self._slot_score = np.zeros(_INITIAL_SLOTS, dtype=np.float64)
-        self._slot_score_epoch = np.full(_INITIAL_SLOTS, -1, dtype=np.int64)
-        self._slot_pruned_epoch = np.full(_INITIAL_SLOTS, -1, dtype=np.int64)
+        # Per-slot scan state packed into one array: ``epoch`` = candidate
+        # started this query, ``-epoch`` = pruned this query, anything else
+        # = untouched.  Epochs start at 1, so the zero fill is neutral.
+        self._slot_state = np.zeros(_INITIAL_SLOTS, dtype=np.int64)
         self._slot_sf = np.full(_INITIAL_SLOTS, np.inf, dtype=np.float64)
         self._slot_arrival = np.zeros(_INITIAL_SLOTS, dtype=np.float64)
+        # Verification-metadata mirrors of the residual/Q store, maintained
+        # by the note_vector_* hooks (see the module docstring).  One row
+        # per slot — ``(pscore, vm_{x'}, Σx', |x'|, t(x))`` — so the fused
+        # verification gathers all five fields in a single row gather.
+        self._slot_meta = np.zeros((_INITIAL_SLOTS, 5), dtype=np.float64)
+        self._slot_valid = np.zeros(_INITIAL_SLOTS, dtype=bool)
+        self._slot_entries: dict[int, ResidualEntry] = {}
+        # slot -> (residual dims, residual values, largest dim) in ascending
+        # dimension order; (-1 sentinel when the residual prefix is empty).
+        self._slot_residual: dict[int, tuple[np.ndarray, np.ndarray, int]] = {}
         self._epoch = 0
+        self._maintenance_budget = 0
         self._dense = np.zeros(_INITIAL_DENSE, dtype=np.float64)
         self._query_dims: np.ndarray | None = None
         self._query_vector: SparseVector | None = None
         self._dense_active = False
-        # id(vector) -> (vector, dims, values).  The strong reference to the
-        # vector pins its id, so a recycled id can never alias a stale entry.
-        self._vector_arrays: dict[
-            int, tuple[SparseVector, np.ndarray, np.ndarray]] = {}
+        # id(vector) -> [vector, dims, values, b2-prefix-or-None].  The
+        # strong reference to the vector pins its id, so a recycled id can
+        # never alias a stale entry; the ℓ₂ indexing bound prefix is filled
+        # lazily by indexing_split (re-indexing recomputes the split of the
+        # same vector many times, but b2 depends only on the vector).
+        self._vector_arrays: dict[int, list] = {}
 
     # -- slot interning ------------------------------------------------------
 
@@ -331,14 +551,19 @@ class NumpyKernel(SimilarityKernel):
         while capacity < needed:
             capacity *= 2
         for name, fill in (("_slot_ids", None), ("_slot_score", 0.0),
-                           ("_slot_score_epoch", -1), ("_slot_pruned_epoch", -1),
-                           ("_slot_sf", np.inf), ("_slot_arrival", 0.0)):
+                           ("_slot_state", 0),
+                           ("_slot_sf", np.inf), ("_slot_arrival", 0.0),
+                           ("_slot_valid", False)):
             old = getattr(self, name)
             fresh = np.empty(capacity, dtype=old.dtype)
             fresh[:len(old)] = old
             if fill is not None:
                 fresh[len(old):] = fill
             setattr(self, name, fresh)
+        old_meta = self._slot_meta
+        fresh_meta = np.zeros((capacity, 5), dtype=np.float64)
+        fresh_meta[:len(old_meta)] = old_meta
+        self._slot_meta = fresh_meta
 
     # -- storage factories ---------------------------------------------------
 
@@ -347,39 +572,167 @@ class NumpyKernel(SimilarityKernel):
 
     def new_accumulator(self) -> NumpyAccumulator:
         self._epoch += 1
+        budget = self._maintenance_budget + _COMPACTION_BUDGET
+        self._maintenance_budget = min(budget, _COMPACTION_BUDGET_CAP)
         return NumpyAccumulator(self, self._epoch)
 
     def new_size_filter(self) -> NumpySizeFilter:
         return NumpySizeFilter(self)
+
+    # -- candidate metadata --------------------------------------------------
+
+    @staticmethod
+    def _build_residual_arrays(entry: ResidualEntry) -> tuple[np.ndarray, np.ndarray]:
+        """Residual prefix as ``(dims, values)`` arrays in ascending-dim order.
+
+        Fills ``entry.array_cache`` as a side effect; the single source of
+        the cache layout shared by the note hooks and the dot kernels.
+        """
+        residual = entry.residual
+        dims = sorted(residual)
+        cached = (np.asarray(dims, dtype=np.int64),
+                  np.asarray([residual[dim] for dim in dims],
+                             dtype=np.float64))
+        entry.array_cache = cached
+        return cached
+
+    def _mirror_residual_arrays(self, slot: int, entry: ResidualEntry) -> None:
+        if entry.residual:
+            cached = self._build_residual_arrays(entry)
+            self._slot_residual[slot] = (cached[0], cached[1],
+                                         int(cached[0][-1]))
+        else:
+            entry.array_cache = None
+            self._slot_residual[slot] = (_EMPTY_INT, _EMPTY_FLOAT, -1)
+
+    def note_vector_indexed(self, entry: ResidualEntry) -> None:
+        slot = self._intern(entry.vector_id)
+        residual_max, residual_sum = entry._stats()
+        self._slot_meta[slot] = (entry.pscore, residual_max, residual_sum,
+                                 len(entry.residual), entry.timestamp)
+        self._slot_valid[slot] = True
+        self._slot_entries[slot] = entry
+        self._mirror_residual_arrays(slot, entry)
+
+    def note_vector_updated(self, entry: ResidualEntry) -> None:
+        slot = self._slot_of.get(entry.vector_id)
+        if slot is None or self._slot_entries.get(slot) is not entry:
+            self.note_vector_indexed(entry)
+            return
+        residual_max, residual_sum = entry._stats()
+        self._slot_meta[slot] = (entry.pscore, residual_max, residual_sum,
+                                 len(entry.residual), entry.timestamp)
+        # Only rebuild the residual array mirror when the residual prefix
+        # itself changed (shrink_to clears the cache); a pscore-only
+        # refresh — the common re-indexing outcome — keeps it.
+        if entry.array_cache is None:
+            self._mirror_residual_arrays(slot, entry)
+
+    def note_vector_evicted(self, vector_id: int) -> None:
+        slot = self._slot_of.get(vector_id)
+        if slot is not None:
+            self._slot_valid[slot] = False
+            self._slot_entries.pop(slot, None)
+            self._slot_residual.pop(slot, None)
+
+    # -- index construction --------------------------------------------------
+
+    def index_vector_postings(self, index: Any, vector: SparseVector,
+                              start: int = 0, end: int | None = None) -> int:
+        """Bulk append: intern the id once, write posting fields directly."""
+        slot = self._intern(vector.vector_id)
+        timestamp = vector.timestamp
+        dims = vector.dims
+        values = vector.values
+        prefix_norms = vector._prefix_norms
+        list_for = index.list_for
+        stop = len(dims) if end is None else end
+        for position in range(start, stop):
+            list_for(dims[position])._append_fast(
+                slot, values[position], prefix_norms[position], timestamp)
+        count = stop - start
+        index.note_added(count)
+        return count
+
+    def indexing_split(self, vector: SparseVector, threshold: float, *,
+                       max_vector: MaxVector | None, use_ap: bool,
+                       use_l2: bool, limit: int | None = None) -> IndexingSplit:
+        end = len(vector) if limit is None else min(limit, len(vector))
+        if end <= _SCALAR_SPLIT_CUTOFF:
+            return compute_indexing_split(vector, threshold,
+                                          max_vector=max_vector, use_ap=use_ap,
+                                          use_l2=use_l2, limit=limit)
+        if not use_ap and not use_l2:
+            raise ValueError("at least one bound family must be enabled")
+        if use_ap and max_vector is None:
+            raise ValueError("the AP b1 bound requires the max vector m")
+        entry = self._vector_entry(vector)
+        # np.cumsum accumulates sequentially, so every partial sum is
+        # bitwise identical to the reference backend's running loop.
+        if use_ap:
+            # Gather straight from the MaxVector's backing dict: this loop
+            # runs once per (re-)indexed vector and the method-call wrapper
+            # around dict.get is measurable at that rate.
+            mvalues = max_vector._values  # type: ignore[union-attr]
+            mget = mvalues.get
+            maxima = np.asarray([mget(dim, 0.0) for dim in vector.dims[:end]],
+                                dtype=np.float64)
+            b1 = (entry[2][:end] * maxima).cumsum()
+        if use_l2:
+            b2_full = entry[3]
+            if b2_full is None:
+                values = entry[2]
+                b2_full = np.sqrt((values * values).cumsum())
+                entry[3] = b2_full
+            b2 = b2_full[:end]
+        if use_ap and use_l2:
+            bound = np.minimum(b1, b2)
+        else:
+            bound = b1 if use_ap else b2
+        hits = bound >= threshold
+        position = int(np.argmax(hits))
+        if not hits[position]:
+            return IndexingSplit(boundary=end, pscore=float(bound[-1]))
+        if position == 0:
+            return IndexingSplit(boundary=0, pscore=0.0)
+        before = position - 1
+        b1_bound = float(b1[before]) if use_ap else _INF
+        b2_bound = float(b2[before]) if use_l2 else _INF
+        return IndexingSplit(boundary=position,
+                             pscore=min(b1_bound, b2_bound))
 
     # -- INV scans -----------------------------------------------------------
 
     def _accumulate(self, slots: np.ndarray, contributions: np.ndarray,
                     acc: NumpyAccumulator) -> None:
         """Unfiltered scatter-accumulate (each slot appears at most once)."""
-        epoch_marks = self._slot_score_epoch
+        state = self._slot_state
         scores = self._slot_score
-        started = epoch_marks[slots] == self._epoch
-        scores[slots] = np.where(started, scores[slots], 0.0) + contributions
-        epoch_marks[slots] = self._epoch
-        acc._touched.append(slots)
+        started = state[slots] == self._epoch
+        # Scores of untouched slots are zero (the finalize invariant), so a
+        # buffered in-place add accumulates newcomers and started alike.
+        scores[slots] += contributions
+        state[slots] = self._epoch
+        fresh = slots[~started]
+        if len(fresh):
+            acc._touched.append(fresh)
 
     def _accumulate_scalar(self, slots: list[int], values: list[float],
                            value: float, acc: NumpyAccumulator,
                            timestamps: list[float] | None = None) -> None:
         """Short-list scalar twin of :meth:`_accumulate` on the same state."""
         epoch = self._epoch
-        epoch_marks = self._slot_score_epoch
+        state = self._slot_state
         scores = self._slot_score
         arrivals = self._slot_arrival
         touched: list[int] = []
         for position, slot in enumerate(slots):
             contribution = value * values[position]
-            if epoch_marks[slot] == epoch:
+            if state[slot] == epoch:
                 scores[slot] += contribution
             else:
                 scores[slot] = contribution
-                epoch_marks[slot] = epoch
+                state[slot] = epoch
                 touched.append(slot)
             if timestamps is not None:
                 arrivals[slot] = timestamps[position]
@@ -437,9 +790,9 @@ class NumpyKernel(SimilarityKernel):
                 0.0, sz1, threshold, use_ap, use_l2, acc)
         else:
             self._scan_prefix(
-                slots, values, prefix_norms, None, value, query_prefix_norm,
-                admit_new, None, None, sz1, threshold, use_ap, use_l2,
-                size_filter, acc)
+                slots, values, prefix_norms, None, 0.0, 0.0, value,
+                query_prefix_norm, _ADMIT_ALL if admit_new else _ADMIT_NONE,
+                None, None, sz1, threshold, use_ap, use_l2, size_filter, acc)
         return traversed
 
     def scan_prefix_stream(self, plist: Any, value: float,
@@ -449,58 +802,161 @@ class NumpyKernel(SimilarityKernel):
                            use_ap: bool, use_l2: bool, time_ordered: bool,
                            size_filter: SizeFilterMap,
                            acc: ScoreAccumulator) -> tuple[int, int]:
-        slots, values, prefix_norms, timestamps = plist.arrays()
         if time_ordered:
-            expired = int(np.searchsorted(timestamps, cutoff, side="left"))
-            if expired:
-                slots = slots[expired:]
-                values = values[expired:]
-                prefix_norms = prefix_norms[expired:]
-                timestamps = timestamps[expired:]
-            traversed = len(slots)
-            removed = plist.drop_oldest(expired)
-            if traversed == 0:
-                return 0, removed
-            # Newest-first, for insertion-order parity with the reference
-            # backward scan.
-            if traversed <= _SCALAR_SCAN_CUTOFF:
-                self._scan_prefix_scalar(
-                    slots[::-1].tolist(), values[::-1].tolist(),
-                    prefix_norms[::-1].tolist(), timestamps[::-1].tolist(),
-                    value, query_prefix_norm, True, now, decay, rs1, rs2,
-                    sz1, threshold, use_ap, use_l2, acc)
-            else:
-                decay_factors = np.exp(-decay * (now - timestamps[::-1]))
-                self._scan_prefix(
-                    slots[::-1], values[::-1], prefix_norms[::-1],
-                    decay_factors, value, query_prefix_norm, True, rs1, rs2,
-                    sz1, threshold, use_ap, use_l2, size_filter, acc)
-            return traversed, removed
+            return self._scan_prefix_stream_ordered(
+                plist, value, query_prefix_norm, now, cutoff, decay, rs1,
+                rs2, sz1, threshold, use_ap, use_l2, acc, size_filter)
+        return self._scan_prefix_stream_unordered(
+            plist, value, query_prefix_norm, now, cutoff, decay, rs1, rs2,
+            sz1, threshold, use_ap, use_l2, acc, size_filter)
+
+    def _scan_prefix_stream_ordered(self, plist: Any, value: float,
+                                    query_prefix_norm: float, now: float,
+                                    cutoff: float, decay: float, rs1: float,
+                                    rs2: float, sz1: float, threshold: float,
+                                    use_ap: bool, use_l2: bool,
+                                    acc: NumpyAccumulator,
+                                    size_filter: SizeFilterMap) -> tuple[int, int]:
+        slots, values, prefix_norms, timestamps = plist.arrays()
+        expired = int(np.searchsorted(timestamps, cutoff, side="left"))
+        if expired:
+            slots = slots[expired:]
+            values = values[expired:]
+            prefix_norms = prefix_norms[expired:]
+            timestamps = timestamps[expired:]
         traversed = len(slots)
+        removed = plist.drop_oldest(expired)
         if traversed == 0:
-            return 0, 0
+            return 0, removed
+        # Newest-first, for insertion-order parity with the reference
+        # backward scan.
         if traversed <= _SCALAR_SCAN_CUTOFF:
-            removed = self._scan_prefix_stream_scalar_unordered(
-                plist, slots.tolist(), values.tolist(), prefix_norms.tolist(),
-                timestamps.tolist(), value, query_prefix_norm, now, cutoff,
-                decay, rs1, rs2, sz1, threshold, use_ap, use_l2, acc)
-            return traversed, removed
-        alive = timestamps >= cutoff
-        kept = int(np.count_nonzero(alive))
-        removed = traversed - kept
-        if removed:
-            slots = slots[alive]
-            values = values[alive]
-            prefix_norms = prefix_norms[alive]
-            timestamps = timestamps[alive]
-            plist.compress(alive)
-        if len(slots):
-            decay_factors = np.exp(-decay * (now - timestamps))
+            self._scan_prefix_scalar(
+                slots[::-1].tolist(), values[::-1].tolist(),
+                prefix_norms[::-1].tolist(), timestamps[::-1].tolist(),
+                value, query_prefix_norm, True, now, decay, rs1, rs2,
+                sz1, threshold, use_ap, use_l2, acc)
+        else:
+            admit = self._resolve_admission(rs1, rs2, threshold, decay, now,
+                                            float(timestamps[0]),
+                                            float(timestamps[-1]))
             self._scan_prefix(
-                slots, values, prefix_norms, decay_factors, value,
-                query_prefix_norm, True, rs1, rs2, sz1, threshold,
-                use_ap, use_l2, size_filter, acc)
+                slots[::-1], values[::-1], prefix_norms[::-1],
+                timestamps[::-1], now, decay, value, query_prefix_norm,
+                admit, rs1, rs2, sz1, threshold, use_ap, use_l2,
+                size_filter, acc)
         return traversed, removed
+
+    def _scan_prefix_stream_unordered(self, plist: Any, value: float,
+                                      query_prefix_norm: float, now: float,
+                                      cutoff: float, decay: float, rs1: float,
+                                      rs2: float, sz1: float, threshold: float,
+                                      use_ap: bool, use_l2: bool,
+                                      acc: NumpyAccumulator,
+                                      size_filter: SizeFilterMap) -> tuple[int, int]:
+        physical = plist._size
+        if physical == 0:
+            return 0, 0
+        head = plist._head
+        tail = head + physical
+        slots = plist._slots[head:tail]
+        values = plist._values[head:tail]
+        prefix_norms = plist._pnorms[head:tail]
+        timestamps = plist._ts[head:tail]
+        if plist._dirty == 0 and plist._min_ts >= cutoff:
+            # Nothing can be expired: scan the whole physical region and
+            # skip the mask entirely.
+            if physical <= _SCALAR_SCAN_CUTOFF:
+                self._scan_prefix_scalar(
+                    slots.tolist(), values.tolist(), prefix_norms.tolist(),
+                    timestamps.tolist(), value, query_prefix_norm, True, now,
+                    decay, rs1, rs2, sz1, threshold, use_ap, use_l2, acc)
+            else:
+                admit = self._resolve_admission(rs1, rs2, threshold, decay,
+                                                now, plist._min_ts,
+                                                plist._max_ts)
+                self._scan_prefix(
+                    slots, values, prefix_norms, timestamps, now, decay,
+                    value, query_prefix_norm, admit, rs1, rs2, sz1,
+                    threshold, use_ap, use_l2, size_filter, acc)
+            return physical, 0
+        # Amortised expiry: mask the expired postings out of this scan and
+        # report them removed, but defer the physical rewrite.
+        traversed = physical - plist._dirty
+        cutoff_eff = max(cutoff, plist._expired_cutoff)
+        alive_mask = timestamps >= cutoff_eff
+        alive = int(np.count_nonzero(alive_mask))
+        removed = traversed - alive
+        if alive:
+            slots = slots[alive_mask]
+            values = values[alive_mask]
+            prefix_norms = prefix_norms[alive_mask]
+            timestamps = timestamps[alive_mask]
+            min_live = float(timestamps.min())
+            max_live = float(timestamps.max())
+        else:
+            min_live = _INF
+            max_live = -_INF
+        plist.note_lazy_expiry(cutoff_eff, physical - alive, min_live, max_live)
+        self._maybe_compact(plist, alive_mask)
+        if alive:
+            if alive <= _SCALAR_SCAN_CUTOFF:
+                self._scan_prefix_scalar(
+                    slots.tolist(), values.tolist(), prefix_norms.tolist(),
+                    timestamps.tolist(), value, query_prefix_norm, True, now,
+                    decay, rs1, rs2, sz1, threshold, use_ap, use_l2, acc)
+            else:
+                admit = self._resolve_admission(rs1, rs2, threshold, decay,
+                                                now, min_live, max_live)
+                self._scan_prefix(
+                    slots, values, prefix_norms, timestamps, now, decay,
+                    value, query_prefix_norm, admit, rs1, rs2, sz1,
+                    threshold, use_ap, use_l2, size_filter, acc)
+        return traversed, removed
+
+    @staticmethod
+    def _resolve_admission(rs1: float, rs2: float, threshold: float,
+                           decay: float, now: float, min_ts: float,
+                           max_ts: float) -> int:
+        """Resolve the remaining-score admission for a whole scanned region.
+
+        ``exp(-λ·(now-t))`` is monotone in ``t``, so evaluating the decayed
+        bound at the region's extreme timestamps decides every entry
+        whenever it clears uniformly (oldest entry passes → all pass) or
+        fails uniformly (newest entry fails → all fail, as does
+        ``rs1 < θ``).  Falls back to the per-entry test only when the
+        decayed bound straddles the threshold inside the region.  Exact:
+        the same ``math.exp`` the reference backend would apply, at
+        timestamps bracketing every scanned entry's.
+        """
+        if rs1 < threshold:
+            return _ADMIT_NONE
+        exponent = -decay * (now - min_ts)
+        if exponent > 700.0:
+            exponent = 700.0  # conservative clamp; avoids math.exp overflow
+        if rs2 * math.exp(exponent) >= threshold:
+            return _ADMIT_ALL
+        exponent = -decay * (now - max_ts)
+        if exponent <= 700.0 and rs2 * math.exp(exponent) < threshold:
+            return _ADMIT_NONE
+        return _ADMIT_PER_ENTRY
+
+    def _maybe_compact(self, plist: Any, alive_mask: np.ndarray) -> None:
+        """Amortised physical compaction of a lazily expired list.
+
+        Mandatory once the list is at least half dead (classic amortised
+        O(1) per expiry); the per-query maintenance budget additionally
+        pays for early cleanup of lightly dirty lists.
+        """
+        dirty = plist._dirty
+        if dirty == 0:
+            return
+        size = plist._size
+        if dirty * 2 >= size:
+            plist.compress(alive_mask)
+        elif size <= self._maintenance_budget:
+            self._maintenance_budget -= size
+            plist.compress(alive_mask)
 
     def _scan_prefix_scalar(self, slots: list[int], values: list[float],
                             prefix_norms: list[float],
@@ -517,19 +973,19 @@ class NumpyKernel(SimilarityKernel):
         scalar ``admit_new`` flag).
         """
         epoch = self._epoch
-        epoch_marks = self._slot_score_epoch
-        pruned_marks = self._slot_pruned_epoch
+        state = self._slot_state
         scores = self._slot_score
         size_values = self._slot_sf
         touched: list[int] = []
         for position, slot in enumerate(slots):
-            if pruned_marks[slot] == epoch:
+            mark = state[slot]
+            if mark == -epoch:
                 continue
             if timestamps is None:
                 decay_factor = 1.0
             else:
                 decay_factor = math.exp(-decay * (now - timestamps[position]))
-            started = epoch_marks[slot] == epoch
+            started = mark == epoch
             if not started:
                 if timestamps is None:
                     if not admit_new:
@@ -542,46 +998,19 @@ class NumpyKernel(SimilarityKernel):
             if use_l2:
                 l2bound = accumulated + query_prefix_norm * prefix_norms[position] * decay_factor
                 if l2bound < threshold:
-                    pruned_marks[slot] = epoch
-                    epoch_marks[slot] = -1
+                    state[slot] = -epoch
                     continue
             scores[slot] = accumulated
             if not started:
-                epoch_marks[slot] = epoch
+                state[slot] = epoch
                 touched.append(slot)
         if touched:
             acc._touched.append(np.asarray(touched, dtype=np.int64))
 
-    def _scan_prefix_stream_scalar_unordered(
-            self, plist: Any, slots: list[int], values: list[float],
-            prefix_norms: list[float], timestamps: list[float], value: float,
-            query_prefix_norm: float, now: float, cutoff: float, decay: float,
-            rs1: float, rs2: float, sz1: float, threshold: float,
-            use_ap: bool, use_l2: bool, acc: NumpyAccumulator) -> int:
-        """Scalar compact-and-scan of a short unordered (re-indexed) list."""
-        kept: list[int] = []
-        for position, timestamp in enumerate(timestamps):
-            if timestamp >= cutoff:
-                kept.append(position)
-        removed = len(timestamps) - len(kept)
-        if removed:
-            keep_mask = np.zeros(len(timestamps), dtype=bool)
-            keep_mask[kept] = True
-            plist.compress(keep_mask)
-            slots = [slots[position] for position in kept]
-            values = [values[position] for position in kept]
-            prefix_norms = [prefix_norms[position] for position in kept]
-            timestamps = [timestamps[position] for position in kept]
-        self._scan_prefix_scalar(
-            slots, values, prefix_norms, timestamps, value,
-            query_prefix_norm, True, now, decay, rs1, rs2, sz1, threshold,
-            use_ap, use_l2, acc)
-        return removed
-
     def _scan_prefix(self, slots: np.ndarray, values: np.ndarray,
                      prefix_norms: np.ndarray,
-                     decay_factors: np.ndarray | None, value: float,
-                     query_prefix_norm: float, admit_new: bool,
+                     timestamps: np.ndarray | None, now: float, decay: float,
+                     value: float, query_prefix_norm: float, admit: int,
                      rs1: float | None, rs2: float | None,
                      sz1: float, threshold: float,
                      use_ap: bool, use_l2: bool,
@@ -589,150 +1018,238 @@ class NumpyKernel(SimilarityKernel):
                      acc: ScoreAccumulator) -> None:
         """Shared filtered accumulation of the batch and streaming scans.
 
-        ``decay_factors`` is ``None`` in the batch case, where the
-        remaining-score admission collapses to the scalar ``admit_new`` flag
-        computed by the caller.
+        ``admit`` is the tri-state remaining-score admission: the callers
+        resolve it to ``_ADMIT_ALL``/``_ADMIT_NONE`` whenever the bound
+        clears (or fails) uniformly over the scanned region, which skips
+        the per-entry ``min(rs1, rs2·e^{-λΔt})`` evaluation;
+        ``_ADMIT_PER_ENTRY`` keeps it.  ``timestamps`` is ``None`` in the
+        batch case (no decay).  When no newcomer can be admitted the scan
+        compresses to the already-started candidates before touching the
+        long arrays — in that regime the whole list contributes at most a
+        handful of score updates, and the ``exp`` over the full region is
+        skipped entirely.
         """
         epoch = self._epoch
-        epoch_marks = self._slot_score_epoch
-        pruned_marks = self._slot_pruned_epoch
+        state = self._slot_state
         scores = self._slot_score
 
-        started = epoch_marks[slots] == epoch
-        active = pruned_marks[slots] != epoch
-        if decay_factors is None:
-            newcomer_ok = np.full(len(slots), admit_new)
+        marks = state[slots]
+        started = marks == epoch
+        if admit == _ADMIT_NONE:
+            # Started candidates are by construction not pruned; compress
+            # the scan to them (typically a tiny fraction of a long list).
+            index = np.nonzero(started)[0]
+            if not len(index):
+                return
+            sub_slots = slots[index]
+            accumulated = scores[sub_slots] + value * values[index]
+            if use_l2:
+                bound_tail = query_prefix_norm * prefix_norms[index]
+                if timestamps is not None:
+                    bound_tail = bound_tail * np.exp(
+                        -decay * (now - timestamps[index]))
+                keep = (accumulated + bound_tail) >= threshold
+                pruned_slots = sub_slots[~keep]
+                if len(pruned_slots):
+                    state[pruned_slots] = -epoch
+                kept_slots = sub_slots[keep]
+                if len(kept_slots):
+                    scores[kept_slots] = accumulated[keep]
+            else:
+                scores[sub_slots] = accumulated
+            return
+
+        decay_factors = (None if timestamps is None
+                         else np.exp(-decay * (now - timestamps)))
+        active = marks != -epoch
+        if admit == _ADMIT_ALL:
+            if use_ap:
+                process = active & (started
+                                    | (size_filter.values_at(slots) >= sz1))
+            else:
+                process = active
         else:
             newcomer_ok = np.minimum(rs1, rs2 * decay_factors) >= threshold
-        if use_ap:
-            newcomer_ok &= size_filter.values_at(slots) >= sz1
-        process = active & (started | newcomer_ok)
+            if use_ap:
+                newcomer_ok &= size_filter.values_at(slots) >= sz1
+            process = active & (started | newcomer_ok)
 
-        accumulated = np.where(started, scores[slots], 0.0) + value * values
+        # In-place where possible: these temporaries dominate the scan's
+        # allocation traffic.  The arithmetic is exactly the reference
+        # backend's ``score + value·y_j`` and ``(… ) + (qpn·‖y'‖)·e^{-λΔt}``;
+        # scores of untouched slots are zero (the finalize invariant), so
+        # the gather needs no ``started`` select.
+        accumulated = value * values
+        accumulated += scores[slots]
         if use_l2:
             # Reference parity: the reference groups the bound product as
             # ((qpn * prefix_norm) * decay_factor).
             bound_tail = query_prefix_norm * prefix_norms
             if decay_factors is not None:
-                bound_tail = bound_tail * decay_factors
-            l2bound = accumulated + bound_tail
-            prune = process & (l2bound < threshold)
-            keep = process & ~prune
+                bound_tail *= decay_factors
+            bound_tail += accumulated
+            prune = bound_tail < threshold
+            prune &= process
             pruned_slots = slots[prune]
             if len(pruned_slots):
-                pruned_marks[pruned_slots] = epoch
-                epoch_marks[pruned_slots] = -1
+                state[pruned_slots] = -epoch
+            np.logical_not(prune, out=prune)
+            keep = prune
+            keep &= process
         else:
             keep = process
         kept_slots = slots[keep]
         if len(kept_slots):
             scores[kept_slots] = accumulated[keep]
-            epoch_marks[kept_slots] = epoch
-            acc._touched.append(kept_slots)
+            state[kept_slots] = epoch
+            fresh_slots = slots[keep & ~started]
+            if len(fresh_slots):
+                acc._touched.append(fresh_slots)
 
     # -- candidate verification ------------------------------------------------
 
-    def _verification_mask(self, query: SparseVector,
-                           candidates: dict[int, float],
-                           residual: ResidualIndex):
-        """Gather candidate metadata and evaluate the ps1/ds1/sz2 bounds.
+    def _verification_bounds(self, query: SparseVector,
+                             candidates: NumpyCandidateSet):
+        """Fused gather of the slot metadata and the ps1/ds1/sz2 bounds.
 
-        Returns ``(ids, entries, accumulated, timestamps, bound_mask)``
-        where the bounds are *undecayed*, matching
-        :func:`repro.indexes.bounds.verification_bounds`.
+        Returns ``(valid, ps1, ds1, sz2, timestamps)`` where the bounds are
+        *undecayed* and bitwise identical to
+        :func:`repro.indexes.bounds.verification_bounds`; ``valid`` masks
+        candidates still present in the residual/Q store.
         """
-        count = len(candidates)
-        ids = list(candidates.keys())
-        accumulated = np.fromiter(candidates.values(), np.float64, count)
-        entries = [residual.get(candidate_id) for candidate_id in ids]
-        pscores = np.empty(count, dtype=np.float64)
-        residual_max = np.zeros(count, dtype=np.float64)
-        residual_sum = np.zeros(count, dtype=np.float64)
-        residual_size = np.zeros(count, dtype=np.float64)
-        timestamps = np.empty(count, dtype=np.float64)
-        for position, entry in enumerate(entries):
-            if entry is None:  # pragma: no cover - defensive; mask it out
-                pscores[position] = -np.inf
-                timestamps[position] = 0.0
-                continue
-            max_value, sum_value = entry._stats()
-            pscores[position] = entry.pscore
-            residual_max[position] = max_value
-            residual_sum[position] = sum_value
-            residual_size[position] = len(entry.residual)
-            timestamps[position] = entry.timestamp
+        slots = candidates.slots
+        accumulated = candidates.scores
+        valid = self._slot_valid[slots]
+        meta = self._slot_meta[slots]
+        ps1 = accumulated + meta[:, 0]
+        residual_max = meta[:, 1]
         query_max = query.max_value
-        ps1 = accumulated + pscores
-        ds1 = accumulated + np.minimum(query_max * residual_sum,
+        ds1 = accumulated + np.minimum(query_max * meta[:, 2],
                                        residual_max * query.value_sum)
-        sz2 = accumulated + (np.minimum(float(len(query)), residual_size)
+        sz2 = accumulated + (np.minimum(float(len(query)), meta[:, 3])
                              * query_max * residual_max)
-        return ids, entries, accumulated, timestamps, (ps1, ds1, sz2)
+        return valid, ps1, ds1, sz2, meta[:, 4]
 
-    def verify_batch(self, query: SparseVector, candidates: dict[int, float],
+    def verify_batch(self, query: SparseVector, candidates: CandidateSet,
                      residual: ResidualIndex, threshold: float,
                      stats: JoinStatistics) -> list[tuple[SparseVector, float]]:
-        if not candidates:
+        if not len(candidates):
             return []
-        ids, entries, accumulated, _, (ps1, ds1, sz2) = self._verification_mask(
-            query, candidates, residual)
-        mask = (ps1 >= threshold) & (ds1 >= threshold) & (sz2 >= threshold)
-        survivors = np.nonzero(mask)[0]
+        valid, ps1, ds1, sz2, _ = self._verification_bounds(query, candidates)
+        weakest = np.minimum(np.minimum(ps1, ds1), sz2)
+        survivors = np.nonzero(valid & (weakest >= threshold))[0]
         stats.full_similarities += len(survivors)
         if not len(survivors):
             return []
+        slot_list = candidates.slots[survivors].tolist()
+        accumulated_list = candidates.scores[survivors].tolist()
+        entries = self._slot_entries
         matches: list[tuple[SparseVector, float]] = []
         self.begin_query(query)
         try:
-            for position in survivors.tolist():
-                entry = entries[position]
-                score = float(accumulated[position]) + self.residual_dot(query, entry)
+            for slot, accumulated in zip(slot_list, accumulated_list):
+                entry = entries[slot]
+                score = accumulated + self._residual_dot_fast(query, entry)
                 if score >= threshold:
                     matches.append((entry.vector, score))
         finally:
             self.end_query(query)
         return matches
 
-    def verify_stream(self, query: SparseVector, candidates: dict[int, float],
+    def verify_stream(self, query: SparseVector, candidates: CandidateSet,
                       residual: ResidualIndex, threshold: float,
                       decay: float, now: float,
                       stats: JoinStatistics) -> list[SimilarPair]:
-        if not candidates:
+        if not len(candidates):
             return []
-        ids, entries, accumulated, timestamps, (ps1, ds1, sz2) = (
-            self._verification_mask(query, candidates, residual))
-        decay_factors = np.exp(-decay * (now - timestamps))
-        mask = ((ps1 * decay_factors >= threshold)
-                & (ds1 * decay_factors >= threshold)
-                & (sz2 * decay_factors >= threshold))
-        survivors = np.nonzero(mask)[0]
-        stats.full_similarities += len(survivors)
-        if not len(survivors):
+        valid, ps1, ds1, sz2, timestamps = self._verification_bounds(
+            query, candidates)
+        slots = candidates.slots
+        decayed = np.exp(-decay * (now - timestamps))
+        # All three bounds must clear the (decayed) threshold, so comparing
+        # their minimum once is the same mask with fewer passes.  np.exp
+        # guard band; the exact math.exp decision is re-taken below.
+        guard = threshold - threshold * _GUARD_BAND
+        weakest = np.minimum(np.minimum(ps1, ds1), sz2)
+        near = np.nonzero(valid & (weakest * decayed >= guard))[0]
+        if not len(near):
             return []
+        slot_list = slots[near].tolist()
+        ts_list = timestamps[near].tolist()
+        # Multiplication by the (positive) decay factor is monotone even in
+        # floating point, so checking the weakest bound is bit-for-bit the
+        # same decision as the reference backend's three separate checks.
+        weakest_list = weakest[near].tolist()
+        accumulated_list = candidates.scores[near].tolist()
+        full_similarities = 0
+        # First pass: exact math.exp bound decisions (reference parity),
+        # collecting the survivors whose residual dot still needs finishing.
+        survivors: list[tuple[int, float, float, float]] = []
+        for position, slot in enumerate(slot_list):
+            delta = now - ts_list[position]
+            decay_factor = math.exp(-decay * delta)
+            if weakest_list[position] * decay_factor < threshold:
+                continue
+            full_similarities += 1
+            survivors.append((slot, accumulated_list[position], delta,
+                              decay_factor))
+        stats.full_similarities += full_similarities
+        if not survivors:
+            return []
+        ids = self._slot_ids
         pairs: list[SimilarPair] = []
         self.begin_query(query)
         try:
-            for position in survivors.tolist():
-                entry = entries[position]
-                delta = now - entry.timestamp
-                # math.exp for the reported value: bitwise parity with the
-                # reference backend (np.exp guards only the filter above).
-                decay_factor = math.exp(-decay * delta)
-                dot = float(accumulated[position]) + self.residual_dot(query, entry)
+            dots = self._batched_residual_dots(
+                query, [slot for slot, _, _, _ in survivors])
+            for (slot, accumulated, delta, decay_factor), rdot in zip(survivors,
+                                                                      dots):
+                dot = accumulated + rdot
                 similarity = dot * decay_factor
                 if similarity >= threshold:
                     pairs.append(SimilarPair.make(
-                        query.vector_id, ids[position], similarity,
+                        query.vector_id, int(ids[slot]), similarity,
                         time_delta=delta, dot=dot, reported_at=now,
                     ))
         finally:
             self.end_query(query)
         return pairs
 
+    def verify_inv_stream(self, query: SparseVector, candidates: CandidateSet,
+                          threshold: float, decay: float, now: float,
+                          stats: JoinStatistics) -> list[SimilarPair]:
+        count = len(candidates)
+        stats.full_similarities += count
+        if not count:
+            return []
+        slots = candidates.slots
+        scores = candidates.scores
+        arrivals = self._slot_arrival[slots]
+        similarities = scores * np.exp(-decay * (now - arrivals))
+        guard = threshold - threshold * _GUARD_BAND
+        near = np.nonzero(similarities >= guard)[0]
+        if not len(near):
+            return []
+        slot_list = slots[near].tolist()
+        arrival_list = arrivals[near].tolist()
+        dot_list = scores[near].tolist()
+        ids = self._slot_ids
+        pairs: list[SimilarPair] = []
+        for position, slot in enumerate(slot_list):
+            delta = now - arrival_list[position]
+            dot = dot_list[position]
+            similarity = dot * math.exp(-decay * delta)
+            if similarity >= threshold:
+                pairs.append(SimilarPair.make(
+                    query.vector_id, int(ids[slot]), similarity,
+                    time_delta=delta, dot=dot, reported_at=now,
+                ))
+        return pairs
+
     # -- verification dot products -------------------------------------------
 
     def begin_query(self, vector: SparseVector) -> None:
-        dims = np.asarray(vector.dims, dtype=np.int64)
+        dims, values = self._arrays_of(vector)
         max_dim = int(dims[-1])
         if max_dim >= _DENSE_DIM_LIMIT:
             # Pathologically sparse dimension space: fall back to the
@@ -745,7 +1262,7 @@ class NumpyKernel(SimilarityKernel):
             while capacity <= max_dim:
                 capacity *= 2
             self._dense = np.zeros(capacity, dtype=np.float64)
-        self._dense[dims] = np.asarray(vector.values, dtype=np.float64)
+        self._dense[dims] = values
         self._query_dims = dims
         self._query_vector = vector
         self._dense_active = True
@@ -757,19 +1274,85 @@ class NumpyKernel(SimilarityKernel):
         self._query_vector = None
         self._dense_active = False
 
-    def residual_dot(self, query: SparseVector, entry: ResidualEntry) -> float:
+    def _batched_residual_dots(self, query: SparseVector,
+                               slot_list: list[int]) -> list[float]:
+        """Finish the residual dot of several candidates in one array pass.
+
+        The products of every candidate's residual prefix against the dense
+        query scratch are computed by a single concatenated multiply; each
+        candidate's reduction stays sequential (per segment, in ascending
+        dimension order, summed left to right from 0 like builtin ``sum``),
+        so every returned dot is bit-for-bit the value
+        :meth:`residual_dot` would produce.
+        """
+        entries = self._slot_entries
+        if not self._dense_active:
+            return [entries[slot].residual_dot(query) for slot in slot_list]
+        dense = self._dense
+        dense_len = len(dense)
+        slot_residual = self._slot_residual
+        counts: list[int] = []
+        dims_parts: list[np.ndarray] = []
+        vals_parts: list[np.ndarray] = []
+        for slot in slot_list:
+            residual_dims, residual_values, last_dim = slot_residual[slot]
+            if last_dim < 0:
+                counts.append(0)
+            elif last_dim >= dense_len:
+                counts.append(-1)
+            else:
+                counts.append(len(residual_dims))
+                dims_parts.append(residual_dims)
+                vals_parts.append(residual_values)
+        if not dims_parts:
+            products: list[float] = []
+        elif len(dims_parts) == 1:
+            products = (vals_parts[0] * dense[dims_parts[0]]).tolist()
+        else:
+            cat_dims = np.concatenate(dims_parts)
+            cat_vals = np.concatenate(vals_parts)
+            products = (cat_vals * dense[cat_dims]).tolist()
+        results: list[float] = []
+        offset = 0
+        for index, count in enumerate(counts):
+            if count <= 0:
+                results.append(0.0 if count == 0 else
+                               entries[slot_list[index]].residual_dot(query))
+                continue
+            results.append(sum(products[offset:offset + count]))
+            offset += count
+        return results
+
+    def _residual_dot_fast(self, query: SparseVector,
+                           entry: ResidualEntry) -> float:
+        """Hot-loop twin of :meth:`residual_dot` with the checks flattened.
+
+        Identical result (the sequential reduction starts at 0.0 and is
+        added to the accumulated score by the caller, exactly like the
+        reference backend's ``accumulated + residual_dot``).
+        """
+        if not entry.residual:
+            return 0.0
         if not self._dense_active:
             return entry.residual_dot(query)
         cached = entry.array_cache
         if cached is None:
-            dims = sorted(entry.residual)
-            cached = (np.asarray(dims, dtype=np.int64),
-                      np.asarray([entry.residual[dim] for dim in dims],
-                                 dtype=np.float64))
-            entry.array_cache = cached
+            cached = self._build_residual_arrays(entry)
         residual_dims, residual_values = cached
-        if len(residual_dims) == 0:
+        dense = self._dense
+        if int(residual_dims[-1]) >= len(dense):
+            return entry.residual_dot(query)
+        return sum((residual_values * dense[residual_dims]).tolist())
+
+    def residual_dot(self, query: SparseVector, entry: ResidualEntry) -> float:
+        if not self._dense_active:
+            return entry.residual_dot(query)
+        if not entry.residual:
             return 0.0
+        cached = entry.array_cache
+        if cached is None:
+            cached = self._build_residual_arrays(entry)
+        residual_dims, residual_values = cached
         if int(residual_dims[-1]) >= len(self._dense):
             return entry.residual_dot(query)
         products = residual_values * self._dense[residual_dims]
@@ -794,16 +1377,21 @@ class NumpyKernel(SimilarityKernel):
             self.end_query(query)
 
     def _arrays_of(self, vector: SparseVector) -> tuple[np.ndarray, np.ndarray]:
+        cached = self._vector_entry(vector)
+        return cached[1], cached[2]
+
+    def _vector_entry(self, vector: SparseVector) -> list:
         key = id(vector)
         cached = self._vector_arrays.get(key)
         if cached is None:
             if len(self._vector_arrays) >= 65536:
                 self._vector_arrays.clear()
-            cached = (vector,
+            cached = [vector,
                       np.asarray(vector.dims, dtype=np.int64),
-                      np.asarray(vector.values, dtype=np.float64))
+                      np.asarray(vector.values, dtype=np.float64),
+                      None]
             self._vector_arrays[key] = cached
-        return cached[1], cached[2]
+        return cached
 
 
 def _sequential_sum(products: np.ndarray) -> float:
@@ -814,7 +1402,4 @@ def _sequential_sum(products: np.ndarray) -> float:
     prefixes, single sparse vectors) are short, so the scalar loop costs
     little and buys exact output parity.
     """
-    total = 0.0
-    for product in products.tolist():
-        total += product
-    return total
+    return sum(products.tolist())

@@ -17,7 +17,12 @@ import math
 from collections.abc import Sequence
 from typing import Any
 
-from repro.backends.base import ScoreAccumulator, SimilarityKernel, SizeFilterMap
+from repro.backends.base import (
+    CandidateSet,
+    ScoreAccumulator,
+    SimilarityKernel,
+    SizeFilterMap,
+)
 from repro.core.results import JoinStatistics, SimilarPair
 from repro.core.vector import SparseVector
 from repro.indexes.bounds import verification_bounds
@@ -25,6 +30,30 @@ from repro.indexes.posting import PostingList
 from repro.indexes.residual import ResidualEntry, ResidualIndex
 
 __all__ = ["ReferenceKernel"]
+
+
+class ReferenceCandidateSet(CandidateSet):
+    """Insertion-ordered score and arrival dictionaries, handed over as-is."""
+
+    __slots__ = ("scores", "arrival")
+
+    def __init__(self, scores: dict[int, float],
+                 arrival: dict[int, float]) -> None:
+        self.scores = scores
+        self.arrival = arrival
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    def to_dict(self) -> dict[int, float]:
+        return self.scores
+
+    def arrivals(self) -> dict[int, float]:
+        return self.arrival
+
+    def above(self, threshold: float) -> list[tuple[int, float]]:
+        return [(candidate_id, score) for candidate_id, score in self.scores.items()
+                if score >= threshold]
 
 
 class ReferenceAccumulator(ScoreAccumulator):
@@ -37,11 +66,8 @@ class ReferenceAccumulator(ScoreAccumulator):
         self.pruned: set[int] = set()
         self.arrival: dict[int, float] = {}
 
-    def candidates(self) -> dict[int, float]:
-        return self.scores
-
-    def arrivals(self) -> dict[int, float]:
-        return self.arrival
+    def finalize(self) -> ReferenceCandidateSet:
+        return ReferenceCandidateSet(self.scores, self.arrival)
 
 
 class ReferenceSizeFilter(SizeFilterMap):
@@ -209,11 +235,11 @@ class ReferenceKernel(SimilarityKernel):
 
     # -- candidate verification ------------------------------------------------
 
-    def verify_batch(self, query: SparseVector, candidates: dict[int, float],
+    def verify_batch(self, query: SparseVector, candidates: CandidateSet,
                      residual: ResidualIndex, threshold: float,
                      stats: JoinStatistics) -> list[tuple[SparseVector, float]]:
         matches: list[tuple[SparseVector, float]] = []
-        for candidate_id, accumulated in candidates.items():
+        for candidate_id, accumulated in candidates.to_dict().items():
             entry = residual.get(candidate_id)
             if entry is None:  # pragma: no cover - defensive; indexed vectors have entries
                 continue
@@ -225,12 +251,12 @@ class ReferenceKernel(SimilarityKernel):
                     matches.append((entry.vector, score))
         return matches
 
-    def verify_stream(self, query: SparseVector, candidates: dict[int, float],
+    def verify_stream(self, query: SparseVector, candidates: CandidateSet,
                       residual: ResidualIndex, threshold: float,
                       decay: float, now: float,
                       stats: JoinStatistics) -> list[SimilarPair]:
         pairs: list[SimilarPair] = []
-        for candidate_id, accumulated in candidates.items():
+        for candidate_id, accumulated in candidates.to_dict().items():
             entry = residual.get(candidate_id)
             if entry is None:  # pragma: no cover - defensive
                 continue
@@ -247,6 +273,22 @@ class ReferenceKernel(SimilarityKernel):
                         query.vector_id, candidate_id, similarity,
                         time_delta=delta, dot=dot, reported_at=now,
                     ))
+        return pairs
+
+    def verify_inv_stream(self, query: SparseVector, candidates: CandidateSet,
+                          threshold: float, decay: float, now: float,
+                          stats: JoinStatistics) -> list[SimilarPair]:
+        arrival = candidates.arrivals()
+        pairs: list[SimilarPair] = []
+        for candidate_id, dot in candidates.to_dict().items():
+            stats.full_similarities += 1
+            delta = now - arrival[candidate_id]
+            similarity = dot * math.exp(-decay * delta)
+            if similarity >= threshold:
+                pairs.append(SimilarPair.make(
+                    query.vector_id, candidate_id, similarity,
+                    time_delta=delta, dot=dot, reported_at=now,
+                ))
         return pairs
 
     # -- verification dot products -------------------------------------------

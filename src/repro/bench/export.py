@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import csv
 import json
+import subprocess
 from collections.abc import Iterable, Sequence
 from pathlib import Path
 from typing import Any
@@ -24,7 +25,53 @@ __all__ = [
     "metrics_to_csv",
     "experiment_to_markdown",
     "write_markdown_report",
+    "git_revision",
+    "write_bench_micro",
 ]
+
+#: Schema version of the ``BENCH_micro.json`` artifact.
+BENCH_MICRO_SCHEMA = 1
+
+
+def git_revision(default: str = "unknown") -> str:
+    """Current git commit hash, or ``default`` outside a repository."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10, check=False,
+        )
+    except (OSError, subprocess.SubprocessError):  # pragma: no cover - env dependent
+        return default
+    revision = output.stdout.strip()
+    return revision if output.returncode == 0 and revision else default
+
+
+def write_bench_micro(path: str | Path, *, benchmark: str,
+                      config: dict[str, Any],
+                      backends: dict[str, dict[str, Any]],
+                      derived: dict[str, Any] | None = None) -> Path:
+    """Write the machine-readable micro-benchmark artifact.
+
+    ``backends`` maps backend name → measured values (elapsed seconds,
+    throughput, operation counters); ``config`` records the workload
+    (profile, size, θ, λ) and ``derived`` any cross-backend aggregates
+    (e.g. the speedup).  The git revision and a schema version are stamped
+    in so the perf trajectory can be tracked across PRs.
+    """
+    path = Path(path)
+    record: dict[str, Any] = {
+        "schema": BENCH_MICRO_SCHEMA,
+        "benchmark": benchmark,
+        "git_sha": git_revision(),
+        "config": dict(config),
+        "backends": {name: dict(values) for name, values in backends.items()},
+    }
+    if derived:
+        record["derived"] = dict(derived)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def rows_to_csv(rows: Sequence[dict[str, Any]], path: str | Path) -> int:

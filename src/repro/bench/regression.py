@@ -1,19 +1,35 @@
-"""Linear regression of running time on the horizon τ (Figure 9).
+"""Regression, in both senses.
 
-The paper closes its evaluation by showing that the running time of STR-L2
-is roughly a linear function of the time horizon ``τ = λ⁻¹ ln θ⁻¹``, with
-WebSpam as an outlier because of its much higher density.  This module
-provides the least-squares fit used to reproduce that figure.
+1. Linear regression of running time on the horizon τ (Figure 9): the
+   paper closes its evaluation by showing that the running time of STR-L2
+   is roughly a linear function of the time horizon ``τ = λ⁻¹ ln θ⁻¹``,
+   with WebSpam as an outlier because of its much higher density.
+   :func:`fit_line` provides the least-squares fit used to reproduce that
+   figure.
+
+2. Performance-regression checking of the ``BENCH_micro.json`` artifacts
+   written by ``benchmarks/bench_micro.py``: :func:`check_regression`
+   compares a current record against a committed baseline and fails when a
+   tracked metric degrades beyond the tolerance.  The primary metric is the
+   numpy-over-python *speedup*, which divides out the machine, so CI runs
+   on different hardware than the baseline remain comparable.  Runnable as
+   ``python -m repro.bench.regression CURRENT BASELINE [--tolerance 0.2]``.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
 
 import numpy as np
 
-__all__ = ["LinearFit", "fit_line"]
+__all__ = ["LinearFit", "fit_line", "MetricCheck", "RegressionReport",
+           "check_regression", "config_mismatches", "main"]
 
 
 @dataclass(frozen=True)
@@ -48,3 +64,137 @@ def fit_line(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
     r_squared = 1.0 if total == 0 else 1.0 - residual / total
     return LinearFit(slope=float(slope), intercept=float(intercept),
                      r_squared=r_squared, num_points=len(xs))
+
+
+# ---------------------------------------------------------------------------
+# Performance-regression checking of BENCH_micro.json artifacts.
+
+#: Machine-comparable metrics tracked across PRs, as dotted paths into the
+#: artifact record, with the direction in which "bigger" is better.
+TRACKED_METRICS: tuple[tuple[str, bool], ...] = (
+    ("derived.speedup", True),
+)
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """Outcome of comparing one tracked metric against the baseline."""
+
+    metric: str
+    baseline: float
+    current: float
+    ratio: float
+    regressed: bool
+
+    def render(self) -> str:
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (f"{self.metric}: baseline {self.baseline:.4g} → current "
+                f"{self.current:.4g} ({self.ratio:+.1%}) [{verdict}]")
+
+
+@dataclass
+class RegressionReport:
+    """All metric checks of one current-vs-baseline comparison."""
+
+    tolerance: float
+    checks: list[MetricCheck] = field(default_factory=list)
+
+    @property
+    def regressed(self) -> bool:
+        return any(check.regressed for check in self.checks)
+
+    def render(self) -> str:
+        lines = [check.render() for check in self.checks]
+        lines.append("performance regression detected" if self.regressed
+                     else f"no regression beyond {self.tolerance:.0%} tolerance")
+        return "\n".join(lines)
+
+
+def _lookup(record: dict[str, Any], dotted: str) -> float | None:
+    node: Any = record
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def check_regression(current: dict[str, Any], baseline: dict[str, Any], *,
+                     tolerance: float = 0.2) -> RegressionReport:
+    """Compare two benchmark records; flag metrics degraded past ``tolerance``.
+
+    A metric where bigger is better regresses when
+    ``current < baseline · (1 - tolerance)``; metrics missing from either
+    record are skipped (a new benchmark has no baseline yet).
+    """
+    report = RegressionReport(tolerance=tolerance)
+    for metric, bigger_is_better in TRACKED_METRICS:
+        baseline_value = _lookup(baseline, metric)
+        current_value = _lookup(current, metric)
+        if baseline_value is None or current_value is None:
+            continue
+        if baseline_value == 0:
+            continue
+        ratio = current_value / baseline_value - 1.0
+        if bigger_is_better:
+            regressed = current_value < baseline_value * (1.0 - tolerance)
+        else:
+            regressed = current_value > baseline_value * (1.0 + tolerance)
+        report.checks.append(MetricCheck(
+            metric=metric, baseline=baseline_value, current=current_value,
+            ratio=ratio, regressed=regressed,
+        ))
+    return report
+
+
+def config_mismatches(current: dict[str, Any],
+                      baseline: dict[str, Any]) -> list[tuple[str, Any, Any]]:
+    """Keys of the ``config`` sections that disagree between two records.
+
+    Only keys present in *both* configs are compared, so adding a new
+    config field does not invalidate older baselines.
+    """
+    current_config = current.get("config")
+    baseline_config = baseline.get("config")
+    if not isinstance(current_config, dict) or not isinstance(baseline_config, dict):
+        return []
+    return [(key, current_config[key], baseline_config[key])
+            for key in sorted(current_config.keys() & baseline_config.keys())
+            if current_config[key] != baseline_config[key]]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI: exit 0 when within tolerance, 1 on regression, 2 when the two
+    records describe different workloads (used by the CI smoke job)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.regression",
+        description="Compare a BENCH_micro.json against a committed baseline.",
+    )
+    parser.add_argument("current", help="freshly produced BENCH_micro.json")
+    parser.add_argument("baseline", help="committed baseline record")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional degradation (default 0.2)")
+    args = parser.parse_args(argv)
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; skipping regression check")
+        return 0
+    with open(args.current, "r", encoding="utf-8") as handle:
+        current = json.load(handle)
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    mismatched = config_mismatches(current, baseline)
+    if mismatched:
+        # Records from different workloads must not compare silently.
+        for key, current_value, baseline_value in mismatched:
+            print(f"config mismatch on {key!r}: current {current_value!r} "
+                  f"vs baseline {baseline_value!r}")
+        print("refusing to compare records from different workloads")
+        return 2
+    report = check_regression(current, baseline, tolerance=args.tolerance)
+    print(report.render())
+    return 1 if report.regressed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -15,6 +15,9 @@ Installed as the ``sssj`` console script (and reachable as
     Print Table-1 style statistics for a dataset file or profile.
 ``run``
     Run one algorithm configuration over a dataset and print its metrics.
+``profile``
+    Run a corpus through a chosen backend and print the per-stage
+    (scan / filter / verify / maintenance) time breakdown.
 ``sweep``
     Run a (θ, λ) grid for one or more algorithms and print the result table.
 ``experiment``
@@ -86,6 +89,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="compute backend for the hot loops (default: auto)")
     run.add_argument("--show-pairs", type=int, default=0,
                      help="print up to N reported pairs")
+
+    profile_cmd = subparsers.add_parser(
+        "profile", help="per-stage time breakdown of one algorithm run")
+    profile_source = profile_cmd.add_mutually_exclusive_group(required=True)
+    profile_source.add_argument("--input", help="dataset file to join")
+    profile_source.add_argument("--profile", choices=available_profiles())
+    profile_cmd.add_argument("--num-vectors", type=int, default=None)
+    profile_cmd.add_argument("--seed", type=int, default=42)
+    profile_cmd.add_argument("--algorithm", default="STR-L2AP",
+                             help="framework-index pair (default STR-L2AP)")
+    profile_cmd.add_argument("--theta", type=float, default=0.6,
+                             help="similarity threshold")
+    profile_cmd.add_argument("--decay", type=float, default=0.01,
+                             help="time-decay rate λ")
+    profile_cmd.add_argument("--backend", default=None,
+                             choices=["auto", *available_backends()],
+                             help="compute backend to profile (default: auto)")
 
     sweep_cmd = subparsers.add_parser("sweep", help="run a (θ, λ) grid and print a table")
     sweep_cmd.add_argument("--profile", required=True, choices=available_profiles())
@@ -208,6 +228,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.backends import get_backend
+    from repro.backends.profiling import ProfilingKernel
+    from repro.core.join import create_join
+
+    if not args.algorithm.upper().startswith("STR-"):
+        # MB rebuilds a throw-away batch index per window; sharing one
+        # profiled kernel instance across those indexes would violate the
+        # per-index kernel contract (and leak interned state).
+        print("sssj profile supports the STR framework "
+              f"(got {args.algorithm!r}); use e.g. STR-L2AP", file=sys.stderr)
+        return 2
+    vectors, name = _load_vectors(args)
+    kernel = ProfilingKernel(get_backend(args.backend)())
+    join = create_join(args.algorithm, args.theta, args.decay, backend=kernel)
+    start = time.perf_counter()
+    pairs = 0
+    for vector in vectors:
+        pairs += len(join.process(vector))
+    pairs += len(join.flush())
+    elapsed = time.perf_counter() - start
+    print(render_table(
+        kernel.report_rows(elapsed),
+        title=(f"Per-stage breakdown: {args.algorithm} on {name} "
+               f"({kernel.name}, θ={args.theta}, λ={args.decay})"),
+    ))
+    throughput = len(vectors) / elapsed if elapsed else 0.0
+    print(f"total {elapsed:.2f}s for {len(vectors)} vectors "
+          f"({throughput:,.0f} vectors/s), {pairs} pairs")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     algorithms = [token.strip() for token in args.algorithms.split(",") if token.strip()]
     thetas = tuple(float(token) for token in args.thetas.split(",") if token)
@@ -251,6 +305,7 @@ _COMMANDS = {
     "convert": _cmd_convert,
     "stats": _cmd_stats,
     "run": _cmd_run,
+    "profile": _cmd_profile,
     "sweep": _cmd_sweep,
     "experiment": _cmd_experiment,
 }

@@ -207,14 +207,13 @@ def restore_join(state: dict[str, Any]) -> StreamingFramework:
                 f"checkpoint holds prefix-filter state but index {index_name!r} is not one"
             )
         _restore_residual(index._residual, state["residual"])
-        # The kernel's sz1 size-filter map is populated at indexing time,
-        # which restore bypasses; rebuild it so the restored join filters
-        # exactly like an uninterrupted one.
+        # The kernel's sz1 size-filter map and its verification-metadata
+        # mirrors are populated at indexing time, which restore bypasses;
+        # rebuild both so the restored join filters exactly like — and
+        # counts exactly the same operations as — an uninterrupted one.
         for entry in index._residual.entries():
             index._size_filter.set(entry.vector_id, entry.size_filter_value)
-        # The kernel's sz1 size-filter map is populated at indexing time,
-        # which restore bypasses; rebuild it so the restored join filters
-        # exactly like an uninterrupted one.
+            index.kernel.note_vector_indexed(entry)
         if index.use_ap:
             index._max_query = _restore_max_vector(state["max_query"]) or MaxVector()
             index._max_decayed = (_restore_decayed_max(state["max_decayed"], join.decay)

@@ -26,7 +26,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections.abc import Iterable
 
-from repro.backends import SimilarityKernel, resolve_kernel
+from repro.backends import CandidateSet, SimilarityKernel, resolve_kernel
 from repro.core.results import JoinStatistics, SimilarPair
 from repro.core.similarity import validate_decay, validate_threshold
 from repro.core.vector import SparseVector
@@ -75,12 +75,14 @@ class BatchIndex(ABC):
         """IC: add (part of) ``vector`` to the index."""
 
     @abstractmethod
-    def candidate_generation(self, vector: SparseVector) -> dict[int, float]:
-        """CG: return the accumulated-score array ``C`` for candidate ids."""
+    def candidate_generation(self, vector: SparseVector) -> CandidateSet:
+        """CG: return the accumulated score table ``C`` as a backend-native
+        :class:`~repro.backends.CandidateSet` (use ``to_dict()`` for a plain
+        dictionary view)."""
 
     @abstractmethod
     def candidate_verification(
-        self, vector: SparseVector, candidates: dict[int, float]
+        self, vector: SparseVector, candidates: CandidateSet
     ) -> list[tuple[SparseVector, float]]:
         """CV: return ``(candidate vector, exact dot product)`` for true matches."""
 

@@ -14,9 +14,7 @@ in constant time.
 
 from __future__ import annotations
 
-import math
-
-from repro.backends import SimilarityKernel
+from repro.backends import CandidateSet, SimilarityKernel
 from repro.core.results import JoinStatistics, SimilarPair
 from repro.core.similarity import time_horizon
 from repro.core.vector import SparseVector
@@ -26,7 +24,7 @@ from repro.indexes.base import (
     register_batch_index,
     register_streaming_index,
 )
-from repro.indexes.posting import InvertedIndex, PostingEntry
+from repro.indexes.posting import InvertedIndex
 
 __all__ = ["InvertedBatchIndex", "InvertedStreamingIndex"]
 
@@ -48,18 +46,12 @@ class InvertedBatchIndex(BatchIndex):
         return len(self._index)
 
     def index_vector(self, vector: SparseVector) -> None:
-        for position, (dim, value) in enumerate(vector):
-            self._index.add(dim, PostingEntry(
-                vector_id=vector.vector_id,
-                value=value,
-                prefix_norm=vector.prefix_norm_before(position),
-                timestamp=vector.timestamp,
-            ))
+        indexed = self.kernel.index_vector_postings(self._index, vector)
         self._vectors[vector.vector_id] = vector
-        self.stats.entries_indexed += len(vector)
+        self.stats.entries_indexed += indexed
         self.stats.max_index_size = max(self.stats.max_index_size, len(self._index))
 
-    def candidate_generation(self, vector: SparseVector) -> dict[int, float]:
+    def candidate_generation(self, vector: SparseVector) -> CandidateSet:
         stats = self.stats
         kernel = self.kernel
         accumulator = kernel.new_accumulator()
@@ -69,19 +61,18 @@ class InvertedBatchIndex(BatchIndex):
                 continue
             stats.entries_traversed += kernel.scan_inv_batch(
                 posting_list, value, accumulator)
-        scores = accumulator.candidates()
-        stats.candidates_generated += len(scores)
-        return scores
+        candidates = accumulator.finalize()
+        stats.candidates_generated += len(candidates)
+        return candidates
 
     def candidate_verification(
-        self, vector: SparseVector, candidates: dict[int, float]
+        self, vector: SparseVector, candidates: CandidateSet
     ) -> list[tuple[SparseVector, float]]:
+        # CG already produced the exact dot product; CV just thresholds.
         matches: list[tuple[SparseVector, float]] = []
-        for candidate_id, score in candidates.items():
-            # CG already produced the exact dot product; CV just thresholds.
-            if score >= self.threshold:
-                self.stats.full_similarities += 1
-                matches.append((self._vectors[candidate_id], score))
+        for candidate_id, score in candidates.above(self.threshold):
+            self.stats.full_similarities += 1
+            matches.append((self._vectors[candidate_id], score))
         return matches
 
 
@@ -107,8 +98,6 @@ class InvertedStreamingIndex(StreamingIndex):
         now = vector.timestamp
         cutoff = now - self.horizon
         stats = self.stats
-        threshold = self.threshold
-        decay = self.decay
 
         # -- CG: accumulate exact dot products from the time-ordered lists,
         # truncating the expired head of each list (lazy time filtering).
@@ -124,31 +113,16 @@ class InvertedStreamingIndex(StreamingIndex):
             if removed:
                 self._index.note_removed(removed)
                 stats.entries_pruned += removed
-        scores = accumulator.candidates()
-        arrival = accumulator.arrivals()
-        stats.candidates_generated += len(scores)
+        candidates = accumulator.finalize()
+        stats.candidates_generated += len(candidates)
 
-        # -- CV: apply the time decay and the threshold.
-        pairs: list[SimilarPair] = []
-        for candidate_id, dot in scores.items():
-            stats.full_similarities += 1
-            delta = now - arrival[candidate_id]
-            similarity = dot * math.exp(-decay * delta)
-            if similarity >= threshold:
-                pairs.append(SimilarPair.make(
-                    vector.vector_id, candidate_id, similarity,
-                    time_delta=delta, dot=dot, reported_at=now,
-                ))
+        # -- CV: apply the time decay and the threshold (fused in the kernel).
+        pairs = kernel.verify_inv_stream(
+            vector, candidates, self.threshold, self.decay, now, stats)
 
         # -- IC: append every coordinate (no index pruning in INV).
-        for position, (dim, value) in enumerate(vector):
-            self._index.add(dim, PostingEntry(
-                vector_id=vector.vector_id,
-                value=value,
-                prefix_norm=vector.prefix_norm_before(position),
-                timestamp=now,
-            ))
-        stats.entries_indexed += len(vector)
+        stats.entries_indexed += self.kernel.index_vector_postings(
+            self._index, vector)
         stats.vectors_processed += 1
         stats.pairs_output += len(pairs)
         stats.max_index_size = max(stats.max_index_size, len(self._index))

@@ -145,6 +145,10 @@ class InvertedIndex:
         self.list_for(dim).append(entry)
         self._total_entries += 1
 
+    def note_added(self, count: int) -> None:
+        """Adjust the global size after a kernel-level bulk append."""
+        self._total_entries += count
+
     def note_removed(self, count: int) -> None:
         """Adjust the global size after a list-level prune."""
         self._total_entries -= count

@@ -33,15 +33,15 @@ from __future__ import annotations
 
 import math
 
-from repro.backends import SimilarityKernel
+from repro.backends import CandidateSet, SimilarityKernel
 from repro.core.results import JoinStatistics, SimilarPair
 from repro.core.similarity import time_horizon
 from repro.core.vector import SparseVector
 from repro.exceptions import InvalidParameterError
 from repro.indexes.base import BatchIndex, StreamingIndex
-from repro.indexes.bounds import compute_indexing_split, size_filter_threshold
+from repro.indexes.bounds import size_filter_threshold
 from repro.indexes.maxvector import DecayedMaxVector, MaxVector
-from repro.indexes.posting import InvertedIndex, PostingEntry
+from repro.indexes.posting import InvertedIndex
 from repro.indexes.residual import ResidualEntry, ResidualIndex
 
 __all__ = ["PrefixFilterBatchIndex", "PrefixFilterStreamingIndex"]
@@ -98,7 +98,7 @@ class PrefixFilterBatchIndex(BatchIndex):
             # Fall back to the indexed maxima; see the class docstring.
             max_vector = self._max_indexed
             max_vector.update(vector)
-        split = compute_indexing_split(
+        split = self.kernel.indexing_split(
             vector, self.threshold,
             max_vector=max_vector if self.use_ap else None,
             use_ap=self.use_ap, use_l2=self.use_l2,
@@ -107,19 +107,14 @@ class PrefixFilterBatchIndex(BatchIndex):
             # The whole vector stays un-indexed: it cannot reach the threshold
             # against any other vector, so it will never need to be retrieved.
             return
-        self._residual.add(ResidualEntry(
+        entry = ResidualEntry(
             vector=vector, boundary=split.boundary, pscore=split.pscore,
-        ))
+        )
+        self._residual.add(entry)
         self._size_filter.set(vector.vector_id, len(vector) * vector.max_value)
-        for position in range(split.boundary, len(vector)):
-            dim = vector.dims[position]
-            self._index.add(dim, PostingEntry(
-                vector_id=vector.vector_id,
-                value=vector.values[position],
-                prefix_norm=vector.prefix_norm_before(position),
-                timestamp=vector.timestamp,
-            ))
-        indexed = len(vector) - split.boundary
+        self.kernel.note_vector_indexed(entry)
+        indexed = self.kernel.index_vector_postings(
+            self._index, vector, split.boundary)
         self._max_indexed.update(vector)
         self.stats.entries_indexed += indexed
         self.stats.residual_entries += split.boundary
@@ -130,7 +125,7 @@ class PrefixFilterBatchIndex(BatchIndex):
 
     # -- CG ---------------------------------------------------------------------
 
-    def candidate_generation(self, vector: SparseVector) -> dict[int, float]:
+    def candidate_generation(self, vector: SparseVector) -> CandidateSet:
         stats = self.stats
         threshold = self.threshold
         kernel = self.kernel
@@ -158,14 +153,14 @@ class PrefixFilterBatchIndex(BatchIndex):
             if self.use_l2:
                 rs2 = math.sqrt(max(rst, 0.0))
 
-        scores = accumulator.candidates()
-        stats.candidates_generated += len(scores)
-        return scores
+        candidates = accumulator.finalize()
+        stats.candidates_generated += len(candidates)
+        return candidates
 
     # -- CV ---------------------------------------------------------------------
 
     def candidate_verification(
-        self, vector: SparseVector, candidates: dict[int, float]
+        self, vector: SparseVector, candidates: CandidateSet
     ) -> list[tuple[SparseVector, float]]:
         return self.kernel.verify_batch(
             vector, candidates, self._residual, self.threshold, self.stats)
@@ -224,6 +219,7 @@ class PrefixFilterStreamingIndex(StreamingIndex):
         # order, so eviction pops from the head (Section 6.2).
         for evicted in self._residual.evict_older_than(cutoff):
             self._size_filter.discard(evicted.vector_id)
+            self.kernel.note_vector_evicted(evicted.vector_id)
 
         # Maintaining the AP invariant must happen before candidate
         # generation: if the new vector raises the maximum of a dimension,
@@ -248,7 +244,7 @@ class PrefixFilterStreamingIndex(StreamingIndex):
 
     # -- CG (Algorithm 7) ---------------------------------------------------------
 
-    def _candidate_generation(self, vector: SparseVector, cutoff: float) -> dict[int, float]:
+    def _candidate_generation(self, vector: SparseVector, cutoff: float) -> CandidateSet:
         stats = self.stats
         threshold = self.threshold
         decay = self.decay
@@ -257,39 +253,58 @@ class PrefixFilterStreamingIndex(StreamingIndex):
         accumulator = kernel.new_accumulator()
 
         sz1 = size_filter_threshold(threshold, vector.max_value) if self.use_ap else 0.0
-        rs1 = self._max_decayed.dot(vector) if self.use_ap else _INF
+        if self.use_ap:
+            # One m̂^λ gather per query; the rs1 initialisation below matches
+            # DecayedMaxVector.dot add for add, and the per-position
+            # decrements reuse the same values.
+            value_at = self._max_decayed.value_at  # type: ignore[union-attr]
+            decayed_maxima = [value_at(dim, now) for dim in vector.dims]
+            rs1 = sum(value * decayed
+                      for value, decayed in zip(vector.values, decayed_maxima))
+        else:
+            decayed_maxima = None
+            rs1 = _INF
         rst = vector.norm * vector.norm
         rs2 = math.sqrt(rst) if self.use_l2 else _INF
 
-        for position in range(len(vector) - 1, -1, -1):
-            dim = vector.dims[position]
-            value = vector.values[position]
-            posting_list = self._index.get(dim)
+        index_get = self._index.get
+        scan = kernel.scan_prefix_stream
+        dims = vector.dims
+        values = vector.values
+        prefix_norms = vector._prefix_norms
+        use_ap = self.use_ap
+        use_l2 = self.use_l2
+        time_ordered = self.time_ordered
+        size_filter = self._size_filter
+        entries_traversed = 0
+        for position in range(len(dims) - 1, -1, -1):
+            value = values[position]
+            posting_list = index_get(dims[position])
             if posting_list is not None and len(posting_list):
-                traversed, removed = kernel.scan_prefix_stream(
-                    posting_list, value, vector.prefix_norm_before(position),
+                traversed, removed = scan(
+                    posting_list, value, prefix_norms[position],
                     now, cutoff, decay, rs1, rs2, sz1, threshold,
-                    self.use_ap, self.use_l2, self.time_ordered,
-                    self._size_filter, accumulator,
+                    use_ap, use_l2, time_ordered, size_filter, accumulator,
                 )
-                stats.entries_traversed += traversed
+                entries_traversed += traversed
                 if removed:
                     self._index.note_removed(removed)
                     stats.entries_pruned += removed
-            if self.use_ap:
-                rs1 -= value * self._max_decayed.value_at(dim, now)  # type: ignore[union-attr]
+            if use_ap:
+                rs1 -= value * decayed_maxima[position]  # type: ignore[index]
             rst -= value * value
-            if self.use_l2:
+            if use_l2:
                 rs2 = math.sqrt(max(rst, 0.0))
+        stats.entries_traversed += entries_traversed
 
-        scores = accumulator.candidates()
-        stats.candidates_generated += len(scores)
-        return scores
+        candidates = accumulator.finalize()
+        stats.candidates_generated += len(candidates)
+        return candidates
 
     # -- CV (Algorithm 8) ---------------------------------------------------------
 
     def _candidate_verification(self, vector: SparseVector,
-                                candidates: dict[int, float]) -> list[SimilarPair]:
+                                candidates: CandidateSet) -> list[SimilarPair]:
         return self.kernel.verify_stream(
             vector, candidates, self._residual, self.threshold, self.decay,
             vector.timestamp, self.stats)
@@ -297,28 +312,24 @@ class PrefixFilterStreamingIndex(StreamingIndex):
     # -- IC (Algorithm 6, lines 6-14) ----------------------------------------------
 
     def _index_vector(self, vector: SparseVector) -> None:
-        split = compute_indexing_split(
+        split = self.kernel.indexing_split(
             vector, self.threshold,
             max_vector=self._max_query if self.use_ap else None,
             use_ap=self.use_ap, use_l2=self.use_l2,
         )
         if split.boundary >= len(vector):
             return
-        self._residual.add(ResidualEntry(
+        entry = ResidualEntry(
             vector=vector, boundary=split.boundary, pscore=split.pscore,
-        ))
+        )
+        self._residual.add(entry)
         self._size_filter.set(vector.vector_id, len(vector) * vector.max_value)
-        for position in range(split.boundary, len(vector)):
-            dim = vector.dims[position]
-            self._index.add(dim, PostingEntry(
-                vector_id=vector.vector_id,
-                value=vector.values[position],
-                prefix_norm=vector.prefix_norm_before(position),
-                timestamp=vector.timestamp,
-            ))
+        self.kernel.note_vector_indexed(entry)
+        indexed = self.kernel.index_vector_postings(
+            self._index, vector, split.boundary)
         if self.use_ap:
             self._max_decayed.update(vector)  # type: ignore[union-attr]
-        self.stats.entries_indexed += len(vector) - split.boundary
+        self.stats.entries_indexed += indexed
         self.stats.residual_entries += split.boundary
 
     # -- re-indexing (Section 5.3) ---------------------------------------------------
@@ -330,11 +341,25 @@ class PrefixFilterStreamingIndex(StreamingIndex):
         if not affected:
             return
         stats.reindexings += 1
+        threshold = self.threshold
         for candidate_id in affected:
             entry = self._residual.get(candidate_id)
             if entry is None or entry.timestamp < cutoff:
                 continue
-            split = compute_indexing_split(
+            boundary = entry.boundary
+            if self.use_l2 and entry.vector.prefix_norm_before(boundary) < threshold:
+                # ℓ₂-locked boundary: every pre-boundary position has
+                # ``b2 < θ``, so ``min(b1, b2) < θ`` there no matter how
+                # much ``m`` grows — the boundary cannot move.  The stored
+                # Q bound must still stay an upper bound while ``b1``
+                # grows; cap it once at the (m-independent) ℓ₂ bound
+                # instead of rescanning the prefix on every growth event.
+                l2_bound = entry.vector.prefix_norm_before(boundary)
+                if entry.pscore != l2_bound:
+                    entry.pscore = l2_bound
+                    self.kernel.note_vector_updated(entry)
+                continue
+            split = self.kernel.indexing_split(
                 entry.vector, self.threshold,
                 max_vector=self._max_query,
                 use_ap=self.use_ap, use_l2=self.use_l2,
@@ -346,20 +371,16 @@ class PrefixFilterStreamingIndex(StreamingIndex):
                 # stale (under-estimating) Q would let the ps1 verification
                 # bound prune a true pair.  Refresh it.
                 entry.pscore = split.pscore
+                self.kernel.note_vector_updated(entry)
                 continue
             # Move the newly covered coordinates from the residual prefix to
             # the posting lists; they are appended at the tail, so the lists
             # lose their time order (hence ``time_ordered`` is False here).
-            for position in range(split.boundary, entry.boundary):
-                dim = entry.vector.dims[position]
-                self._index.add(dim, PostingEntry(
-                    vector_id=candidate_id,
-                    value=entry.vector.values[position],
-                    prefix_norm=entry.vector.prefix_norm_before(position),
-                    timestamp=entry.timestamp,
-                ))
-                stats.reindexed_entries += 1
-                stats.entries_indexed += 1
+            moved = self.kernel.index_vector_postings(
+                self._index, entry.vector, split.boundary, entry.boundary)
+            stats.reindexed_entries += moved
+            stats.entries_indexed += moved
             freed_dims = entry.shrink_to(split.boundary, split.pscore)
             self._residual.note_residual_shrunk(len(freed_dims))
             self._residual.forget_residual_dimension(candidate_id, freed_dims)
+            self.kernel.note_vector_updated(entry)

@@ -27,7 +27,7 @@ from repro.indexes.linked_map import LinkedHashMap
 __all__ = ["ResidualEntry", "ResidualIndex"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ResidualEntry:
     """Residual prefix and metadata for one indexed vector."""
 

@@ -47,6 +47,26 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "STR-L2[python]" in output
 
+    def test_profile_prints_stage_breakdown(self, capsys):
+        assert main(["profile", "--profile", "tweets", "--num-vectors", "50",
+                     "--algorithm", "STR-L2AP", "--theta", "0.6",
+                     "--decay", "0.05"]) == 0
+        output = capsys.readouterr().out
+        for stage in ("scan", "filter", "verify", "maintenance"):
+            assert stage in output
+        assert "Per-stage breakdown" in output
+        assert "vectors/s" in output
+
+    def test_profile_with_explicit_backend(self, capsys):
+        assert main(["profile", "--profile", "tweets", "--num-vectors", "40",
+                     "--algorithm", "STR-INV", "--backend", "python"]) == 0
+        assert "python+profile" in capsys.readouterr().out
+
+    def test_profile_rejects_minibatch_algorithms(self, capsys):
+        assert main(["profile", "--profile", "tweets", "--num-vectors", "40",
+                     "--algorithm", "MB-L2"]) == 2
+        assert "STR framework" in capsys.readouterr().err
+
     def test_generate_and_stats_and_convert(self, tmp_path, capsys):
         text_path = tmp_path / "corpus.txt"
         assert main(["generate", "--profile", "tweets", "--num-vectors", "30",

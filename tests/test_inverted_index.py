@@ -29,7 +29,7 @@ class TestBatchInvertedIndex:
         a = vec(1, 0.0, {1: 1.0, 2: 1.0})
         index.index_vector(a)
         b = vec(2, 0.0, {1: 1.0, 2: 1.0})
-        scores = index.candidate_generation(b)
+        scores = index.candidate_generation(b).to_dict()
         assert scores == {1: pytest.approx(1.0)}
 
     def test_verification_applies_threshold(self):

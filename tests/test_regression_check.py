@@ -1,0 +1,94 @@
+"""Unit tests for the benchmark artifact writer and regression checker."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.export import BENCH_MICRO_SCHEMA, git_revision, write_bench_micro
+from repro.bench.regression import check_regression, main
+
+
+def record(speedup: float) -> dict:
+    return {
+        "schema": BENCH_MICRO_SCHEMA,
+        "benchmark": "l2ap_streaming_hot_path",
+        "derived": {"speedup": speedup},
+    }
+
+
+class TestWriteBenchMicro:
+    def test_writes_schema_sha_and_sections(self, tmp_path):
+        path = write_bench_micro(
+            tmp_path / "BENCH_micro.json",
+            benchmark="l2ap_streaming_hot_path",
+            config={"profile": "hashtags", "num_vectors": 100},
+            backends={"numpy": {"elapsed_s": 1.0, "throughput_vps": 100.0}},
+            derived={"speedup": 4.0},
+        )
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BENCH_MICRO_SCHEMA
+        assert payload["benchmark"] == "l2ap_streaming_hot_path"
+        assert payload["config"]["profile"] == "hashtags"
+        assert payload["backends"]["numpy"]["throughput_vps"] == 100.0
+        assert payload["derived"]["speedup"] == 4.0
+        assert isinstance(payload["git_sha"], str) and payload["git_sha"]
+
+    def test_git_revision_returns_string(self):
+        assert isinstance(git_revision(), str)
+
+
+class TestCheckRegression:
+    def test_no_regression_within_tolerance(self):
+        report = check_regression(record(3.6), record(4.0), tolerance=0.2)
+        assert not report.regressed
+        assert len(report.checks) == 1
+        assert "ok" in report.render()
+
+    def test_flags_regression_beyond_tolerance(self):
+        report = check_regression(record(3.0), record(4.0), tolerance=0.2)
+        assert report.regressed
+        assert "REGRESSED" in report.render()
+
+    def test_improvement_is_never_a_regression(self):
+        report = check_regression(record(8.0), record(4.0), tolerance=0.2)
+        assert not report.regressed
+
+    def test_missing_metric_is_skipped(self):
+        report = check_regression({"derived": {}}, record(4.0))
+        assert report.checks == []
+        assert not report.regressed
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        current.write_text(json.dumps(record(3.9)))
+        baseline.write_text(json.dumps(record(4.0)))
+        assert main([str(current), str(baseline)]) == 0
+        current.write_text(json.dumps(record(1.0)))
+        assert main([str(current), str(baseline)]) == 1
+        capsys.readouterr()
+
+    def test_cli_missing_baseline_is_skipped(self, tmp_path, capsys):
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(record(3.9)))
+        assert main([str(current), str(tmp_path / "absent.json")]) == 0
+        assert "skipping" in capsys.readouterr().out
+
+    def test_cli_refuses_mismatched_workloads(self, tmp_path, capsys):
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        current_record = record(8.0)
+        current_record["config"] = {"num_vectors": 10000, "profile": "hashtags"}
+        baseline_record = record(2.2)
+        baseline_record["config"] = {"num_vectors": 2500, "profile": "hashtags"}
+        current.write_text(json.dumps(current_record))
+        baseline.write_text(json.dumps(baseline_record))
+        assert main([str(current), str(baseline)]) == 2
+        assert "config mismatch" in capsys.readouterr().out
+
+    def test_config_subset_comparison_ignores_new_keys(self):
+        from repro.bench.regression import config_mismatches
+
+        current = {"config": {"num_vectors": 2500, "new_knob": True}}
+        baseline = {"config": {"num_vectors": 2500}}
+        assert config_mismatches(current, baseline) == []
