@@ -6,21 +6,37 @@ sparse dot products, index maintenance and single-vector processing
 throughput for each streaming index — now reported side by side for every
 registered compute backend (see :mod:`repro.backends`).
 
-``test_l2ap_streaming_hot_path_10k`` is the backend acceptance gate: on a
-10 000-vector hot-path workload (the ``hashtags`` profile, whose skewed
-vocabulary produces long posting lists) the NumPy backend must deliver at
-least 6× the throughput of the pure-Python reference backend — PR 1's
-vectorised kernels cleared 3×, the slot-space candidate pipeline of PR 2
-doubles that — while producing the identical pair set and identical
-operation counters.  The gate also writes the machine-readable
-``BENCH_micro.json`` artifact (throughput, counters, backend, git sha) so
-the perf trajectory is tracked across PRs; ``repro.bench.regression``
-compares it against ``benchmarks/BENCH_baseline.json`` in CI.
+Three tests are the backend acceptance gates, and each writes its record
+into the machine-readable ``BENCH_micro.json`` artifact (schema 2: one
+``benchmarks`` entry per gate, with per-stage timing blocks) so the perf
+trajectory is tracked across PRs; ``repro.bench.regression`` compares the
+artifact against ``benchmarks/BENCH_baseline.json`` in CI:
+
+``test_l2ap_streaming_hot_path_10k``
+    The prefix-filter (STR) gate: a 10 000-vector hot-path workload on the
+    ``hashtags`` profile, whose skewed vocabulary produces long posting
+    lists.  The NumPy backend's fused arena scan must deliver at least
+    ``GATE_SPEEDUP`` × the throughput of the pure-Python reference while
+    producing the identical pair set and operation counters.
+``test_inv_streaming_hot_path``
+    The inverted (INV) gate: STR-INV indexes everything and accumulates
+    exact dot products, so its scan is pure posting traffic — the regime
+    the fused arena gather accelerates the most.
+``test_l2ap_streaming_scaling_50k``
+    The 50 000-vector scaling gate (NumPy only — the reference backend
+    would take many minutes).  The stream outlives the decay horizon
+    (τ ≈ 25 541 s at θ=0.6, λ=2·10⁻⁵), so postings expire mid-run and
+    ``entries_pruned`` must be non-zero: this is where the lazy-expiry /
+    arena-compaction machinery becomes observable in the artifact.
 
 Environment knobs (used by the CI smoke job):
 
 ``SSSJ_BENCH_VECTORS``
-    Override the gate's stream length (default 10 000).
+    Override the STR gate's stream length (default 10 000).
+``SSSJ_BENCH_VECTORS_INV``
+    Override the INV gate's stream length (default 3 000).
+``SSSJ_BENCH_VECTORS_LARGE``
+    Override the scaling gate's stream length (default 50 000).
 ``SSSJ_BENCH_OUTPUT``
     Where to write ``BENCH_micro.json`` (default: repository root).
 """
@@ -31,7 +47,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.backends import available_backends
+from repro.backends import available_backends, get_backend
+from repro.backends.profiling import ProfilingKernel
 from repro.bench.export import write_bench_micro
 from repro.bench.runner import corpus_for
 from repro.core.join import create_join
@@ -41,11 +58,17 @@ from repro.datasets.generator import generate_profile_corpus
 
 BACKENDS = available_backends()
 GATE_VECTORS = int(os.environ.get("SSSJ_BENCH_VECTORS", "10000"))
+GATE_VECTORS_INV = int(os.environ.get("SSSJ_BENCH_VECTORS_INV", "3000"))
+GATE_VECTORS_LARGE = int(os.environ.get("SSSJ_BENCH_VECTORS_LARGE", "50000"))
 GATE_OUTPUT = Path(os.environ.get(
     "SSSJ_BENCH_OUTPUT",
     Path(__file__).resolve().parent.parent / "BENCH_micro.json"))
-#: Minimum numpy-over-python speedup on the gate workload at full size.
+#: Minimum numpy-over-python speedup on the STR gate workload at full size.
 GATE_SPEEDUP = 6.0
+#: Minimum numpy-over-python speedup on the INV gate workload at full size.
+GATE_SPEEDUP_INV = 10.0
+#: The scaling gate must outlive the decay horizon so expiry is exercised.
+_HORIZON_VECTORS = 25_542  # ln(1/0.6) / 2e-5 seconds at one vector per second
 
 
 @pytest.fixture(scope="module")
@@ -97,28 +120,66 @@ def test_framework_throughput_tweets(benchmark, tweets_vectors, algorithm, backe
     benchmark.pedantic(run, rounds=1, iterations=1)
 
 
+# -- acceptance gates ---------------------------------------------------------
+
+
+def _timed_run(algorithm, vectors, threshold, decay, backend):
+    stats = JoinStatistics()
+    join = create_join(algorithm, threshold, decay, stats=stats,
+                       backend=backend)
+    start = time.perf_counter()
+    for vector in vectors:
+        join.process(vector)
+    return time.perf_counter() - start, stats
+
+
+def _stage_breakdown(algorithm, vectors, threshold, decay, backend_name):
+    """Per-stage wall-clock block from a profiled (separate) NumPy run."""
+    kernel = ProfilingKernel(get_backend(backend_name)())
+    join = create_join(algorithm, threshold, decay, backend=kernel)
+    for vector in vectors:
+        join.process(vector)
+    return {stage: round(seconds, 4)
+            for stage, seconds in kernel.stage_seconds.items()}
+
+
+def _backend_record(elapsed, stats, count, stages=None):
+    record = {
+        "elapsed_s": elapsed,
+        "throughput_vps": count / elapsed if elapsed else 0.0,
+        "pairs_output": stats.pairs_output,
+        "candidates_generated": stats.candidates_generated,
+        "full_similarities": stats.full_similarities,
+        "entries_traversed": stats.entries_traversed,
+        "entries_pruned": stats.entries_pruned,
+    }
+    if stages is not None:
+        record["stages"] = stages
+    return record
+
+
+def _assert_counter_parity(numpy_stats, python_stats):
+    assert numpy_stats.pairs_output == python_stats.pairs_output
+    assert numpy_stats.candidates_generated == python_stats.candidates_generated
+    assert numpy_stats.full_similarities == python_stats.full_similarities
+    assert numpy_stats.entries_traversed == python_stats.entries_traversed
+    assert numpy_stats.entries_pruned == python_stats.entries_pruned
+
+
 @pytest.mark.skipif("numpy" not in BACKENDS, reason="NumPy backend unavailable")
 def test_l2ap_streaming_hot_path_10k(benchmark, hashtags_vectors):
-    """Backend acceptance gate: ≥ 6× STR-L2AP throughput on the hashtags stream.
+    """STR gate: fused-arena STR-L2AP throughput vs the reference backend.
 
-    Also emits ``BENCH_micro.json`` with the per-backend throughput and
-    operation counters so the perf trajectory is tracked across PRs.
+    Emits the ``l2ap_streaming_hot_path`` record of ``BENCH_micro.json``
+    (throughput, operation counters, per-stage breakdown, git sha).
     """
     threshold, decay = 0.6, 2e-5  # horizon ≫ stream length: nothing expires
 
-    def run(backend):
-        stats = JoinStatistics()
-        join = create_join("STR-L2AP", threshold, decay, stats=stats,
-                           backend=backend)
-        start = time.perf_counter()
-        for vector in hashtags_vectors:
-            join.process(vector)
-        elapsed = time.perf_counter() - start
-        return elapsed, stats
-
     def run_both():
-        numpy_elapsed, numpy_stats = run("numpy")
-        python_elapsed, python_stats = run("python")
+        numpy_elapsed, numpy_stats = _timed_run(
+            "STR-L2AP", hashtags_vectors, threshold, decay, "numpy")
+        python_elapsed, python_stats = _timed_run(
+            "STR-L2AP", hashtags_vectors, threshold, decay, "python")
         return {
             "python_s": python_elapsed,
             "numpy_s": numpy_elapsed,
@@ -133,17 +194,8 @@ def test_l2ap_streaming_hot_path_10k(benchmark, hashtags_vectors):
           f"python {result['python_s']:.1f}s, numpy {result['numpy_s']:.1f}s, "
           f"speedup {result['speedup']:.2f}x")
 
-    def backend_record(elapsed, stats):
-        return {
-            "elapsed_s": elapsed,
-            "throughput_vps": count / elapsed if elapsed else 0.0,
-            "pairs_output": stats.pairs_output,
-            "candidates_generated": stats.candidates_generated,
-            "full_similarities": stats.full_similarities,
-            "entries_traversed": stats.entries_traversed,
-            "entries_pruned": stats.entries_pruned,
-        }
-
+    stages = _stage_breakdown("STR-L2AP", hashtags_vectors, threshold, decay,
+                              "numpy")
     artifact = write_bench_micro(
         GATE_OUTPUT,
         benchmark="l2ap_streaming_hot_path",
@@ -151,19 +203,113 @@ def test_l2ap_streaming_hot_path_10k(benchmark, hashtags_vectors):
                 "algorithm": "STR-L2AP", "threshold": threshold,
                 "decay": decay},
         backends={
-            "python": backend_record(result["python_s"], result["python_stats"]),
-            "numpy": backend_record(result["numpy_s"], result["numpy_stats"]),
+            "python": _backend_record(result["python_s"],
+                                      result["python_stats"], count),
+            "numpy": _backend_record(result["numpy_s"], result["numpy_stats"],
+                                     count, stages=stages),
         },
         derived={"speedup": result["speedup"]},
     )
     print(f"benchmark artifact written to {artifact}")
 
-    numpy_stats = result["numpy_stats"]
-    python_stats = result["python_stats"]
     # Pair-for-pair and operation-counter identity across the data paths.
-    assert numpy_stats.pairs_output == python_stats.pairs_output
-    assert numpy_stats.candidates_generated == python_stats.candidates_generated
-    assert numpy_stats.full_similarities == python_stats.full_similarities
-    assert numpy_stats.entries_traversed == python_stats.entries_traversed
+    _assert_counter_parity(result["numpy_stats"], result["python_stats"])
     if count >= 10_000:  # reduced CI sizes track the artifact, not the gate
         assert result["speedup"] >= GATE_SPEEDUP
+
+
+@pytest.mark.skipif("numpy" not in BACKENDS, reason="NumPy backend unavailable")
+def test_inv_streaming_hot_path(benchmark):
+    """INV gate: fused-arena STR-INV throughput vs the reference backend.
+
+    Emits the ``inv_streaming_hot_path`` record of ``BENCH_micro.json``.
+    """
+    threshold, decay = 0.6, 2e-5
+    vectors = generate_profile_corpus("hashtags",
+                                      num_vectors=GATE_VECTORS_INV, seed=7)
+
+    def run_both():
+        numpy_elapsed, numpy_stats = _timed_run(
+            "STR-INV", vectors, threshold, decay, "numpy")
+        python_elapsed, python_stats = _timed_run(
+            "STR-INV", vectors, threshold, decay, "python")
+        return {
+            "python_s": python_elapsed,
+            "numpy_s": numpy_elapsed,
+            "speedup": python_elapsed / numpy_elapsed,
+            "python_stats": python_stats,
+            "numpy_stats": numpy_stats,
+        }
+
+    result = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    count = len(vectors)
+    print(f"\nSTR-INV hot path (hashtags, {count} vectors): "
+          f"python {result['python_s']:.1f}s, numpy {result['numpy_s']:.1f}s, "
+          f"speedup {result['speedup']:.2f}x")
+
+    stages = _stage_breakdown("STR-INV", vectors, threshold, decay, "numpy")
+    artifact = write_bench_micro(
+        GATE_OUTPUT,
+        benchmark="inv_streaming_hot_path",
+        config={"profile": "hashtags", "num_vectors": count, "seed": 7,
+                "algorithm": "STR-INV", "threshold": threshold,
+                "decay": decay},
+        backends={
+            "python": _backend_record(result["python_s"],
+                                      result["python_stats"], count),
+            "numpy": _backend_record(result["numpy_s"], result["numpy_stats"],
+                                     count, stages=stages),
+        },
+        derived={"speedup": result["speedup"]},
+    )
+    print(f"benchmark artifact written to {artifact}")
+
+    _assert_counter_parity(result["numpy_stats"], result["python_stats"])
+    if count >= 3_000:  # reduced CI sizes track the artifact, not the gate
+        assert result["speedup"] >= GATE_SPEEDUP_INV
+
+
+@pytest.mark.skipif("numpy" not in BACKENDS, reason="NumPy backend unavailable")
+def test_l2ap_streaming_scaling_50k(benchmark):
+    """Scaling gate: 50k-vector STR-L2AP run on the NumPy backend only.
+
+    The stream outlives the decay horizon, so posting expiry — and with
+    it the lazy masking and amortised arena compaction — is exercised and
+    ``entries_pruned`` becomes observable in the artifact.  The reference
+    backend is not run (it would take the better part of ten minutes);
+    the machine-comparable regression metric for this gate is pruning
+    effectiveness, not a speedup.
+    """
+    threshold, decay = 0.6, 2e-5
+    vectors = generate_profile_corpus("hashtags",
+                                      num_vectors=GATE_VECTORS_LARGE, seed=7)
+
+    def run():
+        return _timed_run("STR-L2AP", vectors, threshold, decay, "numpy")
+
+    elapsed, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    count = len(vectors)
+    pruned_share = (stats.entries_pruned / stats.entries_traversed
+                    if stats.entries_traversed else 0.0)
+    print(f"\nSTR-L2AP scaling (hashtags, {count} vectors): "
+          f"numpy {elapsed:.1f}s ({count / elapsed:,.0f} vps), "
+          f"pruned {stats.entries_pruned} of {stats.entries_traversed} "
+          f"traversed ({pruned_share:.2%})")
+
+    artifact = write_bench_micro(
+        GATE_OUTPUT,
+        benchmark="l2ap_streaming_scaling_50k",
+        config={"profile": "hashtags", "num_vectors": count, "seed": 7,
+                "algorithm": "STR-L2AP", "threshold": threshold,
+                "decay": decay},
+        backends={
+            "numpy": _backend_record(elapsed, stats, count),
+        },
+        derived={"pruned_share": pruned_share,
+                 "throughput_vps": count / elapsed if elapsed else 0.0},
+    )
+    print(f"benchmark artifact written to {artifact}")
+
+    if count >= _HORIZON_VECTORS:
+        # The stream outlived the horizon: expiry must be visible.
+        assert stats.entries_pruned > 0

@@ -35,6 +35,7 @@ between two indexes.  Obtain instances through
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 from typing import TYPE_CHECKING, Any
@@ -266,6 +267,128 @@ class SimilarityKernel(ABC):
         where both counts are *logical*: a backend may defer the physical
         removal of expired postings, but must report them exactly once.
         """
+
+    # -- fused whole-query candidate generation ------------------------------
+    #
+    # The index drivers issue one ``scan_query_*`` call per query instead
+    # of one ``scan_*`` call per query term.  The default implementations
+    # below are the verbatim per-term driver loops (bound maintenance
+    # across query positions included), so backends that only implement
+    # the per-term kernels — the reference backend among them — behave
+    # exactly as before; a backend may override them to fuse the whole
+    # query into one pass over its storage (see the NumPy backend's
+    # posting arena).  Overrides must be observationally identical to
+    # these loops: same candidates in the same order, same operation
+    # counts, bit-for-bit equal accumulated scores.
+
+    def scan_query_batch(self, vector: "SparseVector", index: Any, *,
+                         threshold: float, rs1: float,
+                         maxima: Sequence[float] | None, sz1: float,
+                         use_ap: bool, use_l2: bool,
+                         size_filter: SizeFilterMap,
+                         acc: ScoreAccumulator) -> int:
+        """Batch prefix-filter candidate generation (Algorithm 3).
+
+        Scans the query's dimensions from the highest position down,
+        maintaining the remaining-score bounds ``rs1`` (AP, seeded by the
+        caller with ``m̂ · x`` and decremented with ``maxima``, the
+        per-position maxima of the indexed data) and ``rs2`` (ℓ₂).
+        Returns the number of posting entries traversed.
+        """
+        dims = vector.dims
+        values = vector.values
+        rst = vector.norm * vector.norm
+        rs2 = math.sqrt(rst) if use_l2 else math.inf
+        traversed = 0
+        for position in range(len(dims) - 1, -1, -1):
+            value = values[position]
+            posting_list = index.get(dims[position])
+            if posting_list is not None:
+                admit_new = min(rs1, rs2) >= threshold
+                traversed += self.scan_prefix_batch(
+                    posting_list, value, vector.prefix_norm_before(position),
+                    admit_new, threshold, use_ap, use_l2,
+                    sz1, size_filter, acc,
+                )
+            if use_ap:
+                rs1 -= value * maxima[position]  # type: ignore[index]
+            rst -= value * value
+            if use_l2:
+                rs2 = math.sqrt(max(rst, 0.0))
+        return traversed
+
+    def scan_query_stream(self, vector: "SparseVector", index: Any, *,
+                          now: float, cutoff: float, decay: float,
+                          rs1: float,
+                          decayed_maxima: Sequence[float] | None,
+                          sz1: float, threshold: float,
+                          use_ap: bool, use_l2: bool, time_ordered: bool,
+                          size_filter: SizeFilterMap,
+                          acc: ScoreAccumulator) -> tuple[int, int]:
+        """Streaming prefix-filter candidate generation (Algorithm 7).
+
+        Like :meth:`scan_query_batch` with time filtering and decayed
+        bounds; ``decayed_maxima`` holds ``m̂^λ`` evaluated at ``now`` for
+        each query position (when ``use_ap``).  Returns
+        ``(entries_traversed, entries_removed)`` totals across the query's
+        posting lists.
+        """
+        dims = vector.dims
+        values = vector.values
+        prefix_norms = vector._prefix_norms
+        rst = vector.norm * vector.norm
+        rs2 = math.sqrt(rst) if use_l2 else math.inf
+        index_get = index.get
+        scan = self.scan_prefix_stream
+        traversed = 0
+        removed = 0
+        for position in range(len(dims) - 1, -1, -1):
+            value = values[position]
+            posting_list = index_get(dims[position])
+            if posting_list is not None and len(posting_list):
+                scanned, pruned = scan(
+                    posting_list, value, prefix_norms[position],
+                    now, cutoff, decay, rs1, rs2, sz1, threshold,
+                    use_ap, use_l2, time_ordered, size_filter, acc,
+                )
+                traversed += scanned
+                removed += pruned
+            if use_ap:
+                rs1 -= value * decayed_maxima[position]  # type: ignore[index]
+            rst -= value * value
+            if use_l2:
+                rs2 = math.sqrt(max(rst, 0.0))
+        return traversed, removed
+
+    def scan_query_inv_batch(self, vector: "SparseVector", index: Any,
+                             acc: ScoreAccumulator) -> int:
+        """Batch INV candidate generation: exact accumulation, no filters."""
+        traversed = 0
+        for dim, value in vector:
+            posting_list = index.get(dim)
+            if posting_list is None:
+                continue
+            traversed += self.scan_inv_batch(posting_list, value, acc)
+        return traversed
+
+    def scan_query_inv_stream(self, vector: "SparseVector", index: Any,
+                              cutoff: float,
+                              acc: ScoreAccumulator) -> tuple[int, int]:
+        """STR-INV candidate generation with lazy time filtering.
+
+        Returns ``(entries_traversed, entries_removed)`` totals.
+        """
+        traversed = 0
+        removed = 0
+        for dim, value in vector:
+            posting_list = index.get(dim)
+            if posting_list is None:
+                continue
+            scanned, pruned = self.scan_inv_stream(posting_list, value,
+                                                   cutoff, acc)
+            traversed += scanned
+            removed += pruned
+        return traversed, removed
 
     # -- candidate verification ----------------------------------------------
 

@@ -1,22 +1,49 @@
 """NumPy-vectorised compute backend.
 
-Posting lists are stored as growable contiguous arrays — vector-id slots,
-weights ``x_j``, prefix magnitudes ``‖x'_j‖`` and timestamps ``t(x)`` in
-four parallel ``float64``/``int64`` buffers with a head offset, mirroring
-the doubling/halving resizing policy of the paper's circular byte buffer
-(Section 6.2) in flat form.  The three hot loops then become array kernels:
+Posting lists live in a shared **posting arena**
+(:mod:`repro.backends.arena`): one set of growable contiguous arrays —
+vector-id slots, weights ``x_j``, prefix magnitudes ``‖x'_j‖`` and
+timestamps ``t(x)`` — spanning *every* dimension, with a per-dimension
+extent table.  The three hot loops then become array kernels:
 
-* **candidate accumulation** — one gather / fused-multiply / scatter per
-  posting list instead of a Python loop per posting,
-* **decay and time filtering** — ``searchsorted`` head truncation for
-  time-ordered lists; unordered lists are filtered by a boolean *expiry
-  mask* whose physical compaction is amortised (see below),
+* **candidate accumulation** — the fused ``scan_query_*`` kernels gather
+  every matched dimension's live range out of the arena in one pass and
+  accumulate the whole query's candidates with a handful of array
+  operations, instead of one Python→NumPy round trip per query term (the
+  per-term ``scan_*`` kernels remain as the building blocks of the
+  fallback path and of other backends),
+* **decay and time filtering** — head truncation for time-ordered lists;
+  unordered lists are filtered by a boolean *expiry mask* whose physical
+  compaction is amortised (see below),
 * **verification** — one fused masked pass over slot-indexed metadata
   arrays evaluates the ``ps1``/``ds1``/``sz2`` bounds for every candidate
   at once; only the survivors finish their dot product over the residual
   prefix (a vectorised gather-multiply whose final reduction stays
   sequential so the result is bit-for-bit identical to the reference
   backend).
+
+Fused multi-term scans
+----------------------
+``scan_query_stream``/``scan_query_batch`` (and the INV twins) exploit
+two structural facts to stay *observationally identical* to the reference
+backend's per-entry loops while processing the whole query at once:
+
+* a vector contributes at most one posting per dimension and all its
+  postings carry the same timestamp, so the remaining-score admission
+  ``min(rs1, rs2·e^{-λΔt}) ≥ θ`` is monotone across the scan — a
+  candidate is admitted if and only if its *first* appearance passes;
+* scores and the ``l2bound`` prune decisions only couple postings of the
+  *same* candidate, so after a stable sort by slot the scan is replayed
+  in **rounds over the appearance rank**: round ``r`` processes every
+  candidate's ``r``-th posting with one gather/add/compare/scatter.
+  Within a round each slot appears exactly once, and the rounds run in
+  ascending rank order, so every partial sum is accumulated in exactly
+  the reference order (bit-for-bit).
+
+The number of rounds equals the largest number of query terms a single
+candidate shares with the query — typically a small fraction of the
+number of terms — and all per-entry work (decay, bound tails, admission)
+is vectorised once over the whole gather.
 
 Candidates never round-trip through ``dict[int, float]``: the scan kernels
 accumulate into epoch-stamped dense per-slot arrays, :class:`NumpyAccumulator`
@@ -36,7 +63,8 @@ Amortised expiry compaction
 ---------------------------
 Unordered posting lists (STR-L2AP after re-indexing) cannot be truncated
 from the head; eagerly rewriting each list on every scan costs O(list) per
-arrival.  Instead each :class:`ArrayPostingList` keeps a *high-water expiry
+arrival.  Instead each :class:`~repro.backends.arena.ArenaPostingList`
+keeps a *high-water expiry
 cutoff* and a *dirty counter*: scans mask expired postings out on the fly,
 report them removed exactly once (so operation counters match the eagerly
 compacting reference backend), and the physical rewrite is deferred until
@@ -74,6 +102,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.backends.arena import ArenaPostingList, PostingArena
+from repro.backends.arena import _MIN_CAPACITY  # noqa: F401  (test hook)
 from repro.backends.base import (
     CandidateSet,
     ScoreAccumulator,
@@ -84,12 +114,10 @@ from repro.core.results import JoinStatistics, SimilarPair
 from repro.core.vector import SparseVector
 from repro.indexes.bounds import IndexingSplit, compute_indexing_split
 from repro.indexes.maxvector import MaxVector
-from repro.indexes.posting import PostingEntry
 from repro.indexes.residual import ResidualEntry, ResidualIndex
 
-__all__ = ["NumpyKernel", "ArrayPostingList"]
+__all__ = ["NumpyKernel", "ArenaPostingList", "PostingArena"]
 
-_MIN_CAPACITY = 8
 _INITIAL_SLOTS = 64
 _INITIAL_DENSE = 1024
 _INF = math.inf
@@ -103,6 +131,9 @@ _DENSE_DIM_LIMIT = 1 << 24
 _SCALAR_SCAN_CUTOFF = 12
 #: Vectors at or below this length run the pure-Python indexing-split loop.
 _SCALAR_SPLIT_CUTOFF = 8
+#: Bulk appends at or below this many postings take the scalar field-write
+#: path; larger ones reserve all tail cells and scatter each field once.
+_SCALAR_APPEND_CUTOFF = 8
 #: Per-query replenishment and cap of the amortised compaction budget
 #: (measured in postings rewritten).
 _COMPACTION_BUDGET = 512
@@ -122,277 +153,6 @@ _EMPTY_FLOAT = np.empty(0, dtype=np.float64)
 #: ``threshold * (1 - _GUARD_BAND)`` and the exact math.exp decision is
 #: re-taken per candidate inside the band.
 _GUARD_BAND = 1e-12
-
-
-class ArrayPostingList:
-    """A posting list ``I_j`` as four growable contiguous arrays.
-
-    Implements the same interface as
-    :class:`~repro.indexes.posting.PostingList` (so checkpointing and the
-    generic index-maintenance code work unchanged) while exposing the live
-    regions as array views for the scan kernels.  Vector ids are stored as
-    kernel-interned slots; iteration translates them back.
-
-    The capacity doubles when full and halves (to the smallest power of two
-    keeping occupancy at least a quarter) when occupancy drops below a
-    quarter, the resizing policy of Section 6.2.
-
-    Expired postings of unordered lists are removed *lazily*: the list
-    tracks the highest expiry cutoff applied so far (``expired_cutoff``)
-    and how many physically present postings fall below it (``dirty``).
-    ``__len__`` and iteration report only the logically live postings;
-    :meth:`arrays` exposes the raw physical region for the scan kernels,
-    which re-apply the mask.  Appended postings must be live with respect
-    to the current cutoff (streams only append at the present).
-    """
-
-    __slots__ = ("_kernel", "_slots", "_values", "_pnorms", "_ts",
-                 "_head", "_size", "_dirty", "_expired_cutoff", "_min_ts",
-                 "_max_ts")
-
-    def __init__(self, kernel: "NumpyKernel") -> None:
-        self._kernel = kernel
-        self._slots = np.empty(_MIN_CAPACITY, dtype=np.int64)
-        self._values = np.empty(_MIN_CAPACITY, dtype=np.float64)
-        self._pnorms = np.empty(_MIN_CAPACITY, dtype=np.float64)
-        self._ts = np.empty(_MIN_CAPACITY, dtype=np.float64)
-        self._head = 0
-        self._size = 0
-        self._dirty = 0
-        self._expired_cutoff = -_INF
-        self._min_ts = _INF
-        self._max_ts = -_INF
-
-    # -- introspection -------------------------------------------------------
-
-    def __len__(self) -> int:
-        """Number of logically live postings (physical minus lazily expired)."""
-        return self._size - self._dirty
-
-    def __bool__(self) -> bool:
-        return self._size > self._dirty
-
-    @property
-    def capacity(self) -> int:
-        """Current allocated capacity of the backing arrays."""
-        return len(self._slots)
-
-    @property
-    def physical_size(self) -> int:
-        """Number of physically stored postings, including lazily expired ones."""
-        return self._size
-
-    @property
-    def dirty(self) -> int:
-        """Number of lazily expired postings awaiting physical compaction."""
-        return self._dirty
-
-    @property
-    def expired_cutoff(self) -> float:
-        """Highest expiry cutoff applied so far (lazily or physically)."""
-        return self._expired_cutoff
-
-    @property
-    def min_live_timestamp(self) -> float:
-        """Conservative lower bound on the physically stored timestamps."""
-        return self._min_ts
-
-    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Views of the *physical* live region:
-        ``(slots, values, prefix_norms, timestamps)``.
-
-        When :attr:`dirty` is non-zero the views still contain lazily
-        expired postings (``timestamp < expired_cutoff``); the scan kernels
-        mask them out.
-        """
-        lo, hi = self._head, self._head + self._size
-        return (self._slots[lo:hi], self._values[lo:hi],
-                self._pnorms[lo:hi], self._ts[lo:hi])
-
-    def __iter__(self):
-        """Iterate the live postings oldest → newest as :class:`PostingEntry`."""
-        ids = self._kernel._slot_ids
-        cutoff = self._expired_cutoff if self._dirty else -_INF
-        for offset in range(self._head, self._head + self._size):
-            timestamp = float(self._ts[offset])
-            if timestamp < cutoff:
-                continue
-            yield PostingEntry(
-                vector_id=int(ids[self._slots[offset]]),
-                value=float(self._values[offset]),
-                prefix_norm=float(self._pnorms[offset]),
-                timestamp=timestamp,
-            )
-
-    def iter_newest_first(self):
-        """Iterate the live postings newest → oldest (backward CG scan)."""
-        ids = self._kernel._slot_ids
-        cutoff = self._expired_cutoff if self._dirty else -_INF
-        for offset in range(self._head + self._size - 1, self._head - 1, -1):
-            timestamp = float(self._ts[offset])
-            if timestamp < cutoff:
-                continue
-            yield PostingEntry(
-                vector_id=int(ids[self._slots[offset]]),
-                value=float(self._values[offset]),
-                prefix_norm=float(self._pnorms[offset]),
-                timestamp=timestamp,
-            )
-
-    def to_list(self) -> list[PostingEntry]:
-        """Copy of the live postings from oldest to newest."""
-        return list(self)
-
-    # -- mutation ------------------------------------------------------------
-
-    def append(self, entry: PostingEntry) -> None:
-        """Append a posting at the tail."""
-        self._append_fast(self._kernel._intern(entry.vector_id), entry.value,
-                          entry.prefix_norm, entry.timestamp)
-
-    def _append_fast(self, slot: int, value: float, prefix_norm: float,
-                     timestamp: float) -> None:
-        """Field-level append used by the kernel's bulk indexing path."""
-        tail = self._head + self._size
-        if tail == len(self._slots):
-            self._repack(grow=self._size * 2 > len(self._slots))
-            tail = self._head + self._size
-        self._slots[tail] = slot
-        self._values[tail] = value
-        self._pnorms[tail] = prefix_norm
-        self._ts[tail] = timestamp
-        self._size += 1
-        if timestamp < self._min_ts:
-            self._min_ts = timestamp
-        if timestamp > self._max_ts:
-            self._max_ts = timestamp
-
-    def drop_oldest(self, count: int) -> int:
-        """Remove up to ``count`` postings from the head; return the number dropped.
-
-        Only valid on time-ordered lists, which never carry lazily expired
-        postings (their head truncation is already O(1)).
-        """
-        if count <= 0:
-            return 0
-        dropped = min(count, self._size)
-        self._head += dropped
-        self._size -= dropped
-        self._maybe_shrink()
-        return dropped
-
-    def keep_newest(self, count: int) -> int:
-        """Keep only the ``count`` newest postings (backward-scan truncation)."""
-        return self.drop_oldest(self._size - max(count, 0))
-
-    def truncate_older_than(self, cutoff: float) -> int:
-        """Drop the head postings with ``timestamp < cutoff`` (time-ordered lists)."""
-        live_ts = self._ts[self._head:self._head + self._size]
-        return self.drop_oldest(int(np.searchsorted(live_ts, cutoff, side="left")))
-
-    def note_lazy_expiry(self, cutoff: float, dirty: int,
-                         min_live: float, max_live: float) -> None:
-        """Record a deferred expiry pass performed by a scan kernel.
-
-        ``dirty`` postings of the physical region fall below ``cutoff`` and
-        have been reported as removed; ``min_live``/``max_live`` are the
-        extreme timestamps among the survivors (``±inf`` when none survive).
-        """
-        self._expired_cutoff = cutoff
-        self._dirty = dirty
-        self._min_ts = min_live
-        self._max_ts = max_live
-
-    def compress(self, keep_mask: np.ndarray) -> int:
-        """Keep only the physical postings selected by ``keep_mask``.
-
-        Returns the number of *logical* removals — postings that were live
-        before the call and are gone after it; lazily expired postings
-        dropped here were already reported by :meth:`note_lazy_expiry`.
-        """
-        live_before = self._size - self._dirty
-        kept = int(np.count_nonzero(keep_mask))
-        if kept == self._size:
-            return 0
-        lo, hi = self._head, self._head + self._size
-        for buf in (self._slots, self._values, self._pnorms, self._ts):
-            buf[:kept] = buf[lo:hi][keep_mask]
-        self._head = 0
-        self._size = kept
-        if kept:
-            kept_ts = self._ts[:kept]
-            self._min_ts = float(kept_ts.min())
-            self._max_ts = float(kept_ts.max())
-            self._dirty = (int(np.count_nonzero(kept_ts < self._expired_cutoff))
-                           if self._min_ts < self._expired_cutoff else 0)
-        else:
-            self._min_ts = _INF
-            self._max_ts = -_INF
-            self._dirty = 0
-        self._maybe_shrink()
-        return live_before - (self._size - self._dirty)
-
-    def compact(self, cutoff: float) -> int:
-        """Remove every posting with ``timestamp < cutoff`` regardless of order.
-
-        Forces a physical rewrite (used by explicit maintenance such as
-        :meth:`~repro.indexes.posting.InvertedIndex.prune_older_than`);
-        returns the number of logical removals.
-        """
-        if cutoff > self._expired_cutoff:
-            self._expired_cutoff = cutoff
-        if self._size == 0:
-            return 0
-        live_ts = self._ts[self._head:self._head + self._size]
-        keep_mask = live_ts >= self._expired_cutoff
-        return self.compress(keep_mask)
-
-    def replace_all_entries(self, entries: list[PostingEntry]) -> None:
-        """Replace the whole content with ``entries`` (oldest first)."""
-        self._head = 0
-        self._size = 0
-        self._dirty = 0
-        self._expired_cutoff = -_INF
-        self._min_ts = _INF
-        self._max_ts = -_INF
-        needed = max(_MIN_CAPACITY, len(entries))
-        if needed > len(self._slots) or needed * 4 < len(self._slots):
-            capacity = _MIN_CAPACITY
-            while capacity < needed:
-                capacity *= 2
-            self._reallocate(capacity)
-        for entry in entries:
-            self.append(entry)
-
-    # -- internal ------------------------------------------------------------
-
-    def _maybe_shrink(self) -> None:
-        capacity = len(self._slots)
-        if capacity > _MIN_CAPACITY and self._size * 4 < capacity:
-            # Shrink in one shot to the smallest power of two that keeps
-            # occupancy at least a quarter; halving only once per call
-            # leaves long-lived lists pinned at stale high-water capacities.
-            target = capacity
-            while target > _MIN_CAPACITY and self._size * 4 < target:
-                target //= 2
-            self._repack(grow=False, capacity=max(target, _MIN_CAPACITY))
-        elif self._head > self._size:
-            # Reclaim the dead head region without resizing.
-            self._repack(grow=False, capacity=capacity)
-
-    def _repack(self, *, grow: bool, capacity: int | None = None) -> None:
-        if capacity is None:
-            capacity = len(self._slots) * 2 if grow else len(self._slots)
-        self._reallocate(max(capacity, self._size, _MIN_CAPACITY))
-
-    def _reallocate(self, capacity: int) -> None:
-        lo, hi = self._head, self._head + self._size
-        for name in ("_slots", "_values", "_pnorms", "_ts"):
-            old = getattr(self, name)
-            fresh = np.empty(capacity, dtype=old.dtype)
-            fresh[:self._size] = old[lo:hi]
-            setattr(self, name, fresh)
-        self._head = 0
 
 
 class NumpyCandidateSet(CandidateSet):
@@ -501,7 +261,13 @@ class NumpyKernel(SimilarityKernel):
 
     name = "numpy"
 
-    def __init__(self) -> None:
+    def __init__(self, *, fused: bool = True) -> None:
+        #: Whether the fused ``scan_query_*`` kernels are enabled.  With
+        #: ``fused=False`` the kernel falls back to the base class's
+        #: per-term driver loop over the ``scan_*`` kernels — the path the
+        #: fused implementations are parity-tested against.
+        self._fused = fused
+        self._arena = PostingArena(self)
         self._slot_of: dict[int, int] = {}
         self._slot_ids = np.empty(_INITIAL_SLOTS, dtype=np.int64)
         self._slot_score = np.zeros(_INITIAL_SLOTS, dtype=np.float64)
@@ -511,6 +277,10 @@ class NumpyKernel(SimilarityKernel):
         self._slot_state = np.zeros(_INITIAL_SLOTS, dtype=np.int64)
         self._slot_sf = np.full(_INITIAL_SLOTS, np.inf, dtype=np.float64)
         self._slot_arrival = np.zeros(_INITIAL_SLOTS, dtype=np.float64)
+        # Scratch for the fused scans' first-occurrence scatter; its stale
+        # values are never read (only slots written in the same pass are
+        # compared), so it needs no epoch management.
+        self._slot_mark = np.zeros(_INITIAL_SLOTS, dtype=np.int64)
         # Verification-metadata mirrors of the residual/Q store, maintained
         # by the note_vector_* hooks (see the module docstring).  One row
         # per slot — ``(pscore, vm_{x'}, Σx', |x'|, t(x))`` — so the fused
@@ -527,11 +297,12 @@ class NumpyKernel(SimilarityKernel):
         self._query_dims: np.ndarray | None = None
         self._query_vector: SparseVector | None = None
         self._dense_active = False
-        # id(vector) -> [vector, dims, values, b2-prefix-or-None].  The
-        # strong reference to the vector pins its id, so a recycled id can
-        # never alias a stale entry; the ℓ₂ indexing bound prefix is filled
-        # lazily by indexing_split (re-indexing recomputes the split of the
-        # same vector many times, but b2 depends only on the vector).
+        # id(vector) -> [vector, dims, values, b2-prefix-or-None,
+        # prefix-norms-or-None].  The strong reference to the vector pins
+        # its id, so a recycled id can never alias a stale entry; the ℓ₂
+        # indexing bound prefix and the prefix-norm array are filled
+        # lazily (re-indexing recomputes the split of the same vector many
+        # times, but both depend only on the vector).
         self._vector_arrays: dict[int, list] = {}
 
     # -- slot interning ------------------------------------------------------
@@ -551,7 +322,7 @@ class NumpyKernel(SimilarityKernel):
         while capacity < needed:
             capacity *= 2
         for name, fill in (("_slot_ids", None), ("_slot_score", 0.0),
-                           ("_slot_state", 0),
+                           ("_slot_state", 0), ("_slot_mark", 0),
                            ("_slot_sf", np.inf), ("_slot_arrival", 0.0),
                            ("_slot_valid", False)):
             old = getattr(self, name)
@@ -567,13 +338,19 @@ class NumpyKernel(SimilarityKernel):
 
     # -- storage factories ---------------------------------------------------
 
-    def new_posting_list(self) -> ArrayPostingList:
-        return ArrayPostingList(self)
+    def new_posting_list(self) -> ArenaPostingList:
+        return self._arena.new_list()
 
     def new_accumulator(self) -> NumpyAccumulator:
         self._epoch += 1
         budget = self._maintenance_budget + _COMPACTION_BUDGET
-        self._maintenance_budget = min(budget, _COMPACTION_BUDGET_CAP)
+        budget = min(budget, _COMPACTION_BUDGET_CAP)
+        # The budget pays for early arena compaction (a mandatory one —
+        # dead space exceeding live postings — is already amortised and
+        # costs nothing); a new accumulator is a safe point, no scan holds
+        # gathers from the arena arrays here.
+        budget -= self._arena.compact_if_affordable(budget)
+        self._maintenance_budget = budget
         return NumpyAccumulator(self, self._epoch)
 
     def new_size_filter(self) -> NumpySizeFilter:
@@ -639,18 +416,46 @@ class NumpyKernel(SimilarityKernel):
 
     def index_vector_postings(self, index: Any, vector: SparseVector,
                               start: int = 0, end: int | None = None) -> int:
-        """Bulk append: intern the id once, write posting fields directly."""
+        """Bulk append: intern the id once, scatter the fields in one pass.
+
+        Every touched dimension reserves its tail cell first (each list is
+        touched at most once — vector dimensions are unique — so chunk
+        relocations cannot move already-reserved cells), then the four
+        posting fields are written with one vectorised scatter per array.
+        """
         slot = self._intern(vector.vector_id)
         timestamp = vector.timestamp
         dims = vector.dims
-        values = vector.values
-        prefix_norms = vector._prefix_norms
-        list_for = index.list_for
         stop = len(dims) if end is None else end
-        for position in range(start, stop):
-            list_for(dims[position])._append_fast(
-                slot, values[position], prefix_norms[position], timestamp)
         count = stop - start
+        if count <= 0:
+            return 0
+        list_for = index.list_for
+        if count <= _SCALAR_APPEND_CUTOFF:
+            values = vector.values
+            prefix_norms = vector._prefix_norms
+            for position in range(start, stop):
+                list_for(dims[position])._append_fast(
+                    slot, values[position], prefix_norms[position], timestamp)
+            index.note_added(count)
+            return count
+        arena = self._arena
+        arena.maybe_compact()
+        cached = self._vector_entry(vector)
+        values_arr = cached[2]
+        prefix_arr = cached[4]
+        if prefix_arr is None:
+            prefix_arr = np.asarray(vector._prefix_norms, dtype=np.float64)
+            cached[4] = prefix_arr
+        positions = np.empty(count, dtype=np.int64)
+        for offset, position in enumerate(range(start, stop)):
+            plist = list_for(dims[position])
+            positions[offset] = plist._reserve_tail()
+            plist.note_appended(1, timestamp, timestamp)
+        arena.slots[positions] = slot
+        arena.values[positions] = values_arr[start:stop]
+        arena.pnorms[positions] = prefix_arr[start:stop]
+        arena.ts[positions] = timestamp
         index.note_added(count)
         return count
 
@@ -854,16 +659,11 @@ class NumpyKernel(SimilarityKernel):
                                       use_ap: bool, use_l2: bool,
                                       acc: NumpyAccumulator,
                                       size_filter: SizeFilterMap) -> tuple[int, int]:
-        physical = plist._size
+        physical = plist.physical_size
         if physical == 0:
             return 0, 0
-        head = plist._head
-        tail = head + physical
-        slots = plist._slots[head:tail]
-        values = plist._values[head:tail]
-        prefix_norms = plist._pnorms[head:tail]
-        timestamps = plist._ts[head:tail]
-        if plist._dirty == 0 and plist._min_ts >= cutoff:
+        slots, values, prefix_norms, timestamps = plist.arrays()
+        if plist.dirty == 0 and plist.min_live_timestamp >= cutoff:
             # Nothing can be expired: scan the whole physical region and
             # skip the mask entirely.
             if physical <= _SCALAR_SCAN_CUTOFF:
@@ -1106,6 +906,553 @@ class NumpyKernel(SimilarityKernel):
             if len(fresh_slots):
                 acc._touched.append(fresh_slots)
 
+    # -- fused whole-query scans ---------------------------------------------
+
+    def scan_query_batch(self, vector: SparseVector, index: Any, *,
+                         threshold: float, rs1: float,
+                         maxima: Sequence[float] | None, sz1: float,
+                         use_ap: bool, use_l2: bool,
+                         size_filter: SizeFilterMap,
+                         acc: ScoreAccumulator) -> int:
+        if not self._fused:
+            return super().scan_query_batch(
+                vector, index, threshold=threshold, rs1=rs1, maxima=maxima,
+                sz1=sz1, use_ap=use_ap, use_l2=use_l2,
+                size_filter=size_filter, acc=acc)
+        dims = vector.dims
+        values = vector.values
+        rst = vector.norm * vector.norm
+        rs2 = math.sqrt(rst) if use_l2 else _INF
+        seg_lists: list[Any] = []
+        seg_values: list[float] = []
+        seg_qpns: list[float] = []
+        seg_admit: list[bool] = []
+        for position in range(len(dims) - 1, -1, -1):
+            value = values[position]
+            plist = index.get(dims[position])
+            if plist is not None and plist.physical_size:
+                seg_lists.append(plist)
+                seg_values.append(value)
+                seg_qpns.append(vector.prefix_norm_before(position))
+                seg_admit.append(min(rs1, rs2) >= threshold)
+            if use_ap:
+                rs1 -= value * maxima[position]  # type: ignore[index]
+            rst -= value * value
+            if use_l2:
+                rs2 = math.sqrt(max(rst, 0.0))
+        if not seg_lists:
+            return 0
+        arena = self._arena
+        idx, lengths, offsets = self._gather_indices(seg_lists, reverse=False)
+        total = len(idx)
+        if not any(seg_admit):
+            # No segment admits newcomers and (within one fused pass)
+            # nothing can have started earlier, so no candidate can form.
+            return total
+        tri = [_ADMIT_ALL if admitted else _ADMIT_NONE
+               for admitted in seg_admit]
+        leading = len(tri)
+        for j, outcome in enumerate(tri):
+            if outcome == _ADMIT_NONE:
+                leading = j
+                break
+        hoisted = int(offsets[leading])
+        slots = arena.slots[idx]
+        head = idx[:hoisted]
+        contrib = np.repeat(np.asarray(seg_values[:leading]),
+                            lengths[:leading])
+        contrib *= arena.values[head]
+        if use_l2:
+            tails = np.repeat(np.asarray(seg_qpns[:leading]),
+                              lengths[:leading])
+            tails *= arena.pnorms[head]
+        else:
+            tails = None
+        self._fused_prefix_segments(arena, idx, slots, contrib, tails, None,
+                                    tri, seg_values, seg_qpns, [], [],
+                                    offsets, hoisted, 0.0, 0.0, sz1, use_ap,
+                                    use_l2, threshold, acc)
+        return total
+
+    def scan_query_stream(self, vector: SparseVector, index: Any, *,
+                          now: float, cutoff: float, decay: float,
+                          rs1: float,
+                          decayed_maxima: Sequence[float] | None,
+                          sz1: float, threshold: float,
+                          use_ap: bool, use_l2: bool, time_ordered: bool,
+                          size_filter: SizeFilterMap,
+                          acc: ScoreAccumulator) -> tuple[int, int]:
+        if not self._fused:
+            return super().scan_query_stream(
+                vector, index, now=now, cutoff=cutoff, decay=decay, rs1=rs1,
+                decayed_maxima=decayed_maxima, sz1=sz1, threshold=threshold,
+                use_ap=use_ap, use_l2=use_l2, time_ordered=time_ordered,
+                size_filter=size_filter, acc=acc)
+        dims = vector.dims
+        values = vector.values
+        prefix_norms = vector._prefix_norms
+        rst = vector.norm * vector.norm
+        rs2 = math.sqrt(rst) if use_l2 else _INF
+        index_get = index.get
+        seg_lists: list[Any] = []
+        seg_values: list[float] = []
+        seg_qpns: list[float] = []
+        seg_rs1: list[float] = []
+        seg_rs2: list[float] = []
+        for position in range(len(dims) - 1, -1, -1):
+            value = values[position]
+            plist = index_get(dims[position])
+            if plist is not None and len(plist):
+                seg_lists.append(plist)
+                seg_values.append(value)
+                seg_qpns.append(prefix_norms[position])
+                seg_rs1.append(rs1)
+                seg_rs2.append(rs2)
+            if use_ap:
+                rs1 -= value * decayed_maxima[position]  # type: ignore[index]
+            rst -= value * value
+            if use_l2:
+                rs2 = math.sqrt(max(rst, 0.0))
+        if not seg_lists:
+            return 0, 0
+        arena = self._arena
+        idx, lengths, offsets = self._gather_indices(seg_lists,
+                                                     reverse=time_ordered)
+        segments = len(seg_lists)
+        seg_min: list[float] = [0.0] * segments
+        seg_max: list[float] = [0.0] * segments
+        # -- time filtering over the whole gather -------------------------
+        # Expired postings are masked out of the gather; the physical
+        # bookkeeping (head truncation, lazy-expiry state, amortised
+        # compaction) is deferred until the very end of the call so every
+        # arena read below sees a stable layout.
+        needs_mask = any(plist._dirty or plist._min_ts < cutoff
+                         for plist in seg_lists)
+        ordered_drops: list[tuple[Any, int]] = []
+        lazy_updates: list[tuple[Any, float, int, np.ndarray, int]] = []
+        timestamps: np.ndarray | None = None
+        if not needs_mask:
+            alive_counts = lengths
+            alive_offsets = offsets
+            traversed = len(idx)
+            removed = 0
+            for j, plist in enumerate(seg_lists):
+                seg_min[j] = plist._min_ts
+                seg_max[j] = plist._max_ts
+        else:
+            timestamps = arena.ts[idx]
+            cuts = [max(cutoff, plist._expired_cutoff) if plist._dirty
+                    else cutoff for plist in seg_lists]
+            alive = timestamps >= np.repeat(np.asarray(cuts), lengths)
+            alive_counts = np.add.reduceat(alive, offsets[:-1])
+            traversed = 0
+            removed = 0
+            for j, plist in enumerate(seg_lists):
+                length = int(lengths[j])
+                live = int(alive_counts[j])
+                lo = int(offsets[j])
+                if time_ordered:
+                    # Ordered lists: within-list timestamps are sorted, so
+                    # the live postings form a prefix of the (newest-first)
+                    # segment; the reference counts only them as traversed
+                    # and truncates the expired head.
+                    traversed += live
+                    removed += length - live
+                    if live:
+                        seg_min[j] = float(timestamps[lo + live - 1])
+                        seg_max[j] = float(timestamps[lo])
+                    if length > live:
+                        ordered_drops.append((plist, length - live))
+                else:
+                    # Unordered lists: the reference traverses every
+                    # physically present posting it has not yet removed;
+                    # lazily expired (dirty) ones were reported before.
+                    seg_traversed = length - plist._dirty
+                    traversed += seg_traversed
+                    removed += seg_traversed - live
+                    if live == length:
+                        seg_min[j] = plist._min_ts
+                        seg_max[j] = plist._max_ts
+                    elif live:
+                        live_ts = timestamps[lo:lo + length][alive[lo:lo + length]]
+                        seg_min[j] = float(live_ts.min())
+                        seg_max[j] = float(live_ts.max())
+                    else:
+                        seg_min[j] = _INF
+                        seg_max[j] = -_INF
+                    if live < length:
+                        lazy_updates.append((plist, cuts[j], live,
+                                             alive[lo:lo + length], j))
+            if bool((alive_counts != lengths).any()):
+                idx = idx[alive]
+                timestamps = timestamps[alive]
+            alive_offsets = np.empty(segments + 1, dtype=np.int64)
+            alive_offsets[0] = 0
+            np.cumsum(alive_counts, out=alive_offsets[1:])
+        try:
+            if len(idx) == 0:
+                return traversed, removed
+            # -- admission ------------------------------------------------
+            # Per-segment tri-state via exact math.exp at the live extremes
+            # (the bound is monotone in the timestamp); only segments the
+            # bound straddles pay a per-entry evaluation.
+            resolve = self._resolve_admission
+            tri = [resolve(seg_rs1[j], seg_rs2[j], threshold, decay, now,
+                           seg_min[j], seg_max[j])
+                   if alive_counts[j] else _ADMIT_NONE
+                   for j in range(segments)]
+            if all(outcome == _ADMIT_NONE for outcome in tri):
+                return traversed, removed
+            # Hoist the contributions, decay factors and l2bound tails
+            # over the leading run of segments that can admit newcomers;
+            # the _ADMIT_NONE tail of the scan is gathered lazily, per
+            # segment, for the few already-started candidates only.
+            leading = segments
+            for j, outcome in enumerate(tri):
+                if outcome == _ADMIT_NONE:
+                    leading = j
+                    break
+            hoisted = int(alive_offsets[leading])
+            slots = arena.slots[idx]
+            head = idx[:hoisted]
+            contrib = np.repeat(np.asarray(seg_values[:leading]),
+                                alive_counts[:leading])
+            contrib *= arena.values[head]
+            decay_factors = None
+            if use_l2 or _ADMIT_PER_ENTRY in tri[:leading]:
+                head_ts = (timestamps[:hoisted] if timestamps is not None
+                           else arena.ts[head])
+                decay_factors = np.exp(-decay * (now - head_ts))
+            if use_l2:
+                tails = np.repeat(np.asarray(seg_qpns[:leading]),
+                                  alive_counts[:leading])
+                tails *= arena.pnorms[head]
+                tails *= decay_factors
+            else:
+                tails = None
+            self._fused_prefix_segments(arena, idx, slots, contrib, tails,
+                                        decay_factors, tri, seg_values,
+                                        seg_qpns, seg_rs1, seg_rs2,
+                                        alive_offsets, hoisted, decay, now,
+                                        sz1, use_ap, use_l2, threshold, acc)
+            return traversed, removed
+        finally:
+            # Deferred physical bookkeeping: truncations and compactions
+            # may rewrite chunks in place or replace the arena arrays, so
+            # they run only after every gather above is done.
+            for plist, count in ordered_drops:
+                plist.drop_oldest(count)
+            for plist, cut_eff, live, alive_mask, j in lazy_updates:
+                plist.note_lazy_expiry(cut_eff, plist.physical_size - live,
+                                       seg_min[j], seg_max[j])
+                if len(alive_mask) != plist.physical_size:
+                    # An earlier list's compress triggered a whole-arena
+                    # compaction, which already dropped this list's
+                    # previously dirty postings and shrank its region;
+                    # rebuild the mask over the surviving postings (the
+                    # live count is unaffected — only already-reported
+                    # dirty entries were removed).
+                    lo, hi = plist.region
+                    alive_mask = arena.ts[lo:hi] >= cut_eff
+                self._maybe_compact(plist, alive_mask)
+
+    def scan_query_inv_batch(self, vector: SparseVector, index: Any,
+                             acc: ScoreAccumulator) -> int:
+        if not self._fused:
+            return super().scan_query_inv_batch(vector, index, acc)
+        seg_lists = []
+        seg_values = []
+        for dim, value in vector:
+            plist = index.get(dim)
+            if plist is not None and plist.physical_size:
+                seg_lists.append(plist)
+                seg_values.append(value)
+        if not seg_lists:
+            return 0
+        arena = self._arena
+        idx, lengths, _ = self._gather_indices(seg_lists, reverse=False)
+        slots = arena.slots[idx]
+        contrib = np.repeat(np.asarray(seg_values), lengths)
+        contrib *= arena.values[idx]
+        self._fused_inv_pass(slots, contrib, None, acc)
+        return len(idx)
+
+    def scan_query_inv_stream(self, vector: SparseVector, index: Any,
+                              cutoff: float,
+                              acc: ScoreAccumulator) -> tuple[int, int]:
+        if not self._fused:
+            return super().scan_query_inv_stream(vector, index, cutoff, acc)
+        seg_lists = []
+        seg_values = []
+        for dim, value in vector:
+            plist = index.get(dim)
+            if plist is not None and plist.physical_size:
+                seg_lists.append(plist)
+                seg_values.append(value)
+        if not seg_lists:
+            return 0, 0
+        arena = self._arena
+        idx, lengths, offsets = self._gather_indices(seg_lists, reverse=True)
+        timestamps = arena.ts[idx]
+        removed = 0
+        expired: list[tuple[Any, int]] = []
+        if any(plist._min_ts < cutoff for plist in seg_lists):
+            alive = timestamps >= cutoff
+            alive_counts = np.add.reduceat(alive, offsets[:-1])
+            expired = [(seg_lists[j], int(lengths[j]) - int(alive_counts[j]))
+                       for j in range(len(seg_lists))
+                       if alive_counts[j] < lengths[j]]
+            if expired:
+                idx = idx[alive]
+                timestamps = timestamps[alive]
+        else:
+            alive_counts = lengths
+        slots = arena.slots[idx]
+        contrib = np.repeat(np.asarray(seg_values), alive_counts)
+        contrib *= arena.values[idx]
+        # Truncations happen only after every arena gather above.
+        for plist, count in expired:
+            removed += plist.drop_oldest(count)
+        traversed = len(idx)
+        if traversed:
+            self._fused_inv_pass(slots, contrib, timestamps, acc)
+        return traversed, removed
+
+    def _gather_indices(self, seg_lists: list,
+                        reverse: bool) -> tuple[np.ndarray, np.ndarray,
+                                                np.ndarray]:
+        """Arena offsets of every segment's physical region, concatenated.
+
+        Returns ``(idx, lengths, offsets)`` where ``idx`` enumerates each
+        list's region in scan order (newest first when ``reverse``),
+        ``lengths`` the per-segment physical sizes and ``offsets`` their
+        running starts inside ``idx`` (length ``segments + 1``).
+        """
+        segments = len(seg_lists)
+        starts = np.empty(segments, dtype=np.int64)
+        lengths = np.empty(segments, dtype=np.int64)
+        for j, plist in enumerate(seg_lists):
+            starts[j] = plist._start + plist._head
+            lengths[j] = plist._size
+        offsets = np.empty(segments + 1, dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(lengths, out=offsets[1:])
+        total = int(offsets[-1])
+        within = np.arange(total, dtype=np.int64)
+        within -= np.repeat(offsets[:-1], lengths)
+        if reverse:
+            idx = np.repeat(starts + lengths - 1, lengths)
+            idx -= within
+        else:
+            idx = np.repeat(starts, lengths)
+            idx += within
+        return idx, lengths, offsets
+
+    def _fused_prefix_segments(self, arena: PostingArena, idx: np.ndarray,
+                               slots: np.ndarray, contrib: np.ndarray | None,
+                               tails: np.ndarray | None,
+                               decay_factors: np.ndarray | None,
+                               tri: list[int], seg_values: list[float],
+                               seg_qpns: list[float], seg_rs1: list[float],
+                               seg_rs2: list[float], offsets: np.ndarray,
+                               hoisted: int, decay: float, now: float,
+                               sz1: float, use_ap: bool, use_l2: bool,
+                               threshold: float,
+                               acc: NumpyAccumulator) -> None:
+        """Replay the per-segment scans over the hoisted whole-query gather.
+
+        Entries of every segment sit back to back (in scan order) behind
+        ``idx``/``slots``; contributions ``x_j·y_j``, decayed l2bound
+        tails and decay factors are precomputed once over the first
+        ``hoisted`` entries — the leading run of segments that can admit
+        newcomers.  Segments past that run (``_ADMIT_NONE``, the common
+        tail of the scan once the remaining score drops below θ) only
+        touch already-started candidates, so their values/tails are
+        gathered lazily for just those few entries.  Small segments take
+        a scalar loop over the hoisted slices — the ufunc-dispatch
+        overhead of a dozen array ops dwarfs a dozen Python iterations.
+
+        Decision-for-decision this is the per-term kernel sequence: same
+        masks, same accumulation order, same prune marks on the shared
+        slot state.  What the fusion removes is the per-term Python
+        driver, and the per-segment gathers, products and ``exp`` calls.
+        """
+        epoch = self._epoch
+        state = self._slot_state
+        scores = self._slot_score
+        sf = self._slot_sf
+        touched = acc._touched
+        for j, admit in enumerate(tri):
+            lo, hi = int(offsets[j]), int(offsets[j + 1])
+            count = hi - lo
+            if count == 0:
+                continue
+            seg_slots = slots[lo:hi]
+            if lo >= hoisted:
+                # Lazy segment (normally _ADMIT_NONE): compress to the
+                # started candidates before gathering anything heavy.
+                marks = state[seg_slots]
+                started = marks == epoch
+                if admit == _ADMIT_NONE:
+                    index = np.nonzero(started)[0]
+                    if not len(index):
+                        continue
+                    sub_idx = idx[lo:hi][index]
+                    sub_slots = seg_slots[index]
+                    accumulated = scores[sub_slots]
+                    accumulated = accumulated + seg_values[j] * arena.values[sub_idx]
+                    if use_l2:
+                        sub_tails = seg_qpns[j] * arena.pnorms[sub_idx]
+                        sub_tails *= np.exp(-decay * (now - arena.ts[sub_idx]))
+                        keep = (accumulated + sub_tails) >= threshold
+                        pruned_slots = sub_slots[~keep]
+                        if len(pruned_slots):
+                            state[pruned_slots] = -epoch
+                        kept_slots = sub_slots[keep]
+                        if len(kept_slots):
+                            scores[kept_slots] = accumulated[keep]
+                    else:
+                        scores[sub_slots] = accumulated
+                    continue
+                # Rare: an admitting segment after the hoisted run (the
+                # ℓ₂ remaining-score bound is not strictly monotone in
+                # the per-segment timestamp extremes).  Gather it now and
+                # fall through to the shared processing below.
+                seg_idx = idx[lo:hi]
+                seg_contrib = seg_values[j] * arena.values[seg_idx]
+                if use_l2 or admit == _ADMIT_PER_ENTRY:
+                    seg_df = np.exp(-decay * (now - arena.ts[seg_idx]))
+                else:
+                    seg_df = None
+                if use_l2:
+                    seg_tails = seg_qpns[j] * arena.pnorms[seg_idx]
+                    seg_tails *= seg_df
+                else:
+                    seg_tails = None
+            else:
+                seg_contrib = contrib[lo:hi]
+                seg_tails = tails[lo:hi] if use_l2 else None
+                seg_df = decay_factors[lo:hi] if decay_factors is not None else None
+                if count <= _SCALAR_SCAN_CUTOFF:
+                    self._scan_segment_scalar(
+                        seg_slots.tolist(), seg_contrib.tolist(),
+                        seg_tails.tolist() if use_l2 else None,
+                        seg_df.tolist() if admit == _ADMIT_PER_ENTRY else None,
+                        admit, seg_rs1[j] if seg_rs1 else 0.0,
+                        seg_rs2[j] if seg_rs2 else 0.0, sz1, use_ap, use_l2,
+                        threshold, acc)
+                    continue
+                marks = state[seg_slots]
+                started = marks == epoch
+                if admit == _ADMIT_NONE:
+                    index = np.nonzero(started)[0]
+                    if not len(index):
+                        continue
+                    sub_slots = seg_slots[index]
+                    accumulated = scores[sub_slots] + seg_contrib[index]
+                    if use_l2:
+                        keep = (accumulated + seg_tails[index]) >= threshold
+                        pruned_slots = sub_slots[~keep]
+                        if len(pruned_slots):
+                            state[pruned_slots] = -epoch
+                        kept_slots = sub_slots[keep]
+                        if len(kept_slots):
+                            scores[kept_slots] = accumulated[keep]
+                    else:
+                        scores[sub_slots] = accumulated
+                    continue
+            active = marks != -epoch
+            if admit == _ADMIT_ALL:
+                if use_ap:
+                    process = active & (started | (sf[seg_slots] >= sz1))
+                else:
+                    process = active
+            else:
+                newcomer_ok = np.minimum(
+                    seg_rs1[j], seg_rs2[j] * seg_df) >= threshold
+                if use_ap:
+                    newcomer_ok &= sf[seg_slots] >= sz1
+                process = active & (started | newcomer_ok)
+            accumulated = scores[seg_slots] + seg_contrib
+            if use_l2:
+                prune = (accumulated + seg_tails) < threshold
+                prune &= process
+                pruned_slots = seg_slots[prune]
+                if len(pruned_slots):
+                    state[pruned_slots] = -epoch
+                keep = ~prune
+                keep &= process
+            else:
+                keep = process
+            kept_slots = seg_slots[keep]
+            if len(kept_slots):
+                scores[kept_slots] = accumulated[keep]
+                state[kept_slots] = epoch
+                fresh = seg_slots[keep & ~started]
+                if len(fresh):
+                    touched.append(fresh)
+
+    def _scan_segment_scalar(self, seg_slots: list[int],
+                             seg_contrib: list[float],
+                             seg_tails: list[float] | None,
+                             seg_df: list[float] | None, admit: int,
+                             rs1: float, rs2: float, sz1: float,
+                             use_ap: bool, use_l2: bool, threshold: float,
+                             acc: NumpyAccumulator) -> None:
+        """Scalar twin of the hoisted segment processing for short lists."""
+        epoch = self._epoch
+        state = self._slot_state
+        scores = self._slot_score
+        sf = self._slot_sf
+        fresh: list[int] = []
+        for position, slot in enumerate(seg_slots):
+            mark = state[slot]
+            if mark == -epoch:
+                continue
+            started = mark == epoch
+            if not started:
+                if admit == _ADMIT_NONE:
+                    continue
+                if admit == _ADMIT_PER_ENTRY and min(
+                        rs1, rs2 * seg_df[position]) < threshold:
+                    continue
+                if use_ap and sf[slot] < sz1:
+                    continue
+            accumulated = (scores[slot] if started else 0.0) + seg_contrib[position]
+            if use_l2 and accumulated + seg_tails[position] < threshold:
+                state[slot] = -epoch
+                continue
+            scores[slot] = accumulated
+            if not started:
+                state[slot] = epoch
+                fresh.append(slot)
+        if fresh:
+            acc._touched.append(np.asarray(fresh, dtype=np.int64))
+
+    def _fused_inv_pass(self, slots: np.ndarray, contrib: np.ndarray,
+                        timestamps: np.ndarray | None,
+                        acc: NumpyAccumulator) -> None:
+        """Unfiltered INV accumulation over a whole query's gather.
+
+        ``np.add.at`` accumulates sequentially in gather order (bitwise
+        the reference order); first appearances — the candidate insertion
+        order, and the arrival timestamps for the streaming variant — are
+        found with a reversed scatter (last write wins, so the reversed
+        write leaves each slot's *first* gather position).
+        """
+        n = len(slots)
+        scores = self._slot_score
+        positions = np.arange(n, dtype=np.int64)
+        mark = self._slot_mark
+        mark[slots[::-1]] = positions[::-1]
+        first_mask = mark[slots] == positions
+        first_slots = slots[first_mask]  # in gather (insertion) order
+        np.add.at(scores, slots, contrib)
+        self._slot_state[first_slots] = self._epoch
+        if timestamps is not None:
+            self._slot_arrival[first_slots] = timestamps[first_mask]
+        acc._touched.append(first_slots)
+
     # -- candidate verification ------------------------------------------------
 
     def _verification_bounds(self, query: SparseVector,
@@ -1305,22 +1652,34 @@ class NumpyKernel(SimilarityKernel):
                 dims_parts.append(residual_dims)
                 vals_parts.append(residual_values)
         if not dims_parts:
-            products: list[float] = []
-        elif len(dims_parts) == 1:
-            products = (vals_parts[0] * dense[dims_parts[0]]).tolist()
+            dots = _EMPTY_FLOAT
         else:
-            cat_dims = np.concatenate(dims_parts)
-            cat_vals = np.concatenate(vals_parts)
-            products = (cat_vals * dense[cat_dims]).tolist()
+            if len(dims_parts) == 1:
+                products = vals_parts[0] * dense[dims_parts[0]]
+            else:
+                cat_dims = np.concatenate(dims_parts)
+                cat_vals = np.concatenate(vals_parts)
+                products = cat_vals * dense[cat_dims]
+            part_counts = np.asarray([count for count in counts if count > 0],
+                                     dtype=np.int64)
+            segment_ids = np.repeat(
+                np.arange(len(part_counts), dtype=np.int64), part_counts)
+            dots = np.zeros(len(part_counts), dtype=np.float64)
+            # Unbuffered sequential scatter-add: each candidate's products
+            # accumulate left to right from 0.0, bit-for-bit the reference
+            # reduction.
+            np.add.at(dots, segment_ids, products)
+        dot_list = dots.tolist()
         results: list[float] = []
         offset = 0
         for index, count in enumerate(counts):
-            if count <= 0:
-                results.append(0.0 if count == 0 else
-                               entries[slot_list[index]].residual_dot(query))
-                continue
-            results.append(sum(products[offset:offset + count]))
-            offset += count
+            if count > 0:
+                results.append(dot_list[offset])
+                offset += 1
+            elif count == 0:
+                results.append(0.0)
+            else:
+                results.append(entries[slot_list[index]].residual_dot(query))
         return results
 
     def _residual_dot_fast(self, query: SparseVector,
@@ -1389,7 +1748,7 @@ class NumpyKernel(SimilarityKernel):
             cached = [vector,
                       np.asarray(vector.dims, dtype=np.int64),
                       np.asarray(vector.values, dtype=np.float64),
-                      None]
+                      None, None]
             self._vector_arrays[key] = cached
         return cached
 

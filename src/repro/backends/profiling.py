@@ -155,6 +155,33 @@ class ProfilingKernel(SimilarityKernel):
                            decay, rs1, rs2, sz1, threshold, use_ap, use_l2,
                            time_ordered, size_filter, self._unwrap(acc))
 
+    def scan_query_batch(self, vector, index, *, threshold, rs1, maxima,
+                         sz1, use_ap, use_l2, size_filter, acc) -> int:
+        return self._timed("scan", self._inner.scan_query_batch,
+                           vector, index, threshold=threshold, rs1=rs1,
+                           maxima=maxima, sz1=sz1, use_ap=use_ap,
+                           use_l2=use_l2, size_filter=size_filter,
+                           acc=self._unwrap(acc))
+
+    def scan_query_stream(self, vector, index, *, now, cutoff, decay, rs1,
+                          decayed_maxima, sz1, threshold, use_ap, use_l2,
+                          time_ordered, size_filter, acc):
+        return self._timed("scan", self._inner.scan_query_stream,
+                           vector, index, now=now, cutoff=cutoff,
+                           decay=decay, rs1=rs1,
+                           decayed_maxima=decayed_maxima, sz1=sz1,
+                           threshold=threshold, use_ap=use_ap, use_l2=use_l2,
+                           time_ordered=time_ordered,
+                           size_filter=size_filter, acc=self._unwrap(acc))
+
+    def scan_query_inv_batch(self, vector, index, acc) -> int:
+        return self._timed("scan", self._inner.scan_query_inv_batch,
+                           vector, index, self._unwrap(acc))
+
+    def scan_query_inv_stream(self, vector, index, cutoff, acc):
+        return self._timed("scan", self._inner.scan_query_inv_stream,
+                           vector, index, cutoff, self._unwrap(acc))
+
     def verify_batch(self, query, candidates, residual, threshold, stats):
         return self._timed("verify", self._inner.verify_batch,
                            query, candidates, residual, threshold, stats)

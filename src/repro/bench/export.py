@@ -26,11 +26,16 @@ __all__ = [
     "experiment_to_markdown",
     "write_markdown_report",
     "git_revision",
+    "bench_micro_benchmarks",
     "write_bench_micro",
 ]
 
-#: Schema version of the ``BENCH_micro.json`` artifact.
-BENCH_MICRO_SCHEMA = 1
+#: Schema version of the ``BENCH_micro.json`` artifact.  Version 2 holds a
+#: ``benchmarks`` map (one record per gate, so the STR and INV gates and
+#: the 50k scaling gate share one artifact) and allows an optional
+#: per-backend ``stages`` block with the scan/filter/verify/maintenance
+#: wall-clock breakdown from :class:`repro.backends.profiling.ProfilingKernel`.
+BENCH_MICRO_SCHEMA = 2
 
 
 def git_revision(default: str = "unknown") -> str:
@@ -46,28 +51,63 @@ def git_revision(default: str = "unknown") -> str:
     return revision if output.returncode == 0 and revision else default
 
 
+def bench_micro_benchmarks(record: dict[str, Any]) -> dict[str, dict[str, Any]]:
+    """The ``benchmark name → record`` map of an artifact, any schema.
+
+    Schema 1 artifacts held a single benchmark at the top level; they are
+    presented as a one-entry map so consumers (the regression checker,
+    tooling reading the committed baseline) need no version branches.
+    """
+    benchmarks = record.get("benchmarks")
+    if isinstance(benchmarks, dict):
+        return benchmarks
+    name = record.get("benchmark")
+    return {str(name): record} if name else {}
+
+
 def write_bench_micro(path: str | Path, *, benchmark: str,
                       config: dict[str, Any],
                       backends: dict[str, dict[str, Any]],
                       derived: dict[str, Any] | None = None) -> Path:
-    """Write the machine-readable micro-benchmark artifact.
+    """Write (or extend) the machine-readable micro-benchmark artifact.
 
     ``backends`` maps backend name → measured values (elapsed seconds,
-    throughput, operation counters); ``config`` records the workload
-    (profile, size, θ, λ) and ``derived`` any cross-backend aggregates
-    (e.g. the speedup).  The git revision and a schema version are stamped
-    in so the perf trajectory can be tracked across PRs.
+    throughput, operation counters, optionally a per-stage ``stages``
+    timing block); ``config`` records the workload (profile, size, θ, λ)
+    and ``derived`` any cross-backend aggregates (e.g. the speedup).  The
+    git revision and a schema version are stamped in so the perf
+    trajectory can be tracked across PRs.
+
+    When ``path`` already holds an artifact from the same run (or an
+    older schema-1 record), the new benchmark is merged into its
+    ``benchmarks`` map, so the separate gate tests accumulate into one
+    file.
     """
     path = Path(path)
-    record: dict[str, Any] = {
-        "schema": BENCH_MICRO_SCHEMA,
+    benchmarks: dict[str, Any] = {}
+    if path.exists():
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                benchmarks = dict(bench_micro_benchmarks(json.load(handle)))
+        except (OSError, ValueError):  # pragma: no cover - corrupt artifact
+            benchmarks = {}
+    revision = git_revision()
+    entry: dict[str, Any] = {
         "benchmark": benchmark,
-        "git_sha": git_revision(),
+        # Stamped per entry as well: merging into an existing artifact
+        # must not mislabel records measured at an older revision.
+        "git_sha": revision,
         "config": dict(config),
         "backends": {name: dict(values) for name, values in backends.items()},
     }
     if derived:
-        record["derived"] = dict(derived)
+        entry["derived"] = dict(derived)
+    benchmarks[benchmark] = entry
+    record: dict[str, Any] = {
+        "schema": BENCH_MICRO_SCHEMA,
+        "git_sha": revision,
+        "benchmarks": benchmarks,
+    }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -12,7 +12,10 @@
    compares a current record against a committed baseline and fails when a
    tracked metric degrades beyond the tolerance.  The primary metric is the
    numpy-over-python *speedup*, which divides out the machine, so CI runs
-   on different hardware than the baseline remain comparable.  Runnable as
+   on different hardware than the baseline remain comparable.  Both the
+   single-benchmark schema-1 records and the schema-2 multi-benchmark
+   artifacts (one entry per gate) are understood; every benchmark present
+   in *both* records is compared.  Runnable as
    ``python -m repro.bench.regression CURRENT BASELINE [--tolerance 0.2]``.
 """
 
@@ -123,27 +126,34 @@ def check_regression(current: dict[str, Any], baseline: dict[str, Any], *,
                      tolerance: float = 0.2) -> RegressionReport:
     """Compare two benchmark records; flag metrics degraded past ``tolerance``.
 
-    A metric where bigger is better regresses when
-    ``current < baseline · (1 - tolerance)``; metrics missing from either
-    record are skipped (a new benchmark has no baseline yet).
+    Every benchmark present in *both* records is compared (schema-1
+    records count as a single benchmark).  A metric where bigger is
+    better regresses when ``current < baseline · (1 - tolerance)``;
+    metrics missing from either record are skipped (a new benchmark has
+    no baseline yet).
     """
+    from repro.bench.export import bench_micro_benchmarks
+
     report = RegressionReport(tolerance=tolerance)
-    for metric, bigger_is_better in TRACKED_METRICS:
-        baseline_value = _lookup(baseline, metric)
-        current_value = _lookup(current, metric)
-        if baseline_value is None or current_value is None:
-            continue
-        if baseline_value == 0:
-            continue
-        ratio = current_value / baseline_value - 1.0
-        if bigger_is_better:
-            regressed = current_value < baseline_value * (1.0 - tolerance)
-        else:
-            regressed = current_value > baseline_value * (1.0 + tolerance)
-        report.checks.append(MetricCheck(
-            metric=metric, baseline=baseline_value, current=current_value,
-            ratio=ratio, regressed=regressed,
-        ))
+    current_map = bench_micro_benchmarks(current)
+    baseline_map = bench_micro_benchmarks(baseline)
+    for name in sorted(current_map.keys() & baseline_map.keys()):
+        for metric, bigger_is_better in TRACKED_METRICS:
+            baseline_value = _lookup(baseline_map[name], metric)
+            current_value = _lookup(current_map[name], metric)
+            if baseline_value is None or current_value is None:
+                continue
+            if baseline_value == 0:
+                continue
+            ratio = current_value / baseline_value - 1.0
+            if bigger_is_better:
+                regressed = current_value < baseline_value * (1.0 - tolerance)
+            else:
+                regressed = current_value > baseline_value * (1.0 + tolerance)
+            report.checks.append(MetricCheck(
+                metric=f"{name}: {metric}", baseline=baseline_value,
+                current=current_value, ratio=ratio, regressed=regressed,
+            ))
     return report
 
 
@@ -151,16 +161,28 @@ def config_mismatches(current: dict[str, Any],
                       baseline: dict[str, Any]) -> list[tuple[str, Any, Any]]:
     """Keys of the ``config`` sections that disagree between two records.
 
-    Only keys present in *both* configs are compared, so adding a new
-    config field does not invalidate older baselines.
+    Benchmarks shared by both records are compared pairwise; only keys
+    present in *both* configs are checked, so adding a new config field
+    does not invalidate older baselines.  Mismatched keys are prefixed
+    with the benchmark name when the records hold several benchmarks.
     """
-    current_config = current.get("config")
-    baseline_config = baseline.get("config")
-    if not isinstance(current_config, dict) or not isinstance(baseline_config, dict):
-        return []
-    return [(key, current_config[key], baseline_config[key])
+    from repro.bench.export import bench_micro_benchmarks
+
+    current_map = bench_micro_benchmarks(current)
+    baseline_map = bench_micro_benchmarks(baseline)
+    shared = sorted(current_map.keys() & baseline_map.keys())
+    mismatches: list[tuple[str, Any, Any]] = []
+    for name in shared:
+        current_config = current_map[name].get("config")
+        baseline_config = baseline_map[name].get("config")
+        if not isinstance(current_config, dict) or not isinstance(baseline_config, dict):
+            continue
+        prefix = f"{name}: " if len(shared) > 1 else ""
+        mismatches.extend(
+            (prefix + key, current_config[key], baseline_config[key])
             for key in sorted(current_config.keys() & baseline_config.keys())
-            if current_config[key] != baseline_config[key]]
+            if current_config[key] != baseline_config[key])
+    return mismatches
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -256,6 +256,19 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         title=(f"Per-stage breakdown: {args.algorithm} on {name} "
                f"({kernel.name}, θ={args.theta}, λ={args.decay})"),
     ))
+    stats = join.stats
+    print(render_table(
+        [{
+            "entries_indexed": stats.entries_indexed,
+            "entries_traversed": stats.entries_traversed,
+            "entries_pruned": stats.entries_pruned,
+            "candidates_generated": stats.candidates_generated,
+            "full_similarities": stats.full_similarities,
+            "pairs_output": stats.pairs_output,
+        }],
+        title="Operation counters (pruning effectiveness: "
+              "entries_pruned / entries_traversed)",
+    ))
     throughput = len(vectors) / elapsed if elapsed else 0.0
     print(f"total {elapsed:.2f}s for {len(vectors)} vectors "
           f"({throughput:,.0f} vectors/s), {pairs} pairs")

@@ -55,12 +55,9 @@ class InvertedBatchIndex(BatchIndex):
         stats = self.stats
         kernel = self.kernel
         accumulator = kernel.new_accumulator()
-        for dim, value in vector:
-            posting_list = self._index.get(dim)
-            if posting_list is None:
-                continue
-            stats.entries_traversed += kernel.scan_inv_batch(
-                posting_list, value, accumulator)
+        # One fused kernel call covers every query dimension's list.
+        stats.entries_traversed += kernel.scan_query_inv_batch(
+            vector, self._index, accumulator)
         candidates = accumulator.finalize()
         stats.candidates_generated += len(candidates)
         return candidates
@@ -101,18 +98,15 @@ class InvertedStreamingIndex(StreamingIndex):
 
         # -- CG: accumulate exact dot products from the time-ordered lists,
         # truncating the expired head of each list (lazy time filtering).
+        # The whole query is one fused kernel call.
         kernel = self.kernel
         accumulator = kernel.new_accumulator()
-        for dim, value in vector:
-            posting_list = self._index.get(dim)
-            if posting_list is None:
-                continue
-            traversed, removed = kernel.scan_inv_stream(
-                posting_list, value, cutoff, accumulator)
-            stats.entries_traversed += traversed
-            if removed:
-                self._index.note_removed(removed)
-                stats.entries_pruned += removed
+        traversed, removed = kernel.scan_query_inv_stream(
+            vector, self._index, cutoff, accumulator)
+        stats.entries_traversed += traversed
+        if removed:
+            self._index.note_removed(removed)
+            stats.entries_pruned += removed
         candidates = accumulator.finalize()
         stats.candidates_generated += len(candidates)
 

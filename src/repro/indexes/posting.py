@@ -9,12 +9,14 @@ time ``t(x)`` to apply time filtering, so entries carry four fields.
 The *layout* of a posting list belongs to the compute backend: the
 reference backend's :class:`PostingList` (defined here) is backed by
 :class:`~repro.indexes.circular.CircularBuffer` (Section 6.2), while the
-NumPy backend supplies contiguous-array lists with the same interface
-(:class:`repro.backends.numpy_backend.ArrayPostingList`).
+NumPy backend stores every dimension's postings in one shared posting
+arena and hands out per-dimension extent handles with the same interface
+(:class:`repro.backends.arena.ArenaPostingList`).
 :class:`InvertedIndex` is layout-agnostic — it takes a posting-list
 factory, usually a kernel's ``new_posting_list``.  Time-ordered lists
 (INV, L2) support the backward scan with head truncation; unordered lists
-(L2AP after re-indexing) are compacted by rewriting their content.
+(L2AP after re-indexing) are compacted by rewriting their content (the
+arena layout defers that rewrite and amortises it across queries).
 """
 
 from __future__ import annotations

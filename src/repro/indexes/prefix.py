@@ -132,26 +132,25 @@ class PrefixFilterBatchIndex(BatchIndex):
         accumulator = kernel.new_accumulator()
 
         sz1 = size_filter_threshold(threshold, vector.max_value) if self.use_ap else 0.0
-        rs1 = self._max_indexed.dot(vector) if self.use_ap else _INF
-        rst = vector.norm * vector.norm
-        rs2 = math.sqrt(rst) if self.use_l2 else _INF
+        if self.use_ap:
+            # One m̂ gather per query: the rs1 seed matches MaxVector.dot
+            # add for add and the kernel's per-position decrements reuse
+            # the same values the per-term loop would fetch.
+            max_get = self._max_indexed.get
+            maxima = [max_get(dim) for dim in vector.dims]
+            rs1 = self._max_indexed.dot(vector)
+        else:
+            maxima = None
+            rs1 = _INF
 
-        for position in range(len(vector) - 1, -1, -1):
-            dim = vector.dims[position]
-            value = vector.values[position]
-            posting_list = self._index.get(dim)
-            if posting_list is not None:
-                admit_new = min(rs1, rs2) >= threshold
-                stats.entries_traversed += kernel.scan_prefix_batch(
-                    posting_list, value, vector.prefix_norm_before(position),
-                    admit_new, threshold, self.use_ap, self.use_l2,
-                    sz1, self._size_filter, accumulator,
-                )
-            if self.use_ap:
-                rs1 -= value * self._max_indexed.get(dim)
-            rst -= value * value
-            if self.use_l2:
-                rs2 = math.sqrt(max(rst, 0.0))
+        # The whole query's scan — bound maintenance across positions
+        # included — is one kernel call (Algorithm 3's outer loop); see
+        # SimilarityKernel.scan_query_batch.
+        stats.entries_traversed += kernel.scan_query_batch(
+            vector, self._index, threshold=threshold, rs1=rs1, maxima=maxima,
+            sz1=sz1, use_ap=self.use_ap, use_l2=self.use_l2,
+            size_filter=self._size_filter, acc=accumulator,
+        )
 
         candidates = accumulator.finalize()
         stats.candidates_generated += len(candidates)
@@ -255,7 +254,7 @@ class PrefixFilterStreamingIndex(StreamingIndex):
         sz1 = size_filter_threshold(threshold, vector.max_value) if self.use_ap else 0.0
         if self.use_ap:
             # One m̂^λ gather per query; the rs1 initialisation below matches
-            # DecayedMaxVector.dot add for add, and the per-position
+            # DecayedMaxVector.dot add for add, and the kernel's per-position
             # decrements reuse the same values.
             value_at = self._max_decayed.value_at  # type: ignore[union-attr]
             decayed_maxima = [value_at(dim, now) for dim in vector.dims]
@@ -264,38 +263,21 @@ class PrefixFilterStreamingIndex(StreamingIndex):
         else:
             decayed_maxima = None
             rs1 = _INF
-        rst = vector.norm * vector.norm
-        rs2 = math.sqrt(rst) if self.use_l2 else _INF
 
-        index_get = self._index.get
-        scan = kernel.scan_prefix_stream
-        dims = vector.dims
-        values = vector.values
-        prefix_norms = vector._prefix_norms
-        use_ap = self.use_ap
-        use_l2 = self.use_l2
-        time_ordered = self.time_ordered
-        size_filter = self._size_filter
-        entries_traversed = 0
-        for position in range(len(dims) - 1, -1, -1):
-            value = values[position]
-            posting_list = index_get(dims[position])
-            if posting_list is not None and len(posting_list):
-                traversed, removed = scan(
-                    posting_list, value, prefix_norms[position],
-                    now, cutoff, decay, rs1, rs2, sz1, threshold,
-                    use_ap, use_l2, time_ordered, size_filter, accumulator,
-                )
-                entries_traversed += traversed
-                if removed:
-                    self._index.note_removed(removed)
-                    stats.entries_pruned += removed
-            if use_ap:
-                rs1 -= value * decayed_maxima[position]  # type: ignore[index]
-            rst -= value * value
-            if use_l2:
-                rs2 = math.sqrt(max(rst, 0.0))
-        stats.entries_traversed += entries_traversed
+        # The whole query's scan — time filtering, decayed bound
+        # maintenance across positions — is one kernel call (Algorithm 7's
+        # outer loop); see SimilarityKernel.scan_query_stream.
+        traversed, removed = kernel.scan_query_stream(
+            vector, self._index, now=now, cutoff=cutoff, decay=decay,
+            rs1=rs1, decayed_maxima=decayed_maxima, sz1=sz1,
+            threshold=threshold, use_ap=self.use_ap, use_l2=self.use_l2,
+            time_ordered=self.time_ordered, size_filter=self._size_filter,
+            acc=accumulator,
+        )
+        stats.entries_traversed += traversed
+        if removed:
+            self._index.note_removed(removed)
+            stats.entries_pruned += removed
 
         candidates = accumulator.finalize()
         stats.candidates_generated += len(candidates)

@@ -1,10 +1,13 @@
-"""Edge-case coverage for the NumPy backend's ArrayPostingList.
+"""Edge-case coverage for the NumPy backend's arena posting lists.
 
-The contiguous-array posting list mirrors the reference ring buffer's
-observable behaviour while adding capacity management (doubling/halving)
-and amortised lazy expiry.  These tests pin down the corners: resize
+The arena-backed posting list (an extent of the shared
+:class:`~repro.backends.arena.PostingArena`) mirrors the reference ring
+buffer's observable behaviour while adding chunk capacity management and
+amortised lazy expiry.  These tests pin down the per-list corners: resize
 behaviour at the capacity boundaries, compress with degenerate masks, and
-the dirty-counter bookkeeping of deferred expiry.
+the dirty-counter bookkeeping of deferred expiry.  Arena-level behaviour
+(chunk layout, whole-arena compaction, gathers across growth) lives in
+``tests/test_arena.py``.
 """
 
 from __future__ import annotations

@@ -240,7 +240,7 @@ def build_lists(raw, *, time_ordered):
 
 
 @needs_numpy
-class TestArrayPostingListProperties:
+class TestArenaPostingListProperties:
     @settings(max_examples=40, deadline=None)
     @given(raw=entry_lists)
     def test_iteration_matches_reference(self, raw):

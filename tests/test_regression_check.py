@@ -22,16 +22,48 @@ class TestWriteBenchMicro:
             tmp_path / "BENCH_micro.json",
             benchmark="l2ap_streaming_hot_path",
             config={"profile": "hashtags", "num_vectors": 100},
-            backends={"numpy": {"elapsed_s": 1.0, "throughput_vps": 100.0}},
+            backends={"numpy": {"elapsed_s": 1.0, "throughput_vps": 100.0,
+                                "stages": {"scan": 0.5}}},
             derived={"speedup": 4.0},
         )
         payload = json.loads(path.read_text())
         assert payload["schema"] == BENCH_MICRO_SCHEMA
-        assert payload["benchmark"] == "l2ap_streaming_hot_path"
-        assert payload["config"]["profile"] == "hashtags"
-        assert payload["backends"]["numpy"]["throughput_vps"] == 100.0
-        assert payload["derived"]["speedup"] == 4.0
+        entry = payload["benchmarks"]["l2ap_streaming_hot_path"]
+        assert entry["config"]["profile"] == "hashtags"
+        assert entry["backends"]["numpy"]["throughput_vps"] == 100.0
+        assert entry["backends"]["numpy"]["stages"]["scan"] == 0.5
+        assert entry["derived"]["speedup"] == 4.0
         assert isinstance(payload["git_sha"], str) and payload["git_sha"]
+
+    def test_merges_multiple_benchmarks_into_one_artifact(self, tmp_path):
+        path = tmp_path / "BENCH_micro.json"
+        write_bench_micro(path, benchmark="l2ap_streaming_hot_path",
+                          config={"num_vectors": 100}, backends={},
+                          derived={"speedup": 4.0})
+        write_bench_micro(path, benchmark="inv_streaming_hot_path",
+                          config={"num_vectors": 50}, backends={},
+                          derived={"speedup": 9.0})
+        # Re-writing a benchmark replaces its entry, not the whole file.
+        write_bench_micro(path, benchmark="l2ap_streaming_hot_path",
+                          config={"num_vectors": 100}, backends={},
+                          derived={"speedup": 5.0})
+        payload = json.loads(path.read_text())
+        assert set(payload["benchmarks"]) == {"l2ap_streaming_hot_path",
+                                              "inv_streaming_hot_path"}
+        assert payload["benchmarks"]["l2ap_streaming_hot_path"]["derived"]["speedup"] == 5.0
+        assert payload["benchmarks"]["inv_streaming_hot_path"]["derived"]["speedup"] == 9.0
+
+    def test_upgrades_schema1_artifact_in_place(self, tmp_path):
+        path = tmp_path / "BENCH_micro.json"
+        path.write_text(json.dumps({
+            "schema": 1, "benchmark": "legacy_gate",
+            "derived": {"speedup": 2.0},
+        }))
+        write_bench_micro(path, benchmark="inv_streaming_hot_path",
+                          config={}, backends={}, derived={"speedup": 9.0})
+        payload = json.loads(path.read_text())
+        assert set(payload["benchmarks"]) == {"legacy_gate",
+                                              "inv_streaming_hot_path"}
 
     def test_git_revision_returns_string(self):
         assert isinstance(git_revision(), str)

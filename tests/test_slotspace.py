@@ -26,6 +26,9 @@ from repro.core.results import JoinStatistics
 pytestmark = pytest.mark.skipif("numpy" not in available_backends(),
                                 reason="NumPy backend unavailable")
 
+if "numpy" in available_backends():
+    from repro.backends.numpy_backend import NumpyKernel
+
 PARITY_COUNTERS = ("candidates_generated", "full_similarities",
                    "entries_traversed", "entries_pruned", "entries_indexed",
                    "residual_entries", "reindexings", "reindexed_entries",
@@ -40,11 +43,12 @@ def run_backend(algorithm, vectors, threshold, decay, backend):
     return pairs, stats
 
 
-def assert_dict_and_array_paths_agree(algorithm, vectors, threshold, decay):
+def assert_backends_agree(algorithm, vectors, threshold, decay,
+                          reference_backend, other_backend):
     reference, reference_stats = run_backend(algorithm, vectors, threshold,
-                                             decay, "python")
+                                             decay, reference_backend)
     vectorized, vectorized_stats = run_backend(algorithm, vectors, threshold,
-                                               decay, "numpy")
+                                               decay, other_backend)
     assert set(vectorized) == set(reference)
     for key, pair in reference.items():
         other = vectorized[key]
@@ -54,6 +58,11 @@ def assert_dict_and_array_paths_agree(algorithm, vectors, threshold, decay):
     for counter in PARITY_COUNTERS:
         assert (getattr(vectorized_stats, counter)
                 == getattr(reference_stats, counter)), counter
+
+
+def assert_dict_and_array_paths_agree(algorithm, vectors, threshold, decay):
+    assert_backends_agree(algorithm, vectors, threshold, decay,
+                          "python", "numpy")
 
 
 sparse_streams = st.lists(
@@ -125,6 +134,87 @@ class TestSlotSpaceParity:
         assert set(vectorized) == set(reference)
         assert len(vectorized) == 6  # all pairs of the 4 identical vectors
 
+    def test_fused_scan_counts_one_kernel_call_per_query(self):
+        # The whole-query fusion is observable through the profiling
+        # wrapper: exactly one scan call per processed vector, instead of
+        # one per query term.
+        from repro.backends.profiling import ProfilingKernel
+
+        kernel = ProfilingKernel(NumpyKernel())
+        join = create_join("STR-L2AP", 0.6, 0.05, backend=kernel)
+        vectors = [SparseVector(index, float(index),
+                                {dim: 1.0 for dim in range(index % 3, index % 3 + 4)})
+                   for index in range(30)]
+        for vector in vectors:
+            join.process(vector)
+        assert kernel.stage_calls["scan"] == len(vectors)
+
+
+class TestFusedVersusPerTermParity:
+    """The fused arena scans against the per-term kernel fallback.
+
+    ``NumpyKernel(fused=False)`` routes candidate generation through the
+    base class's per-term driver loop over the same vectorised ``scan_*``
+    kernels — the code path the fused ``scan_query_*`` implementations
+    must replicate decision for decision.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(entries=sparse_streams,
+           threshold=st.floats(min_value=0.3, max_value=0.99),
+           decay=st.floats(min_value=0.05, max_value=2.0))
+    def test_expiring_streams(self, entries, threshold, decay):
+        vectors = [SparseVector(index, float(index), coords)
+                   for index, coords in enumerate(entries)]
+        for algorithm in ("STR-L2AP", "STR-L2", "STR-INV", "STR-AP"):
+            assert_backends_agree(algorithm, vectors, threshold, decay,
+                                  NumpyKernel(fused=False),
+                                  NumpyKernel(fused=True))
+
+    @settings(max_examples=15, deadline=None)
+    @given(entries=sparse_streams)
+    def test_theta_one(self, entries):
+        vectors = [SparseVector(index, float(index // 3), coords)
+                   for index, coords in enumerate(entries)]
+        for algorithm in ("STR-L2AP", "STR-L2", "STR-INV"):
+            assert_backends_agree(algorithm, vectors, 1.0, 0.5,
+                                  NumpyKernel(fused=False),
+                                  NumpyKernel(fused=True))
+
+    def test_reindexing_with_expiry(self):
+        vectors = [
+            SparseVector(index, float(index),
+                         {dim: 1.0 + 0.06 * index
+                          for dim in range(index % 5, index % 5 + 4)})
+            for index in range(150)
+        ]
+        assert_backends_agree("STR-L2AP", vectors, 0.6, 0.08,
+                              NumpyKernel(fused=False),
+                              NumpyKernel(fused=True))
+
+    def test_batch_prefix_parity(self):
+        from repro.indexes.base import create_batch_index
+
+        vectors = [SparseVector(index, 0.0,
+                                {dim: 1.0 + 0.1 * (index % 4)
+                                 for dim in range(index % 4, index % 4 + 3)})
+                   for index in range(25)]
+        for algorithm in ("L2AP", "AP", "L2", "INV"):
+            per_term = create_batch_index(algorithm, 0.5,
+                                          backend=NumpyKernel(fused=False))
+            fused = create_batch_index(algorithm, 0.5,
+                                       backend=NumpyKernel(fused=True))
+            for vector in vectors[:-1]:
+                per_term.index_vector(vector)
+                fused.index_vector(vector)
+            query = vectors[-1]
+            reference_set = per_term.candidate_generation(query)
+            fused_set = fused.candidate_generation(query)
+            assert fused_set.to_dict() == reference_set.to_dict()
+            assert list(fused_set.to_dict()) == list(reference_set.to_dict())
+
+
+class TestCandidateSetViews:
     def test_batch_candidate_set_views(self):
         # The CandidateSet compatibility views must agree with the
         # reference dictionaries entry for entry and in order.
