@@ -28,6 +28,14 @@ artifact against ``benchmarks/BENCH_baseline.json`` in CI:
     (τ ≈ 25 541 s at θ=0.6, λ=2·10⁻⁵), so postings expire mid-run and
     ``entries_pruned`` must be non-zero: this is where the lazy-expiry /
     arena-compaction machinery becomes observable in the artifact.
+``test_l2ap_sharded_scaling``
+    The sharded (multiprocess) gate: the STR workload run through
+    :mod:`repro.shard` at each worker count in
+    ``SSSJ_BENCH_SHARD_WORKERS``, asserting bitwise pair/counter parity
+    with the single-process NumPy run and recording the 1/2/4-worker
+    scaling curve (with the host's CPU count — the curve is only
+    meaningful relative to it) plus the coordinator's per-stage
+    breakdown.
 
 Environment knobs (used by the CI smoke job):
 
@@ -37,6 +45,8 @@ Environment knobs (used by the CI smoke job):
     Override the INV gate's stream length (default 3 000).
 ``SSSJ_BENCH_VECTORS_LARGE``
     Override the scaling gate's stream length (default 50 000).
+``SSSJ_BENCH_SHARD_WORKERS``
+    Worker counts of the sharded gate, comma-separated (default "1,2,4").
 ``SSSJ_BENCH_OUTPUT``
     Where to write ``BENCH_micro.json`` (default: repository root).
 """
@@ -58,6 +68,9 @@ from repro.datasets.generator import generate_profile_corpus
 
 BACKENDS = available_backends()
 GATE_VECTORS = int(os.environ.get("SSSJ_BENCH_VECTORS", "10000"))
+GATE_SHARD_WORKERS = tuple(
+    int(token) for token in
+    os.environ.get("SSSJ_BENCH_SHARD_WORKERS", "1,2,4").split(",") if token)
 GATE_VECTORS_INV = int(os.environ.get("SSSJ_BENCH_VECTORS_INV", "3000"))
 GATE_VECTORS_LARGE = int(os.environ.get("SSSJ_BENCH_VECTORS_LARGE", "50000"))
 GATE_OUTPUT = Path(os.environ.get(
@@ -267,6 +280,80 @@ def test_inv_streaming_hot_path(benchmark):
     _assert_counter_parity(result["numpy_stats"], result["python_stats"])
     if count >= 3_000:  # reduced CI sizes track the artifact, not the gate
         assert result["speedup"] >= GATE_SPEEDUP_INV
+
+
+def _timed_sharded(algorithm, vectors, threshold, decay, workers):
+    """One sharded multiprocess run: elapsed, stats, coordinator stages."""
+    from repro.shard import create_sharded_join
+
+    stats = JoinStatistics()
+    join = create_sharded_join(algorithm, threshold, decay, workers=workers,
+                               stats=stats, backend="numpy",
+                               executor="process")
+    try:
+        start = time.perf_counter()
+        for vector in vectors:
+            join.process(vector)
+        elapsed = time.perf_counter() - start
+        stages = {stage: round(seconds, 4)
+                  for stage, seconds in join.stage_seconds.items()}
+    finally:
+        join.close()
+    return elapsed, stats, stages
+
+
+@pytest.mark.skipif("numpy" not in BACKENDS, reason="NumPy backend unavailable")
+def test_l2ap_sharded_scaling(benchmark, hashtags_vectors):
+    """Sharded STR gate: multiprocess dimension-sharded STR-L2AP.
+
+    Runs the STR gate workload through the sharded engine at each worker
+    count, asserts bitwise pair-set and operation-counter parity with the
+    single-process NumPy run, and records the scaling curve in the
+    ``l2ap_sharded_str`` record of ``BENCH_micro.json``.  The tentpole
+    target (≥1.8x over single-process at 4 workers) presumes ≥4 physical
+    cores; the artifact therefore records ``cpu_count`` next to the curve
+    and the honest conclusion lives in ``docs/PERFORMANCE.md``.
+    """
+    threshold, decay = 0.6, 2e-5
+
+    def run_all():
+        numpy_elapsed, numpy_stats = _timed_run(
+            "STR-L2AP", hashtags_vectors, threshold, decay, "numpy")
+        sharded = {}
+        for workers in GATE_SHARD_WORKERS:
+            elapsed, stats, stages = _timed_sharded(
+                "STR-L2AP", hashtags_vectors, threshold, decay, workers)
+            _assert_counter_parity(stats, numpy_stats)
+            sharded[workers] = (elapsed, stats, stages)
+        return numpy_elapsed, numpy_stats, sharded
+
+    numpy_elapsed, numpy_stats, sharded = benchmark.pedantic(
+        run_all, rounds=1, iterations=1)
+    count = len(hashtags_vectors)
+    curve = {str(workers): round(numpy_elapsed / elapsed, 3)
+             for workers, (elapsed, _, _) in sharded.items()}
+    print(f"\nSTR-L2AP sharded (hashtags, {count} vectors, "
+          f"{os.cpu_count()} cpus): single numpy {numpy_elapsed:.1f}s; " +
+          ", ".join(f"{workers}w {elapsed:.1f}s ({curve[str(workers)]}x)"
+                    for workers, (elapsed, _, _) in sharded.items()))
+
+    backends = {"numpy": _backend_record(numpy_elapsed, numpy_stats, count)}
+    for workers, (elapsed, stats, stages) in sharded.items():
+        backends[f"sharded_w{workers}"] = _backend_record(
+            elapsed, stats, count, stages=stages)
+    artifact = write_bench_micro(
+        GATE_OUTPUT,
+        benchmark="l2ap_sharded_str",
+        config={"profile": "hashtags", "num_vectors": count, "seed": 7,
+                "algorithm": "STR-L2AP", "threshold": threshold,
+                "decay": decay, "workers": list(GATE_SHARD_WORKERS),
+                "cpu_count": os.cpu_count()},
+        backends=backends,
+        derived={"speedup": max(numpy_elapsed / elapsed
+                                for elapsed, _, _ in sharded.values()),
+                 "scaling_curve": curve},
+    )
+    print(f"benchmark artifact written to {artifact}")
 
 
 @pytest.mark.skipif("numpy" not in BACKENDS, reason="NumPy backend unavailable")

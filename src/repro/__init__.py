@@ -107,6 +107,11 @@ from repro.indexes import (
     create_batch_index,
     create_streaming_index,
 )
+from repro.shard import (
+    ShardPlan,
+    ShardedStreamingJoin,
+    create_sharded_join,
+)
 
 __version__ = "1.0.0"
 
@@ -149,6 +154,10 @@ __all__ = [
     "parse_algorithm",
     "streaming_self_join",
     "all_pairs",
+    # sharded parallel engine
+    "ShardPlan",
+    "ShardedStreamingJoin",
+    "create_sharded_join",
     # checkpointing
     "CheckpointError",
     "snapshot_join",

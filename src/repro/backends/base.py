@@ -38,6 +38,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -47,7 +48,71 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.indexes.maxvector import MaxVector
     from repro.indexes.residual import ResidualEntry, ResidualIndex
 
-__all__ = ["CandidateSet", "ScoreAccumulator", "SizeFilterMap", "SimilarityKernel"]
+__all__ = ["CandidateSet", "ScoreAccumulator", "SegmentPartial",
+           "SizeFilterMap", "SimilarityKernel"]
+
+
+@dataclass
+class SegmentPartial:
+    """Partial accumulation of one query term's posting-list scan.
+
+    The sharded join (:mod:`repro.shard`) splits candidate generation at
+    exactly this boundary: a shard-local worker performs the *embarrassingly
+    parallel* part of a term's scan — gathering the live postings, applying
+    the time filter and precomputing the per-posting products — and the
+    coordinator replays the *globally sequential* part (remaining-score
+    admission, ``l2bound`` pruning, score accumulation) over the partials of
+    every shard, in the exact order the single-process kernel would have
+    used.  The arrays therefore stop **before global admission**: no entry
+    has been filtered by ``rs1``/``rs2``, ``sz1`` or ``l2bound`` yet.
+
+    Fields
+    ------
+    ``position``
+        The query position this segment belongs to (global scan order is
+        descending position for the prefix schemes, ascending for INV).
+    ``value`` / ``query_prefix_norm``
+        The query-side term weight ``y_j`` and prefix magnitude ``‖y'‖``
+        the per-posting products were computed with.
+    ``slots``
+        ``int64`` array of candidate identifiers in scan order.  In the
+        sharded engine these are the *coordinator's* interned slots (the
+        coordinator assigns them at indexing time and ships them to the
+        owning shard), so partials from different shards merge without an
+        id translation step.
+    ``contrib``
+        ``float64`` array of ``x_j · y_j`` per live posting.
+    ``tails``
+        Decayed ``l2bound`` tails ``‖y'‖ · ‖x'_j‖ · e^{-λΔt}`` (``None``
+        unless the ℓ₂ bounds are enabled).
+    ``decay_factors``
+        ``e^{-λΔt}`` per live posting (streaming scans only).
+    ``timestamps``
+        Arrival timestamps of the live postings (INV streaming only).
+    ``min_ts`` / ``max_ts``
+        Extreme live timestamps (``±inf`` when no posting survived the
+        time filter) — the coordinator resolves the whole-segment
+        admission tri-state from these exactly like the fused kernel.
+    ``traversed`` / ``removed``
+        The segment's *logical* operation counts, identical to what the
+        single-process scan would have reported.
+    """
+
+    position: int
+    value: float
+    query_prefix_norm: float
+    slots: Any
+    contrib: Any
+    tails: Any = None
+    decay_factors: Any = None
+    timestamps: Any = None
+    min_ts: float = math.inf
+    max_ts: float = -math.inf
+    traversed: int = 0
+    removed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.slots)
 
 
 class CandidateSet(ABC):
@@ -389,6 +454,132 @@ class SimilarityKernel(ABC):
             traversed += scanned
             removed += pruned
         return traversed, removed
+
+    # -- partial accumulation (sharded candidate generation) ------------------
+    #
+    # The sharded join splits each streaming scan into a per-shard *gather*
+    # (time filtering + per-posting products, no global admission) and a
+    # coordinator-side *replay* of the admission/pruning/accumulation
+    # sequence.  ``gather_*_partials`` is the worker half; it must report
+    # exactly the logical ``traversed``/``removed`` counts the fused
+    # single-process scan would, and leave the posting lists in an
+    # equivalent logical state.  The defaults below are per-entry loops
+    # over the generic posting-list interface (matching the reference
+    # backend's eager-compaction bookkeeping); the NumPy backend overrides
+    # them with vectorised arena gathers.  The replay half lives on the
+    # NumPy kernel (``apply_scan_partials``/``apply_inv_partials``), which
+    # the coordinator requires.
+
+    def begin_maintenance_cycle(self) -> None:
+        """Start one query's worth of amortised index maintenance.
+
+        Called once per scan step by the sharded workers (the single-process
+        drivers reach the same code through ``new_accumulator``).  Backends
+        with deferred physical maintenance (the NumPy arena) replenish
+        their per-query compaction budget here; the default is a no-op.
+        """
+
+    def gather_scan_partials(self, segments: Sequence[tuple[int, float, float, Any]],
+                             *, now: float, cutoff: float, decay: float,
+                             use_l2: bool, time_ordered: bool,
+                             ) -> tuple[list[SegmentPartial], int, int]:
+        """Gather streaming prefix-scan partials for ``segments``.
+
+        ``segments`` holds ``(position, value, query_prefix_norm,
+        posting_list)`` for the query terms owned by this worker, in scan
+        order (descending position) and restricted to non-empty lists.
+        Returns ``(partials, entries_traversed, entries_removed)``.
+        """
+        import numpy as np
+
+        partials: list[SegmentPartial] = []
+        traversed_total = 0
+        removed_total = 0
+        for position, value, query_prefix_norm, plist in segments:
+            live: list[Any] = []
+            if time_ordered:
+                alive = 0
+                for entry in plist.iter_newest_first():
+                    if entry.timestamp < cutoff:
+                        break
+                    alive += 1
+                    live.append(entry)
+                removed = plist.keep_newest(alive)
+                traversed = alive
+            else:
+                traversed = 0
+                kept = []
+                for entry in plist:
+                    traversed += 1
+                    if entry.timestamp < cutoff:
+                        continue
+                    kept.append(entry)
+                    live.append(entry)
+                removed = traversed - len(kept)
+                if removed:
+                    plist.replace_all_entries(kept)
+            timestamps = np.asarray([entry.timestamp for entry in live],
+                                    dtype=np.float64)
+            contrib = value * np.asarray([entry.value for entry in live],
+                                         dtype=np.float64)
+            decay_factors = np.exp(-decay * (now - timestamps))
+            if use_l2:
+                tails = query_prefix_norm * np.asarray(
+                    [entry.prefix_norm for entry in live], dtype=np.float64)
+                tails *= decay_factors
+            else:
+                tails = None
+            partials.append(SegmentPartial(
+                position=position, value=value,
+                query_prefix_norm=query_prefix_norm,
+                slots=np.asarray([entry.vector_id for entry in live],
+                                 dtype=np.int64),
+                contrib=contrib, tails=tails, decay_factors=decay_factors,
+                min_ts=float(timestamps.min()) if len(live) else math.inf,
+                max_ts=float(timestamps.max()) if len(live) else -math.inf,
+                traversed=traversed, removed=removed,
+            ))
+            traversed_total += traversed
+            removed_total += removed
+        return partials, traversed_total, removed_total
+
+    def gather_inv_partials(self, segments: Sequence[tuple[int, float, Any]],
+                            *, cutoff: float,
+                            ) -> tuple[list[SegmentPartial], int, int]:
+        """Gather STR-INV scan partials (newest-first, lazy head truncation).
+
+        ``segments`` holds ``(position, value, posting_list)`` in query
+        order for the non-empty lists this worker owns.  Returns
+        ``(partials, entries_traversed, entries_removed)``.
+        """
+        import numpy as np
+
+        partials: list[SegmentPartial] = []
+        traversed_total = 0
+        removed_total = 0
+        for position, value, plist in segments:
+            live: list[Any] = []
+            for entry in plist.iter_newest_first():
+                if entry.timestamp < cutoff:
+                    break
+                live.append(entry)
+            removed = plist.keep_newest(len(live))
+            timestamps = np.asarray([entry.timestamp for entry in live],
+                                    dtype=np.float64)
+            partials.append(SegmentPartial(
+                position=position, value=value, query_prefix_norm=0.0,
+                slots=np.asarray([entry.vector_id for entry in live],
+                                 dtype=np.int64),
+                contrib=value * np.asarray([entry.value for entry in live],
+                                           dtype=np.float64),
+                timestamps=timestamps,
+                min_ts=float(timestamps.min()) if len(live) else math.inf,
+                max_ts=float(timestamps.max()) if len(live) else -math.inf,
+                traversed=len(live), removed=removed,
+            ))
+            traversed_total += len(live)
+            removed_total += removed
+        return partials, traversed_total, removed_total
 
     # -- candidate verification ----------------------------------------------
 

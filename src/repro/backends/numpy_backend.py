@@ -107,6 +107,7 @@ from repro.backends.arena import _MIN_CAPACITY  # noqa: F401  (test hook)
 from repro.backends.base import (
     CandidateSet,
     ScoreAccumulator,
+    SegmentPartial,
     SimilarityKernel,
     SizeFilterMap,
 )
@@ -261,13 +262,17 @@ class NumpyKernel(SimilarityKernel):
 
     name = "numpy"
 
-    def __init__(self, *, fused: bool = True) -> None:
+    def __init__(self, *, fused: bool = True, arena_allocator=None) -> None:
         #: Whether the fused ``scan_query_*`` kernels are enabled.  With
         #: ``fused=False`` the kernel falls back to the base class's
         #: per-term driver loop over the ``scan_*`` kernels — the path the
         #: fused implementations are parity-tested against.
         self._fused = fused
-        self._arena = PostingArena(self)
+        # ``arena_allocator`` lets a caller place the posting arena's
+        # backing buffers wherever it likes — the sharded workers pass a
+        # multiprocessing.shared_memory-backed allocator (see
+        # repro.shard.shm); None keeps private heap arrays.
+        self._arena = PostingArena(self, arena_allocator)
         self._slot_of: dict[int, int] = {}
         self._slot_ids = np.empty(_INITIAL_SLOTS, dtype=np.int64)
         self._slot_score = np.zeros(_INITIAL_SLOTS, dtype=np.float64)
@@ -343,15 +348,24 @@ class NumpyKernel(SimilarityKernel):
 
     def new_accumulator(self) -> NumpyAccumulator:
         self._epoch += 1
+        self.begin_maintenance_cycle()
+        return NumpyAccumulator(self, self._epoch)
+
+    def begin_maintenance_cycle(self) -> None:
+        """Replenish the per-query compaction budget, compacting if affordable.
+
+        One call per query: the single-process drivers reach it through
+        :meth:`new_accumulator`; the sharded workers — which never create
+        accumulators — call it once per scan step.  A new cycle is a safe
+        point: no scan holds gathers from the arena arrays here.
+        """
         budget = self._maintenance_budget + _COMPACTION_BUDGET
         budget = min(budget, _COMPACTION_BUDGET_CAP)
         # The budget pays for early arena compaction (a mandatory one —
         # dead space exceeding live postings — is already amortised and
-        # costs nothing); a new accumulator is a safe point, no scan holds
-        # gathers from the arena arrays here.
+        # costs nothing).
         budget -= self._arena.compact_if_affordable(budget)
         self._maintenance_budget = budget
-        return NumpyAccumulator(self, self._epoch)
 
     def new_size_filter(self) -> NumpySizeFilter:
         return NumpySizeFilter(self)
@@ -1025,7 +1039,11 @@ class NumpyKernel(SimilarityKernel):
         # Expired postings are masked out of the gather; the physical
         # bookkeeping (head truncation, lazy-expiry state, amortised
         # compaction) is deferred until the very end of the call so every
-        # arena read below sees a stable layout.
+        # arena read below sees a stable layout.  NOTE: gather_scan_partials
+        # carries a lockstep copy of this filter phase (and the bound loop
+        # above is mirrored by the sharded coordinator's _segment_bounds);
+        # changes here must be mirrored there, or sharded runs silently
+        # lose bitwise parity.
         needs_mask = any(plist._dirty or plist._min_ts < cutoff
                          for plist in seg_lists)
         ordered_drops: list[tuple[Any, int]] = []
@@ -1247,6 +1265,256 @@ class NumpyKernel(SimilarityKernel):
             idx = np.repeat(starts, lengths)
             idx += within
         return idx, lengths, offsets
+
+    # -- partial accumulation (sharded candidate generation) -----------------
+    #
+    # The worker half (gather_*_partials) is the fused scans' gather/time-
+    # filter phase — everything up to but excluding global admission — with
+    # the per-posting products precomputed so the coordinator never touches
+    # this arena.  The coordinator half (apply_*_partials) replays the
+    # per-segment admission/pruning/accumulation sequence over the merged
+    # partials through the *same* _fused_prefix_segments/_fused_inv_pass
+    # code the single-process kernel uses, with every segment pre-gathered
+    # (hoisted == total).  Both halves are elementwise identical to the
+    # single-process fused pass, so scores, prune marks, candidate order
+    # and operation counts stay bitwise equal regardless of how dimensions
+    # are split across workers (tests/test_shard.py pins this down).
+
+    def gather_scan_partials(self, segments: Sequence[tuple[int, float, float, Any]],
+                             *, now: float, cutoff: float, decay: float,
+                             use_l2: bool, time_ordered: bool,
+                             ) -> tuple[list[SegmentPartial], int, int]:
+        if not segments:
+            return [], 0, 0
+        arena = self._arena
+        seg_lists = [segment[3] for segment in segments]
+        idx, lengths, offsets = self._gather_indices(seg_lists,
+                                                     reverse=time_ordered)
+        nseg = len(seg_lists)
+        seg_min = [0.0] * nseg
+        seg_max = [0.0] * nseg
+        seg_traversed = [0] * nseg
+        seg_removed = [0] * nseg
+        ordered_drops: list[tuple[Any, int]] = []
+        lazy_updates: list[tuple[Any, float, int, np.ndarray, int]] = []
+        # -- time filtering: LOCKSTEP COPY of the fused scan_query_stream's
+        # filter phase (see there for the case-by-case rationale).  The
+        # sharded bitwise-parity contract depends on the two staying
+        # identical: any change to either — mask computation, the
+        # traversed/removed case analysis, the deferred drop/lazy-expiry
+        # bookkeeping, the alive-mask rebuild after a whole-arena
+        # compaction — must be mirrored in the other.
+        needs_mask = any(plist._dirty or plist._min_ts < cutoff
+                         for plist in seg_lists)
+        timestamps = arena.ts[idx]
+        if not needs_mask:
+            alive_counts = lengths
+            alive_offsets = offsets
+            for j, plist in enumerate(seg_lists):
+                seg_min[j] = plist._min_ts
+                seg_max[j] = plist._max_ts
+                seg_traversed[j] = int(lengths[j])
+        else:
+            cuts = [max(cutoff, plist._expired_cutoff) if plist._dirty
+                    else cutoff for plist in seg_lists]
+            alive = timestamps >= np.repeat(np.asarray(cuts), lengths)
+            alive_counts = np.add.reduceat(alive, offsets[:-1])
+            for j, plist in enumerate(seg_lists):
+                length = int(lengths[j])
+                live = int(alive_counts[j])
+                lo = int(offsets[j])
+                if time_ordered:
+                    seg_traversed[j] = live
+                    seg_removed[j] = length - live
+                    if live:
+                        seg_min[j] = float(timestamps[lo + live - 1])
+                        seg_max[j] = float(timestamps[lo])
+                    else:
+                        seg_min[j] = _INF
+                        seg_max[j] = -_INF
+                    if length > live:
+                        ordered_drops.append((plist, length - live))
+                else:
+                    seg_traversed[j] = length - plist._dirty
+                    seg_removed[j] = seg_traversed[j] - live
+                    if live == length:
+                        seg_min[j] = plist._min_ts
+                        seg_max[j] = plist._max_ts
+                    elif live:
+                        live_ts = timestamps[lo:lo + length][alive[lo:lo + length]]
+                        seg_min[j] = float(live_ts.min())
+                        seg_max[j] = float(live_ts.max())
+                    else:
+                        seg_min[j] = _INF
+                        seg_max[j] = -_INF
+                    if live < length:
+                        lazy_updates.append((plist, cuts[j], live,
+                                             alive[lo:lo + length], j))
+            if bool((alive_counts != lengths).any()):
+                idx = idx[alive]
+                timestamps = timestamps[alive]
+            alive_offsets = np.empty(nseg + 1, dtype=np.int64)
+            alive_offsets[0] = 0
+            np.cumsum(alive_counts, out=alive_offsets[1:])
+        try:
+            # -- per-posting products over the whole gather (fancy-index
+            # reads copy, so the partials stay valid across the deferred
+            # physical bookkeeping below and across future arena mutation).
+            slots = arena.slots[idx]
+            contrib = np.repeat(np.asarray([segment[1] for segment in segments]),
+                                alive_counts)
+            contrib *= arena.values[idx]
+            decay_factors = np.exp(-decay * (now - timestamps))
+            if use_l2:
+                tails = np.repeat(np.asarray([segment[2] for segment in segments]),
+                                  alive_counts)
+                tails *= arena.pnorms[idx]
+                tails *= decay_factors
+            else:
+                tails = None
+            partials: list[SegmentPartial] = []
+            for j, (position, value, query_prefix_norm, _plist) in enumerate(segments):
+                lo, hi = int(alive_offsets[j]), int(alive_offsets[j + 1])
+                partials.append(SegmentPartial(
+                    position=position, value=value,
+                    query_prefix_norm=query_prefix_norm,
+                    slots=slots[lo:hi], contrib=contrib[lo:hi],
+                    tails=tails[lo:hi] if use_l2 else None,
+                    decay_factors=decay_factors[lo:hi],
+                    min_ts=seg_min[j], max_ts=seg_max[j],
+                    traversed=seg_traversed[j], removed=seg_removed[j],
+                ))
+            return partials, sum(seg_traversed), sum(seg_removed)
+        finally:
+            # Deferred physical bookkeeping, exactly as in the fused scan:
+            # truncations and compactions may rewrite chunks in place or
+            # replace the arena arrays, so they run after every gather.
+            for plist, count in ordered_drops:
+                plist.drop_oldest(count)
+            for plist, cut_eff, live, alive_mask, j in lazy_updates:
+                plist.note_lazy_expiry(cut_eff, plist.physical_size - live,
+                                       seg_min[j], seg_max[j])
+                if len(alive_mask) != plist.physical_size:
+                    lo, hi = plist.region
+                    alive_mask = arena.ts[lo:hi] >= cut_eff
+                self._maybe_compact(plist, alive_mask)
+
+    def gather_inv_partials(self, segments: Sequence[tuple[int, float, Any]],
+                            *, cutoff: float,
+                            ) -> tuple[list[SegmentPartial], int, int]:
+        if not segments:
+            return [], 0, 0
+        arena = self._arena
+        seg_lists = [segment[2] for segment in segments]
+        nseg = len(seg_lists)
+        idx, lengths, offsets = self._gather_indices(seg_lists, reverse=True)
+        timestamps = arena.ts[idx]
+        seg_removed = [0] * nseg
+        expired: list[tuple[Any, int]] = []
+        if any(plist._min_ts < cutoff for plist in seg_lists):
+            alive = timestamps >= cutoff
+            alive_counts = np.add.reduceat(alive, offsets[:-1])
+            for j in range(nseg):
+                if alive_counts[j] < lengths[j]:
+                    seg_removed[j] = int(lengths[j]) - int(alive_counts[j])
+                    expired.append((seg_lists[j], seg_removed[j]))
+            if expired:
+                idx = idx[alive]
+                timestamps = timestamps[alive]
+        else:
+            alive_counts = lengths
+        slots = arena.slots[idx]
+        contrib = np.repeat(np.asarray([segment[1] for segment in segments]),
+                            alive_counts)
+        contrib *= arena.values[idx]
+        # Truncations happen only after every arena gather above.
+        removed = 0
+        for plist, count in expired:
+            removed += plist.drop_oldest(count)
+        alive_offsets = np.empty(nseg + 1, dtype=np.int64)
+        alive_offsets[0] = 0
+        np.cumsum(alive_counts, out=alive_offsets[1:])
+        partials: list[SegmentPartial] = []
+        for j, (position, value, _plist) in enumerate(segments):
+            lo, hi = int(alive_offsets[j]), int(alive_offsets[j + 1])
+            seg_ts = timestamps[lo:hi]
+            partials.append(SegmentPartial(
+                position=position, value=value, query_prefix_norm=0.0,
+                slots=slots[lo:hi], contrib=contrib[lo:hi],
+                timestamps=seg_ts,
+                min_ts=float(seg_ts[-1]) if hi > lo else _INF,
+                max_ts=float(seg_ts[0]) if hi > lo else -_INF,
+                traversed=hi - lo, removed=seg_removed[j],
+            ))
+        return partials, len(idx), removed
+
+    @staticmethod
+    def _concat_partials(arrays: list[np.ndarray]) -> np.ndarray:
+        return arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+
+    def apply_scan_partials(self, partials: Sequence[SegmentPartial],
+                            seg_bounds: Sequence[tuple[float, float]], *,
+                            sz1: float, threshold: float, decay: float,
+                            now: float, use_ap: bool, use_l2: bool,
+                            acc: ScoreAccumulator) -> None:
+        """Replay the global admission sequence over merged scan partials.
+
+        ``partials`` must be in global scan order (descending query
+        position) with ``seg_bounds[j] = (rs1, rs2)`` holding the
+        remaining-score bounds at each segment's position.  Runs the exact
+        per-segment pass of the fused single-process kernel — same
+        tri-state admission (``math.exp`` at the live extremes), same
+        masks, same accumulation order — over the pre-gathered arrays.
+        """
+        resolve = self._resolve_admission
+        tri = [resolve(rs1, rs2, threshold, decay, now, partial.min_ts,
+                       partial.max_ts) if len(partial.slots) else _ADMIT_NONE
+               for partial, (rs1, rs2) in zip(partials, seg_bounds)]
+        if all(outcome == _ADMIT_NONE for outcome in tri):
+            # Within one pass nothing can have started earlier, so no
+            # candidate can form (the fused kernel's early exit).
+            return
+        nseg = len(partials)
+        counts = np.asarray([len(partial.slots) for partial in partials],
+                            dtype=np.int64)
+        offsets = np.empty(nseg + 1, dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+        if total == 0:
+            return
+        slots = self._concat_partials([partial.slots for partial in partials])
+        contrib = self._concat_partials([partial.contrib for partial in partials])
+        decay_factors = (self._concat_partials(
+            [partial.decay_factors for partial in partials])
+            if partials[0].decay_factors is not None else None)
+        tails = (self._concat_partials([partial.tails for partial in partials])
+                 if use_l2 else None)
+        self._fused_prefix_segments(
+            self._arena, None, slots, contrib, tails, decay_factors, tri,
+            [partial.value for partial in partials],
+            [partial.query_prefix_norm for partial in partials],
+            [bound[0] for bound in seg_bounds],
+            [bound[1] for bound in seg_bounds],
+            offsets, total, decay, now, sz1, use_ap, use_l2, threshold, acc)
+
+    def apply_inv_partials(self, partials: Sequence[SegmentPartial],
+                           acc: ScoreAccumulator) -> None:
+        """Replay the INV accumulation over merged scan partials.
+
+        ``partials`` must be in query order; the concatenated gather feeds
+        the same sequential ``np.add.at`` pass as the single-process
+        kernel, so accumulation order and arrival timestamps are identical.
+        """
+        if not partials:
+            return
+        slots = self._concat_partials([partial.slots for partial in partials])
+        if not len(slots):
+            return
+        contrib = self._concat_partials([partial.contrib for partial in partials])
+        timestamps = self._concat_partials(
+            [partial.timestamps for partial in partials])
+        self._fused_inv_pass(slots, contrib, timestamps, acc)
 
     def _fused_prefix_segments(self, arena: PostingArena, idx: np.ndarray,
                                slots: np.ndarray, contrib: np.ndarray | None,

@@ -59,6 +59,8 @@ def run_algorithm(
     operation_budget: int | None = None,
     time_budget: float | None = None,
     backend: str | None = None,
+    workers: int | None = None,
+    shard_executor: str = "process",
 ) -> RunMetrics:
     """Run one algorithm configuration over ``vectors`` and measure it.
 
@@ -68,15 +70,27 @@ def run_algorithm(
 
     ``backend`` selects the compute backend; when given explicitly it is
     recorded in the metrics' algorithm label (``"STR-L2[numpy]"``) so
-    side-by-side backend tables stay readable.
+    side-by-side backend tables stay readable.  ``workers`` switches the
+    run to the sharded parallel engine (:mod:`repro.shard`) with that many
+    shards (``shard_executor`` picks ``"process"`` or ``"serial"``); the
+    label then carries a ``×N`` worker suffix.
     """
     stats = JoinStatistics()
-    join = create_join(algorithm, threshold, decay, stats=stats, backend=backend)
-    if backend is None:
-        label = algorithm
+    if workers is not None:
+        from repro.shard import create_sharded_join
+
+        join = create_sharded_join(algorithm, threshold, decay,
+                                   workers=workers, stats=stats,
+                                   backend=backend, executor=shard_executor)
+        label = f"{algorithm}[{join.backend_name}x{workers}]"
     else:
-        # Resolve "auto" so side-by-side tables name the actual backend.
-        label = f"{algorithm}[{get_backend(backend).name}]"
+        join = create_join(algorithm, threshold, decay, stats=stats,
+                           backend=backend)
+        if backend is None:
+            label = algorithm
+        else:
+            # Resolve "auto" so side-by-side tables name the actual backend.
+            label = f"{algorithm}[{get_backend(backend).name}]"
     metrics = RunMetrics(
         algorithm=label,
         dataset=dataset,
@@ -87,18 +101,23 @@ def run_algorithm(
     )
     pairs = 0
     start = time.perf_counter()
-    for processed, vector in enumerate(vectors, start=1):
-        pairs += len(join.process(vector))
-        if operation_budget is not None and stats.operations > operation_budget:
-            metrics.completed = False
-            metrics.abort_reason = f"operation budget exceeded after {processed} vectors"
-            break
-        if time_budget is not None and time.perf_counter() - start > time_budget:
-            metrics.completed = False
-            metrics.abort_reason = f"time budget exceeded after {processed} vectors"
-            break
-    else:
-        pairs += len(join.flush())
+    try:
+        for processed, vector in enumerate(vectors, start=1):
+            pairs += len(join.process(vector))
+            if operation_budget is not None and stats.operations > operation_budget:
+                metrics.completed = False
+                metrics.abort_reason = f"operation budget exceeded after {processed} vectors"
+                break
+            if time_budget is not None and time.perf_counter() - start > time_budget:
+                metrics.completed = False
+                metrics.abort_reason = f"time budget exceeded after {processed} vectors"
+                break
+        else:
+            pairs += len(join.flush())
+    finally:
+        closer = getattr(join, "close", None)
+        if closer is not None:  # sharded joins own worker processes
+            closer()
     metrics.elapsed_seconds = time.perf_counter() - start
     metrics.pairs = pairs
     stats.elapsed_seconds = metrics.elapsed_seconds

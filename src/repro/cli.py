@@ -15,6 +15,12 @@ Installed as the ``sssj`` console script (and reachable as
     Print Table-1 style statistics for a dataset file or profile.
 ``run``
     Run one algorithm configuration over a dataset and print its metrics.
+    ``--workers N`` (or the ``SSSJ_WORKERS`` environment variable) runs
+    the sharded parallel engine instead of the single-process one.
+``shards``
+    Print the :class:`~repro.shard.plan.ShardPlan` balance report for a
+    dataset — per-shard dimension and posting-mass shares plus the
+    max/mean skew — so a partitioning can be sanity-checked before a run.
 ``profile``
     Run a corpus through a chosen backend and print the per-stage
     (scan / filter / verify / maintenance) time breakdown.
@@ -27,6 +33,7 @@ Installed as the ``sssj`` console script (and reachable as
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -87,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--backend", default=None,
                      choices=["auto", *available_backends()],
                      help="compute backend for the hot loops (default: auto)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="run the sharded parallel engine with N shard "
+                          "workers (STR only; default: single-process, or "
+                          "the SSSJ_WORKERS environment variable)")
+    run.add_argument("--shard-executor", default="process",
+                     choices=["process", "serial"],
+                     help="sharded execution mode: one process per shard, "
+                          "or serial in-process shards (default: process)")
     run.add_argument("--show-pairs", type=int, default=0,
                      help="print up to N reported pairs")
 
@@ -106,6 +121,16 @@ def build_parser() -> argparse.ArgumentParser:
     profile_cmd.add_argument("--backend", default=None,
                              choices=["auto", *available_backends()],
                              help="compute backend to profile (default: auto)")
+
+    shards = subparsers.add_parser(
+        "shards", help="print the shard plan balance report for a dataset")
+    shard_source = shards.add_mutually_exclusive_group(required=True)
+    shard_source.add_argument("--input", help="dataset file to analyse")
+    shard_source.add_argument("--profile", choices=available_profiles())
+    shards.add_argument("--num-vectors", type=int, default=None)
+    shards.add_argument("--seed", type=int, default=42)
+    shards.add_argument("--workers", type=int, default=4,
+                        help="number of shards to plan for (default 4)")
 
     sweep_cmd = subparsers.add_parser("sweep", help="run a (θ, λ) grid and print a table")
     sweep_cmd.add_argument("--profile", required=True, choices=available_profiles())
@@ -208,10 +233,39 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workers_from_env() -> int | None:
+    """Parse ``SSSJ_WORKERS`` (0/empty → single-process), or fail cleanly.
+
+    Parsed only where the value matters (the ``run`` command), so a
+    malformed variable cannot take down unrelated subcommands.
+    """
+    raw = os.environ.get("SSSJ_WORKERS", "").strip()
+    if not raw:
+        return None
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise SystemExit(
+            f"SSSJ_WORKERS={raw!r} is not an integer") from None
+    if workers < 0:
+        raise SystemExit(f"SSSJ_WORKERS must be >= 0, got {workers}")
+    return workers or None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     vectors, name = _load_vectors(args)
+    workers = args.workers if args.workers is not None else _workers_from_env()
+    if workers is not None and workers < 1:
+        print(f"--workers must be >= 1, got {workers}", file=sys.stderr)
+        return 2
+    if workers is not None and not args.algorithm.upper().startswith("STR"):
+        print(f"--workers applies to the STR framework only "
+              f"(got {args.algorithm!r})", file=sys.stderr)
+        return 2
     metrics = run_algorithm(args.algorithm, vectors, args.theta, args.decay,
-                            dataset=str(name), backend=args.backend)
+                            dataset=str(name), backend=args.backend,
+                            workers=workers,
+                            shard_executor=args.shard_executor)
     print(render_table([metrics.as_row()], title=f"Run: {args.algorithm} on {name}"))
     if args.show_pairs > 0:
         from repro.core.join import create_join
@@ -275,6 +329,23 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shards(args: argparse.Namespace) -> int:
+    from repro.shard import plan_report
+
+    vectors, name = _load_vectors(args)
+    balance = plan_report(vectors, args.workers)
+    print(render_table(
+        balance.rows(),
+        title=(f"Shard plan for {name}: {balance.total_postings} postings "
+               f"over {balance.total_dimensions} dimensions, "
+               f"{args.workers} shards"),
+    ))
+    print(f"posting-mass balance: max share {balance.max_share:.1%} "
+          f"(perfect {1 / args.workers:.1%}), "
+          f"max/mean skew {balance.skew:.3f} (perfect 1.000)")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     algorithms = [token.strip() for token in args.algorithms.split(",") if token.strip()]
     thetas = tuple(float(token) for token in args.thetas.split(",") if token)
@@ -319,6 +390,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "run": _cmd_run,
     "profile": _cmd_profile,
+    "shards": _cmd_shards,
     "sweep": _cmd_sweep,
     "experiment": _cmd_experiment,
 }

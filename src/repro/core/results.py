@@ -24,6 +24,8 @@ from typing import Callable, Iterator
 __all__ = [
     "SimilarPair",
     "JoinStatistics",
+    "ShardCounters",
+    "merge_shard_counters",
     "PairCollector",
     "ListCollector",
     "CountingCollector",
@@ -141,6 +143,55 @@ class JoinStatistics:
         """Aggregate operation count used for budget enforcement (Table 2)."""
         return (self.entries_traversed + self.full_similarities
                 + self.entries_indexed + self.reindexed_entries)
+
+
+@dataclass
+class ShardCounters:
+    """Per-shard operation counters of the sharded join (:mod:`repro.shard`).
+
+    The coordinator folds the per-query partial counts straight into the
+    global :class:`JoinStatistics` (so sharded runs report identical
+    counters to single-process runs); these per-shard totals exist for
+    *observability* — the ``sssj shards`` balance report, the benchmark
+    artifact's per-shard breakdown and the load-skew assertions in the
+    tests read them.
+    """
+
+    shard: int = 0
+    dimensions: int = 0
+    entries_indexed: int = 0
+    entries_traversed: int = 0
+    entries_removed: int = 0
+    scans: int = 0
+    arena_compactions: int = 0
+
+    def merge(self, other: "ShardCounters") -> None:
+        """Accumulate another shard's counters into this one (totals row)."""
+        self.dimensions += other.dimensions
+        self.entries_indexed += other.entries_indexed
+        self.entries_traversed += other.entries_traversed
+        self.entries_removed += other.entries_removed
+        self.scans += other.scans
+        self.arena_compactions += other.arena_compactions
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "shard": self.shard,
+            "dimensions": self.dimensions,
+            "entries_indexed": self.entries_indexed,
+            "entries_traversed": self.entries_traversed,
+            "entries_removed": self.entries_removed,
+            "scans": self.scans,
+            "arena_compactions": self.arena_compactions,
+        }
+
+
+def merge_shard_counters(counters: "list[ShardCounters]") -> ShardCounters:
+    """Totals row over every shard's counters (``shard`` is set to -1)."""
+    total = ShardCounters(shard=-1)
+    for shard_counters in counters:
+        total.merge(shard_counters)
+    return total
 
 
 class PairCollector:

@@ -145,18 +145,24 @@ def merge_streams(*streams: Iterable[SparseVector],
                   name: str = "merged") -> GeneratorStream:
     """Merge several timestamp-ordered streams into one ordered stream.
 
-    Ties are broken by the order in which the streams are supplied, then by
-    vector id, so the merge is deterministic.
+    The merge is **stable**: vectors with equal timestamps are emitted in
+    the order of the streams that supplied them (first stream wins), and
+    two equal-timestamp vectors from the *same* stream keep their original
+    relative order.  This determinism is what the sharded coordinator's
+    fan-in (:mod:`repro.shard`) relies on — any consumer replaying a merged
+    stream sees exactly the same vector sequence on every run.
+
+    .. note::
+       Earlier versions keyed the merge on ``(timestamp, stream, vector_id)``,
+       which *reordered* equal-timestamp vectors of one stream by id (and
+       fell back to comparing :class:`SparseVector` objects — a ``TypeError``
+       — when even the ids tied).  Keying on the timestamp alone and relying
+       on :func:`heapq.merge`'s stability fixes both.
     """
 
     def factory() -> Iterator[SparseVector]:
-        def keyed(index: int, stream: Iterable[SparseVector]) -> Iterator[
-                tuple[float, int, int, SparseVector]]:
-            for vector in stream:
-                yield (vector.timestamp, index, vector.vector_id, vector)
-
-        merged = heapq.merge(*(keyed(i, s) for i, s in enumerate(streams)))
-        for _, _, _, vector in merged:
-            yield vector
+        # heapq.merge is stable: for equal keys it prefers earlier iterables
+        # and preserves each iterable's own order.
+        return iter(heapq.merge(*streams, key=lambda vector: vector.timestamp))
 
     return GeneratorStream(factory, name=name)

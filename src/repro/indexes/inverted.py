@@ -85,7 +85,20 @@ class InvertedStreamingIndex(StreamingIndex):
                  backend: str | SimilarityKernel | None = None) -> None:
         super().__init__(threshold, decay, stats=stats, backend=backend)
         self.horizon = time_horizon(threshold, decay)
-        self._index = InvertedIndex(self.kernel.new_posting_list)
+        self._index = self._make_index()
+
+    # -- storage / scan hooks (see PrefixFilterStreamingIndex) ----------------
+
+    def _make_index(self) -> InvertedIndex:
+        return InvertedIndex(self.kernel.new_posting_list)
+
+    def _scan_query(self, vector: SparseVector, cutoff: float,
+                    accumulator) -> tuple[int, int]:
+        return self.kernel.scan_query_inv_stream(
+            vector, self._index, cutoff, accumulator)
+
+    def _append_postings(self, vector: SparseVector) -> int:
+        return self.kernel.index_vector_postings(self._index, vector)
 
     @property
     def size(self) -> int:
@@ -98,11 +111,10 @@ class InvertedStreamingIndex(StreamingIndex):
 
         # -- CG: accumulate exact dot products from the time-ordered lists,
         # truncating the expired head of each list (lazy time filtering).
-        # The whole query is one fused kernel call.
+        # The whole query is one fused kernel call behind the hook.
         kernel = self.kernel
         accumulator = kernel.new_accumulator()
-        traversed, removed = kernel.scan_query_inv_stream(
-            vector, self._index, cutoff, accumulator)
+        traversed, removed = self._scan_query(vector, cutoff, accumulator)
         stats.entries_traversed += traversed
         if removed:
             self._index.note_removed(removed)
@@ -115,8 +127,7 @@ class InvertedStreamingIndex(StreamingIndex):
             vector, candidates, self.threshold, self.decay, now, stats)
 
         # -- IC: append every coordinate (no index pruning in INV).
-        stats.entries_indexed += self.kernel.index_vector_postings(
-            self._index, vector)
+        stats.entries_indexed += self._append_postings(vector)
         stats.vectors_processed += 1
         stats.pairs_output += len(pairs)
         stats.max_index_size = max(stats.max_index_size, len(self._index))

@@ -191,11 +191,44 @@ class PrefixFilterStreamingIndex(StreamingIndex):
             )
         self.horizon = time_horizon(threshold, decay)
         self.time_ordered = not self.use_ap
-        self._index = InvertedIndex(self.kernel.new_posting_list)
+        self._index = self._make_index()
         self._residual = ResidualIndex()
         self._size_filter = self.kernel.new_size_filter()
         self._max_query = MaxVector() if self.use_ap else None          # m
         self._max_decayed = DecayedMaxVector(decay) if self.use_ap else None  # m̂^λ
+
+    # -- storage / scan hooks ----------------------------------------------------
+    #
+    # Subclasses that farm the posting-list state out to other owners — the
+    # sharded coordinator of :mod:`repro.shard` keeps its postings in
+    # per-worker shards — override these three hooks; everything else (time
+    # filtering of the residual store, bound maintenance, re-indexing,
+    # verification) runs unchanged on top of them.
+
+    def _make_index(self) -> InvertedIndex:
+        """The posting store; anything with the ``InvertedIndex`` counting
+        interface (``__len__`` / ``note_added`` / ``note_removed``)."""
+        return InvertedIndex(self.kernel.new_posting_list)
+
+    def _scan_query(self, vector: SparseVector, now: float, cutoff: float,
+                    rs1: float, decayed_maxima: list[float] | None,
+                    sz1: float, accumulator) -> tuple[int, int]:
+        """Candidate-generation scan of the whole query (Algorithm 7).
+
+        Returns ``(entries_traversed, entries_removed)``.
+        """
+        return self.kernel.scan_query_stream(
+            vector, self._index, now=now, cutoff=cutoff, decay=self.decay,
+            rs1=rs1, decayed_maxima=decayed_maxima, sz1=sz1,
+            threshold=self.threshold, use_ap=self.use_ap, use_l2=self.use_l2,
+            time_ordered=self.time_ordered, size_filter=self._size_filter,
+            acc=accumulator,
+        )
+
+    def _append_postings(self, vector: SparseVector, start: int = 0,
+                         end: int | None = None) -> int:
+        """Append ``vector``'s coordinates ``[start, end)`` to the posting store."""
+        return self.kernel.index_vector_postings(self._index, vector, start, end)
 
     # -- introspection ----------------------------------------------------------
 
@@ -266,14 +299,10 @@ class PrefixFilterStreamingIndex(StreamingIndex):
 
         # The whole query's scan — time filtering, decayed bound
         # maintenance across positions — is one kernel call (Algorithm 7's
-        # outer loop); see SimilarityKernel.scan_query_stream.
-        traversed, removed = kernel.scan_query_stream(
-            vector, self._index, now=now, cutoff=cutoff, decay=decay,
-            rs1=rs1, decayed_maxima=decayed_maxima, sz1=sz1,
-            threshold=threshold, use_ap=self.use_ap, use_l2=self.use_l2,
-            time_ordered=self.time_ordered, size_filter=self._size_filter,
-            acc=accumulator,
-        )
+        # outer loop) behind the _scan_query hook; see
+        # SimilarityKernel.scan_query_stream and the sharded override.
+        traversed, removed = self._scan_query(
+            vector, now, cutoff, rs1, decayed_maxima, sz1, accumulator)
         stats.entries_traversed += traversed
         if removed:
             self._index.note_removed(removed)
@@ -307,8 +336,7 @@ class PrefixFilterStreamingIndex(StreamingIndex):
         self._residual.add(entry)
         self._size_filter.set(vector.vector_id, len(vector) * vector.max_value)
         self.kernel.note_vector_indexed(entry)
-        indexed = self.kernel.index_vector_postings(
-            self._index, vector, split.boundary)
+        indexed = self._append_postings(vector, split.boundary)
         if self.use_ap:
             self._max_decayed.update(vector)  # type: ignore[union-attr]
         self.stats.entries_indexed += indexed
@@ -358,8 +386,8 @@ class PrefixFilterStreamingIndex(StreamingIndex):
             # Move the newly covered coordinates from the residual prefix to
             # the posting lists; they are appended at the tail, so the lists
             # lose their time order (hence ``time_ordered`` is False here).
-            moved = self.kernel.index_vector_postings(
-                self._index, entry.vector, split.boundary, entry.boundary)
+            moved = self._append_postings(entry.vector, split.boundary,
+                                          entry.boundary)
             stats.reindexed_entries += moved
             stats.entries_indexed += moved
             freed_dims = entry.shrink_to(split.boundary, split.pscore)

@@ -1,0 +1,185 @@
+"""Execution backends for the sharded join: serial in-process and multiprocess.
+
+Both executors present the same tiny interface to the coordinator:
+
+``queue_append(shard, slot, dims, values, prefix_norms, timestamp)``
+    Buffer a posting append for ``shard``.  Appends are *not* sent
+    immediately — they ride along with the next ``exchange`` (or an
+    explicit ``flush``), so one vector costs one message per shard.
+``exchange(requests, params)``
+    Deliver the buffered appends plus one scan request per shard, in
+    order, and return each shard's ``(partials, traversed, removed)``.
+    The per-shard operation order (scan of vector *i* before the postings
+    of vector *i*, before the scan of vector *i+1*) is what makes the
+    sharded run bitwise identical to the single-process one.
+``flush`` / ``counters`` / ``close``
+    Drain buffered appends, snapshot per-shard counters, shut down.
+
+:class:`SerialShardExecutor` runs every shard worker in-process and
+synchronously — no processes, no pickling — which makes the whole
+subsystem testable and CI-safe; it is also the natural ``workers=1``
+configuration.  :class:`ProcessShardExecutor` spawns one child process
+per shard (fork server where available), ships requests over pipes and
+keeps each worker's posting arena in shared memory; all shards scan
+concurrently, which is where the parallel speedup comes from.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any
+
+from repro.core.results import ShardCounters
+from repro.shard.plan import ShardPlan
+from repro.shard.worker import (
+    ShardWorker,
+    make_worker_kernel,
+    shard_worker_main,
+    unpack_partials,
+)
+
+__all__ = ["SerialShardExecutor", "ProcessShardExecutor", "create_executor"]
+
+
+class SerialShardExecutor:
+    """All shard workers in-process; calls run synchronously in shard order."""
+
+    kind = "serial"
+
+    def __init__(self, plan: ShardPlan, *, backend: str = "numpy") -> None:
+        self.plan = plan
+        self.workers = [ShardWorker(shard, make_worker_kernel(backend))
+                        for shard in range(plan.workers)]
+        self._pending: list[list[tuple]] = [[] for _ in range(plan.workers)]
+
+    def queue_append(self, shard: int, slot: int, dims, values, prefix_norms,
+                     timestamp: float) -> None:
+        self._pending[shard].append((slot, dims, values, prefix_norms, timestamp))
+
+    def exchange(self, requests: list[list[tuple]],
+                 params: dict[str, Any]) -> list[tuple[list, int, int]]:
+        replies = []
+        for shard, worker in enumerate(self.workers):
+            pending = self._pending[shard]
+            if pending:
+                worker.apply_appends(pending)
+                self._pending[shard] = []
+            replies.append(worker.scan(requests[shard], params))
+        return replies
+
+    def flush(self) -> None:
+        for shard, worker in enumerate(self.workers):
+            pending = self._pending[shard]
+            if pending:
+                worker.apply_appends(pending)
+                self._pending[shard] = []
+
+    def counters(self) -> list[ShardCounters]:
+        return [worker.snapshot_counters() for worker in self.workers]
+
+    def close(self) -> None:
+        self.flush()
+
+
+class ProcessShardExecutor:
+    """One child process per shard, pipes for control, shared-memory arenas.
+
+    ``exchange`` first *sends* to every shard, then *collects* from every
+    shard, so the per-vector scan work of all shards overlaps — the
+    round-trip latency is paid once per vector, not once per shard.
+    """
+
+    kind = "process"
+
+    def __init__(self, plan: ShardPlan, *, backend: str = "numpy",
+                 use_shared_memory: bool = True,
+                 start_method: str | None = None) -> None:
+        self.plan = plan
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        context = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self._conns = []
+        self._procs = []
+        self._pending: list[list[tuple]] = [[] for _ in range(plan.workers)]
+        self._closed = False
+        for shard in range(plan.workers):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=shard_worker_main,
+                args=(child_conn, shard, use_shared_memory, backend),
+                name=f"sssj-shard-{shard}", daemon=True)
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(process)
+
+    def queue_append(self, shard: int, slot: int, dims, values, prefix_norms,
+                     timestamp: float) -> None:
+        self._pending[shard].append((slot, dims, values, prefix_norms, timestamp))
+
+    def exchange(self, requests: list[list[tuple]],
+                 params: dict[str, Any]) -> list[tuple[list, int, int]]:
+        conns = self._conns
+        pending = self._pending
+        # Fan out first so every shard scans concurrently ...
+        for shard, conn in enumerate(conns):
+            conn.send(("step", pending[shard], requests[shard], params))
+            pending[shard] = []
+        # ... then fan in, in shard order (determinism of the merge).
+        replies = []
+        for conn in conns:
+            reply = conn.recv()
+            replies.append((unpack_partials(reply[1]), reply[2], reply[3]))
+        return replies
+
+    def flush(self) -> None:
+        for shard, conn in enumerate(self._conns):
+            if self._pending[shard]:
+                conn.send(("step", self._pending[shard], None, None))
+                self._pending[shard] = []
+                reply = conn.recv()
+                assert reply[0] == "ok", reply
+
+    def counters(self) -> list[ShardCounters]:
+        for conn in self._conns:
+            conn.send(("counters",))
+        return [conn.recv()[1] for conn in self._conns]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.flush()
+            for conn in self._conns:
+                conn.send(("stop",))
+            for conn in self._conns:
+                try:
+                    conn.recv()  # ("bye",)
+                except EOFError:
+                    pass
+        except (BrokenPipeError, OSError):
+            pass
+        for conn in self._conns:
+            conn.close()
+        for process in self._procs:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=1)
+
+
+def create_executor(plan: ShardPlan, kind: str = "process", *,
+                    backend: str = "numpy", use_shared_memory: bool = True,
+                    start_method: str | None = None):
+    """Build the executor named by ``kind`` (``"serial"`` or ``"process"``)."""
+    if kind == "serial":
+        return SerialShardExecutor(plan, backend=backend)
+    if kind == "process":
+        return ProcessShardExecutor(plan, backend=backend,
+                                    use_shared_memory=use_shared_memory,
+                                    start_method=start_method)
+    raise ValueError(f"unknown shard executor {kind!r}; "
+                     f"expected 'serial' or 'process'")

@@ -1,0 +1,123 @@
+"""Shared-memory arena allocation for the worker processes.
+
+Each sharded worker owns a :class:`~repro.backends.arena.PostingArena`;
+in multiprocess mode the arena's backing buffers are allocated from
+``multiprocessing.shared_memory`` segments through a
+:class:`SharedMemoryAllocator` instead of private heap arrays.  The
+allocator plugs into the arena's ``allocator`` hook, so *every* buffer the
+arena ever uses — initial arrays, growth reallocations, compaction
+targets — lives in a named shared segment.
+
+Lifetime management mirrors the arena's own: the arena never frees
+buffers, it just drops references on growth/compaction, and scans may
+still hold views into the old buffers at that point.  The allocator
+therefore ties each segment's *retirement* to the garbage collection of
+the array it handed out (``weakref.finalize``): the segment is unlinked
+immediately (the name disappears), while the unmap is deferred to a sweep
+on a later allocation — ``weakref.finalize`` callbacks run before the
+dying array releases its buffer export, so an eager ``close()`` would
+always find live exported pointers.  :meth:`SharedMemoryAllocator.close`
+sweeps one final time at worker shutdown; anything still exported then is
+detached so the mapping is reclaimed by the kernel when the last view
+dies (at the latest, at process exit) without ``SharedMemory.__del__``
+noise.
+"""
+
+from __future__ import annotations
+
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedMemoryAllocator"]
+
+
+def _unlink(segment: shared_memory.SharedMemory) -> None:
+    try:
+        segment.unlink()
+    except (FileNotFoundError, OSError):  # already unlinked
+        pass
+
+
+def _detach(segment: shared_memory.SharedMemory) -> None:
+    """Drop the segment's handles without unmapping.
+
+    Used only for segments whose buffers are still exported (a numpy view
+    is alive) when the allocator shuts down: the mmap object then dies —
+    and unmaps — together with the last view, and the defunct
+    ``SharedMemory`` wrapper no longer retries (and fails) the close in
+    its ``__del__``.
+    """
+    try:
+        segment._buf = None      # type: ignore[attr-defined]
+        segment._mmap = None     # type: ignore[attr-defined]
+    except AttributeError:  # pragma: no cover - CPython implementation detail
+        pass
+
+
+class SharedMemoryAllocator:
+    """``(length, dtype) -> np.ndarray`` factory over shared-memory segments.
+
+    Implements the :class:`repro.backends.arena.ArenaAllocator` interface.
+    One segment per allocation; a segment is unlinked as soon as its array
+    is garbage collected and unmapped on the next sweep.
+    """
+
+    def __init__(self, name_prefix: str = "sssj-arena") -> None:
+        self.name_prefix = name_prefix
+        #: Total bytes ever allocated (observability; reported per shard).
+        self.bytes_allocated = 0
+        #: Segments whose arrays are still alive, keyed by segment name.
+        self._live: dict[str, shared_memory.SharedMemory] = {}
+        self._finalizers: dict[str, weakref.finalize] = {}
+        #: Unlinked segments awaiting their deferred unmap.
+        self._retired: list[shared_memory.SharedMemory] = []
+        self._closed = False
+
+    @property
+    def live_segments(self) -> int:
+        return len(self._live)
+
+    def __call__(self, length: int, dtype) -> np.ndarray:
+        if self._closed:
+            raise RuntimeError("allocator is closed")
+        self._sweep()
+        nbytes = max(1, int(length) * np.dtype(dtype).itemsize)
+        segment = shared_memory.SharedMemory(create=True, size=nbytes)
+        array = np.frombuffer(segment.buf, dtype=dtype, count=length)
+        self.bytes_allocated += nbytes
+        name = segment.name
+        self._live[name] = segment
+
+        def retire(allocator=weakref.ref(self), segment=segment, name=name):
+            _unlink(segment)
+            owner = allocator()
+            if owner is not None:
+                owner._live.pop(name, None)
+                owner._finalizers.pop(name, None)
+                owner._retired.append(segment)
+
+        self._finalizers[name] = weakref.finalize(array, retire)
+        return array
+
+    def _sweep(self, force: bool = False) -> None:
+        still_exported: list[shared_memory.SharedMemory] = []
+        for segment in self._retired:
+            try:
+                segment.close()
+            except BufferError:
+                if force:
+                    _detach(segment)
+                else:
+                    still_exported.append(segment)
+        self._retired = still_exported
+
+    def close(self) -> None:
+        """Unlink and release every segment (worker shutdown; idempotent)."""
+        self._closed = True
+        for finalizer in list(self._finalizers.values()):
+            finalizer()  # unlink + retire anything still live
+        self._live.clear()
+        self._finalizers.clear()
+        self._sweep(force=True)

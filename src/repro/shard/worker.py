@@ -1,0 +1,237 @@
+"""Shard worker: owner of one shard's posting-list state.
+
+A :class:`ShardWorker` holds the posting lists (and the posting arena
+behind them) of the dimensions its shard owns, plus the compute kernel
+that scans them.  It executes exactly two operations, both issued by the
+coordinator in a strict per-shard order:
+
+``apply_appends``
+    Append postings shipped by the coordinator — indexing of a new vector
+    and re-indexing moves alike.  The coordinator sends the *global* slot
+    it interned for the vector, so the slots stored in every shard's arena
+    live in one shared id space and partials merge without translation.
+``scan``
+    Gather the scan partials of the query terms this shard owns (time
+    filtering + per-posting products, **no** global admission — see
+    :class:`repro.backends.base.SegmentPartial`) and report the logical
+    ``traversed``/``removed`` counts.
+
+The same class backs both execution modes: the serial in-process executor
+calls it directly (making the whole subsystem testable without spawning
+anything), and :func:`shard_worker_main` wraps it in a child-process
+message loop for the multiprocess executor, with the arena allocated from
+``multiprocessing.shared_memory`` segments.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.backends import get_backend
+from repro.backends.base import SegmentPartial
+from repro.core.results import ShardCounters
+from repro.indexes.posting import InvertedIndex, PostingEntry
+
+__all__ = ["ShardWorker", "make_worker_kernel", "shard_worker_main",
+           "pack_partials", "unpack_partials"]
+
+
+def pack_partials(partials: list[SegmentPartial]):
+    """Flatten a scan reply's partials into one set of concatenated arrays.
+
+    Pickling one array per field instead of four per *segment* cuts the
+    serialisation cost of a reply by an order of magnitude on skewed
+    vocabularies (dozens of small segments per query).  Values are
+    byte-identical — :func:`unpack_partials` re-slices the concatenation at
+    the recorded segment boundaries.
+    """
+    if not partials:
+        return None
+    import numpy as np
+
+    metadata = [(partial.position, partial.value, partial.query_prefix_norm,
+                 partial.min_ts, partial.max_ts, partial.traversed,
+                 partial.removed, len(partial.slots))
+                for partial in partials]
+
+    def concatenate(field: str):
+        arrays = [getattr(partial, field) for partial in partials]
+        if arrays[0] is None:
+            return None
+        return arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+
+    return (metadata, concatenate("slots"), concatenate("contrib"),
+            concatenate("tails"), concatenate("decay_factors"),
+            concatenate("timestamps"))
+
+
+def unpack_partials(packed) -> list[SegmentPartial]:
+    """Inverse of :func:`pack_partials` (returns views into the buffers)."""
+    if packed is None:
+        return []
+    metadata, slots, contrib, tails, decay_factors, timestamps = packed
+    partials: list[SegmentPartial] = []
+    offset = 0
+    for (position, value, query_prefix_norm, min_ts, max_ts, traversed,
+         removed, count) in metadata:
+        upper = offset + count
+        partials.append(SegmentPartial(
+            position=position, value=value,
+            query_prefix_norm=query_prefix_norm,
+            slots=slots[offset:upper], contrib=contrib[offset:upper],
+            tails=tails[offset:upper] if tails is not None else None,
+            decay_factors=(decay_factors[offset:upper]
+                           if decay_factors is not None else None),
+            timestamps=(timestamps[offset:upper]
+                        if timestamps is not None else None),
+            min_ts=min_ts, max_ts=max_ts, traversed=traversed,
+            removed=removed,
+        ))
+        offset = upper
+    return partials
+
+
+def make_worker_kernel(backend: str = "numpy", *, allocator=None):
+    """Build a worker's compute kernel, shared-memory backed if requested."""
+    kernel_cls = get_backend(backend)
+    if allocator is not None:
+        return kernel_cls(arena_allocator=allocator)
+    return kernel_cls()
+
+
+class ShardWorker:
+    """One shard's posting state plus the gather half of the scans."""
+
+    def __init__(self, shard: int, kernel) -> None:
+        self.shard = shard
+        self.kernel = kernel
+        self.index = InvertedIndex(kernel.new_posting_list)
+        self.counters = ShardCounters(shard=shard)
+
+    # -- index construction ---------------------------------------------------
+
+    def apply_appends(self, appends: list[tuple]) -> None:
+        """Apply coordinator-shipped posting appends, in shipping order.
+
+        Each append is ``(slot, dims, values, prefix_norms, timestamp)``
+        with parallel per-coordinate lists restricted to this shard's
+        dimensions.
+        """
+        index = self.index
+        appended = 0
+        for slot, dims, values, prefix_norms, timestamp in appends:
+            for offset, dim in enumerate(dims):
+                plist = index.list_for(dim)
+                fast = getattr(plist, "_append_fast", None)
+                if fast is not None:
+                    fast(slot, values[offset], prefix_norms[offset], timestamp)
+                else:  # generic posting-list layout (reference backend)
+                    plist.append(PostingEntry(
+                        vector_id=slot, value=values[offset],
+                        prefix_norm=prefix_norms[offset], timestamp=timestamp))
+            index.note_added(len(dims))
+            appended += len(dims)
+        self.counters.entries_indexed += appended
+
+    # -- candidate generation (gather half) -----------------------------------
+
+    def scan(self, terms: list[tuple], params: dict[str, Any]) -> tuple[list, int, int]:
+        """Gather the partials of this shard's query terms.
+
+        ``terms`` is ``(position, dim, value, query_prefix_norm)`` per
+        owned prefix-scheme term (descending position) or
+        ``(position, dim, value)`` per INV term (ascending position);
+        ``params`` carries the scan parameters including ``kind``.
+        Returns ``(partials, entries_traversed, entries_removed)``.
+        """
+        kernel = self.kernel
+        kernel.begin_maintenance_cycle()
+        self.counters.scans += 1
+        index_get = self.index.get
+        if params["kind"] == "inv":
+            inv_segments = []
+            for position, dim, value in terms:
+                plist = index_get(dim)
+                if plist is not None and len(plist):
+                    inv_segments.append((position, value, plist))
+            partials, traversed, removed = kernel.gather_inv_partials(
+                inv_segments, cutoff=params["cutoff"])
+        else:
+            segments = []
+            for position, dim, value, query_prefix_norm in terms:
+                plist = index_get(dim)
+                if plist is not None and len(plist):
+                    segments.append((position, value, query_prefix_norm, plist))
+            partials, traversed, removed = kernel.gather_scan_partials(
+                segments, now=params["now"], cutoff=params["cutoff"],
+                decay=params["decay"], use_l2=params["use_l2"],
+                time_ordered=params["time_ordered"])
+        self.counters.entries_traversed += traversed
+        self.counters.entries_removed += removed
+        if removed:
+            self.index.note_removed(removed)
+        return partials, traversed, removed
+
+    # -- observability ---------------------------------------------------------
+
+    def snapshot_counters(self) -> ShardCounters:
+        """Current counters, with the dimension count and arena stats filled in."""
+        self.counters.dimensions = sum(1 for _ in self.index.dimensions())
+        arena = getattr(self.kernel, "_arena", None)
+        if arena is not None:
+            self.counters.arena_compactions = arena.compactions
+        return self.counters
+
+
+def shard_worker_main(conn, shard: int, use_shared_memory: bool = True,
+                      backend: str = "numpy") -> None:
+    """Child-process message loop of one shard (multiprocess executor).
+
+    Protocol (requests over ``conn``):
+
+    * ``("step", appends, scan_terms, scan_params)`` — apply the appends,
+      then scan; replies ``("partials", partials, traversed, removed)``,
+      or ``("ok",)`` when ``scan_terms`` is ``None`` (flush-only step).
+    * ``("counters",)`` — replies ``("counters", ShardCounters)``.
+    * ``("stop",)`` — replies ``("bye",)`` and exits.
+    """
+    allocator = None
+    if use_shared_memory and backend == "numpy":
+        from repro.shard.shm import SharedMemoryAllocator
+
+        allocator = SharedMemoryAllocator(name_prefix=f"sssj-shard{shard}")
+    worker = ShardWorker(shard, make_worker_kernel(backend, allocator=allocator))
+    try:
+        while True:
+            message = conn.recv()
+            op = message[0]
+            if op == "step":
+                _, appends, scan_terms, scan_params = message
+                if appends:
+                    worker.apply_appends(appends)
+                if scan_terms is None:
+                    conn.send(("ok",))
+                else:
+                    partials, traversed, removed = worker.scan(scan_terms,
+                                                               scan_params)
+                    conn.send(("partials", pack_partials(partials),
+                               traversed, removed))
+            elif op == "counters":
+                conn.send(("counters", worker.snapshot_counters()))
+            elif op == "stop":
+                conn.send(("bye",))
+                break
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        pass  # coordinator went away; shut down quietly
+    finally:
+        if allocator is not None:
+            # Release the arena (and the kernel↔arena reference cycle) so
+            # no view into the shared segments survives, then close them —
+            # otherwise SharedMemory.__del__ noisily fails to unmap
+            # buffers that numpy still points at.
+            import gc
+
+            del worker
+            gc.collect()
+            allocator.close()
+        conn.close()

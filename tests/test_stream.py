@@ -101,6 +101,27 @@ class TestMergeStreams:
         merged = merge_streams(a, b)
         assert [v.vector_id for v in merged] == [10, 20]
 
+    def test_equal_timestamps_within_one_stream_keep_arrival_order(self):
+        # Stability: equal-timestamp vectors of one stream must not be
+        # reordered (the old (timestamp, stream, id) key sorted them by id).
+        a = [vec(9, 1.0), vec(3, 1.0), vec(7, 1.0)]
+        merged = merge_streams(a, [vec(5, 2.0)])
+        assert [v.vector_id for v in merged] == [9, 3, 7, 5]
+
+    def test_equal_timestamp_and_id_across_streams_does_not_compare_vectors(self):
+        # The old key fell back to comparing SparseVector objects when both
+        # the timestamp and the id tied, raising TypeError.
+        a = [vec(1, 1.0)]
+        b = [vec(1, 1.0)]
+        merged = merge_streams(a, b)
+        assert [v.vector_id for v in merged] == [1, 1]
+
+    def test_interleaved_ties_prefer_earlier_stream_at_each_step(self):
+        a = [vec(0, 1.0), vec(2, 3.0)]
+        b = [vec(1, 1.0), vec(3, 3.0)]
+        merged = merge_streams(a, b)
+        assert [v.vector_id for v in merged] == [0, 1, 2, 3]
+
     def test_merge_is_replayable_with_list_inputs(self):
         a = [vec(0, 0.0)]
         b = [vec(1, 1.0)]
