@@ -36,6 +36,13 @@ artifact against ``benchmarks/BENCH_baseline.json`` in CI:
     scaling curve (with the host's CPU count — the curve is only
     meaningful relative to it) plus the coordinator's per-stage
     breakdown.
+``test_service_ingest_gate``
+    The service gate: the same workload pushed through a
+    :class:`repro.service.JoinSession` (bounded queue + worker thread +
+    micro-batching + memory sink).  Asserts pair/counter parity with the
+    direct run, sustained ingest throughput ≥ 0.8× the direct engine at
+    full size, and records the p50/p95/p99 enqueue-to-processed ingest
+    latency in the ``service_ingest`` record of ``BENCH_micro.json``.
 
 Environment knobs (used by the CI smoke job):
 
@@ -45,6 +52,8 @@ Environment knobs (used by the CI smoke job):
     Override the INV gate's stream length (default 3 000).
 ``SSSJ_BENCH_VECTORS_LARGE``
     Override the scaling gate's stream length (default 50 000).
+``SSSJ_BENCH_VECTORS_SERVICE``
+    Override the service gate's stream length (default 4 000).
 ``SSSJ_BENCH_SHARD_WORKERS``
     Worker counts of the sharded gate, comma-separated (default "1,2,4").
 ``SSSJ_BENCH_OUTPUT``
@@ -73,6 +82,7 @@ GATE_SHARD_WORKERS = tuple(
     os.environ.get("SSSJ_BENCH_SHARD_WORKERS", "1,2,4").split(",") if token)
 GATE_VECTORS_INV = int(os.environ.get("SSSJ_BENCH_VECTORS_INV", "3000"))
 GATE_VECTORS_LARGE = int(os.environ.get("SSSJ_BENCH_VECTORS_LARGE", "50000"))
+GATE_VECTORS_SERVICE = int(os.environ.get("SSSJ_BENCH_VECTORS_SERVICE", "4000"))
 GATE_OUTPUT = Path(os.environ.get(
     "SSSJ_BENCH_OUTPUT",
     Path(__file__).resolve().parent.parent / "BENCH_micro.json"))
@@ -80,6 +90,8 @@ GATE_OUTPUT = Path(os.environ.get(
 GATE_SPEEDUP = 6.0
 #: Minimum numpy-over-python speedup on the INV gate workload at full size.
 GATE_SPEEDUP_INV = 10.0
+#: Minimum service-over-direct throughput ratio at full service-gate size.
+GATE_SERVICE_RATIO = 0.8
 #: The scaling gate must outlive the decay horizon so expiry is exercised.
 _HORIZON_VECTORS = 25_542  # ln(1/0.6) / 2e-5 seconds at one vector per second
 
@@ -354,6 +366,72 @@ def test_l2ap_sharded_scaling(benchmark, hashtags_vectors):
                  "scaling_curve": curve},
     )
     print(f"benchmark artifact written to {artifact}")
+
+
+@pytest.mark.skipif("numpy" not in BACKENDS, reason="NumPy backend unavailable")
+def test_service_ingest_gate(benchmark):
+    """Service gate: the STR workload through a JoinSession vs direct.
+
+    The session path adds a bounded queue, a worker thread, micro-batch
+    assembly and sink emission on top of the same join; the gate pins
+    that overhead to ≤ 20% of throughput (ratio ≥ 0.8) and records the
+    enqueue-to-processed ingest latency percentiles — the same numbers
+    the ``stats`` endpoint serves — in ``BENCH_micro.json``.
+    """
+    from repro.service import JoinSession, SessionConfig
+
+    threshold, decay = 0.6, 2e-5
+    vectors = generate_profile_corpus("hashtags",
+                                      num_vectors=GATE_VECTORS_SERVICE, seed=7)
+
+    def run_both():
+        direct_elapsed, direct_stats = _timed_run(
+            "STR-L2AP", vectors, threshold, decay, "numpy")
+        config = SessionConfig(
+            name="bench", threshold=threshold, decay=decay,
+            algorithm="STR-L2AP", backend="numpy",
+            queue_max=256, batch_max_items=256, batch_max_delay=0.0)
+        session = JoinSession(config)
+        start = time.perf_counter()
+        session.ingest(vectors)
+        session.drain(timeout=None)
+        service_elapsed = time.perf_counter() - start
+        return direct_elapsed, direct_stats, service_elapsed, session
+
+    direct_elapsed, direct_stats, service_elapsed, session = benchmark.pedantic(
+        run_both, rounds=1, iterations=1)
+    count = len(vectors)
+    ratio = direct_elapsed / service_elapsed if service_elapsed else 0.0
+    latency = session.latency.summary()
+    print(f"\nservice ingest (hashtags, {count} vectors): direct "
+          f"{direct_elapsed:.1f}s, service {service_elapsed:.1f}s "
+          f"(ratio {ratio:.2f}x), ingest p50/p95/p99 "
+          f"{latency['p50_ms']:.2f}/{latency['p95_ms']:.2f}/"
+          f"{latency['p99_ms']:.2f} ms")
+
+    service_record = _backend_record(service_elapsed, session.join.stats, count)
+    service_record["latency"] = latency
+    artifact = write_bench_micro(
+        GATE_OUTPUT,
+        benchmark="service_ingest",
+        config={"profile": "hashtags", "num_vectors": count, "seed": 7,
+                "algorithm": "STR-L2AP", "threshold": threshold,
+                "decay": decay, "queue_max": 256, "batch_max_items": 256},
+        backends={
+            "numpy_direct": _backend_record(direct_elapsed, direct_stats,
+                                            count),
+            "numpy_service": service_record,
+        },
+        derived={"throughput_ratio": ratio,
+                 "ingest_p99_ms": latency["p99_ms"]},
+    )
+    print(f"benchmark artifact written to {artifact}")
+
+    # The session must do the same work, bit for bit.
+    _assert_counter_parity(session.join.stats, direct_stats)
+    session.close()
+    if count >= 4_000:  # reduced CI sizes track the artifact, not the gate
+        assert ratio >= GATE_SERVICE_RATIO
 
 
 @pytest.mark.skipif("numpy" not in BACKENDS, reason="NumPy backend unavailable")

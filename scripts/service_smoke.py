@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the join service, including kill -9 recovery.
+
+Run by the CI ``service-smoke`` step (and runnable locally):
+
+    PYTHONPATH=src python scripts/service_smoke.py
+
+The script:
+
+1. generates a small ``hashtags`` stream and computes the expected pairs
+   with the direct engine (what ``sssj run`` executes);
+2. starts ``sssj serve`` as a real subprocess with a checkpoint
+   directory, ingests the stream through the ``sssj ingest`` CLI with a
+   JSONL sink, drains, and asserts the streamed pairs are identical to
+   the direct run's — bitwise, similarities included;
+3. opens a second session, ingests half the stream, forces a
+   checkpoint, ingests a little more, then ``kill -9``-s the server;
+4. restarts the server from the checkpoint directory, verifies the
+   session was recovered at the checkpoint barrier, re-feeds the
+   uncovered vectors with ``sssj ingest --resume``, drains, and asserts
+   the JSONL sink holds exactly the uninterrupted run's pairs;
+5. shuts the server down cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.core.join import streaming_self_join  # noqa: E402
+from repro.datasets.io import read_vectors, write_vectors  # noqa: E402
+from repro.datasets.generator import generate_profile_corpus  # noqa: E402
+from repro.service import ServiceClient, read_jsonl_pairs  # noqa: E402
+
+NUM_VECTORS = int(os.environ.get("SSSJ_SMOKE_VECTORS", "400"))
+THETA, DECAY = 0.6, 0.0001
+
+
+def start_server(checkpoint_dir: Path) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--checkpoint-dir", str(checkpoint_dir), "--checkpoint-every", "50"],
+        stdout=subprocess.PIPE, text=True, env=env)
+    deadline = time.monotonic() + 30
+    while True:
+        line = process.stdout.readline()
+        if line:
+            print(f"  [serve] {line.rstrip()}")
+        if "listening on" in line:
+            return process, int(line.strip().rsplit(":", 1)[1])
+        if process.poll() is not None or time.monotonic() > deadline:
+            raise RuntimeError("server failed to start")
+
+
+def run_cli(*args: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run([sys.executable, "-m", "repro", *args],
+                            capture_output=True, text=True, env=env,
+                            timeout=300)
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"sssj {' '.join(args)} failed ({result.returncode}):\n"
+            f"{result.stdout}\n{result.stderr}")
+    return result.stdout
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="sssj-smoke-"))
+    checkpoint_dir = workdir / "checkpoints"
+    dataset = workdir / "stream.txt"
+    vectors = generate_profile_corpus("hashtags", num_vectors=NUM_VECTORS,
+                                      seed=7)
+    write_vectors(dataset, vectors)
+    # What `sssj run` would produce over the same file (readers normalise).
+    file_vectors = list(read_vectors(dataset))
+    expected = list(streaming_self_join(file_vectors, THETA, DECAY))
+    print(f"stream: {NUM_VECTORS} hashtags vectors, expected "
+          f"{len(expected)} pairs (θ={THETA}, λ={DECAY})")
+
+    print("\n[1] full ingest through the CLI must match the direct engine")
+    server, port = start_server(checkpoint_dir)
+    try:
+        sink_a = workdir / "full.jsonl"
+        run_cli("ingest", "--port", str(port), "--session", "full",
+                "--input", str(dataset), "--theta", str(THETA),
+                "--decay", str(DECAY), "--sink-jsonl", str(sink_a))
+        print(run_cli("drain", "--port", str(port), "--session", "full")
+              .splitlines()[0])
+        streamed = read_jsonl_pairs(sink_a)
+        assert streamed == expected, (
+            f"streamed {len(streamed)} pairs != direct {len(expected)}")
+        print(f"  OK: {len(streamed)} streamed pairs identical to `sssj run`")
+
+        print("\n[2] half-ingest + checkpoint, then kill -9")
+        sink_b = workdir / "recovered.jsonl"
+        half = NUM_VECTORS // 2
+        half_file = workdir / "half.txt"
+        write_vectors(half_file, file_vectors[:half])
+        run_cli("ingest", "--port", str(port), "--session", "recov",
+                "--input", str(half_file), "--theta", str(THETA),
+                "--decay", str(DECAY), "--sink-jsonl", str(sink_b))
+        with ServiceClient(port=port) as client:
+            client.checkpoint("recov")
+            # A few post-checkpoint vectors that the crash will eat.
+            client.ingest("recov", file_vectors[half:half + 20])
+            time.sleep(0.3)
+        server.send_signal(signal.SIGKILL)
+        server.wait(timeout=30)
+        print("  server killed with SIGKILL")
+    except BaseException:
+        server.kill()
+        raise
+
+    print("\n[3] restart: the session must recover at the checkpoint barrier")
+    server, port = start_server(checkpoint_dir)
+    try:
+        with ServiceClient(port=port) as client:
+            stats = client.stats("recov")["sessions"]["recov"]
+            assert stats["resumed"], "session was not resumed from checkpoint"
+            processed = stats["processed"]
+            assert processed >= half, (
+                f"checkpoint covers {processed} < ingested {half}")
+            print(f"  recovered session covers {processed} vectors")
+        run_cli("ingest", "--port", str(port), "--session", "recov",
+                "--input", str(dataset), "--theta", str(THETA),
+                "--decay", str(DECAY), "--resume")
+        print(run_cli("drain", "--port", str(port), "--session", "recov")
+              .splitlines()[0])
+        recovered = read_jsonl_pairs(sink_b)
+        assert recovered == expected, (
+            f"after recovery: {len(recovered)} pairs != direct {len(expected)}")
+        print(f"  OK: {len(recovered)} pairs after kill -9 + recovery, "
+              "identical to the uninterrupted run")
+        with ServiceClient(port=port) as client:
+            client.shutdown()
+        server.wait(timeout=30)
+        print("\nservice smoke: PASS")
+    except BaseException:
+        server.kill()
+        raise
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -107,6 +107,12 @@ from repro.indexes import (
     create_batch_index,
     create_streaming_index,
 )
+from repro.service import (
+    JoinService,
+    JoinSession,
+    ServiceClient,
+    SessionConfig,
+)
 from repro.shard import (
     ShardPlan,
     ShardedStreamingJoin,
@@ -158,6 +164,11 @@ __all__ = [
     "ShardPlan",
     "ShardedStreamingJoin",
     "create_sharded_join",
+    # streaming join service
+    "JoinSession",
+    "SessionConfig",
+    "JoinService",
+    "ServiceClient",
     # checkpointing
     "CheckpointError",
     "snapshot_join",

@@ -2,12 +2,84 @@
 
 from __future__ import annotations
 
+import threading
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.results import JoinStatistics
 from repro.core.similarity import time_horizon
 
-__all__ = ["RunMetrics"]
+__all__ = ["LatencyStats", "RunMetrics"]
+
+
+class LatencyStats:
+    """Per-item latency percentiles over a bounded sliding window.
+
+    The benchmark runner, the ``sssj profile`` table and the service's
+    ``/stats`` endpoint all report p50/p95/p99 per-item latency through
+    this one class.  Samples are kept in a fixed-size window (newest
+    ``window`` items) so a long-running service can record latencies
+    forever with bounded memory; ``count`` still tracks the lifetime
+    total.  Percentiles use the nearest-rank method on the retained
+    window — deterministic and dependency-free.
+
+    Thread-safe: the service records from its worker thread while the
+    ``stats`` endpoint summarises from server handler threads.
+    """
+
+    def __init__(self, window: int = 65536) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._samples: deque[float] = deque(maxlen=window)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Record one per-item latency measured in seconds."""
+        with self._lock:
+            self._samples.append(seconds)
+            self.count += 1
+            self.total_seconds += seconds
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    @staticmethod
+    def _rank(ordered: list[float], p: float) -> float:
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+        return ordered[int(rank) - 1]
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank ``p``-th percentile (in seconds) of the window.
+
+        Returns 0.0 when no samples have been recorded.
+        """
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return 0.0
+        return self._rank(ordered, p)
+
+    def summary(self) -> dict[str, float]:
+        """The p50/p95/p99 row (milliseconds) shared by every consumer."""
+        with self._lock:
+            ordered = sorted(self._samples)
+            count = self.count
+            total_seconds = self.total_seconds
+        mean_s = total_seconds / count if count else 0.0
+        return {
+            "count": count,
+            "mean_ms": round(mean_s * 1e3, 4),
+            "p50_ms": round(self._rank(ordered, 50) * 1e3, 4) if ordered else 0.0,
+            "p95_ms": round(self._rank(ordered, 95) * 1e3, 4) if ordered else 0.0,
+            "p99_ms": round(self._rank(ordered, 99) * 1e3, 4) if ordered else 0.0,
+            "max_ms": round(ordered[-1] * 1e3, 4) if ordered else 0.0,
+        }
 
 
 @dataclass
@@ -30,6 +102,7 @@ class RunMetrics:
     completed: bool = True
     abort_reason: str = ""
     stats: JoinStatistics = field(default_factory=JoinStatistics)
+    latency: LatencyStats = field(default_factory=LatencyStats)
 
     @property
     def horizon(self) -> float:
@@ -58,6 +131,10 @@ class RunMetrics:
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.stats.vectors_processed / self.elapsed_seconds
+
+    def latency_row(self) -> dict[str, object]:
+        """Per-item latency percentile row (``sssj profile``, service stats)."""
+        return dict(self.latency.summary())
 
     def as_row(self) -> dict[str, object]:
         """Flat dictionary used by the table renderers."""

@@ -74,8 +74,12 @@ def fit_line(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
 
 #: Machine-comparable metrics tracked across PRs, as dotted paths into the
 #: artifact record, with the direction in which "bigger" is better.
+#: ``derived.speedup`` divides numpy by python; ``derived.throughput_ratio``
+#: divides the service pipeline by the direct engine (the service gate) —
+#: both are ratios of same-process runs, so they stay machine-comparable.
 TRACKED_METRICS: tuple[tuple[str, bool], ...] = (
     ("derived.speedup", True),
+    ("derived.throughput_ratio", True),
 )
 
 

@@ -74,23 +74,22 @@ def run_algorithm(
     run to the sharded parallel engine (:mod:`repro.shard`) with that many
     shards (``shard_executor`` picks ``"process"`` or ``"serial"``); the
     label then carries a ``×N`` worker suffix.
+
+    Per-item ``process()`` latency is recorded into ``metrics.latency``,
+    so ``metrics.latency_row()`` yields the same p50/p95/p99 summary the
+    ``sssj profile`` table and the service ``stats`` endpoint report.
     """
     stats = JoinStatistics()
+    join = create_join(algorithm, threshold, decay, stats=stats,
+                       backend=backend, workers=workers,
+                       shard_executor=shard_executor)
     if workers is not None:
-        from repro.shard import create_sharded_join
-
-        join = create_sharded_join(algorithm, threshold, decay,
-                                   workers=workers, stats=stats,
-                                   backend=backend, executor=shard_executor)
         label = f"{algorithm}[{join.backend_name}x{workers}]"
+    elif backend is None:
+        label = algorithm
     else:
-        join = create_join(algorithm, threshold, decay, stats=stats,
-                           backend=backend)
-        if backend is None:
-            label = algorithm
-        else:
-            # Resolve "auto" so side-by-side tables name the actual backend.
-            label = f"{algorithm}[{get_backend(backend).name}]"
+        # Resolve "auto" so side-by-side tables name the actual backend.
+        label = f"{algorithm}[{get_backend(backend).name}]"
     metrics = RunMetrics(
         algorithm=label,
         dataset=dataset,
@@ -100,10 +99,13 @@ def run_algorithm(
         stats=stats,
     )
     pairs = 0
+    latency = metrics.latency
     start = time.perf_counter()
     try:
         for processed, vector in enumerate(vectors, start=1):
+            item_start = time.perf_counter()
             pairs += len(join.process(vector))
+            latency.record(time.perf_counter() - item_start)
             if operation_budget is not None and stats.operations > operation_budget:
                 metrics.completed = False
                 metrics.abort_reason = f"operation budget exceeded after {processed} vectors"

@@ -28,6 +28,21 @@ Installed as the ``sssj`` console script (and reachable as
     Run a (θ, λ) grid for one or more algorithms and print the result table.
 ``experiment``
     Reproduce one of the paper's tables/figures by identifier.
+``serve``
+    Run the long-running join service (:mod:`repro.service`): named
+    sessions over a line-delimited-JSON socket protocol, with periodic
+    atomic checkpoints and crash recovery when ``--checkpoint-dir`` is
+    given.
+``ingest``
+    Feed a dataset (file or profile) into a served session, opening it
+    on first use; ``--resume`` skips the vectors a recovered session
+    already processed.
+``results``
+    Page through (or ``--follow``) the pairs a session has reported;
+    ``--stats`` prints the live counters + latency percentiles instead.
+``drain``
+    Flush a session (process queue, flush the join, final checkpoint)
+    and print its final statistics.
 """
 
 from __future__ import annotations
@@ -153,6 +168,83 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--plot", action="store_true",
                             help="also render the figure as an ASCII chart")
 
+    serve = subparsers.add_parser(
+        "serve", help="run the long-running join service")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7788,
+                       help="TCP port to listen on (0 picks a free one; "
+                            "default 7788)")
+    serve.add_argument("--checkpoint-dir", default=None,
+                       help="directory for per-session checkpoints; enables "
+                            "crash recovery on restart")
+    serve.add_argument("--checkpoint-every", type=int, default=500,
+                       metavar="N",
+                       help="default checkpoint cadence in processed vectors "
+                            "(default 500)")
+    serve.add_argument("--checkpoint-seconds", type=float, default=None,
+                       metavar="S",
+                       help="also checkpoint every S seconds of wall clock")
+
+    def add_client_args(sub):
+        sub.add_argument("--host", default="127.0.0.1")
+        sub.add_argument("--port", type=int, default=7788)
+        sub.add_argument("--session", required=True,
+                         help="session name on the server")
+
+    ingest = subparsers.add_parser(
+        "ingest", help="feed a dataset into a served join session")
+    add_client_args(ingest)
+    ingest_source = ingest.add_mutually_exclusive_group(required=True)
+    ingest_source.add_argument("--input", help="dataset file to ingest")
+    ingest_source.add_argument("--profile", choices=available_profiles())
+    ingest.add_argument("--num-vectors", type=int, default=None)
+    ingest.add_argument("--seed", type=int, default=42)
+    ingest.add_argument("--algorithm", default="STR-L2",
+                        help="algorithm when the session is opened by this "
+                             "call (default STR-L2)")
+    ingest.add_argument("--theta", type=float, default=0.7)
+    ingest.add_argument("--decay", type=float, default=0.01)
+    ingest.add_argument("--backend", default=None,
+                        choices=["auto", *available_backends()])
+    ingest.add_argument("--workers", type=int, default=None,
+                        help="run the session on the sharded engine with N "
+                             "workers (STR only)")
+    ingest.add_argument("--queue-max", type=int, default=4096)
+    ingest.add_argument("--batch-max", type=int, default=128,
+                        help="micro-batch flush size (items)")
+    ingest.add_argument("--batch-delay-ms", type=float, default=50.0,
+                        help="micro-batch flush delay (milliseconds)")
+    ingest.add_argument("--backpressure", default="block",
+                        choices=["block", "drop", "error"])
+    ingest.add_argument("--sink-jsonl", default=None, metavar="PATH",
+                        help="also append reported pairs to a JSONL file "
+                             "on the server")
+    ingest.add_argument("--from", dest="start_at", type=int, default=0,
+                        metavar="N", help="skip the first N vectors")
+    ingest.add_argument("--resume", action="store_true",
+                        help="skip the vectors the session already processed "
+                             "(use after a server restart)")
+    ingest.add_argument("--chunk-size", type=int, default=500,
+                        help="vectors per ingest request (default 500)")
+
+    results = subparsers.add_parser(
+        "results", help="read the pairs a served session has reported")
+    add_client_args(results)
+    results.add_argument("--cursor", type=int, default=0,
+                         help="resume from this result cursor")
+    results.add_argument("--limit", type=int, default=None,
+                         help="maximum pairs to fetch")
+    results.add_argument("--follow", action="store_true",
+                         help="keep polling until the session drains")
+    results.add_argument("--stats", action="store_true",
+                         help="print live counters + latency percentiles "
+                              "instead of pairs")
+
+    drain = subparsers.add_parser(
+        "drain", help="flush a served session and print final statistics")
+    add_client_args(drain)
+
     return parser
 
 
@@ -252,16 +344,38 @@ def _workers_from_env() -> int | None:
     return workers or None
 
 
+def _validate_workers(algorithm: str, workers: int | None) -> str | None:
+    """Why ``--workers`` cannot apply, or ``None`` when it can.
+
+    The sharded engine parallelises the STR framework only; validated
+    here — before any dataset is loaded — so the user gets a clear error
+    immediately instead of a help-text footnote and a late crash.
+    """
+    if workers is None:
+        return None
+    if workers < 1:
+        return f"--workers must be >= 1, got {workers}"
+    from repro.core.join import parse_algorithm
+    from repro.exceptions import UnknownAlgorithmError
+
+    try:
+        framework, _ = parse_algorithm(algorithm)
+    except UnknownAlgorithmError as error:
+        return str(error)
+    if framework != "STR":
+        return (f"--workers runs the sharded engine, which supports the STR "
+                f"framework only (got {algorithm!r}); drop --workers or use "
+                f"e.g. STR-{algorithm.split('-', 1)[-1].upper()}")
+    return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    vectors, name = _load_vectors(args)
     workers = args.workers if args.workers is not None else _workers_from_env()
-    if workers is not None and workers < 1:
-        print(f"--workers must be >= 1, got {workers}", file=sys.stderr)
+    error = _validate_workers(args.algorithm, workers)
+    if error is not None:
+        print(error, file=sys.stderr)
         return 2
-    if workers is not None and not args.algorithm.upper().startswith("STR"):
-        print(f"--workers applies to the STR framework only "
-              f"(got {args.algorithm!r})", file=sys.stderr)
-        return 2
+    vectors, name = _load_vectors(args)
     metrics = run_algorithm(args.algorithm, vectors, args.theta, args.decay,
                             dataset=str(name), backend=args.backend,
                             workers=workers,
@@ -296,13 +410,18 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print("sssj profile supports the STR framework "
               f"(got {args.algorithm!r}); use e.g. STR-L2AP", file=sys.stderr)
         return 2
+    from repro.bench.metrics import LatencyStats
+
     vectors, name = _load_vectors(args)
     kernel = ProfilingKernel(get_backend(args.backend)())
     join = create_join(args.algorithm, args.theta, args.decay, backend=kernel)
+    latency = LatencyStats()
     start = time.perf_counter()
     pairs = 0
     for vector in vectors:
+        item_start = time.perf_counter()
         pairs += len(join.process(vector))
+        latency.record(time.perf_counter() - item_start)
     pairs += len(join.flush())
     elapsed = time.perf_counter() - start
     print(render_table(
@@ -322,6 +441,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         }],
         title="Operation counters (pruning effectiveness: "
               "entries_pruned / entries_traversed)",
+    ))
+    print(render_table(
+        [latency.summary()],
+        title="Per-item latency percentiles (same row as the service "
+              "'stats' endpoint)",
     ))
     throughput = len(vectors) / elapsed if elapsed else 0.0
     print(f"total {elapsed:.2f}s for {len(vectors)} vectors "
@@ -382,6 +506,141 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    server, recovered = serve(
+        host=args.host, port=args.port,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every_items=args.checkpoint_every,
+        checkpoint_every_seconds=args.checkpoint_seconds,
+    )
+    host, port = server.address
+    if recovered:
+        print(f"recovered sessions from {args.checkpoint_dir}: "
+              + ", ".join(recovered), flush=True)
+    # The scripts that babysit the server (CI smoke, examples) parse this
+    # line for the resolved port, so keep its shape stable.
+    print(f"sssj service listening on {host}:{port}", flush=True)
+    server.serve_until_shutdown()
+    print("sssj service stopped", flush=True)
+    return 0
+
+
+def _client_for(args: argparse.Namespace):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.host, args.port)
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClientError
+
+    error = _validate_workers(args.algorithm, args.workers)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    vectors, name = _load_vectors(args)
+    open_options = {
+        "algorithm": args.algorithm,
+        "backend": args.backend,
+        "workers": args.workers,
+        "queue_max": args.queue_max,
+        "batch_max_items": args.batch_max,
+        "batch_max_delay_ms": args.batch_delay_ms,
+        "backpressure": args.backpressure,
+        # Dataset readers/generators already unit-normalise; skipping the
+        # server-side re-normalisation keeps the streamed values bitwise
+        # identical to what `sssj run` would process.
+        "normalize": False,
+    }
+    if args.sink_jsonl:
+        open_options["sinks"] = [{"kind": "jsonl", "path": args.sink_jsonl}]
+    try:
+        with _client_for(args) as client:
+            opened = client.open_session(args.session, theta=args.theta,
+                                         decay=args.decay, **open_options)
+            start_at = args.start_at
+            if args.resume:
+                start_at = max(start_at, int(opened.get("processed", 0)))
+            if opened.get("resumed"):
+                print(f"session {args.session!r} resumed from checkpoint "
+                      f"({opened.get('processed', 0)} vectors already "
+                      f"processed)")
+            totals = client.ingest(args.session, vectors[start_at:],
+                                   chunk_size=args.chunk_size)
+    except ServiceClientError as error:
+        print(f"ingest failed: {error}", file=sys.stderr)
+        return 1
+    print(f"ingested {totals['accepted']} vectors of {name} into session "
+          f"{args.session!r} (skipped {start_at}, dropped {totals['dropped']})")
+    return 0
+
+
+def _print_session_stats(response: dict) -> None:
+    for name, stats in response.get("sessions", {}).items():
+        counters = stats.pop("counters", {})
+        latency = stats.pop("latency", {})
+        sinks = stats.pop("sinks", [])
+        print(render_table([stats], title=f"Session {name!r}"))
+        print(render_table([latency],
+                           title="Per-item ingest latency percentiles (ms)"))
+        print(render_table([counters], title="Operation counters"))
+        if sinks:
+            print(render_table(sinks, title="Sinks"))
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClientError
+
+    try:
+        with _client_for(args) as client:
+            if args.stats:
+                _print_session_stats(client.stats(args.session))
+                return 0
+            shown = 0
+            if args.follow:
+                for pair in client.iter_results(args.session,
+                                                cursor=args.cursor,
+                                                timeout=None):
+                    print(f"pair {pair.id_a} ~ {pair.id_b}  "
+                          f"sim={pair.similarity:.4f} Δt={pair.time_delta:.3f}")
+                    shown += 1
+                    if args.limit is not None and shown >= args.limit:
+                        break
+            else:
+                response = client.results(args.session, cursor=args.cursor,
+                                          limit=args.limit)
+                for pair in response["pairs"]:
+                    print(f"pair {pair.id_a} ~ {pair.id_b}  "
+                          f"sim={pair.similarity:.4f} Δt={pair.time_delta:.3f}")
+                    shown += 1
+                print(f"-- {shown} pairs, next cursor {response['cursor']}, "
+                      f"session {response['status']}")
+    except ServiceClientError as error:
+        print(f"results failed: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_drain(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClientError
+
+    try:
+        with _client_for(args) as client:
+            summary = client.drain(args.session)
+            print(f"session {args.session!r} drained: "
+                  f"{summary.get('processed', 0)} vectors processed, "
+                  f"{summary.get('pairs_emitted', 0)} pairs emitted"
+                  + (f", checkpoint {summary['checkpoint']}"
+                     if summary.get("checkpoint") else ""))
+            _print_session_stats(client.stats(args.session))
+    except ServiceClientError as error:
+        print(f"drain failed: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "profiles": _cmd_profiles,
     "backends": _cmd_backends,
@@ -393,6 +652,10 @@ _COMMANDS = {
     "shards": _cmd_shards,
     "sweep": _cmd_sweep,
     "experiment": _cmd_experiment,
+    "serve": _cmd_serve,
+    "ingest": _cmd_ingest,
+    "results": _cmd_results,
+    "drain": _cmd_drain,
 }
 
 

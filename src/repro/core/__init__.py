@@ -3,6 +3,8 @@
 from repro.core.batch import all_pairs
 from repro.core.checkpoint import (
     CheckpointError,
+    PeriodicCheckpointer,
+    atomic_write_json,
     load_checkpoint,
     restore_join,
     save_checkpoint,
@@ -76,4 +78,6 @@ __all__ = [
     "restore_join",
     "save_checkpoint",
     "load_checkpoint",
+    "atomic_write_json",
+    "PeriodicCheckpointer",
 ]

@@ -21,8 +21,10 @@ with an unknown version rather than guessing.
 from __future__ import annotations
 
 import json
+import os
+import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.backends import get_backend
 from repro.core.frameworks.streaming import StreamingFramework
@@ -41,6 +43,8 @@ __all__ = [
     "restore_join",
     "save_checkpoint",
     "load_checkpoint",
+    "atomic_write_json",
+    "PeriodicCheckpointer",
 ]
 
 _FORMAT_VERSION = 1
@@ -229,12 +233,31 @@ def restore_join(state: dict[str, Any]) -> StreamingFramework:
     return join
 
 
-def save_checkpoint(join: StreamingFramework, path: str | Path) -> Path:
-    """Snapshot ``join`` and write it as JSON to ``path``."""
+def atomic_write_json(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Write ``payload`` as JSON to ``path`` atomically and crash-safely.
+
+    The payload is written to a sibling temp file, flushed and fsynced,
+    then moved over ``path`` with :func:`os.replace` — so a reader (or a
+    recovery scan after ``kill -9``) only ever sees the old complete file
+    or the new complete file, never a torn half-write.
+    """
     path = Path(path)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(snapshot_join(join), handle)
+    tmp_path = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        tmp_path.unlink(missing_ok=True)
+        raise
     return path
+
+
+def save_checkpoint(join: StreamingFramework, path: str | Path) -> Path:
+    """Snapshot ``join`` and write it as JSON to ``path`` (atomically)."""
+    return atomic_write_json(path, snapshot_join(join))
 
 
 def load_checkpoint(path: str | Path) -> StreamingFramework:
@@ -242,3 +265,55 @@ def load_checkpoint(path: str | Path) -> StreamingFramework:
     with open(path, "r", encoding="utf-8") as handle:
         state = json.load(handle)
     return restore_join(state)
+
+
+class PeriodicCheckpointer:
+    """Checkpoint a join every N processed vectors and/or every S seconds.
+
+    The owner calls :meth:`tick` at natural barriers (between micro-batches
+    in the service, between vectors in a driver loop); a checkpoint is
+    written when either the vector-count or the wall-clock interval has
+    elapsed since the last one.  ``save`` defaults to
+    :func:`save_checkpoint`; the service substitutes a callable that wraps
+    the join snapshot in its session envelope.  Both intervals ``None``
+    makes :meth:`tick` a no-op (but ``tick(force=True)`` still writes).
+    """
+
+    def __init__(self, join: StreamingFramework, path: str | Path, *,
+                 every_vectors: int | None = None,
+                 every_seconds: float | None = None,
+                 save: Callable[[StreamingFramework, Path], Path] = save_checkpoint,
+                 ) -> None:
+        if every_vectors is not None and every_vectors <= 0:
+            raise ValueError(f"every_vectors must be positive, got {every_vectors}")
+        if every_seconds is not None and every_seconds <= 0:
+            raise ValueError(f"every_seconds must be positive, got {every_seconds}")
+        self.join = join
+        self.path = Path(path)
+        self.every_vectors = every_vectors
+        self.every_seconds = every_seconds
+        self._save = save
+        self._last_count = join.stats.vectors_processed
+        self._last_time = time.monotonic()
+        self.checkpoints_written = 0
+
+    def due(self) -> bool:
+        """Whether an interval has elapsed since the last checkpoint."""
+        if self.every_vectors is not None:
+            processed = self.join.stats.vectors_processed
+            if processed - self._last_count >= self.every_vectors:
+                return True
+        if self.every_seconds is not None:
+            if time.monotonic() - self._last_time >= self.every_seconds:
+                return True
+        return False
+
+    def tick(self, *, force: bool = False) -> Path | None:
+        """Write a checkpoint if one is due (or ``force``); return its path."""
+        if not force and not self.due():
+            return None
+        written = self._save(self.join, self.path)
+        self._last_count = self.join.stats.vectors_processed
+        self._last_time = time.monotonic()
+        self.checkpoints_written += 1
+        return Path(written)

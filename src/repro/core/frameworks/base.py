@@ -65,6 +65,19 @@ class JoinFramework(ABC):
         """Signal end-of-stream; return any pairs still buffered."""
         return []
 
+    def feed(self, vectors: Iterable[SparseVector]) -> list[SimilarPair]:
+        """Process a finite chunk of the stream; return the reported pairs.
+
+        Unlike :meth:`run`, ``feed`` does not flush: the join stays open
+        for more chunks, which is what incremental callers (micro-batching
+        services, tests that checkpoint mid-stream) need.  Feeding the
+        concatenation of chunks is equivalent to feeding the whole stream.
+        """
+        pairs: list[SimilarPair] = []
+        for vector in vectors:
+            pairs.extend(self.process(vector))
+        return pairs
+
     def run(self, stream: Iterable[SparseVector]) -> Iterator[SimilarPair]:
         """Process a whole stream, yielding pairs in reporting order."""
         for vector in stream:

@@ -66,7 +66,9 @@ def parse_algorithm(algorithm: str) -> tuple[str, str]:
 
 def create_join(algorithm: str, threshold: float, decay: float, *,
                 stats: JoinStatistics | None = None,
-                backend: str | None = None) -> JoinFramework:
+                backend: str | None = None,
+                workers: int | None = None,
+                shard_executor: str = "process") -> JoinFramework:
     """Instantiate a join framework from an algorithm string.
 
     ``algorithm`` combines a framework and an index name, separated by a
@@ -76,7 +78,19 @@ def create_join(algorithm: str, threshold: float, decay: float, *,
     ``backend`` selects the compute backend for the hot loops (``"python"``,
     ``"numpy"``; ``None``/``"auto"`` picks the fastest available one — see
     :mod:`repro.backends`).
+
+    ``workers`` switches construction to the sharded parallel engine
+    (:mod:`repro.shard`) with that many shard workers — STR only, and the
+    returned join owns worker processes, so ``close()`` it (or use it as a
+    context manager).  ``shard_executor`` picks ``"process"`` or
+    ``"serial"`` shard execution.
     """
+    if workers is not None:
+        from repro.shard import create_sharded_join
+
+        return create_sharded_join(algorithm, threshold, decay,
+                                   workers=workers, stats=stats,
+                                   backend=backend, executor=shard_executor)
     framework_name, index_name = parse_algorithm(algorithm)
     framework_cls = _FRAMEWORKS[framework_name]
     return framework_cls(threshold, decay, index=index_name, stats=stats,

@@ -1,0 +1,172 @@
+"""Client for the join service's NDJSON socket protocol.
+
+Backs the ``sssj ingest`` / ``sssj results`` / ``sssj drain`` commands
+and is a convenient way to drive the service from another Python
+process::
+
+    with ServiceClient(port=7788) as client:
+        client.open_session("dedup", theta=0.7, decay=0.01)
+        client.ingest("dedup", vectors)
+        summary = client.drain("dedup")
+
+Every method sends one request line and reads one response line; an
+``ok: false`` response raises :class:`ServiceClientError` carrying the
+full response for inspection.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Iterable, Iterator
+
+from repro.core.results import SimilarPair
+from repro.core.vector import SparseVector
+from repro.exceptions import SSSJError
+from repro.service.protocol import (
+    dump_line,
+    encode_vector,
+    pair_from_wire,
+    parse_line,
+)
+
+__all__ = ["ServiceClientError", "ServiceClient"]
+
+
+class ServiceClientError(SSSJError):
+    """An ``ok: false`` response (the response dict is in ``.response``)."""
+
+    def __init__(self, message: str, response: dict[str, Any] | None = None) -> None:
+        super().__init__(message)
+        self.response = response or {}
+
+
+class ServiceClient:
+    """A blocking NDJSON client over one TCP connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7788, *,
+                 timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- plumbing --------------------------------------------------------------
+
+    def request(self, op: str, *, check: bool = True,
+                **fields: Any) -> dict[str, Any]:
+        """Send one request and return the response dictionary."""
+        self._file.write(dump_line({"op": op, **fields}))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceClientError(f"server closed the connection during {op!r}")
+        response = parse_line(line)
+        if check and not response.get("ok"):
+            raise ServiceClientError(
+                response.get("error", f"request {op!r} failed"), response)
+        return response
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    # -- operations ------------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        return self.request("ping")
+
+    def open_session(self, session: str, *, theta: float, decay: float,
+                     **options: Any) -> dict[str, Any]:
+        """Open (or resume) a session; see the server docs for options."""
+        return self.request("open", session=session, theta=theta,
+                            decay=decay, **options)
+
+    def ingest(self, session: str, vectors: Iterable[SparseVector], *,
+               chunk_size: int = 500) -> dict[str, int]:
+        """Stream vectors to the session in chunks; return totals."""
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        totals = {"accepted": 0, "dropped": 0}
+        chunk: list[list[Any]] = []
+        for vector in vectors:
+            chunk.append(encode_vector(vector))
+            if len(chunk) >= chunk_size:
+                self._send_chunk(session, chunk, totals)
+                chunk = []
+        if chunk:
+            self._send_chunk(session, chunk, totals)
+        return totals
+
+    def _send_chunk(self, session: str, chunk: list[list[Any]],
+                    totals: dict[str, int]) -> None:
+        response = self.request("ingest", session=session, vectors=chunk)
+        totals["accepted"] += int(response.get("accepted", 0))
+        totals["dropped"] += int(response.get("dropped", 0))
+
+    def results(self, session: str, *, cursor: int = 0,
+                limit: int | None = None) -> dict[str, Any]:
+        """One page of results; pairs are decoded to :class:`SimilarPair`."""
+        fields: dict[str, Any] = {"session": session, "cursor": cursor}
+        if limit is not None:
+            fields["limit"] = limit
+        response = self.request("results", **fields)
+        response["pairs"] = [pair_from_wire(payload)
+                             for payload in response.get("pairs", [])]
+        return response
+
+    def iter_results(self, session: str, *, cursor: int = 0,
+                     poll_interval: float = 0.05,
+                     timeout: float | None = 30.0) -> Iterator[SimilarPair]:
+        """Yield pairs as they stream out, until the session drains.
+
+        Follows the memory sink's cursor; returns when the session has
+        reached a terminal state and every retained pair has been seen.
+        Raises :class:`ServiceClientError` when the reader fell behind
+        the sink's retention window (pairs were evicted unseen) — a
+        silent gap would defeat the point of following.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            response = self.results(session, cursor=cursor)
+            first_retained = int(response.get("first_retained", 0))
+            if first_retained > cursor:
+                raise ServiceClientError(
+                    f"fell behind session {session!r}: pairs "
+                    f"[{cursor}, {first_retained}) were evicted from the "
+                    "results window before this reader saw them; raise "
+                    "results_capacity or attach a durable (jsonl) sink",
+                    response)
+            yield from response["pairs"]
+            cursor = response["cursor"]
+            finished = (response["status"] not in ("active", "draining")
+                        and not response["pairs"])
+            if finished:
+                return
+            if not response["pairs"]:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise ServiceClientError(
+                        f"timed out following results of {session!r}")
+                time.sleep(poll_interval)
+
+    def stats(self, session: str | None = None) -> dict[str, Any]:
+        fields = {"session": session} if session else {}
+        return self.request("stats", **fields)
+
+    def checkpoint(self, session: str) -> dict[str, Any]:
+        return self.request("checkpoint", session=session)
+
+    def drain(self, session: str) -> dict[str, Any]:
+        return self.request("drain", session=session)
+
+    def close_session(self, session: str) -> dict[str, Any]:
+        return self.request("close", session=session)
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request("shutdown")

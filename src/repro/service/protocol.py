@@ -1,0 +1,124 @@
+"""Wire format of the join service: line-delimited JSON.
+
+Every request and every response is one JSON object on one line
+(NDJSON), so the protocol can be spoken by ``nc``, a five-line script in
+any language, or the bundled :class:`~repro.service.client.ServiceClient`.
+Requests carry an ``op`` field naming the operation; responses always
+carry ``ok`` (and ``error`` when ``ok`` is false).
+
+Vectors travel as compact triples ``[id, timestamp, [dim, value, dim,
+value, ...]]`` — the coordinate list is flat to halve the JSON nesting
+overhead on the hot ingest path.  Pairs travel as plain objects mirroring
+:class:`repro.core.results.SimilarPair`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.results import SimilarPair
+from repro.core.vector import SparseVector
+from repro.exceptions import SSSJError
+
+__all__ = [
+    "ServiceProtocolError",
+    "OPS",
+    "encode_vector",
+    "decode_vector",
+    "pair_to_wire",
+    "pair_from_wire",
+    "dump_line",
+    "parse_line",
+    "error_response",
+]
+
+#: Operations understood by the server (see ``repro.service.server``).
+OPS = ("ping", "open", "ingest", "results", "stats", "checkpoint",
+       "drain", "close", "shutdown")
+
+
+class ServiceProtocolError(SSSJError):
+    """Raised on malformed requests, responses or wire payloads."""
+
+
+def encode_vector(vector: SparseVector) -> list[Any]:
+    """Encode a vector as the compact ``[id, ts, flat-coords]`` triple."""
+    coords: list[float] = []
+    for dim, value in vector:
+        coords.append(dim)
+        coords.append(value)
+    return [vector.vector_id, vector.timestamp, coords]
+
+
+def decode_vector(payload: Any, *, normalize: bool = True) -> SparseVector:
+    """Decode a ``[id, ts, flat-coords]`` triple into a :class:`SparseVector`.
+
+    Producers sending raw weights keep ``normalize=True`` (the session
+    config's default).  Producers sending already unit-normalised vectors
+    should open their session with ``normalize=False``: re-normalising a
+    unit vector is not bitwise-stable, and the service's determinism
+    guarantee is relative to the vectors as decoded.
+    """
+    try:
+        vector_id, timestamp, coords = payload
+        if len(coords) % 2:
+            raise ValueError(f"odd coordinate list of length {len(coords)}")
+        entries = {int(coords[i]): float(coords[i + 1])
+                   for i in range(0, len(coords), 2)}
+        return SparseVector(int(vector_id), float(timestamp), entries,
+                            normalize=normalize)
+    except (TypeError, ValueError, IndexError) as error:
+        raise ServiceProtocolError(f"bad vector payload {payload!r}: {error}") from error
+
+
+def pair_to_wire(pair: SimilarPair) -> dict[str, Any]:
+    """Encode a reported pair as a plain JSON object."""
+    return {
+        "id_a": pair.id_a,
+        "id_b": pair.id_b,
+        "similarity": pair.similarity,
+        "time_delta": pair.time_delta,
+        "dot": pair.dot,
+        "reported_at": pair.reported_at,
+    }
+
+
+def pair_from_wire(payload: dict[str, Any]) -> SimilarPair:
+    """Decode a pair object produced by :func:`pair_to_wire`."""
+    try:
+        return SimilarPair(
+            id_a=int(payload["id_a"]), id_b=int(payload["id_b"]),
+            similarity=float(payload["similarity"]),
+            time_delta=float(payload.get("time_delta", 0.0)),
+            dot=float(payload.get("dot", 0.0)),
+            reported_at=float(payload.get("reported_at", 0.0)),
+        )
+    except (TypeError, KeyError, ValueError) as error:
+        raise ServiceProtocolError(f"bad pair payload {payload!r}: {error}") from error
+
+
+def dump_line(message: dict[str, Any]) -> bytes:
+    """Serialise one message as a single NDJSON line (UTF-8, newline-terminated)."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def parse_line(line: bytes | str) -> dict[str, Any]:
+    """Parse one NDJSON line into a message dictionary."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    try:
+        message = json.loads(line)
+    except ValueError as error:
+        raise ServiceProtocolError(f"request is not valid JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise ServiceProtocolError(
+            f"request must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def error_response(message: str, **extra: Any) -> dict[str, Any]:
+    """The canonical ``ok: false`` response shape."""
+    response: dict[str, Any] = {"ok": False, "error": message}
+    response.update(extra)
+    return response

@@ -1,0 +1,360 @@
+"""The join server: many sessions behind one NDJSON socket endpoint.
+
+Two layers:
+
+* :class:`JoinService` — the transport-independent core: a registry of
+  named :class:`~repro.service.session.JoinSession` objects plus the
+  request dispatcher (``open`` / ``ingest`` / ``results`` / ``stats`` /
+  ``checkpoint`` / ``drain`` / ``close`` / ``shutdown``).  Tests drive it
+  directly with plain dictionaries.
+* :class:`ServiceServer` — a threaded TCP server (one thread per client
+  connection) speaking the line-delimited JSON protocol of
+  :mod:`repro.service.protocol` on a local socket.  ``sssj serve`` wraps
+  it.
+
+Crash recovery: when the service is given a checkpoint directory, every
+session with checkpointing enabled writes its envelope there
+(atomically), and :meth:`JoinService.recover_sessions` — called at
+server start — resumes every ``*.ckpt`` found, so a ``kill -9`` loses at
+most the vectors ingested after the last checkpoint (which the producer
+re-feeds, guided by the resumed session's ``processed`` counter; the
+JSONL sink rollback guarantees no duplicated pairs).
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.core.join import parse_algorithm
+from repro.exceptions import SSSJError
+from repro.service.protocol import (
+    ServiceProtocolError,
+    decode_vector,
+    dump_line,
+    error_response,
+    pair_to_wire,
+    parse_line,
+)
+from repro.service.session import (
+    BackpressureError,
+    JoinSession,
+    SessionConfig,
+    SessionError,
+)
+from repro.service.sinks import SinkError, create_sink
+
+__all__ = ["JoinService", "ServiceServer", "serve"]
+
+_SESSION_NAME_OK = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+
+def _session_name(request: dict[str, Any]) -> str:
+    name = request.get("session")
+    if not isinstance(name, str) or not name:
+        raise ServiceProtocolError("request needs a 'session' name")
+    if not set(name) <= _SESSION_NAME_OK:
+        raise ServiceProtocolError(
+            f"session name {name!r} may only use letters, digits, '.', '_', '-'")
+    return name
+
+
+class JoinService:
+    """Session registry and request dispatcher (no transport of its own)."""
+
+    def __init__(self, *, checkpoint_dir: str | Path | None = None,
+                 checkpoint_every_items: int | None = None,
+                 checkpoint_every_seconds: float | None = None) -> None:
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        #: Server-level defaults applied to sessions that enable
+        #: checkpointing without naming their own cadence.
+        self.checkpoint_every_items = checkpoint_every_items
+        self.checkpoint_every_seconds = checkpoint_every_seconds
+        self.sessions: dict[str, JoinSession] = {}
+        self._lock = threading.RLock()
+        self.started_at = time.monotonic()
+        self.requests_handled = 0
+        self.shutting_down = False
+
+    # -- session management ----------------------------------------------------
+
+    def checkpoint_path_for(self, name: str) -> Path | None:
+        if self.checkpoint_dir is None:
+            return None
+        return self.checkpoint_dir / f"{name}.ckpt"
+
+    def recover_sessions(self) -> list[str]:
+        """Resume every checkpointed session found in the checkpoint dir."""
+        if self.checkpoint_dir is None:
+            return []
+        recovered: list[str] = []
+        with self._lock:
+            for path in sorted(self.checkpoint_dir.glob("*.ckpt")):
+                name = path.stem
+                if name in self.sessions:
+                    continue
+                session = JoinSession.resume(path)
+                session.start()
+                self.sessions[name] = session
+                recovered.append(name)
+        return recovered
+
+    def _config_from_request(self, name: str,
+                             request: dict[str, Any]) -> SessionConfig:
+        threshold = request.get("theta", request.get("threshold"))
+        decay = request.get("decay")
+        if threshold is None or decay is None:
+            raise ServiceProtocolError(
+                "open needs 'theta' (or 'threshold') and 'decay'")
+        checkpointed = self.checkpoint_dir is not None and bool(
+            request.get("checkpoint", True))
+        every_items = request.get("checkpoint_every_items",
+                                  self.checkpoint_every_items)
+        every_seconds = request.get("checkpoint_every_seconds",
+                                    self.checkpoint_every_seconds)
+        if checkpointed and every_items is None and every_seconds is None:
+            every_items = 500  # sane default cadence for served sessions
+        return SessionConfig(
+            name=name,
+            threshold=float(threshold),
+            decay=float(decay),
+            algorithm=str(request.get("algorithm", "STR-L2")),
+            backend=request.get("backend"),
+            workers=(int(request["workers"])
+                     if request.get("workers") is not None else None),
+            shard_executor=str(request.get("shard_executor", "serial")),
+            queue_max=int(request.get("queue_max", 4096)),
+            batch_max_items=int(request.get("batch_max_items", 128)),
+            batch_max_delay=float(request.get("batch_max_delay_ms", 50.0)) / 1e3,
+            backpressure=str(request.get("backpressure", "block")),
+            normalize=bool(request.get("normalize", True)),
+            results_capacity=int(request.get("results_capacity", 100_000)),
+            checkpoint_every_items=every_items if checkpointed else None,
+            checkpoint_every_seconds=every_seconds if checkpointed else None,
+        )
+
+    def open_session(self, request: dict[str, Any]) -> dict[str, Any]:
+        name = _session_name(request)
+        with self._lock:
+            existing = self.sessions.get(name)
+            if existing is not None:
+                return {"ok": True, "session": name, "existing": True,
+                        "resumed": existing.resumed,
+                        "processed": existing.processed,
+                        "status": existing.status}
+            checkpoint_path = self.checkpoint_path_for(name)
+            wants_checkpoint = bool(request.get("checkpoint", True))
+            if checkpoint_path is not None and wants_checkpoint \
+                    and checkpoint_path.exists():
+                session = JoinSession.resume(checkpoint_path)
+            else:
+                config = self._config_from_request(name, request)
+                sinks = [create_sink(spec) for spec in request.get("sinks", [])]
+                path = checkpoint_path if wants_checkpoint else None
+                # Non-STR / sharded sessions cannot checkpoint; serve them
+                # without recovery rather than refusing them outright.
+                framework, _ = parse_algorithm(config.algorithm)
+                if path is not None and (config.workers is not None
+                                         or framework != "STR"):
+                    path = None
+                if path is None:
+                    config = SessionConfig.from_dict({
+                        **config.as_dict(),
+                        "checkpoint_every_items": None,
+                        "checkpoint_every_seconds": None,
+                    })
+                session = JoinSession(config, sinks=sinks, checkpoint_path=path)
+            session.start()
+            self.sessions[name] = session
+            return {"ok": True, "session": name, "existing": False,
+                    "resumed": session.resumed,
+                    "processed": session.processed,
+                    "status": session.status}
+
+    def _session(self, name: str) -> JoinSession:
+        with self._lock:
+            session = self.sessions.get(name)
+        if session is None:
+            raise SessionError(f"no session named {name!r}; open it first")
+        return session
+
+    # -- request dispatch ------------------------------------------------------
+
+    def handle(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Serve one request dictionary; always returns a response dict."""
+        self.requests_handled += 1
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "pong": True,
+                        "uptime_s": round(time.monotonic() - self.started_at, 3)}
+            if op == "open":
+                return self.open_session(request)
+            if op == "ingest":
+                return self._handle_ingest(request)
+            if op == "results":
+                return self._handle_results(request)
+            if op == "stats":
+                return self.stats(request.get("session"))
+            if op == "checkpoint":
+                session = self._session(_session_name(request))
+                return {"ok": True,
+                        "checkpoint": str(session.checkpoint_now())}
+            if op == "drain":
+                session = self._session(_session_name(request))
+                summary = session.drain()
+                return {"ok": True, **summary}
+            if op == "close":
+                name = _session_name(request)
+                session = self._session(name)
+                session.close()
+                with self._lock:
+                    self.sessions.pop(name, None)
+                return {"ok": True, "session": name}
+            if op == "shutdown":
+                return self.shutdown()
+            raise ServiceProtocolError(f"unknown op {op!r}")
+        except BackpressureError as error:
+            return error_response(str(error), backpressure=True)
+        except (ServiceProtocolError, SessionError, SinkError,
+                SSSJError, ValueError, OSError) as error:
+            return error_response(str(error))
+
+    def _handle_ingest(self, request: dict[str, Any]) -> dict[str, Any]:
+        session = self._session(_session_name(request))
+        payloads = request.get("vectors")
+        if not isinstance(payloads, list):
+            raise ServiceProtocolError("ingest needs a 'vectors' list")
+        vectors = [decode_vector(payload,
+                                 normalize=session.config.normalize)
+                   for payload in payloads]
+        accepted, dropped = session.ingest(vectors)
+        return {"ok": True, "accepted": accepted, "dropped": dropped,
+                "queued": session.queued}
+
+    def _handle_results(self, request: dict[str, Any]) -> dict[str, Any]:
+        session = self._session(_session_name(request))
+        cursor = int(request.get("cursor", 0))
+        limit = request.get("limit")
+        pairs, next_cursor, first_retained = session.results.read(
+            cursor, None if limit is None else int(limit))
+        return {
+            "ok": True,
+            "pairs": [pair_to_wire(pair) for pair in pairs],
+            "cursor": next_cursor,
+            "first_retained": first_retained,
+            "status": session.status,
+            "processed": session.processed,
+            "queued": session.queued,
+        }
+
+    def stats(self, session: str | None = None) -> dict[str, Any]:
+        """Live counters and latency percentiles (the ``stats`` endpoint)."""
+        with self._lock:
+            sessions = dict(self.sessions)
+        if session is not None:
+            target = sessions.get(session)
+            if target is None:
+                raise SessionError(f"no session named {session!r}")
+            return {"ok": True, "sessions": {session: target.stats()}}
+        return {
+            "ok": True,
+            "server": {
+                "uptime_s": round(time.monotonic() - self.started_at, 3),
+                "sessions": len(sessions),
+                "requests_handled": self.requests_handled,
+                "checkpoint_dir": (str(self.checkpoint_dir)
+                                   if self.checkpoint_dir else None),
+            },
+            "sessions": {name: s.stats() for name, s in sessions.items()},
+        }
+
+    def shutdown(self) -> dict[str, Any]:
+        """Checkpoint and close every session; idempotent."""
+        with self._lock:
+            if self.shutting_down:
+                return {"ok": True, "closed": 0}
+            self.shutting_down = True
+            sessions = list(self.sessions.items())
+            self.sessions.clear()
+        for _name, session in sessions:
+            session.close()
+        return {"ok": True, "closed": len(sessions)}
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One client connection: NDJSON requests in, NDJSON responses out."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        for line in self.rfile:
+            if not line.strip():
+                continue
+            try:
+                request = parse_line(line)
+            except ServiceProtocolError as error:
+                self.wfile.write(dump_line(error_response(str(error))))
+                self.wfile.flush()
+                continue
+            response = self.server.service.handle(request)  # type: ignore[attr-defined]
+            self.wfile.write(dump_line(response))
+            self.wfile.flush()
+            if request.get("op") == "shutdown" and response.get("ok"):
+                self.server.request_stop()  # type: ignore[attr-defined]
+                break
+
+
+class ServiceServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP transport for a :class:`JoinService` on a local socket."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, service: JoinService, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        super().__init__((host, port), _RequestHandler)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — port is resolved when 0 was asked."""
+        host, port = self.socket.getsockname()[:2]
+        return host, port
+
+    def request_stop(self) -> None:
+        """Stop ``serve_forever`` from a handler thread (non-blocking)."""
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def serve_until_shutdown(self) -> None:
+        """Serve requests until a ``shutdown`` op (or KeyboardInterrupt)."""
+        try:
+            self.serve_forever(poll_interval=0.1)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            self.service.shutdown()
+            self.server_close()
+
+
+def serve(*, host: str = "127.0.0.1", port: int = 0,
+          checkpoint_dir: str | Path | None = None,
+          checkpoint_every_items: int | None = None,
+          checkpoint_every_seconds: float | None = None,
+          ) -> tuple[ServiceServer, list[str]]:
+    """Build a service + TCP server and recover checkpointed sessions.
+
+    Returns ``(server, recovered_session_names)``; the caller runs
+    ``server.serve_until_shutdown()`` (blocking) or drives
+    ``serve_forever`` on its own thread (tests).
+    """
+    service = JoinService(checkpoint_dir=checkpoint_dir,
+                          checkpoint_every_items=checkpoint_every_items,
+                          checkpoint_every_seconds=checkpoint_every_seconds)
+    recovered = service.recover_sessions()
+    server = ServiceServer(service, host=host, port=port)
+    return server, recovered

@@ -1,0 +1,596 @@
+"""Join sessions: one long-running streaming join behind a bounded queue.
+
+A :class:`JoinSession` turns the batch-oriented join engine into something
+a producer can feed indefinitely:
+
+* it wraps a :func:`repro.core.join.create_join` framework (any
+  algorithm/backend, optionally the sharded engine via ``workers``) with
+  per-session parameters (θ, λ, backend, workers),
+* ingestion goes through a **bounded queue** with an explicit
+  backpressure policy — ``"block"`` (producer waits), ``"drop"`` (newest
+  items are discarded and counted) or ``"error"``
+  (:class:`BackpressureError`) — so a fast producer cannot OOM the
+  server,
+* a single worker thread drains the queue in **micro-batches** (flushed
+  at ``batch_max_items`` items or ``batch_max_delay`` seconds, whichever
+  comes first), feeds the join, and streams reported pairs to the
+  session's sinks (:mod:`repro.service.sinks`),
+* when a checkpoint path is configured, the worker writes **atomic
+  checkpoints** between batches via
+  :class:`repro.core.checkpoint.PeriodicCheckpointer`; a crashed session
+  is rebuilt by :meth:`JoinSession.resume`, which restores the join
+  state, rolls durable sinks back to the checkpointed offset, and
+  reports how many vectors the checkpoint covers so the producer can
+  re-feed from there.
+
+Because the queue is FIFO and a single worker feeds the join, the pairs a
+session emits are **identical** to :func:`repro.core.join.streaming_self_join`
+over the same vectors, whatever the batching or backpressure settings
+(pinned by a hypothesis test in ``tests/test_service.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.bench.metrics import LatencyStats
+from repro.core.checkpoint import (
+    CheckpointError,
+    PeriodicCheckpointer,
+    atomic_write_json,
+    restore_join,
+    snapshot_join,
+)
+from repro.core.join import create_join, parse_algorithm
+from repro.core.results import SimilarPair
+from repro.core.vector import SparseVector
+from repro.exceptions import SSSJError, StreamOrderError
+from repro.service.sinks import MemorySink, ResultSink, create_sink
+
+__all__ = [
+    "SERVICE_CHECKPOINT_VERSION",
+    "BACKPRESSURE_POLICIES",
+    "SessionError",
+    "BackpressureError",
+    "SessionConfig",
+    "JoinSession",
+]
+
+SERVICE_CHECKPOINT_VERSION = 1
+
+#: What ingestion does when the bounded queue is full.
+BACKPRESSURE_POLICIES = ("block", "drop", "error")
+
+
+class SessionError(SSSJError):
+    """Raised when a session is used in a state that cannot serve the call."""
+
+
+class BackpressureError(SessionError):
+    """Raised by ingestion under the ``"error"`` backpressure policy."""
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything that defines one session (and survives its checkpoint)."""
+
+    name: str
+    threshold: float
+    decay: float
+    algorithm: str = "STR-L2"
+    backend: str | None = None
+    workers: int | None = None
+    shard_executor: str = "serial"
+    queue_max: int = 4096
+    batch_max_items: int = 128
+    batch_max_delay: float = 0.05
+    backpressure: str = "block"
+    normalize: bool = True
+    results_capacity: int = 100_000
+    checkpoint_every_items: int | None = None
+    checkpoint_every_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise SessionError(
+                f"unknown backpressure policy {self.backpressure!r}; "
+                f"expected one of {BACKPRESSURE_POLICIES}")
+        if self.queue_max <= 0:
+            raise SessionError(f"queue_max must be positive, got {self.queue_max}")
+        if self.batch_max_items <= 0:
+            raise SessionError(
+                f"batch_max_items must be positive, got {self.batch_max_items}")
+        if self.batch_max_delay < 0:
+            raise SessionError(
+                f"batch_max_delay must be >= 0, got {self.batch_max_delay}")
+        parse_algorithm(self.algorithm)  # fail fast on unknown algorithms
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dictionary form (checkpoint envelope, wire, stats)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SessionConfig":
+        """Rebuild a config from :meth:`as_dict` output (unknown keys ignored)."""
+        fields = {name for name in cls.__dataclass_fields__}  # noqa: C416
+        return cls(**{key: value for key, value in payload.items()
+                      if key in fields})
+
+
+class JoinSession:
+    """One live streaming join fed through a bounded queue by one worker.
+
+    Lifecycle: ``active`` → (``drain()``, briefly ``draining``) →
+    ``drained`` → (``close()``) → ``closed``; a worker exception moves it
+    to ``failed`` and a simulated crash (:meth:`kill`) to ``killed``.
+    All public methods are thread-safe; pairs stream out through
+    ``session.results`` (the built-in :class:`MemorySink` cursor) and any
+    extra sinks.
+    """
+
+    def __init__(self, config: SessionConfig, *,
+                 sinks: Sequence[ResultSink] | None = None,
+                 checkpoint_path: str | Path | None = None,
+                 _join=None) -> None:
+        self.config = config
+        framework_name, _ = parse_algorithm(config.algorithm)
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        if self.checkpoint_path and framework_name != "STR":
+            raise SessionError(
+                f"only STR sessions are checkpointable (got {config.algorithm!r}); "
+                "drop the checkpoint path or use a STR algorithm")
+        if self.checkpoint_path and config.workers is not None:
+            raise SessionError(
+                "sharded sessions (workers=N) are not checkpointable yet; "
+                "drop the checkpoint path or run single-process")
+        self.join = _join if _join is not None else create_join(
+            config.algorithm, config.threshold, config.decay,
+            backend=config.backend, workers=config.workers,
+            shard_executor=config.shard_executor)
+        self.results = MemorySink(capacity=config.results_capacity)
+        self.sinks: list[ResultSink] = [self.results, *(sinks or [])]
+        self.latency = LatencyStats()
+        self.status = "active"
+        self.resumed = _join is not None
+        self.accepted = 0
+        self.dropped = 0
+        self.processed = self.join.stats.vectors_processed
+        self.pairs_emitted = 0
+        self.error: str | None = None
+        self.started_at = time.monotonic()
+        self._queue: deque[tuple] = deque()
+        self._queued_vectors = 0
+        self._last_timestamp = float("-inf")
+        self._last_processed_timestamp = float("-inf")
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._worker: threading.Thread | None = None
+        self._stop = False
+        self._checkpointer: PeriodicCheckpointer | None = None
+        if self.checkpoint_path is not None:
+            self._checkpointer = PeriodicCheckpointer(
+                self.join, self.checkpoint_path,
+                every_vectors=config.checkpoint_every_items,
+                every_seconds=config.checkpoint_every_seconds,
+                save=self._write_envelope)
+
+    # -- checkpoint envelope ---------------------------------------------------
+
+    def _write_envelope(self, join, path: Path) -> Path:
+        """Snapshot the join plus the session/sink state (worker thread only)."""
+        payload = {
+            "service_version": SERVICE_CHECKPOINT_VERSION,
+            "config": self.config.as_dict(),
+            "status": self.status,
+            "processed": self.processed,
+            "last_timestamp": (self._last_processed_timestamp
+                               if self.processed else None),
+            "accepted": self.accepted,
+            "dropped": self.dropped,
+            "pairs_emitted": self.pairs_emitted,
+            "join": snapshot_join(join),
+            "sinks": [{"spec": sink.spec(), "position": sink.position()}
+                      for sink in self.sinks],
+        }
+        return atomic_write_json(path, payload)
+
+    @classmethod
+    def resume(cls, checkpoint_path: str | Path, *,
+               extra_sinks: Sequence[ResultSink] | None = None) -> "JoinSession":
+        """Rebuild a session from its checkpoint after a crash or restart.
+
+        The join state is restored exactly; reconstructible sinks (JSONL)
+        are rebuilt and rolled back to their checkpointed positions, so
+        pairs they wrote *after* the checkpoint are discarded and
+        re-derived when the producer re-feeds the uncovered vectors
+        (``session.processed`` tells it where to resume from).  Volatile
+        sinks (callback) cannot be rebuilt from a file — pass live
+        replacements via ``extra_sinks``.
+        """
+        checkpoint_path = Path(checkpoint_path)
+        with open(checkpoint_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        version = payload.get("service_version")
+        if version != SERVICE_CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported service checkpoint version: {version!r}")
+        config = SessionConfig.from_dict(payload["config"])
+        join = restore_join(payload["join"])
+        sink_states = payload.get("sinks", [])
+        # Rebuild reconstructible sinks and roll each back to its
+        # checkpointed position (the JSONL sink truncates pairs written
+        # after the checkpoint).  Volatile sinks (callbacks) cannot be
+        # rebuilt from a file — the caller re-attaches live replacements
+        # via ``extra_sinks``.
+        sinks: list[ResultSink] = []
+        restores: list[tuple[ResultSink, dict[str, Any]]] = []
+        for state in sink_states[1:]:  # element 0 is the built-in memory sink
+            spec = state.get("spec")
+            if spec is None:
+                continue
+            sink = create_sink(spec)
+            sinks.append(sink)
+            if state.get("position") is not None:
+                restores.append((sink, state["position"]))
+        sinks.extend(extra_sinks or [])
+        session = cls(config, sinks=sinks, checkpoint_path=checkpoint_path,
+                      _join=join)
+        if payload.get("status") == "drained":
+            # The join was flushed before this checkpoint; the session
+            # comes back readable but refuses further ingestion.
+            session.status = "drained"
+        session.processed = int(payload.get("processed", 0))
+        # Vectors accepted but still queued at the crash were lost with
+        # the queue; only the processed ones count as accepted now.
+        session.accepted = session.processed
+        session.dropped = int(payload.get("dropped", 0))
+        session.pairs_emitted = int(payload.get("pairs_emitted", 0))
+        # The checkpoint covers the stream up to this timestamp; re-fed
+        # vectors must continue from there (ordering stays enforced).
+        last_timestamp = payload.get("last_timestamp")
+        if last_timestamp is not None:
+            session._last_timestamp = float(last_timestamp)
+            session._last_processed_timestamp = float(last_timestamp)
+        if sink_states and sink_states[0].get("position") is not None:
+            session.results.restore(sink_states[0]["position"])
+        for sink, position in restores:
+            sink.restore(position)
+        return session
+
+    # -- ingestion -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the worker thread (idempotent; ingest() starts it lazily)."""
+        with self._lock:
+            if self._worker is None and self.status == "active":
+                self._worker = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"sssj-session-{self.config.name}", daemon=True)
+                self._worker.start()
+
+    def ingest(self, vectors: Iterable[SparseVector]) -> tuple[int, int]:
+        """Enqueue vectors for processing; return ``(accepted, dropped)``.
+
+        Applies the session's backpressure policy when the bounded queue
+        is full.  Order is preserved: vectors are processed in exactly
+        the order they were accepted.  Timestamps must be non-decreasing
+        across the whole session (:class:`StreamOrderError` otherwise) —
+        enforced here, at the boundary, so a misbehaving producer is told
+        immediately instead of poisoning the worker.
+        """
+        self.start()
+        accepted = dropped = 0
+        for vector in vectors:
+            enqueued_at = time.monotonic()
+            with self._not_full:
+                while (self.config.backpressure == "block"
+                       and self._queued_vectors >= self.config.queue_max
+                       and self.status == "active"):
+                    self._not_full.wait(0.05)
+                if self.status != "active":
+                    raise SessionError(
+                        f"session {self.config.name!r} is {self.status}"
+                        + (f": {self.error}" if self.error else ""))
+                # Checked and advanced under the lock, atomically with the
+                # append: concurrent producers cannot interleave an
+                # out-of-order pair of vectors into the queue — the slower
+                # producer is rejected here instead of failing the worker.
+                if vector.timestamp < self._last_timestamp:
+                    raise StreamOrderError(
+                        f"vector {vector.vector_id} arrived at "
+                        f"t={vector.timestamp} after t={self._last_timestamp}; "
+                        "session streams must have non-decreasing timestamps")
+                self._last_timestamp = vector.timestamp
+                if self._queued_vectors >= self.config.queue_max:
+                    if self.config.backpressure == "drop":
+                        dropped += 1
+                        self.dropped += 1
+                        continue
+                    raise BackpressureError(
+                        f"session {self.config.name!r} queue is full "
+                        f"({self.config.queue_max} vectors) and the policy is 'error'")
+                self._queue.append(("vec", vector, enqueued_at))
+                self._queued_vectors += 1
+                accepted += 1
+                self.accepted += 1
+                self._not_empty.notify()
+        return accepted, dropped
+
+    def _enqueue_control(self, kind: str) -> tuple[dict, threading.Event]:
+        reply: dict[str, Any] = {}
+        done = threading.Event()
+        with self._not_empty:
+            if self.status != "active":
+                raise SessionError(
+                    f"session {self.config.name!r} is {self.status}")
+            self._queue.append(("ctl", kind, reply, done))
+            self._not_empty.notify()
+        return reply, done
+
+    def _await_control(self, done: threading.Event, reply: dict,
+                       timeout: float | None) -> dict:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not done.wait(0.05):
+            if self.status in ("failed", "killed"):
+                raise SessionError(
+                    f"session {self.config.name!r} {self.status}"
+                    + (f": {self.error}" if self.error else ""))
+            if deadline is not None and time.monotonic() > deadline:
+                raise SessionError(
+                    f"timed out waiting for session {self.config.name!r}")
+        if "error" in reply:
+            raise SessionError(reply["error"])
+        return reply
+
+    # -- worker ----------------------------------------------------------------
+
+    def _collect_batch(self) -> list[tuple] | tuple | None:
+        """Next unit of work: a vector micro-batch, a control token, or None.
+
+        Returns ``None`` when the session was stopped; a 4-tuple for a
+        control token (which acts as a queue barrier — every vector ahead
+        of it has already been returned in earlier batches); otherwise a
+        list of ``("vec", vector, enqueued_at)`` entries, flushed at
+        ``batch_max_items`` items or ``batch_max_delay`` seconds after
+        the first item, whichever comes first.
+        """
+        with self._not_empty:
+            while not self._queue and not self._stop:
+                self._not_empty.wait(0.05)
+            if self._stop:
+                return None
+            head = self._queue.popleft()
+            if head[0] == "ctl":
+                return head
+            self._queued_vectors -= 1
+            self._not_full.notify()
+            batch = [head]
+            deadline = time.monotonic() + self.config.batch_max_delay
+            while len(batch) < self.config.batch_max_items:
+                while not self._queue and not self._stop:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return batch
+                    self._not_empty.wait(min(remaining, 0.05))
+                if self._stop or not self._queue:
+                    return batch
+                if self._queue[0][0] == "ctl":
+                    return batch  # barrier: finish these vectors first
+                batch.append(self._queue.popleft())
+                self._queued_vectors -= 1
+                self._not_full.notify()
+            return batch
+
+    def _emit(self, pairs: list[SimilarPair]) -> None:
+        if not pairs:
+            return
+        for sink in self.sinks:
+            sink.emit(pairs)
+        self.pairs_emitted += len(pairs)
+
+    def _worker_loop(self) -> None:
+        try:
+            while True:
+                work = self._collect_batch()
+                if work is None:
+                    break
+                if isinstance(work, tuple):  # control token
+                    if self._handle_control(work):
+                        break
+                    continue
+                pairs: list[SimilarPair] = []
+                for _, vector, enqueued_at in work:
+                    pairs.extend(self.join.process(vector))
+                    self.latency.record(time.monotonic() - enqueued_at)
+                    self.processed += 1
+                    self._last_processed_timestamp = vector.timestamp
+                self._emit(pairs)
+                if self._checkpointer is not None:
+                    self._checkpointer.tick()
+        except Exception as error:  # noqa: BLE001 - reported via status
+            self._fail(error)
+        finally:
+            self._flush_pending_controls()
+
+    def _flush_pending_controls(self) -> None:
+        """Answer control tokens that will never be handled (worker exiting)."""
+        with self._lock:
+            for item in self._queue:
+                if item[0] == "ctl" and not item[3].is_set():
+                    item[2].setdefault(
+                        "error", f"session {self.config.name!r} is {self.status}")
+                    item[3].set()
+            self._queue = deque(
+                item for item in self._queue if item[0] != "ctl")
+
+    def _process_queue_remainder(self, final_status: str) -> None:
+        """Stop accepting, then process every vector still in the queue.
+
+        A producer racing a drain/close can append vectors *behind* the
+        control token (its status check passed before the flip); they
+        were reported as accepted, so they must be processed, not
+        silently dropped.  Flipping the status first closes the race —
+        afterwards the one extraction below sees the final queue.
+        """
+        with self._lock:
+            self.status = final_status
+            leftovers = [item for item in self._queue if item[0] == "vec"]
+            self._queue = deque(item for item in self._queue
+                                if item[0] != "vec")
+            self._queued_vectors = 0
+            self._not_full.notify_all()
+        pairs: list[SimilarPair] = []
+        for _, vector, enqueued_at in leftovers:
+            pairs.extend(self.join.process(vector))
+            self.latency.record(time.monotonic() - enqueued_at)
+            self.processed += 1
+            self._last_processed_timestamp = vector.timestamp
+        self._emit(pairs)
+
+    def _handle_control(self, token: tuple) -> bool:
+        """Run one control token; return True when the worker should exit."""
+        _, kind, reply, done = token
+        try:
+            if kind == "checkpoint":
+                if self._checkpointer is None:
+                    reply["error"] = (
+                        f"session {self.config.name!r} has no checkpoint path")
+                else:
+                    reply["path"] = str(self._checkpointer.tick(force=True))
+            elif kind == "drain":
+                # Transitional status: ingestion is already refused, but
+                # readers only see "drained" once the flush pairs landed.
+                self._process_queue_remainder("draining")
+                self._emit(self.join.flush())
+                with self._lock:
+                    self.status = "drained"
+                if self._checkpointer is not None:
+                    reply["checkpoint"] = str(self._checkpointer.tick(force=True))
+                for sink in self.sinks:
+                    sink.flush()
+                reply["processed"] = self.processed
+                reply["pairs_emitted"] = self.pairs_emitted
+            elif kind == "stop":
+                self._process_queue_remainder("closed")
+                if self._checkpointer is not None:
+                    reply["checkpoint"] = str(self._checkpointer.tick(force=True))
+                return True
+            else:  # pragma: no cover - internal invariant
+                reply["error"] = f"unknown control token {kind!r}"
+        finally:
+            done.set()
+        return kind == "drain"
+
+    def _fail(self, error: Exception) -> None:
+        with self._lock:
+            self.status = "failed"
+            self.error = f"{type(error).__name__}: {error}"
+            self._not_full.notify_all()
+            # Unblock any control waiters.
+            for item in self._queue:
+                if item[0] == "ctl":
+                    item[2]["error"] = self.error
+                    item[3].set()
+            self._queue.clear()
+            self._queued_vectors = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def checkpoint_now(self, timeout: float | None = 30.0) -> Path:
+        """Barrier checkpoint: covers every vector ingested before the call."""
+        self.start()
+        reply, done = self._enqueue_control("checkpoint")
+        self._await_control(done, reply, timeout)
+        return Path(reply["path"])
+
+    def drain(self, timeout: float | None = 60.0) -> dict[str, Any]:
+        """Process everything queued, flush the join, checkpoint, stop.
+
+        Returns ``{"processed": ..., "pairs_emitted": ..., "checkpoint": ...}``.
+        The session refuses further ingestion afterwards; results remain
+        readable through the sinks.
+        """
+        self.start()
+        reply, done = self._enqueue_control("drain")
+        return dict(self._await_control(done, reply, timeout))
+
+    def close(self, timeout: float | None = 30.0) -> None:
+        """Stop the session (final checkpoint if configured) and free sinks."""
+        with self._lock:
+            worker = self._worker
+            still_active = self.status == "active"
+        if worker is not None and worker.is_alive() and still_active:
+            try:
+                reply, done = self._enqueue_control("stop")
+                self._await_control(done, reply, timeout)
+            except SessionError:
+                pass  # already failed/killed: fall through to teardown
+        with self._lock:
+            self._stop = True
+            if self.status in ("active", "drained"):
+                self.status = "closed"
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+        if worker is not None and worker.is_alive():
+            worker.join(timeout=5.0)
+        for sink in self.sinks:
+            sink.close()
+        closer = getattr(self.join, "close", None)
+        if closer is not None:  # sharded joins own worker processes
+            closer()
+
+    def kill(self) -> None:
+        """Simulate a crash: stop immediately, no flush, no checkpoint.
+
+        Used by the recovery tests — everything after the last checkpoint
+        is lost, exactly as in a real ``kill -9``.
+        """
+        with self._lock:
+            self._stop = True
+            self.status = "killed"
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+        if self._worker is not None and self._worker.is_alive():
+            self._worker.join(timeout=5.0)
+
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        """Vectors currently waiting in the bounded queue."""
+        with self._lock:
+            return self._queued_vectors
+
+    def stats(self) -> dict[str, Any]:
+        """Live counters + latency percentiles (the ``stats`` endpoint row)."""
+        with self._lock:
+            queued = self._queued_vectors
+        return {
+            "name": self.config.name,
+            "status": self.status,
+            "algorithm": self.config.algorithm,
+            "threshold": self.config.threshold,
+            "decay": self.config.decay,
+            "backend": getattr(self.join, "backend_name", self.config.backend),
+            "workers": self.config.workers,
+            "backpressure": self.config.backpressure,
+            "queue_max": self.config.queue_max,
+            "queued": queued,
+            "accepted": self.accepted,
+            "dropped": self.dropped,
+            "processed": self.processed,
+            "pairs_emitted": self.pairs_emitted,
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "resumed": self.resumed,
+            "error": self.error,
+            "latency": self.latency.summary(),
+            "counters": self.join.stats.as_dict(),
+            "sinks": [sink.describe() for sink in self.sinks],
+        }

@@ -6,9 +6,12 @@ import json
 
 import pytest
 
+from repro.backends import available_backends
 from repro.baselines.brute_force import brute_force_time_dependent
 from repro.core.checkpoint import (
     CheckpointError,
+    PeriodicCheckpointer,
+    atomic_write_json,
     load_checkpoint,
     restore_join,
     save_checkpoint,
@@ -18,6 +21,13 @@ from repro.core.frameworks.minibatch import MiniBatchFramework
 from repro.core.frameworks.streaming import StreamingFramework
 from repro.datasets.generator import generate_profile_corpus
 from tests.conftest import random_vectors
+
+BACKENDS = [
+    "python",
+    pytest.param("numpy", marks=pytest.mark.skipif(
+        "numpy" not in available_backends(),
+        reason="NumPy backend unavailable")),
+]
 
 
 def split_run(algorithm_index: str, vectors, threshold: float, decay: float,
@@ -90,6 +100,106 @@ class TestSnapshotRestore:
         assert restored.threshold == pytest.approx(0.72)
         assert restored.decay == pytest.approx(0.03)
         assert restored.horizon == pytest.approx(join.horizon)
+
+
+class TestRestoreThenContinueParity:
+    """Checkpoint mid-stream, restore, finish: bitwise-equal to an
+    uninterrupted run — pairs (similarities included) and every counter —
+    on both compute backends."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("index", ["L2", "L2AP"])
+    def test_pairs_and_counters_bitwise_equal(self, backend, index):
+        vectors = random_vectors(80, seed=211)
+        threshold, decay = 0.6, 0.05
+        uninterrupted = StreamingFramework(threshold, decay, index=index,
+                                           backend=backend)
+        expected_pairs = [pair for vector in vectors
+                          for pair in uninterrupted.process(vector)]
+
+        first = StreamingFramework(threshold, decay, index=index,
+                                   backend=backend)
+        got_pairs = [pair for vector in vectors[:37]
+                     for pair in first.process(vector)]
+        resumed = restore_join(snapshot_join(first))
+        got_pairs += [pair for vector in vectors[37:]
+                      for pair in resumed.process(vector)]
+
+        assert got_pairs == expected_pairs  # full tuples, not just keys
+        expected_counters = uninterrupted.stats.as_dict()
+        got_counters = resumed.stats.as_dict()
+        expected_counters.pop("elapsed_seconds")
+        got_counters.pop("elapsed_seconds")
+        assert got_counters == expected_counters
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_cross_backend_restore_keeps_pair_set(self, backend):
+        """A checkpoint written by one backend restores on another."""
+        vectors = random_vectors(60, seed=223)
+        threshold, decay = 0.6, 0.05
+        first = StreamingFramework(threshold, decay, index="L2",
+                                   backend=backend)
+        keys = set()
+        for vector in vectors[:30]:
+            keys.update(pair.key for pair in first.process(vector))
+        state = snapshot_join(first)
+        other = "python" if backend == "numpy" else None
+        state["backend"] = other
+        resumed = restore_join(state)
+        for vector in vectors[30:]:
+            keys.update(pair.key for pair in resumed.process(vector))
+        expected = {p.key
+                    for p in brute_force_time_dependent(vectors, threshold, decay)}
+        assert keys == expected
+
+
+class TestAtomicWrites:
+    def test_save_leaves_no_temp_files_and_is_loadable(self, tmp_path):
+        join = StreamingFramework(0.6, 0.05, index="L2")
+        for vector in random_vectors(30, seed=227):
+            join.process(vector)
+        path = tmp_path / "join.ckpt"
+        save_checkpoint(join, path)
+        save_checkpoint(join, path)  # overwrite goes through os.replace too
+        assert [p.name for p in tmp_path.iterdir()] == ["join.ckpt"]
+        assert load_checkpoint(path).stats.vectors_processed == 30
+
+    def test_failed_write_keeps_the_previous_checkpoint(self, tmp_path):
+        path = tmp_path / "state.json"
+        atomic_write_json(path, {"generation": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})  # not JSON-serialisable
+        assert json.loads(path.read_text()) == {"generation": 1}
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+
+class TestPeriodicCheckpointer:
+    def test_writes_every_n_vectors(self, tmp_path):
+        join = StreamingFramework(0.6, 0.05, index="L2")
+        checkpointer = PeriodicCheckpointer(join, tmp_path / "j.ckpt",
+                                            every_vectors=10)
+        for vector in random_vectors(35, seed=229):
+            join.process(vector)
+            checkpointer.tick()
+        assert checkpointer.checkpoints_written == 3
+        assert load_checkpoint(tmp_path / "j.ckpt").stats.vectors_processed == 30
+
+    def test_no_interval_means_explicit_only(self, tmp_path):
+        join = StreamingFramework(0.6, 0.05, index="L2")
+        checkpointer = PeriodicCheckpointer(join, tmp_path / "j.ckpt")
+        for vector in random_vectors(10, seed=233):
+            join.process(vector)
+            checkpointer.tick()
+        assert checkpointer.checkpoints_written == 0
+        assert checkpointer.tick(force=True) is not None
+        assert checkpointer.checkpoints_written == 1
+
+    def test_rejects_nonpositive_intervals(self, tmp_path):
+        join = StreamingFramework(0.6, 0.05, index="L2")
+        with pytest.raises(ValueError):
+            PeriodicCheckpointer(join, tmp_path / "j.ckpt", every_vectors=0)
+        with pytest.raises(ValueError):
+            PeriodicCheckpointer(join, tmp_path / "j.ckpt", every_seconds=0)
 
 
 class TestCheckpointErrors:

@@ -24,6 +24,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run"])
 
+    def test_service_commands_parse(self):
+        parser = build_parser()
+        serve = parser.parse_args(["serve", "--port", "0",
+                                   "--checkpoint-dir", "ckpts"])
+        assert serve.command == "serve"
+        assert serve.checkpoint_dir == "ckpts"
+        ingest = parser.parse_args(["ingest", "--session", "s",
+                                    "--profile", "tweets",
+                                    "--backpressure", "drop"])
+        assert ingest.command == "ingest"
+        assert ingest.backpressure == "drop"
+        results = parser.parse_args(["results", "--session", "s", "--follow"])
+        assert results.follow
+        drain = parser.parse_args(["drain", "--session", "s"])
+        assert drain.session == "s"
+
+    def test_client_commands_require_a_session(self):
+        for command in ("ingest", "results", "drain"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command])
+
 
 class TestCommands:
     def test_profiles(self, capsys):
@@ -101,6 +122,77 @@ class TestCommands:
         assert main(["run", "--input", str(path), "--algorithm", "MB-INV",
                      "--theta", "0.7", "--decay", "0.1"]) == 0
         assert "MB-INV" in capsys.readouterr().out
+
+    def test_run_rejects_workers_for_minibatch_algorithms(self, capsys):
+        assert main(["run", "--profile", "tweets", "--num-vectors", "30",
+                     "--algorithm", "MB-INV", "--workers", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "STR framework only" in err
+        assert "MB-INV" in err
+
+    def test_run_rejects_workers_for_unknown_algorithms(self, capsys):
+        assert main(["run", "--profile", "tweets", "--num-vectors", "30",
+                     "--algorithm", "BOGUS", "--workers", "2"]) == 2
+        assert "cannot parse algorithm" in capsys.readouterr().err
+
+    def test_run_rejects_nonpositive_workers(self, capsys):
+        assert main(["run", "--profile", "tweets", "--num-vectors", "30",
+                     "--algorithm", "STR-L2", "--workers", "0"]) == 2
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_ingest_rejects_workers_for_minibatch_algorithms(self, capsys):
+        assert main(["ingest", "--session", "s", "--profile", "tweets",
+                     "--num-vectors", "10", "--algorithm", "MB-L2",
+                     "--workers", "2"]) == 2
+        assert "STR framework only" in capsys.readouterr().err
+
+    def test_serve_ingest_results_drain_round_trip(self, tmp_path, capsys):
+        import threading
+
+        from repro.service import ServiceClient, serve as service_serve
+
+        server, _ = service_serve(port=0, checkpoint_dir=tmp_path)
+        thread = threading.Thread(target=server.serve_until_shutdown,
+                                  daemon=True)
+        thread.start()
+        try:
+            host, port = server.address
+            assert main(["ingest", "--host", host, "--port", str(port),
+                         "--session", "cli", "--profile", "tweets",
+                         "--num-vectors", "60", "--theta", "0.6",
+                         "--decay", "0.05"]) == 0
+            assert "ingested 60 vectors" in capsys.readouterr().out
+            assert main(["drain", "--host", host, "--port", str(port),
+                         "--session", "cli"]) == 0
+            out = capsys.readouterr().out
+            assert "drained: 60 vectors processed" in out
+            assert "latency" in out
+            assert main(["results", "--host", host, "--port", str(port),
+                         "--session", "cli"]) == 0
+            assert "session drained" in capsys.readouterr().out
+        finally:
+            with ServiceClient(*server.address) as client:
+                client.shutdown()
+            thread.join(timeout=10)
+
+    def test_results_against_a_missing_session_fails_cleanly(self, capsys):
+        import threading
+
+        from repro.service import ServiceClient, serve as service_serve
+
+        server, _ = service_serve(port=0)
+        thread = threading.Thread(target=server.serve_until_shutdown,
+                                  daemon=True)
+        thread.start()
+        try:
+            host, port = server.address
+            assert main(["results", "--host", host, "--port", str(port),
+                         "--session", "ghost"]) == 1
+            assert "no session" in capsys.readouterr().err
+        finally:
+            with ServiceClient(*server.address) as client:
+                client.shutdown()
+            thread.join(timeout=10)
 
     def test_sweep(self, capsys):
         assert main(["sweep", "--profile", "tweets", "--num-vectors", "40",

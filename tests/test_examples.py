@@ -63,8 +63,14 @@ class TestExamples:
         assert "SUPPRESS" in result.stdout
         assert "DELIVER" in result.stdout
 
+    def test_service_dedup(self):
+        result = run_example("service_dedup.py", "--num-vectors", "200")
+        assert result.returncode == 0, result.stderr
+        assert "recovered from" in result.stdout
+        assert "identical to an uninterrupted run" in result.stdout
+
     @pytest.mark.parametrize("name", ["trend_detection.py", "near_duplicate_filtering.py",
-                                      "batch_vs_streaming.py"])
+                                      "batch_vs_streaming.py", "service_dedup.py"])
     def test_examples_expose_help(self, name):
         result = run_example(name, "--help")
         assert result.returncode == 0

@@ -55,6 +55,42 @@ class TestCreateJoin:
         join.run_to_list(random_vectors(20, seed=91))
         assert stats.vectors_processed == 20
 
+    def test_workers_delegates_to_the_sharded_engine(self):
+        from repro.shard import ShardedStreamingJoin
+
+        join = create_join("STR-L2", 0.7, 0.1, workers=2,
+                           shard_executor="serial")
+        try:
+            assert isinstance(join, ShardedStreamingJoin)
+            assert join.workers == 2
+        finally:
+            join.close()
+
+    def test_workers_rejects_minibatch_algorithms(self):
+        with pytest.raises(UnknownAlgorithmError):
+            create_join("MB-L2", 0.7, 0.1, workers=2)
+
+
+class TestIncrementalFeed:
+    @pytest.mark.parametrize("algorithm", ["STR-L2", "MB-L2"])
+    @pytest.mark.parametrize("chunk_size", [1, 7, 100])
+    def test_chunked_feed_equals_one_shot_run(self, algorithm, chunk_size):
+        """feed()'s contract: concatenating chunks ≡ feeding the stream."""
+        vectors = random_vectors(50, seed=95)
+        expected = create_join(algorithm, 0.6, 0.05).run_to_list(vectors)
+        join = create_join(algorithm, 0.6, 0.05)
+        got = []
+        for start in range(0, len(vectors), chunk_size):
+            got.extend(join.feed(vectors[start:start + chunk_size]))
+        got.extend(join.flush())
+        assert got == expected
+
+    def test_feed_does_not_flush(self):
+        join = create_join("MB-L2", 0.6, 0.05)
+        join.feed(random_vectors(10, seed=97))
+        # The MB window is still open: flush() reports the buffered pairs.
+        assert join.flush() or join.stats.vectors_processed == 10
+
 
 class TestStreamingSelfJoin:
     def test_yields_pairs_lazily(self):

@@ -1,0 +1,648 @@
+"""Tests for the long-running join service (repro.service).
+
+The load-bearing property is end-to-end determinism: for a fixed stream,
+the pairs a session emits — under any batching/backpressure settings,
+with or without a mid-stream kill + checkpoint recovery — are identical
+to :func:`repro.core.join.streaming_self_join`, bitwise, counters
+included.  That property is pinned by hypothesis tests at the bottom.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import available_backends
+from repro.core.join import create_join, streaming_self_join
+from repro.core.results import JoinStatistics, SimilarPair
+from repro.core.vector import SparseVector
+from repro.service import (
+    BackpressureError,
+    CallbackSink,
+    JoinService,
+    JoinSession,
+    JsonlSink,
+    MemorySink,
+    ServiceClient,
+    SessionConfig,
+    SessionError,
+    SinkError,
+    create_sink,
+    read_jsonl_pairs,
+    serve,
+)
+from repro.service.protocol import (
+    ServiceProtocolError,
+    decode_vector,
+    encode_vector,
+    pair_from_wire,
+    pair_to_wire,
+)
+from tests.conftest import random_vectors
+
+THETA, DECAY = 0.6, 0.05
+
+
+def expected_pairs(vectors, *, algorithm="STR-L2", backend=None):
+    stats = JoinStatistics()
+    pairs = list(streaming_self_join(vectors, THETA, DECAY,
+                                     algorithm=algorithm, backend=backend,
+                                     stats=stats))
+    return pairs, stats
+
+
+def counters_without_time(stats_dict):
+    return {key: value for key, value in stats_dict.items()
+            if key != "elapsed_seconds"}
+
+
+def make_session(name="s", *, vectors_cfg=None, **overrides) -> JoinSession:
+    config = SessionConfig(name=name, threshold=THETA, decay=DECAY,
+                           **(vectors_cfg or {}), **overrides)
+    return JoinSession(config)
+
+
+class TestSessionConfig:
+    def test_rejects_unknown_backpressure_policy(self):
+        with pytest.raises(SessionError):
+            SessionConfig(name="x", threshold=0.6, decay=0.05,
+                          backpressure="panic")
+
+    @pytest.mark.parametrize("field,value", [
+        ("queue_max", 0), ("batch_max_items", 0), ("batch_max_delay", -1.0),
+    ])
+    def test_rejects_nonpositive_limits(self, field, value):
+        with pytest.raises(SessionError):
+            SessionConfig(name="x", threshold=0.6, decay=0.05,
+                          **{field: value})
+
+    def test_round_trips_through_dict_and_ignores_unknown_keys(self):
+        config = SessionConfig(name="x", threshold=0.7, decay=0.01,
+                               batch_max_items=3)
+        payload = dict(config.as_dict(), some_future_field=1)
+        assert SessionConfig.from_dict(payload) == config
+
+
+class TestProtocol:
+    def test_vector_round_trip_is_bitwise_without_renormalisation(self):
+        vector = SparseVector(7, 3.5, {2: 0.4, 9: 0.8})  # normalised here
+        again = decode_vector(json.loads(json.dumps(encode_vector(vector))),
+                              normalize=False)
+        assert again.vector_id == 7
+        assert again.timestamp == 3.5
+        assert dict(again) == dict(vector)
+
+    def test_decode_normalises_raw_weights_by_default(self):
+        raw = decode_vector([1, 0.0, [2, 3.0, 9, 4.0]])
+        assert dict(raw) == dict(SparseVector(1, 0.0, {2: 3.0, 9: 4.0}))
+
+    def test_pair_round_trip_is_bitwise(self):
+        pair = SimilarPair.make(3, 1, 0.87654321, time_delta=1.25,
+                                dot=0.9, reported_at=42.0)
+        assert pair_from_wire(json.loads(json.dumps(pair_to_wire(pair)))) == pair
+
+    def test_bad_vector_payload_raises(self):
+        with pytest.raises(ServiceProtocolError):
+            decode_vector([1, 2.0, [3]])  # odd coordinate list
+
+
+class TestSinks:
+    def test_memory_sink_cursor_pages_through_pairs(self):
+        sink = MemorySink()
+        pairs = [SimilarPair.make(i, i + 1, 0.9) for i in range(5)]
+        sink.emit(pairs[:3])
+        sink.emit(pairs[3:])
+        page, cursor, _ = sink.read(0, limit=2)
+        assert page == pairs[:2] and cursor == 2
+        page, cursor, _ = sink.read(cursor)
+        assert page == pairs[2:] and cursor == 5
+        assert sink.read(cursor)[0] == []
+
+    def test_memory_sink_eviction_reports_gap(self):
+        sink = MemorySink(capacity=3)
+        sink.emit([SimilarPair.make(i, i + 1, 0.9) for i in range(10)])
+        page, cursor, first_retained = sink.read(0)
+        assert first_retained == 7
+        assert cursor == 10
+        assert [p.id_a for p in page] == [7, 8, 9]
+
+    def test_jsonl_sink_appends_and_restores_to_offset(self, tmp_path):
+        path = tmp_path / "pairs.jsonl"
+        sink = JsonlSink(path)
+        before = [SimilarPair.make(0, 1, 0.9), SimilarPair.make(1, 2, 0.8)]
+        sink.emit(before)
+        token = sink.position()
+        sink.emit([SimilarPair.make(2, 3, 0.7)])
+        assert len(read_jsonl_pairs(path)) == 3
+        sink.restore(token)  # roll back the post-checkpoint pair
+        assert read_jsonl_pairs(path) == before
+        sink.emit([SimilarPair.make(9, 10, 0.95)])
+        assert read_jsonl_pairs(path)[-1].id_a == 9
+        sink.close()
+
+    def test_jsonl_sink_refuses_a_shrunken_file(self, tmp_path):
+        path = tmp_path / "pairs.jsonl"
+        sink = JsonlSink(path)
+        sink.emit([SimilarPair.make(0, 1, 0.9)])
+        token = sink.position()
+        sink.close()
+        path.write_text("")
+        reopened = JsonlSink(path)
+        with pytest.raises(SinkError):
+            reopened.restore(token)
+        reopened.close()
+
+    def test_callback_sink_forwards_every_pair(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        sink.emit([SimilarPair.make(0, 1, 0.9)])
+        assert len(seen) == 1 and seen[0].key == (0, 1)
+
+    def test_create_sink_rejects_unknown_kinds(self):
+        with pytest.raises(SinkError):
+            create_sink({"kind": "carrier-pigeon"})
+        with pytest.raises(SinkError):
+            create_sink({"kind": "jsonl"})  # no path
+
+
+class TestJoinSession:
+    @pytest.mark.parametrize("batch_max_items,batch_max_delay", [
+        (1, 0.0), (7, 0.0), (128, 0.01),
+    ])
+    def test_session_output_matches_streaming_self_join(
+            self, batch_max_items, batch_max_delay):
+        vectors = random_vectors(80, seed=23)
+        expected, expected_stats = expected_pairs(vectors)
+        session = make_session(batch_max_items=batch_max_items,
+                               batch_max_delay=batch_max_delay)
+        session.ingest(vectors)
+        summary = session.drain()
+        pairs, _, _ = session.results.read(0)
+        assert pairs == expected
+        assert summary["processed"] == len(vectors)
+        assert (counters_without_time(session.join.stats.as_dict())
+                == counters_without_time(expected_stats.as_dict()))
+        session.close()
+
+    def test_minibatch_session_drains_buffered_windows(self):
+        vectors = random_vectors(60, seed=29)
+        expected, _ = expected_pairs(vectors, algorithm="MB-L2")
+        session = make_session(algorithm="MB-L2")
+        session.ingest(vectors)
+        session.drain()
+        pairs, _, _ = session.results.read(0)
+        assert pairs == expected
+        session.close()
+
+    @pytest.mark.skipif("numpy" not in available_backends(),
+                        reason="sharded engine needs the NumPy backend")
+    def test_sharded_session_matches_single_process(self):
+        vectors = random_vectors(60, seed=31)
+        expected, _ = expected_pairs(vectors, backend="numpy")
+        session = make_session(workers=2, shard_executor="serial",
+                               backend="numpy")
+        session.ingest(vectors)
+        session.drain()
+        pairs, _, _ = session.results.read(0)
+        assert pairs == expected
+        session.close()
+
+    def test_extra_sinks_receive_the_same_pairs(self, tmp_path):
+        vectors = random_vectors(50, seed=37)
+        expected, _ = expected_pairs(vectors)
+        seen: list[SimilarPair] = []
+        config = SessionConfig(name="s", threshold=THETA, decay=DECAY)
+        session = JoinSession(config, sinks=[
+            JsonlSink(tmp_path / "pairs.jsonl"), CallbackSink(seen.append)])
+        session.ingest(vectors)
+        session.drain()
+        assert read_jsonl_pairs(tmp_path / "pairs.jsonl") == expected
+        assert seen == expected
+        session.close()
+
+    def test_drop_policy_drops_newest_and_stays_deterministic(self):
+        vectors = random_vectors(30, seed=41)
+        session = make_session(queue_max=10, backpressure="drop")
+        # Hold the worker back so the bounded queue actually fills.
+        session.start = lambda: None  # type: ignore[method-assign]
+        accepted_vectors = []
+        for vector in vectors:
+            accepted, dropped = session.ingest([vector])
+            if accepted:
+                accepted_vectors.append(vector)
+        assert session.dropped == len(vectors) - 10
+        del session.start  # restore the real method
+        session.start()
+        session.drain()
+        pairs, _, _ = session.results.read(0)
+        expected, _ = expected_pairs(accepted_vectors)
+        assert pairs == expected
+        session.close()
+
+    def test_error_policy_raises_backpressure_error(self):
+        vectors = random_vectors(12, seed=43)
+        session = make_session(queue_max=4, backpressure="error")
+        session.start = lambda: None  # type: ignore[method-assign]
+        with pytest.raises(BackpressureError):
+            session.ingest(vectors)
+        assert session.accepted == 4
+        del session.start
+        session.close()
+
+    def test_block_policy_blocks_until_the_worker_catches_up(self):
+        vectors = random_vectors(60, seed=47)
+        expected, _ = expected_pairs(vectors)
+        session = make_session(queue_max=2, backpressure="block",
+                               batch_max_items=1)
+        session.ingest(vectors)  # must not deadlock
+        session.drain()
+        pairs, _, _ = session.results.read(0)
+        assert pairs == expected
+        session.close()
+
+    def test_out_of_order_timestamps_are_rejected_at_ingest(self):
+        from repro.exceptions import StreamOrderError
+
+        session = make_session()
+        session.ingest([SparseVector(0, 10.0, {1: 1.0})])
+        with pytest.raises(StreamOrderError):
+            session.ingest([SparseVector(1, 0.0, {1: 1.0})])
+        # The session itself is still healthy: order resumes from t=10.
+        session.ingest([SparseVector(2, 11.0, {1: 1.0})])
+        session.drain()
+        assert session.processed == 2
+        session.close()
+
+    def test_worker_failure_surfaces_through_status_and_ingest(self):
+        def explode(_pair):
+            raise RuntimeError("sink disk full")
+
+        config = SessionConfig(name="s", threshold=THETA, decay=DECAY,
+                               batch_max_items=1, batch_max_delay=0.0)
+        session = JoinSession(config, sinks=[CallbackSink(explode)])
+        # Two identical simultaneous vectors force a pair, which makes the
+        # sink blow up inside the worker thread.
+        session.ingest([SparseVector(0, 0.0, {1: 1.0}),
+                        SparseVector(1, 0.0, {1: 1.0})])
+        with pytest.raises(SessionError):
+            session.drain(timeout=10.0)
+        assert session.status == "failed"
+        assert "sink disk full" in (session.error or "")
+        with pytest.raises(SessionError):
+            session.ingest([SparseVector(2, 1.0, {1: 1.0})])
+        session.close()
+
+    def test_vectors_accepted_behind_a_drain_token_are_still_processed(self):
+        """A producer can race drain(): its status check passes before the
+        worker flips the state, leaving accepted vectors queued *behind*
+        the drain token.  They were acknowledged, so drain must process
+        them rather than silently drop them."""
+        vectors = random_vectors(30, seed=107)
+        expected, _ = expected_pairs(vectors)
+        session = make_session()
+        session.start = lambda: None  # type: ignore[method-assign]
+        session.ingest(vectors[:20])
+        reply, done = session._enqueue_control("drain")
+        session.ingest(vectors[20:])  # accepted behind the drain barrier
+        del session.start
+        session.start()
+        session._await_control(done, reply, 30.0)
+        assert reply["processed"] == 30
+        pairs, _, _ = session.results.read(0)
+        assert pairs == expected
+        session.close()
+
+    def test_ingest_after_drain_is_refused(self):
+        session = make_session()
+        session.ingest(random_vectors(10, seed=53))
+        session.drain()
+        with pytest.raises(SessionError):
+            session.ingest(random_vectors(5, seed=53))
+        session.close()
+
+    def test_checkpoint_now_requires_a_checkpoint_path(self):
+        session = make_session()
+        with pytest.raises(SessionError):
+            session.checkpoint_now()
+        session.close()
+
+    def test_checkpointing_rejects_non_str_and_sharded_sessions(self, tmp_path):
+        with pytest.raises(SessionError):
+            JoinSession(SessionConfig(name="mb", threshold=THETA, decay=DECAY,
+                                      algorithm="MB-L2"),
+                        checkpoint_path=tmp_path / "mb.ckpt")
+        with pytest.raises(SessionError):
+            JoinSession(SessionConfig(name="sh", threshold=THETA, decay=DECAY,
+                                      workers=2),
+                        checkpoint_path=tmp_path / "sh.ckpt")
+
+    def test_stats_exposes_counters_and_latency_percentiles(self):
+        vectors = random_vectors(40, seed=59)
+        session = make_session()
+        session.ingest(vectors)
+        session.drain()
+        stats = session.stats()
+        assert stats["processed"] == 40
+        assert stats["status"] == "drained"
+        assert stats["counters"]["vectors_processed"] == 40
+        for key in ("count", "p50_ms", "p95_ms", "p99_ms"):
+            assert key in stats["latency"]
+        assert stats["latency"]["count"] == 40
+        assert stats["sinks"][0]["kind"] == "memory"
+        session.close()
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("backend", [
+        "python",
+        pytest.param("numpy", marks=pytest.mark.skipif(
+            "numpy" not in available_backends(),
+            reason="NumPy backend unavailable")),
+    ])
+    def test_kill_and_resume_matches_uninterrupted_run(self, tmp_path, backend):
+        vectors = random_vectors(90, seed=61)
+        expected, expected_stats = expected_pairs(vectors, backend=backend)
+        ckpt = tmp_path / "s.ckpt"
+        config = SessionConfig(name="s", threshold=THETA, decay=DECAY,
+                               backend=backend, batch_max_items=8,
+                               batch_max_delay=0.0)
+        session = JoinSession(config, sinks=[JsonlSink(tmp_path / "p.jsonl")],
+                              checkpoint_path=ckpt)
+        session.ingest(vectors[:50])
+        session.checkpoint_now()
+        # Vectors past the checkpoint are lost with the crash; their pairs
+        # must be rolled back from the durable sink on resume.
+        session.ingest(vectors[50:70])
+        session.drain = None  # make accidental use obvious
+        session.kill()
+        assert session.status == "killed"
+
+        resumed = JoinSession.resume(ckpt)
+        assert resumed.processed == 50
+        assert resumed.resumed
+        resumed.ingest(vectors[resumed.processed:])
+        resumed.drain()
+        assert read_jsonl_pairs(tmp_path / "p.jsonl") == expected
+        assert (counters_without_time(resumed.join.stats.as_dict())
+                == counters_without_time(expected_stats.as_dict()))
+        resumed.close()
+
+    def test_checkpoint_write_is_atomic_and_leaves_no_temp_files(self, tmp_path):
+        ckpt = tmp_path / "s.ckpt"
+        config = SessionConfig(name="s", threshold=THETA, decay=DECAY)
+        session = JoinSession(config, checkpoint_path=ckpt)
+        session.ingest(random_vectors(30, seed=67))
+        session.checkpoint_now()
+        session.checkpoint_now()  # overwrite path exercised
+        assert ckpt.exists()
+        assert list(tmp_path.glob("*.tmp.*")) == []
+        payload = json.loads(ckpt.read_text())
+        assert payload["service_version"] == 1
+        session.close()
+
+    def test_periodic_checkpoints_fire_between_batches(self, tmp_path):
+        ckpt = tmp_path / "s.ckpt"
+        config = SessionConfig(name="s", threshold=THETA, decay=DECAY,
+                               batch_max_items=5, batch_max_delay=0.0,
+                               checkpoint_every_items=10)
+        session = JoinSession(config, checkpoint_path=ckpt)
+        session.ingest(random_vectors(40, seed=71))
+        session.drain()
+        assert session._checkpointer.checkpoints_written >= 2
+        assert json.loads(ckpt.read_text())["processed"] == 40
+        session.close()
+
+    def test_drained_session_resumes_as_drained(self, tmp_path):
+        ckpt = tmp_path / "s.ckpt"
+        config = SessionConfig(name="s", threshold=THETA, decay=DECAY)
+        session = JoinSession(config, checkpoint_path=ckpt)
+        session.ingest(random_vectors(20, seed=73))
+        session.drain()
+        session.close()
+        resumed = JoinSession.resume(ckpt)
+        assert resumed.status == "drained"
+        with pytest.raises(SessionError):
+            resumed.ingest(random_vectors(5, seed=73))
+        resumed.close()
+
+    def test_memory_sink_cursor_base_survives_recovery(self, tmp_path):
+        ckpt = tmp_path / "s.ckpt"
+        vectors = random_vectors(60, seed=79)
+        config = SessionConfig(name="s", threshold=THETA, decay=DECAY)
+        session = JoinSession(config, checkpoint_path=ckpt)
+        session.ingest(vectors[:40])
+        session.checkpoint_now()
+        emitted_before = session.results.count
+        session.kill()
+        resumed = JoinSession.resume(ckpt)
+        # Cursors handed to clients before the crash stay valid: the
+        # resumed sink continues the sequence instead of restarting at 0.
+        assert resumed.results.count == emitted_before
+        assert resumed.results.first_retained == emitted_before
+        resumed.close()
+
+
+class TestJoinServiceDispatch:
+    """Drive the dispatcher with plain dictionaries (no sockets)."""
+
+    def test_full_session_lifecycle(self, tmp_path):
+        service = JoinService(checkpoint_dir=tmp_path)
+        vectors = random_vectors(50, seed=83)
+        expected, _ = expected_pairs(vectors)
+        response = service.handle({"op": "open", "session": "s1",
+                                   "theta": THETA, "decay": DECAY,
+                                   "normalize": False})
+        assert response["ok"] and not response["resumed"]
+        response = service.handle({
+            "op": "ingest", "session": "s1",
+            "vectors": [encode_vector(vector) for vector in vectors]})
+        assert response["ok"] and response["accepted"] == 50
+        response = service.handle({"op": "drain", "session": "s1"})
+        assert response["ok"] and response["processed"] == 50
+        response = service.handle({"op": "results", "session": "s1"})
+        assert [pair_from_wire(p) for p in response["pairs"]] == expected
+        stats = service.handle({"op": "stats"})
+        assert stats["server"]["sessions"] == 1
+        assert stats["sessions"]["s1"]["latency"]["count"] == 50
+        assert service.handle({"op": "close", "session": "s1"})["ok"]
+        assert service.sessions == {}
+        service.shutdown()
+
+    def test_open_is_idempotent(self):
+        service = JoinService()
+        first = service.handle({"op": "open", "session": "s",
+                                "theta": THETA, "decay": DECAY})
+        second = service.handle({"op": "open", "session": "s",
+                                 "theta": 0.9, "decay": 0.5})
+        assert not first["existing"] and second["existing"]
+        service.shutdown()
+
+    @pytest.mark.parametrize("request_dict,needle", [
+        ({"op": "frobnicate"}, "unknown op"),
+        ({"op": "ingest", "session": "nope", "vectors": []}, "no session"),
+        ({"op": "open", "session": "bad name!", "theta": 0.6, "decay": 0.1},
+         "session name"),
+        ({"op": "open", "session": "s"}, "decay"),
+        ({"op": "drain"}, "session"),
+    ])
+    def test_bad_requests_return_errors_not_exceptions(self, request_dict,
+                                                       needle):
+        service = JoinService()
+        response = service.handle(request_dict)
+        assert response["ok"] is False
+        assert needle in response["error"]
+        service.shutdown()
+
+    def test_recovery_scan_resumes_checkpointed_sessions(self, tmp_path):
+        vectors = random_vectors(40, seed=89)
+        service = JoinService(checkpoint_dir=tmp_path)
+        service.handle({"op": "open", "session": "s1", "theta": THETA,
+                        "decay": DECAY, "checkpoint_every_items": 5,
+                        "normalize": False})
+        service.handle({"op": "ingest", "session": "s1",
+                        "vectors": [encode_vector(v) for v in vectors[:25]]})
+        service.handle({"op": "checkpoint", "session": "s1"})
+        # Simulate kill -9: drop the service object without closing it.
+        for session in service.sessions.values():
+            session.kill()
+
+        reborn = JoinService(checkpoint_dir=tmp_path)
+        assert reborn.recover_sessions() == ["s1"]
+        resumed = reborn.sessions["s1"]
+        assert resumed.processed == 25
+        reborn.handle({"op": "ingest", "session": "s1",
+                       "vectors": [encode_vector(v) for v in vectors[25:]]})
+        response = reborn.handle({"op": "drain", "session": "s1"})
+        assert response["processed"] == 40
+        expected, _ = expected_pairs(vectors)
+        # The memory sink only retains post-recovery pairs; check the tail.
+        results = reborn.handle({"op": "results", "session": "s1",
+                                 "cursor": resumed.results.first_retained})
+        tail = [pair_from_wire(p) for p in results["pairs"]]
+        assert tail == expected[len(expected) - len(tail):]
+        reborn.shutdown()
+
+
+class TestServiceOverSockets:
+    def test_socket_round_trip_and_shutdown(self, tmp_path):
+        vectors = random_vectors(60, seed=97)
+        expected, _ = expected_pairs(vectors)
+        server, recovered = serve(port=0, checkpoint_dir=tmp_path)
+        assert recovered == []
+        thread = threading.Thread(target=server.serve_until_shutdown,
+                                  daemon=True)
+        thread.start()
+        host, port = server.address
+        with ServiceClient(host, port) as client:
+            assert client.ping()["pong"]
+            client.open_session("s1", theta=THETA, decay=DECAY,
+                                normalize=False,
+                                sinks=[{"kind": "jsonl",
+                                        "path": str(tmp_path / "p.jsonl")}])
+            totals = client.ingest("s1", vectors, chunk_size=17)
+            assert totals == {"accepted": 60, "dropped": 0}
+            summary = client.drain("s1")
+            assert summary["processed"] == 60
+            assert client.results("s1")["pairs"] == expected
+            stats = client.stats("s1")
+            assert stats["sessions"]["s1"]["pairs_emitted"] == len(expected)
+            client.shutdown()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert read_jsonl_pairs(tmp_path / "p.jsonl") == expected
+
+    def test_iter_results_follows_until_drained(self):
+        vectors = random_vectors(40, seed=101)
+        expected, _ = expected_pairs(vectors)
+        server, _ = serve(port=0)
+        thread = threading.Thread(target=server.serve_until_shutdown,
+                                  daemon=True)
+        thread.start()
+        host, port = server.address
+        collected: list[SimilarPair] = []
+        with ServiceClient(host, port) as client:
+            client.open_session("s", theta=THETA, decay=DECAY,
+                                normalize=False)
+            client.ingest("s", vectors)
+            with ServiceClient(host, port) as drainer:
+                drainer.drain("s")
+            collected = list(client.iter_results("s"))
+            client.shutdown()
+        thread.join(timeout=10)
+        assert collected == expected
+
+
+# -- the determinism acceptance property --------------------------------------
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    count=st.integers(10, 60),
+    batch_max_items=st.integers(1, 16),
+    batch_max_delay=st.sampled_from([0.0, 0.002]),
+    queue_max=st.integers(8, 64),
+    backpressure=st.sampled_from(["block", "drop", "error"]),
+)
+def test_service_is_deterministic_for_any_policy(seed, count, batch_max_items,
+                                                 batch_max_delay, queue_max,
+                                                 backpressure):
+    """Any batching/backpressure configuration emits exactly the
+    ``streaming_self_join`` pairs (the queue never overflows here, so the
+    drop/error policies accept the whole stream)."""
+    vectors = random_vectors(count, seed=seed)
+    expected, expected_stats = expected_pairs(vectors)
+    config = SessionConfig(
+        name="h", threshold=THETA, decay=DECAY,
+        batch_max_items=batch_max_items, batch_max_delay=batch_max_delay,
+        queue_max=max(queue_max, count if backpressure != "block" else queue_max),
+        backpressure=backpressure)
+    session = JoinSession(config)
+    session.ingest(vectors)
+    session.drain()
+    pairs, _, _ = session.results.read(0)
+    assert pairs == expected
+    assert (counters_without_time(session.join.stats.as_dict())
+            == counters_without_time(expected_stats.as_dict()))
+    session.close()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    count=st.integers(20, 70),
+    split=st.floats(0.1, 0.9),
+    overrun=st.integers(0, 10),
+    batch_max_items=st.integers(1, 16),
+)
+def test_service_recovery_is_deterministic(tmp_path_factory, seed, count,
+                                           split, overrun, batch_max_items):
+    """Checkpoint mid-stream, process a bit more, crash, resume, re-feed:
+    the durable sink ends up with exactly the uninterrupted run's pairs."""
+    tmp_path = tmp_path_factory.mktemp("svc")
+    vectors = random_vectors(count, seed=seed)
+    expected, expected_stats = expected_pairs(vectors)
+    split_at = max(1, int(count * split))
+    ckpt = tmp_path / "h.ckpt"
+    config = SessionConfig(name="h", threshold=THETA, decay=DECAY,
+                           batch_max_items=batch_max_items,
+                           batch_max_delay=0.0)
+    session = JoinSession(config, sinks=[JsonlSink(tmp_path / "p.jsonl")],
+                          checkpoint_path=ckpt)
+    session.ingest(vectors[:split_at])
+    session.checkpoint_now()
+    session.ingest(vectors[split_at:split_at + overrun])  # lost in the crash
+    session.kill()
+
+    resumed = JoinSession.resume(ckpt)
+    assert resumed.processed == split_at
+    resumed.ingest(vectors[split_at:])
+    resumed.drain()
+    assert read_jsonl_pairs(tmp_path / "p.jsonl") == expected
+    assert (counters_without_time(resumed.join.stats.as_dict())
+            == counters_without_time(expected_stats.as_dict()))
+    resumed.close()
