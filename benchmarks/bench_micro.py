@@ -22,6 +22,19 @@ artifact against ``benchmarks/BENCH_baseline.json`` in CI:
     The inverted (INV) gate: STR-INV indexes everything and accumulates
     exact dot products, so its scan is pure posting traffic — the regime
     the fused arena gather accelerates the most.
+``test_l2ap_approx_recall``
+    The approximate-tier recall gate: the STR gate workload run exactly
+    (ground truth) and with the sketch prefilter
+    (``--approx wminhash:24x3``), both on the NumPy backend.  The
+    prefilter is one-sided by construction — it can only drop pairs —
+    so the gate asserts the approx pair set is a subset of the exact
+    one, measures recall = |approx ∩ exact| / |exact| and the wall-clock
+    speedup over the exact run, and records both in the
+    ``l2ap_approx_recall`` record of ``BENCH_micro.json`` (both are
+    regression-tracked against the committed baseline).  Honest numbers
+    on the reference box: recall 0.9526 at 1.25–1.41x; see
+    ``docs/PERFORMANCE.md`` for why the speedup tops out below the
+    original 1.5x target on this engine.
 ``test_l2ap_streaming_scaling_50k``
     The 50 000-vector scaling gate (NumPy only — the reference backend
     would take many minutes).  The stream outlives the decay horizon
@@ -54,6 +67,8 @@ Environment knobs (used by the CI smoke job):
     Override the scaling gate's stream length (default 50 000).
 ``SSSJ_BENCH_VECTORS_SERVICE``
     Override the service gate's stream length (default 4 000).
+``SSSJ_BENCH_VECTORS_APPROX``
+    Override the approx recall gate's stream length (default 10 000).
 ``SSSJ_BENCH_SHARD_WORKERS``
     Worker counts of the sharded gate, comma-separated (default "1,2,4").
 ``SSSJ_BENCH_OUTPUT``
@@ -83,6 +98,7 @@ GATE_SHARD_WORKERS = tuple(
 GATE_VECTORS_INV = int(os.environ.get("SSSJ_BENCH_VECTORS_INV", "3000"))
 GATE_VECTORS_LARGE = int(os.environ.get("SSSJ_BENCH_VECTORS_LARGE", "50000"))
 GATE_VECTORS_SERVICE = int(os.environ.get("SSSJ_BENCH_VECTORS_SERVICE", "4000"))
+GATE_VECTORS_APPROX = int(os.environ.get("SSSJ_BENCH_VECTORS_APPROX", "10000"))
 GATE_OUTPUT = Path(os.environ.get(
     "SSSJ_BENCH_OUTPUT",
     Path(__file__).resolve().parent.parent / "BENCH_micro.json"))
@@ -92,6 +108,19 @@ GATE_SPEEDUP = 6.0
 GATE_SPEEDUP_INV = 10.0
 #: Minimum service-over-direct throughput ratio at full service-gate size.
 GATE_SERVICE_RATIO = 0.8
+#: Sketch geometry of the approx recall gate — the measured sweet spot on
+#: the hashtags workload (see docs/PERFORMANCE.md for the full sweep).
+GATE_APPROX_SPEC = "wminhash:24x3"
+#: Minimum recall of the approx gate at full size.  The sketch is seeded
+#: deterministically, so recall on the pinned workload is exact, not
+#: statistical: 0.9526 on the gate corpus.
+GATE_APPROX_RECALL = 0.95
+#: Minimum approx-over-exact speedup at full size.  Measured 1.25–1.41x
+#: (interleaved min-of-3) on the reference box; 1.1 absorbs timing noise.
+#: The original 1.5x target is not reachable at compliant recall on this
+#: engine — the shortfall and the sweep behind this floor are documented
+#: in docs/PERFORMANCE.md.
+GATE_APPROX_SPEEDUP = 1.1
 #: The scaling gate must outlive the decay horizon so expiry is exercised.
 _HORIZON_VECTORS = 25_542  # ln(1/0.6) / 2e-5 seconds at one vector per second
 
@@ -432,6 +461,98 @@ def test_service_ingest_gate(benchmark):
     session.close()
     if count >= 4_000:  # reduced CI sizes track the artifact, not the gate
         assert ratio >= GATE_SERVICE_RATIO
+
+
+def _paired_run(vectors, threshold, decay, approx=None):
+    """One timed STR-L2AP run that also collects the emitted pair set."""
+    stats = JoinStatistics()
+    join = create_join("STR-L2AP", threshold, decay, stats=stats,
+                       backend="numpy", approx=approx)
+    pairs = []
+    start = time.perf_counter()
+    for vector in vectors:
+        pairs.extend(join.process(vector))
+    pairs.extend(join.flush())
+    elapsed = time.perf_counter() - start
+    return elapsed, stats, {(pair.id_a, pair.id_b) for pair in pairs}
+
+
+@pytest.mark.skipif("numpy" not in BACKENDS, reason="NumPy backend unavailable")
+def test_l2ap_approx_recall(benchmark):
+    """Approx recall gate: sketch-prefiltered run vs exact ground truth.
+
+    Runs the STR gate workload twice on the NumPy backend — exact, then
+    with the ``wminhash:24x3`` prefilter — in the same process so the
+    speedup ratio divides out the machine.  Asserts the one-sided filter
+    property (approx pairs ⊆ exact pairs) at every size, and at full
+    size the recall and speedup floors; emits the ``l2ap_approx_recall``
+    record of ``BENCH_micro.json`` with both tracked metrics.
+    """
+    threshold, decay = 0.6, 2e-5
+    vectors = generate_profile_corpus("hashtags",
+                                      num_vectors=GATE_VECTORS_APPROX, seed=7)
+
+    def run_both():
+        exact_elapsed, exact_stats, exact_pairs = _paired_run(
+            vectors, threshold, decay)
+        approx_elapsed, approx_stats, approx_pairs = _paired_run(
+            vectors, threshold, decay, approx=GATE_APPROX_SPEC)
+        return {
+            "exact_s": exact_elapsed,
+            "approx_s": approx_elapsed,
+            "speedup": exact_elapsed / approx_elapsed,
+            "exact_stats": exact_stats,
+            "approx_stats": approx_stats,
+            "exact_pairs": exact_pairs,
+            "approx_pairs": approx_pairs,
+        }
+
+    result = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    count = len(vectors)
+    exact_pairs = result["exact_pairs"]
+    approx_pairs = result["approx_pairs"]
+    false_positives = approx_pairs - exact_pairs
+    recall = (len(approx_pairs & exact_pairs) / len(exact_pairs)
+              if exact_pairs else 1.0)
+    print(f"\nSTR-L2AP approx recall (hashtags, {count} vectors, "
+          f"{GATE_APPROX_SPEC}): exact {result['exact_s']:.1f}s "
+          f"({len(exact_pairs)} pairs), approx {result['approx_s']:.1f}s "
+          f"({len(approx_pairs)} pairs), speedup {result['speedup']:.2f}x, "
+          f"recall {recall:.4f}, "
+          f"pruned {result['approx_stats'].candidates_sketch_pruned} "
+          f"posting occurrences")
+
+    approx_record = _backend_record(result["approx_s"],
+                                    result["approx_stats"], count)
+    approx_record["candidates_sketch_pruned"] = (
+        result["approx_stats"].candidates_sketch_pruned)
+    approx_record["pairs_emitted"] = len(approx_pairs)
+    exact_record = _backend_record(result["exact_s"],
+                                   result["exact_stats"], count)
+    exact_record["pairs_emitted"] = len(exact_pairs)
+    artifact = write_bench_micro(
+        GATE_OUTPUT,
+        benchmark="l2ap_approx_recall",
+        config={"profile": "hashtags", "num_vectors": count, "seed": 7,
+                "algorithm": "STR-L2AP", "threshold": threshold,
+                "decay": decay, "approx": GATE_APPROX_SPEC},
+        backends={
+            "numpy_exact": exact_record,
+            "numpy_approx": approx_record,
+        },
+        derived={"recall": recall,
+                 "speedup": result["speedup"],
+                 "false_positives": len(false_positives)},
+    )
+    print(f"benchmark artifact written to {artifact}")
+
+    # The sketch tier is a one-sided filter: it may only drop pairs.
+    assert not false_positives, (
+        f"approx run emitted {len(false_positives)} pairs the exact run "
+        f"did not: {sorted(false_positives)[:5]}")
+    if count >= 10_000:  # reduced CI sizes track the artifact, not the gate
+        assert recall >= GATE_APPROX_RECALL
+        assert result["speedup"] >= GATE_APPROX_SPEEDUP
 
 
 @pytest.mark.skipif("numpy" not in BACKENDS, reason="NumPy backend unavailable")

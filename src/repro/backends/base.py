@@ -200,6 +200,88 @@ class SimilarityKernel(ABC):
     #: Registry name of the backend this kernel belongs to.
     name: str = "abstract"
 
+    # -- approximate sketch prefilter (:mod:`repro.approx`) ------------------
+    #
+    # When configured, the kernel keeps one banding signature per indexed
+    # vector and rejects candidates whose signature shares no band with the
+    # query's *before* score accumulation.  The filter only ever discards
+    # candidates — verification stays exact — so enabling it can lose pairs
+    # but never invent them; while unconfigured every path below is inert
+    # and the join is bitwise-identical to an exact run.
+
+    #: Active :class:`repro.approx.SignatureScheme`, ``None`` in exact mode.
+    _sketch_scheme: Any = None
+    #: Current query's signature, installed per fused ``scan_query_*`` call.
+    _sketch_query: Any = None
+
+    def configure_approx(self, config: Any) -> None:
+        """Enable the sketch prefilter described by ``config``.
+
+        ``config`` is a :class:`repro.approx.ApproxConfig`.  Must be called
+        before the first vector is indexed: signatures are computed in the
+        ``note_vector_indexed`` hook, so vectors indexed earlier would stay
+        unsketched and always pass the filter.
+        """
+        from repro.approx import SignatureScheme
+
+        self._sketch_scheme = SignatureScheme(config)
+        self._sketch_sigs: dict[int, tuple[int, ...]] = {}
+        self._sketch_keys: dict[int, tuple[int, ...]] = {}
+        self._sketch_query = None
+        self._sketch_query_keys: tuple[int, ...] | None = None
+        self._sketch_query_vector: Any = None
+        self._sketch_pass: set[int] = set()
+        self._sketch_fail: set[int] = set()
+
+    def _install_query_sketch(self, vector: "SparseVector") -> None:
+        """Compute the signature of the query one fused scan is about to run.
+
+        The vector itself is remembered so the ``note_vector_indexed`` hook
+        — which in the streaming frameworks fires for the very same vector
+        right after its scan — can reuse the signature instead of hashing
+        twice.
+        """
+        if self._sketch_scheme is None:
+            return
+        self._sketch_query = self._sketch_scheme.signature(vector)
+        self._sketch_query_keys = self._sketch_scheme.band_hash_keys(
+            self._sketch_query)
+        self._sketch_query_vector = vector
+        self._sketch_pass.clear()
+        self._sketch_fail.clear()
+
+    def _query_sketch_for(self, vector: "SparseVector") -> tuple[Any, Any]:
+        """``(signature, band keys)`` of ``vector``, reusing the query's."""
+        if vector is self._sketch_query_vector:
+            return self._sketch_query, self._sketch_query_keys
+        signature = self._sketch_scheme.signature(vector)
+        return signature, self._sketch_scheme.band_hash_keys(signature)
+
+    def _sketch_admits(self, acc: "ScoreAccumulator", candidate_id: int) -> bool:
+        """Per-posting banding check; the decision is memoised per query.
+
+        Counts *every* rejected posting occurrence in ``acc.sketch_pruned``
+        (the vectorised backends count dropped postings wholesale, so the
+        per-entry backends must charge repeat visits of a rejected
+        candidate too).  A missing signature admits the candidate
+        (defensive: postings are only appended after
+        ``note_vector_indexed`` runs, so live candidates always carry one).
+        """
+        if candidate_id in self._sketch_pass:
+            return True
+        if candidate_id in self._sketch_fail:
+            acc.sketch_pruned += 1  # type: ignore[attr-defined]
+            return False
+        keys = self._sketch_keys.get(candidate_id)
+        if keys is None or any(
+                query_key == key
+                for query_key, key in zip(self._sketch_query_keys, keys)):
+            self._sketch_pass.add(candidate_id)
+            return True
+        self._sketch_fail.add(candidate_id)
+        acc.sketch_pruned += 1  # type: ignore[attr-defined]
+        return False
+
     # -- storage factories ---------------------------------------------------
 
     @abstractmethod
@@ -230,12 +312,23 @@ class SimilarityKernel(ABC):
 
     def note_vector_indexed(self, entry: "ResidualEntry") -> None:
         """A vector was added to the residual/Q store."""
+        if self._sketch_scheme is not None:
+            signature, keys = self._query_sketch_for(entry.vector)
+            self._sketch_sigs[entry.vector.vector_id] = signature
+            self._sketch_keys[entry.vector.vector_id] = keys
 
     def note_vector_updated(self, entry: "ResidualEntry") -> None:
-        """A stored vector's residual prefix or pscore changed (re-indexing)."""
+        """A stored vector's residual prefix or pscore changed (re-indexing).
+
+        Sketch signatures depend only on the full vector, which re-indexing
+        never changes, so the sketch state needs no update here.
+        """
 
     def note_vector_evicted(self, vector_id: int) -> None:
         """A stored vector fell behind the time horizon and was evicted."""
+        if self._sketch_scheme is not None:
+            self._sketch_sigs.pop(vector_id, None)
+            self._sketch_keys.pop(vector_id, None)
 
     # -- index construction --------------------------------------------------
 
@@ -360,6 +453,7 @@ class SimilarityKernel(ABC):
         per-position maxima of the indexed data) and ``rs2`` (ℓ₂).
         Returns the number of posting entries traversed.
         """
+        self._install_query_sketch(vector)
         dims = vector.dims
         values = vector.values
         rst = vector.norm * vector.norm
@@ -398,6 +492,7 @@ class SimilarityKernel(ABC):
         ``(entries_traversed, entries_removed)`` totals across the query's
         posting lists.
         """
+        self._install_query_sketch(vector)
         dims = vector.dims
         values = vector.values
         prefix_norms = vector._prefix_norms

@@ -113,6 +113,7 @@ from repro.backends.base import (
 )
 from repro.core.results import JoinStatistics, SimilarPair
 from repro.core.vector import SparseVector
+from repro.exceptions import InvalidParameterError
 from repro.indexes.bounds import IndexingSplit, compute_indexing_split
 from repro.indexes.maxvector import MaxVector
 from repro.indexes.residual import ResidualEntry, ResidualIndex
@@ -199,11 +200,12 @@ class NumpyCandidateSet(CandidateSet):
 class NumpyAccumulator(ScoreAccumulator):
     """Epoch-stamped dense score table; candidates gathered at finalisation."""
 
-    __slots__ = ("_kernel", "_epoch", "_touched")
+    __slots__ = ("_kernel", "_epoch", "_touched", "sketch_pruned")
 
     def __init__(self, kernel: "NumpyKernel", epoch: int) -> None:
         self._kernel = kernel
         self._epoch = epoch
+        self.sketch_pruned = 0
         #: Slot arrays appended by the scan kernels.  Each scan contributes
         #: only the slots whose accumulation *started* there, so the arrays
         #: are disjoint and their concatenation is already in
@@ -340,6 +342,18 @@ class NumpyKernel(SimilarityKernel):
         fresh_meta = np.zeros((capacity, 5), dtype=np.float64)
         fresh_meta[:len(old_meta)] = old_meta
         self._slot_meta = fresh_meta
+        if self._sketch_scheme is not None:
+            old_valid = self._slot_sig_valid
+            fresh_valid = np.zeros(capacity, dtype=bool)
+            fresh_valid[:len(old_valid)] = old_valid
+            self._slot_sig_valid = fresh_valid
+            old_bands = self._slot_bands
+            fresh_bands = np.zeros((old_bands.shape[0], capacity),
+                                   dtype=np.uint64)
+            fresh_bands[:, :old_bands.shape[1]] = old_bands
+            self._slot_bands = fresh_bands
+            self._sketch_verdict = None
+            self._sketch_verdict_epoch = -1
 
     # -- storage factories ---------------------------------------------------
 
@@ -404,6 +418,26 @@ class NumpyKernel(SimilarityKernel):
         self._slot_valid[slot] = True
         self._slot_entries[slot] = entry
         self._mirror_residual_arrays(slot, entry)
+        if self._sketch_scheme is not None:
+            if entry.vector is self._sketch_query_vector:
+                keys = self._sketch_query_keys
+                self._slot_bands[:, slot] = self._sketch_query_bands
+            else:
+                _, keys = self._query_sketch_for(entry.vector)
+                self._slot_bands[:, slot] = np.asarray(keys, dtype=np.uint64)
+            self._slot_sig_valid[slot] = True
+            buckets = self._band_buckets
+            arrays = self._band_bucket_arrays
+            for band, key in enumerate(keys):
+                bucket = buckets[band].get(key)
+                if bucket is None:
+                    buckets[band][key] = [slot]
+                else:
+                    bucket.append(slot)
+                    arrays[band].pop(key, None)
+            self._bucket_entries += len(keys)
+            if self._bucket_entries > 4 * len(keys) * len(self._slot_ids):
+                self._rebuild_band_buckets()
 
     def note_vector_updated(self, entry: ResidualEntry) -> None:
         slot = self._slot_of.get(entry.vector_id)
@@ -425,6 +459,160 @@ class NumpyKernel(SimilarityKernel):
             self._slot_valid[slot] = False
             self._slot_entries.pop(slot, None)
             self._slot_residual.pop(slot, None)
+            if self._sketch_scheme is not None:
+                self._slot_sig_valid[slot] = False
+                self._buckets_dirty = True
+
+    # -- approximate sketch prefilter ----------------------------------------
+
+    def configure_approx(self, config: Any) -> None:
+        """Enable the sketch prefilter (vectorised banding over slot rows).
+
+        Folded band keys (one 64-bit key per band, see
+        :meth:`SignatureScheme.band_hash_keys`) live in a dense
+        ``(band, slot)`` uint64 matrix next to the other slot-indexed
+        mirrors, shadowed by per-band hash buckets mapping each key to
+        the slots that hold it.  The first rejection check of each query
+        builds one keep/reject verdict over the bucketed slots of the
+        query's own keys, and every gathered posting then costs a single
+        boolean lookup.  The fused scans drop rejected candidates'
+        postings right after the time filter and before admission, so
+        bounds resolved from the pre-sketch live extremes stay
+        conservative.  The per-term fallback path would silently bypass
+        the filter, so non-fused kernels reject the configuration.
+        """
+        if not self._fused:
+            raise InvalidParameterError(
+                "approx mode requires the fused NumPy kernels; "
+                "NumpyKernel(fused=False) cannot host the sketch prefilter")
+        super().configure_approx(config)
+        capacity = len(self._slot_ids)
+        self._slot_bands = np.zeros((config.bands, capacity), dtype=np.uint64)
+        self._slot_sig_valid = np.zeros(capacity, dtype=bool)
+        self._sketch_query_bands: np.ndarray | None = None
+        self._sketch_verdict: np.ndarray | None = None
+        self._sketch_verdict_epoch = -1
+        # Per-band hash buckets (key -> slots): the per-query verdict only
+        # touches the slots whose stored key equals the query's, instead
+        # of sweeping all ``bands × capacity`` table cells.  Entries go
+        # stale when a slot is reused; every lookup re-checks the bucket's
+        # slots against the live table, so the buckets only ever need to
+        # be a superset of the truth.
+        self._band_buckets: list[dict[int, list[int]]] = [
+            {} for _ in range(config.bands)]
+        # Bucket slot lists converted to arrays on first lookup; an append
+        # to a bucket evicts its cached array (hot near-duplicate buckets
+        # are looked up by every member, so the conversion must amortise).
+        self._band_bucket_arrays: list[dict[int, np.ndarray]] = [
+            {} for _ in range(config.bands)]
+        self._bucket_entries = 0
+        # False until the first eviction: bucket entries can only go stale
+        # through slot reuse, which eviction precedes, so a clean stream
+        # skips the per-band re-validation gathers entirely.
+        self._buckets_dirty = False
+
+    def _install_query_sketch(self, vector: SparseVector) -> None:
+        super()._install_query_sketch(vector)
+        if self._sketch_query is not None:
+            self._sketch_query_bands = np.asarray(self._sketch_query_keys,
+                                                  dtype=np.uint64)
+
+    def _sketch_ok_mask(self, slots: np.ndarray,
+                        acc: ScoreAccumulator) -> np.ndarray | None:
+        """Banding verdict per gathered posting (``None`` = all pass).
+
+        A posting survives iff some folded band key of its slot equals the
+        query's key for the same band; slots without a stored signature
+        always pass, like the reference backend's per-candidate check.
+        The per-slot verdict is computed once per query from the per-band
+        hash buckets — only slots bucketed under one of the query's keys
+        are touched, and each is re-validated against the live band table
+        (bucket entries go stale when slots are reused) — then reused by
+        every scan of that query.  Every rejected posting occurrence is
+        counted in ``acc.sketch_pruned`` — the reference per-entry loop
+        charges repeat visits of a rejected candidate the same way.
+        """
+        if self._sketch_verdict_epoch != self._epoch:
+            table = self._slot_bands
+            verdict = ~self._slot_sig_valid
+            buckets = self._band_buckets
+            arrays = self._band_bucket_arrays
+            dirty = self._buckets_dirty
+            for band, key in enumerate(self._sketch_query_keys):
+                cached = arrays[band]
+                candidates = cached.get(key)
+                if candidates is None:
+                    bucket = buckets[band].get(key)
+                    if not bucket:
+                        continue
+                    candidates = np.asarray(bucket, dtype=np.int64)
+                    cached[key] = candidates
+                if dirty:
+                    row = table[band]
+                    candidates = candidates[
+                        row[candidates] == np.uint64(key)]
+                verdict[candidates] = True
+            self._sketch_verdict = verdict
+            self._sketch_verdict_epoch = self._epoch
+        ok = self._sketch_verdict[slots]
+        rejected = len(ok) - int(np.count_nonzero(ok))
+        if not rejected:
+            return None
+        acc.sketch_pruned += rejected  # type: ignore[attr-defined]
+        return ok
+
+    def _rebuild_band_buckets(self) -> None:
+        """Compact the band buckets back to the live slots.
+
+        Long streams with eviction churn accumulate stale bucket entries
+        (slot reuse leaves the old ``key -> slot`` rows behind); once the
+        entry count exceeds a small multiple of the live table the
+        buckets are rebuilt from the table itself, keeping lookups and
+        memory bounded regardless of stream length.
+        """
+        table = self._slot_bands
+        valid = np.nonzero(self._slot_sig_valid)[0].tolist()
+        buckets: list[dict[int, list[int]]] = [
+            {} for _ in range(table.shape[0])]
+        for band, bucket in enumerate(buckets):
+            row = table[band]
+            for slot in valid:
+                key = int(row[slot])
+                entry = bucket.get(key)
+                if entry is None:
+                    bucket[key] = [slot]
+                else:
+                    entry.append(slot)
+        self._band_buckets = buckets
+        self._band_bucket_arrays = [{} for _ in range(table.shape[0])]
+        self._bucket_entries = len(valid) * len(buckets)
+        self._buckets_dirty = False
+
+    def _sketch_drop(self, idx: np.ndarray, counts: np.ndarray,
+                     offsets: np.ndarray, acc: ScoreAccumulator,
+                     timestamps: np.ndarray | None = None,
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                np.ndarray | None]:
+        """Drop gathered postings of sketch-rejected candidates.
+
+        Returns ``(idx, counts, offsets, timestamps)`` with the per-segment
+        counts and running offsets recomputed via cumulative-sum
+        differences (``np.add.reduceat`` misreads empty segments).
+        """
+        ok = self._sketch_ok_mask(self._arena.slots[idx], acc)
+        if ok is None:
+            return idx, counts, offsets, timestamps
+        idx = idx[ok]
+        if timestamps is not None:
+            timestamps = timestamps[ok]
+        kept = np.empty(len(ok) + 1, dtype=np.int64)
+        kept[0] = 0
+        np.cumsum(ok, out=kept[1:])
+        counts = kept[offsets[1:]] - kept[offsets[:-1]]
+        offsets = np.empty(len(counts) + 1, dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(counts, out=offsets[1:])
+        return idx, counts, offsets, timestamps
 
     # -- index construction --------------------------------------------------
 
@@ -933,6 +1121,7 @@ class NumpyKernel(SimilarityKernel):
                 vector, index, threshold=threshold, rs1=rs1, maxima=maxima,
                 sz1=sz1, use_ap=use_ap, use_l2=use_l2,
                 size_filter=size_filter, acc=acc)
+        self._install_query_sketch(vector)
         dims = vector.dims
         values = vector.values
         rst = vector.norm * vector.norm
@@ -959,7 +1148,23 @@ class NumpyKernel(SimilarityKernel):
         arena = self._arena
         idx, lengths, offsets = self._gather_indices(seg_lists, reverse=False)
         total = len(idx)
-        if not any(seg_admit):
+        if self._sketch_query is not None and total:
+            # Before the admission shortcut: the reference per-entry check
+            # runs ahead of admission, so the reject counters must too.
+            idx, lengths, offsets, _ = self._sketch_drop(idx, lengths,
+                                                         offsets, acc)
+            if bool((lengths == 0).any()) and len(idx):
+                # Keep the hoisted leading run long: segments the sketch
+                # emptied would otherwise split it via _ADMIT_NONE.
+                keep = (lengths > 0).tolist()
+                seg_values = [v for v, k in zip(seg_values, keep) if k]
+                seg_qpns = [v for v, k in zip(seg_qpns, keep) if k]
+                seg_admit = [v for v, k in zip(seg_admit, keep) if k]
+                lengths = lengths[lengths > 0]
+                offsets = np.empty(len(lengths) + 1, dtype=np.int64)
+                offsets[0] = 0
+                np.cumsum(lengths, out=offsets[1:])
+        if not any(seg_admit) or not len(idx):
             # No segment admits newcomers and (within one fused pass)
             # nothing can have started earlier, so no candidate can form.
             return total
@@ -1002,6 +1207,7 @@ class NumpyKernel(SimilarityKernel):
                 decayed_maxima=decayed_maxima, sz1=sz1, threshold=threshold,
                 use_ap=use_ap, use_l2=use_l2, time_ordered=time_ordered,
                 size_filter=size_filter, acc=acc)
+        self._install_query_sketch(vector)
         dims = vector.dims
         values = vector.values
         prefix_norms = vector._prefix_norms
@@ -1110,13 +1316,46 @@ class NumpyKernel(SimilarityKernel):
         try:
             if len(idx) == 0:
                 return traversed, removed
+            scan_min, scan_max = seg_min, seg_max
+            if self._sketch_query is not None:
+                # Drop postings of sketch-rejected candidates between the
+                # time filter and admission.  seg_min/seg_max keep their
+                # pre-sketch extremes: the admission bound is monotone in
+                # the timestamp, so extremes over a superset of the live
+                # postings resolve the tri-state conservatively.  The
+                # deferred physical bookkeeping in ``finally`` never sees
+                # these drops — sketch rejection is per-query, not expiry.
+                idx, alive_counts, alive_offsets, timestamps = (
+                    self._sketch_drop(idx, alive_counts, alive_offsets,
+                                      acc, timestamps))
+                if len(idx) == 0:
+                    return traversed, removed
+                # Compress away segments the sketch emptied: a zero-count
+                # segment would resolve to _ADMIT_NONE and cut the hoisted
+                # leading run short, pushing the surviving postings onto
+                # the slow per-segment scalar path.  The originals
+                # (seg_lists, seg_min/seg_max) stay untouched for the
+                # deferred bookkeeping in ``finally``.
+                if bool((alive_counts == 0).any()):
+                    keep = (alive_counts > 0).tolist()
+                    seg_values = [v for v, k in zip(seg_values, keep) if k]
+                    seg_qpns = [v for v, k in zip(seg_qpns, keep) if k]
+                    seg_rs1 = [v for v, k in zip(seg_rs1, keep) if k]
+                    seg_rs2 = [v for v, k in zip(seg_rs2, keep) if k]
+                    scan_min = [v for v, k in zip(seg_min, keep) if k]
+                    scan_max = [v for v, k in zip(seg_max, keep) if k]
+                    alive_counts = alive_counts[alive_counts > 0]
+                    segments = len(seg_values)
+                    alive_offsets = np.empty(segments + 1, dtype=np.int64)
+                    alive_offsets[0] = 0
+                    np.cumsum(alive_counts, out=alive_offsets[1:])
             # -- admission ------------------------------------------------
             # Per-segment tri-state via exact math.exp at the live extremes
             # (the bound is monotone in the timestamp); only segments the
             # bound straddles pay a per-entry evaluation.
             resolve = self._resolve_admission
             tri = [resolve(seg_rs1[j], seg_rs2[j], threshold, decay, now,
-                           seg_min[j], seg_max[j])
+                           scan_min[j], scan_max[j])
                    if alive_counts[j] else _ADMIT_NONE
                    for j in range(segments)]
             if all(outcome == _ADMIT_NONE for outcome in tri):

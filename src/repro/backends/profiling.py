@@ -104,6 +104,10 @@ class ProfilingKernel(SimilarityKernel):
         self._charge(stage, time.perf_counter() - start)
         return result
 
+    def configure_approx(self, config: Any) -> None:
+        # Untimed: one-off setup, not a pipeline stage.
+        self._inner.configure_approx(config)
+
     def new_posting_list(self) -> Any:
         return self._inner.new_posting_list()
 

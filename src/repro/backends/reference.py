@@ -59,12 +59,13 @@ class ReferenceCandidateSet(CandidateSet):
 class ReferenceAccumulator(ScoreAccumulator):
     """Dict-based score table: ``scores``, the ``pruned`` set and arrivals."""
 
-    __slots__ = ("scores", "pruned", "arrival")
+    __slots__ = ("scores", "pruned", "arrival", "sketch_pruned")
 
     def __init__(self) -> None:
         self.scores: dict[int, float] = {}
         self.pruned: set[int] = set()
         self.arrival: dict[int, float] = {}
+        self.sketch_pruned: int = 0
 
     def finalize(self) -> ReferenceCandidateSet:
         return ReferenceCandidateSet(self.scores, self.arrival)
@@ -142,10 +143,13 @@ class ReferenceKernel(SimilarityKernel):
                           acc: ScoreAccumulator) -> int:
         scores = acc.scores
         pruned = acc.pruned
+        sketch = self._sketch_query is not None
         traversed = 0
         for entry in plist:
             traversed += 1
             candidate_id = entry.vector_id
+            if sketch and not self._sketch_admits(acc, candidate_id):
+                continue
             if candidate_id in pruned:
                 continue
             started = candidate_id in scores
@@ -201,8 +205,8 @@ class ReferenceKernel(SimilarityKernel):
             plist.replace_all_entries(kept)
         return traversed, removed
 
-    @staticmethod
-    def _accumulate_stream(entry: Any, value: float, query_prefix_norm: float,
+    def _accumulate_stream(self, entry: Any, value: float,
+                           query_prefix_norm: float,
                            now: float, decay: float, rs1: float, rs2: float,
                            sz1: float, threshold: float, use_ap: bool,
                            use_l2: bool, size_filter: SizeFilterMap,
@@ -211,6 +215,9 @@ class ReferenceKernel(SimilarityKernel):
         scores = acc.scores
         pruned = acc.pruned
         candidate_id = entry.vector_id
+        if (self._sketch_query is not None
+                and not self._sketch_admits(acc, candidate_id)):
+            return
         if candidate_id in pruned:
             return
         delta = now - entry.timestamp

@@ -77,9 +77,13 @@ def fit_line(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
 #: ``derived.speedup`` divides numpy by python; ``derived.throughput_ratio``
 #: divides the service pipeline by the direct engine (the service gate) —
 #: both are ratios of same-process runs, so they stay machine-comparable.
+#: ``derived.recall`` is the approx gate's pair recall against the exact
+#: ground-truth run — deterministic for a pinned workload and sketch seed,
+#: so any drop means the prefilter itself changed.
 TRACKED_METRICS: tuple[tuple[str, bool], ...] = (
     ("derived.speedup", True),
     ("derived.throughput_ratio", True),
+    ("derived.recall", True),
 )
 
 

@@ -61,6 +61,7 @@ def run_algorithm(
     backend: str | None = None,
     workers: int | None = None,
     shard_executor: str = "process",
+    approx: str | None = None,
 ) -> RunMetrics:
     """Run one algorithm configuration over ``vectors`` and measure it.
 
@@ -73,7 +74,10 @@ def run_algorithm(
     side-by-side backend tables stay readable.  ``workers`` switches the
     run to the sharded parallel engine (:mod:`repro.shard`) with that many
     shards (``shard_executor`` picks ``"process"`` or ``"serial"``); the
-    label then carries a ``×N`` worker suffix.
+    label then carries a ``×N`` worker suffix.  ``approx`` enables the
+    approximate prefilter tier (:mod:`repro.approx`); the canonical spec
+    is appended to the label (``"STR-L2AP[numpy]~minhash:16x2"``) so
+    exact and approximate rows are never confused in a table.
 
     Per-item ``process()`` latency is recorded into ``metrics.latency``,
     so ``metrics.latency_row()`` yields the same p50/p95/p99 summary the
@@ -82,7 +86,7 @@ def run_algorithm(
     stats = JoinStatistics()
     join = create_join(algorithm, threshold, decay, stats=stats,
                        backend=backend, workers=workers,
-                       shard_executor=shard_executor)
+                       shard_executor=shard_executor, approx=approx)
     if workers is not None:
         label = f"{algorithm}[{join.backend_name}x{workers}]"
     elif backend is None:
@@ -90,6 +94,8 @@ def run_algorithm(
     else:
         # Resolve "auto" so side-by-side tables name the actual backend.
         label = f"{algorithm}[{get_backend(backend).name}]"
+    if approx is not None:
+        label = f"{label}~{join.approx}"
     metrics = RunMetrics(
         algorithm=label,
         dataset=dataset,

@@ -65,6 +65,19 @@ from repro.datasets.stats import dataset_statistics
 __all__ = ["main", "build_parser"]
 
 
+def _add_approx_args(sub: argparse.ArgumentParser) -> None:
+    """The approximate-tier flags shared by ``run``, ``profile``, ``ingest``."""
+    sub.add_argument("--approx", default=None, metavar="SPEC",
+                     help="enable the approximate prefilter tier: 'minhash', "
+                          "'wminhash' or 'simhash', optionally with geometry as "
+                          "'method:BANDSxROWS[:SEED]' (default: exact join, "
+                          "or the SSSJ_APPROX environment variable)")
+    sub.add_argument("--approx-bands", type=int, default=None, metavar="B",
+                     help="override the number of LSH bands (with --approx)")
+    sub.add_argument("--approx-rows", type=int, default=None, metavar="R",
+                     help="override the signature rows per band (with --approx)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``sssj`` command."""
     parser = argparse.ArgumentParser(
@@ -113,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run the sharded parallel engine with N shard "
                           "workers (STR only; default: single-process, or "
                           "the SSSJ_WORKERS environment variable)")
+    _add_approx_args(run)
     run.add_argument("--shard-executor", default="process",
                      choices=["process", "serial"],
                      help="sharded execution mode: one process per shard, "
@@ -136,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile_cmd.add_argument("--backend", default=None,
                              choices=["auto", *available_backends()],
                              help="compute backend to profile (default: auto)")
+    _add_approx_args(profile_cmd)
 
     shards = subparsers.add_parser(
         "shards", help="print the shard plan balance report for a dataset")
@@ -210,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--workers", type=int, default=None,
                         help="run the session on the sharded engine with N "
                              "workers (STR only)")
+    _add_approx_args(ingest)
     ingest.add_argument("--queue-max", type=int, default=4096)
     ingest.add_argument("--batch-max", type=int, default=128,
                         help="micro-batch flush size (items)")
@@ -369,9 +385,64 @@ def _validate_workers(algorithm: str, workers: int | None) -> str | None:
     return None
 
 
+def _resolve_approx(args: argparse.Namespace) -> tuple[str | None, str | None]:
+    """Resolve the approx spec from the flags or ``SSSJ_APPROX``.
+
+    Returns ``(canonical_spec_or_None, error_or_None)``.  Like
+    :func:`_workers_from_env`, the environment variable is only consulted
+    by the subcommands that carry the flags, so a malformed value cannot
+    take down unrelated subcommands.
+    """
+    from repro.approx import APPROX_ENV_VAR, parse_approx
+    from repro.exceptions import InvalidParameterError
+
+    value = args.approx
+    source = "--approx"
+    if value is None:
+        value = os.environ.get(APPROX_ENV_VAR, "").strip() or None
+        source = APPROX_ENV_VAR
+    try:
+        config = parse_approx(value, bands=args.approx_bands,
+                              rows=args.approx_rows)
+    except InvalidParameterError as error:
+        if source == APPROX_ENV_VAR and value is not None:
+            return None, f"{APPROX_ENV_VAR}={value!r}: {error}"
+        return None, str(error)
+    return (config.spec() if config is not None else None), None
+
+
+def _validate_approx(algorithm: str, approx: str | None,
+                     workers: int | None) -> str | None:
+    """Why the approximate tier cannot apply, or ``None`` when it can.
+
+    Mirrors :func:`_validate_workers`: scheme and engine conflicts are
+    rejected here, before any dataset is loaded or session opened.
+    """
+    if approx is None:
+        return None
+    if workers is not None:
+        return ("the approximate tier is not supported by the sharded "
+                "engine; drop either --approx or --workers")
+    from repro.core.join import parse_algorithm
+    from repro.exceptions import UnknownAlgorithmError
+
+    try:
+        _, index = parse_algorithm(algorithm)
+    except UnknownAlgorithmError as error:
+        return str(error)
+    if index == "INV":
+        return ("--approx requires a prefix-filter scheme (AP, L2, L2AP); "
+                f"the INV schemes have no prefilter stage (got {algorithm!r})")
+    return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     workers = args.workers if args.workers is not None else _workers_from_env()
     error = _validate_workers(args.algorithm, workers)
+    if error is None:
+        approx, error = _resolve_approx(args)
+    if error is None:
+        error = _validate_approx(args.algorithm, approx, workers)
     if error is not None:
         print(error, file=sys.stderr)
         return 2
@@ -379,13 +450,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     metrics = run_algorithm(args.algorithm, vectors, args.theta, args.decay,
                             dataset=str(name), backend=args.backend,
                             workers=workers,
-                            shard_executor=args.shard_executor)
+                            shard_executor=args.shard_executor,
+                            approx=approx)
     print(render_table([metrics.as_row()], title=f"Run: {args.algorithm} on {name}"))
     if args.show_pairs > 0:
         from repro.core.join import create_join
 
         join = create_join(args.algorithm, args.theta, args.decay,
-                           backend=args.backend)
+                           backend=args.backend, approx=approx)
         shown = 0
         for pair in join.run(vectors):
             print(f"  pair {pair.id_a} ~ {pair.id_b}  sim={pair.similarity:.4f} "
@@ -410,11 +482,18 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print("sssj profile supports the STR framework "
               f"(got {args.algorithm!r}); use e.g. STR-L2AP", file=sys.stderr)
         return 2
+    approx, error = _resolve_approx(args)
+    if error is None:
+        error = _validate_approx(args.algorithm, approx, None)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
     from repro.bench.metrics import LatencyStats
 
     vectors, name = _load_vectors(args)
     kernel = ProfilingKernel(get_backend(args.backend)())
-    join = create_join(args.algorithm, args.theta, args.decay, backend=kernel)
+    join = create_join(args.algorithm, args.theta, args.decay, backend=kernel,
+                       approx=approx)
     latency = LatencyStats()
     start = time.perf_counter()
     pairs = 0
@@ -436,6 +515,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             "entries_traversed": stats.entries_traversed,
             "entries_pruned": stats.entries_pruned,
             "candidates_generated": stats.candidates_generated,
+            "candidates_sketch_pruned": stats.candidates_sketch_pruned,
             "full_similarities": stats.full_similarities,
             "pairs_output": stats.pairs_output,
         }],
@@ -537,6 +617,10 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     from repro.service import ServiceClientError
 
     error = _validate_workers(args.algorithm, args.workers)
+    if error is None:
+        approx, error = _resolve_approx(args)
+    if error is None:
+        error = _validate_approx(args.algorithm, approx, args.workers)
     if error is not None:
         print(error, file=sys.stderr)
         return 2
@@ -545,6 +629,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         "algorithm": args.algorithm,
         "backend": args.backend,
         "workers": args.workers,
+        "approx": approx,
         "queue_max": args.queue_max,
         "batch_max_items": args.batch_max,
         "batch_max_delay_ms": args.batch_delay_ms,

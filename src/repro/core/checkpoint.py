@@ -174,6 +174,11 @@ def snapshot_join(join: StreamingFramework) -> dict[str, Any]:
         "stats": join.stats.as_dict(),
         "postings": _posting_lists_to_state(index._index),
     }
+    if join.approx is not None:
+        # Canonical spec string only: signatures are a pure function of
+        # (vector, config), so restore regenerates them from the residual
+        # entries instead of serialising per-vector sketches.
+        state["approx"] = join.approx
     if isinstance(index, PrefixFilterStreamingIndex):
         state["kind"] = "prefix"
         state["residual"] = _residual_to_state(index._residual)
@@ -202,7 +207,8 @@ def restore_join(state: dict[str, Any]) -> StreamingFramework:
         # are output-equivalent, so the restored join behaves identically.
         backend = None
     join = StreamingFramework(state["threshold"], state["decay"],
-                              index=index_name, backend=backend)
+                              index=index_name, backend=backend,
+                              approx=state.get("approx"))
     index = join.index
     _restore_posting_lists(index._index, state["postings"])
     if state["kind"] == "prefix":

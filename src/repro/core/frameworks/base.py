@@ -40,12 +40,22 @@ class JoinFramework(ABC):
 
     def __init__(self, threshold: float, decay: float, *,
                  index: str = "L2", stats: JoinStatistics | None = None,
-                 backend: str | None = None) -> None:
+                 backend: str | None = None,
+                 approx: str | None = None) -> None:
         self.threshold = validate_threshold(threshold)
         self.decay = validate_decay(decay)
         self.index_name = index.upper()
         self.backend = backend
         self.stats = stats if stats is not None else JoinStatistics()
+        # Canonical approx spec string (or None when the join is exact):
+        # a stable form that checkpoints embed and restore_join replays.
+        if approx is not None:
+            from repro.approx import parse_approx
+
+            config = parse_approx(approx)
+            self.approx = config.spec() if config is not None else None
+        else:
+            self.approx = None
 
     @property
     def horizon(self) -> float:

@@ -49,9 +49,16 @@ class MiniBatchFramework(JoinFramework):
 
     def __init__(self, threshold: float, decay: float, *,
                  index: str = "L2", stats: JoinStatistics | None = None,
-                 backend: str | None = None) -> None:
+                 backend: str | None = None,
+                 approx: str | None = None) -> None:
         super().__init__(threshold, decay, index=index, stats=stats,
-                         backend=backend)
+                         backend=backend, approx=approx)
+        if self.approx is not None and self.index_name == "INV":
+            # Fail at construction, not at the first window close.
+            raise InvalidParameterError(
+                "the INV schemes accumulate exact dot products during the "
+                "scan and have no prefilter stage; approx mode requires a "
+                "prefix-filter scheme (AP, L2, L2AP)")
         if decay <= 0:
             raise InvalidParameterError(
                 "the MiniBatch framework requires a strictly positive decay rate: "
@@ -144,10 +151,12 @@ class MiniBatchFramework(JoinFramework):
             combined.merge(self._current_max)
             index = create_batch_index(self.index_name, self.threshold,
                                        stats=self.stats, max_vector=combined,
-                                       backend=self.backend)
+                                       backend=self.backend,
+                                       approx=self.approx)
         else:
             index = create_batch_index(self.index_name, self.threshold,
-                                       stats=self.stats, backend=self.backend)
+                                       stats=self.stats, backend=self.backend,
+                                       approx=self.approx)
         return index
 
     def _report_window_pairs(self, index: BatchIndex,

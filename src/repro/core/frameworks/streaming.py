@@ -24,12 +24,13 @@ class StreamingFramework(JoinFramework):
 
     def __init__(self, threshold: float, decay: float, *,
                  index: str = "L2", stats: JoinStatistics | None = None,
-                 backend: str | None = None) -> None:
+                 backend: str | None = None,
+                 approx: str | None = None) -> None:
         super().__init__(threshold, decay, index=index, stats=stats,
-                         backend=backend)
+                         backend=backend, approx=approx)
         self._index: StreamingIndex = create_streaming_index(
             self.index_name, self.threshold, self.decay, stats=self.stats,
-            backend=backend,
+            backend=backend, approx=self.approx,
         )
 
     @property

@@ -68,7 +68,8 @@ def create_join(algorithm: str, threshold: float, decay: float, *,
                 stats: JoinStatistics | None = None,
                 backend: str | None = None,
                 workers: int | None = None,
-                shard_executor: str = "process") -> JoinFramework:
+                shard_executor: str = "process",
+                approx: str | None = None) -> JoinFramework:
     """Instantiate a join framework from an algorithm string.
 
     ``algorithm`` combines a framework and an index name, separated by a
@@ -84,8 +85,19 @@ def create_join(algorithm: str, threshold: float, decay: float, *,
     returned join owns worker processes, so ``close()`` it (or use it as a
     context manager).  ``shard_executor`` picks ``"process"`` or
     ``"serial"`` shard execution.
+
+    ``approx`` opts into the approximate sketch-prefilter tier
+    (:mod:`repro.approx`): a spec string such as ``"minhash"`` or
+    ``"simhash:16x2"`` (or a ready :class:`~repro.approx.ApproxConfig`).
+    Prefix-filter schemes only, incompatible with ``workers``.
     """
     if workers is not None:
+        if approx is not None:
+            from repro.exceptions import InvalidParameterError
+
+            raise InvalidParameterError(
+                "approx mode is not supported by the sharded engine; "
+                "drop either --approx or --workers")
         from repro.shard import create_sharded_join
 
         return create_sharded_join(algorithm, threshold, decay,
@@ -94,7 +106,7 @@ def create_join(algorithm: str, threshold: float, decay: float, *,
     framework_name, index_name = parse_algorithm(algorithm)
     framework_cls = _FRAMEWORKS[framework_name]
     return framework_cls(threshold, decay, index=index_name, stats=stats,
-                         backend=backend)
+                         backend=backend, approx=approx)
 
 
 def streaming_self_join(
@@ -105,6 +117,7 @@ def streaming_self_join(
     algorithm: str = "STR-L2",
     stats: JoinStatistics | None = None,
     backend: str | None = None,
+    approx: str | None = None,
 ) -> Iterator[SimilarPair]:
     """Run a streaming similarity self-join over ``stream`` and yield pairs.
 
@@ -113,5 +126,6 @@ def streaming_self_join(
     :class:`StreamingSimilarityJoin` or :class:`MiniBatchSimilarityJoin`
     directly.
     """
-    join = create_join(algorithm, threshold, decay, stats=stats, backend=backend)
+    join = create_join(algorithm, threshold, decay, stats=stats,
+                       backend=backend, approx=approx)
     return join.run(stream)

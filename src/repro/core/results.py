@@ -91,6 +91,7 @@ class JoinStatistics:
     pairs_output: int = 0
     entries_traversed: int = 0
     candidates_generated: int = 0
+    candidates_sketch_pruned: int = 0
     full_similarities: int = 0
     entries_indexed: int = 0
     entries_pruned: int = 0
@@ -108,6 +109,7 @@ class JoinStatistics:
         self.pairs_output += other.pairs_output
         self.entries_traversed += other.entries_traversed
         self.candidates_generated += other.candidates_generated
+        self.candidates_sketch_pruned += other.candidates_sketch_pruned
         self.full_similarities += other.full_similarities
         self.entries_indexed += other.entries_indexed
         self.entries_pruned += other.entries_pruned
@@ -126,6 +128,7 @@ class JoinStatistics:
             "pairs_output": self.pairs_output,
             "entries_traversed": self.entries_traversed,
             "candidates_generated": self.candidates_generated,
+            "candidates_sketch_pruned": self.candidates_sketch_pruned,
             "full_similarities": self.full_similarities,
             "entries_indexed": self.entries_indexed,
             "entries_pruned": self.entries_pruned,

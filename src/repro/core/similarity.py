@@ -107,17 +107,28 @@ class JoinParameters:
         Compute backend for the hot loops (``"python"``, ``"numpy"``, or
         ``None``/``"auto"`` for the fastest available one; see
         :mod:`repro.backends`).
+    approx:
+        Optional approximate-tier spec (:mod:`repro.approx`), e.g.
+        ``"minhash"`` or ``"simhash:16x2"``; normalised to its canonical
+        spec string.  ``None`` keeps the join exact.
     """
 
     threshold: float
     decay: float
     backend: str | None = None
+    approx: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "threshold", validate_threshold(self.threshold))
         object.__setattr__(self, "decay", validate_decay(self.decay))
         if self.backend is not None:
             object.__setattr__(self, "backend", str(self.backend).lower())
+        if self.approx is not None:
+            from repro.approx import parse_approx
+
+            config = parse_approx(self.approx)
+            object.__setattr__(self, "approx",
+                               config.spec() if config is not None else None)
 
     @property
     def horizon(self) -> float:
@@ -126,11 +137,12 @@ class JoinParameters:
 
     @classmethod
     def from_horizon(cls, threshold: float, horizon: float, *,
-                     backend: str | None = None) -> "JoinParameters":
+                     backend: str | None = None,
+                     approx: str | None = None) -> "JoinParameters":
         """Build parameters from ``(θ, τ)`` following the paper's methodology."""
         return cls(threshold=threshold,
                    decay=decay_for_horizon(threshold, horizon),
-                   backend=backend)
+                   backend=backend, approx=approx)
 
     def create_join(self, algorithm: str = "STR-L2", *, stats=None):
         """Instantiate a join framework configured with these parameters.
@@ -141,7 +153,8 @@ class JoinParameters:
         from repro.core.join import create_join
 
         return create_join(algorithm, self.threshold, self.decay,
-                           stats=stats, backend=self.backend)
+                           stats=stats, backend=self.backend,
+                           approx=self.approx)
 
     def similarity(self, x: SparseVector, y: SparseVector) -> float:
         """Time-dependent similarity of two vectors under these parameters."""

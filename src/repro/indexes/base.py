@@ -58,10 +58,12 @@ class BatchIndex(ABC):
     name: str = "abstract"
 
     def __init__(self, threshold: float, *, stats: JoinStatistics | None = None,
-                 backend: str | SimilarityKernel | None = None) -> None:
+                 backend: str | SimilarityKernel | None = None,
+                 approx=None) -> None:
         self.threshold = validate_threshold(threshold)
         self.stats = stats if stats is not None else JoinStatistics()
         self.kernel = resolve_kernel(backend)
+        self.approx = _configure_approx(self.kernel, approx)
 
     @property
     def backend_name(self) -> str:
@@ -128,11 +130,13 @@ class StreamingIndex(ABC):
 
     def __init__(self, threshold: float, decay: float, *,
                  stats: JoinStatistics | None = None,
-                 backend: str | SimilarityKernel | None = None) -> None:
+                 backend: str | SimilarityKernel | None = None,
+                 approx=None) -> None:
         self.threshold = validate_threshold(threshold)
         self.decay = validate_decay(decay)
         self.stats = stats if stats is not None else JoinStatistics()
         self.kernel = resolve_kernel(backend)
+        self.approx = _configure_approx(self.kernel, approx)
 
     @property
     def backend_name(self) -> str:
@@ -147,6 +151,24 @@ class StreamingIndex(ABC):
     @abstractmethod
     def size(self) -> int:
         """Number of postings currently stored."""
+
+
+def _configure_approx(kernel: SimilarityKernel, approx):
+    """Parse an approx spec and enable the kernel's sketch prefilter.
+
+    Accepts anything :func:`repro.approx.parse_approx` does (a spec string
+    or a ready :class:`~repro.approx.ApproxConfig`); returns the parsed
+    config, or ``None`` when approximation is off.  Must run before the
+    first vector is indexed, hence its place in the index constructors.
+    """
+    if approx is None:
+        return None
+    from repro.approx import parse_approx
+
+    config = parse_approx(approx)
+    if config is not None:
+        kernel.configure_approx(config)
+    return config
 
 
 # --------------------------------------------------------------------------

@@ -18,6 +18,7 @@ from repro.backends import CandidateSet, SimilarityKernel
 from repro.core.results import JoinStatistics, SimilarPair
 from repro.core.similarity import time_horizon
 from repro.core.vector import SparseVector
+from repro.exceptions import InvalidParameterError
 from repro.indexes.base import (
     BatchIndex,
     StreamingIndex,
@@ -36,7 +37,13 @@ class InvertedBatchIndex(BatchIndex):
     name = "INV"
 
     def __init__(self, threshold: float, *, stats: JoinStatistics | None = None,
-                 backend: str | SimilarityKernel | None = None) -> None:
+                 backend: str | SimilarityKernel | None = None,
+                 approx=None) -> None:
+        if approx is not None:
+            raise InvalidParameterError(
+                "the INV schemes accumulate exact dot products during the "
+                "scan and have no prefilter stage; approx mode requires a "
+                "prefix-filter scheme (AP, L2, L2AP)")
         super().__init__(threshold, stats=stats, backend=backend)
         self._index = InvertedIndex(self.kernel.new_posting_list)
         self._vectors: dict[int, SparseVector] = {}
@@ -82,7 +89,13 @@ class InvertedStreamingIndex(StreamingIndex):
 
     def __init__(self, threshold: float, decay: float, *,
                  stats: JoinStatistics | None = None,
-                 backend: str | SimilarityKernel | None = None) -> None:
+                 backend: str | SimilarityKernel | None = None,
+                 approx=None) -> None:
+        if approx is not None:
+            raise InvalidParameterError(
+                "the INV schemes accumulate exact dot products during the "
+                "scan and have no prefilter stage; approx mode requires a "
+                "prefix-filter scheme (AP, L2, L2AP)")
         super().__init__(threshold, decay, stats=stats, backend=backend)
         self.horizon = time_horizon(threshold, decay)
         self._index = self._make_index()

@@ -72,8 +72,10 @@ class PrefixFilterBatchIndex(BatchIndex):
 
     def __init__(self, threshold: float, *, stats: JoinStatistics | None = None,
                  max_vector: MaxVector | None = None,
-                 backend: str | SimilarityKernel | None = None) -> None:
-        super().__init__(threshold, stats=stats, backend=backend)
+                 backend: str | SimilarityKernel | None = None,
+                 approx=None) -> None:
+        super().__init__(threshold, stats=stats, backend=backend,
+                         approx=approx)
         self._index = InvertedIndex(self.kernel.new_posting_list)
         self._residual = ResidualIndex()
         self._size_filter = self.kernel.new_size_filter()
@@ -154,6 +156,8 @@ class PrefixFilterBatchIndex(BatchIndex):
 
         candidates = accumulator.finalize()
         stats.candidates_generated += len(candidates)
+        stats.candidates_sketch_pruned += getattr(accumulator,
+                                                  "sketch_pruned", 0)
         return candidates
 
     # -- CV ---------------------------------------------------------------------
@@ -181,8 +185,10 @@ class PrefixFilterStreamingIndex(StreamingIndex):
 
     def __init__(self, threshold: float, decay: float, *,
                  stats: JoinStatistics | None = None,
-                 backend: str | SimilarityKernel | None = None) -> None:
-        super().__init__(threshold, decay, stats=stats, backend=backend)
+                 backend: str | SimilarityKernel | None = None,
+                 approx=None) -> None:
+        super().__init__(threshold, decay, stats=stats, backend=backend,
+                         approx=approx)
         if decay <= 0:
             raise InvalidParameterError(
                 "the streaming indexes require a strictly positive decay rate; "
@@ -310,6 +316,8 @@ class PrefixFilterStreamingIndex(StreamingIndex):
 
         candidates = accumulator.finalize()
         stats.candidates_generated += len(candidates)
+        stats.candidates_sketch_pruned += getattr(accumulator,
+                                                  "sketch_pruned", 0)
         return candidates
 
     # -- CV (Algorithm 8) ---------------------------------------------------------

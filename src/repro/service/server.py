@@ -129,6 +129,7 @@ class JoinService:
             workers=(int(request["workers"])
                      if request.get("workers") is not None else None),
             shard_executor=str(request.get("shard_executor", "serial")),
+            approx=request.get("approx"),
             queue_max=int(request.get("queue_max", 4096)),
             batch_max_items=int(request.get("batch_max_items", 128)),
             batch_max_delay=float(request.get("batch_max_delay_ms", 50.0)) / 1e3,

@@ -87,6 +87,7 @@ class SessionConfig:
     backend: str | None = None
     workers: int | None = None
     shard_executor: str = "serial"
+    approx: str | None = None
     queue_max: int = 4096
     batch_max_items: int = 128
     batch_max_delay: float = 0.05
@@ -152,7 +153,7 @@ class JoinSession:
         self.join = _join if _join is not None else create_join(
             config.algorithm, config.threshold, config.decay,
             backend=config.backend, workers=config.workers,
-            shard_executor=config.shard_executor)
+            shard_executor=config.shard_executor, approx=config.approx)
         self.results = MemorySink(capacity=config.results_capacity)
         self.sinks: list[ResultSink] = [self.results, *(sinks or [])]
         self.latency = LatencyStats()
@@ -580,6 +581,8 @@ class JoinSession:
             "decay": self.config.decay,
             "backend": getattr(self.join, "backend_name", self.config.backend),
             "workers": self.config.workers,
+            # Canonical spec from the live join (None on an exact session).
+            "approx": getattr(self.join, "approx", self.config.approx),
             "backpressure": self.config.backpressure,
             "queue_max": self.config.queue_max,
             "queued": queued,

@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.vector import SparseVector
 from repro.datasets.generator import generate_profile_corpus
+from tests.groundtruth import rcv1_truth, tweets_truth  # noqa: F401 - fixtures
 
 
 def make_vector(vector_id: int, timestamp: float, entries: dict[int, float],

@@ -1,0 +1,112 @@
+"""Shared ground-truth harness for the differential test suites.
+
+Several suites (equivalence, shard parity, service determinism, the
+approximate tier) need "the exact answer" for a corpus — either the
+brute-force oracle pair set or a single-process exact engine run to
+compare richer structure (similarities, dots, operation counters)
+against.  Before this module each suite recomputed those from scratch
+per test; the oracle in particular is O(n²) per (θ, λ) setting, so the
+same pair sets were being brute-forced many times over.
+
+This module centralises both:
+
+* :class:`GroundTruth` — a per-corpus memoised brute-force oracle; the
+  session-scoped fixtures below (``tweets_truth``, ``rcv1_truth``) share
+  one instance across every test in the run, so each (θ, λ) setting is
+  brute-forced exactly once per corpus.
+* :func:`engine_pairs` / :func:`engine_pair_map` — one exact engine run
+  with its :class:`~repro.core.results.JoinStatistics`, for suites that
+  compare bitwise against the engine rather than the oracle.
+
+The fixtures are re-exported from ``tests/conftest.py`` so test modules
+use them like any other fixture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import brute_force_time_dependent
+from repro.core.join import streaming_self_join
+from repro.core.results import JoinStatistics, SimilarPair
+
+
+def brute_force_truth(vectors, threshold: float,
+                      decay: float) -> dict[tuple[int, int], SimilarPair]:
+    """The brute-force oracle's pairs for one (θ, λ) setting, keyed by pair."""
+    return {pair.key: pair
+            for pair in brute_force_time_dependent(vectors, threshold, decay)}
+
+
+def engine_pairs(vectors, threshold: float, decay: float, *,
+                 algorithm: str = "STR-L2", backend: str | None = None,
+                 approx: str | None = None,
+                 ) -> tuple[list[SimilarPair], JoinStatistics]:
+    """One single-process engine run: ``(pairs_in_report_order, stats)``.
+
+    The exact run (``approx=None``) is the reference side of every
+    differential test; the same helper also drives the approximate side
+    so both runs are configured identically except for the tier under
+    test.
+    """
+    stats = JoinStatistics()
+    pairs = list(streaming_self_join(vectors, threshold, decay,
+                                     algorithm=algorithm, backend=backend,
+                                     stats=stats, approx=approx))
+    return pairs, stats
+
+
+def engine_pair_map(vectors, threshold: float, decay: float, *,
+                    algorithm: str = "STR-L2", backend: str | None = None,
+                    approx: str | None = None,
+                    ) -> tuple[dict[tuple[int, int], SimilarPair], JoinStatistics]:
+    """Like :func:`engine_pairs` but keyed by pair for order-free comparison."""
+    pairs, stats = engine_pairs(vectors, threshold, decay,
+                                algorithm=algorithm, backend=backend,
+                                approx=approx)
+    return {pair.key: pair for pair in pairs}, stats
+
+
+def counters_without_time(stats_dict: dict) -> dict:
+    """Drop the wall-clock entry so counter dicts compare deterministically."""
+    return {key: value for key, value in stats_dict.items()
+            if key != "elapsed_seconds"}
+
+
+class GroundTruth:
+    """Memoised brute-force oracle over one corpus.
+
+    One instance per corpus, shared session-wide: the O(n²) oracle runs
+    once per distinct (θ, λ) setting no matter how many tests ask.
+    """
+
+    def __init__(self, vectors) -> None:
+        self.vectors = vectors
+        self._cache: dict[tuple[float, float],
+                          dict[tuple[int, int], SimilarPair]] = {}
+
+    def pairs(self, threshold: float,
+              decay: float) -> dict[tuple[int, int], SimilarPair]:
+        """The oracle's pairs for (θ, λ), keyed by pair key."""
+        setting = (threshold, decay)
+        cached = self._cache.get(setting)
+        if cached is None:
+            cached = brute_force_truth(self.vectors, threshold, decay)
+            self._cache[setting] = cached
+        return cached
+
+    def keys(self, threshold: float, decay: float) -> set[tuple[int, int]]:
+        """The oracle's pair-key set for (θ, λ)."""
+        return set(self.pairs(threshold, decay))
+
+
+@pytest.fixture(scope="session")
+def tweets_truth(tweets_corpus) -> GroundTruth:
+    """Session-wide memoised oracle over the shared tweets corpus."""
+    return GroundTruth(tweets_corpus)
+
+
+@pytest.fixture(scope="session")
+def rcv1_truth(rcv1_corpus) -> GroundTruth:
+    """Session-wide memoised oracle over the shared rcv1 corpus."""
+    return GroundTruth(rcv1_corpus)

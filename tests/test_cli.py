@@ -40,6 +40,18 @@ class TestParser:
         drain = parser.parse_args(["drain", "--session", "s"])
         assert drain.session == "s"
 
+    def test_approx_flags_parse_on_run_profile_and_ingest(self):
+        parser = build_parser()
+        for base in (["run", "--profile", "tweets"],
+                     ["profile", "--profile", "tweets"],
+                     ["ingest", "--session", "s", "--profile", "tweets"]):
+            args = parser.parse_args(base + ["--approx", "minhash",
+                                             "--approx-bands", "8",
+                                             "--approx-rows", "4"])
+            assert args.approx == "minhash"
+            assert args.approx_bands == 8
+            assert args.approx_rows == 4
+
     def test_client_commands_require_a_session(self):
         for command in ("ingest", "results", "drain"):
             with pytest.raises(SystemExit):
@@ -145,6 +157,66 @@ class TestCommands:
                      "--num-vectors", "10", "--algorithm", "MB-L2",
                      "--workers", "2"]) == 2
         assert "STR framework only" in capsys.readouterr().err
+
+    def test_run_with_approx_carries_the_spec_in_the_label(self, capsys):
+        assert main(["run", "--profile", "tweets", "--num-vectors", "80",
+                     "--algorithm", "STR-L2AP", "--theta", "0.6",
+                     "--decay", "0.05", "--approx", "minhash",
+                     "--approx-bands", "8"]) == 0
+        assert "STR-L2AP~minhash:8x2" in capsys.readouterr().out
+
+    def test_profile_with_approx_reports_sketch_rejections(self, capsys):
+        assert main(["profile", "--profile", "tweets", "--num-vectors", "60",
+                     "--algorithm", "STR-L2AP", "--theta", "0.6",
+                     "--decay", "0.05", "--approx", "minhash"]) == 0
+        assert "candidates_sketch_pruned" in capsys.readouterr().out
+
+    def test_run_rejects_approx_for_inv_algorithms(self, capsys):
+        assert main(["run", "--profile", "tweets", "--num-vectors", "10",
+                     "--algorithm", "STR-INV", "--approx", "minhash"]) == 2
+        err = capsys.readouterr().err
+        assert "prefix-filter" in err
+        assert "STR-INV" in err
+
+    def test_run_rejects_approx_with_workers(self, capsys):
+        assert main(["run", "--profile", "tweets", "--num-vectors", "10",
+                     "--algorithm", "STR-L2AP", "--approx", "minhash",
+                     "--workers", "2"]) == 2
+        assert "sharded engine" in capsys.readouterr().err
+
+    def test_run_rejects_geometry_flags_without_a_method(self, capsys):
+        assert main(["run", "--profile", "tweets", "--num-vectors", "10",
+                     "--approx-bands", "8"]) == 2
+        assert "--approx" in capsys.readouterr().err
+
+    def test_run_rejects_oversized_signatures(self, capsys):
+        assert main(["run", "--profile", "tweets", "--num-vectors", "10",
+                     "--approx", "minhash", "--approx-bands", "64",
+                     "--approx-rows", "8"]) == 2
+        assert "signature too long" in capsys.readouterr().err
+
+    def test_run_rejects_unknown_approx_methods(self, capsys):
+        assert main(["run", "--profile", "tweets", "--num-vectors", "10",
+                     "--approx", "bogus"]) == 2
+        assert "unknown approx method" in capsys.readouterr().err
+
+    def test_malformed_approx_env_fails_cleanly(self, capsys, monkeypatch):
+        monkeypatch.setenv("SSSJ_APPROX", "minhash:axb")
+        assert main(["run", "--profile", "tweets", "--num-vectors", "10"]) == 2
+        assert "SSSJ_APPROX" in capsys.readouterr().err
+
+    def test_approx_env_enables_the_tier(self, capsys, monkeypatch):
+        monkeypatch.setenv("SSSJ_APPROX", "minhash:8x2")
+        assert main(["run", "--profile", "tweets", "--num-vectors", "60",
+                     "--algorithm", "STR-L2AP", "--theta", "0.6",
+                     "--decay", "0.05"]) == 0
+        assert "~minhash:8x2" in capsys.readouterr().out
+
+    def test_ingest_rejects_approx_for_inv_algorithms(self, capsys):
+        assert main(["ingest", "--session", "s", "--profile", "tweets",
+                     "--num-vectors", "10", "--algorithm", "MB-INV",
+                     "--approx", "minhash"]) == 2
+        assert "prefix-filter" in capsys.readouterr().err
 
     def test_serve_ingest_results_drain_round_trip(self, tmp_path, capsys):
         import threading

@@ -17,8 +17,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.backends import available_backends
-from repro.core.join import create_join, streaming_self_join
-from repro.core.results import JoinStatistics, SimilarPair
+from repro.core.results import SimilarPair
 from repro.core.vector import SparseVector
 from repro.service import (
     BackpressureError,
@@ -43,21 +42,14 @@ from repro.service.protocol import (
     pair_to_wire,
 )
 from tests.conftest import random_vectors
+from tests.groundtruth import counters_without_time, engine_pairs
 
 THETA, DECAY = 0.6, 0.05
 
 
 def expected_pairs(vectors, *, algorithm="STR-L2", backend=None):
-    stats = JoinStatistics()
-    pairs = list(streaming_self_join(vectors, THETA, DECAY,
-                                     algorithm=algorithm, backend=backend,
-                                     stats=stats))
-    return pairs, stats
-
-
-def counters_without_time(stats_dict):
-    return {key: value for key, value in stats_dict.items()
-            if key != "elapsed_seconds"}
+    return engine_pairs(vectors, THETA, DECAY, algorithm=algorithm,
+                        backend=backend)
 
 
 def make_session(name="s", *, vectors_cfg=None, **overrides) -> JoinSession:
@@ -129,6 +121,54 @@ class TestSinks:
         assert first_retained == 7
         assert cursor == 10
         assert [p.id_a for p in page] == [7, 8, 9]
+
+    def test_memory_sink_overflow_mid_cursor_reports_the_gap(self):
+        # A reader paginates partway, then the retention window slides
+        # past its cursor: the next read must surface the gap through
+        # first_retained (and start at the oldest retained pair) rather
+        # than silently renumbering or replaying the wrong pairs.
+        sink = MemorySink(capacity=4)
+        first_batch = [SimilarPair.make(i, i + 1, 0.9) for i in range(6)]
+        sink.emit(first_batch)
+        page, cursor, first_retained = sink.read(2, limit=2)
+        assert [p.id_a for p in page] == [2, 3] and cursor == 4
+        assert first_retained == 2  # no gap yet for this reader
+        # 8 more pairs: everything below sequence 10 is evicted, so the
+        # reader's cursor=4 now points into the evicted range.
+        sink.emit([SimilarPair.make(i, i + 1, 0.9) for i in range(6, 14)])
+        page, next_cursor, first_retained = sink.read(cursor)
+        assert first_retained == 10 > cursor  # the gap is explicit
+        assert [p.id_a for p in page] == [10, 11, 12, 13]
+        assert next_cursor == 14
+        # A cursor inside the retained window still reads gap-free.
+        page, _, first_retained = sink.read(11)
+        assert first_retained == 10 <= 11
+        assert [p.id_a for p in page] == [11, 12, 13]
+
+    def test_jsonl_sink_rolls_back_a_partial_line_after_the_token(self, tmp_path):
+        # Crash scenario: the checkpoint token was taken, more pairs were
+        # written, and the crash tore the final line in half.  The token's
+        # offset lands mid-file (before the torn tail); restore must
+        # truncate everything after it — whole lines and the torn
+        # fragment alike — leaving a file that parses cleanly.
+        path = tmp_path / "pairs.jsonl"
+        sink = JsonlSink(path)
+        durable = [SimilarPair.make(0, 1, 0.9), SimilarPair.make(1, 2, 0.8)]
+        sink.emit(durable)
+        token = sink.position()
+        sink.emit([SimilarPair.make(2, 3, 0.7)])
+        sink.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"sim": 0.6, "torn')  # no newline: a torn write
+        assert path.stat().st_size > token["offset"]
+        reopened = JsonlSink(path)
+        reopened.restore(token)
+        assert read_jsonl_pairs(path) == durable  # torn tail is gone
+        assert reopened.position() == token
+        reopened.emit([SimilarPair.make(9, 10, 0.95)])
+        pairs = read_jsonl_pairs(path)  # every line parses again
+        assert pairs[:2] == durable and pairs[2].id_a == 9
+        reopened.close()
 
     def test_jsonl_sink_appends_and_restores_to_offset(self, tmp_path):
         path = tmp_path / "pairs.jsonl"

@@ -24,14 +24,16 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import SparseVector, available_backends, create_join
+from repro import SparseVector, available_backends
 from repro.core.results import JoinStatistics, ShardCounters, merge_shard_counters
 from repro.shard.plan import ShardPlan, plan_report
+from tests.groundtruth import engine_pair_map
 
 pytestmark = pytest.mark.skipif("numpy" not in available_backends(),
                                 reason="NumPy backend unavailable")
 
-PARITY_COUNTERS = ("candidates_generated", "full_similarities",
+PARITY_COUNTERS = ("candidates_generated", "candidates_sketch_pruned",
+                   "full_similarities",
                    "entries_traversed", "entries_pruned", "entries_indexed",
                    "residual_entries", "reindexings", "reindexed_entries",
                    "pairs_output", "max_index_size", "max_residual_size")
@@ -40,11 +42,8 @@ WORKER_COUNTS = (1, 2, 4)
 
 
 def run_single_process(algorithm, vectors, threshold, decay):
-    stats = JoinStatistics()
-    join = create_join(algorithm, threshold, decay, stats=stats,
-                       backend="numpy")
-    pairs = {pair.key: pair for pair in join.run(vectors)}
-    return pairs, stats
+    return engine_pair_map(vectors, threshold, decay, algorithm=algorithm,
+                           backend="numpy")
 
 
 def run_sharded(algorithm, vectors, threshold, decay, workers,
