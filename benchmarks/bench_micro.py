@@ -56,6 +56,14 @@ artifact against ``benchmarks/BENCH_baseline.json`` in CI:
     direct run, sustained ingest throughput ≥ 0.8× the direct engine at
     full size, and records the p50/p95/p99 enqueue-to-processed ingest
     latency in the ``service_ingest`` record of ``BENCH_micro.json``.
+``test_chaos_recovery_gate``
+    The chaos gate: the STR workload through the 2-worker multiprocess
+    engine under a fault plan that SIGKILLs both workers at different
+    sites (one mid-scan from inside the child, one from the coordinator).
+    Asserts both deaths are healed by respawn + deterministic replay with
+    bitwise pair/counter parity against the fault-free run, that recovery
+    latency stays bounded, and records both in the ``chaos_recovery``
+    record of ``BENCH_micro.json``.
 
 Environment knobs (used by the CI smoke job):
 
@@ -69,6 +77,8 @@ Environment knobs (used by the CI smoke job):
     Override the service gate's stream length (default 4 000).
 ``SSSJ_BENCH_VECTORS_APPROX``
     Override the approx recall gate's stream length (default 10 000).
+``SSSJ_BENCH_VECTORS_CHAOS``
+    Override the chaos gate's stream length (default 2 000).
 ``SSSJ_BENCH_SHARD_WORKERS``
     Worker counts of the sharded gate, comma-separated (default "1,2,4").
 ``SSSJ_BENCH_OUTPUT``
@@ -99,6 +109,7 @@ GATE_VECTORS_INV = int(os.environ.get("SSSJ_BENCH_VECTORS_INV", "3000"))
 GATE_VECTORS_LARGE = int(os.environ.get("SSSJ_BENCH_VECTORS_LARGE", "50000"))
 GATE_VECTORS_SERVICE = int(os.environ.get("SSSJ_BENCH_VECTORS_SERVICE", "4000"))
 GATE_VECTORS_APPROX = int(os.environ.get("SSSJ_BENCH_VECTORS_APPROX", "10000"))
+GATE_VECTORS_CHAOS = int(os.environ.get("SSSJ_BENCH_VECTORS_CHAOS", "2000"))
 GATE_OUTPUT = Path(os.environ.get(
     "SSSJ_BENCH_OUTPUT",
     Path(__file__).resolve().parent.parent / "BENCH_micro.json"))
@@ -599,3 +610,94 @@ def test_l2ap_streaming_scaling_50k(benchmark):
     if count >= _HORIZON_VECTORS:
         # The stream outlived the horizon: expiry must be visible.
         assert stats.entries_pruned > 0
+
+
+def _chaos_run(vectors, threshold, decay, fault_plan, workers):
+    """One sharded run under a fault plan, collecting the emitted pairs."""
+    from repro.shard import create_sharded_join
+
+    stats = JoinStatistics()
+    pairs = []
+    with create_sharded_join("STR-L2AP", threshold, decay, workers=workers,
+                             stats=stats, backend="numpy",
+                             executor="process",
+                             fault_plan=fault_plan) as join:
+        start = time.perf_counter()
+        for vector in vectors:
+            pairs.extend(join.process(vector))
+        pairs.extend(join.flush())
+        elapsed = time.perf_counter() - start
+        events = list(join.recovery_events)
+        degraded = join.degraded
+    return elapsed, stats, {(p.id_a, p.id_b) for p in pairs}, events, degraded
+
+
+@pytest.mark.skipif("numpy" not in BACKENDS, reason="NumPy backend unavailable")
+def test_chaos_recovery_gate(benchmark):
+    """Chaos gate: kill real shard workers mid-run, demand bitwise parity.
+
+    The STR workload runs through the 2-worker multiprocess engine under
+    a fault plan that SIGKILLs one worker mid-scan (all step work done,
+    reply lost) and the other from the coordinator side later on.  Both
+    deaths must be healed by respawn + deterministic replay, the final
+    pairs and operation counters must equal the fault-free single-process
+    run bit for bit, and each recovery must complete within the bounded
+    deadline.  Recovery latency and respawn counts land in the
+    ``chaos_recovery`` record of ``BENCH_micro.json``.
+    """
+    threshold, decay = 0.6, 2e-5
+    vectors = generate_profile_corpus("hashtags",
+                                      num_vectors=GATE_VECTORS_CHAOS, seed=7)
+    count = len(vectors)
+    fault_plan = (f"exit-in-scan:shard=0,after={max(1, count // 4)};"
+                  f"kill-worker:shard=1,after={max(2, count // 2)}")
+
+    def run_both():
+        exact_elapsed, exact_stats, exact_pairs = _paired_run(
+            vectors, threshold, decay)
+        chaos = _chaos_run(vectors, threshold, decay, fault_plan, workers=2)
+        return exact_elapsed, exact_stats, exact_pairs, chaos
+
+    (exact_elapsed, exact_stats, exact_pairs,
+     (chaos_elapsed, chaos_stats, chaos_pairs, events,
+      degraded)) = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    recovery_latency = max((event["latency_s"] for event in events),
+                           default=0.0)
+    print(f"\nchaos recovery (hashtags, {count} vectors, 2 workers, "
+          f"plan {fault_plan!r}): exact {exact_elapsed:.1f}s, chaos "
+          f"{chaos_elapsed:.1f}s, {len(events)} recoveries, worst "
+          f"recovery {recovery_latency * 1000:.0f} ms, degraded={degraded}")
+
+    chaos_record = _backend_record(chaos_elapsed, chaos_stats, count)
+    chaos_record["recoveries"] = [
+        {key: event[key] for key in ("kind", "shard", "attempt",
+                                     "replayed_steps", "latency_s")
+         if key in event}
+        for event in events]
+    artifact = write_bench_micro(
+        GATE_OUTPUT,
+        benchmark="chaos_recovery",
+        config={"profile": "hashtags", "num_vectors": count, "seed": 7,
+                "algorithm": "STR-L2AP", "threshold": threshold,
+                "decay": decay, "workers": 2, "fault_plan": fault_plan},
+        backends={
+            "numpy_exact": _backend_record(exact_elapsed, exact_stats, count),
+            "numpy_chaos": chaos_record,
+        },
+        derived={"recovery_latency_s": recovery_latency,
+                 "respawns": len(events),
+                 "degraded": degraded,
+                 "bitwise_parity": chaos_pairs == exact_pairs},
+    )
+    print(f"benchmark artifact written to {artifact}")
+
+    # Both injected deaths healed by respawn, not degradation.
+    assert not degraded
+    assert [event["kind"] for event in events] == ["respawn", "respawn"]
+    # Chaos changes nothing observable: same pairs, same counters.
+    assert chaos_pairs == exact_pairs
+    _assert_counter_parity(chaos_stats, exact_stats)
+    # Recovery is bounded: replay of up to the full history must come in
+    # far under the 10s per-call deadline ceiling.
+    assert recovery_latency < 10.0

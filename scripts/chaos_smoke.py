@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Chaos smoke test: a real served sharded session under injected faults.
+
+Run by the CI ``chaos-smoke`` step (and runnable locally):
+
+    PYTHONPATH=src python scripts/chaos_smoke.py
+
+The script:
+
+1. generates a small ``hashtags`` stream and computes the expected pairs
+   with the direct single-process engine;
+2. starts ``sssj serve`` as a real subprocess with a fault plan that
+   SIGKILLs one shard worker mid-run AND severs the client connection
+   after an ingest is applied but before its ack is written;
+3. opens a 2-worker sharded (multiprocess) session and ingests the
+   stream in small chunks — the client must transparently reconnect,
+   the resent chunk must be deduplicated by sequence numbers, and the
+   killed worker must be respawned and replayed by the coordinator;
+4. drains and asserts the streamed pairs are bitwise identical to the
+   direct run — chaos must change nothing observable;
+5. shuts down and checks the fault-event log (the CI artifact) recorded
+   the kill, the sever, and the recovery.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.core.join import streaming_self_join  # noqa: E402
+from repro.datasets.io import read_vectors, write_vectors  # noqa: E402
+from repro.datasets.generator import generate_profile_corpus  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+NUM_VECTORS = int(os.environ.get("SSSJ_SMOKE_VECTORS", "300"))
+THETA, DECAY = 0.6, 0.0001
+ALGORITHM = "STR-L2AP"
+FAULT_PLAN = "kill-worker:shard=1,after=40;sever-client:after=2"
+
+
+def start_server(fault_log: Path) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--fault-plan", FAULT_PLAN, "--fault-log", str(fault_log)],
+        stdout=subprocess.PIPE, text=True, env=env)
+    deadline = time.monotonic() + 30
+    while True:
+        line = process.stdout.readline()
+        if line:
+            print(f"  [serve] {line.rstrip()}")
+        if "listening on" in line:
+            return process, int(line.strip().rsplit(":", 1)[1])
+        if process.poll() is not None or time.monotonic() > deadline:
+            raise RuntimeError("server failed to start")
+
+
+def main() -> int:
+    import json
+
+    workdir = Path(tempfile.mkdtemp(prefix="sssj-chaos-"))
+    # CI points this at the workspace so the log survives as an artifact.
+    fault_log = Path(os.environ.get("SSSJ_CHAOS_FAULT_LOG",
+                                    workdir / "fault_events.jsonl")).resolve()
+    dataset = workdir / "stream.txt"
+    vectors = generate_profile_corpus("hashtags", num_vectors=NUM_VECTORS,
+                                      seed=7)
+    write_vectors(dataset, vectors)
+    file_vectors = list(read_vectors(dataset))
+    expected = list(streaming_self_join(file_vectors, THETA, DECAY,
+                                        algorithm=ALGORITHM))
+    print(f"stream: {NUM_VECTORS} hashtags vectors, expected "
+          f"{len(expected)} pairs ({ALGORITHM}, θ={THETA}, λ={DECAY})")
+    print(f"fault plan: {FAULT_PLAN}")
+
+    print("\n[1] sharded session under chaos must match the direct engine")
+    server, port = start_server(fault_log)
+    try:
+        start = time.monotonic()
+        with ServiceClient(port=port, backoff_base=0.02) as client:
+            client.open_session("chaos", theta=THETA, decay=DECAY,
+                                algorithm=ALGORITHM, workers=2,
+                                shard_executor="process", normalize=False,
+                                results_capacity=max(65536, 4 * len(expected)))
+            totals = client.ingest("chaos", file_vectors, chunk_size=50)
+            summary = client.drain("chaos")
+            pairs = list(client.iter_results("chaos"))
+            stats = client.stats("chaos")["sessions"]["chaos"]
+            reconnects = client.reconnects
+            client.shutdown()
+        elapsed = time.monotonic() - start
+        server.wait(timeout=30)
+
+        assert summary["processed"] == NUM_VECTORS, summary
+        assert reconnects >= 1, "the sever never forced a reconnect"
+        assert totals["deduped"] > 0, (
+            f"the resent chunk was not deduplicated: {totals}")
+        assert pairs == expected, (
+            f"chaos run streamed {len(pairs)} pairs, direct engine produced "
+            f"{len(expected)} — the determinism contract is broken")
+        print(f"  OK: {len(pairs)} pairs bitwise identical to the direct "
+              f"run after 1 worker kill + 1 severed connection "
+              f"({elapsed:.1f}s; client reconnects={reconnects}, "
+              f"deduped={totals['deduped']})")
+        print(f"  session stats: deduped={stats.get('deduped')}, "
+              f"ingest_seq={stats.get('ingest_seq')}")
+    except BaseException:
+        server.kill()
+        raise
+
+    print("\n[2] the fault-event log must record the injected chaos")
+    events = [json.loads(line)
+              for line in fault_log.read_text().splitlines()]
+    kinds = [event["kind"] for event in events]
+    print(f"  fault log ({fault_log}): {kinds}")
+    assert "kill-worker" in kinds, "worker kill was never injected"
+    assert "sever-client" in kinds, "client sever was never injected"
+    assert "recovered" in kinds, "the killed worker was never recovered"
+    recovery = next(event for event in events if event["kind"] == "recovered")
+    print(f"  OK: worker {recovery['shard']} recovered in "
+          f"{recovery['latency_s'] * 1000:.0f} ms "
+          f"(replayed {recovery['replayed_steps']} steps)")
+
+    print("\nchaos smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

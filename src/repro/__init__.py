@@ -96,10 +96,12 @@ from repro.exceptions import (
     InvalidParameterError,
     InvalidVectorError,
     SSSJError,
+    ShardWorkerError,
     StreamOrderError,
     UnknownAlgorithmError,
     UnknownBackendError,
 )
+from repro.faults import FaultEvent, FaultInjector, FaultPlan, parse_fault_plan
 from repro.indexes import (
     DimensionOrdering,
     available_batch_indexes,
@@ -164,6 +166,11 @@ __all__ = [
     "ShardPlan",
     "ShardedStreamingJoin",
     "create_sharded_join",
+    # fault injection (chaos testing)
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "parse_fault_plan",
     # streaming join service
     "JoinSession",
     "SessionConfig",
@@ -211,4 +218,5 @@ __all__ = [
     "UnknownBackendError",
     "DatasetFormatError",
     "BudgetExceededError",
+    "ShardWorkerError",
 ]

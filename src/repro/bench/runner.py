@@ -62,6 +62,7 @@ def run_algorithm(
     workers: int | None = None,
     shard_executor: str = "process",
     approx: str | None = None,
+    fault_plan=None,
 ) -> RunMetrics:
     """Run one algorithm configuration over ``vectors`` and measure it.
 
@@ -78,6 +79,9 @@ def run_algorithm(
     approximate prefilter tier (:mod:`repro.approx`); the canonical spec
     is appended to the label (``"STR-L2AP[numpy]~minhash:16x2"``) so
     exact and approximate rows are never confused in a table.
+    ``fault_plan`` injects worker faults into the sharded engine
+    (:mod:`repro.faults`) — chaos runs must still produce bitwise-exact
+    results, which is precisely what the chaos gate checks.
 
     Per-item ``process()`` latency is recorded into ``metrics.latency``,
     so ``metrics.latency_row()`` yields the same p50/p95/p99 summary the
@@ -86,7 +90,8 @@ def run_algorithm(
     stats = JoinStatistics()
     join = create_join(algorithm, threshold, decay, stats=stats,
                        backend=backend, workers=workers,
-                       shard_executor=shard_executor, approx=approx)
+                       shard_executor=shard_executor, approx=approx,
+                       fault_plan=fault_plan)
     if workers is not None:
         label = f"{algorithm}[{join.backend_name}x{workers}]"
     elif backend is None:

@@ -78,6 +78,18 @@ def _add_approx_args(sub: argparse.ArgumentParser) -> None:
                      help="override the signature rows per band (with --approx)")
 
 
+def _add_fault_args(sub: argparse.ArgumentParser) -> None:
+    """The fault-injection flags shared by ``run`` and ``serve``."""
+    sub.add_argument("--fault-plan", default=None, metavar="SPEC",
+                     help="inject faults for chaos testing: a ';'-separated "
+                          "list of events like 'kill-worker:shard=1,after=40' "
+                          "or 'sever-client:after=2' (default: "
+                          "$SSSJ_FAULT_PLAN, else no faults)")
+    sub.add_argument("--fault-log", default=None, metavar="PATH",
+                     help="write the injected/observed fault events as JSON "
+                          "lines to PATH (with --fault-plan)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``sssj`` command."""
     parser = argparse.ArgumentParser(
@@ -127,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "workers (STR only; default: single-process, or "
                           "the SSSJ_WORKERS environment variable)")
     _add_approx_args(run)
+    _add_fault_args(run)
     run.add_argument("--shard-executor", default="process",
                      choices=["process", "serial"],
                      help="sharded execution mode: one process per shard, "
@@ -200,6 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--checkpoint-seconds", type=float, default=None,
                        metavar="S",
                        help="also checkpoint every S seconds of wall clock")
+    serve.add_argument("--read-timeout", type=float, default=30.0, metavar="S",
+                       help="per-connection socket read deadline in seconds; "
+                            "idle or wedged clients are disconnected instead "
+                            "of pinning a handler thread (default 30, "
+                            "0 disables)")
+    _add_fault_args(serve)
 
     def add_client_args(sub):
         sub.add_argument("--host", default="127.0.0.1")
@@ -225,6 +244,10 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--workers", type=int, default=None,
                         help="run the session on the sharded engine with N "
                              "workers (STR only)")
+    ingest.add_argument("--shard-executor", default="process",
+                        choices=["process", "serial"],
+                        help="with --workers: one process per shard, or "
+                             "serial in-process shards (default: process)")
     _add_approx_args(ingest)
     ingest.add_argument("--queue-max", type=int, default=4096)
     ingest.add_argument("--batch-max", type=int, default=128,
@@ -436,6 +459,53 @@ def _validate_approx(algorithm: str, approx: str | None,
     return None
 
 
+def _resolve_fault_plan(args: argparse.Namespace):
+    """Resolve the fault plan from ``--fault-plan`` or ``SSSJ_FAULT_PLAN``.
+
+    Returns ``(FaultPlan_or_None, error_or_None)``.  Mirrors
+    :func:`_resolve_approx`: malformed specs fail fast (exit 2 in the
+    callers) before any dataset is loaded or worker spawned, and the
+    environment variable is only consulted by subcommands carrying the
+    flag.
+    """
+    from repro.exceptions import InvalidParameterError
+    from repro.faults import FAULT_PLAN_ENV_VAR, parse_fault_plan
+
+    value = args.fault_plan
+    source = "--fault-plan"
+    if value is None:
+        value = os.environ.get(FAULT_PLAN_ENV_VAR, "").strip() or None
+        source = FAULT_PLAN_ENV_VAR
+    try:
+        plan = parse_fault_plan(value)
+    except InvalidParameterError as error:
+        if source == FAULT_PLAN_ENV_VAR and value is not None:
+            return None, f"{FAULT_PLAN_ENV_VAR}={value!r}: {error}"
+        return None, str(error)
+    if plan is None and args.fault_log is not None:
+        return None, "--fault-log requires --fault-plan (or $SSSJ_FAULT_PLAN)"
+    return plan, None
+
+
+def _validate_fault_plan(plan, workers: int | None) -> str | None:
+    """Why a ``sssj run`` fault plan cannot apply, or ``None`` when it can.
+
+    ``sssj serve`` accepts every event kind (worker faults arm when a
+    session opens with workers; sink/sever faults arm at the service
+    layer), so only the batch command needs this gate.
+    """
+    if plan is None:
+        return None
+    if plan.service_events:
+        kinds = ", ".join(sorted({e.kind for e in plan.service_events}))
+        return (f"fault kind(s) {kinds} target the service layer; use them "
+                "with 'sssj serve', not 'sssj run'")
+    if workers is None:
+        return ("worker fault injection requires the sharded engine; "
+                "add --workers N")
+    return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     workers = args.workers if args.workers is not None else _workers_from_env()
     error = _validate_workers(args.algorithm, workers)
@@ -443,15 +513,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
         approx, error = _resolve_approx(args)
     if error is None:
         error = _validate_approx(args.algorithm, approx, workers)
+    if error is None:
+        fault_plan, error = _resolve_fault_plan(args)
+    if error is None:
+        error = _validate_fault_plan(fault_plan, workers)
     if error is not None:
         print(error, file=sys.stderr)
         return 2
+    injector = None
+    if fault_plan is not None:
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(fault_plan)
     vectors, name = _load_vectors(args)
     metrics = run_algorithm(args.algorithm, vectors, args.theta, args.decay,
                             dataset=str(name), backend=args.backend,
                             workers=workers,
                             shard_executor=args.shard_executor,
-                            approx=approx)
+                            approx=approx, fault_plan=injector)
+    if injector is not None:
+        fired = ", ".join(sorted({e["kind"] for e in injector.log})) or "none"
+        print(f"fault plan {fault_plan.spec()!r}: events fired/observed: "
+              f"{fired}")
+        if args.fault_log:
+            injector.write_log(args.fault_log)
+            print(f"fault event log written to {args.fault_log}")
     print(render_table([metrics.as_row()], title=f"Run: {args.algorithm} on {name}"))
     if args.show_pairs > 0:
         from repro.core.join import create_join
@@ -589,20 +675,32 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import serve
 
+    fault_plan, error = _resolve_fault_plan(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
     server, recovered = serve(
         host=args.host, port=args.port,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every_items=args.checkpoint_every,
         checkpoint_every_seconds=args.checkpoint_seconds,
+        read_timeout=args.read_timeout if args.read_timeout > 0 else None,
+        fault_plan=fault_plan,
     )
     host, port = server.address
     if recovered:
         print(f"recovered sessions from {args.checkpoint_dir}: "
               + ", ".join(recovered), flush=True)
+    if fault_plan is not None:
+        print(f"fault plan armed: {fault_plan.spec()}", flush=True)
     # The scripts that babysit the server (CI smoke, examples) parse this
     # line for the resolved port, so keep its shape stable.
     print(f"sssj service listening on {host}:{port}", flush=True)
     server.serve_until_shutdown()
+    injector = server.service.fault_injector
+    if injector is not None and args.fault_log:
+        injector.write_log(args.fault_log)
+        print(f"fault event log written to {args.fault_log}", flush=True)
     print("sssj service stopped", flush=True)
     return 0
 
@@ -629,6 +727,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         "algorithm": args.algorithm,
         "backend": args.backend,
         "workers": args.workers,
+        "shard_executor": args.shard_executor,
         "approx": approx,
         "queue_max": args.queue_max,
         "batch_max_items": args.batch_max,

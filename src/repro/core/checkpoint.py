@@ -283,17 +283,30 @@ class PeriodicCheckpointer:
     :func:`save_checkpoint`; the service substitutes a callable that wraps
     the join snapshot in its session envelope.  Both intervals ``None``
     makes :meth:`tick` a no-op (but ``tick(force=True)`` still writes).
+
+    Periodic ticks tolerate transient write failures (a full disk, an
+    NFS hiccup): the error is swallowed, counted in
+    ``checkpoint_failures`` and kept in ``last_error``, and the cadence
+    clock is NOT advanced so the next tick retries immediately.  After
+    ``max_consecutive_failures`` failures in a row the error propagates —
+    a persistently broken checkpoint path must not degrade silently into
+    "no durability at all".  ``tick(force=True)`` always raises on
+    failure: explicit checkpoint requests want the truth.
     """
 
     def __init__(self, join: StreamingFramework, path: str | Path, *,
                  every_vectors: int | None = None,
                  every_seconds: float | None = None,
                  save: Callable[[StreamingFramework, Path], Path] = save_checkpoint,
+                 max_consecutive_failures: int = 5,
                  ) -> None:
         if every_vectors is not None and every_vectors <= 0:
             raise ValueError(f"every_vectors must be positive, got {every_vectors}")
         if every_seconds is not None and every_seconds <= 0:
             raise ValueError(f"every_seconds must be positive, got {every_seconds}")
+        if max_consecutive_failures <= 0:
+            raise ValueError("max_consecutive_failures must be positive, "
+                             f"got {max_consecutive_failures}")
         self.join = join
         self.path = Path(path)
         self.every_vectors = every_vectors
@@ -302,6 +315,10 @@ class PeriodicCheckpointer:
         self._last_count = join.stats.vectors_processed
         self._last_time = time.monotonic()
         self.checkpoints_written = 0
+        self.max_consecutive_failures = max_consecutive_failures
+        self.checkpoint_failures = 0
+        self._consecutive_failures = 0
+        self.last_error: Exception | None = None
 
     def due(self) -> bool:
         """Whether an interval has elapsed since the last checkpoint."""
@@ -315,11 +332,25 @@ class PeriodicCheckpointer:
         return False
 
     def tick(self, *, force: bool = False) -> Path | None:
-        """Write a checkpoint if one is due (or ``force``); return its path."""
+        """Write a checkpoint if one is due (or ``force``); return its path.
+
+        Returns ``None`` when nothing was due, or when a periodic write
+        failed transiently (see the class docstring for the failure
+        policy).
+        """
         if not force and not self.due():
             return None
-        written = self._save(self.join, self.path)
+        try:
+            written = self._save(self.join, self.path)
+        except Exception as error:
+            self.checkpoint_failures += 1
+            self._consecutive_failures += 1
+            self.last_error = error
+            if force or self._consecutive_failures >= self.max_consecutive_failures:
+                raise
+            return None
         self._last_count = self.join.stats.vectors_processed
         self._last_time = time.monotonic()
         self.checkpoints_written += 1
+        self._consecutive_failures = 0
         return Path(written)

@@ -69,7 +69,8 @@ def create_join(algorithm: str, threshold: float, decay: float, *,
                 backend: str | None = None,
                 workers: int | None = None,
                 shard_executor: str = "process",
-                approx: str | None = None) -> JoinFramework:
+                approx: str | None = None,
+                fault_plan=None) -> JoinFramework:
     """Instantiate a join framework from an algorithm string.
 
     ``algorithm`` combines a framework and an index name, separated by a
@@ -90,6 +91,10 @@ def create_join(algorithm: str, threshold: float, decay: float, *,
     (:mod:`repro.approx`): a spec string such as ``"minhash"`` or
     ``"simhash:16x2"`` (or a ready :class:`~repro.approx.ApproxConfig`).
     Prefix-filter schemes only, incompatible with ``workers``.
+
+    ``fault_plan`` injects worker-process faults into the sharded engine
+    (:mod:`repro.faults`): a spec string, :class:`~repro.faults.FaultPlan`
+    or :class:`~repro.faults.FaultInjector`.  Requires ``workers``.
     """
     if workers is not None:
         if approx is not None:
@@ -102,7 +107,14 @@ def create_join(algorithm: str, threshold: float, decay: float, *,
 
         return create_sharded_join(algorithm, threshold, decay,
                                    workers=workers, stats=stats,
-                                   backend=backend, executor=shard_executor)
+                                   backend=backend, executor=shard_executor,
+                                   fault_plan=fault_plan)
+    if fault_plan is not None:
+        from repro.exceptions import InvalidParameterError
+
+        raise InvalidParameterError(
+            "fault plans with worker events require the sharded engine; "
+            "pass workers=N (CLI: --workers)")
     framework_name, index_name = parse_algorithm(algorithm)
     framework_cls = _FRAMEWORKS[framework_name]
     return framework_cls(threshold, decay, index=index_name, stats=stats,

@@ -53,6 +53,24 @@ class DatasetFormatError(SSSJError):
     """Raised when an on-disk dataset file cannot be parsed."""
 
 
+class ShardWorkerError(SSSJError):
+    """Raised when a shard worker process died, hung past its recv
+    deadline, or could not be recovered by respawn-and-replay.
+
+    The multiprocess executor raises this internally to route a dead or
+    unresponsive worker into the recovery path; it only escapes to the
+    caller when recovery itself is disabled or exhausted (at which point
+    the executor has already degraded to in-process execution, so an
+    escaping ``ShardWorkerError`` means the run truly cannot continue).
+    """
+
+    def __init__(self, message: str, *, shard: int | None = None,
+                 attempts: int | None = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.attempts = attempts
+
+
 class BudgetExceededError(SSSJError):
     """Raised when a run exceeds its operation or wall-clock budget.
 

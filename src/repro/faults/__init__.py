@@ -1,0 +1,35 @@
+"""Deterministic fault injection for chaos tests and hardened production runs.
+
+``repro.faults`` turns "what if a worker dies mid-scan?" into a seeded,
+replayable experiment: a :class:`FaultPlan` (parsed from a compact spec
+string — CLI ``--fault-plan`` / env ``SSSJ_FAULT_PLAN``) declares real
+faults (SIGKILLed shard workers, dropped or delayed pipe replies, failed
+sink writes, severed client connections) and a :class:`FaultInjector`
+fires each exactly once at a deterministic site occurrence.  The faults
+are *real* — processes are killed with SIGKILL, sockets are closed — so
+what the chaos tests exercise is the same recovery machinery production
+relies on, not mocks.
+
+See :mod:`repro.faults.plan` for the spec grammar and
+:mod:`repro.faults.injector` for the sites.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FAULT_PLAN_ENV_VAR,
+    SERVICE_FAULT_KINDS,
+    WORKER_FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    parse_fault_plan,
+)
+
+__all__ = [
+    "FAULT_PLAN_ENV_VAR",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "SERVICE_FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
+    "parse_fault_plan",
+]

@@ -1,0 +1,234 @@
+"""Deterministic fault plans: what to break, where, and when.
+
+A :class:`FaultPlan` is a seeded, declarative list of faults to inject
+into a run — real process kills, dropped or delayed pipe replies, failed
+sink writes, severed client connections.  Plans are parsed from a compact
+spec string (CLI ``--fault-plan`` / env ``SSSJ_FAULT_PLAN``), mirroring
+the ``--approx`` SPEC pattern: parsing is fail-fast and every malformed
+spec raises :class:`~repro.exceptions.InvalidParameterError` so the CLI
+can exit 2 before any work starts.
+
+Spec grammar::
+
+    SPEC  := EVENT (';' EVENT)*
+    EVENT := KIND [':' KEY '=' VALUE (',' KEY '=' VALUE)*] | 'seed=' INT
+
+Event kinds and their keys (``after`` counts *occurrences at the site*
+— shard step messages for worker faults, sink emit attempts for
+``fail-sink``, ingest requests for ``sever-client`` — and each event
+fires exactly once):
+
+``kill-worker``      ``shard`` (optional; seeded pick), ``after`` (>=1)
+    SIGKILL the shard's worker process right before step ``after`` is
+    sent, exercising the executor's death-detection + respawn path.
+``exit-in-append``   ``shard``, ``after``
+    The worker SIGKILLs *itself* after applying step ``after``'s posting
+    appends but before scanning — a mid-step death with state mutated.
+``exit-in-scan``     ``shard``, ``after``
+    The worker SIGKILLs itself after scanning but before replying — the
+    harshest spot: all step work done, reply lost.
+``drop-reply``       ``shard``, ``after``
+    The worker swallows the reply of step ``after`` (stays alive),
+    forcing the coordinator's recv deadline to fire.
+``delay-reply``      ``shard``, ``after``, ``ms`` (>0, default 1000)
+    The worker sleeps ``ms`` before replying to step ``after``.
+``fail-sink``        ``after``
+    The ``after``-th sink emit attempt raises, exercising the session's
+    bounded emit retry.
+``sever-client``     ``after``
+    The connection is severed after the ``after``-th ingest request is
+    applied but before its reply is read/written — duplicates on resend
+    must be deduplicated by sequence numbers.
+
+Example: ``"kill-worker:shard=1,after=40;sever-client:after=3;seed=7"``.
+
+>>> plan = parse_fault_plan("kill-worker:shard=1,after=40;seed=7")
+>>> plan.seed, plan.events[0].kind, plan.events[0].after
+(7, 'kill-worker', 40)
+>>> parse_fault_plan(plan.spec()) == plan
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "FAULT_PLAN_ENV_VAR",
+    "FaultEvent",
+    "FaultPlan",
+    "parse_fault_plan",
+    "WORKER_FAULT_KINDS",
+    "SERVICE_FAULT_KINDS",
+]
+
+FAULT_PLAN_ENV_VAR = "SSSJ_FAULT_PLAN"
+
+#: Faults that target a shard worker process (fired by the executor or
+#: inside the worker's message loop).
+WORKER_FAULT_KINDS = frozenset(
+    {"kill-worker", "exit-in-append", "exit-in-scan", "drop-reply",
+     "delay-reply"})
+#: Faults that target the service tier (sessions, sinks, connections).
+SERVICE_FAULT_KINDS = frozenset({"fail-sink", "sever-client"})
+
+_ALL_KINDS = WORKER_FAULT_KINDS | SERVICE_FAULT_KINDS
+_ALLOWED_KEYS = {
+    "kill-worker": {"shard", "after"},
+    "exit-in-append": {"shard", "after"},
+    "exit-in-scan": {"shard", "after"},
+    "drop-reply": {"shard", "after"},
+    "delay-reply": {"shard", "after", "ms"},
+    "fail-sink": {"after"},
+    "sever-client": {"after"},
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault: ``kind`` fired at the ``after``-th site occurrence."""
+
+    kind: str
+    after: int = 1
+    shard: int | None = None
+    ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _ALL_KINDS:
+            raise InvalidParameterError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(_ALL_KINDS)}")
+        if self.after < 1:
+            raise InvalidParameterError(
+                f"fault {self.kind!r}: after={self.after} must be >= 1")
+        if self.shard is not None:
+            if self.kind not in WORKER_FAULT_KINDS:
+                raise InvalidParameterError(
+                    f"fault {self.kind!r} does not take shard=")
+            if self.shard < 0:
+                raise InvalidParameterError(
+                    f"fault {self.kind!r}: shard={self.shard} must be >= 0")
+        if self.ms is not None:
+            if self.kind != "delay-reply":
+                raise InvalidParameterError(
+                    f"fault {self.kind!r} does not take ms=")
+            if not self.ms > 0:
+                raise InvalidParameterError(
+                    f"fault 'delay-reply': ms={self.ms} must be > 0")
+
+    def spec(self) -> str:
+        """Canonical single-event spec fragment (round-trips via parse)."""
+        params = []
+        if self.shard is not None:
+            params.append(f"shard={self.shard}")
+        params.append(f"after={self.after}")
+        if self.ms is not None:
+            ms = self.ms
+            params.append(f"ms={int(ms) if ms == int(ms) else ms}")
+        return f"{self.kind}:{','.join(params)}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered collection of :class:`FaultEvent`."""
+
+    events: tuple[FaultEvent, ...]
+    seed: int = 0
+
+    @property
+    def worker_events(self) -> tuple[FaultEvent, ...]:
+        return tuple(event for event in self.events
+                     if event.kind in WORKER_FAULT_KINDS)
+
+    @property
+    def service_events(self) -> tuple[FaultEvent, ...]:
+        return tuple(event for event in self.events
+                     if event.kind in SERVICE_FAULT_KINDS)
+
+    def spec(self) -> str:
+        """Canonical spec string (round-trips via :func:`parse_fault_plan`)."""
+        parts = [event.spec() for event in self.events]
+        if self.seed:
+            parts.append(f"seed={self.seed}")
+        return ";".join(parts)
+
+
+def _parse_int(kind: str, key: str, raw: str, spec: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise InvalidParameterError(
+            f"cannot parse {key}={raw!r} for fault {kind!r} in "
+            f"{spec!r}: expected an integer") from None
+
+
+def parse_fault_plan(value: "str | FaultPlan | None") -> FaultPlan | None:
+    """Normalise a fault-plan specification into a :class:`FaultPlan`.
+
+    Accepts ``None`` / the empty string (injection disabled), an existing
+    plan, or a spec string (see the module docstring for the grammar).
+    Malformed specs raise :class:`~repro.exceptions.InvalidParameterError`
+    with a message naming the offending token — the CLI turns that into
+    exit code 2 before any work starts.
+    """
+    if value is None:
+        return None
+    if isinstance(value, FaultPlan):
+        return value
+    text = str(value).strip()
+    if not text:
+        return None
+    events: list[FaultEvent] = []
+    seed = 0
+    for token in text.split(";"):
+        token = token.strip()
+        if not token:
+            continue
+        head, _, tail = token.partition(":")
+        head = head.strip().lower()
+        if "=" in head:  # a bare 'seed=N' (or misplaced key) token
+            key, _, raw = head.partition("=")
+            if key.strip() != "seed" or tail:
+                raise InvalidParameterError(
+                    f"cannot parse fault event {token!r} in {value!r}; "
+                    "expected 'kind[:key=value,...]' or 'seed=N'")
+            seed = _parse_int("plan", "seed", raw.strip(), text)
+            continue
+        if head not in _ALL_KINDS:
+            raise InvalidParameterError(
+                f"unknown fault kind {head!r} in {value!r}; expected one "
+                f"of {sorted(_ALL_KINDS)}")
+        kwargs: dict = {"kind": head}
+        if tail:
+            for param in tail.split(","):
+                param = param.strip()
+                if not param:
+                    continue
+                key, sep, raw = param.partition("=")
+                key = key.strip().lower()
+                raw = raw.strip()
+                if not sep or not raw:
+                    raise InvalidParameterError(
+                        f"cannot parse parameter {param!r} of fault "
+                        f"{head!r} in {value!r}; expected 'key=value'")
+                if key not in _ALLOWED_KEYS[head]:
+                    raise InvalidParameterError(
+                        f"fault {head!r} does not take {key!r}; allowed "
+                        f"keys: {sorted(_ALLOWED_KEYS[head])}")
+                if key == "ms":
+                    try:
+                        kwargs["ms"] = float(raw)
+                    except ValueError:
+                        raise InvalidParameterError(
+                            f"cannot parse ms={raw!r} for fault "
+                            f"'delay-reply' in {value!r}: expected a "
+                            "number") from None
+                else:
+                    kwargs[key] = _parse_int(head, key, raw, text)
+        events.append(FaultEvent(**kwargs))
+    if not events:
+        raise InvalidParameterError(
+            f"fault plan {value!r} names no fault events")
+    return FaultPlan(events=tuple(events), seed=seed)

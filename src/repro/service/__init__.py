@@ -22,7 +22,11 @@ the same order, with the same similarities — whatever the batching or
 backpressure configuration, and across a checkpoint/crash/resume cycle.
 """
 
-from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.client import (
+    RETRYABLE_OPS,
+    ServiceClient,
+    ServiceClientError,
+)
 from repro.service.protocol import (
     ServiceProtocolError,
     decode_vector,
@@ -50,6 +54,7 @@ from repro.service.sinks import (
 
 __all__ = [
     "BACKPRESSURE_POLICIES",
+    "RETRYABLE_OPS",
     "BackpressureError",
     "CallbackSink",
     "JoinService",

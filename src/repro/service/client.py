@@ -12,10 +12,22 @@ process::
 Every method sends one request line and reads one response line; an
 ``ok: false`` response raises :class:`ServiceClientError` carrying the
 full response for inspection.
+
+Fault tolerance: when ``reconnect`` is enabled (the default), a dropped
+connection or timed-out read is retried with capped exponential backoff
+plus jitter — the client reconnects and resends the request.  Resending
+is safe because every operation is idempotent on the server: ingest
+carries a per-session monotonic sequence number (the count of vectors
+sent so far), so a resend of a batch whose ack was lost is acknowledged
+and deduplicated instead of double-processed; drain/close return their
+summary again.  The sequence counter is synced from the server's
+``open`` response, so a *restarted* client (or server) agrees with the
+session about how much of the stream has been consumed.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from typing import Any, Iterable, Iterator
@@ -30,7 +42,14 @@ from repro.service.protocol import (
     parse_line,
 )
 
-__all__ = ["ServiceClientError", "ServiceClient"]
+__all__ = ["ServiceClientError", "ServiceClient", "RETRYABLE_OPS"]
+
+#: Operations safe to resend after a reconnect.  All of them: reads are
+#: side-effect free, ``ingest`` is protected by sequence numbers, and
+#: ``open``/``drain``/``close``/``shutdown`` are idempotent server-side.
+RETRYABLE_OPS = frozenset(
+    {"ping", "open", "ingest", "results", "stats", "checkpoint", "drain",
+     "close", "shutdown"})
 
 
 class ServiceClientError(SSSJError):
@@ -42,34 +61,105 @@ class ServiceClientError(SSSJError):
 
 
 class ServiceClient:
-    """A blocking NDJSON client over one TCP connection."""
+    """A blocking NDJSON client over one TCP connection (auto-reconnect).
+
+    ``max_retries`` reconnect attempts per request, with backoff delays of
+    ``backoff_base * 2**attempt`` seconds capped at ``backoff_cap``, each
+    scaled by uniform jitter in ``[0.5, 1.0)`` so a fleet of clients does
+    not reconnect in lockstep.  ``reconnect=False`` restores strict
+    single-connection behaviour (any transport error raises).
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7788, *,
-                 timeout: float = 60.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+                 timeout: float = 60.0, reconnect: bool = True,
+                 max_retries: int = 5, backoff_base: float = 0.05,
+                 backoff_cap: float = 2.0, fault_injector=None) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._reconnect = reconnect
+        self._max_retries = max_retries
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._faults = fault_injector
+        self._rng = random.Random()  # jitter only — never affects results
+        self._sock: socket.socket | None = None
+        self._file = None
+        #: Per-session count of vectors sent, synced from the server on
+        #: ``open`` — the ``seq`` stamped onto every ingest request.
+        self._seq: dict[str, int] = {}
+        #: Reconnects performed over the client's lifetime (observability).
+        self.reconnects = 0
+        self._connect()
 
     # -- plumbing --------------------------------------------------------------
 
+    def _connect(self) -> None:
+        self._sock = socket.create_connection((self._host, self._port),
+                                              timeout=self._timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def _teardown(self) -> None:
+        for closer in (self._file, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+        self._file = None
+        self._sock = None
+
     def request(self, op: str, *, check: bool = True,
                 **fields: Any) -> dict[str, Any]:
-        """Send one request and return the response dictionary."""
-        self._file.write(dump_line({"op": op, **fields}))
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise ServiceClientError(f"server closed the connection during {op!r}")
-        response = parse_line(line)
-        if check and not response.get("ok"):
-            raise ServiceClientError(
-                response.get("error", f"request {op!r} failed"), response)
-        return response
+        """Send one request and return the response dictionary.
+
+        Transport failures (dropped connection, timed-out read) on a
+        retryable op are retried with capped exponential backoff and
+        jitter; when retries are exhausted (or ``reconnect=False``) they
+        raise :class:`ServiceClientError` chained to the transport error.
+        """
+        payload = dump_line({"op": op, **fields})
+        attempt = 0
+        while True:
+            try:
+                if self._file is None:
+                    self._connect()
+                self._file.write(payload)
+                self._file.flush()
+                if (self._faults is not None and op == "ingest"
+                        and self._faults.client_sever_due()):
+                    # Injected sever: the request may have been applied
+                    # but its ack is lost — exactly what a mid-ingest
+                    # network partition looks like.
+                    self._teardown()
+                    raise ConnectionResetError(
+                        "fault injection: connection severed after send")
+                line = self._file.readline()
+                if not line:
+                    raise ConnectionResetError(
+                        f"server closed the connection during {op!r}")
+            except (ConnectionError, TimeoutError, OSError) as error:
+                self._teardown()
+                retryable = (self._reconnect and op in RETRYABLE_OPS
+                             and attempt < self._max_retries)
+                if not retryable:
+                    raise ServiceClientError(
+                        f"request {op!r} failed after {attempt + 1} "
+                        f"attempt(s): {error}") from error
+                delay = min(self._backoff_cap,
+                            self._backoff_base * (2 ** attempt))
+                time.sleep(delay * (0.5 + self._rng.random() * 0.5))
+                attempt += 1
+                self.reconnects += 1
+                continue
+            response = parse_line(line)
+            if check and not response.get("ok"):
+                raise ServiceClientError(
+                    response.get("error", f"request {op!r} failed"), response)
+            return response
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -85,15 +175,18 @@ class ServiceClient:
     def open_session(self, session: str, *, theta: float, decay: float,
                      **options: Any) -> dict[str, Any]:
         """Open (or resume) a session; see the server docs for options."""
-        return self.request("open", session=session, theta=theta,
-                            decay=decay, **options)
+        response = self.request("open", session=session, theta=theta,
+                                decay=decay, **options)
+        if "ingest_seq" in response:
+            self._seq[session] = int(response["ingest_seq"])
+        return response
 
     def ingest(self, session: str, vectors: Iterable[SparseVector], *,
                chunk_size: int = 500) -> dict[str, int]:
         """Stream vectors to the session in chunks; return totals."""
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
-        totals = {"accepted": 0, "dropped": 0}
+        totals = {"accepted": 0, "dropped": 0, "deduped": 0}
         chunk: list[list[Any]] = []
         for vector in vectors:
             chunk.append(encode_vector(vector))
@@ -106,9 +199,17 @@ class ServiceClient:
 
     def _send_chunk(self, session: str, chunk: list[list[Any]],
                     totals: dict[str, int]) -> None:
-        response = self.request("ingest", session=session, vectors=chunk)
+        fields: dict[str, Any] = {"session": session, "vectors": chunk}
+        if session in self._seq:
+            fields["seq"] = self._seq[session]
+        response = self.request("ingest", **fields)
         totals["accepted"] += int(response.get("accepted", 0))
         totals["dropped"] += int(response.get("dropped", 0))
+        totals["deduped"] += int(response.get("deduped", 0))
+        if "ingest_seq" in response:
+            self._seq[session] = int(response["ingest_seq"])
+        elif session in self._seq:
+            self._seq[session] += len(chunk)
 
     def results(self, session: str, *, cursor: int = 0,
                 limit: int | None = None) -> dict[str, Any]:

@@ -68,7 +68,13 @@ class JoinService:
 
     def __init__(self, *, checkpoint_dir: str | Path | None = None,
                  checkpoint_every_items: int | None = None,
-                 checkpoint_every_seconds: float | None = None) -> None:
+                 checkpoint_every_seconds: float | None = None,
+                 fault_injector=None) -> None:
+        #: Optional service-wide :class:`~repro.faults.FaultInjector`:
+        #: sink faults are injected inside every session's emit loop,
+        #: sever faults by the connection handler, worker faults by the
+        #: sharded engine of sessions opened with process workers.
+        self.fault_injector = fault_injector
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
         if self.checkpoint_dir is not None:
             self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
@@ -148,6 +154,7 @@ class JoinService:
                 return {"ok": True, "session": name, "existing": True,
                         "resumed": existing.resumed,
                         "processed": existing.processed,
+                        "ingest_seq": existing.ingest_seq,
                         "status": existing.status}
             checkpoint_path = self.checkpoint_path_for(name)
             wants_checkpoint = bool(request.get("checkpoint", True))
@@ -170,12 +177,14 @@ class JoinService:
                         "checkpoint_every_items": None,
                         "checkpoint_every_seconds": None,
                     })
-                session = JoinSession(config, sinks=sinks, checkpoint_path=path)
+                session = JoinSession(config, sinks=sinks, checkpoint_path=path,
+                                      fault_injector=self.fault_injector)
             session.start()
             self.sessions[name] = session
             return {"ok": True, "session": name, "existing": False,
                     "resumed": session.resumed,
                     "processed": session.processed,
+                    "ingest_seq": session.ingest_seq,
                     "status": session.status}
 
     def _session(self, name: str) -> JoinSession:
@@ -208,15 +217,17 @@ class JoinService:
                 return {"ok": True,
                         "checkpoint": str(session.checkpoint_now())}
             if op == "drain":
-                session = self._session(_session_name(request))
-                summary = session.drain()
-                return {"ok": True, **summary}
+                return self._handle_drain(request)
             if op == "close":
+                # Idempotent: closing a session that is already gone is a
+                # success, so a client retrying a close whose ack was lost
+                # does not see a spurious error.
                 name = _session_name(request)
-                session = self._session(name)
-                session.close()
                 with self._lock:
-                    self.sessions.pop(name, None)
+                    session = self.sessions.pop(name, None)
+                if session is None:
+                    return {"ok": True, "session": name, "missing": True}
+                session.close()
                 return {"ok": True, "session": name}
             if op == "shutdown":
                 return self.shutdown()
@@ -225,7 +236,11 @@ class JoinService:
             return error_response(str(error), backpressure=True)
         except (ServiceProtocolError, SessionError, SinkError,
                 SSSJError, ValueError, OSError) as error:
-            return error_response(str(error))
+            extra = {}
+            worker_traceback = getattr(error, "worker_traceback", None)
+            if worker_traceback:
+                extra["traceback"] = worker_traceback
+            return error_response(str(error), **extra)
 
     def _handle_ingest(self, request: dict[str, Any]) -> dict[str, Any]:
         session = self._session(_session_name(request))
@@ -235,12 +250,40 @@ class JoinService:
         vectors = [decode_vector(payload,
                                  normalize=session.config.normalize)
                    for payload in payloads]
-        accepted, dropped = session.ingest(vectors)
+        seq = request.get("seq")
+        deduped_before = session.deduped
+        accepted, dropped = session.ingest(
+            vectors, seq=None if seq is None else int(seq))
         return {"ok": True, "accepted": accepted, "dropped": dropped,
+                "deduped": session.deduped - deduped_before,
+                "ingest_seq": session.ingest_seq,
                 "queued": session.queued}
+
+    def _handle_drain(self, request: dict[str, Any]) -> dict[str, Any]:
+        session = self._session(_session_name(request))
+
+        def _summary() -> dict[str, Any]:
+            return {"ok": True, "processed": session.processed,
+                    "pairs_emitted": session.pairs_emitted,
+                    "already_drained": True}
+
+        # Idempotent: re-draining a drained session (a client retrying a
+        # drain whose ack was severed) returns the summary again.
+        if session.status == "drained":
+            return _summary()
+        try:
+            summary = session.drain()
+        except SessionError:
+            if session.status == "drained":
+                return _summary()
+            raise
+        return {"ok": True, **summary}
 
     def _handle_results(self, request: dict[str, Any]) -> dict[str, Any]:
         session = self._session(_session_name(request))
+        # A dead worker must surface on the next read, not as an
+        # indefinitely-quiet result stream.
+        session.raise_if_failed()
         cursor = int(request.get("cursor", 0))
         limit = request.get("limit")
         pairs, next_cursor, first_retained = session.results.read(
@@ -290,10 +333,27 @@ class JoinService:
 
 
 class _RequestHandler(socketserver.StreamRequestHandler):
-    """One client connection: NDJSON requests in, NDJSON responses out."""
+    """One client connection: NDJSON requests in, NDJSON responses out.
+
+    Each read is bounded by the server's ``read_timeout`` (when set): a
+    connection that goes quiet mid-stream is dropped instead of pinning
+    its handler thread forever — the client reconnects and resumes, with
+    sequence-numbered ingest guaranteeing no duplicates.
+    """
+
+    def setup(self) -> None:  # pragma: no cover - exercised via sockets
+        # StreamRequestHandler applies self.timeout as the socket timeout.
+        self.timeout = self.server.read_timeout  # type: ignore[attr-defined]
+        super().setup()
 
     def handle(self) -> None:  # pragma: no cover - exercised via sockets
-        for line in self.rfile:
+        while True:
+            try:
+                line = self.rfile.readline()
+            except (TimeoutError, OSError):
+                return  # idle past the read deadline: drop the connection
+            if not line:
+                return
             if not line.strip():
                 continue
             try:
@@ -303,6 +363,13 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                 self.wfile.flush()
                 continue
             response = self.server.service.handle(request)  # type: ignore[attr-defined]
+            injector = self.server.service.fault_injector  # type: ignore[attr-defined]
+            if (injector is not None and request.get("op") == "ingest"
+                    and response.get("ok") and injector.client_sever_due()):
+                # Sever *after* the request was applied but before the ack
+                # — the harshest spot: the client must retry into the
+                # sequence-number dedup.
+                return
             self.wfile.write(dump_line(response))
             self.wfile.flush()
             if request.get("op") == "shutdown" and response.get("ok"):
@@ -317,8 +384,9 @@ class ServiceServer(socketserver.ThreadingTCPServer):
     daemon_threads = True
 
     def __init__(self, service: JoinService, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0, *, read_timeout: float | None = None) -> None:
         self.service = service
+        self.read_timeout = read_timeout
         super().__init__((host, port), _RequestHandler)
 
     @property
@@ -346,16 +414,29 @@ def serve(*, host: str = "127.0.0.1", port: int = 0,
           checkpoint_dir: str | Path | None = None,
           checkpoint_every_items: int | None = None,
           checkpoint_every_seconds: float | None = None,
+          read_timeout: float | None = None,
+          fault_plan=None,
           ) -> tuple[ServiceServer, list[str]]:
     """Build a service + TCP server and recover checkpointed sessions.
 
     Returns ``(server, recovered_session_names)``; the caller runs
     ``server.serve_until_shutdown()`` (blocking) or drives
-    ``serve_forever`` on its own thread (tests).
+    ``serve_forever`` on its own thread (tests).  ``fault_plan`` (a spec
+    string or :class:`~repro.faults.FaultPlan`) arms service-wide fault
+    injection; the injector is reachable as ``server.service.fault_injector``
+    (e.g. to write its event log after shutdown).
     """
+    fault_injector = None
+    if fault_plan is not None:
+        from repro.faults import FaultInjector, parse_fault_plan
+
+        fault_injector = (fault_plan if isinstance(fault_plan, FaultInjector)
+                          else FaultInjector(parse_fault_plan(fault_plan)))
     service = JoinService(checkpoint_dir=checkpoint_dir,
                           checkpoint_every_items=checkpoint_every_items,
-                          checkpoint_every_seconds=checkpoint_every_seconds)
+                          checkpoint_every_seconds=checkpoint_every_seconds,
+                          fault_injector=fault_injector)
     recovered = service.recover_sessions()
-    server = ServiceServer(service, host=host, port=port)
+    server = ServiceServer(service, host=host, port=port,
+                           read_timeout=read_timeout)
     return server, recovered

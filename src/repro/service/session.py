@@ -34,6 +34,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+import traceback as _traceback
 from collections import deque
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -51,7 +52,7 @@ from repro.core.join import create_join, parse_algorithm
 from repro.core.results import SimilarPair
 from repro.core.vector import SparseVector
 from repro.exceptions import SSSJError, StreamOrderError
-from repro.service.sinks import MemorySink, ResultSink, create_sink
+from repro.service.sinks import MemorySink, ResultSink, SinkError, create_sink
 
 __all__ = [
     "SERVICE_CHECKPOINT_VERSION",
@@ -69,7 +70,17 @@ BACKPRESSURE_POLICIES = ("block", "drop", "error")
 
 
 class SessionError(SSSJError):
-    """Raised when a session is used in a state that cannot serve the call."""
+    """Raised when a session is used in a state that cannot serve the call.
+
+    When the session failed because its worker thread died,
+    ``worker_traceback`` carries the original traceback so the caller
+    sees *where* the worker blew up, not just that it did.
+    """
+
+    def __init__(self, message: str, *,
+                 worker_traceback: str | None = None) -> None:
+        super().__init__(message)
+        self.worker_traceback = worker_traceback
 
 
 class BackpressureError(SessionError):
@@ -96,8 +107,12 @@ class SessionConfig:
     results_capacity: int = 100_000
     checkpoint_every_items: int | None = None
     checkpoint_every_seconds: float | None = None
+    sink_retries: int = 3
 
     def __post_init__(self) -> None:
+        if self.sink_retries < 0:
+            raise SessionError(
+                f"sink_retries must be >= 0, got {self.sink_retries}")
         if self.backpressure not in BACKPRESSURE_POLICIES:
             raise SessionError(
                 f"unknown backpressure policy {self.backpressure!r}; "
@@ -138,8 +153,10 @@ class JoinSession:
     def __init__(self, config: SessionConfig, *,
                  sinks: Sequence[ResultSink] | None = None,
                  checkpoint_path: str | Path | None = None,
+                 fault_injector=None,
                  _join=None) -> None:
         self.config = config
+        self._fault_injector = fault_injector
         framework_name, _ = parse_algorithm(config.algorithm)
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         if self.checkpoint_path and framework_name != "STR":
@@ -150,10 +167,19 @@ class JoinSession:
             raise SessionError(
                 "sharded sessions (workers=N) are not checkpointable yet; "
                 "drop the checkpoint path or run single-process")
+        # Worker faults reach the sharded engine only when there are real
+        # worker processes to break; other sessions ignore that part of
+        # the plan (sink/sever faults are injected at this layer instead).
+        join_faults = None
+        if (fault_injector is not None and config.workers is not None
+                and config.shard_executor == "process"
+                and fault_injector.plan.worker_events):
+            join_faults = fault_injector
         self.join = _join if _join is not None else create_join(
             config.algorithm, config.threshold, config.decay,
             backend=config.backend, workers=config.workers,
-            shard_executor=config.shard_executor, approx=config.approx)
+            shard_executor=config.shard_executor, approx=config.approx,
+            fault_plan=join_faults)
         self.results = MemorySink(capacity=config.results_capacity)
         self.sinks: list[ResultSink] = [self.results, *(sinks or [])]
         self.latency = LatencyStats()
@@ -164,6 +190,13 @@ class JoinSession:
         self.processed = self.join.stats.vectors_processed
         self.pairs_emitted = 0
         self.error: str | None = None
+        self.error_traceback: str | None = None
+        #: Vectors consumed (accepted + policy-dropped) since the session
+        #: started — the dedup anchor for idempotent, sequence-numbered
+        #: ingest across client reconnects.
+        self.ingest_seq = 0
+        self.deduped = 0
+        self.sink_retried = 0
         self.started_at = time.monotonic()
         self._queue: deque[tuple] = deque()
         self._queued_vectors = 0
@@ -251,6 +284,9 @@ class JoinSession:
         # Vectors accepted but still queued at the crash were lost with
         # the queue; only the processed ones count as accepted now.
         session.accepted = session.processed
+        # The producer re-feeds from `processed`; the open response tells
+        # the client to reset its sequence counter to match.
+        session.ingest_seq = session.processed
         session.dropped = int(payload.get("dropped", 0))
         session.pairs_emitted = int(payload.get("pairs_emitted", 0))
         # The checkpoint covers the stream up to this timestamp; re-fed
@@ -276,7 +312,40 @@ class JoinSession:
                     name=f"sssj-session-{self.config.name}", daemon=True)
                 self._worker.start()
 
-    def ingest(self, vectors: Iterable[SparseVector]) -> tuple[int, int]:
+    def _check_worker(self) -> None:
+        """Surface a silently-dead worker thread as a failed session.
+
+        The worker loop reports its own exceptions, but a death it could
+        not report (e.g. the interpreter tore the thread down) would
+        otherwise leave the session "active" while nothing drains the
+        queue — producers would fill it to backpressure and stall
+        forever.  Detecting the dead thread here turns the very next op
+        into an immediate :class:`SessionError` instead.
+        """
+        worker = self._worker
+        if worker is None or worker.is_alive():
+            return
+        with self._lock:
+            if self.status == "active":
+                self.status = "failed"
+                self.error = (self.error
+                              or "worker thread died without reporting")
+                self._not_full.notify_all()
+
+    def _state_error(self) -> SessionError:
+        return SessionError(
+            f"session {self.config.name!r} is {self.status}"
+            + (f": {self.error}" if self.error else ""),
+            worker_traceback=self.error_traceback)
+
+    def raise_if_failed(self) -> None:
+        """Raise the session's failure (with the worker traceback) if any."""
+        self._check_worker()
+        if self.status in ("failed", "killed"):
+            raise self._state_error()
+
+    def ingest(self, vectors: Iterable[SparseVector], *,
+               seq: int | None = None) -> tuple[int, int]:
         """Enqueue vectors for processing; return ``(accepted, dropped)``.
 
         Applies the session's backpressure policy when the bounded queue
@@ -285,9 +354,36 @@ class JoinSession:
         across the whole session (:class:`StreamOrderError` otherwise) —
         enforced here, at the boundary, so a misbehaving producer is told
         immediately instead of poisoning the worker.
+
+        ``seq`` makes ingestion idempotent across reconnects: it states
+        how many vectors the producer had already sent before this batch.
+        A batch (or prefix of one) the session already consumed — the
+        resend of a request whose ack was lost — is acknowledged and
+        dropped instead of being double-processed (counted in
+        ``deduped``); a ``seq`` beyond the session's counter means
+        vectors were lost in between and raises immediately.
         """
         self.start()
+        self._check_worker()
         accepted = dropped = 0
+        if seq is not None:
+            if seq < 0:
+                raise SessionError(f"ingest seq must be >= 0, got {seq}")
+            vectors = list(vectors)
+            with self._lock:
+                expected = self.ingest_seq
+                if seq > expected:
+                    raise SessionError(
+                        f"ingest sequence gap for session "
+                        f"{self.config.name!r}: batch starts at seq {seq} "
+                        f"but only {expected} vectors were received — the "
+                        "producer must re-feed from the session's counter")
+                skip = min(expected - seq, len(vectors))
+                if skip:
+                    self.deduped += skip
+            if skip == len(vectors):
+                return 0, 0  # full duplicate: ack without re-processing
+            vectors = vectors[skip:]
         for vector in vectors:
             enqueued_at = time.monotonic()
             with self._not_full:
@@ -296,9 +392,7 @@ class JoinSession:
                        and self.status == "active"):
                     self._not_full.wait(0.05)
                 if self.status != "active":
-                    raise SessionError(
-                        f"session {self.config.name!r} is {self.status}"
-                        + (f": {self.error}" if self.error else ""))
+                    raise self._state_error()
                 # Checked and advanced under the lock, atomically with the
                 # append: concurrent producers cannot interleave an
                 # out-of-order pair of vectors into the queue — the slower
@@ -313,6 +407,7 @@ class JoinSession:
                     if self.config.backpressure == "drop":
                         dropped += 1
                         self.dropped += 1
+                        self.ingest_seq += 1  # consumed, even if discarded
                         continue
                     raise BackpressureError(
                         f"session {self.config.name!r} queue is full "
@@ -321,6 +416,7 @@ class JoinSession:
                 self._queued_vectors += 1
                 accepted += 1
                 self.accepted += 1
+                self.ingest_seq += 1
                 self._not_empty.notify()
         return accepted, dropped
 
@@ -329,8 +425,7 @@ class JoinSession:
         done = threading.Event()
         with self._not_empty:
             if self.status != "active":
-                raise SessionError(
-                    f"session {self.config.name!r} is {self.status}")
+                raise self._state_error()
             self._queue.append(("ctl", kind, reply, done))
             self._not_empty.notify()
         return reply, done
@@ -339,10 +434,12 @@ class JoinSession:
                        timeout: float | None) -> dict:
         deadline = None if timeout is None else time.monotonic() + timeout
         while not done.wait(0.05):
+            self._check_worker()
             if self.status in ("failed", "killed"):
                 raise SessionError(
                     f"session {self.config.name!r} {self.status}"
-                    + (f": {self.error}" if self.error else ""))
+                    + (f": {self.error}" if self.error else ""),
+                    worker_traceback=self.error_traceback)
             if deadline is not None and time.monotonic() > deadline:
                 raise SessionError(
                     f"timed out waiting for session {self.config.name!r}")
@@ -393,8 +490,28 @@ class JoinSession:
         if not pairs:
             return
         for sink in self.sinks:
-            sink.emit(pairs)
+            self._emit_to_sink(sink, pairs)
         self.pairs_emitted += len(pairs)
+
+    def _emit_to_sink(self, sink: ResultSink, pairs: list[SimilarPair]) -> None:
+        """Emit with bounded retry: transient sink failures (a full disk
+        that clears, a flaky remote) get ``config.sink_retries`` more
+        chances with exponential backoff before they fail the session."""
+        retries = self.config.sink_retries
+        delay = 0.05
+        for attempt in range(retries + 1):
+            try:
+                if (self._fault_injector is not None
+                        and self._fault_injector.sink_fail_due()):
+                    raise SinkError("injected sink failure")
+                sink.emit(pairs)
+                return
+            except Exception:
+                if attempt >= retries:
+                    raise
+                self.sink_retried += 1
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
 
     def _worker_loop(self) -> None:
         try:
@@ -415,7 +532,7 @@ class JoinSession:
                 self._emit(pairs)
                 if self._checkpointer is not None:
                     self._checkpointer.tick()
-        except Exception as error:  # noqa: BLE001 - reported via status
+        except BaseException as error:  # noqa: BLE001 - reported via status
             self._fail(error)
         finally:
             self._flush_pending_controls()
@@ -489,10 +606,11 @@ class JoinSession:
             done.set()
         return kind == "drain"
 
-    def _fail(self, error: Exception) -> None:
+    def _fail(self, error: BaseException) -> None:
         with self._lock:
             self.status = "failed"
             self.error = f"{type(error).__name__}: {error}"
+            self.error_traceback = _traceback.format_exc()
             self._not_full.notify_all()
             # Unblock any control waiters.
             for item in self._queue:
@@ -588,8 +706,11 @@ class JoinSession:
             "queued": queued,
             "accepted": self.accepted,
             "dropped": self.dropped,
+            "deduped": self.deduped,
+            "ingest_seq": self.ingest_seq,
             "processed": self.processed,
             "pairs_emitted": self.pairs_emitted,
+            "sink_retried": self.sink_retried,
             "uptime_s": round(time.monotonic() - self.started_at, 3),
             "resumed": self.resumed,
             "error": self.error,

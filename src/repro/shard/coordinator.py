@@ -314,6 +314,14 @@ class ShardedStreamingJoin(JoinFramework):
         ``"process"`` (one child process per shard, shared-memory arenas)
         or ``"serial"`` (all shards in-process — deterministic, CI-safe,
         no parallelism).
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` (or spec string, or an
+        already-built :class:`~repro.faults.FaultInjector`) injecting
+        real worker faults — see :mod:`repro.faults`.
+    recv_timeout / max_respawns / recovery:
+        Crash-tolerance knobs of the process executor: the per-reply
+        deadline, the respawn budget before degrading to in-process
+        execution, and whether the replay history is kept at all.
     """
 
     name = "STR"
@@ -324,7 +332,11 @@ class ShardedStreamingJoin(JoinFramework):
                  stats: JoinStatistics | None = None,
                  backend: str | None = None,
                  use_shared_memory: bool = True,
-                 start_method: str | None = None) -> None:
+                 start_method: str | None = None,
+                 fault_plan=None,
+                 recv_timeout: float = 10.0,
+                 max_respawns: int = 3,
+                 recovery: bool = True) -> None:
         # The coordinator's replay runs on the NumPy kernel's slot arrays,
         # so "auto" (and the SSSJ_BACKEND default) resolve to numpy here
         # regardless of the single-process default; an explicit
@@ -347,9 +359,13 @@ class ShardedStreamingJoin(JoinFramework):
         # or their shared-memory segments.
         self._index.check_coordinator_kernel()
         plan = ShardPlan(workers)
+        faults = _coerce_injector(fault_plan)
+        self.fault_injector = faults
         self._executor = create_executor(
             plan, executor, backend="numpy",
-            use_shared_memory=use_shared_memory, start_method=start_method)
+            use_shared_memory=use_shared_memory, start_method=start_method,
+            recv_timeout=recv_timeout, max_respawns=max_respawns,
+            recovery=recovery, faults=faults)
         try:
             self._index.attach_executor(plan, self._executor)
         except BaseException:  # pragma: no cover - defensive
@@ -382,6 +398,16 @@ class ShardedStreamingJoin(JoinFramework):
         """Per-shard traffic/balance counters (see ShardCounters)."""
         return self._index.shard_counters()
 
+    @property
+    def degraded(self) -> bool:
+        """Has the executor fallen back to in-process execution?"""
+        return bool(getattr(self._executor, "degraded", False))
+
+    @property
+    def recovery_events(self) -> list[dict]:
+        """Respawn/degrade events recorded by the executor (chronological)."""
+        return list(getattr(self._executor, "recovery_events", ()))
+
     # -- driving ---------------------------------------------------------------
 
     def process(self, vector: SparseVector) -> list[SimilarPair]:
@@ -404,12 +430,27 @@ class ShardedStreamingJoin(JoinFramework):
         self.close()
 
 
+def _coerce_injector(fault_plan):
+    """Accept a spec string, a FaultPlan, an injector, or ``None``."""
+    if fault_plan is None:
+        return None
+    from repro.faults import FaultInjector, parse_fault_plan
+
+    if isinstance(fault_plan, FaultInjector):
+        return fault_plan
+    return FaultInjector(parse_fault_plan(fault_plan))
+
+
 def create_sharded_join(algorithm: str, threshold: float, decay: float, *,
                         workers: int, stats: JoinStatistics | None = None,
                         backend: str | None = None,
                         executor: str = "process",
                         use_shared_memory: bool = True,
-                        start_method: str | None = None) -> ShardedStreamingJoin:
+                        start_method: str | None = None,
+                        fault_plan=None,
+                        recv_timeout: float = 10.0,
+                        max_respawns: int = 3,
+                        recovery: bool = True) -> ShardedStreamingJoin:
     """Build a sharded streaming join from an ``"STR-<INDEX>"`` string.
 
     The sharded engine parallelises the STR framework only (MB rebuilds
@@ -425,4 +466,7 @@ def create_sharded_join(algorithm: str, threshold: float, decay: float, *,
     return ShardedStreamingJoin(threshold, decay, index=index, workers=workers,
                                 executor=executor, stats=stats, backend=backend,
                                 use_shared_memory=use_shared_memory,
-                                start_method=start_method)
+                                start_method=start_method,
+                                fault_plan=fault_plan,
+                                recv_timeout=recv_timeout,
+                                max_respawns=max_respawns, recovery=recovery)

@@ -32,8 +32,8 @@ from repro.backends.base import SegmentPartial
 from repro.core.results import ShardCounters
 from repro.indexes.posting import InvertedIndex, PostingEntry
 
-__all__ = ["ShardWorker", "make_worker_kernel", "shard_worker_main",
-           "pack_partials", "unpack_partials"]
+__all__ = ["ShardWorker", "apply_step", "make_worker_kernel",
+           "shard_worker_main", "pack_partials", "unpack_partials"]
 
 
 def pack_partials(partials: list[SegmentPartial]):
@@ -183,8 +183,26 @@ class ShardWorker:
         return self.counters
 
 
+def apply_step(worker: ShardWorker, message: tuple):
+    """Apply one coordinator ``("step", ...)`` message to ``worker``.
+
+    Returns the scan result ``(partials, traversed, removed)``, or
+    ``None`` for a flush-only step.  This is the single definition of
+    "what a step does to shard state" — the live message loop, the
+    crash-recovery replay and the executor's degraded in-process mode
+    all route through it, which is what makes a rebuilt shard bitwise
+    identical to the one that died.
+    """
+    _, appends, scan_terms, scan_params = message
+    if appends:
+        worker.apply_appends(appends)
+    if scan_terms is None:
+        return None
+    return worker.scan(scan_terms, scan_params)
+
+
 def shard_worker_main(conn, shard: int, use_shared_memory: bool = True,
-                      backend: str = "numpy") -> None:
+                      backend: str = "numpy", faults=None) -> None:
     """Child-process message loop of one shard (multiprocess executor).
 
     Protocol (requests over ``conn``):
@@ -192,8 +210,18 @@ def shard_worker_main(conn, shard: int, use_shared_memory: bool = True,
     * ``("step", appends, scan_terms, scan_params)`` — apply the appends,
       then scan; replies ``("partials", partials, traversed, removed)``,
       or ``("ok",)`` when ``scan_terms`` is ``None`` (flush-only step).
+    * ``("replay", steps)`` — crash recovery: re-apply a chunk of step
+      messages, discarding their scan output (the coordinator already
+      consumed the original replies); replies ``("replayed", count)``.
     * ``("counters",)`` — replies ``("counters", ShardCounters)``.
     * ``("stop",)`` — replies ``("bye",)`` and exits.
+
+    ``faults`` is an optional list of ``(kind, after_step, ms)`` tuples
+    from :meth:`repro.faults.FaultInjector.worker_events_for` — faults
+    this worker fires *on itself* (self-SIGKILL mid-step, dropped or
+    delayed replies) so chaos tests exercise real partial failures.
+    Replay messages do not advance the fault step counter, and respawned
+    workers are started fault-free.
     """
     allocator = None
     if use_shared_memory and backend == "numpy":
@@ -201,21 +229,49 @@ def shard_worker_main(conn, shard: int, use_shared_memory: bool = True,
 
         allocator = SharedMemoryAllocator(name_prefix=f"sssj-shard{shard}")
     worker = ShardWorker(shard, make_worker_kernel(backend, allocator=allocator))
+    fault_map: dict[int, list[tuple[str, float]]] = {}
+    for kind, after, ms in faults or ():
+        fault_map.setdefault(after, []).append((kind, ms))
+    steps = 0
     try:
         while True:
             message = conn.recv()
             op = message[0]
             if op == "step":
+                steps += 1
+                active = fault_map.pop(steps, ())
                 _, appends, scan_terms, scan_params = message
                 if appends:
                     worker.apply_appends(appends)
+                if any(kind == "exit-in-append" for kind, _ in active):
+                    import os
+                    import signal
+
+                    os.kill(os.getpid(), signal.SIGKILL)
                 if scan_terms is None:
-                    conn.send(("ok",))
+                    reply = ("ok",)
                 else:
                     partials, traversed, removed = worker.scan(scan_terms,
                                                                scan_params)
-                    conn.send(("partials", pack_partials(partials),
-                               traversed, removed))
+                    reply = ("partials", pack_partials(partials),
+                             traversed, removed)
+                if any(kind == "exit-in-scan" for kind, _ in active):
+                    import os
+                    import signal
+
+                    os.kill(os.getpid(), signal.SIGKILL)
+                if any(kind == "drop-reply" for kind, _ in active):
+                    continue  # swallow exactly this reply; stay alive
+                for kind, ms in active:
+                    if kind == "delay-reply":
+                        import time
+
+                        time.sleep(ms / 1000.0)
+                conn.send(reply)
+            elif op == "replay":
+                for step_message in message[1]:
+                    apply_step(worker, step_message)
+                conn.send(("replayed", len(message[1])))
             elif op == "counters":
                 conn.send(("counters", worker.snapshot_counters()))
             elif op == "stop":

@@ -584,7 +584,7 @@ class TestServiceOverSockets:
                                 sinks=[{"kind": "jsonl",
                                         "path": str(tmp_path / "p.jsonl")}])
             totals = client.ingest("s1", vectors, chunk_size=17)
-            assert totals == {"accepted": 60, "dropped": 0}
+            assert totals == {"accepted": 60, "dropped": 0, "deduped": 0}
             summary = client.drain("s1")
             assert summary["processed"] == 60
             assert client.results("s1")["pairs"] == expected
@@ -614,6 +614,230 @@ class TestServiceOverSockets:
             client.shutdown()
         thread.join(timeout=10)
         assert collected == expected
+
+
+class TestFaultTolerantService:
+    """Idempotent ingest, reconnects, injected faults, bounded deadlines."""
+
+    def test_duplicate_batch_is_acked_and_deduped(self):
+        vectors = random_vectors(20, seed=211)
+        session = make_session()
+        assert session.ingest(vectors[:10], seq=0) == (10, 0)
+        # Resend of the same batch (its ack was "lost"): acknowledged,
+        # nothing re-processed.
+        assert session.ingest(vectors[:10], seq=0) == (0, 0)
+        assert session.deduped == 10
+        # Partial overlap: the already-consumed prefix is trimmed.
+        assert session.ingest(vectors[5:15], seq=5) == (5, 0)
+        assert session.deduped == 15
+        assert session.ingest_seq == 15
+        summary = session.drain()
+        assert summary["processed"] == 15
+        expected, _ = expected_pairs(vectors[:15])
+        pairs, _, _ = session.results.read(0)
+        assert pairs == expected
+        stats = session.stats()
+        assert stats["deduped"] == 15 and stats["ingest_seq"] == 15
+        session.close()
+
+    def test_sequence_gap_raises_immediately(self):
+        session = make_session()
+        vectors = random_vectors(10, seed=223)
+        session.ingest(vectors[:3], seq=0)
+        with pytest.raises(SessionError, match="sequence gap"):
+            session.ingest(vectors[5:], seq=5)
+        session.close()
+
+    def test_worker_death_carries_the_original_traceback(self):
+        def explode(_pair):
+            raise RuntimeError("sink disk full")
+
+        config = SessionConfig(name="s", threshold=THETA, decay=DECAY,
+                               batch_max_items=1, batch_max_delay=0.0,
+                               sink_retries=0)
+        session = JoinSession(config, sinks=[CallbackSink(explode)])
+        session.ingest([SparseVector(0, 0.0, {1: 1.0}),
+                        SparseVector(1, 0.0, {1: 1.0})])
+        with pytest.raises(SessionError) as excinfo:
+            session.drain(timeout=10.0)
+        assert "sink disk full" in (session.error_traceback or "")
+        assert "RuntimeError" in (session.error_traceback or "")
+        # The service error response forwards it to remote operators.
+        service = JoinService()
+        service.sessions["s"] = session
+        response = service.handle({"op": "results", "session": "s"})
+        assert not response["ok"]
+        assert "sink disk full" in response.get("traceback", "")
+        session.close()
+
+    def test_injected_sink_failure_is_retried_without_loss(self):
+        from repro.faults import FaultInjector
+
+        vectors = random_vectors(30, seed=227)
+        expected, _ = expected_pairs(vectors)
+        config = SessionConfig(name="s", threshold=THETA, decay=DECAY)
+        session = JoinSession(
+            config, fault_injector=FaultInjector("fail-sink:after=1"))
+        session.ingest(vectors)
+        session.drain()
+        assert session.sink_retried >= 1
+        pairs, _, _ = session.results.read(0)
+        assert pairs == expected
+        session.close()
+
+    def test_periodic_checkpoint_failures_are_tolerated_then_fatal(self):
+        from repro.core.checkpoint import PeriodicCheckpointer
+
+        class FakeStats:
+            vectors_processed = 0
+
+        class FakeJoin:
+            stats = FakeStats()
+
+        join = FakeJoin()
+        calls = []
+
+        def broken_save(_join, _path):
+            calls.append(1)
+            raise OSError("disk full")
+
+        ticker = PeriodicCheckpointer(join, "/nonexistent/cp.json",
+                                      every_vectors=1, save=broken_save,
+                                      max_consecutive_failures=3)
+        join.stats.vectors_processed = 2  # a checkpoint is now due
+        assert ticker.tick() is None  # swallowed
+        assert ticker.tick() is None  # swallowed, cadence clock not advanced
+        with pytest.raises(OSError):
+            ticker.tick()             # third consecutive failure propagates
+        assert ticker.checkpoint_failures == 3
+        assert len(calls) == 3
+        assert isinstance(ticker.last_error, OSError)
+        with pytest.raises(OSError):
+            ticker.tick(force=True)   # explicit requests always tell the truth
+        # One successful write heals the consecutive-failure streak.
+        ticker._save = lambda _join, path: path
+        assert ticker.tick(force=True) is not None
+        assert ticker._consecutive_failures == 0
+
+    def test_reconnect_mid_ingest_loses_and_duplicates_nothing(self):
+        """The acceptance scenario: the server severs the connection after
+        applying an ingest but before acking it.  The client reconnects,
+        resends, and sequence numbers turn the resend into a no-op."""
+        vectors = random_vectors(60, seed=233)
+        expected, _ = expected_pairs(vectors)
+        server, _ = serve(port=0, fault_plan="sever-client:after=2")
+        thread = threading.Thread(target=server.serve_until_shutdown,
+                                  daemon=True)
+        thread.start()
+        host, port = server.address
+        with ServiceClient(host, port, backoff_base=0.01) as client:
+            client.open_session("s", theta=THETA, decay=DECAY,
+                                normalize=False)
+            totals = client.ingest("s", vectors, chunk_size=17)
+            assert client.reconnects >= 1
+            # Chunk 2 (17 vectors) was applied server-side, its ack lost,
+            # and the resend deduplicated — nothing lost, nothing doubled.
+            assert totals["deduped"] == 17
+            assert totals["accepted"] == 60 - 17
+            summary = client.drain("s")
+            assert summary["processed"] == 60
+            assert client.results("s")["pairs"] == expected
+            client.shutdown()
+        thread.join(timeout=10)
+        injector = server.service.fault_injector
+        assert [e["kind"] for e in injector.fired] == ["sever-client"]
+
+    def test_drain_and_close_are_idempotent_over_the_protocol(self):
+        vectors = random_vectors(20, seed=239)
+        service = JoinService()
+        service.handle({"op": "open", "session": "s", "theta": THETA,
+                        "decay": DECAY, "normalize": False})
+        service.handle({"op": "ingest", "session": "s",
+                        "vectors": [encode_vector(v) for v in vectors]})
+        first = service.handle({"op": "drain", "session": "s"})
+        again = service.handle({"op": "drain", "session": "s"})
+        assert first["ok"] and again["ok"]
+        assert again["already_drained"]
+        assert again["processed"] == first["processed"] == 20
+        closed = service.handle({"op": "close", "session": "s"})
+        missing = service.handle({"op": "close", "session": "s"})
+        assert closed["ok"] and missing["ok"]
+        assert missing.get("missing") is True
+
+    def test_server_read_deadline_disconnects_wedged_clients(self):
+        import socket as socket_module
+        import time as time_module
+
+        server, _ = serve(port=0, read_timeout=0.3)
+        thread = threading.Thread(target=server.serve_until_shutdown,
+                                  daemon=True)
+        thread.start()
+        host, port = server.address
+        try:
+            with socket_module.create_connection((host, port),
+                                                 timeout=5.0) as wedged:
+                # Send nothing: the handler's read deadline must close the
+                # connection instead of pinning its thread forever.
+                wedged.settimeout(5.0)
+                start = time_module.monotonic()
+                assert wedged.recv(1) == b""
+                assert time_module.monotonic() - start < 4.0
+            # A well-behaved client still works afterwards.
+            with ServiceClient(host, port) as client:
+                assert client.ping()["pong"]
+                client.shutdown()
+        finally:
+            thread.join(timeout=10)
+
+    def test_client_retries_then_reports_the_transport_error(self):
+        from repro.service import ServiceClientError
+
+        server, _ = serve(port=0)
+        thread = threading.Thread(target=server.serve_until_shutdown,
+                                  daemon=True)
+        thread.start()
+        host, port = server.address
+        client = ServiceClient(host, port, max_retries=2, backoff_base=0.01)
+        assert client.ping()["pong"]
+        client.shutdown()
+        thread.join(timeout=10)
+        with pytest.raises(ServiceClientError, match="after 3 attempt"):
+            client.ping()
+        client.close()
+
+    def test_open_resyncs_the_client_sequence_counter(self):
+        """A restarted client asks the server where the stream stands and
+        continues from there instead of double-feeding."""
+        vectors = random_vectors(30, seed=241)
+        expected, _ = expected_pairs(vectors)
+        server, _ = serve(port=0)
+        thread = threading.Thread(target=server.serve_until_shutdown,
+                                  daemon=True)
+        thread.start()
+        host, port = server.address
+        with ServiceClient(host, port) as first:
+            first.open_session("s", theta=THETA, decay=DECAY,
+                               normalize=False)
+            first.ingest("s", vectors[:20])
+        # A brand-new client asks the server where the stream stands
+        # (synced into its seq counter by open) and continues from there.
+        with ServiceClient(host, port) as second:
+            opened = second.open_session("s", theta=THETA, decay=DECAY,
+                                         normalize=False)
+            assert opened["ingest_seq"] == 20
+            # A stale resend of an already-consumed slice (its ack was
+            # lost before the restart) is acknowledged, not re-processed:
+            response = second.request(
+                "ingest", session="s", seq=10,
+                vectors=[encode_vector(v) for v in vectors[10:20]])
+            assert response["deduped"] == 10 and response["accepted"] == 0
+            totals = second.ingest("s", vectors[20:])
+            assert totals == {"accepted": 10, "dropped": 0, "deduped": 0}
+            summary = second.drain("s")
+            assert summary["processed"] == 30
+            assert second.results("s")["pairs"] == expected
+            second.shutdown()
+        thread.join(timeout=10)
 
 
 # -- the determinism acceptance property --------------------------------------
