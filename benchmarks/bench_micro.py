@@ -22,6 +22,14 @@ artifact against ``benchmarks/BENCH_baseline.json`` in CI:
     The inverted (INV) gate: STR-INV indexes everything and accumulates
     exact dot products, so its scan is pure posting traffic — the regime
     the fused arena gather accelerates the most.
+``test_l2ap_compiled_str``
+    The compiled-tier gate (numba only — skipped where numba is not
+    installed, i.e. everywhere but the CI numba job): the STR gate
+    workload on all three backends, asserting bitwise pair/counter
+    parity and, at full size, ≥ ``GATE_SPEEDUP_COMPILED`` × the NumPy
+    backend end to end with a ≥ ``GATE_SCAN_SPEEDUP_COMPILED`` ×
+    scan-stage ratio from the profiled breakdowns.  The one-time JIT
+    warm-up is paid (and recorded) before the clock starts.
 ``test_l2ap_approx_recall``
     The approximate-tier recall gate: the STR gate workload run exactly
     (ground truth) and with the sketch prefilter
@@ -117,6 +125,12 @@ GATE_OUTPUT = Path(os.environ.get(
 GATE_SPEEDUP = 6.0
 #: Minimum numpy-over-python speedup on the INV gate workload at full size.
 GATE_SPEEDUP_INV = 10.0
+#: Minimum numba-over-numpy speedup on the STR gate workload at full size.
+GATE_SPEEDUP_COMPILED = 2.0
+#: Minimum numba-over-numpy scan-stage ratio (profiled breakdown) at full
+#: size — the metric the JIT tier exists to move; the end-to-end ratio is
+#: diluted by the NumPy-side stages (gathers, verification, emit).
+GATE_SCAN_SPEEDUP_COMPILED = 3.0
 #: Minimum service-over-direct throughput ratio at full service-gate size.
 GATE_SERVICE_RATIO = 0.8
 #: Sketch geometry of the approx recall gate — the measured sweet spot on
@@ -332,6 +346,90 @@ def test_inv_streaming_hot_path(benchmark):
     _assert_counter_parity(result["numpy_stats"], result["python_stats"])
     if count >= 3_000:  # reduced CI sizes track the artifact, not the gate
         assert result["speedup"] >= GATE_SPEEDUP_INV
+
+
+@pytest.mark.skipif("numba" not in BACKENDS, reason="numba backend unavailable")
+def test_l2ap_compiled_str(benchmark, hashtags_vectors):
+    """Compiled gate: JIT-fused STR-L2AP vs the NumPy and reference backends.
+
+    Runs the STR gate workload on all three backends in one process (the
+    ratios divide out the machine), pays the one-time JIT warm-up before
+    the clock starts and records it separately, asserts bitwise
+    pair/counter parity against both baselines, and emits the
+    ``l2ap_compiled_str`` record of ``BENCH_micro.json`` with the
+    end-to-end and scan-stage-only speedups.
+    """
+    from repro.backends import warmup_backend
+
+    threshold, decay = 0.6, 2e-5
+    jit_warmup_s = warmup_backend("numba")
+
+    def run_all():
+        numba_elapsed, numba_stats = _timed_run(
+            "STR-L2AP", hashtags_vectors, threshold, decay, "numba")
+        numpy_elapsed, numpy_stats = _timed_run(
+            "STR-L2AP", hashtags_vectors, threshold, decay, "numpy")
+        python_elapsed, python_stats = _timed_run(
+            "STR-L2AP", hashtags_vectors, threshold, decay, "python")
+        return {
+            "python_s": python_elapsed,
+            "numpy_s": numpy_elapsed,
+            "numba_s": numba_elapsed,
+            "speedup": numpy_elapsed / numba_elapsed,
+            "speedup_vs_python": python_elapsed / numba_elapsed,
+            "python_stats": python_stats,
+            "numpy_stats": numpy_stats,
+            "numba_stats": numba_stats,
+        }
+
+    result = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    count = len(hashtags_vectors)
+
+    # Scan-stage ratio from profiled (separate) runs of both accelerated
+    # backends; ProfilingKernel warms its inner kernel at construction, so
+    # no JIT cost leaks into the numba breakdown.
+    numpy_stages = _stage_breakdown("STR-L2AP", hashtags_vectors, threshold,
+                                    decay, "numpy")
+    numba_stages = _stage_breakdown("STR-L2AP", hashtags_vectors, threshold,
+                                    decay, "numba")
+    scan_speedup = (numpy_stages.get("scan", 0.0)
+                    / numba_stages["scan"]) if numba_stages.get("scan") else 0.0
+    print(f"\nSTR-L2AP compiled (hashtags, {count} vectors): "
+          f"python {result['python_s']:.1f}s, numpy {result['numpy_s']:.1f}s, "
+          f"numba {result['numba_s']:.1f}s "
+          f"({result['speedup']:.2f}x over numpy, "
+          f"{result['speedup_vs_python']:.2f}x over python), "
+          f"scan stage {scan_speedup:.2f}x, "
+          f"JIT warm-up {jit_warmup_s:.2f}s (outside the clock)")
+
+    numba_record = _backend_record(result["numba_s"], result["numba_stats"],
+                                   count, stages=numba_stages)
+    numba_record["jit_warmup_s"] = round(jit_warmup_s, 4)
+    artifact = write_bench_micro(
+        GATE_OUTPUT,
+        benchmark="l2ap_compiled_str",
+        config={"profile": "hashtags", "num_vectors": count, "seed": 7,
+                "algorithm": "STR-L2AP", "threshold": threshold,
+                "decay": decay},
+        backends={
+            "python": _backend_record(result["python_s"],
+                                      result["python_stats"], count),
+            "numpy": _backend_record(result["numpy_s"], result["numpy_stats"],
+                                     count, stages=numpy_stages),
+            "numba": numba_record,
+        },
+        derived={"speedup": result["speedup"],
+                 "scan_speedup": scan_speedup,
+                 "speedup_vs_python": result["speedup_vs_python"]},
+    )
+    print(f"benchmark artifact written to {artifact}")
+
+    # The compiled loops must change nothing observable.
+    _assert_counter_parity(result["numba_stats"], result["python_stats"])
+    _assert_counter_parity(result["numba_stats"], result["numpy_stats"])
+    if count >= 10_000:  # reduced CI sizes track the artifact, not the gate
+        assert result["speedup"] >= GATE_SPEEDUP_COMPILED
+        assert scan_speedup >= GATE_SCAN_SPEEDUP_COMPILED
 
 
 def _timed_sharded(algorithm, vectors, threshold, decay, workers):

@@ -2,8 +2,8 @@
 
 Every index (and both baselines) routes its posting-list scans, decay/time
 filtering and verification dot products through a
-:class:`~repro.backends.base.SimilarityKernel`.  Two backends ship with the
-library:
+:class:`~repro.backends.base.SimilarityKernel`.  Three backends ship with
+the library:
 
 ``python``
     The pure-Python reference implementation — dependency-free, the
@@ -13,6 +13,13 @@ library:
     Contiguous-array posting lists and vectorised scan kernels
     (:mod:`repro.backends.numpy_backend`).  Registered only when NumPy is
     importable.
+``numba``
+    The NumPy layout with the sequential scan/admission loops compiled to
+    machine code via ``numba.njit`` (:mod:`repro.backends.numba_backend`).
+    Registered only when numba is importable; selecting it without numba
+    falls back to ``numpy`` with a warning (see :func:`get_backend`), so
+    library code and checkpoints written on a numba-equipped machine keep
+    working everywhere.
 
 Selection
 ---------
@@ -22,7 +29,8 @@ The backend is chosen per join via ``backend=`` on the public entry points
 ``backend`` field of :class:`repro.JoinParameters`.  ``None`` or ``"auto"``
 resolves to the fastest available backend — ``numpy`` when present,
 ``python`` otherwise — overridable with the ``SSSJ_BACKEND`` environment
-variable.
+variable.  ``numba`` is opt-in even when installed: its one-time JIT
+warm-up only amortises on long streams, so ``auto`` never picks it.
 
 >>> from repro.backends import available_backends, resolve_kernel
 >>> "python" in available_backends()
@@ -34,6 +42,7 @@ True
 from __future__ import annotations
 
 import os
+import warnings
 
 from repro.backends.base import (
     CandidateSet,
@@ -51,16 +60,28 @@ __all__ = [
     "SizeFilterMap",
     "ReferenceKernel",
     "available_backends",
+    "backend_availability",
     "default_backend",
     "get_backend",
+    "known_backends",
+    "probe_backends",
     "register_backend",
     "resolve_kernel",
+    "warmup_backend",
 ]
 
 #: Environment variable overriding the ``"auto"`` backend resolution.
 BACKEND_ENV_VAR = "SSSJ_BACKEND"
 
 _BACKENDS: dict[str, type[SimilarityKernel]] = {}
+
+#: Backends that ship with the library but cannot run on this machine:
+#: ``name -> (reason, description)``.  ``get_backend`` falls back to the
+#: default for these instead of raising, and the CLI probe reports them.
+_UNAVAILABLE: dict[str, tuple[str, str]] = {}
+
+#: Names already warned about (one fallback warning per process & name).
+_FALLBACK_WARNED: set[str] = set()
 
 
 def register_backend(cls: type[SimilarityKernel]) -> type[SimilarityKernel]:
@@ -75,13 +96,81 @@ try:  # NumPy is an optional dependency: gate, don't require.
     from repro.backends.numpy_backend import NumpyKernel
 except ImportError:  # pragma: no cover - exercised only without numpy
     NumpyKernel = None  # type: ignore[assignment]
+    _UNAVAILABLE["numpy"] = (
+        "numpy is not installed",
+        "vectorised contiguous-array kernels (requires numpy)")
 else:
     register_backend(NumpyKernel)
 
+try:  # The compiled tier needs numpy (its base class) to import at all.
+    from repro.backends.numba_backend import NumbaKernel
+except ImportError:  # pragma: no cover - exercised only without numpy
+    NumbaKernel = None  # type: ignore[assignment]
+    _UNAVAILABLE["numba"] = (
+        "numpy is not installed (the compiled tier builds on the numpy "
+        "backend)",
+        "JIT-compiled fused scan kernels (requires numba)")
+else:
+    if NumbaKernel.available():
+        register_backend(NumbaKernel)
+    else:
+        _UNAVAILABLE["numba"] = (
+            NumbaKernel.availability_reason() or "unavailable",
+            NumbaKernel.description)
+
 
 def available_backends() -> list[str]:
-    """Names of the registered backends, reference backend first."""
+    """Names of the registered (usable) backends, reference backend first."""
     return sorted(_BACKENDS, key=lambda name: (name != "python", name))
+
+
+def known_backends() -> list[str]:
+    """Every backend name the library knows, usable here or not."""
+    return sorted(set(_BACKENDS) | set(_UNAVAILABLE),
+                  key=lambda name: (name != "python", name))
+
+
+def backend_availability(name: str) -> tuple[bool, str | None]:
+    """``(available, reason)`` for a backend name (reason when not)."""
+    key = name.lower()
+    if key in ("auto", ""):
+        return True, None
+    if key in _BACKENDS:
+        return True, None
+    if key in _UNAVAILABLE:
+        return False, _UNAVAILABLE[key][0]
+    return False, f"unknown backend {name!r}"
+
+
+def probe_backends() -> list[dict]:
+    """Availability report for every known backend (CLI ``sssj backends``).
+
+    One dict per backend: ``name``, ``available``, ``reason`` (``None``
+    when available) and ``description``.
+    """
+    report = []
+    for name in known_backends():
+        cls = _BACKENDS.get(name)
+        if cls is not None:
+            report.append({"name": name, "available": True, "reason": None,
+                           "description": cls.description})
+        else:
+            reason, description = _UNAVAILABLE[name]
+            report.append({"name": name, "available": False,
+                           "reason": reason, "description": description})
+    return report
+
+
+def _fallback_for(name: str) -> type[SimilarityKernel]:
+    """Degrade an unavailable-but-known backend to the best usable one."""
+    target = "numpy" if "numpy" in _BACKENDS else "python"
+    if name not in _FALLBACK_WARNED:
+        _FALLBACK_WARNED.add(name)
+        warnings.warn(
+            f"backend {name!r} is unavailable ({_UNAVAILABLE[name][0]}); "
+            f"falling back to {target!r}",
+            RuntimeWarning, stacklevel=3)
+    return _BACKENDS[target]
 
 
 def default_backend() -> str:
@@ -89,26 +178,44 @@ def default_backend() -> str:
 
     The ``SSSJ_BACKEND`` environment variable wins when set to a registered
     backend name; otherwise the fastest available backend is picked
-    (``numpy`` when importable, else ``python``).
+    (``numpy`` when importable, else ``python``).  Setting it to a known
+    but unavailable backend (``numba`` without numba installed) degrades
+    to the normal default with a warning instead of failing, so one
+    environment file can serve heterogeneous machines.
     """
     override = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
     if override and override != "auto":
-        if override not in _BACKENDS:
-            raise UnknownBackendError(
-                f"{BACKEND_ENV_VAR}={override!r} is not a registered backend; "
-                f"available: {available_backends()}"
-            )
-        return override
+        if override in _BACKENDS:
+            return override
+        if override in _UNAVAILABLE:
+            return _fallback_for(override).name
+        raise UnknownBackendError(
+            f"{BACKEND_ENV_VAR}={override!r} is not a registered backend; "
+            f"available: {available_backends()}"
+        )
     return "numpy" if "numpy" in _BACKENDS else "python"
 
 
 def get_backend(name: str | None = None) -> type[SimilarityKernel]:
-    """Kernel class registered under ``name`` (``None``/``"auto"`` → default)."""
+    """Kernel class registered under ``name`` (``None``/``"auto"`` → default).
+
+    A *known* backend that cannot run on this machine (``numba`` without
+    numba installed) resolves to the best available backend with a
+    one-time warning — the graceful import-guard fallback that keeps
+    sessions, shard workers and restored checkpoints working on machines
+    missing the accelerator.  Unknown names still raise
+    :class:`~repro.exceptions.UnknownBackendError`; the CLI additionally
+    fails fast (exit 2) when an unavailable backend is requested
+    explicitly.
+    """
     if name is None or name.lower() == "auto":
         name = default_backend()
+    key = name.lower()
     try:
-        return _BACKENDS[name.lower()]
+        return _BACKENDS[key]
     except KeyError:
+        if key in _UNAVAILABLE and _BACKENDS:
+            return _fallback_for(key)
         raise UnknownBackendError(
             f"unknown compute backend {name!r}; available: {available_backends()}"
         ) from None
@@ -125,3 +232,15 @@ def resolve_kernel(backend: str | SimilarityKernel | None) -> SimilarityKernel:
     if isinstance(backend, SimilarityKernel):
         return backend
     return get_backend(backend)()
+
+
+def warmup_backend(backend: str | None = None) -> float:
+    """Prime a backend's one-time machinery; return the seconds spent.
+
+    For the compiled tier this triggers every JIT compilation (the
+    compiled functions are module-level, so the warm-up covers all
+    kernel instances in the process); for the other backends it is a
+    no-op returning ``0.0``.  Benchmark and profiling drivers call this
+    before timing so compile cost never pollutes stage timings.
+    """
+    return get_backend(backend)().warmup()

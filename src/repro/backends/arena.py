@@ -60,7 +60,17 @@ from repro.indexes.posting import PostingEntry
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.backends.numpy_backend import NumpyKernel
 
-__all__ = ["PostingArena", "ArenaPostingList", "ArenaAllocator"]
+__all__ = ["PostingArena", "ArenaPostingList", "ArenaAllocator",
+           "SLOT_DTYPE", "VALUE_DTYPE"]
+
+#: Dtypes of the arena's parallel arrays: ``SLOT_DTYPE`` for the interned
+#: vector slots, ``VALUE_DTYPE`` for values, prefix magnitudes and
+#: timestamps.  The compiled tier (:mod:`repro.backends.kernels`) specialises
+#: its JIT signatures against these exact dtypes — its warm-up compiles with
+#: them, so an arena allocated with anything else would trigger a fresh
+#: compilation (or a TypingError) mid-scan.
+SLOT_DTYPE = np.int64
+VALUE_DTYPE = np.float64
 
 #: Smallest chunk allocated to a non-empty posting list (and the reported
 #: capacity of a list that has never stored a posting).
@@ -125,10 +135,10 @@ class PostingArena:
         #: from this factory, so an arena is shared-memory backed for its
         #: whole lifetime, not only at construction.
         self.allocator = allocator if allocator is not None else _heap_alloc
-        self.slots = self.allocator(_INITIAL_ARENA, np.int64)
-        self.values = self.allocator(_INITIAL_ARENA, np.float64)
-        self.pnorms = self.allocator(_INITIAL_ARENA, np.float64)
-        self.ts = self.allocator(_INITIAL_ARENA, np.float64)
+        self.slots = self.allocator(_INITIAL_ARENA, SLOT_DTYPE)
+        self.values = self.allocator(_INITIAL_ARENA, VALUE_DTYPE)
+        self.pnorms = self.allocator(_INITIAL_ARENA, VALUE_DTYPE)
+        self.ts = self.allocator(_INITIAL_ARENA, VALUE_DTYPE)
         #: Next free offset; everything at or beyond it is unallocated.
         self.tail = 0
         #: Physically stored postings across all live lists (incl. dirty).

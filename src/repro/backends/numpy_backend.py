@@ -263,6 +263,7 @@ class NumpyKernel(SimilarityKernel):
     """Vectorised array kernels over slot-interned candidate state."""
 
     name = "numpy"
+    description = "vectorised contiguous-array kernels (requires numpy)"
 
     def __init__(self, *, fused: bool = True, arena_allocator=None) -> None:
         #: Whether the fused ``scan_query_*`` kernels are enabled.  With
@@ -532,6 +533,22 @@ class NumpyKernel(SimilarityKernel):
         counted in ``acc.sketch_pruned`` — the reference per-entry loop
         charges repeat visits of a rejected candidate the same way.
         """
+        ok = self._sketch_verdict_now()[slots]
+        rejected = len(ok) - int(np.count_nonzero(ok))
+        if not rejected:
+            return None
+        acc.sketch_pruned += rejected  # type: ignore[attr-defined]
+        return ok
+
+    def _sketch_verdict_now(self) -> np.ndarray:
+        """The current query's per-slot banding verdict, built lazily.
+
+        One bucket-lookup pass per query epoch; the bucket-based build is
+        the *specification* of the verdict — the compiled backend reuses
+        it verbatim and only compiles the per-posting application, so
+        both tiers reject the exact same slots in every regime
+        (including stale-bucket revalidation after slot reuse).
+        """
         if self._sketch_verdict_epoch != self._epoch:
             table = self._slot_bands
             verdict = ~self._slot_sig_valid
@@ -554,12 +571,7 @@ class NumpyKernel(SimilarityKernel):
                 verdict[candidates] = True
             self._sketch_verdict = verdict
             self._sketch_verdict_epoch = self._epoch
-        ok = self._sketch_verdict[slots]
-        rejected = len(ok) - int(np.count_nonzero(ok))
-        if not rejected:
-            return None
-        acc.sketch_pruned += rejected  # type: ignore[attr-defined]
-        return ok
+        return self._sketch_verdict
 
     def _rebuild_band_buckets(self) -> None:
         """Compact the band buckets back to the live slots.
@@ -2162,20 +2174,14 @@ class NumpyKernel(SimilarityKernel):
             dots = _EMPTY_FLOAT
         else:
             if len(dims_parts) == 1:
-                products = vals_parts[0] * dense[dims_parts[0]]
+                cat_dims = dims_parts[0]
+                cat_vals = vals_parts[0]
             else:
                 cat_dims = np.concatenate(dims_parts)
                 cat_vals = np.concatenate(vals_parts)
-                products = cat_vals * dense[cat_dims]
             part_counts = np.asarray([count for count in counts if count > 0],
                                      dtype=np.int64)
-            segment_ids = np.repeat(
-                np.arange(len(part_counts), dtype=np.int64), part_counts)
-            dots = np.zeros(len(part_counts), dtype=np.float64)
-            # Unbuffered sequential scatter-add: each candidate's products
-            # accumulate left to right from 0.0, bit-for-bit the reference
-            # reduction.
-            np.add.at(dots, segment_ids, products)
+            dots = self._segment_dots(cat_dims, cat_vals, part_counts)
         dot_list = dots.tolist()
         results: list[float] = []
         offset = 0
@@ -2188,6 +2194,24 @@ class NumpyKernel(SimilarityKernel):
             else:
                 results.append(entries[slot_list[index]].residual_dot(query))
         return results
+
+    def _segment_dots(self, cat_dims: np.ndarray, cat_vals: np.ndarray,
+                      part_counts: np.ndarray) -> np.ndarray:
+        """Per-candidate sequential reductions over the concatenated prefixes.
+
+        The seam the compiled backend overrides: given the candidates'
+        residual ``(dims, values)`` arrays concatenated back to back and
+        the per-candidate ``part_counts``, return each candidate's dot
+        against the dense query scratch.  The unbuffered sequential
+        scatter-add accumulates every candidate's products left to right
+        from ``0.0``, bit-for-bit the reference reduction.
+        """
+        products = cat_vals * self._dense[cat_dims]
+        segment_ids = np.repeat(
+            np.arange(len(part_counts), dtype=np.int64), part_counts)
+        dots = np.zeros(len(part_counts), dtype=np.float64)
+        np.add.at(dots, segment_ids, products)
+        return dots
 
     def _residual_dot_fast(self, query: SparseVector,
                            entry: ResidualEntry) -> float:

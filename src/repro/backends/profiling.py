@@ -67,6 +67,13 @@ class ProfilingKernel(SimilarityKernel):
         self.name = f"{inner.name}+profile"
         self.stage_seconds: dict[str, float] = {stage: 0.0 for stage in STAGES}
         self.stage_calls: dict[str, int] = {stage: 0 for stage in STAGES}
+        # Warm the wrapped kernel now so a compiled backend's one-time JIT
+        # cost lands here, not inside the first scan — the breakdown would
+        # otherwise charge seconds of compilation to the "scan" stage.
+        self.warmup_seconds = float(inner.warmup())
+
+    def warmup(self) -> float:
+        return self._inner.warmup()
 
     # -- reporting -----------------------------------------------------------
 

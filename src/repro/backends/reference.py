@@ -93,6 +93,7 @@ class ReferenceKernel(SimilarityKernel):
     """The per-entry Python loops of Algorithms 3, 4, 7 and 8."""
 
     name = "python"
+    description = "pure-Python reference loops (the semantic ground truth)"
 
     # -- storage factories ---------------------------------------------------
 

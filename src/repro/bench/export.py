@@ -26,6 +26,7 @@ __all__ = [
     "experiment_to_markdown",
     "write_markdown_report",
     "git_revision",
+    "backend_versions",
     "bench_micro_benchmarks",
     "write_bench_micro",
 ]
@@ -49,6 +50,23 @@ def git_revision(default: str = "unknown") -> str:
         return default
     revision = output.stdout.strip()
     return revision if output.returncode == 0 and revision else default
+
+
+def backend_versions() -> dict[str, str]:
+    """Versions of the optional compute-backend dependencies present here.
+
+    Stamped into benchmark artifacts so a measured speedup can be traced
+    to the numpy/numba build that produced it (compiled-tier numbers from
+    different numba releases are not interchangeable).
+    """
+    versions: dict[str, str] = {}
+    for module_name in ("numpy", "numba"):
+        try:
+            module = __import__(module_name)
+        except ImportError:
+            continue
+        versions[module_name] = str(getattr(module, "__version__", "unknown"))
+    return versions
 
 
 def bench_micro_benchmarks(record: dict[str, Any]) -> dict[str, dict[str, Any]]:
@@ -98,6 +116,10 @@ def write_bench_micro(path: str | Path, *, benchmark: str,
         # must not mislabel records measured at an older revision.
         "git_sha": revision,
         "config": dict(config),
+        # Outside "config" on purpose: the workload-mismatch guard must
+        # not refuse to compare records from machines with different
+        # library builds — that difference is what the ratios divide out.
+        "versions": backend_versions(),
         "backends": {name: dict(values) for name, values in backends.items()},
     }
     if derived:

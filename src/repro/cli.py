@@ -6,7 +6,8 @@ Installed as the ``sssj`` console script (and reachable as
 ``profiles``
     List the built-in synthetic dataset profiles.
 ``backends``
-    List the available compute backends and the current default.
+    List every known compute backend, whether it can run on this machine
+    (and why not when it cannot), and the current default.
 ``generate``
     Generate a synthetic corpus and write it to a dataset file.
 ``convert``
@@ -52,7 +53,12 @@ import os
 import sys
 from collections.abc import Sequence
 
-from repro.backends import available_backends, default_backend
+from repro.backends import (
+    backend_availability,
+    default_backend,
+    known_backends,
+    probe_backends,
+)
 from repro.bench.config import LAMBDA_GRID, THETA_GRID, ExperimentScale, default_scale
 from repro.bench.experiments import ALL_EXPERIMENTS, run_experiment
 from repro.bench.runner import run_algorithm, sweep
@@ -132,7 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--theta", type=float, default=0.7, help="similarity threshold")
     run.add_argument("--decay", type=float, default=0.01, help="time-decay rate λ")
     run.add_argument("--backend", default=None,
-                     choices=["auto", *available_backends()],
+                     choices=["auto", *known_backends()],
                      help="compute backend for the hot loops (default: auto)")
     run.add_argument("--workers", type=int, default=None,
                      help="run the sharded parallel engine with N shard "
@@ -161,7 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile_cmd.add_argument("--decay", type=float, default=0.01,
                              help="time-decay rate λ")
     profile_cmd.add_argument("--backend", default=None,
-                             choices=["auto", *available_backends()],
+                             choices=["auto", *known_backends()],
                              help="compute backend to profile (default: auto)")
     _add_approx_args(profile_cmd)
 
@@ -184,7 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--thetas", default=",".join(str(t) for t in THETA_GRID))
     sweep_cmd.add_argument("--decays", default=",".join(str(d) for d in LAMBDA_GRID))
     sweep_cmd.add_argument("--backend", default=None,
-                           choices=["auto", *available_backends()],
+                           choices=["auto", *known_backends()],
                            help="compute backend for the hot loops (default: auto)")
 
     experiment = subparsers.add_parser(
@@ -240,7 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--theta", type=float, default=0.7)
     ingest.add_argument("--decay", type=float, default=0.01)
     ingest.add_argument("--backend", default=None,
-                        choices=["auto", *available_backends()])
+                        choices=["auto", *known_backends()])
     ingest.add_argument("--workers", type=int, default=None,
                         help="run the session on the sharded engine with N "
                              "workers (STR only)")
@@ -327,17 +333,36 @@ def _cmd_profiles(_args: argparse.Namespace) -> int:
 def _cmd_backends(_args: argparse.Namespace) -> int:
     default = default_backend()
     rows = []
-    for name in available_backends():
+    for info in probe_backends():
         rows.append({
-            "backend": name,
-            "default": "yes" if name == default else "",
-            "description": ("pure-Python reference (ground truth)"
-                            if name == "python"
-                            else "vectorised contiguous-array kernels"),
+            "backend": info["name"],
+            "available": "yes" if info["available"] else "NO",
+            "default": "yes" if info["name"] == default else "",
+            "description": info["description"],
+            "reason": info["reason"] or "",
         })
     print(render_table(rows, title="Compute backends (select with --backend "
                                    "or the SSSJ_BACKEND environment variable)"))
     return 0
+
+
+def _require_backend(backend: str | None) -> str | None:
+    """Why an explicitly requested backend cannot run here, or ``None``.
+
+    Library entry points degrade gracefully (:func:`repro.backends.get_backend`
+    falls back with a warning so sessions and restored checkpoints keep
+    working), but an explicit ``--backend`` on the command line should fail
+    fast instead of silently measuring a different backend.
+    """
+    if backend is None:
+        return None
+    available, reason = backend_availability(backend)
+    if available:
+        return None
+    hint = ""
+    if backend.lower() == "numba":
+        hint = " — pip install numba to enable the compiled tier"
+    return f"--backend {backend}: {reason}{hint}"
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -508,7 +533,9 @@ def _validate_fault_plan(plan, workers: int | None) -> str | None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     workers = args.workers if args.workers is not None else _workers_from_env()
-    error = _validate_workers(args.algorithm, workers)
+    error = _require_backend(args.backend)
+    if error is None:
+        error = _validate_workers(args.algorithm, workers)
     if error is None:
         approx, error = _resolve_approx(args)
     if error is None:
@@ -568,7 +595,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print("sssj profile supports the STR framework "
               f"(got {args.algorithm!r}); use e.g. STR-L2AP", file=sys.stderr)
         return 2
-    approx, error = _resolve_approx(args)
+    error = _require_backend(args.backend)
+    if error is None:
+        approx, error = _resolve_approx(args)
     if error is None:
         error = _validate_approx(args.algorithm, approx, None)
     if error is not None:
@@ -594,6 +623,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         title=(f"Per-stage breakdown: {args.algorithm} on {name} "
                f"({kernel.name}, θ={args.theta}, λ={args.decay})"),
     ))
+    if kernel.warmup_seconds:
+        print(f"one-time JIT warm-up: {kernel.warmup_seconds:.2f}s "
+              "(paid before the run; not part of the breakdown)")
     stats = join.stats
     print(render_table(
         [{
@@ -637,6 +669,10 @@ def _cmd_shards(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    error = _require_backend(args.backend)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
     algorithms = [token.strip() for token in args.algorithms.split(",") if token.strip()]
     thetas = tuple(float(token) for token in args.thetas.split(",") if token)
     decays = tuple(float(token) for token in args.decays.split(",") if token)
@@ -714,7 +750,9 @@ def _client_for(args: argparse.Namespace):
 def _cmd_ingest(args: argparse.Namespace) -> int:
     from repro.service import ServiceClientError
 
-    error = _validate_workers(args.algorithm, args.workers)
+    error = _require_backend(args.backend)
+    if error is None:
+        error = _validate_workers(args.algorithm, args.workers)
     if error is None:
         approx, error = _resolve_approx(args)
     if error is None:

@@ -78,8 +78,8 @@ def create_join(algorithm: str, threshold: float, decay: float, *,
     ``"MB-L2AP"``, ``"MB-INV"``, ...
 
     ``backend`` selects the compute backend for the hot loops (``"python"``,
-    ``"numpy"``; ``None``/``"auto"`` picks the fastest available one — see
-    :mod:`repro.backends`).
+    ``"numpy"``, ``"numba"``; ``None``/``"auto"`` picks the fastest
+    available one — see :mod:`repro.backends`).
 
     ``workers`` switches construction to the sharded parallel engine
     (:mod:`repro.shard`) with that many shard workers — STR only, and the

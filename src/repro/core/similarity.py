@@ -104,9 +104,9 @@ class JoinParameters:
     decay:
         Time-decay rate ``λ ≥ 0``.
     backend:
-        Compute backend for the hot loops (``"python"``, ``"numpy"``, or
-        ``None``/``"auto"`` for the fastest available one; see
-        :mod:`repro.backends`).
+        Compute backend for the hot loops (``"python"``, ``"numpy"``,
+        ``"numba"``, or ``None``/``"auto"`` for the fastest available
+        one; see :mod:`repro.backends`).
     approx:
         Optional approximate-tier spec (:mod:`repro.approx`), e.g.
         ``"minhash"`` or ``"simhash:16x2"``; normalised to its canonical

@@ -92,11 +92,20 @@ def unpack_partials(packed) -> list[SegmentPartial]:
 
 
 def make_worker_kernel(backend: str = "numpy", *, allocator=None):
-    """Build a worker's compute kernel, shared-memory backed if requested."""
+    """Build a worker's compute kernel, shared-memory backed if requested.
+
+    The kernel is warmed before use: the compiled tier's one-time JIT
+    compilation must happen here, not inside the first ``scan`` — a
+    multi-second compile during a step would trip the coordinator's
+    recv timeout and look like a crashed worker.
+    """
     kernel_cls = get_backend(backend)
     if allocator is not None:
-        return kernel_cls(arena_allocator=allocator)
-    return kernel_cls()
+        kernel = kernel_cls(arena_allocator=allocator)
+    else:
+        kernel = kernel_cls()
+    kernel.warmup()
+    return kernel
 
 
 class ShardWorker:
@@ -224,7 +233,9 @@ def shard_worker_main(conn, shard: int, use_shared_memory: bool = True,
     workers are started fault-free.
     """
     allocator = None
-    if use_shared_memory and backend == "numpy":
+    # The numba backend shares the numpy arena layout, so both can place
+    # their postings in shared memory.
+    if use_shared_memory and backend in ("numpy", "numba"):
         from repro.shard.shm import SharedMemoryAllocator
 
         allocator = SharedMemoryAllocator(name_prefix=f"sssj-shard{shard}")

@@ -16,6 +16,25 @@ def make_vector(vector_id: int, timestamp: float, entries: dict[int, float],
     return SparseVector(vector_id, timestamp, entries, normalize=normalize)
 
 
+def accelerated_backends() -> list:
+    """The non-reference backends as pytest params, skip-marked when absent.
+
+    Parity suites parametrized over this list pin the compiled (numba)
+    tier against the reference on machines that have numba installed —
+    the CI numba job — at zero cost elsewhere: the numba params simply
+    skip.  The interpreted-mode loop-logic coverage that runs everywhere
+    lives in ``tests/test_numba_backend.py``.
+    """
+    from repro.backends import available_backends
+
+    return [
+        pytest.param(name, marks=pytest.mark.skipif(
+            name not in available_backends(),
+            reason=f"{name} backend unavailable"))
+        for name in ("numpy", "numba")
+    ]
+
+
 def random_vectors(count: int, *, dimensions: int = 40, nnz: int = 6,
                    seed: int = 0, time_step: float = 1.0,
                    duplicate_probability: float = 0.3) -> list[SparseVector]:

@@ -33,7 +33,7 @@ from repro.backends import get_backend, resolve_kernel
 from repro.core.results import JoinStatistics
 from repro.core.similarity import JoinParameters
 from repro.indexes.posting import PostingEntry, PostingList
-from tests.conftest import random_vectors
+from tests.conftest import accelerated_backends, random_vectors
 
 numpy_missing = "numpy" not in available_backends()
 needs_numpy = pytest.mark.skipif(numpy_missing, reason="NumPy backend unavailable")
@@ -50,11 +50,12 @@ def run_pairs(algorithm, vectors, threshold, decay, backend):
     return pairs, stats
 
 
-def assert_backend_parity(algorithm, vectors, threshold, decay):
+def assert_backend_parity(algorithm, vectors, threshold, decay,
+                          backend="numpy"):
     reference, reference_stats = run_pairs(algorithm, vectors, threshold, decay,
                                            "python")
     vectorized, vectorized_stats = run_pairs(algorithm, vectors, threshold, decay,
-                                             "numpy")
+                                             backend)
     assert set(vectorized) == set(reference)
     for key, pair in reference.items():
         other = vectorized[key]
@@ -70,25 +71,27 @@ def assert_backend_parity(algorithm, vectors, threshold, decay):
 
 
 @needs_numpy
+@pytest.mark.parametrize("backend", accelerated_backends())
 class TestJoinEquivalence:
     """Pair-for-pair parity on the paper-shaped profile corpora."""
 
     @pytest.mark.parametrize("algorithm", STREAMING_ALGORITHMS + MINIBATCH_ALGORITHMS)
-    def test_tweets_profile(self, tweets_corpus, algorithm):
-        pairs = assert_backend_parity(algorithm, tweets_corpus, 0.6, 0.05)
+    def test_tweets_profile(self, tweets_corpus, algorithm, backend):
+        pairs = assert_backend_parity(algorithm, tweets_corpus, 0.6, 0.05,
+                                      backend)
         expected = {p.key for p in brute_force_time_dependent(tweets_corpus, 0.6, 0.05)}
         assert set(pairs) == expected
 
     @pytest.mark.parametrize("algorithm", STREAMING_ALGORITHMS + MINIBATCH_ALGORITHMS)
-    def test_rcv1_profile(self, rcv1_corpus, algorithm):
-        assert_backend_parity(algorithm, rcv1_corpus, 0.7, 0.02)
+    def test_rcv1_profile(self, rcv1_corpus, algorithm, backend):
+        assert_backend_parity(algorithm, rcv1_corpus, 0.7, 0.02, backend)
 
     @pytest.mark.parametrize("algorithm", ["STR-L2", "STR-L2AP"])
-    def test_near_threshold_parameters(self, tweets_corpus, algorithm):
+    def test_near_threshold_parameters(self, tweets_corpus, algorithm, backend):
         # A high threshold with slow decay stresses the decayed bounds.
-        assert_backend_parity(algorithm, tweets_corpus, 0.9, 0.001)
+        assert_backend_parity(algorithm, tweets_corpus, 0.9, 0.001, backend)
 
-    def test_reindexing_heavy_stream(self):
+    def test_reindexing_heavy_stream(self, backend):
         # Growing maxima force frequent STR-L2AP re-indexing, exercising the
         # unordered (compacting) posting-list scans on both backends.
         vectors = [
@@ -96,10 +99,10 @@ class TestJoinEquivalence:
                          {dim: 1.0 + 0.05 * index for dim in range(index % 7, index % 7 + 4)})
             for index in range(120)
         ]
-        assert_backend_parity("STR-L2AP", vectors, 0.6, 0.02)
+        assert_backend_parity("STR-L2AP", vectors, 0.6, 0.02, backend)
 
     @pytest.mark.parametrize("algorithm", ["STR-INV", "STR-L2", "STR-L2AP"])
-    def test_long_posting_lists_use_vectorised_scans(self, algorithm):
+    def test_long_posting_lists_use_vectorised_scans(self, algorithm, backend):
         # Every vector shares the same six dimensions, so the posting lists
         # grow far past the NumPy backend's scalar-scan cutoff and the fully
         # vectorised kernels (not just the short-list fast path) are covered.
@@ -109,25 +112,26 @@ class TestJoinEquivalence:
                           for dim in range(6)})
             for index in range(150)
         ]
-        assert_backend_parity(algorithm, vectors, 0.5, 0.001)
+        assert_backend_parity(algorithm, vectors, 0.5, 0.001, backend)
 
     @pytest.mark.slow
-    def test_hot_path_profile_equivalence(self):
+    def test_hot_path_profile_equivalence(self, backend):
         from repro.datasets.generator import generate_profile_corpus
 
         vectors = generate_profile_corpus("hashtags", num_vectors=1200, seed=7)
-        assert_backend_parity("STR-L2AP", vectors, 0.6, 2e-5)
-        assert_backend_parity("STR-L2", vectors, 0.6, 2e-5)
+        assert_backend_parity("STR-L2AP", vectors, 0.6, 2e-5, backend)
+        assert_backend_parity("STR-L2", vectors, 0.6, 2e-5, backend)
 
 
 @needs_numpy
 class TestBatchAndBaselineEquivalence:
+    @pytest.mark.parametrize("backend", accelerated_backends())
     @pytest.mark.parametrize("index", BATCH_INDEXES)
-    def test_all_pairs(self, rcv1_corpus, index):
+    def test_all_pairs(self, rcv1_corpus, index, backend):
         reference = {p.key: p.similarity
                      for p in all_pairs(rcv1_corpus, 0.7, index=index, backend="python")}
         vectorized = {p.key: p.similarity
-                      for p in all_pairs(rcv1_corpus, 0.7, index=index, backend="numpy")}
+                      for p in all_pairs(rcv1_corpus, 0.7, index=index, backend=backend)}
         assert vectorized == reference
 
     def test_brute_force(self, small_random_stream):
@@ -165,7 +169,12 @@ class TestBackendSelection:
     def test_default_backend_prefers_numpy(self):
         override = os.environ.get("SSSJ_BACKEND", "").strip().lower()
         if override and override != "auto":
-            assert default_backend() == override
+            if override in available_backends():
+                assert default_backend() == override
+            else:
+                # A known-but-unavailable override (e.g. numba without
+                # numba installed) degrades to the auto default.
+                assert default_backend() in available_backends()
         elif numpy_missing:
             assert default_backend() == "python"
         else:
@@ -290,6 +299,7 @@ sparse_streams = st.lists(
 
 
 @needs_numpy
+@pytest.mark.parametrize("backend", accelerated_backends())
 class TestKernelProperties:
     """End-to-end kernel parity on adversarial hypothesis streams."""
 
@@ -297,12 +307,12 @@ class TestKernelProperties:
     @given(entries=sparse_streams,
            threshold=st.floats(min_value=0.3, max_value=0.95),
            decay=st.floats(min_value=0.01, max_value=0.5))
-    def test_streaming_parity(self, entries, threshold, decay):
+    def test_streaming_parity(self, entries, threshold, decay, backend):
         vectors = [SparseVector(index, float(index), coords)
                    for index, coords in enumerate(entries)]
         for algorithm in ("STR-L2", "STR-L2AP", "STR-INV"):
             reference, _ = run_pairs(algorithm, vectors, threshold, decay, "python")
-            vectorized, _ = run_pairs(algorithm, vectors, threshold, decay, "numpy")
+            vectorized, _ = run_pairs(algorithm, vectors, threshold, decay, backend)
             assert set(vectorized) == set(reference)
             for key, pair in reference.items():
                 assert math.isclose(vectorized[key].similarity, pair.similarity,
@@ -311,13 +321,13 @@ class TestKernelProperties:
     @settings(max_examples=30, deadline=None)
     @given(entries=sparse_streams,
            threshold=st.floats(min_value=0.3, max_value=0.95))
-    def test_batch_parity(self, entries, threshold):
+    def test_batch_parity(self, entries, threshold, backend):
         vectors = [SparseVector(index, float(index), coords)
                    for index, coords in enumerate(entries)]
         reference = {p.key: p.similarity
                      for p in all_pairs(vectors, threshold, backend="python")}
         vectorized = {p.key: p.similarity
-                      for p in all_pairs(vectors, threshold, backend="numpy")}
+                      for p in all_pairs(vectors, threshold, backend=backend)}
         assert vectorized == reference
 
 
@@ -344,7 +354,7 @@ class TestCheckpointAcrossBackends:
                 expected.extend(keys)
         assert rest == expected
 
-    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    @pytest.mark.parametrize("backend", ["python", *accelerated_backends()])
     def test_resume_preserves_size_filter_counters(self, tmp_path, backend):
         # Restoring must rebuild the kernel's sz1 size-filter map: a resumed
         # join has to do exactly the same amount of work (not just produce

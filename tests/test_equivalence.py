@@ -16,6 +16,7 @@ from __future__ import annotations
 import pytest
 
 from repro import create_join, sliding_window_join
+from tests.conftest import accelerated_backends
 
 ALGORITHMS = ["STR-INV", "STR-L2AP", "STR-L2", "MB-INV", "MB-L2AP", "MB-L2"]
 
@@ -56,6 +57,26 @@ class TestRCV1Profile:
         expected = rcv1_truth.keys(threshold, decay)
         join = create_join(algorithm, threshold, decay)
         got = {pair.key for pair in join.run(rcv1_corpus)}
+        assert got == expected
+
+
+class TestBackendOracle:
+    """The no-false-positive/negative claim, per explicit backend.
+
+    The classes above run the default backend (so the reference-backend
+    CI job re-checks them under ``SSSJ_BACKEND=python``); this one names
+    each accelerated backend explicitly, pinning the compiled tier
+    against the memoised oracle wherever numba is installed.
+    """
+
+    @pytest.mark.parametrize("backend", accelerated_backends())
+    @pytest.mark.parametrize("algorithm", ["STR-INV", "STR-L2AP", "STR-L2"])
+    def test_matches_oracle(self, tweets_corpus, tweets_truth, algorithm,
+                            backend):
+        threshold, decay = 0.6, 0.05
+        expected = tweets_truth.keys(threshold, decay)
+        join = create_join(algorithm, threshold, decay, backend=backend)
+        got = {pair.key for pair in join.run(tweets_corpus)}
         assert got == expected
 
 

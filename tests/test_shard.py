@@ -27,6 +27,7 @@ from hypothesis import strategies as st
 from repro import SparseVector, available_backends
 from repro.core.results import JoinStatistics, ShardCounters, merge_shard_counters
 from repro.shard.plan import ShardPlan, plan_report
+from tests.conftest import accelerated_backends
 from tests.groundtruth import engine_pair_map
 
 pytestmark = pytest.mark.skipif("numpy" not in available_backends(),
@@ -41,30 +42,32 @@ PARITY_COUNTERS = ("candidates_generated", "candidates_sketch_pruned",
 WORKER_COUNTS = (1, 2, 4)
 
 
-def run_single_process(algorithm, vectors, threshold, decay):
+def run_single_process(algorithm, vectors, threshold, decay,
+                       backend="numpy"):
     return engine_pair_map(vectors, threshold, decay, algorithm=algorithm,
-                           backend="numpy")
+                           backend=backend)
 
 
 def run_sharded(algorithm, vectors, threshold, decay, workers,
-                executor="serial"):
+                executor="serial", backend="numpy"):
     from repro.shard import create_sharded_join
 
     stats = JoinStatistics()
     with create_sharded_join(algorithm, threshold, decay, workers=workers,
-                             stats=stats, backend="numpy",
+                             stats=stats, backend=backend,
                              executor=executor) as join:
         pairs = {pair.key: pair for pair in join.run(vectors)}
     return pairs, stats
 
 
 def assert_sharded_matches(algorithm, vectors, threshold, decay,
-                           worker_counts=WORKER_COUNTS, executor="serial"):
+                           worker_counts=WORKER_COUNTS, executor="serial",
+                           backend="numpy"):
     expected, expected_stats = run_single_process(algorithm, vectors,
-                                                  threshold, decay)
+                                                  threshold, decay, backend)
     for workers in worker_counts:
         actual, actual_stats = run_sharded(algorithm, vectors, threshold,
-                                           decay, workers, executor)
+                                           decay, workers, executor, backend)
         assert set(actual) == set(expected), (algorithm, workers)
         for key, pair in expected.items():
             other = actual[key]
@@ -85,12 +88,13 @@ sparse_streams = st.lists(
 )
 
 
+@pytest.mark.parametrize("backend", accelerated_backends())
 class TestShardedParity:
     @settings(max_examples=15, deadline=None)
     @given(entries=sparse_streams,
            threshold=st.floats(min_value=0.3, max_value=0.99),
            decay=st.floats(min_value=0.05, max_value=2.0))
-    def test_expiring_streams(self, entries, threshold, decay):
+    def test_expiring_streams(self, entries, threshold, decay, backend):
         # Fast decay → short horizon: postings expire constantly, driving
         # both head truncation (STR-L2) and the lazy masked expiry +
         # amortised compaction of unordered lists (STR-L2AP) inside the
@@ -98,12 +102,13 @@ class TestShardedParity:
         vectors = [SparseVector(index, float(index), coords)
                    for index, coords in enumerate(entries)]
         for algorithm in ("STR-L2AP", "STR-L2", "STR-INV"):
-            assert_sharded_matches(algorithm, vectors, threshold, decay)
+            assert_sharded_matches(algorithm, vectors, threshold, decay,
+                                   backend=backend)
 
     @settings(max_examples=10, deadline=None)
     @given(entries=sparse_streams,
            threshold=st.floats(min_value=0.4, max_value=0.95))
-    def test_reindexing_streams(self, entries, threshold):
+    def test_reindexing_streams(self, entries, threshold, backend):
         # Slow decay + values scaled up over time: the online maximum
         # vector keeps growing, so STR-L2AP re-indexes constantly and the
         # re-indexed (out-of-time-order) postings are routed to shards.
@@ -115,11 +120,12 @@ class TestShardedParity:
             for index, coords in enumerate(entries)
         ]
         for algorithm in ("STR-L2AP", "STR-AP"):
-            assert_sharded_matches(algorithm, vectors, threshold, 0.002)
+            assert_sharded_matches(algorithm, vectors, threshold, 0.002,
+                                   backend=backend)
 
     @settings(max_examples=8, deadline=None)
     @given(entries=sparse_streams)
-    def test_theta_one(self, entries):
+    def test_theta_one(self, entries, backend):
         # θ = 1 only admits exact duplicates; the admission bound sits on
         # the threshold for identical vectors, the regime where any
         # sharded drift in the replayed bounds would show.
@@ -127,16 +133,17 @@ class TestShardedParity:
                    for index, coords in enumerate(entries + entries[:3])]
         for algorithm in ("STR-L2AP", "STR-L2"):
             assert_sharded_matches(algorithm, vectors, 1.0, 0.01,
-                                   worker_counts=(1, 3))
+                                   worker_counts=(1, 3), backend=backend)
 
-    def test_equal_timestamp_burst(self):
+    def test_equal_timestamp_burst(self, backend):
         # Bursts of equal timestamps (the merge_streams tie regime) must
         # shard identically too.
         vectors = [SparseVector(index, float(index // 4),
                                 {index % 6: 0.8, 6 + index % 5: 0.6})
                    for index in range(40)]
         for algorithm in ("STR-L2AP", "STR-L2", "STR-INV"):
-            assert_sharded_matches(algorithm, vectors, 0.5, 0.1)
+            assert_sharded_matches(algorithm, vectors, 0.5, 0.1,
+                                   backend=backend)
 
 
 class TestGenericWorkerGather:

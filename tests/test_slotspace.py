@@ -22,6 +22,7 @@ from hypothesis import strategies as st
 
 from repro import SparseVector, available_backends, create_join
 from repro.core.results import JoinStatistics
+from tests.conftest import accelerated_backends
 
 pytestmark = pytest.mark.skipif("numpy" not in available_backends(),
                                 reason="NumPy backend unavailable")
@@ -60,9 +61,10 @@ def assert_backends_agree(algorithm, vectors, threshold, decay,
                 == getattr(reference_stats, counter)), counter
 
 
-def assert_dict_and_array_paths_agree(algorithm, vectors, threshold, decay):
+def assert_dict_and_array_paths_agree(algorithm, vectors, threshold, decay,
+                                      backend="numpy"):
     assert_backends_agree(algorithm, vectors, threshold, decay,
-                          "python", "numpy")
+                          "python", backend)
 
 
 sparse_streams = st.lists(
@@ -73,12 +75,13 @@ sparse_streams = st.lists(
 )
 
 
+@pytest.mark.parametrize("backend", accelerated_backends())
 class TestSlotSpaceParity:
     @settings(max_examples=25, deadline=None)
     @given(entries=sparse_streams,
            threshold=st.floats(min_value=0.3, max_value=0.99),
            decay=st.floats(min_value=0.05, max_value=2.0))
-    def test_expiring_streams(self, entries, threshold, decay):
+    def test_expiring_streams(self, entries, threshold, decay, backend):
         # Fast decay → short horizon: postings expire constantly, driving
         # both the time-ordered truncation (STR-L2) and the lazy masked
         # expiry + amortised compaction of unordered lists (STR-L2AP).
@@ -86,23 +89,24 @@ class TestSlotSpaceParity:
                    for index, coords in enumerate(entries)]
         for algorithm in ("STR-L2AP", "STR-L2", "STR-INV", "STR-AP"):
             assert_dict_and_array_paths_agree(algorithm, vectors, threshold,
-                                              decay)
+                                              decay, backend)
 
     @settings(max_examples=15, deadline=None)
     @given(entries=sparse_streams)
-    def test_theta_one(self, entries):
+    def test_theta_one(self, entries, backend):
         # θ = 1 collapses the horizon to zero: only simultaneous identical
         # vectors can pair, every bound sits exactly at the threshold, and
         # the guard-band verification must not leak near-misses.
         vectors = [SparseVector(index, float(index // 3), coords)
                    for index, coords in enumerate(entries)]
         for algorithm in ("STR-L2AP", "STR-L2", "STR-INV"):
-            assert_dict_and_array_paths_agree(algorithm, vectors, 1.0, 0.5)
+            assert_dict_and_array_paths_agree(algorithm, vectors, 1.0, 0.5,
+                                              backend)
 
     @settings(max_examples=15, deadline=None)
     @given(entries=sparse_streams,
            threshold=st.floats(min_value=0.4, max_value=0.9))
-    def test_expired_entry_verification(self, entries, threshold):
+    def test_expired_entry_verification(self, entries, threshold, backend):
         # Bursts separated by long gaps: whole windows of residual entries
         # and postings expire between bursts, so verification must mask
         # candidates whose residual metadata was evicted.
@@ -112,9 +116,9 @@ class TestSlotSpaceParity:
         ]
         for algorithm in ("STR-L2AP", "STR-L2"):
             assert_dict_and_array_paths_agree(algorithm, vectors, threshold,
-                                              0.01)
+                                              0.01, backend)
 
-    def test_reindexing_with_expiry(self):
+    def test_reindexing_with_expiry(self, backend):
         # Growing maxima force re-indexing (unordered lists) while a short
         # horizon expires postings: the lazily compacted lists must report
         # exactly the removals the eagerly compacting reference reports.
@@ -124,23 +128,25 @@ class TestSlotSpaceParity:
                           for dim in range(index % 5, index % 5 + 4)})
             for index in range(150)
         ]
-        assert_dict_and_array_paths_agree("STR-L2AP", vectors, 0.6, 0.08)
+        assert_dict_and_array_paths_agree("STR-L2AP", vectors, 0.6, 0.08,
+                                          backend)
 
-    def test_identical_vectors_at_threshold_one(self):
+    def test_identical_vectors_at_threshold_one(self, backend):
         coords = {1: 2.0, 5: 1.0, 9: 3.0}
         vectors = [SparseVector(index, 0.0, coords) for index in range(4)]
         reference, _ = run_backend("STR-L2AP", vectors, 1.0, 0.7, "python")
-        vectorized, _ = run_backend("STR-L2AP", vectors, 1.0, 0.7, "numpy")
+        vectorized, _ = run_backend("STR-L2AP", vectors, 1.0, 0.7, backend)
         assert set(vectorized) == set(reference)
         assert len(vectorized) == 6  # all pairs of the 4 identical vectors
 
-    def test_fused_scan_counts_one_kernel_call_per_query(self):
+    def test_fused_scan_counts_one_kernel_call_per_query(self, backend):
         # The whole-query fusion is observable through the profiling
         # wrapper: exactly one scan call per processed vector, instead of
         # one per query term.
+        from repro.backends import get_backend
         from repro.backends.profiling import ProfilingKernel
 
-        kernel = ProfilingKernel(NumpyKernel())
+        kernel = ProfilingKernel(get_backend(backend)())
         join = create_join("STR-L2AP", 0.6, 0.05, backend=kernel)
         vectors = [SparseVector(index, float(index),
                                 {dim: 1.0 for dim in range(index % 3, index % 3 + 4)})
