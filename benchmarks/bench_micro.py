@@ -64,6 +64,14 @@ artifact against ``benchmarks/BENCH_baseline.json`` in CI:
     direct run, sustained ingest throughput ≥ 0.8× the direct engine at
     full size, and records the p50/p95/p99 enqueue-to-processed ingest
     latency in the ``service_ingest`` record of ``BENCH_micro.json``.
+``test_service_multitenant_gate``
+    The multi-tenant gate: many sessions across several tenants, run
+    once thread-per-session (the legacy service) and once over the
+    bounded worker pool of the scheduler tier.  Asserts per-session
+    bitwise pair parity with the direct engine, and at full size pooled
+    aggregate throughput ≥ 0.8× thread-per-session; records aggregate
+    throughput, the worst per-session p99 and the cross-session fairness
+    spread in the ``service_multitenant`` record of ``BENCH_micro.json``.
 ``test_chaos_recovery_gate``
     The chaos gate: the STR workload through the 2-worker multiprocess
     engine under a fault plan that SIGKILLs both workers at different
@@ -118,6 +126,9 @@ GATE_VECTORS_LARGE = int(os.environ.get("SSSJ_BENCH_VECTORS_LARGE", "50000"))
 GATE_VECTORS_SERVICE = int(os.environ.get("SSSJ_BENCH_VECTORS_SERVICE", "4000"))
 GATE_VECTORS_APPROX = int(os.environ.get("SSSJ_BENCH_VECTORS_APPROX", "10000"))
 GATE_VECTORS_CHAOS = int(os.environ.get("SSSJ_BENCH_VECTORS_CHAOS", "2000"))
+GATE_MT_SESSIONS = int(os.environ.get("SSSJ_BENCH_MT_SESSIONS", "100"))
+GATE_MT_VECTORS = int(os.environ.get("SSSJ_BENCH_MT_VECTORS", "120"))
+GATE_MT_POOL = int(os.environ.get("SSSJ_BENCH_MT_POOL", "8"))
 GATE_OUTPUT = Path(os.environ.get(
     "SSSJ_BENCH_OUTPUT",
     Path(__file__).resolve().parent.parent / "BENCH_micro.json"))
@@ -133,6 +144,10 @@ GATE_SPEEDUP_COMPILED = 2.0
 GATE_SCAN_SPEEDUP_COMPILED = 3.0
 #: Minimum service-over-direct throughput ratio at full service-gate size.
 GATE_SERVICE_RATIO = 0.8
+#: Minimum pooled-over-threaded aggregate throughput ratio on the
+#: multi-tenant gate at full size (100 sessions on an 8-worker pool vs
+#: one thread per session).
+GATE_MULTITENANT_RATIO = 0.8
 #: Sketch geometry of the approx recall gate — the measured sweet spot on
 #: the hashtags workload (see docs/PERFORMANCE.md for the full sweep).
 GATE_APPROX_SPEC = "wminhash:24x3"
@@ -570,6 +585,138 @@ def test_service_ingest_gate(benchmark):
     session.close()
     if count >= 4_000:  # reduced CI sizes track the artifact, not the gate
         assert ratio >= GATE_SERVICE_RATIO
+
+
+@pytest.mark.skipif("numpy" not in BACKENDS, reason="NumPy backend unavailable")
+def test_service_multitenant_gate(benchmark):
+    """Multi-tenant gate: N sessions thread-per-session vs a worker pool.
+
+    The same per-session streams (contiguous slices of one hashtags
+    corpus, spread over four tenants) are joined twice: once with the
+    legacy model — every session owning a worker thread — and once
+    through a :class:`~repro.service.SchedulerService` running all of
+    them over a small bounded pool with DRR fairness.  Both paths call
+    ``session.ingest`` directly (no wire codec), so the ratio isolates
+    the scheduling model.  Asserts bitwise per-session pair parity with
+    the direct engine on sampled sessions, and at full size pooled
+    aggregate throughput ≥ 0.8× thread-per-session; emits the
+    ``service_multitenant`` record with aggregate throughput, the worst
+    per-session p99 and the cross-session fairness spread.
+    """
+    import statistics
+
+    from repro.service import JoinSession, SchedulerService, SessionConfig
+
+    threshold, decay = 0.6, 2e-5
+    sessions, per_session = GATE_MT_SESSIONS, GATE_MT_VECTORS
+    corpus = generate_profile_corpus(
+        "hashtags", num_vectors=sessions * per_session, seed=11)
+    streams = [corpus[index * per_session:(index + 1) * per_session]
+               for index in range(sessions)]
+    count = sessions * per_session
+    session_options = dict(
+        threshold=threshold, decay=decay, algorithm="STR-L2AP",
+        backend="numpy", queue_max=per_session, batch_max_items=64,
+        batch_max_delay=0.0)
+
+    def run_threaded():
+        live = [JoinSession(SessionConfig(name=f"mt{index}",
+                                          tenant=f"tenant{index % 4}",
+                                          **session_options))
+                for index in range(sessions)]
+        start = time.perf_counter()
+        for session, stream in zip(live, streams):
+            session.ingest(stream)
+        for session in live:
+            session.drain(timeout=None)
+        elapsed = time.perf_counter() - start
+        for session in live:
+            session.close()
+        return elapsed
+
+    def run_pooled():
+        service = SchedulerService(pool_workers=GATE_MT_POOL)
+        live = []
+        for index in range(sessions):
+            response = service.handle({
+                "op": "open", "session": f"mt{index}", "theta": threshold,
+                "decay": decay, "tenant": f"tenant{index % 4}",
+                "checkpoint": False, "algorithm": "STR-L2AP",
+                "backend": "numpy", "queue_max": per_session,
+                "batch_max_items": 64, "batch_max_delay_ms": 0.0,
+                "normalize": False})
+            assert response.get("ok"), response
+            live.append(service.sessions[f"mt{index}"])
+        start = time.perf_counter()
+        for session, stream in zip(live, streams):
+            session.ingest(stream)
+        for session in live:
+            session.drain(timeout=None)
+        elapsed = time.perf_counter() - start
+        p99s = [session.latency.summary()["p99_ms"] for session in live]
+        # Sampled bitwise parity: the pooled sessions must emit exactly
+        # the direct engine's pairs for their streams.
+        for index in (0, sessions // 2, sessions - 1):
+            session, stream = live[index], streams[index]
+            emitted = session.results.read(0, None)[0]
+            stats = JoinStatistics()
+            join = create_join("STR-L2AP", threshold, decay, stats=stats,
+                               backend="numpy")
+            reference = []
+            for vector in stream:
+                reference.extend(join.process(vector))
+            reference.extend(join.flush())
+            assert emitted == reference
+            _assert_counter_parity(session.join.stats, stats)
+        service.shutdown()
+        return elapsed, p99s
+
+    def run_both():
+        threaded_elapsed = run_threaded()
+        pooled_elapsed, p99s = run_pooled()
+        return threaded_elapsed, pooled_elapsed, p99s
+
+    threaded_elapsed, pooled_elapsed, p99s = benchmark.pedantic(
+        run_both, rounds=1, iterations=1)
+    ratio = threaded_elapsed / pooled_elapsed if pooled_elapsed else 0.0
+    worst_p99 = max(p99s)
+    median_p99 = statistics.median(p99s)
+    fairness_spread = worst_p99 / median_p99 if median_p99 else 0.0
+    throughput = count / pooled_elapsed if pooled_elapsed else 0.0
+    print(f"\nmulti-tenant ({sessions} sessions × {per_session} vectors, "
+          f"pool {GATE_MT_POOL}): threaded {threaded_elapsed:.1f}s, pooled "
+          f"{pooled_elapsed:.1f}s (ratio {ratio:.2f}x), aggregate "
+          f"{throughput:.0f} vec/s, worst p99 {worst_p99:.2f} ms, fairness "
+          f"spread {fairness_spread:.2f}x")
+
+    artifact = write_bench_micro(
+        GATE_OUTPUT,
+        benchmark="service_multitenant",
+        config={"profile": "hashtags", "sessions": sessions,
+                "vectors_per_session": per_session,
+                "pool_workers": GATE_MT_POOL, "seed": 11,
+                "algorithm": "STR-L2AP", "threshold": threshold,
+                "decay": decay, "batch_max_items": 64},
+        backends={
+            "numpy_threaded": {
+                "elapsed_s": threaded_elapsed,
+                "throughput_vps": (count / threaded_elapsed
+                                   if threaded_elapsed else 0.0),
+            },
+            "numpy_pooled": {
+                "elapsed_s": pooled_elapsed,
+                "throughput_vps": throughput,
+                "worst_p99_ms": worst_p99,
+                "fairness_spread": fairness_spread,
+            },
+        },
+        derived={"throughput_ratio": ratio,
+                 "worst_p99_ms": worst_p99,
+                 "fairness_spread": fairness_spread},
+    )
+    print(f"benchmark artifact written to {artifact}")
+    if sessions >= 100:  # reduced CI sizes track the artifact, not the gate
+        assert ratio >= GATE_MULTITENANT_RATIO
 
 
 def _paired_run(vectors, threshold, decay, approx=None):

@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the multi-tenant scheduler tier.
+
+Run by the CI ``multitenant-smoke`` step (and runnable locally):
+
+    PYTHONPATH=src python scripts/multitenant_smoke.py
+
+The script:
+
+1. generates per-session ``hashtags`` streams and computes each one's
+   expected pairs with the direct engine;
+2. starts ``sssj serve --pool-workers 4`` (the selector server + bounded
+   worker pool) as a real subprocess, with a checkpoint directory, a
+   per-tenant session quota and adaptive batching;
+3. ingests 20 sessions spread over 3 tenants through the ``sssj
+   ingest`` CLI, each with a JSONL sink;
+4. drives one tenant over its session quota and asserts the rejection
+   is observed (machine-readable ``quota_sessions``);
+5. checkpoint-evicts one idle session via ``sssj sessions --evict``,
+   asserts the listing shows it evicted, then resumes it transparently
+   with ``sssj ingest --resume`` (lazy restore);
+6. drains every session and asserts each JSONL sink holds exactly the
+   direct engine's pairs for that session's stream — bitwise,
+   similarities included, across the evict/restore boundary;
+7. shuts the server down cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.core.join import streaming_self_join  # noqa: E402
+from repro.datasets.generator import generate_profile_corpus  # noqa: E402
+from repro.datasets.io import read_vectors, write_vectors  # noqa: E402
+from repro.service import ServiceClient, read_jsonl_pairs  # noqa: E402
+
+VECTORS_PER_SESSION = int(os.environ.get("SSSJ_SMOKE_MT_VECTORS", "120"))
+THETA, DECAY = 0.6, 0.0001
+#: tenant → number of sessions (20 total across 3 tenants).
+TENANTS = {"acme": 7, "globex": 7, "initech": 6}
+QUOTA_SESSIONS = 7
+EVICT_SESSION, EVICT_TENANT = "initech-0", "initech"
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def start_server(checkpoint_dir: Path) -> tuple[subprocess.Popen, int]:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--checkpoint-dir", str(checkpoint_dir), "--checkpoint-every", "50",
+         "--pool-workers", "4", "--quota-sessions", str(QUOTA_SESSIONS),
+         "--adaptive-batch"],
+        stdout=subprocess.PIPE, text=True, env=_env())
+    deadline = time.monotonic() + 30
+    while True:
+        line = process.stdout.readline()
+        if line:
+            print(f"  [serve] {line.rstrip()}")
+        if "listening on" in line:
+            return process, int(line.strip().rsplit(":", 1)[1])
+        if process.poll() is not None or time.monotonic() > deadline:
+            raise RuntimeError("server failed to start")
+
+
+def run_cli(*args: str, expect_failure: bool = False) -> str:
+    result = subprocess.run([sys.executable, "-m", "repro", *args],
+                            capture_output=True, text=True, env=_env(),
+                            timeout=300)
+    if expect_failure:
+        if result.returncode == 0:
+            raise RuntimeError(
+                f"sssj {' '.join(args)} unexpectedly succeeded:\n"
+                f"{result.stdout}")
+        return result.stdout + result.stderr
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"sssj {' '.join(args)} failed ({result.returncode}):\n"
+            f"{result.stdout}\n{result.stderr}")
+    return result.stdout
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="sssj-mt-smoke-"))
+    checkpoint_dir = workdir / "checkpoints"
+
+    # Per-session streams: contiguous slices of one corpus, written to
+    # files so the CLI ingests exactly what the reference run reads.
+    session_names = [f"{tenant}-{index}"
+                     for tenant, count in TENANTS.items()
+                     for index in range(count)]
+    corpus = generate_profile_corpus(
+        "hashtags", num_vectors=VECTORS_PER_SESSION * len(session_names),
+        seed=13)
+    streams: dict[str, list] = {}
+    expected: dict[str, list] = {}
+    for index, name in enumerate(session_names):
+        path = workdir / f"{name}.txt"
+        start = index * VECTORS_PER_SESSION
+        write_vectors(path, corpus[start:start + VECTORS_PER_SESSION])
+        streams[name] = list(read_vectors(path))
+        expected[name] = list(streaming_self_join(streams[name], THETA, DECAY))
+    half = VECTORS_PER_SESSION // 2
+    half_file = workdir / "evict-half.txt"
+    write_vectors(half_file, streams[EVICT_SESSION][:half])
+    print(f"streams: {len(session_names)} sessions × {VECTORS_PER_SESSION} "
+          f"hashtags vectors over {len(TENANTS)} tenants (θ={THETA}, "
+          f"λ={DECAY})")
+
+    server, port = start_server(checkpoint_dir)
+    try:
+        print(f"\n[1] ingest {len(session_names)} sessions over "
+              f"{len(TENANTS)} tenants through the CLI")
+        for name in session_names:
+            tenant = name.rsplit("-", 1)[0]
+            source = (half_file if name == EVICT_SESSION
+                      else workdir / f"{name}.txt")
+            run_cli("ingest", "--port", str(port), "--session", name,
+                    "--tenant", tenant, "--input", str(source),
+                    "--theta", str(THETA), "--decay", str(DECAY),
+                    "--sink-jsonl", str(workdir / f"{name}.jsonl"))
+        listing = run_cli("sessions", "--port", str(port))
+        assert f"{len(session_names)} session(s)" in listing, listing
+        print(f"  OK: {len(session_names)} sessions live "
+              f"({EVICT_SESSION} at half-stream)")
+
+        print(f"\n[2] tenant {EVICT_TENANT!r} is capped at "
+              f"{QUOTA_SESSIONS} sessions — the next open must bounce")
+        # initech has 6 live sessions; two more would cross its cap of 7.
+        run_cli("ingest", "--port", str(port), "--session", "initech-extra",
+                "--tenant", "initech", "--input", str(half_file),
+                "--theta", str(THETA), "--decay", str(DECAY))
+        output = run_cli(
+            "ingest", "--port", str(port), "--session", "initech-overflow",
+            "--tenant", "initech", "--input", str(half_file),
+            "--theta", str(THETA), "--decay", str(DECAY),
+            expect_failure=True)
+        assert "session quota" in output, output
+        with ServiceClient(port=port) as client:
+            client.close_session("initech-extra")
+            tenants = client.stats()["tenants"]
+            assert tenants["initech"]["rejected"]["sessions"] >= 1, tenants
+        print("  OK: quota rejection observed, slot freed by close")
+
+        print(f"\n[3] checkpoint-evict {EVICT_SESSION!r} and list it")
+        evict_out = run_cli("sessions", "--port", str(port),
+                            "--evict", EVICT_SESSION)
+        assert "evicted" in evict_out, evict_out
+        with ServiceClient(port=port) as client:
+            rows = {row["session"]: row
+                    for row in client.sessions()["sessions"]}
+            assert rows[EVICT_SESSION]["status"] == "evicted", rows
+        print("  OK: session evicted (engine released, envelope on disk)")
+
+        print("\n[4] resume the evicted session transparently via the CLI")
+        run_cli("ingest", "--port", str(port), "--session", EVICT_SESSION,
+                "--tenant", EVICT_TENANT,
+                "--input", str(workdir / f"{EVICT_SESSION}.txt"),
+                "--theta", str(THETA), "--decay", str(DECAY), "--resume")
+        with ServiceClient(port=port) as client:
+            scheduler = client.stats()["scheduler"]
+            assert scheduler["evictions"] >= 1, scheduler
+            assert scheduler["restores"] >= 1, scheduler
+        print("  OK: lazy restore on ingest (stream continued at the "
+              "eviction barrier)")
+
+        print("\n[5] drain everything; every JSONL sink must match the "
+              "direct engine bitwise")
+        with ServiceClient(port=port) as client:
+            for name in session_names:
+                summary = client.drain(name)
+                assert summary["processed"] == VECTORS_PER_SESSION, (
+                    name, summary)
+            for name in session_names:
+                streamed = read_jsonl_pairs(workdir / f"{name}.jsonl")
+                assert streamed == expected[name], (
+                    f"{name}: streamed {len(streamed)} pairs != direct "
+                    f"{len(expected[name])}")
+            total = sum(len(pairs) for pairs in expected.values())
+            client.shutdown()
+        server.wait(timeout=30)
+        print(f"  OK: {total} pairs across {len(session_names)} sessions, "
+              "all identical to the direct engine (evicted session "
+              "included)")
+        print("\nmultitenant smoke: PASS")
+    except BaseException:
+        server.kill()
+        raise
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

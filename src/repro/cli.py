@@ -224,6 +224,41 @@ def build_parser() -> argparse.ArgumentParser:
                             "idle or wedged clients are disconnected instead "
                             "of pinning a handler thread (default 30, "
                             "0 disables)")
+    serve.add_argument("--pool-workers", type=int, default=None, metavar="M",
+                       help="enable the multi-tenant scheduler: run all "
+                            "sessions over M pool workers behind a selector "
+                            "(single I/O loop) server, with per-tenant "
+                            "quotas, fair scheduling and checkpoint-evict "
+                            "(default: one thread per session)")
+    serve.add_argument("--dispatch-workers", type=int, default=8, metavar="N",
+                       help="request dispatch threads of the selector server "
+                            "(default 8; only with --pool-workers)")
+    serve.add_argument("--evict-after", type=float, default=None, metavar="S",
+                       help="checkpoint-and-evict sessions idle for S "
+                            "seconds; they restore lazily on the next "
+                            "request (only with --pool-workers and "
+                            "--checkpoint-dir)")
+    serve.add_argument("--quota-sessions", type=int, default=None, metavar="N",
+                       help="per-tenant cap on open sessions "
+                            "(only with --pool-workers)")
+    serve.add_argument("--quota-queued", type=int, default=None, metavar="N",
+                       help="per-tenant cap on queued-but-unprocessed "
+                            "vectors (only with --pool-workers)")
+    serve.add_argument("--quota-rate", type=float, default=None, metavar="R",
+                       help="per-tenant sustained ingest rate in vectors/s "
+                            "(token bucket; only with --pool-workers)")
+    serve.add_argument("--adaptive-batch", action="store_true",
+                       help="size each session's micro-batches from its live "
+                            "latency and queue depth (only with "
+                            "--pool-workers)")
+    serve.add_argument("--adaptive-min", type=int, default=16, metavar="N",
+                       help="adaptive batching floor (default 16)")
+    serve.add_argument("--adaptive-max", type=int, default=1024, metavar="N",
+                       help="adaptive batching ceiling (default 1024)")
+    serve.add_argument("--adaptive-target-p99-ms", type=float, default=250.0,
+                       metavar="MS",
+                       help="p99 per-item latency the adaptive batcher "
+                            "steers toward (default 250)")
     _add_fault_args(serve)
 
     def add_client_args(sub):
@@ -272,6 +307,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(use after a server restart)")
     ingest.add_argument("--chunk-size", type=int, default=500,
                         help="vectors per ingest request (default 500)")
+    ingest.add_argument("--tenant", default="default",
+                        help="tenant the session belongs to (quota and "
+                             "fair-share unit of the multi-tenant server; "
+                             "default 'default')")
 
     results = subparsers.add_parser(
         "results", help="read the pairs a served session has reported")
@@ -289,6 +328,16 @@ def build_parser() -> argparse.ArgumentParser:
     drain = subparsers.add_parser(
         "drain", help="flush a served session and print final statistics")
     add_client_args(drain)
+
+    sessions = subparsers.add_parser(
+        "sessions", help="list the sessions of a running server")
+    sessions.add_argument("--host", default="127.0.0.1")
+    sessions.add_argument("--port", type=int, default=7788)
+    sessions.add_argument("--tenant", default=None,
+                          help="only show this tenant's sessions")
+    sessions.add_argument("--evict", metavar="SESSION", default=None,
+                          help="checkpoint-and-evict this idle session "
+                               "before listing (multi-tenant server only)")
 
     return parser
 
@@ -715,6 +764,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if error is not None:
         print(error, file=sys.stderr)
         return 2
+    scheduler_options = None
+    if args.pool_workers is not None:
+        if args.pool_workers <= 0:
+            print("--pool-workers must be positive", file=sys.stderr)
+            return 2
+        if args.evict_after is not None and not args.checkpoint_dir:
+            print("--evict-after needs --checkpoint-dir (eviction is "
+                  "checkpoint-backed)", file=sys.stderr)
+            return 2
+        from repro.service import TenantQuota
+
+        scheduler_options = {
+            "default_quota": TenantQuota(
+                max_sessions=args.quota_sessions,
+                max_queued=args.quota_queued,
+                rate=args.quota_rate),
+            "evict_after": args.evict_after,
+            "adaptive_batch": args.adaptive_batch,
+            "adaptive_min_items": args.adaptive_min,
+            "adaptive_max_items": args.adaptive_max,
+            "adaptive_target_p99_ms": args.adaptive_target_p99_ms,
+        }
     server, recovered = serve(
         host=args.host, port=args.port,
         checkpoint_dir=args.checkpoint_dir,
@@ -722,8 +793,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_every_seconds=args.checkpoint_seconds,
         read_timeout=args.read_timeout if args.read_timeout > 0 else None,
         fault_plan=fault_plan,
+        pool_workers=args.pool_workers,
+        scheduler_options=scheduler_options,
+        dispatch_workers=args.dispatch_workers,
     )
     host, port = server.address
+    if args.pool_workers is not None:
+        knobs = f"pool={args.pool_workers}"
+        if args.evict_after is not None:
+            knobs += f" evict_after={args.evict_after:g}s"
+        if args.adaptive_batch:
+            knobs += " adaptive_batch"
+        print(f"multi-tenant scheduler enabled ({knobs})", flush=True)
     if recovered:
         print(f"recovered sessions from {args.checkpoint_dir}: "
               + ", ".join(recovered), flush=True)
@@ -771,6 +852,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         "batch_max_items": args.batch_max,
         "batch_max_delay_ms": args.batch_delay_ms,
         "backpressure": args.backpressure,
+        "tenant": args.tenant,
         # Dataset readers/generators already unit-normalise; skipping the
         # server-side re-normalisation keeps the streamed values bitwise
         # identical to what `sssj run` would process.
@@ -845,6 +927,31 @@ def _cmd_results(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sessions(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClientError
+
+    try:
+        with _client_for(args) as client:
+            if args.evict:
+                evicted = client.evict(args.evict)
+                if evicted.get("already_evicted"):
+                    print(f"session {args.evict!r} was already evicted")
+                else:
+                    print(f"session {args.evict!r} evicted "
+                          f"(checkpoint {evicted.get('checkpoint')})")
+            response = client.sessions(args.tenant)
+    except ServiceClientError as error:
+        print(f"sessions failed: {error}", file=sys.stderr)
+        return 1
+    rows = response.get("sessions", [])
+    if not rows:
+        scope = f" for tenant {args.tenant!r}" if args.tenant else ""
+        print(f"no sessions{scope}")
+        return 0
+    print(render_table(rows, title=f"{len(rows)} session(s)"))
+    return 0
+
+
 def _cmd_drain(args: argparse.Namespace) -> int:
     from repro.service import ServiceClientError
 
@@ -877,6 +984,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "ingest": _cmd_ingest,
     "results": _cmd_results,
+    "sessions": _cmd_sessions,
     "drain": _cmd_drain,
 }
 

@@ -14,7 +14,11 @@ existing engine without changing it:
   behind a line-delimited-JSON socket protocol (``sssj serve``), with
   crash recovery from the checkpoint directory;
 * :class:`ServiceClient` — the protocol client behind ``sssj ingest`` /
-  ``sssj results`` / ``sssj drain``.
+  ``sssj results`` / ``sssj drain``;
+* :mod:`repro.service.scheduler` — the multi-tenant tier (``sssj serve
+  --pool-workers N``): N sessions over a bounded worker pool with
+  per-tenant quotas, DRR fairness, checkpoint-evict / lazy restore and
+  a selector-based single-loop transport.
 
 Determinism contract: for the same accepted vectors, a session emits
 exactly the pairs of :func:`repro.core.join.streaming_self_join` — in
@@ -33,6 +37,13 @@ from repro.service.protocol import (
     encode_vector,
     pair_from_wire,
     pair_to_wire,
+)
+from repro.service.scheduler import (
+    QUOTA_CODES,
+    QuotaError,
+    SchedulerService,
+    SelectorServiceServer,
+    TenantQuota,
 )
 from repro.service.server import JoinService, ServiceServer, serve
 from repro.service.session import (
@@ -54,6 +65,7 @@ from repro.service.sinks import (
 
 __all__ = [
     "BACKPRESSURE_POLICIES",
+    "QUOTA_CODES",
     "RETRYABLE_OPS",
     "BackpressureError",
     "CallbackSink",
@@ -61,7 +73,10 @@ __all__ = [
     "JoinSession",
     "JsonlSink",
     "MemorySink",
+    "QuotaError",
     "ResultSink",
+    "SchedulerService",
+    "SelectorServiceServer",
     "ServiceClient",
     "ServiceClientError",
     "ServiceProtocolError",
@@ -69,6 +84,7 @@ __all__ = [
     "SessionConfig",
     "SessionError",
     "SinkError",
+    "TenantQuota",
     "create_sink",
     "decode_vector",
     "encode_vector",

@@ -48,8 +48,8 @@ __all__ = ["ServiceClientError", "ServiceClient", "RETRYABLE_OPS"]
 #: side-effect free, ``ingest`` is protected by sequence numbers, and
 #: ``open``/``drain``/``close``/``shutdown`` are idempotent server-side.
 RETRYABLE_OPS = frozenset(
-    {"ping", "open", "ingest", "results", "stats", "checkpoint", "drain",
-     "close", "shutdown"})
+    {"ping", "open", "ingest", "results", "stats", "sessions", "evict",
+     "checkpoint", "drain", "close", "shutdown"})
 
 
 class ServiceClientError(SSSJError):
@@ -259,6 +259,19 @@ class ServiceClient:
     def stats(self, session: str | None = None) -> dict[str, Any]:
         fields = {"session": session} if session else {}
         return self.request("stats", **fields)
+
+    def sessions(self, tenant: str | None = None) -> dict[str, Any]:
+        """One summary row per session, optionally filtered by tenant."""
+        fields = {"tenant": tenant} if tenant else {}
+        return self.request("sessions", **fields)
+
+    def evict(self, session: str) -> dict[str, Any]:
+        """Checkpoint-and-evict an idle session (pooled scheduler only).
+
+        Retry-safe: evicting an already-evicted session succeeds with
+        ``already_evicted`` set, so a resend after a lost ack is clean.
+        """
+        return self.request("evict", session=session)
 
     def checkpoint(self, session: str) -> dict[str, Any]:
         return self.request("checkpoint", session=session)

@@ -34,7 +34,7 @@ __all__ = [
 ]
 
 #: Operations understood by the server (see ``repro.service.server``).
-OPS = ("ping", "open", "ingest", "results", "stats", "checkpoint",
+OPS = ("ping", "open", "ingest", "results", "stats", "sessions", "evict",
        "drain", "close", "shutdown")
 
 

@@ -1,0 +1,94 @@
+"""Adaptive micro-batch sizing from live latency and queue depth.
+
+Micro-batch size is the service's throughput/latency dial: big batches
+amortise per-batch overhead (sink writes, checkpoint ticks, scheduler
+round trips) but hold early vectors hostage to the batch tail's
+processing, inflating per-item p99.  Instead of one static
+``batch_max_items`` for all weathers, the batcher picks a size per
+quantum from two live signals:
+
+* **queue depth** — a backlog deeper than the current batch size means
+  the producer is outrunning us; latency is already lost, so trade it
+  for throughput and *grow* (up to ``max_items``);
+* **p99 latency** — when the session's sliding-window p99 exceeds the
+  target while the queue is shallow, the batch size is the remaining
+  lever; *shrink* back toward (and below) the configured size, down to
+  ``min_items``.
+
+Sizes move geometrically (×2 / ×½) so the controller converges in a few
+quanta, and start from the session's configured ``batch_max_items`` so
+an explicitly tuned session keeps its setting until the signals say
+otherwise.  Batch size never affects *which* pairs a session emits —
+the queue is FIFO and quanta are exclusive — so adaptivity is invisible
+to the determinism contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.session import JoinSession
+
+__all__ = ["AdaptiveBatcher"]
+
+
+class AdaptiveBatcher:
+    """Per-session geometric batch-size controller (thread-safe)."""
+
+    def __init__(self, *, min_items: int = 16, max_items: int = 1024,
+                 target_p99_ms: float = 250.0) -> None:
+        if min_items <= 0:
+            raise ValueError(f"min_items must be positive, got {min_items}")
+        if max_items < min_items:
+            raise ValueError(
+                f"max_items ({max_items}) must be >= min_items ({min_items})")
+        if target_p99_ms <= 0:
+            raise ValueError(
+                f"target_p99_ms must be positive, got {target_p99_ms}")
+        self.min_items = min_items
+        self.max_items = max_items
+        self.target_p99_ms = target_p99_ms
+        self._sizes: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def suggest(self, session: "JoinSession") -> int:
+        """Batch size for this session's next quantum."""
+        name = session.config.name
+        base = session.config.batch_max_items
+        queued = session.queued
+        p99_ms = (session.latency.percentile(99) * 1e3
+                  if len(session.latency) else 0.0)
+        with self._lock:
+            size = self._sizes.get(name, base)
+            if queued > 2 * size:
+                # Deep backlog: throughput mode.  (A cold session with no
+                # latency samples grows too — the backlog itself is the
+                # signal.)
+                size = min(self.max_items, size * 2)
+            elif p99_ms > self.target_p99_ms:
+                # Latency over target and the queue is shallow: shrink.
+                size = max(self.min_items, size // 2)
+            elif queued <= size // 4 and size > base:
+                # Load gone: decay back toward the configured size.
+                size = max(base, size // 2)
+            size = max(self.min_items, min(self.max_items, size))
+            self._sizes[name] = size
+            return size
+
+    def forget(self, name: str) -> None:
+        """Drop the controller state of a closed/evicted session."""
+        with self._lock:
+            self._sizes.pop(name, None)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            sizes = dict(self._sizes)
+        return {
+            "min_items": self.min_items,
+            "max_items": self.max_items,
+            "target_p99_ms": self.target_p99_ms,
+            "sessions_tracked": len(sizes),
+            "sizes": sizes,
+        }

@@ -1,0 +1,91 @@
+"""The bounded worker pool: M threads running N sessions' quanta.
+
+Replaces thread-per-session: each worker loops popping the next ready
+session from the :class:`~repro.service.scheduler.ready.DRRReadyQueue`,
+runs one quantum (:meth:`JoinSession.run_quantum` — exclusive, so the
+per-session FIFO determinism contract is untouched), charges the
+tenant's deficit with the vectors actually processed, and hands the
+session back to the queue.  Capacity is therefore ``workers`` concurrent
+quanta regardless of how many thousands of sessions exist.
+
+An optional :class:`~repro.service.scheduler.adaptive.AdaptiveBatcher`
+chooses each quantum's micro-batch size from the session's live latency
+and queue depth.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.service.scheduler.ready import DRRReadyQueue
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """Fixed-size thread pool draining a DRR ready queue of sessions."""
+
+    def __init__(self, ready: DRRReadyQueue, *, workers: int = 4,
+                 max_batches: int = 4, batcher=None) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if max_batches <= 0:
+            raise ValueError(f"max_batches must be positive, got {max_batches}")
+        self._ready = ready
+        self.workers = workers
+        #: Micro-batches one quantum may run before the session goes back
+        #: to the queue — the knob trading per-session burst throughput
+        #: against cross-session latency.
+        self.max_batches = max_batches
+        self._batcher = batcher
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self.quanta_run = 0
+        self.vectors_processed = 0
+
+    def start(self) -> None:
+        if self._threads:
+            return
+        for index in range(self.workers):
+            thread = threading.Thread(target=self._run,
+                                      name=f"sssj-pool-{index}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            session = self._ready.pop(timeout=0.1)
+            if session is None:
+                continue
+            batch_items = (self._batcher.suggest(session)
+                           if self._batcher is not None else None)
+            try:
+                _more, processed = session.run_quantum(
+                    max_batches=self.max_batches, batch_items=batch_items)
+            except BaseException:  # pragma: no cover - run_quantum reports
+                processed = 0      # its own failures; never kill the worker
+            self._ready.charge(session.config.tenant, processed)
+            with self._lock:
+                self.quanta_run += 1
+                self.vectors_processed += processed
+            self._ready.finish(session)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop accepting work and join the workers (idempotent)."""
+        self._stop.set()
+        self._ready.close()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "max_batches": self.max_batches,
+                "quanta_run": self.quanta_run,
+                "vectors_processed": self.vectors_processed,
+                "adaptive": self._batcher is not None,
+            }

@@ -1,0 +1,229 @@
+"""The ready queue: weighted deficit-round-robin over per-tenant buckets.
+
+Sessions are the schedulable units.  When work lands in a session's
+bounded queue it is *pushed* here (state ``idle`` → ``ready``); a pool
+worker *pops* the next session to run (``ready`` → ``running``), runs
+one quantum, *charges* the vectors it processed against the session's
+tenant, and *finishes* (``running`` → ``ready`` again if more work is
+queued, else ``idle``).
+
+Fairness is classic deficit round robin (Shreedhar & Varghese) over
+tenants, with the cost unit being *vectors processed* rather than bytes:
+
+* tenants with ready sessions sit in a rotation; each tenant has a
+  deficit counter;
+* a visit to the rotation head serves that tenant while its deficit is
+  positive; when the deficit runs out the tenant is topped up by
+  ``quantum × weight`` and rotated to the tail;
+* the charge for a quantum is applied after it ran (its true cost is
+  only known then), so the deficit can go negative — the debt carries
+  into the tenant's next top-ups, which keeps long-run shares
+  proportional to weights even though individual quanta overshoot.  The
+  debt is clamped so one enormous quantum cannot starve a tenant
+  forever;
+* a tenant whose bucket empties is retired from the rotation and its
+  deficit reset to zero (the DRR rule that makes an idle tenant's unused
+  credit evaporate instead of accruing into a burst).
+
+All run-state transitions happen under this queue's lock — that is the
+invariant that makes wakeups race-free: an ingest that lands while the
+session is RUNNING does not re-push (the pop is exclusive), and the
+worker's ``finish`` re-checks the session's queue *under this lock*
+before declaring it idle, so the work either was seen by the running
+quantum or re-schedules the session.  Lock order is always ready-queue
+lock → session lock, never the reverse.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.session import JoinSession
+
+__all__ = ["DRRReadyQueue"]
+
+
+class DRRReadyQueue:
+    """Thread-safe weighted-DRR ready queue of sessions, keyed by tenant."""
+
+    def __init__(self, *, quantum: int = 256) -> None:
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum}")
+        #: Processing credit (in vectors) granted per rotation visit,
+        #: scaled by the tenant's weight.
+        self.quantum = quantum
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._buckets: dict[str, deque[JoinSession]] = {}
+        self._rotation: deque[str] = deque()
+        self._in_rotation: set[str] = set()
+        self._deficit: dict[str, float] = {}
+        self._weights: dict[str, float] = {}
+        self._closed = False
+        self.pushes = 0
+        self.pops = 0
+
+    # -- configuration ---------------------------------------------------------
+
+    def set_weight(self, tenant: str, weight: float) -> None:
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        with self._lock:
+            self._weights[tenant] = float(weight)
+
+    def _weight(self, tenant: str) -> float:
+        return self._weights.get(tenant, 1.0)
+
+    def _max_debt(self, tenant: str) -> float:
+        # One runaway quantum may overdraw at most a few rotations' worth
+        # of credit; deeper debt is forgiven so the tenant is not starved
+        # indefinitely by a single oversized burst.
+        return 4.0 * self.quantum * self._weight(tenant)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def push(self, session: "JoinSession") -> bool:
+        """Mark a session ready (idle → ready); no-op in any other state.
+
+        Returns True when the session was enqueued.  A RUNNING session is
+        deliberately not re-pushed: the worker's :meth:`finish` re-checks
+        for queued work under this lock, so the wakeup cannot be lost.
+        """
+        with self._cond:
+            if self._closed or session.run_state != "idle":
+                return False
+            session.run_state = "ready"
+            self._enqueue_locked(session)
+            self.pushes += 1
+            self._cond.notify()
+            return True
+
+    def _enqueue_locked(self, session: "JoinSession") -> None:
+        tenant = session.config.tenant
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = deque()
+        bucket.append(session)
+        if tenant not in self._in_rotation:
+            self._rotation.append(tenant)
+            self._in_rotation.add(tenant)
+            self._deficit.setdefault(tenant, 0.0)
+
+    def pop(self, timeout: float | None = None) -> "JoinSession | None":
+        """Next session to run (ready → running), or None on timeout/close."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._cond:
+            while True:
+                session = self._pop_locked()
+                if session is not None:
+                    session.run_state = "running"
+                    self.pops += 1
+                    return session
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._cond.wait(0.1)
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._cond.wait(min(remaining, 0.1))
+
+    def _pop_locked(self) -> "JoinSession | None":
+        """One DRR step: serve the head tenant or rotate/top-up (locked)."""
+        while self._rotation:
+            tenant = self._rotation[0]
+            bucket = self._buckets.get(tenant)
+            if not bucket:
+                # Bucket drained: retire the tenant and reset its deficit
+                # (unused credit must not accrue while it has no work).
+                self._rotation.popleft()
+                self._in_rotation.discard(tenant)
+                self._buckets.pop(tenant, None)
+                self._deficit[tenant] = min(0.0, self._deficit.get(tenant, 0.0))
+                continue
+            if self._deficit.get(tenant, 0.0) > 0.0:
+                return bucket.popleft()
+            # Out of credit: top up by quantum × weight and move to the
+            # tail.  Every top-up is strictly positive, so this loop
+            # terminates — debt is bounded by the charge-side clamp.
+            self._deficit[tenant] = (self._deficit.get(tenant, 0.0)
+                                     + self.quantum * self._weight(tenant))
+            self._rotation.rotate(-1)
+        return None
+
+    def charge(self, tenant: str, vectors: int) -> None:
+        """Debit a finished quantum's true cost against its tenant."""
+        if vectors <= 0:
+            return
+        with self._lock:
+            deficit = self._deficit.get(tenant, 0.0) - vectors
+            self._deficit[tenant] = max(deficit, -self._max_debt(tenant))
+
+    def finish(self, session: "JoinSession") -> None:
+        """End a quantum: running → ready (work pending) or idle.
+
+        The pending-work check happens under this lock (taking the
+        session lock inside it — the one sanctioned nesting), closing
+        the window where an ingest lands after the quantum stopped
+        looking but before the session is marked idle.
+        """
+        with self._cond:
+            if session.run_state != "running":
+                return  # evicted or torn down while we ran
+            if (session.status == "active" and not self._closed
+                    and session.has_pending()):
+                session.run_state = "ready"
+                self._enqueue_locked(session)
+                self._cond.notify()
+            else:
+                session.run_state = "idle"
+
+    # -- eviction handshake ----------------------------------------------------
+
+    def claim_for_evict(self, session: "JoinSession") -> bool:
+        """Atomically take an IDLE session out of scheduling (→ EVICTED).
+
+        Only an idle session may be claimed — ready/running sessions
+        have (or may discover) work.  While claimed, ``push`` refuses the
+        session, so no pool worker can touch it mid-evict.
+        """
+        with self._lock:
+            if session.run_state != "idle":
+                return False
+            session.run_state = "evicted"
+            return True
+
+    def release_evict_claim(self, session: "JoinSession") -> None:
+        """Undo a claim whose eviction did not complete (work snuck in)."""
+        with self._cond:
+            if session.run_state != "evicted":
+                return
+            session.run_state = "idle"
+            if session.status == "active" and session.has_pending():
+                session.run_state = "ready"
+                self._enqueue_locked(session)
+                self._cond.notify()
+
+    # -- lifecycle / observability ---------------------------------------------
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "quantum": self.quantum,
+                "ready_sessions": sum(len(b) for b in self._buckets.values()),
+                "tenants_in_rotation": len(self._rotation),
+                "pushes": self.pushes,
+                "pops": self.pops,
+                "deficit": {t: round(d, 1) for t, d in self._deficit.items()},
+            }

@@ -1,0 +1,348 @@
+"""The multi-tenant scheduler service: quotas, pooled execution, eviction.
+
+:class:`SchedulerService` extends the transport-independent
+:class:`~repro.service.server.JoinService` with the four pieces that turn
+it from "a thread per session" into "N sessions over M workers":
+
+* every session it builds or resumes is *scheduled* (no dedicated
+  thread); a :class:`~repro.service.scheduler.pool.WorkerPool` runs
+  quanta handed out by a weighted deficit-round-robin
+  :class:`~repro.service.scheduler.ready.DRRReadyQueue`, so one hot
+  tenant cannot starve the rest;
+* per-tenant :class:`~repro.service.scheduler.tenants.TenantState`
+  enforces session-count, standing-queue and ingest-rate quotas before
+  any vector is consumed (rejections carry machine-readable codes and
+  never advance the ingest sequence);
+* idle sessions are **checkpointed and evicted** — the engine and the
+  retained pairs are dropped, leaving a placeholder whose memory cost is
+  a config and a handful of counters; the next ingest (or results read)
+  **lazily restores** the session from its envelope, transparently to
+  the client (sequence numbers continue exactly);
+* an optional :class:`~repro.service.scheduler.adaptive.AdaptiveBatcher`
+  sizes each quantum's micro-batch from the session's live latency.
+
+Determinism: scheduling only decides *when* a session's FIFO queue is
+drained, never in what order or by how many concurrent workers (quanta
+are exclusive), so each session still emits exactly the pairs of
+``streaming_self_join`` over its accepted vectors — under any pool size,
+quota configuration or eviction timing (pinned in
+``tests/test_scheduler.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.service.scheduler.adaptive import AdaptiveBatcher
+from repro.service.scheduler.pool import WorkerPool
+from repro.service.scheduler.ready import DRRReadyQueue
+from repro.service.scheduler.tenants import TenantQuota, TenantState
+from repro.service.server import JoinService, _session_name
+from repro.service.session import JoinSession, SessionConfig, SessionError
+
+__all__ = ["SchedulerService"]
+
+
+class SchedulerService(JoinService):
+    """A :class:`JoinService` whose sessions share a bounded worker pool."""
+
+    def __init__(self, *, pool_workers: int = 4, quantum_batches: int = 4,
+                 drr_quantum: int = 256,
+                 default_quota: TenantQuota | None = None,
+                 tenant_quotas: dict[str, TenantQuota] | None = None,
+                 evict_after: float | None = None,
+                 adaptive_batch: bool = False,
+                 adaptive_min_items: int = 16,
+                 adaptive_max_items: int = 1024,
+                 adaptive_target_p99_ms: float = 250.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 **service_options: Any) -> None:
+        super().__init__(**service_options)
+        #: Quota applied to tenants without an explicit entry in
+        #: ``tenant_quotas`` (the all-None default imposes no limits).
+        self.default_quota = default_quota or TenantQuota()
+        self.tenant_quotas = dict(tenant_quotas or {})
+        self._clock = clock
+        self.tenants: dict[str, TenantState] = {}
+        self.ready = DRRReadyQueue(quantum=drr_quantum)
+        self.batcher = (AdaptiveBatcher(
+            min_items=adaptive_min_items, max_items=adaptive_max_items,
+            target_p99_ms=adaptive_target_p99_ms)
+            if adaptive_batch else None)
+        self.pool = WorkerPool(self.ready, workers=pool_workers,
+                               max_batches=quantum_batches,
+                               batcher=self.batcher)
+        #: Seconds of inactivity after which an idle checkpointable
+        #: session is evicted (None disables the sweeper).
+        self.evict_after = evict_after
+        self.evictions = 0
+        self.restores = 0
+        self._restore_locks: dict[str, threading.Lock] = {}
+        self._sweeper: threading.Thread | None = None
+        self._sweeper_stop = threading.Event()
+        self.pool.start()
+        if evict_after is not None:
+            if evict_after <= 0:
+                raise ValueError(
+                    f"evict_after must be positive, got {evict_after}")
+            self._sweeper = threading.Thread(
+                target=self._sweep_loop, name="sssj-evict-sweeper",
+                daemon=True)
+            self._sweeper.start()
+
+    # -- scheduler plumbing ----------------------------------------------------
+
+    def notify(self, session: JoinSession) -> None:
+        """Session callback: work was enqueued — make it schedulable."""
+        self.ready.push(session)
+
+    def tenant_state(self, tenant: str) -> TenantState:
+        """The (lazily created) accounting state for a tenant."""
+        with self._lock:
+            state = self.tenants.get(tenant)
+            if state is None:
+                quota = self.tenant_quotas.get(tenant, self.default_quota)
+                state = self.tenants[tenant] = TenantState(
+                    tenant, quota, clock=self._clock)
+                self.ready.set_weight(tenant, quota.weight)
+            return state
+
+    # -- session construction (hooks from the base service) --------------------
+
+    def _build_session(self, config: SessionConfig, sinks: list,
+                       checkpoint_path: Path | None) -> JoinSession:
+        return JoinSession(config, sinks=sinks,
+                           checkpoint_path=checkpoint_path,
+                           fault_injector=self.fault_injector,
+                           scheduler=self)
+
+    def _resume_session(self, path: Path) -> JoinSession:
+        return JoinSession.resume(path, scheduler=self)
+
+    def open_session(self, request: dict[str, Any]) -> dict[str, Any]:
+        name = _session_name(request)
+        tenant = str(request.get("tenant", "default"))
+        with self._lock:
+            known = name in self.sessions
+        if known:
+            # Re-opening an existing (possibly evicted) session: the base
+            # handler answers from the registry without touching quotas.
+            return super().open_session(request)
+        state = self.tenant_state(tenant)
+        state.admit_session(name)  # QuotaError propagates to the dispatcher
+        try:
+            return super().open_session(request)
+        except BaseException:
+            state.release_session(name)
+            raise
+
+    def close_session(self, name: str) -> dict[str, Any]:
+        with self._lock:
+            session = self.sessions.get(name)
+            tenant = session.config.tenant if session is not None else None
+        response = super().close_session(name)
+        if tenant is not None:
+            self.tenant_state(tenant).release_session(name)
+            if self.batcher is not None:
+                self.batcher.forget(name)
+            with self._lock:
+                self._restore_locks.pop(name, None)
+        return response
+
+    # -- lazy restore ----------------------------------------------------------
+
+    def _session(self, name: str) -> JoinSession:
+        session = super()._session(name)
+        if session.status != "evicted":
+            return session
+        return self._restore_session(name)
+
+    def _restore_session(self, name: str) -> JoinSession:
+        """Swap an evicted placeholder for a live session (serialised)."""
+        with self._lock:
+            gate = self._restore_locks.setdefault(name, threading.Lock())
+        with gate:
+            with self._lock:
+                session = self.sessions.get(name)
+            if session is None:
+                raise SessionError(f"no session named {name!r}; open it first")
+            if session.status != "evicted":
+                return session  # another caller restored it first
+            path = session.checkpoint_path
+            if path is None:  # pragma: no cover - evict requires a path
+                raise SessionError(
+                    f"session {name!r} is evicted but has no checkpoint")
+            restored = self._resume_session(path)
+            restored.start()
+            with self._lock:
+                self.sessions[name] = restored
+            self.restores += 1
+            return restored
+
+    # -- quota-enforcing ingest ------------------------------------------------
+
+    def _handle_ingest(self, request: dict[str, Any]) -> dict[str, Any]:
+        name = _session_name(request)
+        payloads = request.get("vectors")
+        count = len(payloads) if isinstance(payloads, list) else 0
+        for attempt in (0, 1):
+            session = self._session(name)
+            if count:
+                self._admit_ingest(session, request, count)
+            try:
+                return super()._handle_ingest(request)
+            except SessionError:
+                # The sweeper may evict between our lookup and the
+                # session's own status check; restore once and retry.
+                with self._lock:
+                    current = self.sessions.get(name)
+                if (attempt == 0 and current is not None
+                        and current.status == "evicted"):
+                    continue
+                raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _admit_ingest(self, session: JoinSession, request: dict[str, Any],
+                      count: int) -> None:
+        """Charge the batch's *fresh* vectors against the tenant's quotas.
+
+        Resends deduplicated by the sequence number are free — the
+        session already consumed them — so a client retrying a lost ack
+        is never double-charged (or spuriously rate-limited).
+        """
+        seq = request.get("seq")
+        fresh = count
+        if seq is not None:
+            already = max(0, session.ingest_seq - int(seq))
+            fresh = max(0, count - already)
+        if not fresh:
+            return
+        tenant = session.config.tenant
+        state = self.tenant_state(tenant)
+        state.admit_vectors(fresh, self._tenant_queued(tenant))
+
+    def _tenant_queued(self, tenant: str) -> int:
+        with self._lock:
+            sessions = list(self.sessions.values())
+        return sum(session.queued for session in sessions
+                   if session.config.tenant == tenant)
+
+    # -- eviction --------------------------------------------------------------
+
+    def evict_session(self, name: str) -> Path | None:
+        """Checkpoint-and-evict one idle session; None when not possible.
+
+        The session is first *claimed* under the ready-queue lock (idle →
+        EVICTED), which fences out the pool; the barrier checkpoint then
+        only succeeds if the queue is still empty.  Any work racing in
+        aborts the eviction and reschedules the session.
+        """
+        with self._lock:
+            session = self.sessions.get(name)
+        if (session is None or session.status != "active"
+                or session.checkpoint_path is None or session.join is None):
+            return None
+        if not self.ready.claim_for_evict(session):
+            return None
+        path = None
+        try:
+            path = session.try_evict()
+        finally:
+            if path is None:
+                self.ready.release_evict_claim(session)
+        if path is not None:
+            self.evictions += 1
+            if self.batcher is not None:
+                self.batcher.forget(name)
+        return path
+
+    def _handle_evict(self, request: dict[str, Any]) -> dict[str, Any]:
+        name = _session_name(request)
+        with self._lock:
+            session = self.sessions.get(name)
+        if session is None:
+            raise SessionError(f"no session named {name!r}; open it first")
+        if session.status == "evicted":
+            return {"ok": True, "session": name, "already_evicted": True}
+        # Brief retry: a session whose queue just drained is still
+        # RUNNING until its worker calls finish() — an explicit evict
+        # request should ride out that window rather than bounce.
+        path = None
+        deadline = time.monotonic() + 1.0
+        while path is None:
+            path = self.evict_session(name)
+            if path is not None or time.monotonic() >= deadline:
+                break
+            with self._lock:
+                session = self.sessions.get(name)
+            if (session is None or session.status != "active"
+                    or session.queued or session.checkpoint_path is None):
+                break  # not transient — report the failure now
+            time.sleep(0.01)
+        if path is None:
+            raise SessionError(
+                f"session {name!r} cannot be evicted right now: it must be "
+                "active, idle, checkpointable, and have an empty queue")
+        return {"ok": True, "session": name, "evicted": True,
+                "checkpoint": str(path)}
+
+    def _sweep_loop(self) -> None:
+        interval = max(0.05, min(1.0, (self.evict_after or 1.0) / 4))
+        while not self._sweeper_stop.wait(interval):
+            now = time.monotonic()
+            with self._lock:
+                candidates = list(self.sessions.items())
+            for name, session in candidates:
+                if (session.status == "active"
+                        and session.join is not None
+                        and session.checkpoint_path is not None
+                        and session.queued == 0
+                        and now - session.last_activity >= self.evict_after):
+                    try:
+                        self.evict_session(name)
+                    except Exception:  # noqa: BLE001 - sweeping is best-effort
+                        pass  # a failed evict leaves the session live
+
+    # -- observability / lifecycle ---------------------------------------------
+
+    def stats(self, session: str | None = None) -> dict[str, Any]:
+        response = super().stats(session)
+        if session is None:
+            response["scheduler"] = {
+                "pool": self.pool.stats(),
+                "ready": self.ready.stats(),
+                "evictions": self.evictions,
+                "restores": self.restores,
+                "evict_after_s": self.evict_after,
+                "adaptive": (self.batcher.stats()
+                             if self.batcher is not None else None),
+            }
+            with self._lock:
+                tenants = dict(self.tenants)
+            response["tenants"] = {name: state.stats()
+                                   for name, state in sorted(tenants.items())}
+        return response
+
+    def shutdown(self) -> dict[str, Any]:
+        """Close every session, then stop the sweeper and the pool.
+
+        Ordering matters: sessions are closed *before* the pool stops,
+        because a scheduled session's close() is executed by a pool
+        worker (the stop control token).
+        """
+        with self._lock:
+            if self.shutting_down:
+                return {"ok": True, "closed": 0}
+            self.shutting_down = True
+            sessions = list(self.sessions.items())
+            self.sessions.clear()
+        self._sweeper_stop.set()
+        for _name, session in sessions:
+            session.close()
+        self.pool.stop()
+        if self._sweeper is not None:
+            self._sweeper.join(timeout=5.0)
+        return {"ok": True, "closed": len(sessions)}

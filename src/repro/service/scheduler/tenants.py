@@ -1,0 +1,204 @@
+"""Per-tenant accounting: quotas, token-bucket rate limiting, counters.
+
+A *tenant* is the unit of resource governance in the multi-tenant
+scheduler: every session belongs to exactly one (``SessionConfig.tenant``,
+default ``"default"``), and the service enforces three independent
+quotas before any work is accepted:
+
+* ``max_sessions`` — how many named sessions the tenant may hold open
+  (evicted sessions still count: the name and its checkpoint are owned
+  until the session is closed);
+* ``max_queued`` — total vectors the tenant may have waiting in its
+  sessions' bounded queues, capping the tenant's standing memory;
+* ``rate`` — a token-bucket ingest rate in vectors/second with a burst
+  capacity, smoothing a hot tenant to its contracted throughput.
+
+Rejections raise :class:`QuotaError`, which carries a machine-readable
+``code`` (``quota_sessions`` / ``quota_queued`` / ``quota_rate``) and,
+for rate rejections, a ``retry_after_s`` hint — the wire error response
+forwards both, so well-behaved clients can back off precisely.  A quota
+rejection happens *before* any vector is consumed: the session's ingest
+sequence number does not advance, so the client simply retries the same
+batch later.
+
+The bucket clock is injectable (``clock=``) so tests can drive refills
+deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Callable
+
+from repro.service.session import SessionError
+
+__all__ = ["QUOTA_CODES", "QuotaError", "TenantQuota", "TenantState"]
+
+#: Machine-readable rejection codes carried by :class:`QuotaError`.
+QUOTA_CODES = ("quota_sessions", "quota_queued", "quota_rate")
+
+
+class QuotaError(SessionError):
+    """A tenant exceeded one of its quotas; nothing was consumed.
+
+    ``code`` is one of :data:`QUOTA_CODES`; ``retry_after_s`` is set on
+    rate rejections to the seconds until the bucket holds enough tokens.
+    """
+
+    def __init__(self, message: str, *, code: str,
+                 retry_after_s: float | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Resource limits for one tenant (``None`` disables that limit)."""
+
+    max_sessions: int | None = None
+    max_queued: int | None = None
+    #: Sustained ingest rate in vectors/second (token-bucket refill).
+    rate: float | None = None
+    #: Bucket capacity in vectors; defaults to two seconds of ``rate``.
+    #: A single ingest request larger than the burst can never be
+    #: admitted — keep client chunk sizes at or below it.
+    burst: float | None = None
+    #: Deficit-round-robin weight: a weight-2 tenant receives twice the
+    #: processing credit per scheduler rotation of a weight-1 tenant.
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_sessions is not None and self.max_sessions <= 0:
+            raise ValueError(
+                f"max_sessions must be positive, got {self.max_sessions}")
+        if self.max_queued is not None and self.max_queued <= 0:
+            raise ValueError(
+                f"max_queued must be positive, got {self.max_queued}")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.burst is not None and self.burst <= 0:
+            raise ValueError(f"burst must be positive, got {self.burst}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+    @property
+    def bucket_capacity(self) -> float:
+        """Effective burst capacity (two seconds of ``rate`` by default)."""
+        if self.rate is None:
+            return 0.0
+        return self.burst if self.burst is not None else 2.0 * self.rate
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+class TenantState:
+    """Live accounting for one tenant: owned sessions, tokens, counters.
+
+    Thread-safe; one instance per tenant, created on first contact and
+    kept for the service's lifetime (the counters are the ``tenants``
+    section of the ``stats`` endpoint).
+    """
+
+    def __init__(self, name: str, quota: TenantQuota, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.name = name
+        self.quota = quota
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._sessions: set[str] = set()
+        self._tokens = quota.bucket_capacity
+        self._refilled_at = clock()
+        self.admitted = 0
+        self.rejected = {"sessions": 0, "queued": 0, "rate": 0}
+
+    # -- session ownership -----------------------------------------------------
+
+    def admit_session(self, session_name: str) -> None:
+        """Claim a session name, or raise ``quota_sessions``."""
+        with self._lock:
+            if session_name in self._sessions:
+                return  # idempotent: re-opening an owned session is free
+            limit = self.quota.max_sessions
+            if limit is not None and len(self._sessions) >= limit:
+                self.rejected["sessions"] += 1
+                raise QuotaError(
+                    f"tenant {self.name!r} is at its session quota "
+                    f"({limit}); close a session before opening another",
+                    code="quota_sessions")
+            self._sessions.add(session_name)
+
+    def release_session(self, session_name: str) -> None:
+        with self._lock:
+            self._sessions.discard(session_name)
+
+    @property
+    def session_count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # -- ingest admission ------------------------------------------------------
+
+    def _refill(self, now: float) -> None:
+        """Top up the token bucket for the wall clock elapsed (locked)."""
+        rate = self.quota.rate
+        if rate is None:
+            return
+        elapsed = max(0.0, now - self._refilled_at)
+        self._refilled_at = now
+        self._tokens = min(self.quota.bucket_capacity,
+                           self._tokens + elapsed * rate)
+
+    def admit_vectors(self, count: int, queued_now: int) -> None:
+        """Charge ``count`` fresh vectors against the tenant's quotas.
+
+        ``queued_now`` is the tenant's current total queue depth across
+        its sessions.  Raises :class:`QuotaError` — and consumes nothing
+        — when either the standing-queue cap or the rate bucket refuses
+        the batch; admission is all-or-nothing so a rejected client can
+        resend the identical batch without splitting it.
+        """
+        if count <= 0:
+            return
+        with self._lock:
+            limit = self.quota.max_queued
+            if limit is not None and queued_now + count > limit:
+                self.rejected["queued"] += 1
+                raise QuotaError(
+                    f"tenant {self.name!r} would exceed its queued-vector "
+                    f"quota ({queued_now} queued + {count} new > {limit}); "
+                    "drain or wait for the backlog to clear",
+                    code="quota_queued")
+            if self.quota.rate is not None:
+                self._refill(self._clock())
+                if self._tokens < count:
+                    deficit = count - self._tokens
+                    retry_after = deficit / self.quota.rate
+                    self.rejected["rate"] += 1
+                    raise QuotaError(
+                        f"tenant {self.name!r} is over its ingest rate "
+                        f"({self.quota.rate:g} vectors/s); retry in "
+                        f"{retry_after:.3f}s",
+                        code="quota_rate",
+                        retry_after_s=round(retry_after, 3))
+                self._tokens -= count
+            self.admitted += count
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            tokens = self._tokens
+            sessions = len(self._sessions)
+            rejected = dict(self.rejected)
+        return {
+            "tenant": self.name,
+            "sessions": sessions,
+            "admitted": self.admitted,
+            "rejected": rejected,
+            "tokens": round(tokens, 3),
+            "quota": self.quota.as_dict(),
+        }

@@ -105,11 +105,22 @@ class JoinService:
                 name = path.stem
                 if name in self.sessions:
                     continue
-                session = JoinSession.resume(path)
+                session = self._resume_session(path)
                 session.start()
                 self.sessions[name] = session
                 recovered.append(name)
         return recovered
+
+    # Session construction hooks: the scheduler service overrides these
+    # to attach itself (pooled execution) to every session it serves.
+
+    def _build_session(self, config: SessionConfig, sinks: list,
+                       checkpoint_path: Path | None) -> JoinSession:
+        return JoinSession(config, sinks=sinks, checkpoint_path=checkpoint_path,
+                           fault_injector=self.fault_injector)
+
+    def _resume_session(self, path: Path) -> JoinSession:
+        return JoinSession.resume(path)
 
     def _config_from_request(self, name: str,
                              request: dict[str, Any]) -> SessionConfig:
@@ -130,6 +141,7 @@ class JoinService:
             name=name,
             threshold=float(threshold),
             decay=float(decay),
+            tenant=str(request.get("tenant", "default")),
             algorithm=str(request.get("algorithm", "STR-L2")),
             backend=request.get("backend"),
             workers=(int(request["workers"])
@@ -160,7 +172,7 @@ class JoinService:
             wants_checkpoint = bool(request.get("checkpoint", True))
             if checkpoint_path is not None and wants_checkpoint \
                     and checkpoint_path.exists():
-                session = JoinSession.resume(checkpoint_path)
+                session = self._resume_session(checkpoint_path)
             else:
                 config = self._config_from_request(name, request)
                 sinks = [create_sink(spec) for spec in request.get("sinks", [])]
@@ -177,8 +189,7 @@ class JoinService:
                         "checkpoint_every_items": None,
                         "checkpoint_every_seconds": None,
                     })
-                session = JoinSession(config, sinks=sinks, checkpoint_path=path,
-                                      fault_injector=self.fault_injector)
+                session = self._build_session(config, sinks, path)
             session.start()
             self.sessions[name] = session
             return {"ok": True, "session": name, "existing": False,
@@ -212,6 +223,10 @@ class JoinService:
                 return self._handle_results(request)
             if op == "stats":
                 return self.stats(request.get("session"))
+            if op == "sessions":
+                return self.session_list(request.get("tenant"))
+            if op == "evict":
+                return self._handle_evict(request)
             if op == "checkpoint":
                 session = self._session(_session_name(request))
                 return {"ok": True,
@@ -219,16 +234,7 @@ class JoinService:
             if op == "drain":
                 return self._handle_drain(request)
             if op == "close":
-                # Idempotent: closing a session that is already gone is a
-                # success, so a client retrying a close whose ack was lost
-                # does not see a spurious error.
-                name = _session_name(request)
-                with self._lock:
-                    session = self.sessions.pop(name, None)
-                if session is None:
-                    return {"ok": True, "session": name, "missing": True}
-                session.close()
-                return {"ok": True, "session": name}
+                return self.close_session(_session_name(request))
             if op == "shutdown":
                 return self.shutdown()
             raise ServiceProtocolError(f"unknown op {op!r}")
@@ -240,7 +246,30 @@ class JoinService:
             worker_traceback = getattr(error, "worker_traceback", None)
             if worker_traceback:
                 extra["traceback"] = worker_traceback
+            # Quota rejections (scheduler service) carry a machine-readable
+            # code and, for rate limits, a precise back-off hint.
+            code = getattr(error, "code", None)
+            if code:
+                extra["code"] = code
+                extra["quota"] = True
+            retry_after = getattr(error, "retry_after_s", None)
+            if retry_after is not None:
+                extra["retry_after_s"] = retry_after
             return error_response(str(error), **extra)
+
+    def close_session(self, name: str) -> dict[str, Any]:
+        """Close and deregister one session.
+
+        Idempotent: closing a session that is already gone is a success,
+        so a client retrying a close whose ack was lost does not see a
+        spurious error.
+        """
+        with self._lock:
+            session = self.sessions.pop(name, None)
+        if session is None:
+            return {"ok": True, "session": name, "missing": True}
+        session.close()
+        return {"ok": True, "session": name}
 
     def _handle_ingest(self, request: dict[str, Any]) -> dict[str, Any]:
         session = self._session(_session_name(request))
@@ -318,6 +347,42 @@ class JoinService:
             },
             "sessions": {name: s.stats() for name, s in sessions.items()},
         }
+
+    def session_list(self, tenant: str | None = None) -> dict[str, Any]:
+        """One summary row per session (the ``sessions`` op / CLI table).
+
+        Unlike ``stats`` this never touches the join engine, so it is
+        safe (and free) on evicted placeholders — the scheduler's
+        observability surface at any session count.
+        """
+        with self._lock:
+            sessions = dict(self.sessions)
+        rows = [self._session_row(name, session)
+                for name, session in sorted(sessions.items())
+                if tenant is None or session.config.tenant == tenant]
+        return {"ok": True, "count": len(rows), "sessions": rows}
+
+    @staticmethod
+    def _session_row(name: str, session: JoinSession) -> dict[str, Any]:
+        latency = session.latency.summary()
+        return {
+            "session": name,
+            "tenant": session.config.tenant,
+            "status": session.status,
+            "run_state": session.run_state,
+            "queued": session.queued,
+            "processed": session.processed,
+            "pairs_emitted": session.pairs_emitted,
+            "batches_flushed": session.batches_flushed,
+            "p50_ms": latency["p50_ms"],
+            "p95_ms": latency["p95_ms"],
+            "p99_ms": latency["p99_ms"],
+        }
+
+    def _handle_evict(self, request: dict[str, Any]) -> dict[str, Any]:
+        raise ServiceProtocolError(
+            "evict requires the pooled scheduler; start the server with "
+            "--pool-workers")
 
     def shutdown(self) -> dict[str, Any]:
         """Checkpoint and close every session; idempotent."""
@@ -416,7 +481,10 @@ def serve(*, host: str = "127.0.0.1", port: int = 0,
           checkpoint_every_seconds: float | None = None,
           read_timeout: float | None = None,
           fault_plan=None,
-          ) -> tuple[ServiceServer, list[str]]:
+          pool_workers: int | None = None,
+          scheduler_options: dict[str, Any] | None = None,
+          dispatch_workers: int = 8,
+          ):
     """Build a service + TCP server and recover checkpointed sessions.
 
     Returns ``(server, recovered_session_names)``; the caller runs
@@ -425,6 +493,15 @@ def serve(*, host: str = "127.0.0.1", port: int = 0,
     string or :class:`~repro.faults.FaultPlan`) arms service-wide fault
     injection; the injector is reachable as ``server.service.fault_injector``
     (e.g. to write its event log after shutdown).
+
+    ``pool_workers`` switches on the multi-tenant tier: a
+    :class:`~repro.service.scheduler.SchedulerService` running sessions
+    over a bounded worker pool behind the selector-based
+    :class:`~repro.service.scheduler.SelectorServiceServer` (one I/O
+    loop for every connection, instead of thread-per-connection).
+    ``scheduler_options`` passes extra :class:`SchedulerService` keyword
+    arguments (quotas, ``evict_after``, adaptive batching, ...).  Left
+    at ``None``, the legacy thread-per-session server is used.
     """
     fault_injector = None
     if fault_plan is not None:
@@ -432,6 +509,24 @@ def serve(*, host: str = "127.0.0.1", port: int = 0,
 
         fault_injector = (fault_plan if isinstance(fault_plan, FaultInjector)
                           else FaultInjector(parse_fault_plan(fault_plan)))
+    if pool_workers is not None:
+        from repro.service.scheduler import (
+            SchedulerService,
+            SelectorServiceServer,
+        )
+
+        service = SchedulerService(
+            pool_workers=pool_workers,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every_items=checkpoint_every_items,
+            checkpoint_every_seconds=checkpoint_every_seconds,
+            fault_injector=fault_injector,
+            **(scheduler_options or {}))
+        recovered = service.recover_sessions()
+        server = SelectorServiceServer(service, host=host, port=port,
+                                       read_timeout=read_timeout,
+                                       dispatch_workers=dispatch_workers)
+        return server, recovered
     service = JoinService(checkpoint_dir=checkpoint_dir,
                           checkpoint_every_items=checkpoint_every_items,
                           checkpoint_every_seconds=checkpoint_every_seconds,

@@ -57,6 +57,7 @@ from repro.service.sinks import MemorySink, ResultSink, SinkError, create_sink
 __all__ = [
     "SERVICE_CHECKPOINT_VERSION",
     "BACKPRESSURE_POLICIES",
+    "RUN_STATES",
     "SessionError",
     "BackpressureError",
     "SessionConfig",
@@ -67,6 +68,11 @@ SERVICE_CHECKPOINT_VERSION = 1
 
 #: What ingestion does when the bounded queue is full.
 BACKPRESSURE_POLICIES = ("block", "drop", "error")
+
+#: Scheduler-visible run states of a pooled session.  ``"thread"`` marks
+#: the legacy mode where the session owns a dedicated worker thread and
+#: is never scheduled.
+RUN_STATES = ("idle", "ready", "running", "evicted", "thread")
 
 
 class SessionError(SSSJError):
@@ -94,6 +100,11 @@ class SessionConfig:
     name: str
     threshold: float
     decay: float
+    #: Owning tenant for quota accounting and fairness under the pooled
+    #: scheduler; sessions served by the legacy thread-per-session path
+    #: keep the default.  Travels in the checkpoint envelope, so an
+    #: evicted session resumes under the same tenant.
+    tenant: str = "default"
     algorithm: str = "STR-L2"
     backend: str | None = None
     workers: int | None = None
@@ -154,9 +165,19 @@ class JoinSession:
                  sinks: Sequence[ResultSink] | None = None,
                  checkpoint_path: str | Path | None = None,
                  fault_injector=None,
+                 scheduler=None,
                  _join=None) -> None:
         self.config = config
         self._fault_injector = fault_injector
+        #: When set, the session is a *schedulable unit*: it never spawns
+        #: its own worker thread; a worker pool runs :meth:`run_quantum`
+        #: whenever the scheduler's ready queue hands the session out.
+        #: The scheduler only needs one method: ``notify(session)``,
+        #: called (outside the session lock) whenever work is enqueued.
+        self._scheduler = scheduler
+        #: Scheduler-owned run state; mutated only under the ready
+        #: queue's lock (see ``repro.service.scheduler.ready``).
+        self.run_state = "thread" if scheduler is None else "idle"
         framework_name, _ = parse_algorithm(config.algorithm)
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         if self.checkpoint_path and framework_name != "STR":
@@ -197,6 +218,13 @@ class JoinSession:
         self.ingest_seq = 0
         self.deduped = 0
         self.sink_retried = 0
+        self.batches_flushed = 0
+        #: Last ingest or processing activity (monotonic clock) — the
+        #: idle measure the scheduler's checkpoint-evict sweeper uses.
+        self.last_activity = time.monotonic()
+        #: Cached observability snapshot taken at eviction, so ``stats()``
+        #: keeps answering after the join engine is dropped.
+        self._evicted_stats: dict[str, Any] | None = None
         self.started_at = time.monotonic()
         self._queue: deque[tuple] = deque()
         self._queued_vectors = 0
@@ -228,6 +256,12 @@ class JoinSession:
                                if self.processed else None),
             "accepted": self.accepted,
             "dropped": self.dropped,
+            # Only trusted by resume() when the envelope was written at a
+            # queue-empty barrier (status "evicted"): a mid-stream
+            # checkpoint's counters include vectors still queued, which a
+            # crash loses.
+            "ingest_seq": self.ingest_seq,
+            "deduped": self.deduped,
             "pairs_emitted": self.pairs_emitted,
             "join": snapshot_join(join),
             "sinks": [{"spec": sink.spec(), "position": sink.position()}
@@ -237,7 +271,8 @@ class JoinSession:
 
     @classmethod
     def resume(cls, checkpoint_path: str | Path, *,
-               extra_sinks: Sequence[ResultSink] | None = None) -> "JoinSession":
+               extra_sinks: Sequence[ResultSink] | None = None,
+               scheduler=None) -> "JoinSession":
         """Rebuild a session from its checkpoint after a crash or restart.
 
         The join state is restored exactly; reconstructible sinks (JSONL)
@@ -247,6 +282,12 @@ class JoinSession:
         (``session.processed`` tells it where to resume from).  Volatile
         sinks (callback) cannot be rebuilt from a file — pass live
         replacements via ``extra_sinks``.
+
+        An envelope written by :meth:`try_evict` (status ``"evicted"``) is
+        a queue-empty barrier, not a crash: nothing was in flight, so the
+        ingest counters (``ingest_seq``, ``accepted``, ``deduped``) are
+        restored exactly and clients continue their sequence numbers
+        transparently — the evict/restore cycle is invisible on the wire.
         """
         checkpoint_path = Path(checkpoint_path)
         with open(checkpoint_path, "r", encoding="utf-8") as handle:
@@ -275,18 +316,29 @@ class JoinSession:
                 restores.append((sink, state["position"]))
         sinks.extend(extra_sinks or [])
         session = cls(config, sinks=sinks, checkpoint_path=checkpoint_path,
-                      _join=join)
+                      scheduler=scheduler, _join=join)
         if payload.get("status") == "drained":
             # The join was flushed before this checkpoint; the session
             # comes back readable but refuses further ingestion.
             session.status = "drained"
         session.processed = int(payload.get("processed", 0))
-        # Vectors accepted but still queued at the crash were lost with
-        # the queue; only the processed ones count as accepted now.
-        session.accepted = session.processed
-        # The producer re-feeds from `processed`; the open response tells
-        # the client to reset its sequence counter to match.
-        session.ingest_seq = session.processed
+        if payload.get("status") == "evicted":
+            # Barrier envelope: the queue was empty when it was written,
+            # so every consumed vector is covered — restore the ingest
+            # counters exactly and let clients continue where they were.
+            session.accepted = int(payload.get("accepted",
+                                               session.processed))
+            session.ingest_seq = int(payload.get("ingest_seq",
+                                                 session.processed))
+            session.deduped = int(payload.get("deduped", 0))
+        else:
+            # Vectors accepted but still queued at the crash were lost
+            # with the queue; only the processed ones count as accepted
+            # now.  The producer re-feeds from `processed`; the open
+            # response tells the client to reset its sequence counter to
+            # match.
+            session.accepted = session.processed
+            session.ingest_seq = session.processed
         session.dropped = int(payload.get("dropped", 0))
         session.pairs_emitted = int(payload.get("pairs_emitted", 0))
         # The checkpoint covers the stream up to this timestamp; re-fed
@@ -304,13 +356,32 @@ class JoinSession:
     # -- ingestion -------------------------------------------------------------
 
     def start(self) -> None:
-        """Start the worker thread (idempotent; ingest() starts it lazily)."""
+        """Start the worker thread (idempotent; ingest() starts it lazily).
+
+        A scheduled session never owns a thread — the worker pool runs it
+        — so this is a no-op beyond nudging the scheduler in case work is
+        already queued (e.g. right after a restore).
+        """
+        if self._scheduler is not None:
+            if self.has_pending():
+                self._scheduler.notify(self)
+            return
         with self._lock:
             if self._worker is None and self.status == "active":
                 self._worker = threading.Thread(
                     target=self._worker_loop,
                     name=f"sssj-session-{self.config.name}", daemon=True)
                 self._worker.start()
+
+    def has_pending(self) -> bool:
+        """Whether any queued work (vectors or control tokens) awaits a run.
+
+        Called by the scheduler *while holding the ready-queue lock* to
+        decide idle-vs-ready at quantum end; the lock order is always
+        ready-queue lock → session lock, never the reverse.
+        """
+        with self._lock:
+            return bool(self._queue) and not self._stop
 
     def _check_worker(self) -> None:
         """Surface a silently-dead worker thread as a failed session.
@@ -387,9 +458,24 @@ class JoinSession:
         for vector in vectors:
             enqueued_at = time.monotonic()
             with self._not_full:
+                notified_block = False
                 while (self.config.backpressure == "block"
                        and self._queued_vectors >= self.config.queue_max
                        and self.status == "active"):
+                    if self._scheduler is not None and not notified_block:
+                        # The end-of-call notify below has not run yet, so
+                        # the scheduler may not know this burst exists —
+                        # nudge it before blocking, or nothing would ever
+                        # drain the queue.  The session lock is dropped
+                        # first (lock order is ready-queue → session,
+                        # never the reverse).
+                        self._not_full.release()
+                        try:
+                            self._scheduler.notify(self)
+                        finally:
+                            self._not_full.acquire()
+                        notified_block = True
+                        continue  # re-check the queue after the gap
                     self._not_full.wait(0.05)
                 if self.status != "active":
                     raise self._state_error()
@@ -418,6 +504,10 @@ class JoinSession:
                 self.accepted += 1
                 self.ingest_seq += 1
                 self._not_empty.notify()
+        if accepted or dropped:
+            self.last_activity = time.monotonic()
+        if accepted and self._scheduler is not None:
+            self._scheduler.notify(self)
         return accepted, dropped
 
     def _enqueue_control(self, kind: str) -> tuple[dict, threading.Event]:
@@ -428,6 +518,8 @@ class JoinSession:
                 raise self._state_error()
             self._queue.append(("ctl", kind, reply, done))
             self._not_empty.notify()
+        if self._scheduler is not None:
+            self._scheduler.notify(self)
         return reply, done
 
     def _await_control(self, done: threading.Event, reply: dict,
@@ -523,19 +615,24 @@ class JoinSession:
                     if self._handle_control(work):
                         break
                     continue
-                pairs: list[SimilarPair] = []
-                for _, vector, enqueued_at in work:
-                    pairs.extend(self.join.process(vector))
-                    self.latency.record(time.monotonic() - enqueued_at)
-                    self.processed += 1
-                    self._last_processed_timestamp = vector.timestamp
-                self._emit(pairs)
+                self._process_vectors(work)
                 if self._checkpointer is not None:
                     self._checkpointer.tick()
         except BaseException as error:  # noqa: BLE001 - reported via status
             self._fail(error)
         finally:
             self._flush_pending_controls()
+
+    def _process_vectors(self, work: list[tuple]) -> None:
+        """Feed one micro-batch of queued vectors through the join."""
+        pairs: list[SimilarPair] = []
+        for _, vector, enqueued_at in work:
+            pairs.extend(self.join.process(vector))
+            self.latency.record(time.monotonic() - enqueued_at)
+            self.processed += 1
+            self._last_processed_timestamp = vector.timestamp
+        self._emit(pairs)
+        self.batches_flushed += 1
 
     def _flush_pending_controls(self) -> None:
         """Answer control tokens that will never be handled (worker exiting)."""
@@ -564,13 +661,8 @@ class JoinSession:
                                 if item[0] != "vec")
             self._queued_vectors = 0
             self._not_full.notify_all()
-        pairs: list[SimilarPair] = []
-        for _, vector, enqueued_at in leftovers:
-            pairs.extend(self.join.process(vector))
-            self.latency.record(time.monotonic() - enqueued_at)
-            self.processed += 1
-            self._last_processed_timestamp = vector.timestamp
-        self._emit(pairs)
+        if leftovers:
+            self._process_vectors(leftovers)
 
     def _handle_control(self, token: tuple) -> bool:
         """Run one control token; return True when the worker should exit."""
@@ -605,6 +697,119 @@ class JoinSession:
         finally:
             done.set()
         return kind == "drain"
+
+    # -- scheduled (pooled) execution ------------------------------------------
+
+    def _collect_ready(self, limit: int) -> list[tuple] | tuple | None:
+        """Non-blocking :meth:`_collect_batch`: whatever is queued, now.
+
+        Pool workers must never sleep inside one session (that would
+        stall every other ready session behind them), so there is no
+        ``batch_max_delay`` wait here — the scheduler's visit cadence
+        plays that role.  Returns ``None`` when nothing is queued, a
+        control token 4-tuple, or up to ``limit`` vector entries.
+        """
+        with self._lock:
+            if self._stop or not self._queue:
+                return None
+            head = self._queue.popleft()
+            if head[0] == "ctl":
+                return head
+            self._queued_vectors -= 1
+            batch = [head]
+            while (len(batch) < limit and self._queue
+                   and self._queue[0][0] == "vec"):
+                batch.append(self._queue.popleft())
+                self._queued_vectors -= 1
+            self._not_full.notify_all()
+            return batch
+
+    def run_quantum(self, *, max_batches: int = 4,
+                    batch_items: int | None = None) -> tuple[bool, int]:
+        """Run up to ``max_batches`` micro-batches on the caller's thread.
+
+        The scheduled-mode replacement for :meth:`_worker_loop`: a pool
+        worker calls this after popping the session from the ready queue
+        (which guarantees exclusive execution — at most one worker runs a
+        given session at any time, so the FIFO determinism contract holds
+        under any pool size).  Control tokens are executed in queue order
+        exactly as the dedicated worker would.  ``batch_items`` overrides
+        the configured micro-batch size (the adaptive batcher's lever).
+
+        Returns ``(more_pending, vectors_processed)``; ``more_pending``
+        is advisory — the pool re-checks under the ready-queue lock.
+        """
+        limit = batch_items if batch_items else self.config.batch_max_items
+        processed = 0
+        try:
+            for _ in range(max_batches):
+                work = self._collect_ready(max(1, limit))
+                if work is None:
+                    break
+                if isinstance(work, tuple):  # control token
+                    if self._handle_control(work):
+                        self._flush_pending_controls()
+                        return False, processed
+                    continue
+                self._process_vectors(work)
+                processed += len(work)
+                if self._checkpointer is not None:
+                    self._checkpointer.tick()
+        except BaseException as error:  # noqa: BLE001 - reported via status
+            self._fail(error)
+            self._flush_pending_controls()
+            return False, processed
+        if processed:
+            self.last_activity = time.monotonic()
+        with self._lock:
+            more = bool(self._queue) and not self._stop
+        return more, processed
+
+    def try_evict(self) -> Path | None:
+        """Checkpoint-and-evict an idle session; return the envelope path.
+
+        Only callable when the scheduler has claimed the session (run
+        state ``"evicted"``, so no pool worker can pick it up) and only
+        succeeds at a queue-empty barrier: with nothing in flight the
+        envelope covers every consumed vector, the join engine and the
+        retained result pairs can be dropped entirely, and a later
+        :meth:`resume` restores the ingest counters exactly — clients
+        never notice the round trip.  Returns ``None`` (and leaves the
+        session live) when there is no checkpoint path or work snuck into
+        the queue; concurrent ingests that lose the race see the
+        ``"evicted"`` status and trigger the service's lazy restore.
+        """
+        if self.checkpoint_path is None or self.join is None:
+            return None
+        with self._lock:
+            if self.status != "active" or self._queue or self._queued_vectors:
+                return None
+            self.status = "evicted"
+        try:
+            path = self._write_envelope(self.join, self.checkpoint_path)
+        except BaseException:
+            with self._lock:
+                self.status = "active"
+            raise
+        self._evicted_stats = {
+            "counters": self.join.stats.as_dict(),
+            "backend": getattr(self.join, "backend_name",
+                               self.config.backend),
+            "approx": getattr(self.join, "approx", self.config.approx),
+        }
+        self._checkpointer = None
+        closer = getattr(self.join, "close", None)
+        if closer is not None:
+            closer()
+        self.join = None
+        # Free the retained pairs but keep the cursor base monotonic:
+        # readers that come back after a restore see ``first_retained``
+        # jump, exactly as after a crash recovery.
+        self.results.restore(self.results.position())
+        for sink in self.sinks:
+            if sink is not self.results:
+                sink.close()
+        return path
 
     def _fail(self, error: BaseException) -> None:
         with self._lock:
@@ -645,7 +850,12 @@ class JoinSession:
         with self._lock:
             worker = self._worker
             still_active = self.status == "active"
-        if worker is not None and worker.is_alive() and still_active:
+        # A scheduled session has no thread of its own, but the pool will
+        # execute the stop token (the service keeps the pool running
+        # until every session is closed).
+        runnable = ((worker is not None and worker.is_alive())
+                    or self._scheduler is not None)
+        if runnable and still_active:
             try:
                 reply, done = self._enqueue_control("stop")
                 self._await_control(done, reply, timeout)
@@ -653,7 +863,7 @@ class JoinSession:
                 pass  # already failed/killed: fall through to teardown
         with self._lock:
             self._stop = True
-            if self.status in ("active", "drained"):
+            if self.status in ("active", "drained", "evicted"):
                 self.status = "closed"
             self._not_empty.notify_all()
             self._not_full.notify_all()
@@ -688,19 +898,35 @@ class JoinSession:
             return self._queued_vectors
 
     def stats(self) -> dict[str, Any]:
-        """Live counters + latency percentiles (the ``stats`` endpoint row)."""
+        """Live counters + latency percentiles (the ``stats`` endpoint row).
+
+        Works on an evicted placeholder too (the engine is gone, but the
+        snapshot cached by :meth:`try_evict` keeps the counters visible)
+        — observability must never force a restore.
+        """
         with self._lock:
             queued = self._queued_vectors
+        if self.join is None:
+            cached = self._evicted_stats or {}
+            backend = cached.get("backend", self.config.backend)
+            approx = cached.get("approx", self.config.approx)
+            counters = cached.get("counters", {})
+        else:
+            backend = getattr(self.join, "backend_name", self.config.backend)
+            approx = getattr(self.join, "approx", self.config.approx)
+            counters = self.join.stats.as_dict()
         return {
             "name": self.config.name,
+            "tenant": self.config.tenant,
             "status": self.status,
+            "run_state": self.run_state,
             "algorithm": self.config.algorithm,
             "threshold": self.config.threshold,
             "decay": self.config.decay,
-            "backend": getattr(self.join, "backend_name", self.config.backend),
+            "backend": backend,
             "workers": self.config.workers,
             # Canonical spec from the live join (None on an exact session).
-            "approx": getattr(self.join, "approx", self.config.approx),
+            "approx": approx,
             "backpressure": self.config.backpressure,
             "queue_max": self.config.queue_max,
             "queued": queued,
@@ -710,11 +936,12 @@ class JoinSession:
             "ingest_seq": self.ingest_seq,
             "processed": self.processed,
             "pairs_emitted": self.pairs_emitted,
+            "batches_flushed": self.batches_flushed,
             "sink_retried": self.sink_retried,
             "uptime_s": round(time.monotonic() - self.started_at, 3),
             "resumed": self.resumed,
             "error": self.error,
             "latency": self.latency.summary(),
-            "counters": self.join.stats.as_dict(),
+            "counters": counters,
             "sinks": [sink.describe() for sink in self.sinks],
         }
