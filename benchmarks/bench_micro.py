@@ -72,6 +72,13 @@ artifact against ``benchmarks/BENCH_baseline.json`` in CI:
     aggregate throughput ≥ 0.8× thread-per-session; records aggregate
     throughput, the worst per-session p99 and the cross-session fairness
     spread in the ``service_multitenant`` record of ``BENCH_micro.json``.
+``test_obs_overhead_gate``
+    The observability gate: the STR workload run with telemetry fully
+    wired (sampled batch spans, per-batch histogram/counter updates,
+    periodic collector scrapes) and with obs disabled.  Asserts bitwise
+    pair/counter parity between the arms always, ≤ 5% overhead at full
+    size, and records the ratio in the ``obs_overhead`` record of
+    ``BENCH_micro.json``.
 ``test_chaos_recovery_gate``
     The chaos gate: the STR workload through the 2-worker multiprocess
     engine under a fault plan that SIGKILLs both workers at different
@@ -95,6 +102,8 @@ Environment knobs (used by the CI smoke job):
     Override the approx recall gate's stream length (default 10 000).
 ``SSSJ_BENCH_VECTORS_CHAOS``
     Override the chaos gate's stream length (default 2 000).
+``SSSJ_BENCH_VECTORS_OBS``
+    Override the observability gate's stream length (default 10 000).
 ``SSSJ_BENCH_SHARD_WORKERS``
     Worker counts of the sharded gate, comma-separated (default "1,2,4").
 ``SSSJ_BENCH_OUTPUT``
@@ -126,6 +135,7 @@ GATE_VECTORS_LARGE = int(os.environ.get("SSSJ_BENCH_VECTORS_LARGE", "50000"))
 GATE_VECTORS_SERVICE = int(os.environ.get("SSSJ_BENCH_VECTORS_SERVICE", "4000"))
 GATE_VECTORS_APPROX = int(os.environ.get("SSSJ_BENCH_VECTORS_APPROX", "10000"))
 GATE_VECTORS_CHAOS = int(os.environ.get("SSSJ_BENCH_VECTORS_CHAOS", "2000"))
+GATE_VECTORS_OBS = int(os.environ.get("SSSJ_BENCH_VECTORS_OBS", "10000"))
 GATE_MT_SESSIONS = int(os.environ.get("SSSJ_BENCH_MT_SESSIONS", "100"))
 GATE_MT_VECTORS = int(os.environ.get("SSSJ_BENCH_MT_VECTORS", "120"))
 GATE_MT_POOL = int(os.environ.get("SSSJ_BENCH_MT_POOL", "8"))
@@ -148,6 +158,10 @@ GATE_SERVICE_RATIO = 0.8
 #: multi-tenant gate at full size (100 sessions on an 8-worker pool vs
 #: one thread per session).
 GATE_MULTITENANT_RATIO = 0.8
+#: Minimum obs-disabled over obs-enabled throughput ratio at full size —
+#: instrumentation (sampled spans, per-batch metric updates, periodic
+#: collector scrapes) may cost at most 5%.
+GATE_OBS_RATIO = 0.95
 #: Sketch geometry of the approx recall gate — the measured sweet spot on
 #: the hashtags workload (see docs/PERFORMANCE.md for the full sweep).
 GATE_APPROX_SPEC = "wminhash:24x3"
@@ -946,3 +960,114 @@ def test_chaos_recovery_gate(benchmark):
     # Recovery is bounded: replay of up to the full history must come in
     # far under the 10s per-call deadline ceiling.
     assert recovery_latency < 10.0
+
+
+@pytest.mark.skipif("numpy" not in BACKENDS, reason="NumPy backend unavailable")
+def test_obs_overhead_gate(benchmark):
+    """Observability overhead gate: STR-L2AP with telemetry on vs off.
+
+    The "on" arm mirrors exactly what an instrumented session adds
+    around the engine hot path: the index-stats collector registered at
+    join construction, a batch span per 256-vector micro-batch (sampled
+    at 1%, the serve-time default), one latency-histogram observation
+    and counter increment per batch, and a full collector scrape every
+    16 batches (a Prometheus scrape interval at gate throughput).  The
+    "off" arm runs the identical loop with obs disabled, which is what
+    every instrumentation site reduces to when ``SSSJ_OBS=0``.  Both
+    arms run twice, interleaved, and the gate compares the per-arm
+    minima so cache warm-up and machine noise hit both sides evenly.
+
+    Asserts telemetry costs <= 5% at full size and — unconditionally —
+    that pair/counter output is bitwise identical across the arms, so
+    instrumentation can never change results.
+    """
+    from repro import obs
+    from repro.obs import MetricsRegistry, Tracer
+
+    threshold, decay = 0.6, 2e-5
+    batch_size = 256
+    scrape_every = 16
+    trace_sample = 0.01
+    vectors = generate_profile_corpus("hashtags",
+                                      num_vectors=GATE_VECTORS_OBS, seed=7)
+
+    def timed(instrumented):
+        spans = []
+        previous_registry = obs.set_registry(MetricsRegistry())
+        previous_tracer = obs.set_tracer(
+            Tracer(sample=trace_sample, seed=7, sink=spans.append))
+        was_enabled = obs.enabled()
+        obs.set_enabled(instrumented)
+        try:
+            stats = JoinStatistics()
+            join = create_join("STR-L2AP", threshold, decay, stats=stats,
+                               backend="numpy")
+            registry = obs.get_registry()
+            if instrumented:
+                histogram = registry.histogram(
+                    "sssj_batch_seconds", "Batch wall-clock seconds.",
+                    ("session",)).labels(session="bench")
+                processed = registry.counter(
+                    "sssj_engine_vectors_processed_total",
+                    "Vectors processed.", ("session",)).labels(
+                        session="bench")
+            start = time.perf_counter()
+            for offset in range(0, len(vectors), batch_size):
+                chunk = vectors[offset:offset + batch_size]
+                with obs.span("batch", session="bench", size=len(chunk)):
+                    batch_start = time.perf_counter()
+                    for vector in chunk:
+                        join.process(vector)
+                    if instrumented:
+                        histogram.observe(time.perf_counter() - batch_start)
+                        processed.inc(len(chunk))
+                        if (offset // batch_size) % scrape_every == 0:
+                            registry.run_collectors()
+            elapsed = time.perf_counter() - start
+        finally:
+            obs.set_enabled(was_enabled)
+            obs.set_registry(previous_registry)
+            obs.set_tracer(previous_tracer)
+        return elapsed, stats, len(spans)
+
+    def run_both():
+        on_first = timed(True)
+        off_first = timed(False)
+        on_second = timed(True)
+        off_second = timed(False)
+        return on_first, off_first, on_second, off_second
+
+    on_first, off_first, on_second, off_second = benchmark.pedantic(
+        run_both, rounds=1, iterations=1)
+    count = len(vectors)
+    enabled_elapsed = min(on_first[0], on_second[0])
+    disabled_elapsed = min(off_first[0], off_second[0])
+    ratio = disabled_elapsed / enabled_elapsed if enabled_elapsed else 0.0
+    sampled_spans = on_first[2]
+    print(f"\nobs overhead (hashtags, {count} vectors): disabled "
+          f"{disabled_elapsed:.2f}s, enabled {enabled_elapsed:.2f}s "
+          f"(ratio {ratio:.3f}x), {sampled_spans} sampled span(s)")
+
+    enabled_record = _backend_record(enabled_elapsed, on_first[1], count)
+    enabled_record["sampled_spans"] = sampled_spans
+    artifact = write_bench_micro(
+        GATE_OUTPUT,
+        benchmark="obs_overhead",
+        config={"profile": "hashtags", "num_vectors": count, "seed": 7,
+                "algorithm": "STR-L2AP", "threshold": threshold,
+                "decay": decay, "batch_size": batch_size,
+                "trace_sample": trace_sample, "scrape_every": scrape_every},
+        backends={
+            "numpy_obs_off": _backend_record(disabled_elapsed, off_first[1],
+                                             count),
+            "numpy_obs_on": enabled_record,
+        },
+        derived={"throughput_ratio": ratio},
+    )
+    print(f"benchmark artifact written to {artifact}")
+
+    # Instrumentation must never change what the join computes.
+    _assert_counter_parity(on_first[1], off_first[1])
+    _assert_counter_parity(on_first[1], on_second[1])
+    if count >= 10_000:  # reduced CI sizes track the artifact, not the gate
+        assert ratio >= GATE_OBS_RATIO

@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the observability layer.
+
+Run by the CI ``obs-smoke`` step (and runnable locally):
+
+    PYTHONPATH=src python scripts/obs_smoke.py [span-artifact.ndjson]
+
+The script:
+
+1. starts ``sssj serve --pool-workers 2`` with a live metrics endpoint
+   (``--metrics-port 0``), full-rate deterministic tracing
+   (``--trace-sample 1.0 --span-log``) and a slow-batch threshold, as a
+   real subprocess, parsing both the ``listening on`` and the
+   ``metrics endpoint on`` startup lines;
+2. ingests two tenants' streams through the ``sssj ingest`` CLI;
+3. scrapes the Prometheus endpoint over HTTP, ingests more vectors,
+   scrapes again, and asserts the counters are present, carry the
+   per-tenant labels, and moved monotonically between the scrapes;
+4. renders one ``sssj top`` frame against the live server;
+5. shuts down cleanly and asserts the span NDJSON log holds
+   well-formed batch/dispatch spans (copying it to the artifact path
+   given as ``argv[1]``, if any — CI uploads it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.datasets.generator import generate_profile_corpus  # noqa: E402
+from repro.datasets.io import write_vectors  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+VECTORS_PER_TENANT = int(os.environ.get("SSSJ_SMOKE_OBS_VECTORS", "150"))
+THETA, DECAY = 0.6, 0.0001
+TENANTS = ("acme", "globex")
+
+#: Counters every healthy scrape of this workload must expose.
+REQUIRED_SERIES = (
+    "sssj_server_requests_total",
+    "sssj_server_sessions",
+    "sssj_engine_vectors_processed_total",
+    "sssj_session_queue_depth",
+    "sssj_batch_seconds_bucket",
+    "sssj_pool_workers",
+    "sssj_pool_quanta_total",
+    "sssj_scheduler_ready_sessions",
+    "sssj_scheduler_dispatch_wait_seconds_bucket",
+    "sssj_scheduler_drr_deficit",
+    "sssj_tenant_ingested_vectors_total",
+)
+#: Monotone counters whose value must strictly grow between the scrapes
+#: (more ingest happens in between).
+MONOTONE_SERIES = (
+    "sssj_server_requests_total",
+    "sssj_engine_vectors_processed_total",
+    "sssj_tenant_ingested_vectors_total",
+    "sssj_pool_vectors_total",
+)
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def start_server(span_log: Path) -> tuple[subprocess.Popen, int, str]:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--pool-workers", "2", "--metrics-port", "0",
+         "--trace-sample", "1.0", "--trace-seed", "7",
+         "--span-log", str(span_log), "--slow-batch-ms", "5000"],
+        stdout=subprocess.PIPE, text=True, env=_env())
+    port = metrics_url = None
+    deadline = time.monotonic() + 30
+    while port is None or metrics_url is None:
+        line = process.stdout.readline()
+        if line:
+            print(f"  [serve] {line.rstrip()}")
+        if "metrics endpoint on" in line:
+            metrics_url = line.strip().rsplit(" ", 1)[1]
+        elif "listening on" in line:
+            port = int(line.strip().rsplit(":", 1)[1])
+        if process.poll() is not None or time.monotonic() > deadline:
+            raise RuntimeError("server failed to start")
+    return process, port, metrics_url
+
+
+def run_cli(*args: str) -> str:
+    result = subprocess.run([sys.executable, "-m", "repro", *args],
+                            capture_output=True, text=True, env=_env(),
+                            timeout=300)
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"sssj {' '.join(args)} failed ({result.returncode}):\n"
+            f"{result.stdout}\n{result.stderr}")
+    return result.stdout
+
+
+def scrape(metrics_url: str) -> dict[str, float]:
+    """Fetch the endpoint and sum each metric's samples across labels."""
+    with urllib.request.urlopen(metrics_url, timeout=10) as response:
+        assert response.headers["Content-Type"].startswith("text/plain"), (
+            response.headers["Content-Type"])
+        text = response.read().decode("utf-8")
+    totals: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        sample, value = line.rsplit(" ", 1)
+        name = sample.split("{", 1)[0]
+        totals[name] = totals.get(name, 0.0) + float(value)
+    totals["__text__"] = text  # type: ignore[assignment]
+    return totals
+
+
+def ingest(port: int, name: str, tenant: str, path: Path) -> None:
+    run_cli("ingest", "--port", str(port), "--session", name,
+            "--tenant", tenant, "--input", str(path),
+            "--theta", str(THETA), "--decay", str(DECAY))
+
+
+def main() -> int:
+    artifact = Path(sys.argv[1]) if len(sys.argv) > 1 else None
+    workdir = Path(tempfile.mkdtemp(prefix="sssj-obs-smoke-"))
+    span_log = workdir / "spans.ndjson"
+
+    corpus = generate_profile_corpus(
+        "hashtags", num_vectors=VECTORS_PER_TENANT * len(TENANTS) * 2,
+        seed=17)
+    slices = {}
+    for index, tenant in enumerate(TENANTS):
+        for round_number in (1, 2):
+            start = ((index * 2) + round_number - 1) * VECTORS_PER_TENANT
+            path = workdir / f"{tenant}-{round_number}.txt"
+            write_vectors(path, corpus[start:start + VECTORS_PER_TENANT])
+            slices[tenant, round_number] = path
+    print(f"streams: {len(TENANTS)} tenants × 2 rounds × "
+          f"{VECTORS_PER_TENANT} hashtags vectors (θ={THETA}, λ={DECAY})")
+
+    server, port, metrics_url = start_server(span_log)
+    try:
+        print(f"\n[1] ingest round one for tenants {', '.join(TENANTS)}")
+        for tenant in TENANTS:
+            ingest(port, f"{tenant}-s", tenant, slices[tenant, 1])
+        with ServiceClient(port=port) as client:
+            for tenant in TENANTS:
+                client.drain(f"{tenant}-s")
+
+        print(f"\n[2] first scrape of {metrics_url}")
+        first = scrape(metrics_url)
+        text = first.pop("__text__")
+        for series in REQUIRED_SERIES:
+            assert series in first, f"scrape is missing {series}"
+        for tenant in TENANTS:
+            needle = (f'sssj_tenant_ingested_vectors_total{{tenant='
+                      f'"{tenant}"}} {VECTORS_PER_TENANT}')
+            assert needle in text, f"scrape is missing {needle!r}"
+        print(f"  OK: {len(first)} metric families, per-tenant ingest "
+              "series exact")
+
+        print("\n[3] ingest round two (fresh sessions — drained ones are "
+              "closed to further ingest), scrape again, assert monotone")
+        for tenant in TENANTS:
+            ingest(port, f"{tenant}-s2", tenant, slices[tenant, 2])
+        with ServiceClient(port=port) as client:
+            for tenant in TENANTS:
+                client.drain(f"{tenant}-s2")
+        second = scrape(metrics_url)
+        second.pop("__text__")
+        for series in MONOTONE_SERIES:
+            assert second[series] > first[series], (
+                series, first[series], second[series])
+        expected = VECTORS_PER_TENANT * 2
+        assert second["sssj_engine_vectors_processed_total"] == (
+            expected * len(TENANTS)), second
+        print("  OK: counters moved monotonically "
+              f"({int(first['sssj_engine_vectors_processed_total'])} → "
+              f"{int(second['sssj_engine_vectors_processed_total'])} "
+              "vectors processed)")
+
+        print("\n[4] one sssj top frame against the live server")
+        frame = run_cli("top", "--port", str(port), "--iterations", "1",
+                        "--no-clear")
+        assert "sssj top" in frame and "TENANT" in frame, frame
+        for tenant in TENANTS:
+            assert tenant in frame, frame
+        print("  OK: top frame renders tenant and session rows")
+
+        print("\n[5] shut down and validate the span log")
+        with ServiceClient(port=port) as client:
+            client.shutdown()
+        server.wait(timeout=30)
+    except BaseException:
+        server.kill()
+        raise
+
+    spans = [json.loads(line)
+             for line in span_log.read_text().splitlines() if line]
+    kinds = {record["span"] for record in spans}
+    assert {"batch", "dispatch"} <= kinds, kinds
+    for record in spans:
+        assert record["dur_ms"] >= 0 and record["ts"] > 0, record
+    assert all(record.get("session") for record in spans
+               if record["span"] == "batch"), spans
+    if artifact is not None:
+        artifact.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(span_log, artifact)
+        print(f"  span artifact copied to {artifact}")
+    print(f"  OK: {len(spans)} spans, kinds {sorted(kinds)}")
+    print("\nobs smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,12 +30,32 @@ import time
 from collections.abc import Sequence
 from typing import Any
 
+from repro import obs
 from repro.backends.base import CandidateSet, ScoreAccumulator, SimilarityKernel
 
 __all__ = ["ProfilingKernel", "STAGES"]
 
 #: Stage names in reporting order.
 STAGES = ("scan", "filter", "verify", "maintenance")
+
+
+def _collect_stages(kernel: "ProfilingKernel") -> None:
+    """Scrape-time collector: stage timings onto the metrics registry."""
+    registry = obs.get_registry()
+    seconds = registry.counter(
+        "sssj_stage_seconds_total",
+        "Wall-clock seconds spent per pipeline stage.",
+        ("stage", "backend"))
+    calls = registry.counter(
+        "sssj_stage_calls_total",
+        "Kernel calls per pipeline stage.",
+        ("stage", "backend"))
+    tracker = kernel._obs_tracker
+    for stage in STAGES:
+        tracker.export(seconds.labels(stage=stage, backend=kernel.name),
+                       ("seconds", stage), kernel.stage_seconds[stage])
+        tracker.export(calls.labels(stage=stage, backend=kernel.name),
+                       ("calls", stage), kernel.stage_calls[stage])
 
 
 class _TimedAccumulator(ScoreAccumulator):
@@ -67,6 +87,12 @@ class ProfilingKernel(SimilarityKernel):
         self.name = f"{inner.name}+profile"
         self.stage_seconds: dict[str, float] = {stage: 0.0 for stage in STAGES}
         self.stage_calls: dict[str, int] = {stage: 0 for stage in STAGES}
+        # Stage totals also feed the unified metrics registry; the
+        # collector runs only at scrape time, so the per-call hot path
+        # stays a plain dict add.
+        self._obs_tracker = obs.DeltaTracker()
+        if obs.enabled():
+            obs.get_registry().add_collector(_collect_stages, owner=self)
         # Warm the wrapped kernel now so a compiled backend's one-time JIT
         # cost lands here, not inside the first scan — the breakdown would
         # otherwise charge seconds of compilation to the "scan" stage.

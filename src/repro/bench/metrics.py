@@ -20,8 +20,13 @@ class LatencyStats:
     this one class.  Samples are kept in a fixed-size window (newest
     ``window`` items) so a long-running service can record latencies
     forever with bounded memory; ``count`` still tracks the lifetime
-    total.  Percentiles use the nearest-rank method on the retained
-    window — deterministic and dependency-free.
+    total and ``window_dropped`` how many samples aged out of the
+    window, so a saturated window is visible rather than silently
+    biased.  Percentiles use the nearest-rank method on the retained
+    window — deterministic and dependency-free — except below three
+    samples, where nearest-rank collapses every percentile onto one
+    sample (p50 of two samples was the *smaller* one); tiny windows
+    interpolate linearly instead.
 
     Thread-safe: the service records from its worker thread while the
     ``stats`` endpoint summarises from server handler threads.
@@ -35,10 +40,13 @@ class LatencyStats:
         self._lock = threading.Lock()
         self.count = 0
         self.total_seconds = 0.0
+        self.window_dropped = 0
 
     def record(self, seconds: float) -> None:
         """Record one per-item latency measured in seconds."""
         with self._lock:
+            if len(self._samples) == self.window:
+                self.window_dropped += 1
             self._samples.append(seconds)
             self.count += 1
             self.total_seconds += seconds
@@ -51,12 +59,22 @@ class LatencyStats:
     def _rank(ordered: list[float], p: float) -> float:
         if not 0 < p <= 100:
             raise ValueError(f"percentile must be in (0, 100], got {p}")
-        rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+        n = len(ordered)
+        if n < 3:
+            # Nearest-rank degenerates at tiny n (p50 of two samples is
+            # the smaller one); interpolate linearly instead.
+            position = (n - 1) * p / 100.0
+            low = int(position)
+            high = min(low + 1, n - 1)
+            fraction = position - low
+            return ordered[low] + (ordered[high] - ordered[low]) * fraction
+        rank = max(1, -(-n * p // 100))  # ceil without floats
         return ordered[int(rank) - 1]
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank ``p``-th percentile (in seconds) of the window.
+        """``p``-th percentile (in seconds) of the retained window.
 
+        Nearest-rank for n ≥ 3, linear interpolation below that.
         Returns 0.0 when no samples have been recorded.
         """
         with self._lock:
@@ -71,9 +89,11 @@ class LatencyStats:
             ordered = sorted(self._samples)
             count = self.count
             total_seconds = self.total_seconds
+            window_dropped = self.window_dropped
         mean_s = total_seconds / count if count else 0.0
         return {
             "count": count,
+            "window_dropped": window_dropped,
             "mean_ms": round(mean_s * 1e3, 4),
             "p50_ms": round(self._rank(ordered, 50) * 1e3, 4) if ordered else 0.0,
             "p95_ms": round(self._rank(ordered, 95) * 1e3, 4) if ordered else 0.0,

@@ -259,7 +259,36 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="MS",
                        help="p99 per-item latency the adaptive batcher "
                             "steers toward (default 250)")
+    serve.add_argument("--metrics-port", type=int, default=None, metavar="P",
+                       help="serve Prometheus text on this HTTP port "
+                            "(0 picks a free port; default: off)")
+    serve.add_argument("--metrics-host", default="127.0.0.1",
+                       help="interface for --metrics-port (default loopback)")
+    serve.add_argument("--trace-sample", type=float, default=None,
+                       metavar="F",
+                       help="emit this fraction of batch-granularity spans "
+                            "(0..1, deterministic per seed; default: off)")
+    serve.add_argument("--trace-seed", type=int, default=0, metavar="N",
+                       help="seed of the deterministic span sampler "
+                            "(default 0)")
+    serve.add_argument("--span-log", default=None, metavar="PATH",
+                       help="append sampled spans to this NDJSON file")
+    serve.add_argument("--slow-batch-ms", type=float, default=None,
+                       metavar="MS",
+                       help="log every span slower than this to stderr "
+                            "(measured even when unsampled)")
     _add_fault_args(serve)
+
+    top = subparsers.add_parser(
+        "top", help="live per-session/tenant telemetry of a served join")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7788)
+    top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                     help="seconds between stats polls (default 2)")
+    top.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="exit after N frames (default: until Ctrl-C)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of clearing the screen")
 
     def add_client_args(sub):
         sub.add_argument("--host", default="127.0.0.1")
@@ -630,6 +659,47 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profile_rows(kernel, total_elapsed: float) -> list[dict]:
+    """Stage rows for ``sssj profile``, read back from the metrics registry.
+
+    The profiling kernel exports its accumulators onto the shared
+    :mod:`repro.obs` registry; reading the table from there (one scrape,
+    same ``sssj_stage_seconds_total`` series Prometheus sees) keeps the
+    CLI view and the metrics endpoint telling one story.  Falls back to
+    the kernel's own accumulators when observability is disabled.
+    """
+    from repro import obs
+    from repro.backends.profiling import STAGES
+
+    if not obs.enabled():
+        return kernel.report_rows(total_elapsed)
+    registry = obs.get_registry()
+    registry.run_collectors()
+    rows = []
+    attributed = 0.0
+    for stage in STAGES:
+        seconds = registry.get_value("sssj_stage_seconds_total",
+                                     stage=stage, backend=kernel.name) or 0.0
+        calls = registry.get_value("sssj_stage_calls_total",
+                                   stage=stage, backend=kernel.name) or 0
+        attributed += seconds
+        rows.append({
+            "stage": stage,
+            "seconds": round(seconds, 4),
+            "share": (f"{seconds / total_elapsed:.1%}"
+                      if total_elapsed else "-"),
+            "calls": int(calls),
+        })
+    other = max(total_elapsed - attributed, 0.0)
+    rows.append({
+        "stage": "other (driver)",
+        "seconds": round(other, 4),
+        "share": f"{other / total_elapsed:.1%}" if total_elapsed else "-",
+        "calls": "",
+    })
+    return rows
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import time
 
@@ -668,7 +738,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     pairs += len(join.flush())
     elapsed = time.perf_counter() - start
     print(render_table(
-        kernel.report_rows(elapsed),
+        _profile_rows(kernel, elapsed),
         title=(f"Per-stage breakdown: {args.algorithm} on {name} "
                f"({kernel.name}, θ={args.theta}, λ={args.decay})"),
     ))
@@ -796,8 +866,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pool_workers=args.pool_workers,
         scheduler_options=scheduler_options,
         dispatch_workers=args.dispatch_workers,
+        metrics_port=args.metrics_port,
+        metrics_host=args.metrics_host,
+        trace_sample=args.trace_sample,
+        span_log=args.span_log,
+        slow_batch_ms=args.slow_batch_ms,
+        trace_seed=args.trace_seed,
     )
     host, port = server.address
+    metrics_server = getattr(server, "obs_metrics_server", None)
+    if metrics_server is not None:
+        m_host, m_port = metrics_server.address
+        print(f"metrics endpoint on http://{m_host}:{m_port}/metrics",
+              flush=True)
     if args.pool_workers is not None:
         knobs = f"pool={args.pool_workers}"
         if args.evict_after is not None:
@@ -820,6 +901,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"fault event log written to {args.fault_log}", flush=True)
     print("sssj service stopped", flush=True)
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import run_top
+    from repro.service import ServiceClientError
+
+    if args.interval <= 0:
+        print("--interval must be positive", file=sys.stderr)
+        return 2
+    if args.iterations is not None and args.iterations <= 0:
+        print("--iterations must be positive", file=sys.stderr)
+        return 2
+    try:
+        return run_top(args.host, args.port, interval=args.interval,
+                       iterations=args.iterations,
+                       clear=False if args.no_clear else None)
+    except ServiceClientError as error:
+        print(f"top failed: {error}", file=sys.stderr)
+        return 1
 
 
 def _client_for(args: argparse.Namespace):
@@ -982,6 +1082,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "experiment": _cmd_experiment,
     "serve": _cmd_serve,
+    "top": _cmd_top,
     "ingest": _cmd_ingest,
     "results": _cmd_results,
     "sessions": _cmd_sessions,

@@ -26,6 +26,7 @@ import json
 import threading
 import time
 
+from repro import obs
 from repro.exceptions import InvalidParameterError
 from repro.faults.plan import (
     WORKER_FAULT_KINDS,
@@ -167,6 +168,12 @@ class FaultInjector:
 
     def _record(self, kind: str, **details) -> None:
         self.log.append({"kind": kind, "time": time.time(), **details})
+        # Faults are rare by construction; count them inline.
+        if obs.enabled():
+            obs.get_registry().counter(
+                "sssj_fault_events_total",
+                "Injected-fault and recovery events by kind.",
+                ("kind",)).labels(kind=kind).inc()
 
     @property
     def fired(self) -> list[dict]:

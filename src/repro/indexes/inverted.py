@@ -14,6 +14,7 @@ in constant time.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.backends import CandidateSet, SimilarityKernel
 from repro.core.results import JoinStatistics, SimilarPair
 from repro.core.similarity import time_horizon
@@ -99,6 +100,13 @@ class InvertedStreamingIndex(StreamingIndex):
         super().__init__(threshold, decay, stats=stats, backend=backend)
         self.horizon = time_horizon(threshold, decay)
         self._index = self._make_index()
+        # Counter export only (shared with the prefix schemes); the scan
+        # and append hot paths are untouched.
+        from repro.indexes.prefix import collect_index_stats
+
+        self._obs_tracker = obs.DeltaTracker()
+        if obs.enabled():
+            obs.get_registry().add_collector(collect_index_stats, owner=self)
 
     # -- storage / scan hooks (see PrefixFilterStreamingIndex) ----------------
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 
+from repro import obs
 from repro.backends import CandidateSet, SimilarityKernel
 from repro.core.results import JoinStatistics, SimilarPair
 from repro.core.similarity import time_horizon
@@ -44,9 +45,35 @@ from repro.indexes.maxvector import DecayedMaxVector, MaxVector
 from repro.indexes.posting import InvertedIndex
 from repro.indexes.residual import ResidualEntry, ResidualIndex
 
-__all__ = ["PrefixFilterBatchIndex", "PrefixFilterStreamingIndex"]
+__all__ = ["PrefixFilterBatchIndex", "PrefixFilterStreamingIndex",
+           "collect_index_stats"]
 
 _INF = math.inf
+
+
+def collect_index_stats(index) -> None:
+    """Scrape-time collector: a streaming index's structural counters.
+
+    Counter export only — the per-posting scan paths are untouched (the
+    registry never appears on the hot path).  Shared with the INV index;
+    the labels identify the scheme and backend, not the instance, so
+    multiple engines of the same configuration feed one series (each via
+    its own delta tracker).
+    """
+    registry = obs.get_registry()
+    tracker = index._obs_tracker
+    stats = index.stats
+    labels = {"index": index.name, "backend": index.backend_name}
+    for key, value in (
+            ("entries_indexed", stats.entries_indexed),
+            ("entries_traversed", stats.entries_traversed),
+            ("entries_pruned", stats.entries_pruned),
+            ("reindexings", stats.reindexings),
+            ("reindexed_entries", stats.reindexed_entries)):
+        tracker.export(registry.counter(
+            f"sssj_index_{key}_total",
+            f"Streaming-index {key.replace('_', ' ')}.",
+            ("index", "backend")).labels(**labels), key, value)
 
 
 class PrefixFilterBatchIndex(BatchIndex):
@@ -198,6 +225,9 @@ class PrefixFilterStreamingIndex(StreamingIndex):
         self.horizon = time_horizon(threshold, decay)
         self.time_ordered = not self.use_ap
         self._index = self._make_index()
+        self._obs_tracker = obs.DeltaTracker()
+        if obs.enabled():
+            obs.get_registry().add_collector(collect_index_stats, owner=self)
         self._residual = ResidualIndex()
         self._size_filter = self.kernel.new_size_filter()
         self._max_query = MaxVector() if self.use_ap else None          # m
@@ -354,11 +384,17 @@ class PrefixFilterStreamingIndex(StreamingIndex):
 
     def _reindex(self, grown_dims: list[int], cutoff: float) -> None:
         """Restore the prefix-filtering invariant after ``m`` grew."""
-        stats = self.stats
         affected = self._residual.candidates_for_dimensions(grown_dims)
         if not affected:
             return
-        stats.reindexings += 1
+        self.stats.reindexings += 1
+        # Re-indexing is the rare structural event worth a span of its
+        # own; the per-posting scan paths carry no instrumentation.
+        with obs.span("reindex", affected=len(affected)):
+            self._reindex_affected(affected, cutoff)
+
+    def _reindex_affected(self, affected, cutoff: float) -> None:
+        stats = self.stats
         threshold = self.threshold
         for candidate_id in affected:
             entry = self._residual.get(candidate_id)

@@ -1,0 +1,134 @@
+"""Exporters: Prometheus text rendering and the plain-HTTP endpoint.
+
+:func:`render_prometheus` produces the text exposition format
+(version 0.0.4) from a :class:`~repro.obs.registry.MetricsRegistry`.
+Output order is fully deterministic — families sorted by name, children
+sorted by label values — which is what makes the golden-format tests
+possible.
+
+:func:`start_metrics_server` serves that text on ``GET /metrics`` via a
+stdlib ``ThreadingHTTPServer`` running on a daemon thread; it is the
+``sssj serve --metrics-port`` endpoint, scrapable by a stock Prometheus
+or plain ``curl``.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["CONTENT_TYPE", "MetricsHTTPServer", "render_prometheus",
+           "start_metrics_server"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labelstr(labelnames, labelvalues, extra=()) -> str:
+    parts = [f'{name}="{_escape_label(value)}"'
+             for name, value in zip(labelnames, labelvalues)]
+    parts.extend(f'{name}="{_escape_label(value)}"'
+                 for name, value in extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(registry) -> str:
+    """Render the registry (collectors included) as exposition text."""
+    lines: list[str] = []
+    families = registry.families()
+    overflowed = []
+    for family in families:
+        if family.dropped:
+            overflowed.append((family.name, family.dropped))
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labelvalues, child in family.samples():
+            if family.kind == "histogram":
+                snap = child.snapshot()
+                for bound, cumulative in snap["buckets"]:
+                    labels = _labelstr(family.labelnames, labelvalues,
+                                       extra=(("le", _format_value(bound)),))
+                    lines.append(
+                        f"{family.name}_bucket{labels} {cumulative}")
+                labels = _labelstr(family.labelnames, labelvalues,
+                                   extra=(("le", "+Inf"),))
+                lines.append(f"{family.name}_bucket{labels} {snap['count']}")
+                base = _labelstr(family.labelnames, labelvalues)
+                lines.append(
+                    f"{family.name}_sum{base} {_format_value(snap['sum'])}")
+                lines.append(f"{family.name}_count{base} {snap['count']}")
+            else:
+                labels = _labelstr(family.labelnames, labelvalues)
+                lines.append(
+                    f"{family.name}{labels} {_format_value(child.value())}")
+    if overflowed:
+        lines.append("# HELP sssj_obs_series_dropped_total Label sets "
+                     "collapsed into the overflow series per metric.")
+        lines.append("# TYPE sssj_obs_series_dropped_total counter")
+        for name, dropped in overflowed:
+            lines.append(
+                f'sssj_obs_series_dropped_total{{metric="{name}"}} {dropped}')
+    return "\n".join(lines) + "\n"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    def do_GET(self):  # noqa: N802 — http.server API
+        if self.path.split("?", 1)[0] not in ("/", "/metrics"):
+            self.send_error(404, "only /metrics is served")
+            return
+        body = render_prometheus(self.server.obs_registry).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 — http.server API
+        pass  # scrapes must not spam the server's stdout
+
+
+class MetricsHTTPServer:
+    """``/metrics`` endpoint on a daemon thread; ``close()`` to stop."""
+
+    def __init__(self, registry, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self._server = ThreadingHTTPServer((host, port), _MetricsHandler)
+        self._server.daemon_threads = True
+        self._server.obs_registry = registry
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="sssj-metrics",
+            daemon=True)
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return host, port
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+
+def start_metrics_server(registry, host: str = "127.0.0.1",
+                         port: int = 0) -> MetricsHTTPServer:
+    return MetricsHTTPServer(registry, host, port)

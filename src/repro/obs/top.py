@@ -1,0 +1,171 @@
+"""``sssj top`` — a live terminal view of a served join.
+
+Polls the service's ``stats`` protocol op (never the engine directly, so
+a busy server pays one request per refresh) and renders per-session and
+per-tenant telemetry: throughput computed from successive polls, queue
+depth, latency percentiles, DRR deficit, eviction counts.  Works against
+both the plain :class:`~repro.service.server.JoinService` and the pooled
+multi-tenant scheduler — scheduler-only sections simply disappear when
+the server has no pool.
+
+The renderer is a pure function of two successive ``stats`` payloads,
+which is what the tests drive; the polling loop around it is a thin
+shell.  ``iterations`` bounds the loop for scripted use (CI smoke, the
+test-suite); interactive use defaults to "until interrupted".
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Callable
+
+__all__ = ["TopView", "run_top"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt(value: Any, width: int) -> str:
+    if isinstance(value, float):
+        text = f"{value:,.1f}"
+    elif isinstance(value, int):
+        text = f"{value:,}"
+    else:
+        text = str(value)
+    if len(text) > width:
+        text = text[:width - 1] + "…"
+    return text.rjust(width)
+
+
+class TopView:
+    """Stateful renderer: turns successive ``stats`` payloads into frames.
+
+    Rates (vectors/s, pairs/s) are derived from the deltas between the
+    current payload and the previous one, so the first frame shows the
+    totals with a ``-`` rate.
+    """
+
+    def __init__(self) -> None:
+        self._last_poll: float | None = None
+        self._last_sessions: dict[str, dict[str, Any]] = {}
+
+    def render(self, stats: dict[str, Any], *, now: float | None = None) -> str:
+        now = time.monotonic() if now is None else now
+        elapsed = (None if self._last_poll is None
+                   else max(now - self._last_poll, 1e-9))
+        lines: list[str] = []
+        self._render_server(lines, stats.get("server") or {})
+        scheduler = stats.get("scheduler")
+        if scheduler:
+            self._render_scheduler(lines, scheduler)
+        tenants = stats.get("tenants")
+        deficits = ((scheduler or {}).get("ready") or {}).get("deficit", {})
+        if tenants:
+            self._render_tenants(lines, tenants, deficits)
+        sessions = stats.get("sessions") or {}
+        self._render_sessions(lines, sessions, elapsed)
+        self._last_poll = now
+        self._last_sessions = {
+            name: {"processed": row.get("processed", 0),
+                   "pairs_emitted": row.get("pairs_emitted", 0)}
+            for name, row in sessions.items()}
+        return "\n".join(lines) + "\n"
+
+    # -- sections --------------------------------------------------------------
+
+    @staticmethod
+    def _render_server(lines: list[str], server: dict[str, Any]) -> None:
+        lines.append(
+            f"sssj top — uptime {server.get('uptime_s', 0):,.0f}s  "
+            f"sessions {server.get('sessions', 0)}  "
+            f"requests {server.get('requests_handled', 0):,}")
+
+    @staticmethod
+    def _render_scheduler(lines: list[str], sched: dict[str, Any]) -> None:
+        pool = sched.get("pool") or {}
+        ready = sched.get("ready") or {}
+        lines.append(
+            f"pool: {pool.get('workers', 0)} workers  "
+            f"{pool.get('quanta_run', 0):,} quanta  "
+            f"{pool.get('vectors_processed', 0):,} vectors | "
+            f"ready: {ready.get('ready_sessions', 0)} sessions  "
+            f"{ready.get('tenants_in_rotation', 0)} tenants | "
+            f"evictions {sched.get('evictions', 0)}  "
+            f"restores {sched.get('restores', 0)}")
+
+    @staticmethod
+    def _render_tenants(lines: list[str], tenants: dict[str, Any],
+                        deficits: dict[str, Any]) -> None:
+        lines.append("")
+        lines.append(f"{'TENANT':<16}{'SESS':>6}{'ADMITTED':>12}"
+                     f"{'REJECTED':>10}{'DRR DEBT':>10}")
+        for name, row in sorted(tenants.items()):
+            rejected = sum((row.get("rejected") or {}).values())
+            debt = deficits.get(name, 0.0)
+            lines.append(f"{name[:15]:<16}{_fmt(row.get('sessions', 0), 6)}"
+                         f"{_fmt(row.get('admitted', 0), 12)}"
+                         f"{_fmt(rejected, 10)}{_fmt(debt, 10)}")
+
+    def _render_sessions(self, lines: list[str],
+                         sessions: dict[str, dict[str, Any]],
+                         elapsed: float | None) -> None:
+        lines.append("")
+        lines.append(f"{'SESSION':<16}{'TENANT':<12}{'STATE':<9}"
+                     f"{'QUEUED':>8}{'PROCESSED':>11}{'VEC/S':>9}"
+                     f"{'PAIRS':>9}{'P99 MS':>8}")
+        for name, row in sorted(sessions.items()):
+            processed = row.get("processed", 0)
+            previous = self._last_sessions.get(name)
+            if elapsed is None or previous is None:
+                rate = "-"
+            else:
+                rate = (processed - previous["processed"]) / elapsed
+            latency = row.get("latency") or {}
+            state = row.get("status", "?")
+            if row.get("evicted_at") is not None:
+                state = "evicted"
+            lines.append(
+                f"{name[:15]:<16}{str(row.get('tenant', '-'))[:11]:<12}"
+                f"{state[:8]:<9}{_fmt(row.get('queued', 0), 8)}"
+                f"{_fmt(processed, 11)}{_fmt(rate, 9)}"
+                f"{_fmt(row.get('pairs_emitted', 0), 9)}"
+                f"{_fmt(latency.get('p99_ms', 0.0), 8)}")
+
+
+def run_top(host: str, port: int, *, interval: float = 2.0,
+            iterations: int | None = None, out=None,
+            clear: bool | None = None,
+            fetch: Callable[[], dict[str, Any]] | None = None) -> int:
+    """Poll ``stats`` and redraw until interrupted (or ``iterations``).
+
+    ``fetch`` overrides the default ServiceClient poll (tests inject
+    canned payloads); ``clear`` defaults to "only when stdout is a tty".
+    """
+    out = sys.stdout if out is None else out
+    if clear is None:
+        clear = bool(getattr(out, "isatty", lambda: False)())
+    client = None
+    if fetch is None:
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(host, port)
+        fetch = client.stats
+    view = TopView()
+    count = 0
+    try:
+        while True:
+            stats = fetch()
+            frame = view.render(stats)
+            if clear:
+                out.write(_CLEAR)
+            out.write(frame)
+            out.flush()
+            count += 1
+            if iterations is not None and count >= iterations:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
+    finally:
+        if client is not None:
+            client.close()

@@ -1,0 +1,197 @@
+"""Span tracing: batch-granularity timing with deterministic sampling.
+
+A span brackets one unit of coarse work — a session micro-batch, a
+shard exchange, a scheduler dispatch quantum, a checkpoint — never a
+per-posting or per-candidate operation.  Spans are emitted as NDJSON
+records (one object per line) through a pluggable sink.
+
+Two knobs decide whether a ``span()`` call does anything at all:
+
+``sample``
+    Probability in [0, 1] that a span is recorded.  The decision is a
+    *deterministic* function of ``(seed, span sequence number)`` via a
+    splitmix64 mix, so a fixed seed reproduces the exact same sampled
+    subset run over run — the property the determinism tests pin.
+``slow_ms``
+    Slow-batch threshold.  When set, every span is *measured* (cheap)
+    and emitted with ``"slow": true`` if its duration crosses the
+    threshold, even when the sampler skipped it — production tracing
+    can run at sample=0.01 and still never miss a pathological batch.
+
+When neither knob makes the tracer :attr:`~Tracer.active`, ``span()``
+returns a shared no-op object whose enter/exit do nothing: the hot
+path pays one attribute check.  Tracing never perturbs results — spans
+observe timing only, and pair output is pinned bitwise-identical with
+tracing on or off.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+__all__ = ["NULL_SPAN", "Span", "SpanWriter", "Tracer"]
+
+_MASK = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _splitmix64(state: int) -> int:
+    state = (state + _GOLDEN) & _MASK
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+    return (z ^ (z >> 31)) & _MASK
+
+
+class _NullSpan:
+    """Shared do-nothing span returned whenever tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def note(self, **attrs):
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id",
+                 "sampled", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict,
+                 span_id: int, sampled: bool) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = None
+        self.sampled = sampled
+        self._start = 0.0
+
+    def note(self, **attrs):
+        """Attach attributes discovered mid-span (e.g. pairs emitted)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self):
+        stack = self._tracer._stack()
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        duration = time.perf_counter() - self._start
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._finish(self, duration)
+        return False
+
+
+class Tracer:
+    """Deterministically-sampled span source feeding an NDJSON sink."""
+
+    def __init__(self, *, sample: float = 0.0, seed: int = 0,
+                 sink=None, slow_ms: float | None = None,
+                 on_slow=None) -> None:
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError(f"sample must be in [0, 1], got {sample}")
+        self.sample = float(sample)
+        self.seed = int(seed)
+        self.sink = sink
+        self.slow_ms = None if slow_ms is None else float(slow_ms)
+        self.on_slow = on_slow
+        self.emitted = 0
+        self.slow_spans = 0
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def active(self) -> bool:
+        has_output = self.sink is not None or self.on_slow is not None
+        return has_output and (self.sample > 0.0 or self.slow_ms is not None)
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _sampled(self, seq: int) -> bool:
+        if self.sample <= 0.0:
+            return False
+        if self.sample >= 1.0:
+            return True
+        mixed = _splitmix64((self.seed ^ (seq * _GOLDEN)) & _MASK)
+        return (mixed >> 11) * 2.0 ** -53 < self.sample
+
+    def span(self, name: str, **attrs):
+        if not self.active:
+            return NULL_SPAN
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+        sampled = self._sampled(seq)
+        if not sampled and self.slow_ms is None:
+            return NULL_SPAN
+        return Span(self, name, attrs, seq, sampled)
+
+    def _finish(self, span: Span, duration_s: float) -> None:
+        duration_ms = duration_s * 1000.0
+        slow = self.slow_ms is not None and duration_ms >= self.slow_ms
+        if not span.sampled and not slow:
+            return
+        record = {
+            "ts": round(time.time(), 6),
+            "span": span.name,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "dur_ms": round(duration_ms, 3),
+        }
+        if slow:
+            record["slow"] = True
+        record.update(span.attrs)
+        try:
+            if slow:
+                self.slow_spans += 1
+                if self.on_slow is not None:
+                    self.on_slow(record)
+            if self.sink is not None:
+                self.sink(record)
+                self.emitted += 1
+        except Exception:
+            # Telemetry must never take down the traced operation.
+            pass
+
+
+class SpanWriter:
+    """Append-only NDJSON file sink, safe to share across threads."""
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def __call__(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()

@@ -48,8 +48,8 @@ __all__ = ["ServiceClientError", "ServiceClient", "RETRYABLE_OPS"]
 #: side-effect free, ``ingest`` is protected by sequence numbers, and
 #: ``open``/``drain``/``close``/``shutdown`` are idempotent server-side.
 RETRYABLE_OPS = frozenset(
-    {"ping", "open", "ingest", "results", "stats", "sessions", "evict",
-     "checkpoint", "drain", "close", "shutdown"})
+    {"ping", "open", "ingest", "results", "stats", "metrics", "sessions",
+     "evict", "checkpoint", "drain", "close", "shutdown"})
 
 
 class ServiceClientError(SSSJError):
@@ -259,6 +259,10 @@ class ServiceClient:
     def stats(self, session: str | None = None) -> dict[str, Any]:
         fields = {"session": session} if session else {}
         return self.request("stats", **fields)
+
+    def metrics(self) -> dict[str, Any]:
+        """Prometheus text snapshot of the server's metrics registry."""
+        return self.request("metrics")
 
     def sessions(self, tenant: str | None = None) -> dict[str, Any]:
         """One summary row per session, optionally filtered by tenant."""

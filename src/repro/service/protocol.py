@@ -34,8 +34,8 @@ __all__ = [
 ]
 
 #: Operations understood by the server (see ``repro.service.server``).
-OPS = ("ping", "open", "ingest", "results", "stats", "sessions", "evict",
-       "drain", "close", "shutdown")
+OPS = ("ping", "open", "ingest", "results", "stats", "metrics", "sessions",
+       "evict", "checkpoint", "drain", "close", "shutdown")
 
 
 class ServiceProtocolError(SSSJError):

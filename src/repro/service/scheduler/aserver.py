@@ -33,6 +33,7 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
+from repro import obs
 from repro.service.protocol import (
     ServiceProtocolError,
     dump_line,
@@ -42,6 +43,24 @@ from repro.service.protocol import (
 from repro.service.server import JoinService
 
 __all__ = ["SelectorServiceServer"]
+
+
+def _collect_transport(server: "SelectorServiceServer") -> None:
+    """Scrape-time collector: connection and dispatch counters."""
+    registry = obs.get_registry()
+    stats = server.stats()
+    registry.gauge("sssj_transport_connections_open",
+                   "Client connections currently open.").labels().set(
+        stats["connections_open"])
+    tracker = server._obs_tracker
+    tracker.export(registry.counter(
+        "sssj_transport_connections_accepted_total",
+        "Client connections accepted.").labels(),
+        "accepted", stats["connections_accepted"])
+    tracker.export(registry.counter(
+        "sssj_transport_requests_dispatched_total",
+        "Requests handed to dispatch workers.").labels(),
+        "dispatched", stats["requests_dispatched"])
 
 _RECV_CHUNK = 65536
 #: A single request line larger than this drops the connection — the
@@ -97,6 +116,9 @@ class SelectorServiceServer:
         self._closed = False
         self.connections_accepted = 0
         self.requests_dispatched = 0
+        self._obs_tracker = obs.DeltaTracker()
+        if obs.enabled():
+            obs.get_registry().add_collector(_collect_transport, owner=self)
 
     # -- public surface (mirrors ServiceServer) --------------------------------
 
@@ -136,6 +158,9 @@ class SelectorServiceServer:
         finally:
             self.service.shutdown()
             self.server_close()
+            metrics_server = getattr(self, "obs_metrics_server", None)
+            if metrics_server is not None:
+                metrics_server.close()
 
     def shutdown(self) -> None:
         """ServiceServer-compatible alias for :meth:`request_stop`."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 import threading
 from typing import Any
 
+from repro import obs
 from repro.service.scheduler.ready import DRRReadyQueue
 
 __all__ = ["WorkerPool"]
@@ -61,11 +62,14 @@ class WorkerPool:
                 continue
             batch_items = (self._batcher.suggest(session)
                            if self._batcher is not None else None)
-            try:
-                _more, processed = session.run_quantum(
-                    max_batches=self.max_batches, batch_items=batch_items)
-            except BaseException:  # pragma: no cover - run_quantum reports
-                processed = 0      # its own failures; never kill the worker
+            with obs.span("dispatch", session=session.config.name,
+                          tenant=session.config.tenant) as span:
+                try:
+                    _more, processed = session.run_quantum(
+                        max_batches=self.max_batches, batch_items=batch_items)
+                except BaseException:  # pragma: no cover - run_quantum reports
+                    processed = 0      # its own failures; never kill the worker
+                span.note(processed=processed)
             self._ready.charge(session.config.tenant, processed)
             with self._lock:
                 self.quanta_run += 1

@@ -41,6 +41,8 @@ import time
 from collections import deque
 from typing import TYPE_CHECKING, Any
 
+from repro import obs
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.session import JoinSession
 
@@ -66,6 +68,14 @@ class DRRReadyQueue:
         self._closed = False
         self.pushes = 0
         self.pops = 0
+        # DRR wait: how long a worker sat on the queue before a
+        # successful pop (timed-out polls are not dispatches).
+        self._obs_wait = None
+        if obs.enabled():
+            self._obs_wait = obs.get_registry().histogram(
+                "sssj_scheduler_dispatch_wait_seconds",
+                "Worker wait on the DRR ready queue per successful pop."
+            ).labels()
 
     # -- configuration ---------------------------------------------------------
 
@@ -115,14 +125,16 @@ class DRRReadyQueue:
 
     def pop(self, timeout: float | None = None) -> "JoinSession | None":
         """Next session to run (ready → running), or None on timeout/close."""
-        deadline = (None if timeout is None
-                    else time.monotonic() + timeout)
+        started = time.monotonic()
+        deadline = None if timeout is None else started + timeout
         with self._cond:
             while True:
                 session = self._pop_locked()
                 if session is not None:
                     session.run_state = "running"
                     self.pops += 1
+                    if self._obs_wait is not None:
+                        self._obs_wait.observe(time.monotonic() - started)
                     return session
                 if self._closed:
                     return None

@@ -36,6 +36,7 @@ import time
 from pathlib import Path
 from typing import Any, Callable
 
+from repro import obs
 from repro.service.scheduler.adaptive import AdaptiveBatcher
 from repro.service.scheduler.pool import WorkerPool
 from repro.service.scheduler.ready import DRRReadyQueue
@@ -44,6 +45,61 @@ from repro.service.server import JoinService, _session_name
 from repro.service.session import JoinSession, SessionConfig, SessionError
 
 __all__ = ["SchedulerService"]
+
+
+def _collect_scheduler(service: "SchedulerService") -> None:
+    """Scrape-time collector: pool, DRR queue, eviction and tenant state."""
+    registry = obs.get_registry()
+    tracker = service._obs_tracker
+    pool = service.pool.stats()
+    registry.gauge("sssj_pool_workers",
+                   "Threads in the worker pool.").labels().set(
+        pool["workers"])
+    tracker.export(registry.counter(
+        "sssj_pool_quanta_total", "Quanta run by the worker pool.").labels(),
+        "pool_quanta", pool["quanta_run"])
+    tracker.export(registry.counter(
+        "sssj_pool_vectors_total",
+        "Vectors processed by pooled quanta.").labels(),
+        "pool_vectors", pool["vectors_processed"])
+    ready = service.ready.stats()
+    registry.gauge("sssj_scheduler_ready_sessions",
+                   "Sessions waiting in the DRR ready queue.").labels().set(
+        ready["ready_sessions"])
+    registry.gauge("sssj_scheduler_tenants_in_rotation",
+                   "Tenants currently in the DRR rotation.").labels().set(
+        ready["tenants_in_rotation"])
+    tracker.export(registry.counter(
+        "sssj_scheduler_pushes_total", "Ready-queue pushes.").labels(),
+        "ready_pushes", ready["pushes"])
+    tracker.export(registry.counter(
+        "sssj_scheduler_pops_total", "Ready-queue pops.").labels(),
+        "ready_pops", ready["pops"])
+    deficit_gauge = registry.gauge(
+        "sssj_scheduler_drr_deficit",
+        "DRR deficit per tenant (negative values are carried debt).",
+        ("tenant",))
+    for tenant, deficit in ready["deficit"].items():
+        deficit_gauge.labels(tenant=tenant).set(deficit)
+    tracker.export(registry.counter(
+        "sssj_scheduler_evictions_total",
+        "Idle sessions checkpoint-evicted.").labels(),
+        "evictions", service.evictions)
+    tracker.export(registry.counter(
+        "sssj_scheduler_restores_total",
+        "Evicted sessions lazily restored.").labels(),
+        "restores", service.restores)
+    with service._lock:
+        tenants = list(service.tenants.values())
+    admitted = registry.counter(
+        "sssj_tenant_admitted_vectors_total",
+        "Vectors admitted past tenant quotas.", ("tenant",))
+    tenant_sessions = registry.gauge(
+        "sssj_tenant_sessions", "Open sessions per tenant.", ("tenant",))
+    for state in tenants:
+        tracker.export(admitted.labels(tenant=state.name),
+                       ("tenant_admitted", state.name), state.admitted)
+        tenant_sessions.labels(tenant=state.name).set(state.session_count)
 
 
 class SchedulerService(JoinService):
@@ -83,6 +139,8 @@ class SchedulerService(JoinService):
         self._restore_locks: dict[str, threading.Lock] = {}
         self._sweeper: threading.Thread | None = None
         self._sweeper_stop = threading.Event()
+        if obs.enabled():
+            obs.get_registry().add_collector(_collect_scheduler, owner=self)
         self.pool.start()
         if evict_after is not None:
             if evict_after <= 0:
@@ -156,8 +214,11 @@ class SchedulerService(JoinService):
 
     def _session(self, name: str) -> JoinSession:
         session = super()._session(name)
-        if session.status != "evicted":
+        if session.status not in ("evicted", "evicting"):
             return session
+        # "evicting" routes here too: the restore gate is held by the
+        # in-flight evict, so this blocks until the envelope is final
+        # instead of reading a half-written checkpoint.
         return self._restore_session(name)
 
     def _restore_session(self, name: str) -> JoinSession:
@@ -175,7 +236,8 @@ class SchedulerService(JoinService):
             if path is None:  # pragma: no cover - evict requires a path
                 raise SessionError(
                     f"session {name!r} is evicted but has no checkpoint")
-            restored = self._resume_session(path)
+            with obs.span("restore", session=name):
+                restored = self._resume_session(path)
             restored.start()
             with self._lock:
                 self.sessions[name] = restored
@@ -200,7 +262,7 @@ class SchedulerService(JoinService):
                 with self._lock:
                     current = self.sessions.get(name)
                 if (attempt == 0 and current is not None
-                        and current.status == "evicted"):
+                        and current.status in ("evicted", "evicting")):
                     continue
                 raise
         raise AssertionError("unreachable")  # pragma: no cover
@@ -242,6 +304,8 @@ class SchedulerService(JoinService):
         """
         with self._lock:
             session = self.sessions.get(name)
+            if session is not None:
+                gate = self._restore_locks.setdefault(name, threading.Lock())
         if (session is None or session.status != "active"
                 or session.checkpoint_path is None or session.join is None):
             return None
@@ -249,7 +313,13 @@ class SchedulerService(JoinService):
             return None
         path = None
         try:
-            path = session.try_evict()
+            # Hold the restore gate across the checkpoint write so a
+            # concurrent lazy restore serialises behind this eviction
+            # instead of reading a stale (or half-written) envelope.
+            with gate:
+                with obs.span("evict", session=name,
+                              tenant=session.config.tenant):
+                    path = session.try_evict()
         finally:
             if path is None:
                 self.ready.release_evict_claim(session)
@@ -265,7 +335,7 @@ class SchedulerService(JoinService):
             session = self.sessions.get(name)
         if session is None:
             raise SessionError(f"no session named {name!r}; open it first")
-        if session.status == "evicted":
+        if session.status in ("evicted", "evicting"):
             return {"ok": True, "session": name, "already_evicted": True}
         # Brief retry: a session whose queue just drained is still
         # RUNNING until its worker calls finish() — an explicit evict

@@ -32,6 +32,7 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Any, Callable
 
+from repro import obs
 from repro.service.session import SessionError
 
 __all__ = ["QUOTA_CODES", "QuotaError", "TenantQuota", "TenantState"]
@@ -114,6 +115,20 @@ class TenantState:
         self._refilled_at = clock()
         self.admitted = 0
         self.rejected = {"sessions": 0, "queued": 0, "rate": 0}
+        # Rejections are rare (and already exceptional), so they are
+        # counted inline; admissions are exported by the scheduler's
+        # scrape-time collector instead.
+        self._obs_rejected = None
+        if obs.enabled():
+            self._obs_rejected = obs.get_registry().counter(
+                "sssj_tenant_rejected_total",
+                "Quota rejections by tenant and reason.",
+                ("tenant", "reason"))
+
+    def _count_rejection(self, reason: str) -> None:
+        self.rejected[reason] += 1
+        if self._obs_rejected is not None:
+            self._obs_rejected.labels(tenant=self.name, reason=reason).inc()
 
     # -- session ownership -----------------------------------------------------
 
@@ -124,7 +139,7 @@ class TenantState:
                 return  # idempotent: re-opening an owned session is free
             limit = self.quota.max_sessions
             if limit is not None and len(self._sessions) >= limit:
-                self.rejected["sessions"] += 1
+                self._count_rejection("sessions")
                 raise QuotaError(
                     f"tenant {self.name!r} is at its session quota "
                     f"({limit}); close a session before opening another",
@@ -166,7 +181,7 @@ class TenantState:
         with self._lock:
             limit = self.quota.max_queued
             if limit is not None and queued_now + count > limit:
-                self.rejected["queued"] += 1
+                self._count_rejection("queued")
                 raise QuotaError(
                     f"tenant {self.name!r} would exceed its queued-vector "
                     f"quota ({queued_now} queued + {count} new > {limit}); "
@@ -177,7 +192,7 @@ class TenantState:
                 if self._tokens < count:
                     deficit = count - self._tokens
                     retry_after = deficit / self.quota.rate
-                    self.rejected["rate"] += 1
+                    self._count_rejection("rate")
                     raise QuotaError(
                         f"tenant {self.name!r} is over its ingest rate "
                         f"({self.quota.rate:g} vectors/s); retry in "

@@ -24,11 +24,13 @@ JSONL sink rollback guarantees no duplicated pairs).
 from __future__ import annotations
 
 import socketserver
+import sys
 import threading
 import time
 from pathlib import Path
 from typing import Any
 
+from repro import obs
 from repro.core.join import parse_algorithm
 from repro.exceptions import SSSJError
 from repro.service.protocol import (
@@ -51,6 +53,74 @@ __all__ = ["JoinService", "ServiceServer", "serve"]
 
 _SESSION_NAME_OK = set(
     "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+#: ``JoinStatistics`` counters that only ever grow — exported as
+#: Prometheus counters via delta tracking (several sessions feed the
+#: same labeled series).
+_ENGINE_MONOTONE = (
+    "vectors_processed", "pairs_output", "entries_traversed",
+    "candidates_generated", "candidates_sketch_pruned", "full_similarities",
+    "entries_indexed", "entries_pruned", "reindexings", "reindexed_entries",
+    "index_rebuilds",
+)
+#: Level-style engine statistics — exported as gauges.
+_ENGINE_GAUGES = ("residual_entries", "max_index_size", "max_residual_size")
+
+
+def _collect_service(service: "JoinService") -> None:
+    """Scrape-time collector: export the session registry to the metrics
+    registry.  Reads plain attributes and cached snapshots only — never
+    forces a restore, never touches per-posting state."""
+    registry = obs.get_registry()
+    tracker = service._obs_tracker
+    with service._lock:
+        sessions = dict(service.sessions)
+    registry.gauge("sssj_server_sessions",
+                   "Sessions currently registered.").labels().set(
+        len(sessions))
+    registry.gauge("sssj_server_uptime_seconds",
+                   "Service uptime.").labels().set(
+        time.monotonic() - service.started_at)
+    queue_gauge = registry.gauge(
+        "sssj_session_queue_depth", "Vectors waiting in the bounded queue.",
+        ("session", "tenant"))
+    tenant_ingest = registry.counter(
+        "sssj_tenant_ingested_vectors_total",
+        "Vectors accepted for ingestion per tenant.", ("tenant",))
+    for name, session in sessions.items():
+        config = session.config
+        epoch = round(session.started_at, 6)
+        join = session.join
+        if join is not None:
+            counters = join.stats.as_dict()
+            backend = getattr(join, "backend_name", config.backend)
+        else:  # evicted placeholder: last-known snapshot
+            cached = session._evicted_stats or {}
+            counters = cached.get("counters", {})
+            backend = cached.get("backend", config.backend)
+        backend = backend or "default"
+        labels = {"session": name, "tenant": config.tenant,
+                  "backend": backend}
+        for key in _ENGINE_MONOTONE:
+            if key not in counters:
+                continue
+            child = registry.counter(
+                f"sssj_engine_{key}_total",
+                f"Engine statistic {key} (see JoinStatistics).",
+                ("session", "tenant", "backend")).labels(**labels)
+            tracker.export(child, (key, name, epoch), counters[key])
+        for key in _ENGINE_GAUGES:
+            if key not in counters:
+                continue
+            registry.gauge(
+                f"sssj_engine_{key}",
+                f"Engine statistic {key} (see JoinStatistics).",
+                ("session", "tenant", "backend")).labels(**labels).set(
+                counters[key])
+        queue_gauge.labels(session=name, tenant=config.tenant).set(
+            session.queued)
+        tracker.export(tenant_ingest.labels(tenant=config.tenant),
+                       ("tenant_ingest", name, epoch), session.accepted)
 
 
 def _session_name(request: dict[str, Any]) -> str:
@@ -87,6 +157,13 @@ class JoinService:
         self.started_at = time.monotonic()
         self.requests_handled = 0
         self.shutting_down = False
+        self._obs_requests = None
+        self._obs_tracker = obs.DeltaTracker()
+        if obs.enabled():
+            self._obs_requests = obs.get_registry().counter(
+                "sssj_server_requests_total",
+                "Requests dispatched by op.", ("op",))
+            obs.get_registry().add_collector(_collect_service, owner=self)
 
     # -- session management ----------------------------------------------------
 
@@ -211,6 +288,8 @@ class JoinService:
         """Serve one request dictionary; always returns a response dict."""
         self.requests_handled += 1
         op = request.get("op")
+        if self._obs_requests is not None:
+            self._obs_requests.labels(op=str(op)).inc()
         try:
             if op == "ping":
                 return {"ok": True, "pong": True,
@@ -223,6 +302,8 @@ class JoinService:
                 return self._handle_results(request)
             if op == "stats":
                 return self.stats(request.get("session"))
+            if op == "metrics":
+                return self.metrics_snapshot()
             if op == "sessions":
                 return self.session_list(request.get("tenant"))
             if op == "evict":
@@ -326,6 +407,11 @@ class JoinService:
             "processed": session.processed,
             "queued": session.queued,
         }
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Prometheus text over the wire (the ``metrics`` protocol op)."""
+        return {"ok": True, "content_type": obs.CONTENT_TYPE,
+                "metrics": obs.render()}
 
     def stats(self, session: str | None = None) -> dict[str, Any]:
         """Live counters and latency percentiles (the ``stats`` endpoint)."""
@@ -473,6 +559,9 @@ class ServiceServer(socketserver.ThreadingTCPServer):
         finally:
             self.service.shutdown()
             self.server_close()
+            metrics_server = getattr(self, "obs_metrics_server", None)
+            if metrics_server is not None:
+                metrics_server.close()
 
 
 def serve(*, host: str = "127.0.0.1", port: int = 0,
@@ -484,6 +573,12 @@ def serve(*, host: str = "127.0.0.1", port: int = 0,
           pool_workers: int | None = None,
           scheduler_options: dict[str, Any] | None = None,
           dispatch_workers: int = 8,
+          metrics_port: int | None = None,
+          metrics_host: str = "127.0.0.1",
+          trace_sample: float | None = None,
+          span_log: str | Path | None = None,
+          slow_batch_ms: float | None = None,
+          trace_seed: int = 0,
           ):
     """Build a service + TCP server and recover checkpointed sessions.
 
@@ -502,7 +597,31 @@ def serve(*, host: str = "127.0.0.1", port: int = 0,
     ``scheduler_options`` passes extra :class:`SchedulerService` keyword
     arguments (quotas, ``evict_after``, adaptive batching, ...).  Left
     at ``None``, the legacy thread-per-session server is used.
+
+    Observability: ``metrics_port`` exposes the process metrics registry
+    as a plain-HTTP Prometheus endpoint (``GET /metrics``; port 0 picks
+    a free one — the bound address is ``server.obs_metrics_server.address``).
+    ``trace_sample`` / ``span_log`` / ``slow_batch_ms`` configure the
+    process tracer: sampled spans (and every slow batch) are appended to
+    the NDJSON ``span_log``; slow batches are also reported on stderr.
     """
+    if trace_sample or span_log is not None or slow_batch_ms is not None:
+        def _report_slow(record: dict) -> None:
+            print(f"[obs] slow span {record.get('span')} "
+                  f"dur_ms={record.get('dur_ms')} "
+                  f"session={record.get('session')}",
+                  file=sys.stderr, flush=True)
+
+        obs.configure(
+            trace_sample=trace_sample,
+            span_path=span_log,
+            slow_batch_ms=slow_batch_ms,
+            seed=trace_seed,
+            on_slow=_report_slow if slow_batch_ms is not None else None)
+    metrics_server = None
+    if metrics_port is not None:
+        metrics_server = obs.start_metrics_server(
+            obs.get_registry(), host=metrics_host, port=metrics_port)
     fault_injector = None
     if fault_plan is not None:
         from repro.faults import FaultInjector, parse_fault_plan
@@ -526,6 +645,7 @@ def serve(*, host: str = "127.0.0.1", port: int = 0,
         server = SelectorServiceServer(service, host=host, port=port,
                                        read_timeout=read_timeout,
                                        dispatch_workers=dispatch_workers)
+        server.obs_metrics_server = metrics_server
         return server, recovered
     service = JoinService(checkpoint_dir=checkpoint_dir,
                           checkpoint_every_items=checkpoint_every_items,
@@ -534,4 +654,5 @@ def serve(*, host: str = "127.0.0.1", port: int = 0,
     recovered = service.recover_sessions()
     server = ServiceServer(service, host=host, port=port,
                            read_timeout=read_timeout)
+    server.obs_metrics_server = metrics_server
     return server, recovered

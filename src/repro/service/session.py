@@ -40,6 +40,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
+from repro import obs
 from repro.bench.metrics import LatencyStats
 from repro.core.checkpoint import (
     CheckpointError,
@@ -119,11 +120,17 @@ class SessionConfig:
     checkpoint_every_items: int | None = None
     checkpoint_every_seconds: float | None = None
     sink_retries: int = 3
+    #: Bounded window backing the per-item latency percentiles; old
+    #: checkpoints without the field restore at the default.
+    latency_window: int = 65536
 
     def __post_init__(self) -> None:
         if self.sink_retries < 0:
             raise SessionError(
                 f"sink_retries must be >= 0, got {self.sink_retries}")
+        if self.latency_window <= 0:
+            raise SessionError(
+                f"latency_window must be positive, got {self.latency_window}")
         if self.backpressure not in BACKPRESSURE_POLICIES:
             raise SessionError(
                 f"unknown backpressure policy {self.backpressure!r}; "
@@ -203,7 +210,30 @@ class JoinSession:
             fault_plan=join_faults)
         self.results = MemorySink(capacity=config.results_capacity)
         self.sinks: list[ResultSink] = [self.results, *(sinks or [])]
-        self.latency = LatencyStats()
+        self.latency = LatencyStats(window=config.latency_window)
+        # Hot-path instrument handles bound once (labels are per-tenant —
+        # bounded cardinality — with per-session series left to the
+        # scrape-time collectors in the service layer).
+        self._obs_batch_seconds = None
+        self._obs_vectors = self._obs_pairs = self._obs_batches = None
+        if obs.enabled():
+            registry = obs.get_registry()
+            self._obs_batch_seconds = registry.histogram(
+                "sssj_batch_seconds",
+                "Session micro-batch processing time (seconds).",
+                ("tenant",)).labels(tenant=config.tenant)
+            self._obs_vectors = registry.counter(
+                "sssj_session_vectors_total",
+                "Vectors processed through session micro-batches.",
+                ("tenant",)).labels(tenant=config.tenant)
+            self._obs_pairs = registry.counter(
+                "sssj_session_pairs_total",
+                "Similar pairs emitted to session sinks.",
+                ("tenant",)).labels(tenant=config.tenant)
+            self._obs_batches = registry.counter(
+                "sssj_session_batches_total",
+                "Session micro-batches flushed.",
+                ("tenant",)).labels(tenant=config.tenant)
         self.status = "active"
         self.resumed = _join is not None
         self.accepted = 0
@@ -245,12 +275,19 @@ class JoinSession:
 
     # -- checkpoint envelope ---------------------------------------------------
 
-    def _write_envelope(self, join, path: Path) -> Path:
+    def _write_envelope(self, join, path: Path, *,
+                        status: str | None = None) -> Path:
         """Snapshot the join plus the session/sink state (worker thread only)."""
+        with obs.span("checkpoint", session=self.config.name,
+                      tenant=self.config.tenant):
+            return self._write_envelope_inner(join, path, status=status)
+
+    def _write_envelope_inner(self, join, path: Path, *,
+                              status: str | None = None) -> Path:
         payload = {
             "service_version": SERVICE_CHECKPOINT_VERSION,
             "config": self.config.as_dict(),
-            "status": self.status,
+            "status": status or self.status,
             "processed": self.processed,
             "last_timestamp": (self._last_processed_timestamp
                                if self.processed else None),
@@ -625,14 +662,23 @@ class JoinSession:
 
     def _process_vectors(self, work: list[tuple]) -> None:
         """Feed one micro-batch of queued vectors through the join."""
+        started = time.perf_counter()
         pairs: list[SimilarPair] = []
-        for _, vector, enqueued_at in work:
-            pairs.extend(self.join.process(vector))
-            self.latency.record(time.monotonic() - enqueued_at)
-            self.processed += 1
-            self._last_processed_timestamp = vector.timestamp
-        self._emit(pairs)
+        with obs.span("batch", session=self.config.name,
+                      tenant=self.config.tenant) as span:
+            for _, vector, enqueued_at in work:
+                pairs.extend(self.join.process(vector))
+                self.latency.record(time.monotonic() - enqueued_at)
+                self.processed += 1
+                self._last_processed_timestamp = vector.timestamp
+            self._emit(pairs)
+            span.note(items=len(work), pairs=len(pairs))
         self.batches_flushed += 1
+        if self._obs_batches is not None:
+            self._obs_batch_seconds.observe(time.perf_counter() - started)
+            self._obs_vectors.inc(len(work))
+            self._obs_pairs.inc(len(pairs))
+            self._obs_batches.inc()
 
     def _flush_pending_controls(self) -> None:
         """Answer control tokens that will never be handled (worker exiting)."""
@@ -777,25 +823,40 @@ class JoinSession:
         never notice the round trip.  Returns ``None`` (and leaves the
         session live) when there is no checkpoint path or work snuck into
         the queue; concurrent ingests that lose the race see the
-        ``"evicted"`` status and trigger the service's lazy restore.
+        transitional ``"evicting"`` (then ``"evicted"``) status and
+        trigger the service's lazy restore.  ``"evicted"`` is published
+        last, once the engine is released, so an observed-evicted
+        session never holds a join.
         """
         if self.checkpoint_path is None or self.join is None:
             return None
         with self._lock:
             if self.status != "active" or self._queue or self._queued_vectors:
                 return None
-            self.status = "evicted"
+            # Transitional fence: ingest sees a non-active status and
+            # raises (routing the caller to the service's restore path),
+            # but the public "evicted" state is only published below,
+            # once the engine is gone — an observer that reads status
+            # "evicted" may rely on the placeholder holding no join.
+            self.status = "evicting"
         try:
-            path = self._write_envelope(self.join, self.checkpoint_path)
+            # The envelope is stamped "evicted" (the barrier contract
+            # resume() trusts), not the transitional in-memory status.
+            path = self._write_envelope(self.join, self.checkpoint_path,
+                                        status="evicted")
         except BaseException:
             with self._lock:
-                self.status = "active"
+                if self.status == "evicting":
+                    self.status = "active"
             raise
         self._evicted_stats = {
             "counters": self.join.stats.as_dict(),
             "backend": getattr(self.join, "backend_name",
                                self.config.backend),
             "approx": getattr(self.join, "approx", self.config.approx),
+            # Wall-clock eviction time: stats() for the placeholder must
+            # say *when* the engine was dropped, not pretend it's live.
+            "evicted_at": time.time(),
         }
         self._checkpointer = None
         closer = getattr(self.join, "close", None)
@@ -809,6 +870,9 @@ class JoinSession:
         for sink in self.sinks:
             if sink is not self.results:
                 sink.close()
+        with self._lock:
+            if self.status == "evicting":  # a concurrent close() wins
+                self.status = "evicted"
         return path
 
     def _fail(self, error: BaseException) -> None:
@@ -863,7 +927,7 @@ class JoinSession:
                 pass  # already failed/killed: fall through to teardown
         with self._lock:
             self._stop = True
-            if self.status in ("active", "drained", "evicted"):
+            if self.status in ("active", "drained", "evicting", "evicted"):
                 self.status = "closed"
             self._not_empty.notify_all()
             self._not_full.notify_all()
@@ -906,11 +970,13 @@ class JoinSession:
         """
         with self._lock:
             queued = self._queued_vectors
+        evicted_at = None
         if self.join is None:
             cached = self._evicted_stats or {}
             backend = cached.get("backend", self.config.backend)
             approx = cached.get("approx", self.config.approx)
             counters = cached.get("counters", {})
+            evicted_at = cached.get("evicted_at")
         else:
             backend = getattr(self.join, "backend_name", self.config.backend)
             approx = getattr(self.join, "approx", self.config.approx)
@@ -939,6 +1005,7 @@ class JoinSession:
             "batches_flushed": self.batches_flushed,
             "sink_retried": self.sink_retried,
             "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "evicted_at": evicted_at,
             "resumed": self.resumed,
             "error": self.error,
             "latency": self.latency.summary(),

@@ -44,6 +44,7 @@ from __future__ import annotations
 import math
 import time
 
+from repro import obs
 from repro.core.frameworks.base import JoinFramework
 from repro.core.results import JoinStatistics, ShardCounters, SimilarPair
 from repro.core.vector import SparseVector
@@ -65,6 +66,33 @@ __all__ = [
 ]
 
 _INF = math.inf
+
+
+def _collect_shard_join(join: "ShardedStreamingJoin") -> None:
+    """Scrape-time collector: coordinator stage timings and executor health.
+
+    Deliberately does NOT call :meth:`shard_counters` — that flushes
+    buffered appends over the worker pipes, and a scrape must never
+    perturb the stream.  Per-shard counters stay on the ``stats``
+    endpoint; only coordinator-side accumulators are exported here.
+    """
+    registry = obs.get_registry()
+    tracker = join._obs_tracker
+    stages = registry.counter(
+        "sssj_shard_stage_seconds_total",
+        "Coordinator wall-clock per sharded-join stage.", ("stage",))
+    for stage, seconds in join.stage_seconds.items():
+        tracker.export(stages.labels(stage=stage), ("stage", stage), seconds)
+    registry.gauge("sssj_shard_workers",
+                   "Shard workers in the current plan.").labels().set(
+        join.workers)
+    registry.gauge("sssj_shard_degraded",
+                   "1 when the executor fell back to in-process "
+                   "execution.").labels().set(1 if join.degraded else 0)
+    respawns = getattr(join._executor, "respawns", 0)
+    tracker.export(registry.counter(
+        "sssj_shard_respawns_total",
+        "Successful shard worker respawns.").labels(), "respawns", respawns)
 
 
 class _ShardPostingStub:
@@ -189,7 +217,8 @@ class ShardedPrefixScanMixin(_ShardedMixinBase):
                   "time_ordered": self.time_ordered}
         stage = self.stage_seconds
         started = time.perf_counter()
-        replies = self._executor.exchange(requests, params)
+        with obs.span("shard_exchange"):
+            replies = self._executor.exchange(requests, params)
         stage["exchange"] += time.perf_counter() - started
         partials = [partial for reply in replies for partial in reply[0]]
         traversed = sum(reply[1] for reply in replies)
@@ -260,7 +289,8 @@ class ShardedInvScanMixin(_ShardedMixinBase):
         params = {"kind": "inv", "cutoff": cutoff}
         stage = self.stage_seconds
         started = time.perf_counter()
-        replies = self._executor.exchange(requests, params)
+        with obs.span("shard_exchange"):
+            replies = self._executor.exchange(requests, params)
         stage["exchange"] += time.perf_counter() - started
         partials = [partial for reply in replies for partial in reply[0]]
         traversed = sum(reply[1] for reply in replies)
@@ -373,6 +403,9 @@ class ShardedStreamingJoin(JoinFramework):
             raise
         self.plan = plan
         self._closed = False
+        self._obs_tracker = obs.DeltaTracker()
+        if obs.enabled():
+            obs.get_registry().add_collector(_collect_shard_join, owner=self)
 
     # -- introspection ---------------------------------------------------------
 

@@ -50,6 +50,7 @@ import time
 from multiprocessing import connection as _mp_connection
 from typing import Any
 
+from repro import obs
 from repro.core.results import ShardCounters
 from repro.exceptions import InvalidParameterError, ShardWorkerError
 from repro.shard.plan import ShardPlan
@@ -62,6 +63,15 @@ from repro.shard.worker import (
 )
 
 __all__ = ["SerialShardExecutor", "ProcessShardExecutor", "create_executor"]
+
+
+def _count_recovery(kind: str) -> None:
+    """Recovery events are rare and exceptional — count them inline."""
+    if obs.enabled():
+        obs.get_registry().counter(
+            "sssj_shard_recovery_events_total",
+            "Shard worker recovery events by kind.",
+            ("kind",)).labels(kind=kind).inc()
 
 
 class SerialShardExecutor:
@@ -402,6 +412,7 @@ class ProcessShardExecutor:
                 last_error = respawn_error
                 continue
             self.respawns += 1
+            _count_recovery("respawn")
             details = {"shard": shard, "attempt": attempt,
                        "replayed_steps": len(history),
                        "latency_s": time.monotonic() - started}
@@ -448,6 +459,7 @@ class ProcessShardExecutor:
             workers.append(worker)
         self._serial_workers = workers
         self.degraded = True
+        _count_recovery("degrade")
         replayed = sum(len(history) for history in self._history)
         self._history = [[] for _ in range(self.plan.workers)]
         event = {"kind": "degrade", "cause": cause,

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro import obs
 from repro.backends import get_backend
 from repro.backends.base import SegmentPartial
 from repro.core.results import ShardCounters
@@ -189,7 +190,35 @@ class ShardWorker:
         arena = getattr(self.kernel, "_arena", None)
         if arena is not None:
             self.counters.arena_compactions = arena.compactions
+        self._export_counters()
         return self.counters
+
+    def _export_counters(self) -> None:
+        """Mirror the snapshot onto the metrics registry (serial executor).
+
+        In the multiprocess executor this runs in the child, where the
+        registry is per-process and never scraped — harmless.  Counter
+        totals are monotone, so ``set_total`` is the right export.
+        """
+        if not obs.enabled():
+            return
+        registry = obs.get_registry()
+        label = str(self.shard)
+        counters = self.counters
+        registry.counter(
+            "sssj_shard_entries_traversed_total",
+            "Posting entries traversed by shard scans.",
+            ("shard",)).labels(shard=label).set_total(
+            counters.entries_traversed)
+        registry.counter(
+            "sssj_shard_entries_indexed_total",
+            "Posting entries appended per shard.",
+            ("shard",)).labels(shard=label).set_total(
+            counters.entries_indexed)
+        registry.gauge(
+            "sssj_shard_dimensions",
+            "Dimensions owned by each shard.",
+            ("shard",)).labels(shard=label).set(counters.dimensions)
 
 
 def apply_step(worker: ShardWorker, message: tuple):
